@@ -1,0 +1,55 @@
+//! Ablation: coherence-block size (64 B vs the Itanium's 128 B).
+//!
+//! The paper notes that the coherence protocol "does not distinguish
+//! between individual bytes within a coherence block", so block size sets
+//! the blast radius of false sharing. Smaller blocks make the naive
+//! sort-by-hotness layout less catastrophic (fewer unrelated fields share
+//! a block) at the cost of more lines per affinity group.
+//!
+//! We measure baseline / tool / sort-by-hotness layouts for struct A at
+//! both block sizes on the 128-way machine.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_sim::CacheConfig;
+use slopt_workload::{
+    baseline_layouts, compute_paper_layouts, layouts_with, measure, LayoutKind, Machine,
+    SdetConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let machine = Machine::superdome(128);
+
+    println!("=== ablation: coherence block size, struct A (128-way) ===");
+    println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");
+    for line_size in [64u64, 128u64] {
+        let sdet = SdetConfig {
+            line_size,
+            cache: CacheConfig {
+                line_size,
+                // Keep capacity constant: halve the line, double the sets.
+                sets: (512 * 128 / line_size) as usize,
+                ways: 8,
+            },
+            ..setup.sdet.clone()
+        };
+        let layouts = compute_paper_layouts(&setup.kernel, &sdet, &setup.analysis, {
+            let mut tool = setup.tool;
+            tool.layout.line_size = line_size;
+            tool
+        });
+        let a = setup.kernel.records.a;
+        let base_table = baseline_layouts(&setup.kernel, line_size);
+        let baseline = measure(&setup.kernel, &base_table, &machine, &sdet, setup.runs);
+        let mut row = Vec::new();
+        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness] {
+            let table = layouts_with(&setup.kernel, line_size, a, layouts.layout(a, kind).clone());
+            let t = measure(&setup.kernel, &table, &machine, &sdet, setup.runs);
+            row.push(t.pct_vs(&baseline));
+        }
+        println!("{line_size:>7}B {:>11.2}% {:>17.2}%", row[0], row[1]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Ablation: the CycleLoss constant `k2` (paper §2, `w = k1·CG − k2·CL`).
+//!
+//! Sweeps `k2` and reports, for struct A (the heavy false-sharing
+//! structure), whether the resulting automatic layout still isolates the
+//! contended counters from the hot read fields, and the measured
+//! throughput difference on the 128-way machine.
+//!
+//! Expected: with `k2 = 0` the FLG degenerates to the single-threaded
+//! affinity layout — counters get packed with the hot fields they are
+//! accessed with, and throughput collapses (the sort-by-hotness failure
+//! mode). Beyond a modest `k2` the layout stabilizes.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_core::{suggest_layout, FlgParams, ToolParams};
+use slopt_workload::{
+    analyze, baseline_layouts, layouts_with, loss_for, measure, Machine, STAT_CLASSES,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let kernel = &setup.kernel;
+    let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
+    let a = kernel.records.a;
+    let ty = kernel.record_type(a);
+    let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
+    let loss = loss_for(kernel, &analysis, a);
+
+    let machine = Machine::superdome(128);
+    let base_table = baseline_layouts(kernel, setup.sdet.line_size);
+    let baseline = measure(kernel, &base_table, &machine, &setup.sdet, setup.runs);
+
+    println!("=== ablation: k2 sweep on struct A (128-way) ===");
+    println!("{:>10} {:>22} {:>14}", "k2", "counters isolated?", "% vs baseline");
+    for k2 in [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0] {
+        let params = ToolParams { flg: FlgParams { k1: 1.0, k2 }, ..setup.tool };
+        let suggestion =
+            suggest_layout(ty, &affinity, Some(&loss), params).expect("valid record");
+        let flags = kernel.field(a, "flags");
+        let isolated = (0..STAT_CLASSES).all(|k| {
+            let stat = kernel.field(a, &format!("stat{k}"));
+            !suggestion.layout.share_line(stat, flags)
+        });
+        let table = layouts_with(kernel, setup.sdet.line_size, a, suggestion.layout.clone());
+        let t = measure(kernel, &table, &machine, &setup.sdet, setup.runs);
+        println!(
+            "{:>10} {:>22} {:>13.2}%",
+            k2,
+            if isolated { "yes" } else { "NO" },
+            t.pct_vs(&baseline)
+        );
+    }
+}

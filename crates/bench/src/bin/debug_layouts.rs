@@ -1,0 +1,78 @@
+//! Developer tool: dump the derived layouts, FLG edges and per-layout
+//! false-sharing statistics for each struct. Not part of the paper's
+//! figures; used to calibrate the workload.
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_sim::AccessClass;
+use slopt_workload::{
+    baseline_layouts, compute_paper_layouts, layouts_with, run_once, LayoutKind, Machine,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let machine = Machine::superdome(128);
+
+    for (letter, rec) in setup.kernel.records.all() {
+        let ty = setup.kernel.record_type(rec);
+        println!("########## struct {letter} ({}) ##########", ty.name());
+        let s = &layouts.suggestions[&rec];
+        println!("--- FLG edges (top 12) ---");
+        for (f1, f2, w) in s.flg.edges().iter().take(12) {
+            println!(
+                "  {:<12} -- {:<12} {:+.1}",
+                ty.field(*f1).name(),
+                ty.field(*f2).name(),
+                w
+            );
+        }
+        let edges = s.flg.edges();
+        println!("--- most negative edges ---");
+        for (f1, f2, w) in edges.iter().rev().take(8).filter(|e| e.2 < 0.0) {
+            println!(
+                "  {:<12} -- {:<12} {:+.1}",
+                ty.field(*f1).name(),
+                ty.field(*f2).name(),
+                w
+            );
+        }
+        println!("--- clusters ---");
+        for (i, c) in s.clustering.clusters().iter().enumerate().take(12) {
+            let names: Vec<&str> = c.iter().map(|&f| ty.field(f).name()).collect();
+            println!("  {i}: {names:?}");
+        }
+
+        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
+            let l = layouts.layout(rec, kind);
+            println!("--- {kind}: size {} lines {}", l.size(), l.line_span());
+        }
+
+        // Measure false sharing per layout on the big machine.
+        let base_table = baseline_layouts(&setup.kernel, setup.sdet.line_size);
+        let base = run_once(&setup.kernel, &base_table, &machine, &setup.sdet, 3, &mut slopt_sim::NullObserver);
+        print_stats("baseline", &base, rec);
+        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
+            let table =
+                layouts_with(&setup.kernel, setup.sdet.line_size, rec, layouts.layout(rec, kind).clone());
+            let run = run_once(&setup.kernel, &table, &machine, &setup.sdet, 3, &mut slopt_sim::NullObserver);
+            print_stats(&kind.to_string(), &run, rec);
+        }
+        println!();
+    }
+}
+
+fn print_stats(label: &str, run: &slopt_workload::SdetRun, rec: slopt_ir::types::RecordId) {
+    let s = &run.stats;
+    println!(
+        "  [{label:<16}] makespan {:>10}  tput {:>8.1}  FS(rec) {:>7}  TS(rec) {:>7}  cap(rec) {:>7} cold(rec) {:>7} hits(rec) {:>9} upg(rec) {:>7}",
+        run.result.makespan,
+        run.result.throughput(),
+        s.class_for(rec, AccessClass::FalseSharingMiss).count,
+        s.class_for(rec, AccessClass::TrueSharingMiss).count,
+        s.class_for(rec, AccessClass::CapacityMiss).count,
+        s.class_for(rec, AccessClass::ColdMiss).count,
+        s.class_for(rec, AccessClass::Hit).count,
+        s.class_for(rec, AccessClass::UpgradeHit).count,
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 10: the best layout per struct — fully automatic clustering
+//! versus the §5.2 constrained edit of the baseline (important-edge
+//! subgraph), on the 128-way Superdome.
+//!
+//! Paper's shape: the constrained mode rescues struct A (the automatic
+//! layout loses ~5% there; the constrained edit turns that into a gain)
+//! and slightly beats automatic on B; C and D stay best with the
+//! automatic layout. Best-case improvement ≈ 3.2%.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N]`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_workload::{best_rows, compute_paper_layouts, figure_rows, LayoutKind, Machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+
+    eprintln!("[fig10] measurement run (16-way) + layout derivation...");
+    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+
+    eprintln!("[fig10] measuring on superdome128 ({} runs per layout)...", setup.runs);
+    let machine = Machine::superdome(128);
+    let fig = figure_rows(
+        &setup.kernel,
+        &machine,
+        &setup.sdet,
+        setup.runs,
+        &layouts,
+        &[LayoutKind::Tool, LayoutKind::Constrained],
+        "Figure 10: best layout per struct (automatic vs constrained)",
+    );
+    println!("{fig}");
+
+    println!("best layout per struct:");
+    for (letter, kind, pct) in best_rows(&fig) {
+        println!("  {letter}: {kind} ({pct:+.2}%)");
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 8: performance of the automatic (tool) layout and the naïve
+//! sort-by-hotness layout versus the hand-tuned baseline, on the 128-way
+//! Superdome, one transformed struct at a time.
+//!
+//! Paper's shape: the tool layout is within a few percent of baseline
+//! (around −5% for struct A, small gains for B–E); sort-by-hotness is
+//! comparable on B–E but degrades struct A by **more than 2×** because it
+//! packs the false-sharing counters together.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N]`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_workload::{compute_paper_layouts, figure_rows, LayoutKind, Machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+
+    eprintln!("[fig8] measurement run (16-way) + layout derivation...");
+    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+
+    eprintln!("[fig8] measuring on superdome128 ({} runs per layout)...", setup.runs);
+    let machine = Machine::superdome(128);
+    let fig = figure_rows(
+        &setup.kernel,
+        &machine,
+        &setup.sdet,
+        setup.runs,
+        &layouts,
+        &[LayoutKind::Tool, LayoutKind::SortByHotness],
+        "Figure 8: automatic layout vs sort-by-hotness (128-way Superdome)",
+    );
+    println!("{fig}");
+
+    // The paper's headline observation, checked mechanically.
+    let row_a = &fig.rows[0];
+    let tool_a = row_a.results[0].1;
+    let hot_a = row_a.results[1].1;
+    println!(
+        "struct A: tool {tool_a:+.2}% vs sort-by-hotness {hot_a:+.2}% \
+         (paper: ~-5% vs worse than -50%)"
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 9: the *same* layouts as Figure 8, measured on the small 4-way
+//! bus machine.
+//!
+//! Paper's shape: all five structs show marginal speedups for the tool
+//! layout — separating the few false-sharing fields costs nothing when
+//! false sharing is cheap, and the locality improvements still help.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N]`
+
+use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_workload::{compute_paper_layouts, figure_rows, LayoutKind, Machine};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let setup = default_figure_setup(parse_scale(&args));
+
+    eprintln!("[fig9] measurement run (16-way) + layout derivation...");
+    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+
+    eprintln!("[fig9] measuring on bus4 ({} runs per layout)...", setup.runs);
+    let machine = Machine::bus(4);
+    let fig = figure_rows(
+        &setup.kernel,
+        &machine,
+        &setup.sdet,
+        setup.runs,
+        &layouts,
+        &[LayoutKind::Tool, LayoutKind::SortByHotness],
+        "Figure 9: the Figure-8 layouts on a 4-way bus machine",
+    );
+    println!("{fig}");
+}

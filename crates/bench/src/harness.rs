@@ -1,0 +1,75 @@
+//! Shared scaffolding for the figure binaries.
+
+use slopt_core::ToolParams;
+use slopt_workload::{AnalysisConfig, Kernel, SdetConfig};
+
+/// Everything a figure binary needs: the kernel, workload sizing, analysis
+/// configuration and tool parameters.
+#[derive(Debug)]
+pub struct FigureSetup {
+    /// The synthetic kernel.
+    pub kernel: Kernel,
+    /// Workload sizing.
+    pub sdet: SdetConfig,
+    /// Measurement-run configuration (16-way, per the paper).
+    pub analysis: AnalysisConfig,
+    /// Layout tool parameters.
+    pub tool: ToolParams,
+    /// Measured runs per layout (the paper uses 10; the default here is 5
+    /// to keep the full figure under a couple of minutes — pass a scale
+    /// argument to change it).
+    pub runs: usize,
+}
+
+/// The default setup used by `fig8`/`fig9`/`fig10`.
+///
+/// `scale` stretches the workload (scripts per CPU) and the number of
+/// measured runs: `1` is the fast default; `2`+ approaches the paper's
+/// 10-run methodology at proportionally longer wall time.
+pub fn default_figure_setup(scale: usize) -> FigureSetup {
+    let scale = scale.max(1);
+    let kernel = slopt_workload::build_kernel();
+    let sdet = SdetConfig {
+        scripts_per_cpu: 24 * scale,
+        ..SdetConfig::default()
+    };
+    let analysis = AnalysisConfig::default();
+    FigureSetup {
+        kernel,
+        sdet,
+        analysis,
+        tool: ToolParams::default(),
+        runs: (5 + scale).min(10),
+    }
+}
+
+/// Parses the optional `--scale N` argument of the figure binaries.
+pub fn parse_scale(args: &[String]) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == "--scale")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_setup_scales() {
+        let s1 = default_figure_setup(1);
+        let s2 = default_figure_setup(2);
+        assert!(s2.sdet.scripts_per_cpu > s1.sdet.scripts_per_cpu);
+        assert!(s2.runs >= s1.runs);
+        assert_eq!(default_figure_setup(0).runs, default_figure_setup(1).runs);
+    }
+
+    #[test]
+    fn scale_flag_parses() {
+        let args: Vec<String> = ["--scale", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&args), 3);
+        assert_eq!(parse_scale(&[]), 1);
+        let bad: Vec<String> = ["--scale", "x"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_scale(&bad), 1);
+    }
+}

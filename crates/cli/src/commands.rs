@@ -1,0 +1,299 @@
+//! The `slopt-tool` subcommands.
+
+use slopt_core::{to_dot, DotOptions, ToolParams};
+use slopt_sim::AccessClass;
+use slopt_workload::{
+    analyze, baseline_layouts, build_kernel, compute_paper_layouts, figure_rows, layouts_with,
+    measure, run_once, suggest_for, AnalysisConfig, LayoutKind, Machine, SdetConfig,
+};
+use std::path::PathBuf;
+
+/// Prints usage.
+pub fn print_help() {
+    println!(
+        "slopt-tool — structure layout advisor (CGO 2007 reproduction)
+
+USAGE:
+    slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
+        Run the instrumented measurement on the built-in kernel and print
+        the layout advisory for one structure. With --out, write
+        <name>.layout.txt and <name>.flg.dot into DIR.
+
+    slopt-tool advise --program FILE [--struct RECORD] [--out DIR] [--cpus N]
+        The same pipeline on a user-supplied workload file: a `.sir`
+        program plus a `workload {{ action ... }}` section (see
+        examples/session_table.sirw).
+
+    slopt-tool simulate [--machine bus4|superdome16|superdome128]
+        Run the SDET-like workload with baseline layouts and print the
+        memory-system breakdown per structure (a `perf c2c`-style view).
+
+    slopt-tool figures [--scale N]
+        Regenerate the paper's Figures 8, 9 and 10 in one go.
+
+    slopt-tool help
+        This text."
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_machine(spec: &str) -> Result<Machine, String> {
+    if spec == "bus4" {
+        return Ok(Machine::bus(4));
+    }
+    if let Some(n) = spec.strip_prefix("superdome") {
+        let n: usize = n.parse().map_err(|_| format!("bad machine `{spec}`"))?;
+        if n == 0 || n > 128 {
+            return Err(format!("superdome CPU count {n} out of range (1..=128)"));
+        }
+        return Ok(Machine::superdome(n));
+    }
+    if let Some(n) = spec.strip_prefix("bus") {
+        let n: usize = n.parse().map_err(|_| format!("bad machine `{spec}`"))?;
+        if n == 0 || n > 128 {
+            return Err(format!("bus CPU count {n} out of range (1..=128)"));
+        }
+        return Ok(Machine::bus(n));
+    }
+    Err(format!("unknown machine `{spec}` (bus4, busN, superdomeN)"))
+}
+
+/// `slopt-tool advise`.
+pub fn advise(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--program") {
+        return advise_custom(path, args);
+    }
+    let kernel = build_kernel();
+    let letter = flag_value(args, "--struct").unwrap_or("A").to_ascii_uppercase();
+    let rec = kernel
+        .records
+        .all()
+        .iter()
+        .find(|(l, _)| l.to_string() == letter)
+        .map(|&(_, r)| r)
+        .ok_or_else(|| format!("no struct `{letter}` (use A..E)"))?;
+    let cpus: usize = match flag_value(args, "--cpus") {
+        Some(v) => v.parse().map_err(|_| format!("bad --cpus `{v}`"))?,
+        None => 16,
+    };
+    if cpus == 0 || cpus > 128 {
+        return Err(format!("--cpus {cpus} out of range (1..=128)"));
+    }
+
+    let sdet = SdetConfig::default();
+    let analysis_cfg = AnalysisConfig { machine: Machine::superdome(cpus), ..Default::default() };
+    eprintln!("[advise] measuring on {} ...", analysis_cfg.machine.topo.name());
+    let analysis = analyze(&kernel, &sdet, &analysis_cfg);
+    let suggestion = suggest_for(&kernel, &analysis, rec, ToolParams::default());
+    let ty = kernel.record_type(rec);
+
+    println!("{}", suggestion.report);
+    println!("{}", suggestion.layout.to_annotated_string(ty));
+
+    if let Some(dir) = flag_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let layout_path = dir.join(format!("{}.layout.txt", ty.name()));
+        std::fs::write(&layout_path, format!("{}\n{}", suggestion.report, suggestion.layout.to_annotated_string(ty)))
+            .map_err(|e| format!("writing {}: {e}", layout_path.display()))?;
+        let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
+        let dot = to_dot(
+            ty,
+            &suggestion.flg,
+            Some(&suggestion.clustering),
+            DotOptions::default(),
+        );
+        std::fs::write(&dot_path, dot)
+            .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
+        println!(
+            "wrote {} and {} (render with `dot -Tsvg`)",
+            layout_path.display(),
+            dot_path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `slopt-tool advise --program <file>`: run the pipeline on a
+/// user-supplied workload file (`.sir` program + `workload` section).
+fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
+    use slopt_workload::WorkloadSpec as _;
+    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let workload =
+        slopt_workload::parse_workload_file(&input).map_err(|e| format!("{path}:{e}"))?;
+
+    let cpus: usize = match flag_value(args, "--cpus") {
+        Some(v) => v.parse().map_err(|_| format!("bad --cpus `{v}`"))?,
+        None => 16,
+    };
+    if cpus == 0 || cpus > 128 {
+        return Err(format!("--cpus {cpus} out of range (1..=128)"));
+    }
+    let rec = match flag_value(args, "--struct") {
+        Some(name) => workload
+            .program()
+            .registry()
+            .lookup(name)
+            .ok_or_else(|| format!("no record `{name}` in {path}"))?,
+        None => {
+            let mut it = workload.program().registry().records();
+            it.next().map(|(r, _)| r).ok_or_else(|| format!("{path} declares no records"))?
+        }
+    };
+
+    let sdet = SdetConfig::default();
+    let analysis_cfg = AnalysisConfig { machine: Machine::superdome(cpus), ..Default::default() };
+    eprintln!(
+        "[advise] measuring `{path}` on {} ...",
+        analysis_cfg.machine.topo.name()
+    );
+    let analysis = analyze(&workload, &sdet, &analysis_cfg);
+    let suggestion = suggest_for(&workload, &analysis, rec, ToolParams::default());
+    let ty = workload.record_type(rec);
+
+    println!("{}", suggestion.report);
+    println!("{}", suggestion.layout.to_annotated_string(ty));
+
+    if let Some(dir) = flag_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
+        let dot = to_dot(ty, &suggestion.flg, Some(&suggestion.clustering), DotOptions::default());
+        std::fs::write(&dot_path, dot)
+            .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
+        println!("wrote {}", dot_path.display());
+    }
+    Ok(())
+}
+
+/// `slopt-tool simulate`.
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let machine = parse_machine(flag_value(args, "--machine").unwrap_or("superdome16"))?;
+    let kernel = build_kernel();
+    let sdet = SdetConfig::default();
+    let layouts = baseline_layouts(&kernel, sdet.line_size);
+    eprintln!("[simulate] running SDET-like workload on {} ...", machine.topo.name());
+    let run = run_once(&kernel, &layouts, &machine, &sdet, 1, &mut slopt_sim::NullObserver);
+    println!(
+        "throughput: {:.1} scripts/Mcycle over {} cycles ({} scripts)",
+        run.result.throughput(),
+        run.result.makespan,
+        run.result.scripts_done
+    );
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "struct", "hits", "cold", "true-share", "false-share", "upgrades"
+    );
+    for (letter, rec) in kernel.records.all() {
+        let s = &run.stats;
+        println!(
+            "{letter:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            s.class_for(rec, AccessClass::Hit).count,
+            s.class_for(rec, AccessClass::ColdMiss).count,
+            s.class_for(rec, AccessClass::TrueSharingMiss).count,
+            s.class_for(rec, AccessClass::FalseSharingMiss).count,
+            s.class_for(rec, AccessClass::UpgradeHit).count,
+        );
+    }
+    Ok(())
+}
+
+/// `slopt-tool figures`.
+pub fn figures(args: &[String]) -> Result<(), String> {
+    let scale: usize = match flag_value(args, "--scale") {
+        Some(v) => v.parse().map_err(|_| format!("bad --scale `{v}`"))?,
+        None => 1,
+    };
+    let kernel = build_kernel();
+    let sdet = SdetConfig {
+        scripts_per_cpu: 24 * scale.max(1),
+        ..SdetConfig::default()
+    };
+    let analysis = AnalysisConfig::default();
+    let runs = (5 + scale).min(10);
+    eprintln!("[figures] measurement + layout derivation ...");
+    let layouts = compute_paper_layouts(&kernel, &sdet, &analysis, ToolParams::default());
+
+    for (machine, kinds, title) in [
+        (
+            Machine::superdome(128),
+            vec![LayoutKind::Tool, LayoutKind::SortByHotness],
+            "Figure 8 (128-way)",
+        ),
+        (
+            Machine::bus(4),
+            vec![LayoutKind::Tool, LayoutKind::SortByHotness],
+            "Figure 9 (4-way)",
+        ),
+        (
+            Machine::superdome(128),
+            vec![LayoutKind::Tool, LayoutKind::Constrained],
+            "Figure 10 (best layouts)",
+        ),
+    ] {
+        eprintln!("[figures] {} ...", title);
+        let fig = figure_rows(&kernel, &machine, &sdet, runs, &layouts, &kinds, title);
+        println!("{fig}");
+    }
+    // A tiny shared-measure sanity line so users see the baseline too.
+    let base = measure(
+        &kernel,
+        &layouts_with(
+            &kernel,
+            sdet.line_size,
+            kernel.records.a,
+            baseline_layouts(&kernel, sdet.line_size).layout(kernel.records.a).clone(),
+        ),
+        &Machine::superdome(128),
+        &sdet,
+        runs,
+    );
+    println!("(baseline sanity: {:.1} scripts/Mcycle)", base.mean);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_specs_parse() {
+        assert_eq!(parse_machine("bus4").unwrap().cpus(), 4);
+        assert_eq!(parse_machine("bus2").unwrap().cpus(), 2);
+        assert_eq!(parse_machine("superdome16").unwrap().cpus(), 16);
+        assert_eq!(parse_machine("superdome128").unwrap().cpus(), 128);
+        assert!(parse_machine("superdome129").is_err());
+        assert!(parse_machine("superdome0").is_err());
+        assert!(parse_machine("torus8").is_err());
+        assert!(parse_machine("busx").is_err());
+    }
+
+    #[test]
+    fn flags_parse_positionally() {
+        let args: Vec<String> =
+            ["--struct", "B", "--out", "/tmp/x"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(flag_value(&args, "--struct"), Some("B"));
+        assert_eq!(flag_value(&args, "--out"), Some("/tmp/x"));
+        assert_eq!(flag_value(&args, "--cpus"), None);
+    }
+
+    #[test]
+    fn advise_rejects_unknown_struct() {
+        let args: Vec<String> = ["--struct", "Z"].iter().map(|s| s.to_string()).collect();
+        let err = advise(&args).unwrap_err();
+        assert!(err.contains("no struct"));
+    }
+
+    #[test]
+    fn advise_rejects_missing_program_file() {
+        let args: Vec<String> =
+            ["--program", "/nonexistent/x.sirw"].iter().map(|s| s.to_string()).collect();
+        let err = advise(&args).unwrap_err();
+        assert!(err.contains("reading"));
+    }
+}

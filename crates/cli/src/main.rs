@@ -1,0 +1,44 @@
+//! `slopt-tool` — the paper's semi-automatic layout advisor as a
+//! command-line program.
+//!
+//! ```text
+//! slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
+//! slopt-tool simulate [--machine bus4|superdome16|superdome128]
+//! slopt-tool figures [--scale N]
+//! slopt-tool help
+//! ```
+//!
+//! `advise` runs the instrumented measurement run on the built-in
+//! synthetic kernel, prints the layout advisory for the chosen structure
+//! (cluster contents, intra/inter-cluster weights, strongest edges), and
+//! optionally writes the suggested layout and a Graphviz rendering of the
+//! Field Layout Graph to `--out`.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        commands::print_help();
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "advise" => commands::advise(rest),
+        "simulate" => commands::simulate(rest),
+        "figures" => commands::figures(rest),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `slopt-tool help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("slopt-tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The greedy FLG clustering algorithm (paper Figs. 6 and 7).
+//!
+//! * Sort fields by hotness.
+//! * Seed a new cluster with the hottest unassigned field.
+//! * Repeatedly add the unassigned field with the largest positive summed
+//!   edge weight into the cluster (`find_best_match`), skipping candidates
+//!   whose addition would grow the number of cache lines the cluster
+//!   needs.
+//! * When no candidate has positive gain (or none fits), close the cluster
+//!   and seed the next one.
+//!
+//! Every cluster is later materialized as a cache-line-aligned group of the
+//! output layout, so fields in different clusters never share a line.
+
+use crate::flg::Flg;
+use slopt_ir::types::{FieldIdx, RecordType};
+
+/// A partition of a record's fields into cache-line clusters, in creation
+/// (hotness) order.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Clustering {
+    clusters: Vec<Vec<FieldIdx>>,
+}
+
+impl Clustering {
+    /// Creates a clustering from explicit clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field appears in more than one cluster.
+    pub fn new(clusters: Vec<Vec<FieldIdx>>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            for f in c {
+                assert!(seen.insert(*f), "field {f} in more than one cluster");
+            }
+        }
+        Clustering { clusters }
+    }
+
+    /// The clusters, hottest-seeded first.
+    pub fn clusters(&self) -> &[Vec<FieldIdx>] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Index of the cluster containing `f`, if any.
+    pub fn cluster_of(&self, f: FieldIdx) -> Option<usize> {
+        self.clusters.iter().position(|c| c.contains(&f))
+    }
+
+    /// Total number of fields across clusters.
+    pub fn field_count(&self) -> usize {
+        self.clusters.iter().map(Vec::len).sum()
+    }
+}
+
+/// Bytes a cluster occupies when its fields are packed in order under C
+/// alignment rules (starting at a cache-line boundary).
+fn cluster_bytes(record: &RecordType, members: &[FieldIdx]) -> u64 {
+    let mut cursor = 0u64;
+    for &f in members {
+        let def = record.field(f);
+        let a = def.align();
+        cursor = (cursor + a - 1) & !(a - 1);
+        cursor += def.size();
+    }
+    cursor
+}
+
+/// Cache lines a cluster needs.
+fn cluster_lines(record: &RecordType, members: &[FieldIdx], line_size: u64) -> u64 {
+    cluster_bytes(record, members).div_ceil(line_size).max(1)
+}
+
+/// `find_best_match` (paper Fig. 7): the unassigned field with the largest
+/// positive total edge weight into the cluster, among those that do not
+/// grow the cluster's line count.
+fn find_best_match(
+    flg: &Flg,
+    record: &RecordType,
+    cluster: &[FieldIdx],
+    unassigned: &[FieldIdx],
+    line_size: u64,
+) -> Option<FieldIdx> {
+    let current_lines = cluster_lines(record, cluster, line_size);
+    let mut best: Option<FieldIdx> = None;
+    let mut best_weight = 0.0f64;
+    let mut extended: Vec<FieldIdx> = Vec::with_capacity(cluster.len() + 1);
+    for &f in unassigned {
+        extended.clear();
+        extended.extend_from_slice(cluster);
+        extended.push(f);
+        if cluster_lines(record, &extended, line_size) > current_lines {
+            continue;
+        }
+        let weight = flg.gain_into(f, cluster);
+        if weight > best_weight {
+            best_weight = weight;
+            best = Some(f);
+        }
+    }
+    best
+}
+
+/// Runs the greedy clustering (paper Fig. 6) over the FLG.
+///
+/// # Panics
+///
+/// Panics if the FLG's field count differs from the record's, or if
+/// `line_size` is not a power of two.
+pub fn cluster(flg: &Flg, record: &RecordType, line_size: u64) -> Clustering {
+    assert_eq!(
+        flg.field_count(),
+        record.field_count(),
+        "FLG and record field counts differ"
+    );
+    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+
+    let mut unassigned = flg.fields_by_hotness();
+    let mut clusters: Vec<Vec<FieldIdx>> = Vec::new();
+    while !unassigned.is_empty() {
+        let seed = unassigned.remove(0);
+        let mut current = vec![seed];
+        while let Some(best) =
+            find_best_match(flg, record, &current, &unassigned, line_size)
+        {
+            unassigned.retain(|&f| f != best);
+            current.push(best);
+        }
+        clusters.push(current);
+    }
+    Clustering::new(clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slopt_ir::types::{FieldType, PrimType, RecordId, RecordType};
+
+    fn record_u64(n: usize) -> RecordType {
+        RecordType::new(
+            "S",
+            (0..n)
+                .map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn affine_fields_cluster_together() {
+        // f0 hot, strongly affine to f1; f2 unrelated.
+        let flg = Flg::from_parts(
+            RecordId(0),
+            vec![100, 50, 10],
+            vec![(FieldIdx(0), FieldIdx(1), 10.0)],
+        );
+        let rec = record_u64(3);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.clusters()[0], vec![FieldIdx(0), FieldIdx(1)]);
+        assert_eq!(c.clusters()[1], vec![FieldIdx(2)]);
+        assert_eq!(c.cluster_of(FieldIdx(1)), Some(0));
+        assert_eq!(c.field_count(), 3);
+    }
+
+    #[test]
+    fn negative_edges_separate_fields() {
+        // f0 and f1 heavily false-share; both hot.
+        let flg = Flg::from_parts(
+            RecordId(0),
+            vec![100, 90],
+            vec![(FieldIdx(0), FieldIdx(1), -50.0)],
+        );
+        let rec = record_u64(2);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(c.len(), 2, "false-sharing fields must split");
+    }
+
+    #[test]
+    fn net_weight_decides_mixed_edges() {
+        // f1 pulls toward f0 (+10); f2 pulls toward f0 (+2) but repels f1
+        // (-50): once f1 joins f0's cluster, f2's net gain is negative.
+        let flg = Flg::from_parts(
+            RecordId(0),
+            vec![100, 50, 40],
+            vec![
+                (FieldIdx(0), FieldIdx(1), 10.0),
+                (FieldIdx(0), FieldIdx(2), 2.0),
+                (FieldIdx(1), FieldIdx(2), -50.0),
+            ],
+        );
+        let rec = record_u64(3);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(c.clusters()[0], vec![FieldIdx(0), FieldIdx(1)]);
+        assert_eq!(c.clusters()[1], vec![FieldIdx(2)]);
+    }
+
+    #[test]
+    fn line_capacity_limits_cluster_growth() {
+        // 17 mutually affine u64 fields, 128-byte lines: only 16 fit.
+        let n = 17;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((FieldIdx(i), FieldIdx(j), 1.0));
+            }
+        }
+        let flg = Flg::from_parts(RecordId(0), vec![10; n], edges);
+        let rec = record_u64(n);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.clusters()[0].len(), 16);
+        assert_eq!(c.clusters()[1].len(), 1);
+    }
+
+    #[test]
+    fn oversized_seed_field_gets_its_own_lines() {
+        // A 200-byte array seed spans 2 lines; small affine fields may fill
+        // the tail without growing the line count.
+        let rec = RecordType::new(
+            "S",
+            vec![
+                ("blob", FieldType::Array { elem: PrimType::U8, len: 200 }),
+                ("x", FieldType::Prim(PrimType::U64)),
+                ("y", FieldType::Prim(PrimType::U64)),
+            ],
+        );
+        let flg = Flg::from_parts(
+            RecordId(0),
+            vec![100, 50, 50],
+            vec![
+                (FieldIdx(0), FieldIdx(1), 5.0),
+                (FieldIdx(0), FieldIdx(2), 5.0),
+            ],
+        );
+        let c = cluster(&flg, &rec, 128);
+        // 200 bytes uses lines 0..=1 with 56 bytes of tail: both u64s fit.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.clusters()[0].len(), 3);
+    }
+
+    #[test]
+    fn zero_hotness_fields_become_singletons() {
+        let flg = Flg::from_parts(RecordId(0), vec![0, 0, 0], vec![]);
+        let rec = record_u64(3);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(c.len(), 3);
+        for cl in c.clusters() {
+            assert_eq!(cl.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_equal_hotness() {
+        let flg = Flg::from_parts(RecordId(0), vec![5; 6], vec![]);
+        let rec = record_u64(6);
+        let c1 = cluster(&flg, &rec, 128);
+        let c2 = cluster(&flg, &rec, 128);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn paper_termination_condition_all_nonpositive() {
+        // Everything connected only by negative edges: every field its own
+        // cluster, in hotness order.
+        let flg = Flg::from_parts(
+            RecordId(0),
+            vec![3, 9, 6],
+            vec![
+                (FieldIdx(0), FieldIdx(1), -1.0),
+                (FieldIdx(0), FieldIdx(2), -1.0),
+                (FieldIdx(1), FieldIdx(2), -1.0),
+            ],
+        );
+        let rec = record_u64(3);
+        let c = cluster(&flg, &rec, 128);
+        assert_eq!(
+            c.clusters(),
+            &[vec![FieldIdx(1)], vec![FieldIdx(2)], vec![FieldIdx(0)]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one cluster")]
+    fn clustering_rejects_duplicates() {
+        Clustering::new(vec![vec![FieldIdx(0)], vec![FieldIdx(0)]]);
+    }
+
+    #[test]
+    fn cluster_bytes_respects_alignment() {
+        let rec = RecordType::new(
+            "S",
+            vec![
+                ("a", FieldType::Prim(PrimType::U8)),
+                ("b", FieldType::Prim(PrimType::U64)),
+            ],
+        );
+        assert_eq!(cluster_bytes(&rec, &[FieldIdx(0), FieldIdx(1)]), 16);
+        assert_eq!(cluster_bytes(&rec, &[FieldIdx(1), FieldIdx(0)]), 9);
+        assert_eq!(cluster_lines(&rec, &[FieldIdx(0), FieldIdx(1)], 128), 1);
+    }
+}

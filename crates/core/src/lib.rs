@@ -1,0 +1,78 @@
+//! # slopt-core — the structure layout optimizer
+//!
+//! The primary contribution of the CGO 2007 paper *"Structure Layout
+//! Optimization for Multithreaded Programs"*: a layout tool that optimizes
+//! simultaneously for spatial locality and reduced false sharing.
+//!
+//! * [`flg`] — the **Field Layout Graph**: nodes are the fields of a
+//!   record, edge weights are `k1·CycleGain − k2·CycleLoss`.
+//! * [`mod@cluster`] — the paper's greedy clustering (Figs. 6–7): grow
+//!   cache-line-sized clusters around hot seeds, maximizing intra-cluster
+//!   weight.
+//! * [`layoutgen`] — materialize clusters as a concrete layout with each
+//!   cluster on its own cache line(s).
+//! * [`heuristics`] — the baselines: declaration order, the naïve
+//!   **sort-by-hotness** packing of §5.1, and random layouts.
+//! * [`subgraph`] — the §5.2 "best performance" mode: keep only important
+//!   edges (all negative + top-20 positive), cluster that subgraph, and
+//!   apply the result as constraints on the original hand-tuned layout.
+//! * [`report`] — the advisory output of the semi-automatic tool.
+//! * [`pipeline`] — one-call drivers: [`suggest_layout`] (fully automatic)
+//!   and [`suggest_constrained`] (incremental).
+//!
+//! ## Example
+//!
+//! ```
+//! use slopt_core::{cluster::cluster, flg::Flg};
+//! use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
+//!
+//! // Two affine fields, one false-sharing counter.
+//! let rec = RecordType::new(
+//!     "S",
+//!     vec![
+//!         ("head", FieldType::Prim(PrimType::Ptr)),
+//!         ("len", FieldType::Prim(PrimType::U64)),
+//!         ("stat_counter", FieldType::Prim(PrimType::U64)),
+//!     ],
+//! );
+//! let flg = Flg::from_parts(
+//!     RecordId(0),
+//!     vec![100, 90, 80],
+//!     vec![
+//!         (FieldIdx(0), FieldIdx(1), 50.0),    // traversed together
+//!         (FieldIdx(0), FieldIdx(2), -400.0),  // counter false-shares
+//!     ],
+//! );
+//! let clustering = cluster(&flg, &rec, 128);
+//! assert_eq!(clustering.cluster_of(FieldIdx(0)), clustering.cluster_of(FieldIdx(1)));
+//! assert_ne!(clustering.cluster_of(FieldIdx(0)), clustering.cluster_of(FieldIdx(2)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+pub mod dot;
+pub mod flg;
+pub mod gvl;
+pub mod heuristics;
+pub mod layoutgen;
+pub mod pipeline;
+pub mod refine;
+pub mod report;
+pub mod subgraph;
+pub mod transform;
+
+pub use cluster::{cluster, Clustering};
+pub use dot::{to_dot, DotOptions};
+pub use flg::{Flg, FlgParams};
+pub use heuristics::{declaration_layout, random_layout, sort_by_hotness};
+pub use layoutgen::{layout_from_clusters, LayoutOptions};
+pub use pipeline::{suggest_constrained, suggest_layout, Suggestion, ToolParams};
+pub use refine::{clustering_score, refine, RefineParams};
+pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};
+pub use report::{LayoutReport, ReportEdge};
+pub use transform::{materialize_split, split_hot_cold, SplitParams, SplitPlan};
+pub use subgraph::{
+    best_effort_layout, constrained_layout, important_subgraph, Constraints, SubgraphParams,
+};

@@ -1,0 +1,190 @@
+//! Structure splitting and peeling — the companion transformations the
+//! paper lists alongside field reordering (§1: "structure splitting,
+//! structure peeling, field reordering, dead field removal").
+//!
+//! Reordering keeps the record in one allocation; splitting moves the
+//! cold fields behind a pointer so the hot part shrinks (better cache
+//! utilization and, on MP machines, fewer innocent fields inside hot
+//! coherence blocks); peeling separates a record into parallel arrays of
+//! sub-records. This module implements the analysis/decision layer:
+//! partitioning a record into hot and cold parts using the same FLG the
+//! reordering uses, with the legality caveats the paper discusses left to
+//! the caller (it is a *semi-automatic* tool: the output names what moves
+//! where, a human signs off).
+
+use crate::flg::Flg;
+use slopt_ir::types::{FieldDef, FieldIdx, FieldType, PrimType, RecordType};
+
+/// The outcome of a split decision.
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// Fields staying in the hot (primary) record, in suggested order.
+    pub hot: Vec<FieldIdx>,
+    /// Fields moving to the cold record, in original order.
+    pub cold: Vec<FieldIdx>,
+}
+
+impl SplitPlan {
+    /// Whether splitting is worthwhile at all (both parts non-empty).
+    pub fn is_split(&self) -> bool {
+        !self.hot.is_empty() && !self.cold.is_empty()
+    }
+}
+
+/// Parameters for the split decision.
+#[derive(Copy, Clone, Debug)]
+pub struct SplitParams {
+    /// A field is *cold* if its hotness is at most this fraction of the
+    /// hottest field's.
+    pub cold_fraction: f64,
+    /// Do not split unless the cold part saves at least this many bytes
+    /// (the indirection pointer costs 8).
+    pub min_savings: u64,
+}
+
+impl Default for SplitParams {
+    fn default() -> Self {
+        SplitParams { cold_fraction: 0.01, min_savings: 64 }
+    }
+}
+
+/// Decides a hot/cold split from the FLG's hotness.
+///
+/// Fields with affinity edges to hot fields are kept hot even if their
+/// own count is low (moving them would break the locality the edge
+/// records).
+pub fn split_hot_cold(record: &RecordType, flg: &Flg, params: SplitParams) -> SplitPlan {
+    let max_hot = record
+        .field_indices()
+        .map(|f| flg.hotness(f))
+        .max()
+        .unwrap_or(0);
+    let threshold = (max_hot as f64 * params.cold_fraction).ceil() as u64;
+
+    let mut hot: Vec<FieldIdx> = Vec::new();
+    let mut cold: Vec<FieldIdx> = Vec::new();
+    for f in record.field_indices() {
+        let own_hot = flg.hotness(f) >= threshold.max(1);
+        let tied_to_hot = record
+            .field_indices()
+            .any(|g| g != f && flg.weight(f, g) > 0.0 && flg.hotness(g) >= threshold.max(1));
+        if own_hot || tied_to_hot {
+            hot.push(f);
+        } else {
+            cold.push(f);
+        }
+    }
+
+    let savings: u64 = cold.iter().map(|&f| record.field(f).size()).sum();
+    if savings < params.min_savings || hot.is_empty() {
+        // Not worth the indirection: keep everything hot.
+        return SplitPlan { hot: record.field_indices().collect(), cold: Vec::new() };
+    }
+    SplitPlan { hot, cold }
+}
+
+/// Materializes a split plan as two record types: the hot record (with a
+/// trailing pointer to the cold record) and the cold record.
+///
+/// # Panics
+///
+/// Panics if the plan is not a partition of the record's fields — plans
+/// must come from [`split_hot_cold`] on the same record.
+pub fn materialize_split(record: &RecordType, plan: &SplitPlan) -> (RecordType, Option<RecordType>) {
+    let total = plan.hot.len() + plan.cold.len();
+    assert_eq!(total, record.field_count(), "split plan must cover every field");
+    let field = |f: &FieldIdx| -> (String, FieldType) {
+        let def: &FieldDef = record.field(*f);
+        (def.name().to_string(), def.ty().clone())
+    };
+    if plan.cold.is_empty() {
+        return (
+            RecordType::new(record.name().to_string(), plan.hot.iter().map(field).collect()),
+            None,
+        );
+    }
+    let mut hot_fields: Vec<(String, FieldType)> = plan.hot.iter().map(field).collect();
+    hot_fields.push(("cold_ptr".to_string(), FieldType::Prim(PrimType::Ptr)));
+    let hot_rec = RecordType::new(format!("{}_hot", record.name()), hot_fields);
+    let cold_rec = RecordType::new(
+        format!("{}_cold", record.name()),
+        plan.cold.iter().map(field).collect(),
+    );
+    (hot_rec, Some(cold_rec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slopt_ir::layout::StructLayout;
+    use slopt_ir::types::RecordId;
+
+    fn record(n_hot: usize, n_cold: usize) -> (RecordType, Flg) {
+        let mut fields = Vec::new();
+        let mut hotness = Vec::new();
+        for i in 0..n_hot {
+            fields.push((format!("hot{i}"), FieldType::Prim(PrimType::U64)));
+            hotness.push(1_000);
+        }
+        for i in 0..n_cold {
+            fields.push((format!("cold{i}"), FieldType::Prim(PrimType::U64)));
+            hotness.push(0);
+        }
+        let rec = RecordType::new("S", fields);
+        let flg = Flg::from_parts(RecordId(0), hotness, vec![]);
+        (rec, flg)
+    }
+
+    #[test]
+    fn cold_fields_are_peeled_off() {
+        let (rec, flg) = record(4, 20);
+        let plan = split_hot_cold(&rec, &flg, SplitParams::default());
+        assert!(plan.is_split());
+        assert_eq!(plan.hot.len(), 4);
+        assert_eq!(plan.cold.len(), 20);
+        let (hot, cold) = materialize_split(&rec, &plan);
+        let cold = cold.expect("cold record exists");
+        // Hot record: 4 fields + cold_ptr.
+        assert_eq!(hot.field_count(), 5);
+        assert!(hot.field_by_name("cold_ptr").is_some());
+        assert_eq!(cold.field_count(), 20);
+        // The hot record now fits one line where the original spanned two+.
+        let orig = StructLayout::declaration_order(&rec, 128).unwrap();
+        let split = StructLayout::declaration_order(&hot, 128).unwrap();
+        assert!(orig.line_span() >= 2);
+        assert_eq!(split.line_span(), 1);
+    }
+
+    #[test]
+    fn small_savings_mean_no_split() {
+        let (rec, flg) = record(4, 2); // only 16 cold bytes
+        let plan = split_hot_cold(&rec, &flg, SplitParams::default());
+        assert!(!plan.is_split());
+        let (hot, cold) = materialize_split(&rec, &plan);
+        assert!(cold.is_none());
+        assert_eq!(hot.field_count(), rec.field_count());
+    }
+
+    #[test]
+    fn affinity_to_hot_fields_keeps_cold_ones_home() {
+        // cold0 has an affinity edge to hot0: it must stay hot.
+        let (rec, _) = record(2, 20);
+        let mut hotness = vec![1_000, 1_000];
+        hotness.extend(std::iter::repeat_n(0, 20));
+        let flg = Flg::from_parts(
+            RecordId(0),
+            hotness,
+            vec![(FieldIdx(0), FieldIdx(2), 50.0)],
+        );
+        let plan = split_hot_cold(&rec, &flg, SplitParams::default());
+        assert!(plan.hot.contains(&FieldIdx(2)), "affine field must stay in the hot part");
+        assert_eq!(plan.cold.len(), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every field")]
+    fn materialize_rejects_partial_plans() {
+        let (rec, _) = record(2, 2);
+        materialize_split(&rec, &SplitPlan { hot: vec![FieldIdx(0)], cold: vec![FieldIdx(1)] });
+    }
+}

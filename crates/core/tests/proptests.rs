@@ -1,0 +1,142 @@
+//! Property tests for the optimizer: clustering, subgraph filtering and
+//! the constrained-edit algorithm over randomized FLGs.
+
+use proptest::prelude::*;
+use slopt_core::{
+    best_effort_layout, cluster, constrained_layout, important_subgraph, Constraints, Flg,
+    SubgraphParams,
+};
+use slopt_ir::layout::StructLayout;
+use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
+
+fn record_u64(n: usize) -> RecordType {
+    RecordType::new(
+        "R",
+        (0..n).map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64))).collect(),
+    )
+}
+
+fn arb_flg(max_fields: usize) -> impl Strategy<Value = Flg> {
+    (2..max_fields).prop_flat_map(|n| {
+        let hotness = prop::collection::vec(0u64..10_000, n..=n);
+        let edges = prop::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, -1000.0f64..1000.0),
+            0..n * 3,
+        );
+        (hotness, edges).prop_map(move |(h, es)| {
+            let es: Vec<_> = es
+                .into_iter()
+                .filter(|(a, b, _)| a != b)
+                .map(|(a, b, w)| (FieldIdx(a), FieldIdx(b), w))
+                .collect();
+            Flg::from_parts(RecordId(0), h, es)
+        })
+    })
+}
+
+proptest! {
+    /// Greedy clustering: every cluster has non-negative internal gain for
+    /// the order in which members were added, and the hottest field seeds
+    /// the first cluster.
+    #[test]
+    fn clustering_greedy_properties(flg in arb_flg(20)) {
+        let n = flg.field_count();
+        let rec = record_u64(n);
+        let clustering = cluster(&flg, &rec, 128);
+        prop_assert_eq!(clustering.field_count(), n);
+        let hottest = flg.fields_by_hotness()[0];
+        prop_assert_eq!(clustering.cluster_of(hottest), Some(0));
+        // Each non-seed member had positive gain into the growing cluster
+        // at insertion time.
+        for cl in clustering.clusters() {
+            for (i, &f) in cl.iter().enumerate().skip(1) {
+                let gain = flg.gain_into(f, &cl[..i]);
+                prop_assert!(
+                    gain > 0.0,
+                    "member {} joined with non-positive gain {}", f, gain
+                );
+            }
+        }
+    }
+
+    /// The important subgraph never keeps more positive edges than asked
+    /// for, keeps the most negative edge, and keeps no tiny-noise
+    /// negatives below the floor.
+    #[test]
+    fn subgraph_filter_properties(flg in arb_flg(20), top in 0usize..10) {
+        let params = SubgraphParams { top_positive: top, negative_floor: 0.05 };
+        let sub = important_subgraph(&flg, params);
+        let edges = sub.edges();
+        let positives = edges.iter().filter(|e| e.2 > 0.0).count();
+        prop_assert!(positives <= top);
+        let most_negative = flg.edges().iter().map(|e| e.2).fold(0.0f64, f64::min);
+        if most_negative < 0.0 {
+            // The most negative edge survives.
+            prop_assert!(edges.iter().any(|e| e.2 == most_negative));
+            // Nothing below the floor survives.
+            for e in &edges {
+                if e.2 < 0.0 {
+                    prop_assert!(-e.2 >= most_negative.abs() * params.negative_floor);
+                }
+            }
+        }
+        // Subgraph edges are a subset of the original edges.
+        for (f1, f2, w) in &edges {
+            prop_assert_eq!(flg.weight(*f1, *f2), *w);
+        }
+    }
+
+    /// The constrained edit always yields a permutation, satisfies the
+    /// separation constraints whenever every constrained cluster fits in a
+    /// line, and reduces to the original when there are no constraints.
+    #[test]
+    fn constrained_edit_properties(flg in arb_flg(16)) {
+        let n = flg.field_count();
+        let rec = record_u64(n);
+        let original = StructLayout::declaration_order(&rec, 128).unwrap();
+        let layout = best_effort_layout(
+            &rec,
+            &original,
+            &flg,
+            SubgraphParams::default(),
+            128,
+        )
+        .unwrap();
+        let mut order = layout.order().to_vec();
+        order.sort();
+        prop_assert_eq!(order, rec.field_indices().collect::<Vec<_>>());
+
+        // Recompute the constraints independently and check separation
+        // (u64 fields: 16 per line, so any cluster <= 16 fields fits).
+        let sub = important_subgraph(&flg, SubgraphParams::default());
+        let clustering = cluster(&sub, &rec, 128);
+        let constraints = Constraints::from_clustering(&sub, &clustering);
+        if constraints.groups.iter().all(|g| g.len() <= 16) {
+            for (i, ga) in constraints.groups.iter().enumerate() {
+                for gb in &constraints.groups[i + 1..] {
+                    for &fa in ga {
+                        for &fb in gb {
+                            prop_assert!(
+                                !layout.share_line(fa, fb),
+                                "constraint violated: {} and {} share a line", fa, fb
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// With no edges at all, the constrained edit is the identity.
+    #[test]
+    fn no_constraints_is_identity(n in 2usize..16, hot in prop::collection::vec(0u64..100, 16)) {
+        let flg = Flg::from_parts(RecordId(0), hot[..n].to_vec(), vec![]);
+        let rec = record_u64(n);
+        let original = StructLayout::declaration_order(&rec, 128).unwrap();
+        let layout =
+            constrained_layout(&rec, &original, &Constraints { groups: vec![] }, 128).unwrap();
+        prop_assert_eq!(layout.order(), original.order());
+        prop_assert_eq!(layout.size(), original.size());
+        let _ = flg;
+    }
+}

@@ -1,0 +1,280 @@
+//! Ergonomic construction of [`Function`]s and [`Program`]s.
+//!
+//! [`FunctionBuilder`] assigns each basic block a *local* source line
+//! (`line0`, `line1`, …). [`ProgramBuilder::add`] rebases those lines into a
+//! program-wide unique range, mirroring a compiler's source correlation
+//! table where every block of every function maps to a distinct line. Use
+//! [`FunctionBuilder::set_line`] to deliberately alias lines (coarse debug
+//! info).
+
+use crate::cfg::{
+    AccessKind, BasicBlock, BlockId, FieldAccess, FuncId, Function, Instr, InstanceSlot, Program,
+    Terminator,
+};
+use crate::source::SourceLine;
+use crate::types::{FieldIdx, RecordId, TypeRegistry};
+
+/// Incremental builder for a [`Function`].
+#[derive(Clone, Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder { name: name.into(), blocks: Vec::new() }
+    }
+
+    /// Adds an empty block (terminator defaults to [`Terminator::Ret`]) and
+    /// returns its id. The block's source line defaults to its index.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock {
+            instrs: Vec::new(),
+            term: Terminator::Ret,
+            line: SourceLine(id.0),
+        });
+        id
+    }
+
+    /// Appends an instruction to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn push(&mut self, block: BlockId, instr: Instr) -> &mut Self {
+        self.blocks[block.index()].instrs.push(instr);
+        self
+    }
+
+    /// Appends a field read.
+    pub fn read(
+        &mut self,
+        block: BlockId,
+        record: RecordId,
+        field: FieldIdx,
+        slot: InstanceSlot,
+    ) -> &mut Self {
+        self.push(
+            block,
+            Instr::Access(FieldAccess { record, field, kind: AccessKind::Read, slot }),
+        )
+    }
+
+    /// Appends a field write.
+    pub fn write(
+        &mut self,
+        block: BlockId,
+        record: RecordId,
+        field: FieldIdx,
+        slot: InstanceSlot,
+    ) -> &mut Self {
+        self.push(
+            block,
+            Instr::Access(FieldAccess { record, field, kind: AccessKind::Write, slot }),
+        )
+    }
+
+    /// Appends opaque computation costing `cycles`.
+    pub fn compute(&mut self, block: BlockId, cycles: u32) -> &mut Self {
+        self.push(block, Instr::Compute(cycles))
+    }
+
+    /// Appends a call.
+    pub fn call(&mut self, block: BlockId, callee: FuncId) -> &mut Self {
+        self.push(block, Instr::Call(callee))
+    }
+
+    /// Sets a block's terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn set_term(&mut self, block: BlockId, term: Terminator) -> &mut Self {
+        self.blocks[block.index()].term = term;
+        self
+    }
+
+    /// Sets an unconditional jump terminator.
+    pub fn jump(&mut self, from: BlockId, to: BlockId) -> &mut Self {
+        self.set_term(from, Terminator::Jump(to))
+    }
+
+    /// Sets a probabilistic branch terminator.
+    pub fn branch(
+        &mut self,
+        from: BlockId,
+        taken: BlockId,
+        not_taken: BlockId,
+        prob_taken: f64,
+    ) -> &mut Self {
+        self.set_term(from, Terminator::Branch { taken, not_taken, prob_taken })
+    }
+
+    /// Sets a counted-loop latch terminator: jump to `back` until this block
+    /// has executed `trip` times in the current activation, then to `exit`.
+    pub fn loop_latch(
+        &mut self,
+        from: BlockId,
+        back: BlockId,
+        exit: BlockId,
+        trip: u32,
+    ) -> &mut Self {
+        self.set_term(from, Terminator::Loop { back, exit, trip })
+    }
+
+    /// Overrides the block's (function-local) source line. Use to model
+    /// several blocks collapsing onto one line.
+    pub fn set_line(&mut self, block: BlockId, local_line: u32) -> &mut Self {
+        self.blocks[block.index()].line = SourceLine(local_line);
+        self
+    }
+
+    /// Number of blocks added so far.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed control flow (see [`Function::new`]).
+    pub fn build(self, entry: BlockId) -> Function {
+        Function::new(self.name, self.blocks, entry)
+    }
+}
+
+/// Builds a [`Program`], rebasing function-local source lines into a
+/// program-wide unique space.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    next_line: u32,
+}
+
+impl ProgramBuilder {
+    /// Starts a program over the given types.
+    pub fn new(registry: TypeRegistry) -> Self {
+        ProgramBuilder { program: Program::new(registry), next_line: 0 }
+    }
+
+    /// Finishes `builder`, rebases its source lines to a fresh range, and
+    /// adds it to the program.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`FunctionBuilder::build`] and
+    /// [`Program::add_function`].
+    pub fn add(&mut self, builder: FunctionBuilder, entry: BlockId) -> FuncId {
+        let mut func = builder.build(entry);
+        let mut max_line = 0u32;
+        for b in 0..func.block_count() {
+            max_line = max_line.max(func.block(BlockId(b as u32)).line.0);
+        }
+        let base = self.next_line;
+        self.next_line = base + max_line + 1;
+        // Rebase lines in place.
+        let rebased = Function::new(
+            func.name().to_string(),
+            (0..func.block_count())
+                .map(|i| {
+                    let blk = func.block(BlockId(i as u32)).clone();
+                    BasicBlock { line: SourceLine(blk.line.0 + base), ..blk }
+                })
+                .collect(),
+            func.entry(),
+        );
+        func = rebased;
+        self.program.add_function(func)
+    }
+
+    /// A read-only view of the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Finishes and returns the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{FieldType, PrimType, RecordType};
+
+    fn registry() -> (TypeRegistry, RecordId) {
+        let mut reg = TypeRegistry::new();
+        let r = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("f1", FieldType::Prim(PrimType::U64)),
+                ("f2", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        (reg, r)
+    }
+
+    #[test]
+    fn builder_constructs_blocks_and_instrs() {
+        let (_, r) = registry();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.read(b0, r, FieldIdx(0), InstanceSlot(0))
+            .write(b0, r, FieldIdx(1), InstanceSlot(0))
+            .compute(b0, 10)
+            .jump(b0, b1);
+        let f = fb.build(b0);
+        assert_eq!(f.block_count(), 2);
+        assert_eq!(f.block(b0).instrs.len(), 3);
+        assert_eq!(f.block(b0).accesses().count(), 2);
+        assert_eq!(f.successors(b0), vec![b1]);
+    }
+
+    #[test]
+    fn program_builder_rebases_lines_uniquely() {
+        let (reg, r) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+
+        let mut f1 = FunctionBuilder::new("one");
+        let a0 = f1.add_block();
+        let a1 = f1.add_block();
+        f1.read(a0, r, FieldIdx(0), InstanceSlot(0)).jump(a0, a1);
+        let id1 = pb.add(f1, a0);
+
+        let mut f2 = FunctionBuilder::new("two");
+        let c0 = f2.add_block();
+        f2.write(c0, r, FieldIdx(1), InstanceSlot(0));
+        let id2 = pb.add(f2, c0);
+
+        let prog = pb.finish();
+        let mut lines = std::collections::HashSet::new();
+        for (_, f) in prog.functions() {
+            for (_, b) in f.blocks() {
+                assert!(lines.insert(b.line), "line {} reused across blocks", b.line);
+            }
+        }
+        assert_eq!(lines.len(), 3);
+        assert_ne!(id1, id2);
+    }
+
+    #[test]
+    fn set_line_allows_aliasing_within_function() {
+        let (reg, _) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.set_line(b1, 0); // collapse onto b0's line
+        fb.jump(b0, b1);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let f = prog.function(id);
+        assert_eq!(f.block(b0).line, f.block(b1).line);
+    }
+}

@@ -1,0 +1,489 @@
+//! Functions, basic blocks, instructions and control flow.
+//!
+//! The IR is intentionally small: the analyses of the paper need to know
+//! *which fields are accessed where* (and whether an access reads or
+//! writes), the loop structure, and execution frequencies. Computation other
+//! than field accesses is abstracted as [`Instr::Compute`] with a cycle
+//! cost, which the simulator charges to the executing CPU.
+//!
+//! Control flow supports straight-line code, probabilistic branches and
+//! counted loops. Counted loops ([`Terminator::Loop`]) give the workload
+//! deterministic trip counts, which both the profiling interpreter and the
+//! multiprocessor engine honour.
+
+use crate::source::SourceLine;
+use crate::types::{FieldIdx, RecordId, TypeRegistry};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a [`Function`] inside a [`Program`].
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifies a [`BasicBlock`] inside a [`Function`].
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An *instance slot*: a placeholder for the base address of a structure
+/// instance, bound by the caller at invocation time.
+///
+/// The IR never names concrete addresses. A function accessing `slot 0` of
+/// `struct proc` can be invoked by one CPU against a shared instance and by
+/// another against a per-CPU instance; only the binding differs. This
+/// mirrors how the paper's analysis cannot (without alias analysis)
+/// distinguish instances — see the CycleLoss over-approximation discussion
+/// in §3.2 of the paper.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct InstanceSlot(pub u8);
+
+impl fmt::Display for InstanceSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// Whether a field access reads or writes.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash)]
+pub enum AccessKind {
+    /// A load of the field.
+    Read,
+    /// A store to the field.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single field access instruction.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash)]
+pub struct FieldAccess {
+    /// The record type being accessed.
+    pub record: RecordId,
+    /// The field of that record.
+    pub field: FieldIdx,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Which bound instance the access targets.
+    pub slot: InstanceSlot,
+}
+
+/// An IR instruction.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum Instr {
+    /// Access a structure field.
+    Access(FieldAccess),
+    /// Opaque computation costing the given number of cycles.
+    Compute(u32),
+    /// Call another function (bindings are inherited from the caller).
+    Call(FuncId),
+}
+
+/// Decides where control goes at the end of a basic block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Probabilistic two-way branch. Interpreters draw from a seeded RNG,
+    /// taking `taken` with probability `prob_taken`.
+    Branch {
+        /// Target when the branch is taken.
+        taken: BlockId,
+        /// Target when the branch falls through.
+        not_taken: BlockId,
+        /// Probability of taking the branch, in `[0, 1]`.
+        prob_taken: f64,
+    },
+    /// Counted loop latch: jumps to `back` until the block has executed
+    /// `trip` times in the current function activation, then exits to
+    /// `exit` (and resets its counter).
+    Loop {
+        /// Loop back-edge target (the loop header).
+        back: BlockId,
+        /// Loop exit target.
+        exit: BlockId,
+        /// Total number of latch executions per activation.
+        trip: u32,
+    },
+    /// Return from the function.
+    Ret,
+}
+
+/// A basic block: straight-line instructions plus a terminator, tagged with
+/// a source line for sample correlation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BasicBlock {
+    /// The block's instructions in order.
+    pub instrs: Vec<Instr>,
+    /// The block's terminator.
+    pub term: Terminator,
+    /// Source line the block maps back to (for the Field Mapping File and
+    /// the Concurrency Map).
+    pub line: SourceLine,
+}
+
+impl BasicBlock {
+    /// Iterates over the block's field accesses.
+    pub fn accesses(&self) -> impl Iterator<Item = &FieldAccess> {
+        self.instrs.iter().filter_map(|i| match i {
+            Instr::Access(a) => Some(a),
+            _ => None,
+        })
+    }
+}
+
+/// A function: an entry block and a CFG of basic blocks.
+#[derive(Clone, Debug)]
+pub struct Function {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+}
+
+impl Function {
+    /// Creates a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, if `entry` or any terminator target is
+    /// out of range — malformed CFGs are construction bugs.
+    pub fn new(name: impl Into<String>, blocks: Vec<BasicBlock>, entry: BlockId) -> Self {
+        assert!(!blocks.is_empty(), "function must have at least one block");
+        let n = blocks.len();
+        let check = |b: BlockId| {
+            assert!(b.index() < n, "terminator target {b} out of range ({n} blocks)")
+        };
+        check(entry);
+        for b in &blocks {
+            match b.term {
+                Terminator::Jump(t) => check(t),
+                Terminator::Branch { taken, not_taken, prob_taken } => {
+                    assert!(
+                        (0.0..=1.0).contains(&prob_taken),
+                        "branch probability {prob_taken} outside [0, 1]"
+                    );
+                    check(taken);
+                    check(not_taken);
+                }
+                Terminator::Loop { back, exit, .. } => {
+                    check(back);
+                    check(exit);
+                }
+                Terminator::Ret => {}
+            }
+        }
+        Function { name: name.into(), blocks, entry }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)`.
+    pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Successor blocks of `id` in CFG order.
+    pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
+        match self.block(id).term {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch { taken, not_taken, .. } => vec![taken, not_taken],
+            Terminator::Loop { back, exit, .. } => vec![back, exit],
+            Terminator::Ret => vec![],
+        }
+    }
+
+    /// Predecessor lists for every block, indexed by block id.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, _) in self.blocks() {
+            for s in self.successors(id) {
+                preds[s.index()].push(id);
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// appended at the end in id order so every block appears exactly once.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = self.successors(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        for i in 0..n {
+            if !visited[i] {
+                post.push(BlockId(i as u32));
+            }
+        }
+        post
+    }
+}
+
+/// A whole program: a type registry plus functions.
+#[derive(Clone, Debug)]
+pub struct Program {
+    registry: TypeRegistry,
+    funcs: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl Program {
+    /// Creates a program over the given types with no functions yet.
+    pub fn new(registry: TypeRegistry) -> Self {
+        Program { registry, funcs: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Adds a function and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name exists, or if the function
+    /// calls a function id that has not been added yet (forward calls must
+    /// be added in topological order; recursion is not supported by the
+    /// interpreters).
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        for (_, b) in func.blocks() {
+            for i in &b.instrs {
+                if let Instr::Call(callee) = i {
+                    assert!(
+                        callee.0 < id.0,
+                        "function `{}` calls {callee} which is not yet defined",
+                        func.name()
+                    );
+                }
+                if let Instr::Access(a) = i {
+                    assert!(
+                        (a.record.0 as usize) < self.registry.len(),
+                        "access to unregistered record {}",
+                        a.record
+                    );
+                    let rec = self.registry.record(a.record);
+                    assert!(
+                        a.field.index() < rec.field_count(),
+                        "access to out-of-range field {} of `{}`",
+                        a.field,
+                        rec.name()
+                    );
+                }
+            }
+        }
+        let prev = self.by_name.insert(func.name().to_string(), id);
+        assert!(prev.is_none(), "duplicate function name `{}`", func.name());
+        self.funcs.push(func);
+        id
+    }
+
+    /// The program's type registry.
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Looks up a function by name.
+    pub fn lookup(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Iterates over `(FuncId, &Function)`.
+    pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{FieldType, PrimType, RecordType};
+
+    fn one_field_registry() -> (TypeRegistry, RecordId) {
+        let mut reg = TypeRegistry::new();
+        let r = reg.add_record(RecordType::new(
+            "S",
+            vec![("f", FieldType::Prim(PrimType::U64))],
+        ));
+        (reg, r)
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (reg, _) = one_field_registry();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.set_term(b0, Terminator::Branch { taken: b1, not_taken: b2, prob_taken: 0.5 });
+        fb.set_term(b1, Terminator::Jump(b2));
+        fb.set_term(b2, Terminator::Ret);
+        let f = fb.build(b0);
+        assert_eq!(f.successors(b0), vec![b1, b2]);
+        assert_eq!(f.successors(b2), vec![]);
+        let preds = f.predecessors();
+        assert_eq!(preds[b2.index()], vec![b0, b1]);
+        assert_eq!(preds[b0.index()], Vec::<BlockId>::new());
+        let mut prog = Program::new(reg);
+        let id = prog.add_function(f);
+        assert_eq!(prog.lookup("f"), Some(id));
+        assert_eq!(prog.function_count(), 1);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry_and_covers_all() {
+        let mut fb = FunctionBuilder::new("g");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block(); // unreachable
+        fb.set_term(b0, Terminator::Loop { back: b1, exit: b2, trip: 3 });
+        fb.set_term(b1, Terminator::Jump(b0));
+        fb.set_term(b2, Terminator::Ret);
+        fb.set_term(b3, Terminator::Ret);
+        let f = fb.build(b0);
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], b0);
+        assert!(rpo.contains(&b3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn function_rejects_dangling_target() {
+        Function::new(
+            "bad",
+            vec![BasicBlock {
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(7)),
+                line: SourceLine(0),
+            }],
+            BlockId(0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn program_rejects_forward_calls() {
+        let (reg, _) = one_field_registry();
+        let mut prog = Program::new(reg);
+        let mut fb = FunctionBuilder::new("caller");
+        let b = fb.add_block();
+        fb.push(b, Instr::Call(FuncId(5)));
+        fb.set_term(b, Terminator::Ret);
+        prog.add_function(fb.build(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range field")]
+    fn program_rejects_bad_field_access() {
+        let (reg, r) = one_field_registry();
+        let mut prog = Program::new(reg);
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.add_block();
+        fb.push(
+            b,
+            Instr::Access(FieldAccess {
+                record: r,
+                field: FieldIdx(3),
+                kind: AccessKind::Read,
+                slot: InstanceSlot(0),
+            }),
+        );
+        fb.set_term(b, Terminator::Ret);
+        prog.add_function(fb.build(b));
+    }
+
+    #[test]
+    fn block_access_iterator_skips_compute() {
+        let (_, r) = one_field_registry();
+        let b = BasicBlock {
+            instrs: vec![
+                Instr::Compute(5),
+                Instr::Access(FieldAccess {
+                    record: r,
+                    field: FieldIdx(0),
+                    kind: AccessKind::Write,
+                    slot: InstanceSlot(0),
+                }),
+            ],
+            term: Terminator::Ret,
+            line: SourceLine(1),
+        };
+        let accs: Vec<_> = b.accesses().collect();
+        assert_eq!(accs.len(), 1);
+        assert!(accs[0].kind.is_write());
+    }
+}

@@ -1,0 +1,230 @@
+//! Dominator computation (Cooper–Harvey–Kennedy).
+//!
+//! Loop detection ([`crate::loops`]) needs dominators to recognize back
+//! edges. The implementation is the classic "engineered" iterative
+//! algorithm over reverse postorder; it is simple, allocation-light and
+//! fast enough for the function sizes this workspace produces.
+
+use crate::cfg::{BlockId, Function};
+
+/// The dominator tree of a function's CFG.
+///
+/// Unreachable blocks have no immediate dominator and are reported as not
+/// dominated by anything (including themselves being queried against other
+/// blocks).
+#[derive(Clone, Debug)]
+pub struct DominatorTree {
+    /// `idom[b]` = immediate dominator of block `b`; `idom[entry] = entry`.
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Position of each block in reverse postorder (usize::MAX if
+    /// unreachable).
+    rpo_index: Vec<usize>,
+    entry: BlockId,
+}
+
+impl DominatorTree {
+    /// Computes dominators for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.block_count();
+        let rpo = func.reverse_postorder();
+        let preds = func.predecessors();
+
+        // rpo_index only for *reachable* blocks (prefix of rpo until the
+        // appended unreachable tail). Reachability = appears before any
+        // unreachable padding; recompute reachability via DFS marker: a
+        // block is reachable iff it is the entry or has a reachable
+        // predecessor that appears earlier. Simpler: redo a reachability
+        // scan here.
+        let mut reachable = vec![false; n];
+        let mut stack = vec![func.entry()];
+        reachable[func.entry().index()] = true;
+        while let Some(b) = stack.pop() {
+            for s in func.successors(b) {
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            if reachable[b.index()] {
+                rpo_index[b.index()] = i;
+            }
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry().index()] = Some(func.entry());
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_index[x.index()] > rpo_index[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_index[y.index()] > rpo_index[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter() {
+                if b == func.entry() || !reachable[b.index()] {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        DominatorTree { idom, rpo_index, entry: func.entry() }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and for unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable: nothing dominates it
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+
+    /// Position of `b` in reverse postorder (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::cfg::Terminator;
+
+    /// Diamond: 0 -> {1,2} -> 3.
+    #[test]
+    fn diamond() {
+        let mut fb = FunctionBuilder::new("d");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.branch(b0, b1, b2, 0.5);
+        fb.jump(b1, b3);
+        fb.jump(b2, b3);
+        fb.set_term(b3, Terminator::Ret);
+        let f = fb.build(b0);
+        let dt = DominatorTree::compute(&f);
+        assert_eq!(dt.idom(b0), None);
+        assert_eq!(dt.idom(b1), Some(b0));
+        assert_eq!(dt.idom(b2), Some(b0));
+        assert_eq!(dt.idom(b3), Some(b0));
+        assert!(dt.dominates(b0, b3));
+        assert!(!dt.dominates(b1, b3));
+        assert!(dt.dominates(b3, b3));
+    }
+
+    /// Loop: 0 -> 1 (header) -> 2 (body/latch) -> 1, 1 -> 3 exit.
+    #[test]
+    fn simple_loop() {
+        let mut fb = FunctionBuilder::new("l");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.jump(b0, b1);
+        fb.branch(b1, b2, b3, 0.9);
+        fb.loop_latch(b2, b1, b3, 10);
+        let f = fb.build(b0);
+        let dt = DominatorTree::compute(&f);
+        assert_eq!(dt.idom(b1), Some(b0));
+        assert_eq!(dt.idom(b2), Some(b1));
+        assert_eq!(dt.idom(b3), Some(b1));
+        assert!(dt.dominates(b1, b2));
+        assert!(!dt.dominates(b2, b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut fb = FunctionBuilder::new("u");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block(); // unreachable
+        fb.set_term(b0, Terminator::Ret);
+        fb.set_term(b1, Terminator::Ret);
+        let f = fb.build(b0);
+        let dt = DominatorTree::compute(&f);
+        assert!(dt.is_reachable(b0));
+        assert!(!dt.is_reachable(b1));
+        assert!(!dt.dominates(b0, b1));
+        assert_eq!(dt.idom(b1), None);
+    }
+
+    /// Nested loops: outer header 1, inner header 2.
+    #[test]
+    fn nested_loop_dominators() {
+        let mut fb = FunctionBuilder::new("n");
+        let b0 = fb.add_block(); // entry
+        let b1 = fb.add_block(); // outer header
+        let b2 = fb.add_block(); // inner header
+        let b3 = fb.add_block(); // inner latch
+        let b4 = fb.add_block(); // outer latch
+        let b5 = fb.add_block(); // exit
+        fb.jump(b0, b1);
+        fb.jump(b1, b2);
+        fb.jump(b2, b3);
+        fb.loop_latch(b3, b2, b4, 5);
+        fb.loop_latch(b4, b1, b5, 3);
+        let f = fb.build(b0);
+        let dt = DominatorTree::compute(&f);
+        assert_eq!(dt.idom(b2), Some(b1));
+        assert_eq!(dt.idom(b3), Some(b2));
+        assert_eq!(dt.idom(b4), Some(b3));
+        assert!(dt.dominates(b1, b4));
+        assert!(dt.dominates(b2, b3));
+    }
+}

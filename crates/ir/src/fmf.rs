@@ -1,0 +1,172 @@
+//! The Field Mapping File (paper §4.3).
+//!
+//! Maps source lines to the structure fields accessed by the basic blocks
+//! on those lines, with read/write flags. The sampler resolves sampled IPs
+//! to source lines; joining its Concurrency Map with this mapping yields
+//! per-field-pair CycleLoss (done in `slopt-sample`).
+
+use crate::cfg::Program;
+use crate::source::SourceLine;
+use crate::types::{FieldIdx, RecordId};
+use std::collections::HashMap;
+
+/// Read/write access counts of one field at one source line (static
+/// occurrence counts, not profile-weighted).
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct Rw {
+    /// Number of read occurrences.
+    pub reads: u32,
+    /// Number of write occurrences.
+    pub writes: u32,
+}
+
+impl Rw {
+    /// Whether the line contains at least one write of the field.
+    pub fn has_write(&self) -> bool {
+        self.writes > 0
+    }
+}
+
+/// Source line → fields accessed (the compiler-emitted FMF).
+#[derive(Clone, Debug, Default)]
+pub struct FieldMap {
+    map: HashMap<SourceLine, HashMap<(RecordId, FieldIdx), Rw>>,
+}
+
+impl FieldMap {
+    /// Builds the field map for a whole program by walking every block.
+    pub fn build(program: &Program) -> Self {
+        let mut map: HashMap<SourceLine, HashMap<(RecordId, FieldIdx), Rw>> = HashMap::new();
+        for (_, func) in program.functions() {
+            for (_, block) in func.blocks() {
+                if block.accesses().next().is_none() {
+                    continue;
+                }
+                let entry = map.entry(block.line).or_default();
+                for a in block.accesses() {
+                    let rw = entry.entry((a.record, a.field)).or_default();
+                    if a.kind.is_write() {
+                        rw.writes += 1;
+                    } else {
+                        rw.reads += 1;
+                    }
+                }
+            }
+        }
+        FieldMap { map }
+    }
+
+    /// Fields accessed at `line`, as `((record, field), rw)` pairs in
+    /// unspecified order. Empty if the line has no field accesses.
+    pub fn fields_at(
+        &self,
+        line: SourceLine,
+    ) -> impl Iterator<Item = ((RecordId, FieldIdx), Rw)> + '_ {
+        self.map
+            .get(&line)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+    }
+
+    /// All lines that access at least one field.
+    pub fn lines(&self) -> impl Iterator<Item = SourceLine> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Number of lines with field accesses.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no line accesses any field.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::cfg::InstanceSlot;
+    use crate::types::{FieldType, PrimType, RecordType, TypeRegistry};
+
+    #[test]
+    fn build_collects_fields_per_line() {
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("a", FieldType::Prim(PrimType::U64)),
+                ("b", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.read(b0, s, FieldIdx(0), InstanceSlot(0));
+        fb.write(b0, s, FieldIdx(0), InstanceSlot(0));
+        fb.write(b1, s, FieldIdx(1), InstanceSlot(0));
+        fb.jump(b0, b1);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let fmf = FieldMap::build(&prog);
+        assert_eq!(fmf.len(), 2);
+
+        let f = prog.function(id);
+        let line0 = f.block(b0).line;
+        let line1 = f.block(b1).line;
+        let at0: Vec<_> = fmf.fields_at(line0).collect();
+        assert_eq!(at0.len(), 1);
+        let ((rec, fi), rw) = at0[0];
+        assert_eq!(rec, s);
+        assert_eq!(fi, FieldIdx(0));
+        assert_eq!(rw, Rw { reads: 1, writes: 1 });
+        assert!(rw.has_write());
+
+        let at1: Vec<_> = fmf.fields_at(line1).collect();
+        assert_eq!(at1[0].1, Rw { reads: 0, writes: 1 });
+        assert_eq!(fmf.fields_at(SourceLine(9999)).count(), 0);
+    }
+
+    #[test]
+    fn blocks_without_accesses_produce_no_lines() {
+        let reg = TypeRegistry::new();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        fb.compute(b0, 10);
+        pb.add(fb, b0);
+        let prog = pb.finish();
+        let fmf = FieldMap::build(&prog);
+        assert!(fmf.is_empty());
+        assert_eq!(fmf.lines().count(), 0);
+    }
+
+    #[test]
+    fn aliased_lines_merge_their_fields() {
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("a", FieldType::Prim(PrimType::U64)),
+                ("b", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.set_line(b1, 0); // same line as b0
+        fb.read(b0, s, FieldIdx(0), InstanceSlot(0));
+        fb.write(b1, s, FieldIdx(1), InstanceSlot(0));
+        fb.jump(b0, b1);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let fmf = FieldMap::build(&prog);
+        assert_eq!(fmf.len(), 1);
+        let line = prog.function(id).block(b0).line;
+        assert_eq!(fmf.fields_at(line).count(), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Function inlining — the mitigation the paper prescribes for the
+//! intra-procedural affinity approximation.
+//!
+//! §3.1: considering only intra-procedural paths "would result in some
+//! undercounting of CycleGain, \[but\] an aggressive inlining phase before
+//! this analysis would alleviate this problem." This pass rewrites a
+//! program so that `Call` instructions are replaced by the callee's
+//! blocks, splicing the callee's CFG into the caller:
+//!
+//! * the caller block containing the call is split at the call site;
+//! * the callee's blocks are copied in (ids shifted), its `Ret`s becoming
+//!   jumps to the split continuation;
+//! * copied blocks keep their **original source lines**, so sampling and
+//!   the Field Mapping File stay consistent (like debug info of inlined
+//!   code);
+//! * instance slots are inherited unchanged (callees already address the
+//!   caller's bindings, see [`crate::cfg::InstanceSlot`]).
+//!
+//! Inlining is applied bottom-up (callees have smaller ids than callers,
+//! which [`crate::cfg::Program`] guarantees), so one pass fully flattens
+//! the call graph, subject to a size budget.
+
+use crate::cfg::{BasicBlock, BlockId, Function, Instr, Program, Terminator};
+
+/// Limits for the inliner.
+#[derive(Copy, Clone, Debug)]
+pub struct InlineParams {
+    /// A function stops inlining once it holds this many blocks; further
+    /// calls stay as calls.
+    pub max_blocks: usize,
+}
+
+impl Default for InlineParams {
+    fn default() -> Self {
+        InlineParams { max_blocks: 2_000 }
+    }
+}
+
+fn shift_term(term: &Terminator, delta: u32, ret_to: BlockId) -> Terminator {
+    match *term {
+        Terminator::Jump(t) => Terminator::Jump(BlockId(t.0 + delta)),
+        Terminator::Branch { taken, not_taken, prob_taken } => Terminator::Branch {
+            taken: BlockId(taken.0 + delta),
+            not_taken: BlockId(not_taken.0 + delta),
+            prob_taken,
+        },
+        Terminator::Loop { back, exit, trip } => Terminator::Loop {
+            back: BlockId(back.0 + delta),
+            exit: BlockId(exit.0 + delta),
+            trip,
+        },
+        Terminator::Ret => Terminator::Jump(ret_to),
+    }
+}
+
+/// Inlines every `Call` in `func` whose callee is already flattened,
+/// returning the rewritten function. `flattened[i]` holds the (already
+/// processed) body of function `i`.
+fn inline_function(func: &Function, flattened: &[Function], params: InlineParams) -> Function {
+    let mut blocks: Vec<BasicBlock> = (0..func.block_count())
+        .map(|i| func.block(BlockId(i as u32)).clone())
+        .collect();
+
+    // Work queue of block indices still to scan (splits push new blocks).
+    let mut queue: Vec<usize> = (0..blocks.len()).collect();
+    while let Some(bi) = queue.pop() {
+        let call_pos = blocks[bi]
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Call(_)));
+        let Some(pos) = call_pos else { continue };
+        let Instr::Call(callee_id) = blocks[bi].instrs[pos] else { unreachable!() };
+        let callee = &flattened[callee_id.0 as usize];
+
+        if blocks.len() + callee.block_count() + 1 > params.max_blocks {
+            // Budget exhausted: keep this (and later) calls as calls.
+            continue;
+        }
+
+        // Split: the continuation gets the instructions after the call and
+        // the original terminator.
+        let cont_instrs: Vec<Instr> = blocks[bi].instrs.split_off(pos + 1);
+        blocks[bi].instrs.pop(); // drop the Call itself
+        let cont_id = BlockId(blocks.len() as u32);
+        let cont = BasicBlock {
+            instrs: cont_instrs,
+            term: blocks[bi].term.clone(),
+            line: blocks[bi].line,
+        };
+        blocks.push(cont);
+
+        // Copy the callee in, shifting block ids; Rets jump to `cont_id`.
+        let delta = blocks.len() as u32;
+        for i in 0..callee.block_count() {
+            let cb = callee.block(BlockId(i as u32));
+            blocks.push(BasicBlock {
+                instrs: cb.instrs.clone(),
+                term: shift_term(&cb.term, delta, cont_id),
+                line: cb.line,
+            });
+        }
+        // The split block now jumps to the callee's entry.
+        blocks[bi].term = Terminator::Jump(BlockId(callee.entry().0 + delta));
+
+        // Rescan: the continuation and the copied blocks may contain calls
+        // (copied blocks only if the callee kept calls under budget), and
+        // the current block may have had several calls.
+        queue.push(bi);
+        queue.push(cont_id.index());
+        for i in delta as usize..blocks.len() {
+            queue.push(i);
+        }
+    }
+
+    Function::new(func.name().to_string(), blocks, func.entry())
+}
+
+/// Flattens the whole program: every call that fits the budget is
+/// replaced by the callee's body. Record types and source lines are
+/// preserved; the result has the same observable behaviour under the
+/// interpreter and the engine.
+pub fn inline_program(program: &Program, params: InlineParams) -> Program {
+    let mut flattened: Vec<Function> = Vec::with_capacity(program.function_count());
+    for (_, func) in program.functions() {
+        // Callees have smaller ids, so `flattened` already holds them.
+        flattened.push(inline_function(func, &flattened, params));
+    }
+    let mut out = Program::new(program.registry().clone());
+    for f in flattened {
+        out.add_function(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::cfg::{FuncId, InstanceSlot};
+    use crate::interp::profile_invocations;
+    use crate::types::{FieldIdx, FieldType, PrimType, RecordType, TypeRegistry};
+
+    fn registry() -> (TypeRegistry, slopt_types::RecordId) {
+        let mut reg = TypeRegistry::new();
+        let r = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("a", FieldType::Prim(PrimType::U64)),
+                ("b", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        (reg, r)
+    }
+
+    use crate::types as slopt_types;
+
+    /// caller: [read a; call leaf; read b]  leaf: [write b]
+    fn call_program() -> (Program, FuncId, FuncId, slopt_types::RecordId) {
+        let (reg, r) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut leaf = FunctionBuilder::new("leaf");
+        let l0 = leaf.add_block();
+        leaf.write(l0, r, FieldIdx(1), InstanceSlot(0));
+        let leaf_id = pb.add(leaf, l0);
+
+        let mut caller = FunctionBuilder::new("caller");
+        let c0 = caller.add_block();
+        caller.read(c0, r, FieldIdx(0), InstanceSlot(0));
+        caller.call(c0, leaf_id);
+        caller.read(c0, r, FieldIdx(1), InstanceSlot(0));
+        let caller_id = pb.add(caller, c0);
+        (pb.finish(), caller_id, leaf_id, r)
+    }
+
+    #[test]
+    fn inlining_removes_calls_and_preserves_accesses() {
+        let (prog, caller_id, _, _) = call_program();
+        let flat = inline_program(&prog, InlineParams::default());
+        let caller = flat.function(caller_id);
+        for (_, b) in caller.blocks() {
+            assert!(
+                !b.instrs.iter().any(|i| matches!(i, Instr::Call(_))),
+                "no calls may remain"
+            );
+        }
+        // Same multiset of accesses.
+        let count = |p: &Program, f: FuncId| -> usize {
+            p.function(f).blocks().map(|(_, b)| b.accesses().count()).sum()
+        };
+        assert_eq!(count(&flat, caller_id), 3);
+        assert_eq!(count(&prog, caller_id), 2, "original kept the call");
+    }
+
+    #[test]
+    fn inlined_program_profiles_identically() {
+        let (prog, caller_id, leaf_id, _) = call_program();
+        let flat = inline_program(&prog, InlineParams::default());
+        let p1 = profile_invocations(&prog, &[caller_id], 5, 10_000).unwrap();
+        let p2 = profile_invocations(&flat, &[caller_id], 5, 10_000).unwrap();
+        // Original: caller block 1×, leaf block 1×. Flattened: three caller
+        // blocks 1× each. Total block executions: 2 -> 3 (the split), but
+        // the *leaf as a function* is never entered in the flat version.
+        assert_eq!(p1.count(leaf_id, BlockId(0)), 1);
+        assert_eq!(p2.count(leaf_id, BlockId(0)), 0);
+        assert_eq!(p2.count(caller_id, BlockId(0)), 1);
+        assert!(p2.total() >= p1.total());
+    }
+
+    /// The paper's §3.1 point: cross-procedure affinity appears only after
+    /// inlining.
+    #[test]
+    fn inlining_recovers_cross_procedure_affinity() {
+        use crate::affinity::AffinityGraph;
+        let (prog, caller_id, _, r) = call_program();
+
+        let profile = profile_invocations(&prog, &[caller_id; 10], 1, 100_000).unwrap();
+        let before = AffinityGraph::analyze(&prog, &profile, r);
+        assert_eq!(
+            before.weight(FieldIdx(0), FieldIdx(1)),
+            10,
+            "caller's own a/b accesses are affine, the leaf's write is not counted there"
+        );
+
+        let flat = inline_program(&prog, InlineParams::default());
+        let profile = profile_invocations(&flat, &[caller_id; 10], 1, 100_000).unwrap();
+        let after = AffinityGraph::analyze(&flat, &profile, r);
+        assert!(
+            after.weight(FieldIdx(0), FieldIdx(1)) >= before.weight(FieldIdx(0), FieldIdx(1)),
+            "inlining must not lose affinity"
+        );
+        // The leaf's write of `b` now contributes to hotness inside the
+        // caller's region.
+        assert_eq!(after.write_count(FieldIdx(1)), 10);
+        assert_eq!(after.hotness(FieldIdx(1)), 20, "write + caller read");
+    }
+
+    #[test]
+    fn nested_calls_flatten_transitively() {
+        let (reg, r) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut leaf = FunctionBuilder::new("leaf");
+        let l0 = leaf.add_block();
+        leaf.write(l0, r, FieldIdx(0), InstanceSlot(0));
+        let leaf_id = pb.add(leaf, l0);
+
+        let mut mid = FunctionBuilder::new("mid");
+        let m0 = mid.add_block();
+        mid.call(m0, leaf_id);
+        mid.call(m0, leaf_id);
+        let mid_id = pb.add(mid, m0);
+
+        let mut top = FunctionBuilder::new("top");
+        let t0 = top.add_block();
+        top.call(t0, mid_id);
+        let top_id = pb.add(top, t0);
+        let prog = pb.finish();
+
+        let flat = inline_program(&prog, InlineParams::default());
+        let accesses: usize = flat
+            .function(top_id)
+            .blocks()
+            .map(|(_, b)| b.accesses().count())
+            .sum();
+        assert_eq!(accesses, 2, "both transitive leaf writes are inlined into top");
+        let p = profile_invocations(&flat, &[top_id], 1, 10_000).unwrap();
+        assert_eq!(p.count(mid_id, BlockId(0)), 0);
+        assert_eq!(p.count(leaf_id, BlockId(0)), 0);
+    }
+
+    #[test]
+    fn calls_in_loops_inline_with_loop_semantics() {
+        let (reg, r) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut leaf = FunctionBuilder::new("leaf");
+        let l0 = leaf.add_block();
+        leaf.write(l0, r, FieldIdx(0), InstanceSlot(0));
+        let leaf_id = pb.add(leaf, l0);
+
+        let mut looper = FunctionBuilder::new("looper");
+        let e = looper.add_block();
+        let body = looper.add_block();
+        let x = looper.add_block();
+        looper.jump(e, body);
+        looper.call(body, leaf_id);
+        looper.loop_latch(body, body, x, 7);
+        let loop_id = pb.add(looper, e);
+        let prog = pb.finish();
+
+        let flat = inline_program(&prog, InlineParams::default());
+        // The write must execute 7 times in both versions.
+        let count_writes = |p: &Program| {
+            let profile = profile_invocations(p, &[loop_id], 1, 10_000).unwrap();
+            let mut writes = 0;
+            for (fid, f) in p.functions() {
+                for (bid, b) in f.blocks() {
+                    let w: u64 = b
+                        .accesses()
+                        .filter(|a| a.kind.is_write())
+                        .count() as u64;
+                    writes += w * profile.count(fid, bid);
+                }
+            }
+            writes
+        };
+        assert_eq!(count_writes(&prog), 7);
+        assert_eq!(count_writes(&flat), 7);
+    }
+
+    #[test]
+    fn budget_keeps_oversized_callees_as_calls() {
+        let (reg, r) = registry();
+        let mut pb = ProgramBuilder::new(reg);
+        let mut big = FunctionBuilder::new("big");
+        let first = big.add_block();
+        let mut prev = first;
+        for _ in 0..20 {
+            let b = big.add_block();
+            big.jump(prev, b);
+            prev = b;
+        }
+        big.write(prev, r, FieldIdx(0), InstanceSlot(0));
+        let big_id = pb.add(big, first);
+
+        let mut caller = FunctionBuilder::new("caller");
+        let c0 = caller.add_block();
+        caller.call(c0, big_id);
+        let caller_id = pb.add(caller, c0);
+        let prog = pb.finish();
+
+        let flat = inline_program(&prog, InlineParams { max_blocks: 10 });
+        let still_calls = flat
+            .function(caller_id)
+            .blocks()
+            .any(|(_, b)| b.instrs.iter().any(|i| matches!(i, Instr::Call(_))));
+        assert!(still_calls, "over-budget call must remain a call");
+        // And the program still runs correctly.
+        let p = profile_invocations(&flat, &[caller_id], 1, 10_000).unwrap();
+        assert_eq!(p.count(big_id, BlockId(0)), 1);
+    }
+
+    #[test]
+    fn source_lines_survive_inlining() {
+        let (prog, caller_id, leaf_id, _) = call_program();
+        let leaf_line = prog.function(leaf_id).block(BlockId(0)).line;
+        let flat = inline_program(&prog, InlineParams::default());
+        let lines: Vec<_> = flat
+            .function(caller_id)
+            .blocks()
+            .map(|(_, b)| b.line)
+            .collect();
+        assert!(
+            lines.contains(&leaf_line),
+            "inlined block keeps the callee's source line (like inline debug info)"
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! Reference single-threaded interpreter — the "profile collect" phase.
+//!
+//! Runs functions sequentially, counting block executions into a
+//! [`Profile`]. Probabilistic branches are resolved with a small embedded
+//! deterministic PRNG so profiles are reproducible from a seed. The
+//! interpreter is also used by tests as ground truth for the engine in
+//! `slopt-sim`.
+
+use crate::cfg::{BlockId, FuncId, Instr, Program, Terminator};
+use crate::profile::Profile;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an execution exceeds its fuel budget.
+///
+/// Fuel bounds the number of basic blocks executed, so that CFGs with
+/// pathological probabilistic branches (e.g. a self-loop taken with
+/// probability 1) terminate with an error instead of hanging.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct FuelExhausted {
+    /// The function being executed when fuel ran out.
+    pub func: FuncId,
+}
+
+impl fmt::Display for FuelExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fuel exhausted while executing {}", self.func)
+    }
+}
+
+impl Error for FuelExhausted {}
+
+/// SplitMix64 — tiny, deterministic, good-enough PRNG for branch decisions.
+///
+/// Embedded here so `slopt-ir` stays dependency-free; the multiprocessor
+/// engine uses `rand::SmallRng` instead.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits into the mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// The single-threaded profiling interpreter.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    rng: SplitMix64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with a deterministic branch seed.
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        Interp { program, rng: SplitMix64::new(seed) }
+    }
+
+    /// Executes `func` once, recording block counts into `profile`.
+    /// `fuel` is decremented per basic block executed (across calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FuelExhausted`] if the budget runs out.
+    pub fn run(
+        &mut self,
+        func: FuncId,
+        profile: &mut Profile,
+        fuel: &mut u64,
+    ) -> Result<(), FuelExhausted> {
+        let f = self.program.function(func);
+        let mut loop_counters: HashMap<BlockId, u32> = HashMap::new();
+        let mut cur = f.entry();
+        loop {
+            if *fuel == 0 {
+                return Err(FuelExhausted { func });
+            }
+            *fuel -= 1;
+            profile.record(func, cur, 1);
+            let block = f.block(cur);
+            for instr in &block.instrs {
+                if let Instr::Call(callee) = instr {
+                    self.run(*callee, profile, fuel)?;
+                }
+            }
+            match block.term {
+                Terminator::Jump(t) => cur = t,
+                Terminator::Branch { taken, not_taken, prob_taken } => {
+                    cur = if self.rng.next_f64() < prob_taken { taken } else { not_taken };
+                }
+                Terminator::Loop { back, exit, trip } => {
+                    let c = loop_counters.entry(cur).or_insert(0);
+                    *c += 1;
+                    if *c < trip {
+                        cur = back;
+                    } else {
+                        *c = 0;
+                        cur = exit;
+                    }
+                }
+                Terminator::Ret => return Ok(()),
+            }
+        }
+    }
+}
+
+/// Convenience: executes each function in `invocations` once, in order,
+/// and returns the merged profile.
+///
+/// # Errors
+///
+/// Returns [`FuelExhausted`] if the total block budget `fuel` runs out.
+pub fn profile_invocations(
+    program: &Program,
+    invocations: &[FuncId],
+    seed: u64,
+    mut fuel: u64,
+) -> Result<Profile, FuelExhausted> {
+    let mut interp = Interp::new(program, seed);
+    let mut profile = Profile::new();
+    for &f in invocations {
+        interp.run(f, &mut profile, &mut fuel)?;
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FunctionBuilder, ProgramBuilder};
+    use crate::types::TypeRegistry;
+
+    fn empty_program_builder() -> ProgramBuilder {
+        ProgramBuilder::new(TypeRegistry::new())
+    }
+
+    #[test]
+    fn straight_line_counts_once() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.jump(b0, b1);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let p = profile_invocations(&prog, &[id], 1, 1_000).unwrap();
+        assert_eq!(p.count(id, b0), 1);
+        assert_eq!(p.count(id, b1), 1);
+    }
+
+    #[test]
+    fn counted_loop_executes_trip_times() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block(); // entry
+        let b1 = fb.add_block(); // body+latch
+        let b2 = fb.add_block(); // exit
+        fb.jump(b0, b1);
+        fb.loop_latch(b1, b1, b2, 10);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let p = profile_invocations(&prog, &[id], 1, 1_000).unwrap();
+        assert_eq!(p.count(id, b1), 10);
+        assert_eq!(p.count(id, b2), 1);
+    }
+
+    #[test]
+    fn loop_counter_resets_between_invocations() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.loop_latch(b0, b0, b1, 3);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let p = profile_invocations(&prog, &[id, id, id], 1, 1_000).unwrap();
+        assert_eq!(p.count(id, b0), 9);
+        assert_eq!(p.count(id, b1), 3);
+    }
+
+    #[test]
+    fn branch_probabilities_are_respected_statistically() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.branch(b0, b1, b2, 0.25);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let runs = 10_000;
+        let invocations = vec![id; runs];
+        let p = profile_invocations(&prog, &invocations, 42, 10_000_000).unwrap();
+        let taken = p.count(id, b1) as f64 / runs as f64;
+        assert!((taken - 0.25).abs() < 0.02, "taken fraction {taken} too far from 0.25");
+    }
+
+    #[test]
+    fn calls_execute_callees() {
+        let mut pb = empty_program_builder();
+        let mut leaf = FunctionBuilder::new("leaf");
+        let l0 = leaf.add_block();
+        let leaf_id = pb.add(leaf, l0);
+
+        let mut caller = FunctionBuilder::new("caller");
+        let c0 = caller.add_block();
+        let c1 = caller.add_block();
+        caller.call(c0, leaf_id);
+        caller.call(c0, leaf_id);
+        caller.jump(c0, c1);
+        let caller_id = pb.add(caller, c0);
+        let prog = pb.finish();
+        let p = profile_invocations(&prog, &[caller_id], 1, 1_000).unwrap();
+        assert_eq!(p.count(leaf_id, l0), 2);
+        assert_eq!(p.count(caller_id, c0), 1);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_an_error_not_a_hang() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("spin");
+        let b0 = fb.add_block();
+        fb.branch(b0, b0, b0, 1.0);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let err = profile_invocations(&prog, &[id], 1, 100).unwrap_err();
+        assert_eq!(err, FuelExhausted { func: id });
+        assert!(err.to_string().contains("fuel exhausted"));
+    }
+
+    #[test]
+    fn same_seed_same_profile() {
+        let mut pb = empty_program_builder();
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        fb.branch(b0, b1, b2, 0.5);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let invocations = vec![id; 100];
+        let p1 = profile_invocations(&prog, &invocations, 7, 100_000).unwrap();
+        let p2 = profile_invocations(&prog, &invocations, 7, 100_000).unwrap();
+        assert_eq!(p1.count(id, b1), p2.count(id, b1));
+        let p3 = profile_invocations(&prog, &invocations, 8, 100_000).unwrap();
+        // Different seed will usually differ (not guaranteed, but with 100
+        // coin flips collision probability is negligible).
+        assert_ne!(
+            (p1.count(id, b1), p1.count(id, b2)),
+            (p3.count(id, b1), p3.count(id, b2))
+        );
+    }
+
+    #[test]
+    fn splitmix_is_uniform_ish() {
+        let mut rng = SplitMix64::new(123);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Natural-loop detection and the loop nesting forest.
+//!
+//! Affinity groups (paper §4.1) are formed "at the same level of
+//! granularity, for example, at the loop level, or in straight line code".
+//! We realize that by assigning every basic block to its *innermost*
+//! containing natural loop (or to the function's top level), and forming
+//! one affinity group per such region.
+
+use crate::cfg::{BlockId, Function};
+use crate::dom::DominatorTree;
+use std::collections::BTreeSet;
+
+/// Identifies a loop within a [`LoopForest`].
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct LoopId(pub u32);
+
+/// A natural loop.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// All blocks in the loop body, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// The immediately enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost loops have depth 1).
+    pub depth: u32,
+}
+
+/// All natural loops of a function, with innermost-loop lookup per block.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<NaturalLoop>,
+    /// Innermost loop containing each block (`None` = top level).
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects natural loops in `func` using its dominator tree.
+    ///
+    /// Back edges `n → h` with `h` dominating `n` define loops; loops with
+    /// the same header are merged (as usual for natural loops).
+    pub fn compute(func: &Function, dom: &DominatorTree) -> Self {
+        let n = func.block_count();
+        let preds = func.predecessors();
+
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (b, _) in func.blocks() {
+            if !dom.is_reachable(b) {
+                continue;
+            }
+            for s in func.successors(b) {
+                if dom.dominates(s, b) {
+                    // b -> s is a back edge with header s.
+                    match by_header.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => by_header.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+
+        // Natural loop body: header + all blocks that reach a latch without
+        // passing through the header (reverse reachability from latches).
+        let mut loops: Vec<NaturalLoop> = Vec::new();
+        for (header, latches) in by_header {
+            let mut body: BTreeSet<BlockId> = BTreeSet::new();
+            body.insert(header);
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if body.insert(l) {
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &preds[b.index()] {
+                    if dom.is_reachable(p) && body.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop { header, body, parent: None, depth: 0 });
+        }
+
+        // Sort loops by increasing body size so that parents (larger) come
+        // after children; then resolve parenting: the parent of loop L is
+        // the smallest loop strictly containing L's header that is not L.
+        loops.sort_by_key(|l| l.body.len());
+
+        // Parent of loop i = the smallest later (hence no-smaller) loop whose
+        // body contains i's header. For reducible CFGs natural loops are
+        // either disjoint or nested, so containment of the header implies
+        // containment of the whole body.
+        for i in 0..loops.len() {
+            let header = loops[i].header;
+            let parent = (i + 1..loops.len())
+                .find(|&j| loops[j].header != header && loops[j].body.contains(&header));
+            loops[i].parent = parent.map(|j| LoopId(j as u32));
+        }
+
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(LoopId(p)) = cur {
+                d += 1;
+                cur = loops[p as usize].parent;
+            }
+            loops[i].depth = d;
+        }
+
+        // Innermost loop per block: smallest loop containing it. Since
+        // loops are sorted by size, the first match is innermost.
+        let mut innermost = vec![None; n];
+        for b in 0..n {
+            let blk = BlockId(b as u32);
+            for (li, l) in loops.iter().enumerate() {
+                if l.body.contains(&blk) {
+                    innermost[b] = Some(LoopId(li as u32));
+                    break;
+                }
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// Number of loops.
+    pub fn loop_count(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn natural_loop(&self, id: LoopId) -> &NaturalLoop {
+        &self.loops[id.0 as usize]
+    }
+
+    /// Iterates over `(LoopId, &NaturalLoop)`, innermost (smallest) first.
+    pub fn loops(&self) -> impl Iterator<Item = (LoopId, &NaturalLoop)> {
+        self.loops.iter().enumerate().map(|(i, l)| (LoopId(i as u32), l))
+    }
+
+    /// The innermost loop containing `block`, if any.
+    pub fn innermost(&self, block: BlockId) -> Option<LoopId> {
+        self.innermost[block.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn forest(f: &Function) -> LoopForest {
+        let dt = DominatorTree::compute(f);
+        LoopForest::compute(f, &dt)
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut fb = FunctionBuilder::new("s");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        fb.jump(b0, b1);
+        let f = fb.build(b0);
+        let lf = forest(&f);
+        assert_eq!(lf.loop_count(), 0);
+        assert_eq!(lf.innermost(b0), None);
+        assert_eq!(lf.innermost(b1), None);
+    }
+
+    #[test]
+    fn single_loop_membership() {
+        // 0 -> 1(header) -> 2(latch) -> 1 ; 2 -> 3 exit.
+        let mut fb = FunctionBuilder::new("l");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        fb.jump(b0, b1);
+        fb.jump(b1, b2);
+        fb.loop_latch(b2, b1, b3, 4);
+        let f = fb.build(b0);
+        let lf = forest(&f);
+        assert_eq!(lf.loop_count(), 1);
+        let (id, l) = lf.loops().next().unwrap();
+        assert_eq!(l.header, b1);
+        assert_eq!(l.depth, 1);
+        assert!(l.body.contains(&b1) && l.body.contains(&b2));
+        assert!(!l.body.contains(&b0) && !l.body.contains(&b3));
+        assert_eq!(lf.innermost(b2), Some(id));
+        assert_eq!(lf.innermost(b0), None);
+        assert_eq!(lf.innermost(b3), None);
+    }
+
+    #[test]
+    fn nested_loops_have_correct_depths_and_innermost() {
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner latch) -> 2
+        // 3 -> 4(outer latch) -> 1 ; 4 -> 5 exit.
+        let mut fb = FunctionBuilder::new("n");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        let b4 = fb.add_block();
+        let b5 = fb.add_block();
+        fb.jump(b0, b1);
+        fb.jump(b1, b2);
+        fb.jump(b2, b3);
+        fb.loop_latch(b3, b2, b4, 8);
+        fb.loop_latch(b4, b1, b5, 2);
+        let f = fb.build(b0);
+        let lf = forest(&f);
+        assert_eq!(lf.loop_count(), 2);
+
+        let inner = lf.innermost(b3).expect("b3 in a loop");
+        let outer = lf.innermost(b4).expect("b4 in a loop");
+        assert_ne!(inner, outer);
+        assert_eq!(lf.natural_loop(inner).header, b2);
+        assert_eq!(lf.natural_loop(outer).header, b1);
+        assert_eq!(lf.natural_loop(inner).depth, 2);
+        assert_eq!(lf.natural_loop(outer).depth, 1);
+        assert_eq!(lf.natural_loop(inner).parent, Some(outer));
+        assert_eq!(lf.natural_loop(outer).parent, None);
+        // Inner blocks report the inner loop as innermost.
+        assert_eq!(lf.innermost(b2), Some(inner));
+        // Outer-only blocks report the outer loop.
+        assert_eq!(lf.innermost(b1), Some(outer));
+        assert_eq!(lf.innermost(b5), None);
+    }
+
+    #[test]
+    fn two_sibling_loops() {
+        // 0 -> 1(h1) -> 2(latch1) -> 1 ; 2 -> 3(h2) -> 4(latch2) -> 3 ; 4 -> 5.
+        let mut fb = FunctionBuilder::new("sib");
+        let b0 = fb.add_block();
+        let b1 = fb.add_block();
+        let b2 = fb.add_block();
+        let b3 = fb.add_block();
+        let b4 = fb.add_block();
+        let b5 = fb.add_block();
+        fb.jump(b0, b1);
+        fb.jump(b1, b2);
+        fb.loop_latch(b2, b1, b3, 3);
+        fb.jump(b3, b4);
+        fb.loop_latch(b4, b3, b5, 3);
+        let f = fb.build(b0);
+        let lf = forest(&f);
+        assert_eq!(lf.loop_count(), 2);
+        for (_, l) in lf.loops() {
+            assert_eq!(l.depth, 1);
+            assert_eq!(l.parent, None);
+            assert_eq!(l.body.len(), 2);
+        }
+        assert_ne!(lf.innermost(b1), lf.innermost(b3));
+    }
+}

@@ -1,0 +1,82 @@
+//! Execution profiles (PBO data): per-block execution counts.
+//!
+//! The paper's compiler collects precise edge counts in a profile-collect
+//! phase and feeds them back ("-ipo + PBO"). Here a [`Profile`] stores
+//! block execution counts per function; it is produced either by the
+//! reference interpreter ([`crate::interp`]) or by the multiprocessor
+//! engine in `slopt-sim`.
+
+use crate::cfg::{BlockId, FuncId};
+use std::collections::HashMap;
+
+/// Block execution counts for a program.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    counts: HashMap<(FuncId, BlockId), u64>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` executions of `block` in `func`.
+    pub fn record(&mut self, func: FuncId, block: BlockId, n: u64) {
+        *self.counts.entry((func, block)).or_insert(0) += n;
+    }
+
+    /// Execution count of `block` in `func` (0 if never executed).
+    pub fn count(&self, func: FuncId, block: BlockId) -> u64 {
+        self.counts.get(&(func, block)).copied().unwrap_or(0)
+    }
+
+    /// Merges another profile into this one (summing counts).
+    pub fn merge(&mut self, other: &Profile) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Total number of block executions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `((FuncId, BlockId), count)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = ((FuncId, BlockId), u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = Profile::new();
+        let f = FuncId(0);
+        p.record(f, BlockId(0), 3);
+        p.record(f, BlockId(0), 2);
+        p.record(f, BlockId(1), 7);
+        assert_eq!(p.count(f, BlockId(0)), 5);
+        assert_eq!(p.count(f, BlockId(1)), 7);
+        assert_eq!(p.count(f, BlockId(2)), 0);
+        assert_eq!(p.count(FuncId(1), BlockId(0)), 0);
+        assert_eq!(p.total(), 12);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Profile::new();
+        let mut b = Profile::new();
+        a.record(FuncId(0), BlockId(0), 1);
+        b.record(FuncId(0), BlockId(0), 2);
+        b.record(FuncId(1), BlockId(3), 4);
+        a.merge(&b);
+        assert_eq!(a.count(FuncId(0), BlockId(0)), 3);
+        assert_eq!(a.count(FuncId(1), BlockId(3)), 4);
+        assert_eq!(a.iter().count(), 2);
+    }
+}

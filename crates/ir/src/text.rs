@@ -1,0 +1,666 @@
+//! A textual serialization of `slopt-ir` programs (`.sir` files).
+//!
+//! The paper's tool consumed compiler-emitted report files "in a simple
+//! and easily parseable format"; this module plays that role for the
+//! standalone tool: records and functions can be written by hand (or
+//! emitted by another compiler's plugin), parsed into a [`Program`], and
+//! printed back losslessly.
+//!
+//! ## Format
+//!
+//! ```text
+//! record S {
+//!     pid: u64
+//!     name: u8[16]
+//!     lock: opaque(24, 8)
+//! }
+//!
+//! fn scan {
+//!     block entry {
+//!         read S.pid @0
+//!         write S.lock @1
+//!         compute 20
+//!         call helper
+//!         jump body
+//!     }
+//!     block body {
+//!         loop body exit 16
+//!     }
+//!     block exit {
+//!         ret
+//!     }
+//! }
+//! ```
+//!
+//! * Field types: `bool`, `u8/i8/u16/i16/u32/i32/u64/i64/f32/f64/ptr`,
+//!   arrays `elem[len]`, and `opaque(size, align)`.
+//! * Instructions: `read R.f @slot`, `write R.f @slot`, `compute N`,
+//!   `call fname`.
+//! * Each block ends with a terminator: `jump B`, `branch T F P`,
+//!   `loop BACK EXIT TRIP`, or `ret`. A block without an explicit
+//!   terminator returns.
+//! * The first block of a function is its entry.
+//! * `#` starts a comment to end of line.
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::cfg::{FuncId, Instr, InstanceSlot, Program, Terminator};
+use crate::types::{FieldType, PrimType, RecordType, TypeRegistry};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse error with its 1-based source line.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// One token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+fn tokenize(input: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split('#').next().unwrap_or("");
+        let mut cur = String::new();
+        let flush = |cur: &mut String, out: &mut Vec<Tok>| {
+            if !cur.is_empty() {
+                out.push(Tok { text: std::mem::take(cur), line });
+            }
+        };
+        for ch in code.chars() {
+            match ch {
+                '{' | '}' | ':' | '(' | ')' | ',' | '.' | '@' | '[' | ']' => {
+                    flush(&mut cur, &mut out);
+                    out.push(Tok { text: ch.to_string(), line });
+                }
+                c if c.is_whitespace() => flush(&mut cur, &mut out),
+                c => cur.push(c),
+            }
+        }
+        flush(&mut cur, &mut out);
+    }
+    out
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn cur_line(&self) -> usize {
+        self.peek().map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
+    }
+
+    fn expect(&mut self, what: &str) -> Result<Tok, ParseError> {
+        match self.next() {
+            Some(t) if t.text == what => Ok(t),
+            Some(t) => err(t.line, format!("expected `{what}`, found `{}`", t.text)),
+            None => err(self.cur_line(), format!("expected `{what}`, found end of input")),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Tok, ParseError> {
+        match self.next() {
+            Some(t)
+                if t.text.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !t.text.is_empty() =>
+            {
+                Ok(t)
+            }
+            Some(t) => err(t.line, format!("expected {what}, found `{}`", t.text)),
+            None => err(self.cur_line(), format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn number<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, ParseError> {
+        let t = self.ident(what)?;
+        t.text
+            .parse::<T>()
+            .map_err(|_| ParseError { line: t.line, message: format!("bad {what} `{}`", t.text) })
+    }
+
+    /// Parses a float that may span a `.` token (the tokenizer treats `.`
+    /// as punctuation for `Record.field` paths).
+    fn float(&mut self, what: &str) -> Result<f64, ParseError> {
+        let t = self.ident(what)?;
+        let mut text = t.text.clone();
+        if self.peek().is_some_and(|n| n.text == ".") {
+            self.next();
+            let frac = self.ident(what)?;
+            text.push('.');
+            text.push_str(&frac.text);
+        }
+        text.parse::<f64>()
+            .map_err(|_| ParseError { line: t.line, message: format!("bad {what} `{text}`") })
+    }
+}
+
+fn prim_of(name: &str) -> Option<PrimType> {
+    Some(match name {
+        "bool" => PrimType::Bool,
+        "u8" => PrimType::U8,
+        "i8" => PrimType::I8,
+        "u16" => PrimType::U16,
+        "i16" => PrimType::I16,
+        "u32" => PrimType::U32,
+        "i32" => PrimType::I32,
+        "u64" => PrimType::U64,
+        "i64" => PrimType::I64,
+        "f32" => PrimType::F32,
+        "f64" => PrimType::F64,
+        "ptr" => PrimType::Ptr,
+        _ => return None,
+    })
+}
+
+fn prim_name(p: PrimType) -> &'static str {
+    match p {
+        PrimType::Bool => "bool",
+        PrimType::U8 => "u8",
+        PrimType::I8 => "i8",
+        PrimType::U16 => "u16",
+        PrimType::I16 => "i16",
+        PrimType::U32 => "u32",
+        PrimType::I32 => "i32",
+        PrimType::U64 => "u64",
+        PrimType::I64 => "i64",
+        PrimType::F32 => "f32",
+        PrimType::F64 => "f64",
+        PrimType::Ptr => "ptr",
+    }
+}
+
+fn parse_field_type(p: &mut Parser) -> Result<FieldType, ParseError> {
+    let t = p.ident("a type name")?;
+    if t.text == "opaque" {
+        p.expect("(")?;
+        let size: u64 = p.number("opaque size")?;
+        p.expect(",")?;
+        let align: u64 = p.number("opaque alignment")?;
+        p.expect(")")?;
+        if size == 0 {
+            return err(t.line, "opaque size must be non-zero");
+        }
+        if !align.is_power_of_two() {
+            return err(t.line, format!("opaque alignment {align} is not a power of two"));
+        }
+        return Ok(FieldType::Opaque { size, align });
+    }
+    let Some(prim) = prim_of(&t.text) else {
+        return err(t.line, format!("unknown type `{}`", t.text));
+    };
+    if p.peek().is_some_and(|n| n.text == "[") {
+        p.expect("[")?;
+        let len: u64 = p.number("array length")?;
+        p.expect("]")?;
+        if len == 0 {
+            return err(t.line, "array length must be non-zero");
+        }
+        return Ok(FieldType::Array { elem: prim, len });
+    }
+    Ok(FieldType::Prim(prim))
+}
+
+/// Parses a `.sir` document into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on any syntax or
+/// semantic problem (unknown record/field/function, dangling block,
+/// duplicate names, calls to later-defined functions, …).
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let mut p = Parser { toks: tokenize(input), pos: 0 };
+    let mut registry = TypeRegistry::new();
+    // First pass gathers records inline (records must precede use; we
+    // enforce file order = definition order, like the builder API).
+    struct PendingFn {
+        name: String,
+        line: usize,
+        /// block name -> (instr list, terminator spec, line)
+        blocks: Vec<(String, Vec<RawInstr>, RawTerm, usize)>,
+    }
+    enum RawInstr {
+        Access { record: String, field: String, write: bool, slot: u8, line: usize },
+        Compute(u32),
+        Call { name: String, line: usize },
+    }
+    enum RawTerm {
+        Jump(String, usize),
+        Branch(String, String, f64, usize),
+        Loop(String, String, u32, usize),
+        Ret,
+    }
+
+    let mut fns: Vec<PendingFn> = Vec::new();
+
+    while let Some(tok) = p.next() {
+        match tok.text.as_str() {
+            "record" => {
+                let name = p.ident("a record name")?;
+                if registry.lookup(&name.text).is_some() {
+                    return err(name.line, format!("duplicate record `{}`", name.text));
+                }
+                p.expect("{")?;
+                let mut fields: Vec<(String, FieldType)> = Vec::new();
+                loop {
+                    if p.peek().is_some_and(|n| n.text == "}") {
+                        p.expect("}")?;
+                        break;
+                    }
+                    let t = p.ident("a field name")?;
+                    p.expect(":")?;
+                    let ty = parse_field_type(&mut p)?;
+                    if fields.iter().any(|(n, _)| *n == t.text) {
+                        return err(t.line, format!("duplicate field `{}`", t.text));
+                    }
+                    fields.push((t.text, ty));
+                }
+                if fields.is_empty() {
+                    return err(name.line, format!("record `{}` has no fields", name.text));
+                }
+                registry.add_record(RecordType::new(name.text, fields));
+            }
+            "fn" => {
+                let name = p.ident("a function name")?;
+                p.expect("{")?;
+                let mut blocks = Vec::new();
+                loop {
+                    match p.next() {
+                        Some(t) if t.text == "}" => break,
+                        Some(t) if t.text == "block" => {
+                            let bname = p.ident("a block name")?;
+                            p.expect("{")?;
+                            let mut instrs = Vec::new();
+                            let mut term = RawTerm::Ret;
+                            loop {
+                                let Some(t) = p.next() else {
+                                    return err(bname.line, "unterminated block");
+                                };
+                                match t.text.as_str() {
+                                    "}" => break,
+                                    "read" | "write" => {
+                                        let write = t.text == "write";
+                                        let rec = p.ident("a record name")?;
+                                        p.expect(".")?;
+                                        let field = p.ident("a field name")?;
+                                        p.expect("@")?;
+                                        let slot: u8 = p.number("slot index")?;
+                                        instrs.push(RawInstr::Access {
+                                            record: rec.text,
+                                            field: field.text,
+                                            write,
+                                            slot,
+                                            line: rec.line,
+                                        });
+                                    }
+                                    "compute" => {
+                                        instrs.push(RawInstr::Compute(p.number("cycle count")?));
+                                    }
+                                    "call" => {
+                                        let callee = p.ident("a function name")?;
+                                        instrs.push(RawInstr::Call {
+                                            name: callee.text,
+                                            line: callee.line,
+                                        });
+                                    }
+                                    "jump" => {
+                                        let t2 = p.ident("a block name")?;
+                                        term = RawTerm::Jump(t2.text, t2.line);
+                                        p.expect("}")?;
+                                        break;
+                                    }
+                                    "branch" => {
+                                        let a = p.ident("a block name")?;
+                                        let b = p.ident("a block name")?;
+                                        let prob: f64 = p.float("a probability")?;
+                                        if !(0.0..=1.0).contains(&prob) {
+                                            return err(a.line, "probability outside [0, 1]");
+                                        }
+                                        term = RawTerm::Branch(a.text, b.text, prob, a.line);
+                                        p.expect("}")?;
+                                        break;
+                                    }
+                                    "loop" => {
+                                        let back = p.ident("a block name")?;
+                                        let exit = p.ident("a block name")?;
+                                        let trip: u32 = p.number("a trip count")?;
+                                        term = RawTerm::Loop(back.text, exit.text, trip, back.line);
+                                        p.expect("}")?;
+                                        break;
+                                    }
+                                    "ret" => {
+                                        term = RawTerm::Ret;
+                                        p.expect("}")?;
+                                        break;
+                                    }
+                                    other => {
+                                        return err(
+                                            t.line,
+                                            format!("unknown instruction `{other}`"),
+                                        )
+                                    }
+                                }
+                            }
+                            blocks.push((bname.text, instrs, term, bname.line));
+                        }
+                        Some(t) => {
+                            return err(t.line, format!("expected `block` or `}}`, found `{}`", t.text))
+                        }
+                        None => return err(name.line, "unterminated function"),
+                    }
+                }
+                if blocks.is_empty() {
+                    return err(name.line, format!("function `{}` has no blocks", name.text));
+                }
+                if fns.iter().any(|f| f.name == name.text) {
+                    return err(name.line, format!("duplicate function `{}`", name.text));
+                }
+                fns.push(PendingFn { name: name.text, line: name.line, blocks });
+            }
+            other => return err(tok.line, format!("expected `record` or `fn`, found `{other}`")),
+        }
+    }
+
+    // Second pass: materialize functions.
+    let mut pb = ProgramBuilder::new(registry);
+    let mut fn_ids: HashMap<String, FuncId> = HashMap::new();
+    for pf in &fns {
+        let mut fb = FunctionBuilder::new(pf.name.clone());
+        let mut block_ids = HashMap::new();
+        for (bname, _, _, bline) in &pf.blocks {
+            if block_ids.insert(bname.clone(), fb.add_block()).is_some() {
+                return err(*bline, format!("duplicate block `{bname}` in `{}`", pf.name));
+            }
+        }
+        let lookup_block = |name: &str, line: usize| {
+            block_ids
+                .get(name)
+                .copied()
+                .ok_or(ParseError { line, message: format!("unknown block `{name}`") })
+        };
+        for (bname, instrs, term, _) in &pf.blocks {
+            let bid = block_ids[bname];
+            for ri in instrs {
+                match ri {
+                    RawInstr::Access { record, field, write, slot, line } => {
+                        let Some(rid) = pb.program().registry().lookup(record) else {
+                            return err(*line, format!("unknown record `{record}`"));
+                        };
+                        let rec_ty = pb.program().registry().record(rid);
+                        let Some(fidx) = rec_ty.field_by_name(field) else {
+                            return err(*line, format!("no field `{field}` in `{record}`"));
+                        };
+                        if *write {
+                            fb.write(bid, rid, fidx, InstanceSlot(*slot));
+                        } else {
+                            fb.read(bid, rid, fidx, InstanceSlot(*slot));
+                        }
+                    }
+                    RawInstr::Compute(c) => {
+                        fb.compute(bid, *c);
+                    }
+                    RawInstr::Call { name, line } => {
+                        let Some(&callee) = fn_ids.get(name) else {
+                            return err(
+                                *line,
+                                format!("unknown (or later-defined) function `{name}`"),
+                            );
+                        };
+                        fb.call(bid, callee);
+                    }
+                }
+            }
+            match term {
+                RawTerm::Jump(t, line) => {
+                    let target = lookup_block(t, *line)?;
+                    fb.jump(bid, target);
+                }
+                RawTerm::Branch(a, b, prob, line) => {
+                    let (ta, tb) = (lookup_block(a, *line)?, lookup_block(b, *line)?);
+                    fb.branch(bid, ta, tb, *prob);
+                }
+                RawTerm::Loop(back, exit, trip, line) => {
+                    let (bk, ex) = (lookup_block(back, *line)?, lookup_block(exit, *line)?);
+                    fb.loop_latch(bid, bk, ex, *trip);
+                }
+                RawTerm::Ret => {
+                    fb.set_term(bid, Terminator::Ret);
+                }
+            }
+        }
+        let entry = block_ids[&pf.blocks[0].0];
+        let id = pb.add(fb, entry);
+        let _ = pf.line;
+        fn_ids.insert(pf.name.clone(), id);
+    }
+    Ok(pb.finish())
+}
+
+/// Prints a [`Program`] in the `.sir` format; `parse_program` accepts the
+/// output and reconstructs an equivalent program (block names become
+/// `b0`, `b1`, …).
+pub fn print_program(program: &Program) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (_, rec) in program.registry().records() {
+        let _ = writeln!(out, "record {} {{", rec.name());
+        for (_, field) in rec.fields() {
+            let ty = match field.ty() {
+                FieldType::Prim(pt) => prim_name(*pt).to_string(),
+                FieldType::Array { elem, len } => format!("{}[{}]", prim_name(*elem), len),
+                FieldType::Opaque { size, align } => format!("opaque({size}, {align})"),
+            };
+            let _ = writeln!(out, "    {}: {}", field.name(), ty);
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+    for (_, func) in program.functions() {
+        let _ = writeln!(out, "fn {} {{", func.name());
+        // Print entry first so "first block = entry" round-trips.
+        let mut order: Vec<u32> = (0..func.block_count() as u32).collect();
+        let e = func.entry().0;
+        order.retain(|&b| b != e);
+        order.insert(0, e);
+        for b in order {
+            let block = func.block(crate::cfg::BlockId(b));
+            let _ = writeln!(out, "    block b{b} {{");
+            for instr in &block.instrs {
+                match instr {
+                    Instr::Access(a) => {
+                        let rec = program.registry().record(a.record);
+                        let _ = writeln!(
+                            out,
+                            "        {} {}.{} @{}",
+                            if a.kind.is_write() { "write" } else { "read" },
+                            rec.name(),
+                            rec.field(a.field).name(),
+                            a.slot.0
+                        );
+                    }
+                    Instr::Compute(c) => {
+                        let _ = writeln!(out, "        compute {c}");
+                    }
+                    Instr::Call(f) => {
+                        let _ = writeln!(out, "        call {}", program.function(*f).name());
+                    }
+                }
+            }
+            match block.term {
+                Terminator::Jump(t) => {
+                    let _ = writeln!(out, "        jump b{}", t.0);
+                }
+                Terminator::Branch { taken, not_taken, prob_taken } => {
+                    let _ = writeln!(out, "        branch b{} b{} {prob_taken}", taken.0, not_taken.0);
+                }
+                Terminator::Loop { back, exit, trip } => {
+                    let _ = writeln!(out, "        loop b{} b{} {trip}", back.0, exit.0);
+                }
+                Terminator::Ret => {
+                    let _ = writeln!(out, "        ret");
+                }
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "}}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::AccessKind;
+
+    const SAMPLE: &str = r#"
+# A tiny kernel object.
+record S {
+    pid: u64
+    name: u8[16]
+    lock: opaque(24, 8)
+}
+
+fn helper {
+    block only {
+        write S.lock @1
+        ret
+    }
+}
+
+fn scan {
+    block entry {
+        read S.pid @0
+        compute 20
+        call helper
+        jump body
+    }
+    block body {
+        read S.pid @0
+        loop body exit 16
+    }
+    block exit {
+        ret
+    }
+}
+"#;
+
+    #[test]
+    fn parses_records_and_functions() {
+        let prog = parse_program(SAMPLE).unwrap();
+        assert_eq!(prog.registry().len(), 1);
+        let rec = prog.registry().lookup("S").unwrap();
+        let ty = prog.registry().record(rec);
+        assert_eq!(ty.field_count(), 3);
+        assert_eq!(ty.field_by_name("name").map(|f| ty.field(f).size()), Some(16));
+        assert_eq!(ty.field_by_name("lock").map(|f| ty.field(f).align()), Some(8));
+        assert_eq!(prog.function_count(), 2);
+        let scan = prog.function(prog.lookup("scan").unwrap());
+        assert_eq!(scan.block_count(), 3);
+        // Entry = first block.
+        assert_eq!(scan.entry().0, 0);
+        let entry = scan.block(crate::cfg::BlockId(0));
+        assert_eq!(entry.instrs.len(), 3);
+        assert!(matches!(entry.instrs[2], Instr::Call(_)));
+        let body = scan.block(crate::cfg::BlockId(1));
+        assert!(matches!(body.term, Terminator::Loop { trip: 16, .. }));
+        let acc = entry.accesses().next().unwrap();
+        assert_eq!(acc.kind, AccessKind::Read);
+        assert_eq!(acc.slot.0, 0);
+    }
+
+    #[test]
+    fn round_trips_through_print() {
+        let prog = parse_program(SAMPLE).unwrap();
+        let text = print_program(&prog);
+        let again = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        // Structural equivalence.
+        assert_eq!(prog.registry().len(), again.registry().len());
+        assert_eq!(prog.function_count(), again.function_count());
+        for (fid, f1) in prog.functions() {
+            let f2 = again.function(fid);
+            assert_eq!(f1.block_count(), f2.block_count());
+            assert_eq!(f1.entry(), f2.entry());
+            for (bid, b1) in f1.blocks() {
+                let b2 = f2.block(bid);
+                assert_eq!(b1.instrs, b2.instrs, "{fid} {bid}");
+                assert_eq!(b1.term, b2.term);
+            }
+        }
+        // And printing again is a fixpoint.
+        assert_eq!(text, print_program(&again));
+    }
+
+    #[test]
+    fn executable_after_parse() {
+        use crate::interp::profile_invocations;
+        let prog = parse_program(SAMPLE).unwrap();
+        let scan = prog.lookup("scan").unwrap();
+        let profile = profile_invocations(&prog, &[scan], 1, 10_000).unwrap();
+        // body executes 16 times.
+        assert_eq!(profile.count(scan, crate::cfg::BlockId(1)), 16);
+    }
+
+    #[test]
+    fn error_reporting_carries_lines() {
+        let cases = [
+            ("record S { }", "has no fields"),
+            ("record S { x: u64 }\nrecord S { y: u64 }", "duplicate record"),
+            ("record S { x: zz }", "unknown type"),
+            ("record S { x: u64 }\nfn f { block b { read S.y @0 ret } }", "no field `y`"),
+            ("fn f { block b { jump nowhere } }", "unknown block"),
+            ("fn f { block b { call g ret } }", "unknown (or later-defined) function"),
+            ("record S { x: opaque(0, 8) }", "size must be non-zero"),
+            ("record S { x: opaque(8, 3) }", "power of two"),
+            ("banana", "expected `record` or `fn`"),
+            ("fn f { block b { branch b b 1.5 } }", "probability"),
+        ];
+        for (input, needle) in cases {
+            let e = parse_program(input).expect_err(input);
+            assert!(
+                e.to_string().contains(needle),
+                "for {input:?}: expected {needle:?} in {e}"
+            );
+            assert!(e.line >= 1);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\n# hi\nrecord S { # trailing\n x: u64\n}\n# done\n";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.registry().len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the IR substrate: layout math, CFG traversals,
+//! dominators, loops, and interpreter determinism over randomized inputs.
+
+use proptest::prelude::*;
+use slopt_ir::builder::{FunctionBuilder, ProgramBuilder};
+use slopt_ir::cfg::{BlockId, Terminator};
+use slopt_ir::dom::DominatorTree;
+use slopt_ir::interp::profile_invocations;
+use slopt_ir::layout::StructLayout;
+use slopt_ir::loops::LoopForest;
+use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordType, TypeRegistry};
+
+fn arb_record() -> impl Strategy<Value = RecordType> {
+    prop::collection::vec(0u8..5, 1..20).prop_map(|kinds| {
+        RecordType::new(
+            "R",
+            kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    let ty = match k {
+                        0 => FieldType::Prim(PrimType::Bool),
+                        1 => FieldType::Prim(PrimType::U16),
+                        2 => FieldType::Prim(PrimType::U32),
+                        3 => FieldType::Prim(PrimType::U64),
+                        _ => FieldType::Opaque { size: 24, align: 8 },
+                    };
+                    (format!("f{i}"), ty)
+                })
+                .collect(),
+        )
+    })
+}
+
+/// A random but well-formed CFG: `n` blocks; block `i` jumps, branches or
+/// loops only to blocks picked from the full range (Function::new
+/// validates targets), with block n-1 returning.
+fn arb_function(n: usize, choices: Vec<(u8, u8, u8)>) -> slopt_ir::cfg::Function {
+    let mut fb = FunctionBuilder::new("f");
+    let blocks: Vec<BlockId> = (0..n).map(|_| fb.add_block()).collect();
+    for (i, &b) in blocks.iter().enumerate() {
+        let (kind, t1, t2) = choices[i];
+        // Bias all targets forward to guarantee termination; loops use a
+        // bounded trip count so even back edges terminate.
+        let fwd = |t: u8| blocks[(i + 1 + (t as usize % (n - i).max(1))).min(n - 1)];
+        if i == n - 1 {
+            fb.set_term(b, Terminator::Ret);
+        } else {
+            match kind % 3 {
+                0 => {
+                    let target = fwd(t1);
+                    fb.jump(b, target);
+                }
+                1 => {
+                    let (x, y) = (fwd(t1), fwd(t2));
+                    fb.branch(b, x, y, f64::from(t1) / 255.0);
+                }
+                _ => {
+                    let back = blocks[i.saturating_sub(t1 as usize % (i + 1))];
+                    let exit = fwd(t2);
+                    fb.loop_latch(b, back, exit, u32::from(t1 % 5) + 1);
+                }
+            }
+        }
+    }
+    fb.build(blocks[0])
+}
+
+proptest! {
+    /// C layout invariants for any record in any permutation produced by
+    /// sorting on a random key.
+    #[test]
+    fn from_order_is_sound(rec in arb_record(), key in any::<u64>()) {
+        let mut order: Vec<FieldIdx> = rec.field_indices().collect();
+        order.sort_by_key(|f| (f.0 ^ key as u32).wrapping_mul(2654435761));
+        let layout = StructLayout::from_order(&rec, &order, 128).unwrap();
+        // Offsets are monotonically consistent with `order`.
+        for w in order.windows(2) {
+            prop_assert!(layout.offset(w[0]) < layout.offset(w[1]) + rec.field(w[1]).size());
+        }
+        // Padding is bounded: each field wastes at most align-1 bytes,
+        // plus final rounding.
+        let max_pad: u64 = order.iter().map(|&f| rec.field(f).align() - 1).sum::<u64>()
+            + (rec.align() - 1);
+        prop_assert!(layout.padding(&rec) <= max_pad);
+        // line queries agree with offsets.
+        for &f in &order {
+            let (lo, hi) = layout.lines_of(f);
+            prop_assert_eq!(lo, layout.offset(f) / 128);
+            prop_assert!(hi >= lo);
+        }
+    }
+
+    /// Every reachable block appears in reverse postorder before any of
+    /// its dominated successors; entry dominates every reachable block.
+    #[test]
+    fn dominators_and_rpo_agree(
+        n in 2usize..12,
+        choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 12),
+    ) {
+        let func = arb_function(n, choices);
+        let dom = DominatorTree::compute(&func);
+        let rpo = func.reverse_postorder();
+        prop_assert_eq!(rpo.len(), n, "rpo covers every block exactly once");
+        let entry = func.entry();
+        for (b, _) in func.blocks() {
+            if dom.is_reachable(b) {
+                prop_assert!(dom.dominates(entry, b), "entry must dominate {}", b);
+                prop_assert!(dom.dominates(b, b), "dominance is reflexive");
+            }
+        }
+        // Loop bodies always contain their headers.
+        let loops = LoopForest::compute(&func, &dom);
+        for (_, l) in loops.loops() {
+            prop_assert!(l.body.contains(&l.header));
+            prop_assert!(l.depth >= 1);
+        }
+    }
+
+    /// The interpreter is deterministic and the profile counts the entry
+    /// block exactly once per invocation.
+    #[test]
+    fn interp_is_deterministic(
+        n in 2usize..10,
+        choices in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 12),
+        seed in any::<u64>(),
+        invocations in 1usize..5,
+    ) {
+        let func = arb_function(n, choices);
+        let mut pb = ProgramBuilder::new(TypeRegistry::new());
+        let entry = func.entry();
+        let id = pb.add(
+            {
+                let mut fb = FunctionBuilder::new("g");
+                for i in 0..func.block_count() {
+                    let b = fb.add_block();
+                    fb.set_term(b, func.block(BlockId(i as u32)).term.clone());
+                }
+                fb
+            },
+            entry,
+        );
+        let prog = pb.finish();
+        let calls = vec![id; invocations];
+        let p1 = profile_invocations(&prog, &calls, seed, 1_000_000);
+        let p2 = profile_invocations(&prog, &calls, seed, 1_000_000);
+        match (p1, p2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.count(id, entry), b.count(id, entry));
+                prop_assert!(a.count(id, entry) >= invocations as u64);
+                prop_assert_eq!(a.total(), b.total());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "determinism violated: {:?}", other),
+        }
+    }
+}

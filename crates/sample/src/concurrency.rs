@@ -1,0 +1,256 @@
+//! Code Concurrency (paper §3.2 and §4.2).
+//!
+//! Divide the run into fixed-size time intervals. Within interval `I`, let
+//! `F_I(P, B)` be how often CPU `P` was observed in block `B` (from PMU
+//! samples, or exact counts for validation). Then
+//!
+//! ```text
+//! CC_I(Bi, Bj) = Σ_{Pm ≠ Pn} min(F_I(Pm, Bi), F_I(Pn, Bj))
+//! CC(Bi, Bj)   = Σ_I CC_I(Bi, Bj)
+//! ```
+//!
+//! A large `CC(Bi, Bj)` means: whenever some CPU executes `Bi`, some *other*
+//! CPU is executing `Bj` at roughly the same time — the precondition for
+//! false sharing between fields those blocks touch.
+//!
+//! Blocks are identified by their source lines (the sampled IP is resolved
+//! through the source correlation table), so the result is a
+//! [`ConcurrencyMap`] over source-line pairs, as in the paper's external
+//! scripts.
+
+use crate::sampler::Sample;
+use slopt_ir::source::SourceLine;
+use std::collections::HashMap;
+
+/// Configuration for interval bucketing.
+#[derive(Copy, Clone, Debug)]
+pub struct ConcurrencyConfig {
+    /// Interval length in cycles. The paper uses 1 ms wall time ≈ 1.2 M
+    /// cycles at 1.2 GHz.
+    pub interval: u64,
+}
+
+impl Default for ConcurrencyConfig {
+    fn default() -> Self {
+        ConcurrencyConfig { interval: 1_200_000 }
+    }
+}
+
+/// Pairwise code-concurrency values over source lines.
+#[derive(Clone, Debug, Default)]
+pub struct ConcurrencyMap {
+    /// Keys are normalized `(min_line, max_line)`.
+    map: HashMap<(SourceLine, SourceLine), u64>,
+}
+
+impl ConcurrencyMap {
+    fn key(a: SourceLine, b: SourceLine) -> (SourceLine, SourceLine) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The concurrency value for a pair of lines (0 if never concurrent).
+    pub fn get(&self, a: SourceLine, b: SourceLine) -> u64 {
+        self.map.get(&Self::key(a, b)).copied().unwrap_or(0)
+    }
+
+    /// All non-zero pairs as `(line_a, line_b, cc)` with `line_a <= line_b`,
+    /// sorted by descending concurrency (ties broken by line ids for
+    /// determinism).
+    pub fn pairs(&self) -> Vec<(SourceLine, SourceLine, u64)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&(a, b), &cc)| (a, b, cc)).collect();
+        v.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        v
+    }
+
+    /// The `k` most concurrent pairs.
+    pub fn top_pairs(&self, k: usize) -> Vec<(SourceLine, SourceLine, u64)> {
+        let mut v = self.pairs();
+        v.truncate(k);
+        v
+    }
+
+    /// Number of pairs with non-zero concurrency.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no concurrency was observed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Computes the concurrency map from samples.
+///
+/// Samples may be in any order. Complexity per interval is
+/// `O(cpu_pairs × lines_per_cpu²)`, which with the paper's parameters
+/// (~12 samples per CPU per interval) is small.
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` is zero.
+pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
+    assert!(cfg.interval > 0, "interval must be non-zero");
+
+    // interval index -> cpu -> line -> count
+    let mut intervals: HashMap<u64, HashMap<u16, HashMap<SourceLine, u64>>> = HashMap::new();
+    for s in samples {
+        *intervals
+            .entry(s.time / cfg.interval)
+            .or_default()
+            .entry(s.cpu.0)
+            .or_default()
+            .entry(s.line)
+            .or_insert(0) += 1;
+    }
+
+    let mut cm = ConcurrencyMap::default();
+    for per_cpu in intervals.values() {
+        let cpus: Vec<&u16> = {
+            let mut v: Vec<&u16> = per_cpu.keys().collect();
+            v.sort();
+            v
+        };
+        for &m in &cpus {
+            for &n in &cpus {
+                if m == n {
+                    continue;
+                }
+                let hm = &per_cpu[m];
+                let hn = &per_cpu[n];
+                for (&li, &ci) in hm {
+                    for (&lj, &cj) in hn {
+                        // Accumulate each ordered (line_i, line_j) pair once:
+                        // keep only li <= lj so the normalized key receives
+                        // exactly the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)).
+                        if li <= lj {
+                            *cm.map.entry((li, lj)).or_insert(0) += ci.min(cj);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cm.map.retain(|_, v| *v > 0);
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slopt_ir::cfg::{BlockId, FuncId};
+    use slopt_sim::CpuId;
+
+    fn sample(cpu: u16, time: u64, line: u32) -> Sample {
+        Sample {
+            cpu: CpuId(cpu),
+            time,
+            func: FuncId(0),
+            block: BlockId(0),
+            line: SourceLine(line),
+        }
+    }
+
+    #[test]
+    fn concurrent_lines_on_different_cpus_score() {
+        // Interval 100: cpu0 in line1 twice, cpu1 in line2 three times.
+        let samples = vec![
+            sample(0, 10, 1),
+            sample(0, 20, 1),
+            sample(1, 15, 2),
+            sample(1, 25, 2),
+            sample(1, 35, 2),
+        ];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        // Ordered pairs (0,1) and (1,0): min(2,3) + min(3,2)... only li<=lj
+        // kept per ordered cpu pair: (m=0,n=1): (1,2) -> min(2,3)=2;
+        // (m=1,n=0): (2,1) normalized li<=lj fails for (2,1), but (1,2) via
+        // hm=cpu1{2},hn=cpu0{1} gives li=2 > lj=1 -> skipped. So CC = 2.
+        assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 2);
+        assert_eq!(cm.get(SourceLine(2), SourceLine(1)), 2, "symmetric lookup");
+    }
+
+    #[test]
+    fn same_cpu_never_scores() {
+        let samples = vec![sample(0, 10, 1), sample(0, 20, 2)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert!(cm.is_empty());
+    }
+
+    #[test]
+    fn different_intervals_do_not_interact() {
+        let samples = vec![sample(0, 10, 1), sample(1, 150, 2)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 0);
+    }
+
+    #[test]
+    fn same_line_concurrency_counts_both_directions() {
+        // Both cpus in the same line: CC(B,B) = Σ_{m≠n} min(F(m,B),F(n,B))
+        // = min(1,1) for (0,1) + min(1,1) for (1,0) = 2.
+        let samples = vec![sample(0, 10, 5), sample(1, 20, 5)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert_eq!(cm.get(SourceLine(5), SourceLine(5)), 2);
+    }
+
+    #[test]
+    fn accumulates_across_intervals() {
+        let samples = vec![
+            sample(0, 10, 1),
+            sample(1, 20, 2),
+            sample(0, 110, 1),
+            sample(1, 120, 2),
+        ];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 2);
+    }
+
+    #[test]
+    fn min_caps_unbalanced_frequencies() {
+        let mut samples = vec![sample(1, 15, 2)];
+        for i in 0..10 {
+            samples.push(sample(0, i, 1));
+        }
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 1, "min(10, 1) = 1");
+    }
+
+    #[test]
+    fn three_cpus_pairwise() {
+        // cpus 0,1,2 each once in lines 1,2,3 in one interval.
+        let samples = vec![sample(0, 1, 1), sample(1, 2, 2), sample(2, 3, 3)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 1);
+        assert_eq!(cm.get(SourceLine(1), SourceLine(3)), 1);
+        assert_eq!(cm.get(SourceLine(2), SourceLine(3)), 1);
+        assert_eq!(cm.len(), 3);
+    }
+
+    #[test]
+    fn top_pairs_sorts_by_concurrency() {
+        let mut samples = Vec::new();
+        // lines 1&2 concurrent twice, lines 1&3 once.
+        for t in [10, 110] {
+            samples.push(sample(0, t, 1));
+            samples.push(sample(1, t + 5, 2));
+        }
+        samples.push(sample(0, 210, 1));
+        samples.push(sample(1, 215, 3));
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let top = cm.top_pairs(1);
+        assert_eq!(top.len(), 1);
+        assert_eq!((top[0].0, top[0].1), (SourceLine(1), SourceLine(2)));
+        assert_eq!(top[0].2, 2);
+        assert_eq!(cm.pairs().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn zero_interval_rejected() {
+        concurrency_map(&[], &ConcurrencyConfig { interval: 0 });
+    }
+}

@@ -1,0 +1,305 @@
+//! CycleLoss estimation (paper §3.2, final step of §4.3).
+//!
+//! Joins the [`ConcurrencyMap`] (source-line pairs → concurrency) with the
+//! compiler's Field Mapping File (source line → fields accessed, with
+//! read/write flags) to produce, for each pair of fields of a record, the
+//! estimated penalty of placing them on the same cache line:
+//!
+//! ```text
+//! CycleLoss(f1, f2) = Σ CC(B1, B2)
+//! ```
+//!
+//! over all block pairs where `B1` accesses `f1`, `B2` accesses `f2`, and
+//! at least one of those two accesses is a write. As the paper notes, this
+//! over-approximates false sharing because it cannot distinguish structure
+//! *instances*; see [`CycleLossMap`] docs for the alias-analysis hook.
+
+use crate::concurrency::ConcurrencyMap;
+use slopt_ir::fmf::FieldMap;
+use slopt_ir::types::{FieldIdx, RecordId};
+use std::collections::HashMap;
+
+/// Per-field-pair CycleLoss values for one record.
+///
+/// The paper's mitigation for the instance over-approximation — "whenever
+/// alias analysis determines that the addresses of two structure instances
+/// do not alias … there is no false sharing" — corresponds to filtering
+/// the join with [`cycle_loss_filtered`].
+#[derive(Clone, Debug)]
+pub struct CycleLossMap {
+    record: RecordId,
+    map: HashMap<(u32, u32), f64>,
+}
+
+impl CycleLossMap {
+    fn key(f1: FieldIdx, f2: FieldIdx) -> (u32, u32) {
+        if f1.0 <= f2.0 {
+            (f1.0, f2.0)
+        } else {
+            (f2.0, f1.0)
+        }
+    }
+
+    /// The record this map describes.
+    pub fn record(&self) -> RecordId {
+        self.record
+    }
+
+    /// CycleLoss between two fields (0 if none; 0 for `f1 == f2` — a
+    /// field contending with itself is true sharing, which no layout can
+    /// fix).
+    pub fn get(&self, f1: FieldIdx, f2: FieldIdx) -> f64 {
+        if f1 == f2 {
+            return 0.0;
+        }
+        self.map.get(&Self::key(f1, f2)).copied().unwrap_or(0.0)
+    }
+
+    /// All non-zero pairs as `(f1, f2, loss)` with `f1 < f2`, sorted by
+    /// descending loss.
+    pub fn pairs(&self) -> Vec<(FieldIdx, FieldIdx, f64)> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .map(|(&(a, b), &l)| (FieldIdx(a), FieldIdx(b), l))
+            .collect();
+        v.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .expect("losses are never NaN")
+                .then(x.0.cmp(&y.0))
+                .then(x.1.cmp(&y.1))
+        });
+        v
+    }
+
+    /// Number of field pairs with non-zero loss.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no loss was estimated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Computes CycleLoss for `record` by joining concurrency with the FMF.
+pub fn cycle_loss(cm: &ConcurrencyMap, fmf: &FieldMap, record: RecordId) -> CycleLossMap {
+    cycle_loss_weighted(cm, fmf, record, |_, _, _, _| 1.0)
+}
+
+/// Like [`cycle_loss`], but only counts line pairs accepted by
+/// `may_alias(l1, l2)` — the hook for the paper's alias-analysis
+/// mitigation (return `false` when the instances accessed at the two lines
+/// are known not to alias).
+pub fn cycle_loss_filtered(
+    cm: &ConcurrencyMap,
+    fmf: &FieldMap,
+    record: RecordId,
+    may_alias: impl Fn(slopt_ir::source::SourceLine, slopt_ir::source::SourceLine) -> bool,
+) -> CycleLossMap {
+    cycle_loss_weighted(cm, fmf, record, |l1, _, l2, _| {
+        if may_alias(l1, l2) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// The fully general join: each contribution of concurrency `cc` between
+/// field `f1` accessed at line `l1` and field `f2` at line `l2` is scaled
+/// by `weight(l1, f1, l2, f2)` before accumulating.
+///
+/// The weight function is where alias information enters: return the
+/// probability that the two accesses touch the *same record instance*
+/// (false sharing is only possible within one instance, because instances
+/// are allocated cache-line-aligned). `1.0` reproduces the paper's
+/// unmitigated over-approximation; `0.0` excludes provably disjoint
+/// instance classes (e.g. two different CPUs' own per-CPU data);
+/// intermediate values express pool-aliasing probabilities.
+pub fn cycle_loss_weighted(
+    cm: &ConcurrencyMap,
+    fmf: &FieldMap,
+    record: RecordId,
+    weight: impl Fn(
+        slopt_ir::source::SourceLine,
+        FieldIdx,
+        slopt_ir::source::SourceLine,
+        FieldIdx,
+    ) -> f64,
+) -> CycleLossMap {
+    let mut out = CycleLossMap { record, map: HashMap::new() };
+    for (l1, l2, cc) in cm.pairs() {
+        for ((r1, f1), rw1) in fmf.fields_at(l1) {
+            if r1 != record {
+                continue;
+            }
+            for ((r2, f2), rw2) in fmf.fields_at(l2) {
+                if r2 != record || f1 == f2 {
+                    continue;
+                }
+                // Avoid double-counting the symmetric (f2, f1) visit when
+                // both fields live on the same line pair: only take f1 < f2
+                // for l1 == l2.
+                if l1 == l2 && f1 >= f2 {
+                    continue;
+                }
+                if !(rw1.has_write() || rw2.has_write()) {
+                    continue;
+                }
+                let w = weight(l1, f1, l2, f2);
+                debug_assert!((0.0..=1.0).contains(&w), "alias weight {w} outside [0, 1]");
+                if w > 0.0 {
+                    *out.map.entry(CycleLossMap::key(f1, f2)).or_insert(0.0) += cc as f64 * w;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::{concurrency_map, ConcurrencyConfig};
+    use crate::sampler::Sample;
+    use slopt_ir::builder::{FunctionBuilder, ProgramBuilder};
+    use slopt_ir::cfg::{BlockId, FuncId, InstanceSlot, Program};
+    use slopt_ir::source::SourceLine;
+    use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType, TypeRegistry};
+    use slopt_sim::CpuId;
+
+    /// Program with two functions: `writer` writes f0 (line A), `reader`
+    /// reads f1 (line B).
+    fn program() -> (Program, RecordId, SourceLine, SourceLine) {
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("f0", FieldType::Prim(PrimType::U64)),
+                ("f1", FieldType::Prim(PrimType::U64)),
+                ("f2", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut w = FunctionBuilder::new("writer");
+        let w0 = w.add_block();
+        w.write(w0, s, FieldIdx(0), InstanceSlot(0));
+        let wid = pb.add(w, w0);
+        let mut r = FunctionBuilder::new("reader");
+        let r0 = r.add_block();
+        r.read(r0, s, FieldIdx(1), InstanceSlot(0));
+        let rid = pb.add(r, r0);
+        let prog = pb.finish();
+        let la = prog.function(wid).block(w0).line;
+        let lb = prog.function(rid).block(r0).line;
+        (prog, s, la, lb)
+    }
+
+    fn sample_at(cpu: u16, time: u64, line: SourceLine) -> Sample {
+        Sample { cpu: CpuId(cpu), time, func: FuncId(0), block: BlockId(0), line }
+    }
+
+    #[test]
+    fn write_read_concurrency_becomes_loss() {
+        let (prog, rec, la, lb) = program();
+        let fmf = slopt_ir::fmf::FieldMap::build(&prog);
+        let samples = vec![sample_at(0, 10, la), sample_at(1, 20, lb)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let loss = cycle_loss(&cm, &fmf, rec);
+        assert_eq!(loss.get(FieldIdx(0), FieldIdx(1)), 1.0);
+        assert_eq!(loss.get(FieldIdx(1), FieldIdx(0)), 1.0, "symmetric");
+        assert_eq!(loss.get(FieldIdx(0), FieldIdx(2)), 0.0);
+        assert_eq!(loss.record(), rec);
+        assert_eq!(loss.len(), 1);
+    }
+
+    #[test]
+    fn read_read_concurrency_is_free() {
+        // Two readers of different fields: no write -> no loss.
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("f0", FieldType::Prim(PrimType::U64)),
+                ("f1", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut a = FunctionBuilder::new("ra");
+        let a0 = a.add_block();
+        a.read(a0, s, FieldIdx(0), InstanceSlot(0));
+        let aid = pb.add(a, a0);
+        let mut b = FunctionBuilder::new("rb");
+        let b0 = b.add_block();
+        b.read(b0, s, FieldIdx(1), InstanceSlot(0));
+        let bid = pb.add(b, b0);
+        let prog = pb.finish();
+        let la = prog.function(aid).block(a0).line;
+        let lb = prog.function(bid).block(b0).line;
+        let fmf = slopt_ir::fmf::FieldMap::build(&prog);
+        let samples = vec![sample_at(0, 10, la), sample_at(1, 20, lb)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let loss = cycle_loss(&cm, &fmf, s);
+        assert!(loss.is_empty());
+    }
+
+    #[test]
+    fn same_line_pair_counts_once() {
+        // One block writes f0 and reads f1; two CPUs run it concurrently.
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("f0", FieldType::Prim(PrimType::U64)),
+                ("f1", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut f = FunctionBuilder::new("rw");
+        let f0 = f.add_block();
+        f.write(f0, s, FieldIdx(0), InstanceSlot(0));
+        f.read(f0, s, FieldIdx(1), InstanceSlot(0));
+        let fid = pb.add(f, f0);
+        let prog = pb.finish();
+        let line = prog.function(fid).block(f0).line;
+        let fmf = slopt_ir::fmf::FieldMap::build(&prog);
+        let samples = vec![sample_at(0, 10, line), sample_at(1, 20, line)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        // CC(line,line) = 2 (both cpu orders).
+        assert_eq!(cm.get(line, line), 2);
+        let loss = cycle_loss(&cm, &fmf, s);
+        // Counted once per line pair, not twice.
+        assert_eq!(loss.get(FieldIdx(0), FieldIdx(1)), 2.0);
+    }
+
+    #[test]
+    fn alias_filter_suppresses_known_disjoint_instances() {
+        let (prog, rec, la, lb) = program();
+        let fmf = slopt_ir::fmf::FieldMap::build(&prog);
+        let samples = vec![sample_at(0, 10, la), sample_at(1, 20, lb)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let loss = cycle_loss_filtered(&cm, &fmf, rec, |_, _| false);
+        assert!(loss.is_empty());
+    }
+
+    #[test]
+    fn pairs_sorted_by_loss() {
+        let (prog, rec, la, lb) = program();
+        let fmf = slopt_ir::fmf::FieldMap::build(&prog);
+        // (la, lb) concurrent twice; also la concurrent with itself once
+        // (two writers of f0 -> same field, ignored).
+        let samples = vec![
+            sample_at(0, 10, la),
+            sample_at(1, 20, lb),
+            sample_at(0, 110, la),
+            sample_at(1, 120, lb),
+        ];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let loss = cycle_loss(&cm, &fmf, rec);
+        let pairs = loss.pairs();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], (FieldIdx(0), FieldIdx(1), 2.0));
+    }
+}

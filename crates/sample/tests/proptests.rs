@@ -1,0 +1,109 @@
+//! Property tests for sampling and Code Concurrency: symmetry, interval
+//! locality, monotonicity, and sampler grid correctness.
+
+use proptest::prelude::*;
+use slopt_sample::{concurrency_map, ConcurrencyConfig, Sample, Sampler, SamplerConfig};
+use slopt_sim::{CpuId, Observer};
+use slopt_ir::cfg::{BlockId, FuncId};
+use slopt_ir::source::SourceLine;
+
+fn mk_sample(cpu: u16, time: u64, line: u32) -> Sample {
+    Sample {
+        cpu: CpuId(cpu),
+        time,
+        func: FuncId(0),
+        block: BlockId(0),
+        line: SourceLine(line),
+    }
+}
+
+proptest! {
+    /// CC is symmetric and non-negative for any sample set.
+    #[test]
+    fn concurrency_is_symmetric(
+        samples in prop::collection::vec((0u16..4, 0u64..10_000, 0u32..6), 0..120),
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 1_000 });
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                prop_assert_eq!(
+                    cm.get(SourceLine(a), SourceLine(b)),
+                    cm.get(SourceLine(b), SourceLine(a))
+                );
+            }
+        }
+        for (_, _, cc) in cm.pairs() {
+            prop_assert!(cc > 0);
+        }
+    }
+
+    /// Shifting every sample by a whole number of intervals leaves the
+    /// concurrency map unchanged (bucketing is translation-invariant).
+    #[test]
+    fn concurrency_is_translation_invariant(
+        samples in prop::collection::vec((0u16..4, 0u64..5_000, 0u32..5), 0..80),
+        k in 1u64..10,
+    ) {
+        let interval = 1_000u64;
+        let base: Vec<Sample> =
+            samples.iter().map(|&(c, t, l)| mk_sample(c, t, l)).collect();
+        let shifted: Vec<Sample> = samples
+            .iter()
+            .map(|&(c, t, l)| mk_sample(c, t + k * interval, l))
+            .collect();
+        let cm1 = concurrency_map(&base, &ConcurrencyConfig { interval });
+        let cm2 = concurrency_map(&shifted, &ConcurrencyConfig { interval });
+        prop_assert_eq!(cm1.pairs(), cm2.pairs());
+    }
+
+    /// Adding samples never decreases any pair's concurrency (CC is
+    /// monotone in its input).
+    #[test]
+    fn concurrency_is_monotone(
+        samples in prop::collection::vec((0u16..3, 0u64..3_000, 0u32..4), 1..60),
+        extra in (0u16..3, 0u64..3_000, 0u32..4),
+    ) {
+        let base: Vec<Sample> =
+            samples.iter().map(|&(c, t, l)| mk_sample(c, t, l)).collect();
+        let mut bigger = base.clone();
+        bigger.push(mk_sample(extra.0, extra.1, extra.2));
+        let cm1 = concurrency_map(&base, &ConcurrencyConfig { interval: 500 });
+        let cm2 = concurrency_map(&bigger, &ConcurrencyConfig { interval: 500 });
+        for (a, b, cc) in cm1.pairs() {
+            prop_assert!(cm2.get(a, b) >= cc);
+        }
+    }
+
+    /// The sampler emits exactly the grid points covered by the observed
+    /// execution ranges (no jitter, no loss), in increasing per-CPU order.
+    #[test]
+    fn sampler_covers_execution_exactly(
+        segments in prop::collection::vec((1u64..50, 0u32..5), 1..30),
+        period in 10u64..200,
+    ) {
+        let cfg = SamplerConfig {
+            period,
+            max_phase_jitter: 0,
+            loss_probability: 0.0,
+            seed: 0,
+        };
+        let mut sampler = Sampler::new(1, cfg);
+        let mut t = 0u64;
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        for &(len, line) in &segments {
+            sampler.on_block(CpuId(0), FuncId(0), BlockId(0), SourceLine(line), t, t + len);
+            covered.push((t, t + len));
+            t += len;
+        }
+        // Expected samples: multiples of `period` inside [period, t).
+        let expected: Vec<u64> = (1..)
+            .map(|i| i * period)
+            .take_while(|&s| s < t)
+            .collect();
+        let actual: Vec<u64> = sampler.samples().iter().map(|s| s.time).collect();
+        prop_assert_eq!(actual, expected);
+        prop_assert_eq!(sampler.dropped(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-CPU set-associative cache with LRU replacement.
+//!
+//! The cache tracks MESI state per resident line; the coherence protocol
+//! itself (who to invalidate, where data comes from) lives in
+//! [`crate::coherence`]. Addresses handled here are *line numbers*
+//! (`byte_addr / line_size`), not byte addresses.
+
+/// MESI state of a resident cache line (the I state is represented by the
+/// line's absence).
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash)]
+pub enum Mesi {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: other caches may hold clean copies too.
+    Shared,
+}
+
+/// Geometry of a cache.
+#[derive(Copy, Clone, Debug, Eq, PartialEq)]
+pub struct CacheConfig {
+    /// Line (and coherence block) size in bytes. Must be a power of two,
+    /// at most 128 (the byte bitmaps used for false-sharing classification
+    /// are 128 bits wide).
+    pub line_size: u64,
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 4 MiB, 8-way cache of 128-byte lines — roughly the 6 MB Itanium 2
+    /// L3 of the paper's machines, at the L2 line/coherence granularity.
+    pub fn itanium_l2() -> Self {
+        CacheConfig { line_size: 128, sets: 4096, ways: 8 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.line_size * (self.sets * self.ways) as u64
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (zero/odd sizes).
+    pub fn validate(&self) {
+        assert!(
+            self.line_size.is_power_of_two() && self.line_size <= 128,
+            "line size {} must be a power of two <= 128",
+            self.line_size
+        );
+        assert!(self.sets.is_power_of_two(), "set count {} must be a power of two", self.sets);
+        assert!(self.ways > 0, "associativity must be non-zero");
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Frame {
+    line: u64,
+    state: Mesi,
+    lru: u64,
+}
+
+/// A set-associative, LRU cache indexed by line number.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Frame>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry (see [`CacheConfig::validate`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        Cache { cfg, sets: vec![Vec::new(); cfg.sets], tick: 0 }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.cfg.sets - 1)
+    }
+
+    /// Looks up a line, refreshing its LRU position. Returns its state.
+    pub fn lookup(&mut self, line: u64) -> Option<Mesi> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let frame = self.sets[set].iter_mut().find(|f| f.line == line)?;
+        frame.lru = tick;
+        Some(frame.state)
+    }
+
+    /// Peeks at a line's state without touching LRU.
+    pub fn peek(&self, line: u64) -> Option<Mesi> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|f| f.line == line).map(|f| f.state)
+    }
+
+    /// Changes the state of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident — a coherence protocol bug.
+    pub fn set_state(&mut self, line: u64, state: Mesi) {
+        let set = self.set_of(line);
+        let frame = self.sets[set]
+            .iter_mut()
+            .find(|f| f.line == line)
+            .expect("set_state on non-resident line");
+        frame.state = state;
+    }
+
+    /// Inserts a line (which must not be resident), evicting the LRU frame
+    /// of its set if full. Returns the evicted `(line, state)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident.
+    pub fn insert(&mut self, line: u64, state: Mesi) -> Option<(u64, Mesi)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.cfg.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        assert!(set.iter().all(|f| f.line != line), "insert of resident line {line:#x}");
+        let evicted = if set.len() == ways {
+            let (pos, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.lru)
+                .expect("non-empty full set");
+            let victim = set.swap_remove(pos);
+            Some((victim.line, victim.state))
+        } else {
+            None
+        };
+        set.push(Frame { line, state, lru: tick });
+        evicted
+    }
+
+    /// Removes a line (coherence invalidation or external eviction).
+    /// Returns its state if it was resident.
+    pub fn invalidate(&mut self, line: u64) -> Option<Mesi> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|f| f.line == line)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { line_size: 64, sets: 2, ways: 2 })
+    }
+
+    #[test]
+    fn insert_lookup_invalidate_roundtrip() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(10), None);
+        assert_eq!(c.insert(10, Mesi::Exclusive), None);
+        assert_eq!(c.lookup(10), Some(Mesi::Exclusive));
+        c.set_state(10, Mesi::Modified);
+        assert_eq!(c.peek(10), Some(Mesi::Modified));
+        assert_eq!(c.invalidate(10), Some(Mesi::Modified));
+        assert_eq!(c.lookup(10), None);
+        assert_eq!(c.invalidate(10), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        c.insert(0, Mesi::Shared);
+        c.insert(2, Mesi::Shared);
+        assert_eq!(c.resident(), 2);
+        // Touch 0 so 2 becomes LRU.
+        c.lookup(0);
+        let evicted = c.insert(4, Mesi::Shared);
+        assert_eq!(evicted, Some((2, Mesi::Shared)));
+        assert!(c.peek(0).is_some());
+        assert!(c.peek(4).is_some());
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.insert(0, Mesi::Shared); // set 0
+        c.insert(1, Mesi::Shared); // set 1
+        c.insert(2, Mesi::Shared); // set 0
+        c.insert(3, Mesi::Shared); // set 1
+        assert_eq!(c.resident(), 4);
+        // Set 0 full; inserting another even line evicts an even line.
+        let (line, _) = c.insert(4, Mesi::Shared).expect("eviction");
+        assert!(line % 2 == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident")]
+    fn double_insert_is_a_bug() {
+        let mut c = tiny();
+        c.insert(0, Mesi::Shared);
+        c.insert(0, Mesi::Shared);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_requires_residency() {
+        let mut c = tiny();
+        c.set_state(0, Mesi::Shared);
+    }
+
+    #[test]
+    fn config_capacity_and_validation() {
+        let cfg = CacheConfig::itanium_l2();
+        assert_eq!(cfg.capacity(), 128 * 4096 * 8);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        Cache::new(CacheConfig { line_size: 96, sets: 2, ways: 1 });
+    }
+}

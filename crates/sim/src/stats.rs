@@ -1,0 +1,204 @@
+//! Memory-system statistics, including false-sharing attribution.
+
+use slopt_ir::types::RecordId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a single access was served.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash)]
+pub enum AccessClass {
+    /// Served from the local cache.
+    Hit,
+    /// Write hit on a Shared line: data was local but other copies had to
+    /// be invalidated.
+    UpgradeHit,
+    /// First-ever access to the line by this CPU.
+    ColdMiss,
+    /// The CPU held the line before but evicted it for capacity reasons.
+    CapacityMiss,
+    /// The line was invalidated by another CPU's write to bytes this access
+    /// (or an intervening local access) actually uses — true sharing.
+    TrueSharingMiss,
+    /// The line was invalidated by another CPU's write to *disjoint* bytes —
+    /// false sharing, the effect the paper's CycleLoss targets.
+    FalseSharingMiss,
+}
+
+impl AccessClass {
+    /// Whether this class is any kind of miss.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, AccessClass::Hit | AccessClass::UpgradeHit)
+    }
+}
+
+/// Counters for one class of accesses.
+#[derive(Copy, Clone, Debug, Default, Eq, PartialEq)]
+pub struct ClassCounts {
+    /// Number of accesses in the class.
+    pub count: u64,
+    /// Total cycles those accesses cost.
+    pub cycles: u64,
+}
+
+/// Aggregate memory statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    counts: HashMap<AccessClass, ClassCounts>,
+    /// Invalidation messages sent (one per remote copy killed).
+    pub invalidations: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Per-record breakdown (only for accesses within tagged ranges).
+    per_record: HashMap<RecordId, HashMap<AccessClass, ClassCounts>>,
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access of class `class` costing `cycles`, optionally
+    /// attributed to a record instance.
+    pub fn record(&mut self, class: AccessClass, cycles: u64, record: Option<RecordId>) {
+        let c = self.counts.entry(class).or_default();
+        c.count += 1;
+        c.cycles += cycles;
+        if let Some(r) = record {
+            let rc = self.per_record.entry(r).or_default().entry(class).or_default();
+            rc.count += 1;
+            rc.cycles += cycles;
+        }
+    }
+
+    /// Counters for one access class.
+    pub fn class(&self, class: AccessClass) -> ClassCounts {
+        self.counts.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Counters for one access class restricted to a record.
+    pub fn class_for(&self, record: RecordId, class: AccessClass) -> ClassCounts {
+        self.per_record
+            .get(&record)
+            .and_then(|m| m.get(&class))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.counts.values().map(|c| c.count).sum()
+    }
+
+    /// Total misses (all classes except hits/upgrades).
+    pub fn misses(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(c, _)| c.is_miss())
+            .map(|(_, v)| v.count)
+            .sum()
+    }
+
+    /// Total cycles spent in the memory system.
+    pub fn total_cycles(&self) -> u64 {
+        self.counts.values().map(|c| c.cycles).sum()
+    }
+
+    /// False-sharing miss count for a record.
+    pub fn false_sharing_for(&self, record: RecordId) -> u64 {
+        self.class_for(record, AccessClass::FalseSharingMiss).count
+    }
+
+    /// Merges another stats object into this one.
+    pub fn merge(&mut self, other: &MemStats) {
+        for (&class, &cc) in &other.counts {
+            let c = self.counts.entry(class).or_default();
+            c.count += cc.count;
+            c.cycles += cc.cycles;
+        }
+        self.invalidations += other.invalidations;
+        self.writebacks += other.writebacks;
+        for (&rec, m) in &other.per_record {
+            let e = self.per_record.entry(rec).or_default();
+            for (&class, &cc) in m {
+                let c = e.entry(class).or_default();
+                c.count += cc.count;
+                c.cycles += cc.cycles;
+            }
+        }
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "memory accesses: {}", self.accesses())?;
+        for class in [
+            AccessClass::Hit,
+            AccessClass::UpgradeHit,
+            AccessClass::ColdMiss,
+            AccessClass::CapacityMiss,
+            AccessClass::TrueSharingMiss,
+            AccessClass::FalseSharingMiss,
+        ] {
+            let c = self.class(class);
+            if c.count > 0 {
+                writeln!(f, "  {class:?}: {} ({} cycles)", c.count, c.cycles)?;
+            }
+        }
+        writeln!(f, "  invalidations: {}", self.invalidations)?;
+        writeln!(f, "  writebacks: {}", self.writebacks)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let mut s = MemStats::new();
+        s.record(AccessClass::Hit, 12, None);
+        s.record(AccessClass::Hit, 12, Some(RecordId(0)));
+        s.record(AccessClass::FalseSharingMiss, 1000, Some(RecordId(0)));
+        assert_eq!(s.accesses(), 3);
+        assert_eq!(s.misses(), 1);
+        assert_eq!(s.class(AccessClass::Hit).count, 2);
+        assert_eq!(s.total_cycles(), 1024);
+        assert_eq!(s.false_sharing_for(RecordId(0)), 1);
+        assert_eq!(s.false_sharing_for(RecordId(9)), 0);
+        assert_eq!(s.class_for(RecordId(0), AccessClass::Hit).count, 1);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(!AccessClass::Hit.is_miss());
+        assert!(!AccessClass::UpgradeHit.is_miss());
+        assert!(AccessClass::ColdMiss.is_miss());
+        assert!(AccessClass::FalseSharingMiss.is_miss());
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = MemStats::new();
+        let mut b = MemStats::new();
+        a.record(AccessClass::Hit, 10, Some(RecordId(1)));
+        b.record(AccessClass::Hit, 20, Some(RecordId(1)));
+        b.invalidations = 3;
+        b.writebacks = 1;
+        a.merge(&b);
+        assert_eq!(a.class(AccessClass::Hit).count, 2);
+        assert_eq!(a.class_for(RecordId(1), AccessClass::Hit).cycles, 30);
+        assert_eq!(a.invalidations, 3);
+        assert_eq!(a.writebacks, 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut s = MemStats::new();
+        s.record(AccessClass::ColdMiss, 450, None);
+        let txt = s.to_string();
+        assert!(txt.contains("ColdMiss"));
+        assert!(txt.contains("450"));
+    }
+}

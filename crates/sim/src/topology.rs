@@ -1,0 +1,318 @@
+//! Machine topologies and the distance-dependent latency model.
+//!
+//! The paper evaluates on two machines:
+//!
+//! * a **128-processor HP Superdome**: 64 mx2 chips of two Itanium 2 CPUs;
+//!   two chips per bus, two buses per cell, four cells per crossbar, four
+//!   crossbars — with remote-cache accesses costing up to ~1000 cycles;
+//! * a **4-processor bus machine**, where a remote cache access costs only
+//!   slightly more than an L2 miss.
+//!
+//! [`Topology`] places each CPU in that hierarchy and [`LatencyModel`]
+//! prices a cache-to-cache transfer (or invalidation round) by the
+//! hierarchical distance between the CPUs.
+
+use std::fmt;
+
+/// A processor id. The simulator supports at most 128 CPUs (matching the
+/// largest machine in the paper, and the width of the sharer bitmasks).
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct CpuId(pub u16);
+
+impl CpuId {
+    /// The CPU id as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Maximum number of CPUs supported by the simulator.
+pub const MAX_CPUS: usize = 128;
+
+/// Where a CPU sits in the machine hierarchy.
+#[derive(Copy, Clone, Debug, Eq, PartialEq)]
+pub struct CpuLoc {
+    /// Chip (socket) index.
+    pub chip: u16,
+    /// Front-side bus index.
+    pub bus: u16,
+    /// Cell board index.
+    pub cell: u16,
+    /// Crossbar index.
+    pub crossbar: u16,
+}
+
+/// Hierarchical distance between two CPUs, from closest to farthest.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Ord, PartialOrd, Hash)]
+pub enum Distance {
+    /// The same CPU.
+    Local,
+    /// Different CPUs on one chip.
+    SameChip,
+    /// Different chips on one bus.
+    SameBus,
+    /// Different buses on one cell.
+    SameCell,
+    /// Different cells on one crossbar.
+    SameCrossbar,
+    /// Different crossbars.
+    Remote,
+}
+
+/// A machine: a set of CPUs with hierarchy coordinates.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    name: String,
+    locs: Vec<CpuLoc>,
+}
+
+impl Topology {
+    /// A single-bus SMP with `cpus` processors, one CPU per chip — the
+    /// paper's "small 4 processor machine" for `cpus = 4`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is 0 or exceeds [`MAX_CPUS`].
+    pub fn bus(cpus: usize) -> Self {
+        assert!(cpus > 0 && cpus <= MAX_CPUS, "cpu count {cpus} out of range");
+        let locs = (0..cpus)
+            .map(|i| CpuLoc { chip: i as u16, bus: 0, cell: 0, crossbar: 0 })
+            .collect();
+        Topology { name: format!("bus{cpus}"), locs }
+    }
+
+    /// An HP-Superdome-like hierarchy: 2 CPUs per chip, 2 chips per bus,
+    /// 2 buses per cell, 4 cells per crossbar, up to 4 crossbars (128
+    /// CPUs). Smaller `cpus` values take a prefix of the hierarchy — e.g.
+    /// `superdome(16)` is the paper's 16-way concurrency-collection
+    /// machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is 0 or exceeds [`MAX_CPUS`].
+    pub fn superdome(cpus: usize) -> Self {
+        assert!(cpus > 0 && cpus <= MAX_CPUS, "cpu count {cpus} out of range");
+        let locs = (0..cpus)
+            .map(|i| {
+                let chip = (i / 2) as u16;
+                let bus = chip / 2;
+                let cell = bus / 2;
+                let crossbar = cell / 4;
+                CpuLoc { chip, bus, cell, crossbar }
+            })
+            .collect();
+        Topology { name: format!("superdome{cpus}"), locs }
+    }
+
+    /// The machine's name (e.g. `superdome128`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of CPUs.
+    pub fn cpu_count(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// All CPU ids.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.locs.len() as u16).map(CpuId)
+    }
+
+    /// The hierarchy coordinates of a CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn loc(&self, cpu: CpuId) -> CpuLoc {
+        self.locs[cpu.index()]
+    }
+
+    /// Hierarchical distance between two CPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either CPU is out of range.
+    pub fn distance(&self, a: CpuId, b: CpuId) -> Distance {
+        if a == b {
+            return Distance::Local;
+        }
+        let la = self.loc(a);
+        let lb = self.loc(b);
+        if la.chip == lb.chip {
+            Distance::SameChip
+        } else if la.bus == lb.bus {
+            Distance::SameBus
+        } else if la.cell == lb.cell {
+            Distance::SameCell
+        } else if la.crossbar == lb.crossbar {
+            Distance::SameCrossbar
+        } else {
+            Distance::Remote
+        }
+    }
+}
+
+/// Cycle costs for cache events, by distance.
+///
+/// `transfer(d)` prices a cache-to-cache data transfer or an invalidation
+/// round-trip spanning distance `d`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Cache hit (load-to-use) latency.
+    pub hit: u64,
+    /// Transfer between the two CPUs of one chip.
+    pub same_chip: u64,
+    /// Transfer across one bus.
+    pub same_bus: u64,
+    /// Transfer within a cell.
+    pub same_cell: u64,
+    /// Transfer within a crossbar.
+    pub same_crossbar: u64,
+    /// Transfer across crossbars (~1000 cycles on the Superdome).
+    pub remote: u64,
+    /// Miss served from memory.
+    pub memory: u64,
+}
+
+impl LatencyModel {
+    /// Latencies approximating the 128-way HP Superdome of the paper.
+    pub fn superdome() -> Self {
+        LatencyModel {
+            hit: 12,
+            same_chip: 60,
+            same_bus: 110,
+            same_cell: 220,
+            same_crossbar: 400,
+            remote: 1000,
+            memory: 450,
+        }
+    }
+
+    /// Latencies approximating the small 4-way bus machine: a remote cache
+    /// access costs "only slightly higher than an L2 miss".
+    pub fn bus() -> Self {
+        LatencyModel {
+            hit: 12,
+            same_chip: 180,
+            same_bus: 240,
+            same_cell: 240,
+            same_crossbar: 240,
+            remote: 240,
+            memory: 210,
+        }
+    }
+
+    /// Cost of a transfer or invalidation round over distance `d`.
+    /// `Distance::Local` costs the hit latency.
+    pub fn transfer(&self, d: Distance) -> u64 {
+        match d {
+            Distance::Local => self.hit,
+            Distance::SameChip => self.same_chip,
+            Distance::SameBus => self.same_bus,
+            Distance::SameCell => self.same_cell,
+            Distance::SameCrossbar => self.same_crossbar,
+            Distance::Remote => self.remote,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_topology_is_flat() {
+        let t = Topology::bus(4);
+        assert_eq!(t.cpu_count(), 4);
+        assert_eq!(t.distance(CpuId(0), CpuId(0)), Distance::Local);
+        for a in t.cpus() {
+            for b in t.cpus() {
+                if a != b {
+                    assert_eq!(t.distance(a, b), Distance::SameBus);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn superdome_structure_matches_paper() {
+        let t = Topology::superdome(128);
+        assert_eq!(t.cpu_count(), 128);
+        // Two CPUs per chip.
+        assert_eq!(t.distance(CpuId(0), CpuId(1)), Distance::SameChip);
+        // Chips 0 and 1 share bus 0: cpus 2,3 are chip 1.
+        assert_eq!(t.distance(CpuId(0), CpuId(2)), Distance::SameBus);
+        // Buses 0 and 1 share cell 0: cpus 4..8 are bus 1.
+        assert_eq!(t.distance(CpuId(0), CpuId(4)), Distance::SameCell);
+        // Cells 0..4 share crossbar 0: cpu 8 is cell 1.
+        assert_eq!(t.distance(CpuId(0), CpuId(8)), Distance::SameCrossbar);
+        // Cell 4 (cpu 32) is crossbar 1.
+        assert_eq!(t.distance(CpuId(0), CpuId(32)), Distance::Remote);
+        // Distance is symmetric.
+        assert_eq!(t.distance(CpuId(32), CpuId(0)), Distance::Remote);
+        // 32 cpus per crossbar: cpu 127 is crossbar 3.
+        assert_eq!(t.loc(CpuId(127)).crossbar, 3);
+        assert_eq!(t.loc(CpuId(31)).crossbar, 0);
+    }
+
+    #[test]
+    fn superdome_prefix_is_consistent() {
+        let t = Topology::superdome(16);
+        assert_eq!(t.cpu_count(), 16);
+        // All 16 cpus fit in crossbar 0 (two cells).
+        for c in t.cpus() {
+            assert_eq!(t.loc(c).crossbar, 0);
+        }
+        assert_eq!(t.distance(CpuId(0), CpuId(8)), Distance::SameCrossbar);
+    }
+
+    #[test]
+    fn latency_ordering_is_monotonic_in_distance() {
+        let m = LatencyModel::superdome();
+        let ds = [
+            Distance::Local,
+            Distance::SameChip,
+            Distance::SameBus,
+            Distance::SameCell,
+            Distance::SameCrossbar,
+            Distance::Remote,
+        ];
+        for w in ds.windows(2) {
+            assert!(
+                m.transfer(w[0]) < m.transfer(w[1]),
+                "{:?} !< {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Remote transfers dwarf memory on the big machine (the false
+        // sharing penalty the paper highlights).
+        assert!(m.transfer(Distance::Remote) > m.memory);
+    }
+
+    #[test]
+    fn bus_latency_remote_is_close_to_memory() {
+        let m = LatencyModel::bus();
+        let remote = m.transfer(Distance::SameBus) as f64;
+        assert!(remote / m.memory as f64 <= 1.25, "remote should be only slightly above memory");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_cpus() {
+        Topology::bus(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_too_many_cpus() {
+        Topology::superdome(129);
+    }
+}

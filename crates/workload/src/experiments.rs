@@ -1,0 +1,260 @@
+//! Experiment drivers that regenerate the paper's figures.
+//!
+//! The paper's flow, reproduced:
+//!
+//! 1. One instrumented 16-way run produces PBO + Code Concurrency
+//!    ([`compute_paper_layouts`]). From it, for each of structs A–E, three
+//!    layouts are derived: the **tool** layout (automatic FLG clustering,
+//!    §5.1), the naïve **sort-by-hotness** layout (§5.1), and the
+//!    **constrained** layout (§5.2 important-edge subgraph applied to the
+//!    baseline).
+//! 2. Each layout replaces that one struct's baseline layout and the
+//!    SDET-like workload is measured (warm-up + n runs, trimmed mean) on a
+//!    target machine; results are reported as % throughput difference
+//!    versus the all-baseline configuration ([`figure_rows`]).
+//!
+//! Figure 8 = {Tool, SortByHotness} on the 128-way machine; Figure 9 = the
+//! same layouts on the 4-way machine; Figure 10 = best of {Tool,
+//! Constrained} per struct on the 128-way machine.
+
+use crate::analyze::{analyze, constrained_for, suggest_for, AnalysisConfig, KernelAnalysis};
+use crate::kernel::Kernel;
+use crate::sdet::{baseline_layouts, layouts_with, measure, Machine, SdetConfig, Throughput};
+use slopt_core::{sort_by_hotness, Suggestion, ToolParams};
+use slopt_ir::layout::StructLayout;
+use slopt_ir::types::RecordId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which transformed layout a measurement used.
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash)]
+pub enum LayoutKind {
+    /// Automatic FLG clustering (the paper's tool).
+    Tool,
+    /// The naïve §5.1 sort-by-hotness heuristic.
+    SortByHotness,
+    /// The §5.2 constrained edit of the baseline.
+    Constrained,
+}
+
+impl fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayoutKind::Tool => "tool",
+            LayoutKind::SortByHotness => "sort-by-hotness",
+            LayoutKind::Constrained => "constrained",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The per-record layouts derived from one measurement run.
+#[derive(Debug)]
+pub struct PaperLayouts {
+    /// The analysis artifacts the layouts came from.
+    pub analysis: KernelAnalysis,
+    /// Full tool output per record (layout + clustering + report).
+    pub suggestions: HashMap<RecordId, Suggestion>,
+    /// Sort-by-hotness layout per record.
+    pub hotness: HashMap<RecordId, StructLayout>,
+    /// Constrained (§5.2) layout per record.
+    pub constrained: HashMap<RecordId, StructLayout>,
+}
+
+impl PaperLayouts {
+    /// The layout of `kind` for `rec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rec` is not one of the kernel records.
+    pub fn layout(&self, rec: RecordId, kind: LayoutKind) -> &StructLayout {
+        match kind {
+            LayoutKind::Tool => &self.suggestions[&rec].layout,
+            LayoutKind::SortByHotness => &self.hotness[&rec],
+            LayoutKind::Constrained => &self.constrained[&rec],
+        }
+    }
+}
+
+/// Runs the measurement run and derives all per-record layouts.
+pub fn compute_paper_layouts(
+    kernel: &Kernel,
+    sdet: &SdetConfig,
+    analysis_cfg: &AnalysisConfig,
+    tool: ToolParams,
+) -> PaperLayouts {
+    let analysis = analyze(kernel, sdet, analysis_cfg);
+    let mut suggestions = HashMap::new();
+    let mut hotness = HashMap::new();
+    let mut constrained = HashMap::new();
+    for (_, rec) in kernel.records.all() {
+        let suggestion = suggest_for(kernel, &analysis, rec, tool);
+        let ty = kernel.record_type(rec);
+        let hot: Vec<u64> = ty
+            .field_indices()
+            .map(|f| suggestion.flg.hotness(f))
+            .collect();
+        hotness.insert(
+            rec,
+            sort_by_hotness(ty, &hot, tool.layout.line_size).expect("valid record"),
+        );
+        constrained.insert(rec, constrained_for(kernel, &analysis, rec, tool));
+        suggestions.insert(rec, suggestion);
+    }
+    PaperLayouts { analysis, suggestions, hotness, constrained }
+}
+
+/// One figure row: the % throughput difference vs baseline for each
+/// measured layout kind of one struct.
+#[derive(Clone, Debug)]
+pub struct FigureRow {
+    /// The struct's display letter (A–E).
+    pub letter: char,
+    /// The record id.
+    pub record: RecordId,
+    /// `(kind, % difference vs baseline)` in the order requested.
+    pub results: Vec<(LayoutKind, f64)>,
+}
+
+/// A measured figure: baseline throughput + per-struct rows.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Title for display.
+    pub title: String,
+    /// The all-baseline measurement.
+    pub baseline: Throughput,
+    /// Per-struct results.
+    pub rows: Vec<FigureRow>,
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.title)?;
+        writeln!(f, "baseline throughput: {:.3} scripts/Mcycle", self.baseline.mean)?;
+        if let Some(first) = self.rows.first() {
+            write!(f, "{:<8}", "struct")?;
+            for (kind, _) in &first.results {
+                write!(f, "{:>18}", kind.to_string())?;
+            }
+            writeln!(f)?;
+        }
+        for row in &self.rows {
+            write!(f, "{:<8}", row.letter)?;
+            for (_, pct) in &row.results {
+                write!(f, "{:>17.2}%", pct)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures the % throughput difference of each layout kind for each
+/// struct on `machine`, transforming one struct at a time (the paper's
+/// §5.1/§5.2 protocol).
+pub fn figure_rows(
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+) -> Figure {
+    let base_table = baseline_layouts(kernel, sdet.line_size);
+    let baseline = measure(kernel, &base_table, machine, sdet, runs);
+    let rows = kernel
+        .records
+        .all()
+        .iter()
+        .map(|&(letter, rec)| {
+            let results = kinds
+                .iter()
+                .map(|&kind| {
+                    let table =
+                        layouts_with(kernel, sdet.line_size, rec, layouts.layout(rec, kind).clone());
+                    let t = measure(kernel, &table, machine, sdet, runs);
+                    (kind, t.pct_vs(&baseline))
+                })
+                .collect();
+            FigureRow { letter, record: rec, results }
+        })
+        .collect();
+    Figure { title: title.into(), baseline, rows }
+}
+
+/// Figure 10's reduction: for each struct, the best of the automatic and
+/// constrained layouts (the paper reports "best performance").
+pub fn best_rows(fig: &Figure) -> Vec<(char, LayoutKind, f64)> {
+    fig.rows
+        .iter()
+        .map(|row| {
+            let &(kind, pct) = row
+                .results
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("pcts are never NaN"))
+                .expect("non-empty results");
+            (row.letter, kind, pct)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::build_kernel;
+    use slopt_sim::CacheConfig;
+
+    fn tiny() -> (Kernel, SdetConfig, AnalysisConfig) {
+        let kernel = build_kernel();
+        let sdet = SdetConfig {
+            scripts_per_cpu: 4,
+            invocations_per_script: 6,
+            pool_instances: 24,
+            cache: CacheConfig { line_size: 128, sets: 64, ways: 4 },
+            ..SdetConfig::default()
+        };
+        let analysis = AnalysisConfig {
+            machine: Machine::superdome(8),
+            ..AnalysisConfig::default()
+        };
+        (kernel, sdet, analysis)
+    }
+
+    #[test]
+    fn paper_layouts_cover_all_records_and_kinds() {
+        let (kernel, sdet, acfg) = tiny();
+        let layouts = compute_paper_layouts(&kernel, &sdet, &acfg, ToolParams::default());
+        for (_, rec) in kernel.records.all() {
+            for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
+                let l = layouts.layout(rec, kind);
+                let mut order = l.order().to_vec();
+                order.sort();
+                assert_eq!(order, kernel.record_type(rec).field_indices().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn figure_rows_report_every_struct() {
+        let (kernel, sdet, acfg) = tiny();
+        let layouts = compute_paper_layouts(&kernel, &sdet, &acfg, ToolParams::default());
+        let machine = Machine::superdome(4);
+        let fig = figure_rows(
+            &kernel,
+            &machine,
+            &sdet,
+            2,
+            &layouts,
+            &[LayoutKind::Tool],
+            "smoke",
+        );
+        assert_eq!(fig.rows.len(), 5);
+        assert!(fig.baseline.mean > 0.0);
+        let text = fig.to_string();
+        assert!(text.contains("smoke"));
+        assert!(text.contains("tool"));
+        let best = best_rows(&fig);
+        assert_eq!(best.len(), 5);
+    }
+}

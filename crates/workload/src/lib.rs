@@ -1,0 +1,45 @@
+//! # slopt-workload — the synthetic HP-UX kernel and SDET-like benchmark
+//!
+//! The paper evaluates its layout tool on proprietary HP-UX kernel
+//! structures under SPEC SDM 057.sdet. This crate provides open
+//! equivalents:
+//!
+//! * [`structs`] — five kernel structures (A–E) whose field counts,
+//!   hand-tuned baselines and sharing characters match the paper's
+//!   descriptions (A: >100 fields with heavy false sharing on stats
+//!   counters; B–E: varying affinity/contention mixes).
+//! * [`kernel`] — syscall-like IR functions over those structures, exposed
+//!   as a weighted [`kernel::Action`] mix.
+//! * [`sdet`] — the throughput driver: scripts per CPU, warm-up + n runs,
+//!   outlier-trimmed mean, on configurable machines
+//!   ([`sdet::Machine::superdome`], [`sdet::Machine::bus`]).
+//! * [`mod@analyze`] — the instrumented measurement run (PBO profile + PMU
+//!   samples → Code Concurrency → CycleLoss), including the paper's
+//!   alias-analysis mitigation for per-CPU instances.
+//! * [`experiments`] — figure drivers: derive the tool / sort-by-hotness /
+//!   constrained layouts once, then measure each against the baseline on
+//!   any machine (Figures 8, 9, 10).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analyze;
+pub mod experiments;
+pub mod kernel;
+pub mod sdet;
+pub mod spec;
+pub mod structs;
+pub mod validate;
+
+pub use analyze::{analyze, constrained_for, loss_for, suggest_for, AnalysisConfig, KernelAnalysis};
+pub use experiments::{
+    best_rows, compute_paper_layouts, figure_rows, Figure, FigureRow, LayoutKind, PaperLayouts,
+};
+pub use kernel::{build_kernel, Action, CustomWorkload, Kernel, SlotKind, WorkloadSpec};
+pub use sdet::{
+    baseline_layouts, build_scripts, layouts_with, measure, run_once, run_once_logged, Instances,
+    Machine, SdetConfig, SdetRun, Throughput,
+};
+pub use spec::{parse_workload_file, SpecError};
+pub use validate::{ground_truth_loss, GroundTruthLoss};
+pub use structs::{KernelRecords, STAT_CLASSES};

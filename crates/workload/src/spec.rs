@@ -1,0 +1,343 @@
+//! Parsing complete workload files: a `.sir` program plus a `workload`
+//! section describing the action mix — everything `slopt-tool` needs to
+//! run the pipeline on a user-defined system.
+//!
+//! ```text
+//! record vnode { hash: u64  refcnt: u64 }
+//!
+//! fn lookup { block b { read vnode.hash @0  ret } }
+//! fn openc  { block b { write vnode.refcnt @0  ret } }
+//!
+//! workload {
+//!     action lookup weight 2.5 slots pool:vnode
+//!     action openc  weight 1.0 slots pool:vnode
+//! }
+//! ```
+//!
+//! * `action <fn> weight <w> slots <kind>:<record> ...` — one line per
+//!   action; slot kinds are `shared`, `own`, `other`, `pool`, listed in
+//!   slot-index order.
+//! * `action <name> variants <fn> <fn> ... weight <w> slots ...` — an
+//!   action with per-CPU function variants (CPU `i` runs variant
+//!   `i mod n`).
+//!
+//! The rest of the file is the `.sir` program (see
+//! [`slopt_ir::text`]).
+
+use crate::kernel::{Action, CustomWorkload, SlotKind};
+use slopt_ir::cfg::Program;
+use slopt_ir::text::parse_program;
+use std::error::Error;
+use std::fmt;
+
+/// An error while parsing a workload file.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct SpecError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+impl From<slopt_ir::text::ParseError> for SpecError {
+    fn from(e: slopt_ir::text::ParseError) -> Self {
+        SpecError { line: e.line, message: e.message }
+    }
+}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError { line, message: message.into() })
+}
+
+/// Splits the input into (program text, workload-section lines). Lines of
+/// the workload section keep their 1-based numbers.
+fn split_sections(input: &str) -> Result<(String, Vec<(usize, String)>), SpecError> {
+    let mut program = String::new();
+    let mut workload: Vec<(usize, String)> = Vec::new();
+    let mut in_workload = false;
+    let mut saw_workload = false;
+    for (i, raw) in input.lines().enumerate() {
+        let line_no = i + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if in_workload {
+            if code == "}" {
+                in_workload = false;
+            } else if !code.is_empty() {
+                workload.push((line_no, code.to_string()));
+            }
+            continue;
+        }
+        if code == "workload {" || code == "workload{" {
+            if saw_workload {
+                return err(line_no, "duplicate workload section");
+            }
+            saw_workload = true;
+            in_workload = true;
+            continue;
+        }
+        program.push_str(raw);
+        program.push('\n');
+    }
+    if in_workload {
+        return err(input.lines().count(), "unterminated workload section");
+    }
+    if !saw_workload {
+        return err(1, "missing `workload { ... }` section");
+    }
+    Ok((program, workload))
+}
+
+fn parse_slot(token: &str, program: &Program, line: usize) -> Result<SlotKind, SpecError> {
+    let Some((kind, rec_name)) = token.split_once(':') else {
+        return err(line, format!("slot `{token}` is not of the form kind:record"));
+    };
+    let Some(rec) = program.registry().lookup(rec_name) else {
+        return err(line, format!("unknown record `{rec_name}`"));
+    };
+    match kind {
+        "shared" => Ok(SlotKind::Shared(rec)),
+        "own" => Ok(SlotKind::OwnCpu(rec)),
+        "other" => Ok(SlotKind::OtherCpu(rec)),
+        "pool" => Ok(SlotKind::Pool(rec)),
+        other => err(line, format!("unknown slot kind `{other}` (shared/own/other/pool)")),
+    }
+}
+
+/// Parses a complete workload file (program + `workload` section).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on any syntax or reference problem; program
+/// errors from the `.sir` part carry their original line numbers.
+pub fn parse_workload_file(input: &str) -> Result<CustomWorkload, SpecError> {
+    let (program_text, workload_lines) = split_sections(input)?;
+    let program = parse_program(&program_text)?;
+
+    let mut actions: Vec<Action> = Vec::new();
+    for (line, text) in workload_lines {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let ["action", rest @ ..] = tokens.as_slice() else {
+            return err(line, format!("expected `action ...`, found `{text}`"));
+        };
+        let Some((&name, mut rest)) = rest.split_first() else {
+            return err(line, "action needs a name");
+        };
+
+        // Optional `variants f g h ...` (consumed until `weight`).
+        let mut variants: Vec<&str> = Vec::new();
+        if rest.first() == Some(&"variants") {
+            rest = &rest[1..];
+            while let Some((&v, r)) = rest.split_first() {
+                if v == "weight" {
+                    break;
+                }
+                variants.push(v);
+                rest = r;
+            }
+            if variants.is_empty() {
+                return err(line, "`variants` needs at least one function");
+            }
+        } else {
+            variants.push(name);
+        }
+
+        let Some((&kw, rest2)) = rest.split_first() else {
+            return err(line, "missing `weight`");
+        };
+        if kw != "weight" {
+            return err(line, format!("expected `weight`, found `{kw}`"));
+        }
+        let Some((&w, rest3)) = rest2.split_first() else {
+            return err(line, "missing weight value");
+        };
+        let weight: f64 = match w.parse() {
+            Ok(v) if v > 0.0 => v,
+            _ => return err(line, format!("bad weight `{w}` (must be positive)")),
+        };
+
+        let Some((&kw, slot_tokens)) = rest3.split_first() else {
+            return err(line, "missing `slots`");
+        };
+        if kw != "slots" {
+            return err(line, format!("expected `slots`, found `{kw}`"));
+        }
+        if slot_tokens.is_empty() {
+            return err(line, "an action needs at least one slot");
+        }
+
+        let variant_ids = variants
+            .iter()
+            .map(|v| {
+                program
+                    .lookup(v)
+                    .ok_or(SpecError { line, message: format!("unknown function `{v}`") })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let slots = slot_tokens
+            .iter()
+            .map(|t| parse_slot(t, &program, line))
+            .collect::<Result<Vec<_>, _>>()?;
+
+        // Check every access of every variant is covered by the slots.
+        for (&fid, vname) in variant_ids.iter().zip(&variants) {
+            for (_, block) in program.function(fid).blocks() {
+                for acc in block.accesses() {
+                    let idx = acc.slot.0 as usize;
+                    if idx >= slots.len() {
+                        return err(
+                            line,
+                            format!("`{vname}` accesses slot {idx} but only {} slots are bound", slots.len()),
+                        );
+                    }
+                    if slots[idx].record() != acc.record {
+                        return err(
+                            line,
+                            format!("slot {idx} of `{vname}` binds the wrong record"),
+                        );
+                    }
+                }
+            }
+        }
+
+        actions.push(Action {
+            name: name.to_string(),
+            weight,
+            variants: variant_ids,
+            slots,
+        });
+    }
+    if actions.is_empty() {
+        return err(1, "workload section has no actions");
+    }
+    Ok(CustomWorkload { program, actions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::WorkloadSpec;
+
+    const SAMPLE: &str = r#"
+record vnode {
+    hash: u64
+    refcnt: u64
+}
+
+fn lookup {
+    block b {
+        read vnode.hash @0
+        ret
+    }
+}
+
+fn openc {
+    block b {
+        write vnode.refcnt @0
+        read vnode.hash @1
+        ret
+    }
+}
+
+workload {
+    action lookup weight 2.5 slots pool:vnode
+    action openc weight 1.0 slots pool:vnode shared:vnode
+}
+"#;
+
+    #[test]
+    fn parses_program_and_actions() {
+        let w = parse_workload_file(SAMPLE).unwrap();
+        assert_eq!(w.program().function_count(), 2);
+        assert_eq!(w.actions().len(), 2);
+        let openc = &w.actions()[1];
+        assert_eq!(openc.name, "openc");
+        assert_eq!(openc.weight, 1.0);
+        assert_eq!(openc.slots.len(), 2);
+        assert!(matches!(openc.slots[0], SlotKind::Pool(_)));
+        assert!(matches!(openc.slots[1], SlotKind::Shared(_)));
+    }
+
+    #[test]
+    fn parsed_workload_drives_the_full_pipeline() {
+        use crate::sdet::{baseline_layouts, run_once, Machine, SdetConfig};
+        let w = parse_workload_file(SAMPLE).unwrap();
+        let cfg = SdetConfig {
+            scripts_per_cpu: 4,
+            invocations_per_script: 5,
+            pool_instances: 16,
+            cache: slopt_sim::CacheConfig { line_size: 128, sets: 32, ways: 2 },
+            ..SdetConfig::default()
+        };
+        let layouts = baseline_layouts(&w, cfg.line_size);
+        let machine = Machine::bus(2);
+        let run = run_once(&w, &layouts, &machine, &cfg, 1, &mut slopt_sim::NullObserver);
+        assert_eq!(run.result.scripts_done, 8);
+        assert!(run.stats.accesses() > 0);
+    }
+
+    #[test]
+    fn variants_clause() {
+        let src = r#"
+record s { x: u64 }
+fn f0 { block b { write s.x @0 ret } }
+fn f1 { block b { read s.x @0 ret } }
+workload {
+    action bump variants f0 f1 weight 1.0 slots shared:s
+}
+"#;
+        let w = parse_workload_file(src).unwrap();
+        assert_eq!(w.actions()[0].variants.len(), 2);
+        assert_eq!(w.actions()[0].name, "bump");
+    }
+
+    #[test]
+    fn errors_are_located_and_specific() {
+        let cases = [
+            ("record s { x: u64 }\nfn f { block b { ret } }", "missing `workload"),
+            (
+                "record s { x: u64 }\nfn f { block b { ret } }\nworkload {\naction g weight 1 slots pool:s\n}",
+                "unknown function `g`",
+            ),
+            (
+                "record s { x: u64 }\nfn f { block b { ret } }\nworkload {\naction f weight -2 slots pool:s\n}",
+                "bad weight",
+            ),
+            (
+                "record s { x: u64 }\nfn f { block b { ret } }\nworkload {\naction f weight 1 slots pool:zzz\n}",
+                "unknown record",
+            ),
+            (
+                "record s { x: u64 }\nfn f { block b { ret } }\nworkload {\naction f weight 1 slots magic:s\n}",
+                "unknown slot kind",
+            ),
+            (
+                "record s { x: u64 }\nfn f { block b { write s.x @3 ret } }\nworkload {\naction f weight 1 slots shared:s\n}",
+                "accesses slot 3",
+            ),
+            (
+                "record s { x: u64 }\nfn f { block b { ret } }\nworkload {",
+                "unterminated workload",
+            ),
+        ];
+        for (src, needle) in cases {
+            let e = parse_workload_file(src).expect_err(src);
+            assert!(e.to_string().contains(needle), "for {src:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn sir_errors_keep_their_lines() {
+        let src = "record s { x: zz }\nworkload {\naction f weight 1 slots pool:s\n}";
+        let e = parse_workload_file(src).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown type"));
+    }
+}

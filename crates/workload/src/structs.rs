@@ -1,0 +1,330 @@
+//! The five kernel structures of the evaluation (paper §5, structs A–E).
+//!
+//! The paper's structures are proprietary HP-UX kernel types; it
+//! characterizes them only by field count, degree of hand-tuning, and
+//! false-sharing intensity. These synthetic equivalents encode exactly
+//! those properties:
+//!
+//! | struct | analogue | fields | character |
+//! |---|---|---|---|
+//! | A | process table entry | 160 | heavy false sharing: 8 per-CPU-class stat counters on a shared instance; hand-tuned baseline isolates each counter on its own line |
+//! | B | vnode | 40 | lookup-loop affinity, hot fields scattered across lines in the baseline; almost no false sharing |
+//! | C | buffer-cache header | 24 | strong loop affinity on a 4-field traversal group |
+//! | D | open-file entry | 64 | mixed: two mildly contended I/O counters (pre-separated in the baseline) plus an affine hot group |
+//! | E | scheduler runqueue | 32 | mostly per-CPU instances; hot ring fields plus cold stats |
+//!
+//! The **declaration order is the hand-tuned baseline layout** (the paper
+//! assumes the current HP-UX layouts are near-optimal): struct A's
+//! declaration order places its eight contended counters on eight distinct
+//! cache lines with cold fields as separation, and keeps the hot read-only
+//! fields together on the first line.
+
+use slopt_ir::types::{FieldType, PrimType, RecordId, RecordType, TypeRegistry};
+
+/// Number of contended statistics counters in struct A (CPU `i` updates
+/// counter `i mod STAT_CLASSES`).
+pub const STAT_CLASSES: usize = 8;
+
+fn u64f(name: &str) -> (String, FieldType) {
+    (name.to_string(), FieldType::Prim(PrimType::U64))
+}
+
+fn u32f(name: &str) -> (String, FieldType) {
+    (name.to_string(), FieldType::Prim(PrimType::U32))
+}
+
+fn ptrf(name: &str) -> (String, FieldType) {
+    (name.to_string(), FieldType::Prim(PrimType::Ptr))
+}
+
+/// Struct A: the process-table-entry analogue (160 fields, 10 lines at
+/// 128 B in the baseline).
+///
+/// Baseline (declaration) order — deliberately *near-optimal*, as the
+/// paper assumes for the hand-tuned HP-UX structures:
+/// * line 0 — 12 hot read-mostly fields + the per-instance lock + 3
+///   reserved words (128 bytes exactly);
+/// * line 1 — the 16 warm accounting fields that the periodic reap path
+///   walks together (`acct0..acct15`, 128 bytes exactly);
+/// * lines 2..=9 — one `statN` counter each, followed by 15 never-touched
+///   cold fields (8 + 120 = 128 bytes): the hand-tuning that keeps the
+///   contended counters from false-sharing with anything.
+pub fn struct_a() -> RecordType {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    // Hot read-mostly line (96 bytes).
+    for name in [
+        "pid", "ppid", "uid", "gid", "flags", "state", "pri", "nice", "policy", "cpu_last",
+        "vm_ptr", "fd_ptr",
+    ] {
+        fields.push(u64f(name));
+    }
+    // Per-instance lock (contended only on pool instances).
+    fields.push(u64f("lock"));
+    // Reserved words padding the hot line to exactly 128 bytes.
+    for i in 0..3 {
+        fields.push(u64f(&format!("rsvd{i}")));
+    }
+    // Warm accounting line (walked together by a_reap).
+    for i in 0..16 {
+        fields.push(u64f(&format!("acct{i}")));
+    }
+    // Eight counter lines: statN + 15 cold u64s each.
+    for k in 0..STAT_CLASSES {
+        fields.push(u64f(&format!("stat{k}")));
+        for j in 0..15 {
+            fields.push(u64f(&format!("cold_a{k}_{j}")));
+        }
+    }
+    RecordType::new("proc_a", fields)
+}
+
+/// Struct B: the vnode analogue (40 fields).
+///
+/// The five lookup-loop fields (`v_hash`, `v_name`, `v_parent`, `v_flags`,
+/// `v_type`) are deliberately scattered across the baseline's three cache
+/// lines (a realistic accretion artifact), so the automatic layout can win
+/// by packing them.
+pub fn struct_b() -> RecordType {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    fields.push(u64f("v_hash")); // hot: lookup
+    for i in 0..7 {
+        fields.push(u64f(&format!("cold_b0_{i}")));
+    }
+    fields.push(ptrf("v_name")); // hot: lookup (line 0 tail)
+    fields.push(u64f("v_refcnt")); // warm: open/close writes (pool instances)
+    for i in 0..6 {
+        fields.push(u64f(&format!("cold_b1_{i}")));
+    }
+    fields.push(ptrf("v_parent")); // hot: lookup (line 1)
+    for i in 0..7 {
+        fields.push(u64f(&format!("cold_b2_{i}")));
+    }
+    fields.push(u64f("v_flags")); // hot: lookup (line 1 tail)
+    for i in 0..7 {
+        fields.push(u64f(&format!("cold_b3_{i}")));
+    }
+    fields.push(u64f("v_type")); // hot: lookup (line 2)
+    for i in 0..7 {
+        fields.push(u64f(&format!("cold_b4_{i}")));
+    }
+    RecordType::new("vnode_b", fields)
+}
+
+/// Struct C: the buffer-cache-header analogue (24 fields).
+///
+/// A four-field traversal group (`next`, `key`, `size`, `bstate`) is split
+/// between the two baseline lines; everything else is cold.
+pub fn struct_c() -> RecordType {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    fields.push(ptrf("next")); // hot
+    fields.push(u64f("key")); // hot
+    for i in 0..14 {
+        fields.push(u64f(&format!("cold_c0_{i}")));
+    }
+    fields.push(u64f("size")); // hot but landed on line 1
+    fields.push(u64f("bstate")); // hot, line 1
+    fields.push(u64f("lru_tick")); // warm write (pool instances)
+    for i in 0..5 {
+        fields.push(u64f(&format!("cold_c1_{i}")));
+    }
+    RecordType::new("buf_c", fields)
+}
+
+/// Struct D: the open-file-entry analogue (64 fields).
+///
+/// Two mildly contended counters (`io_reads`, `io_writes`, updated on the
+/// shared instance by a fraction of scripts) are already separated in the
+/// baseline; the hot per-file group (`f_pos`, `f_vnode`, `f_flags`,
+/// `f_mode`) is split across lines.
+pub fn struct_d() -> RecordType {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    fields.push(u64f("f_pos")); // hot rw (pool)
+    fields.push(ptrf("f_vnode")); // hot r
+    for i in 0..14 {
+        fields.push(u64f(&format!("cold_d0_{i}")));
+    }
+    fields.push(u64f("io_reads")); // contended counter, line 1
+    for i in 0..15 {
+        fields.push(u64f(&format!("cold_d1_{i}")));
+    }
+    fields.push(u64f("f_flags")); // hot r, line 2
+    fields.push(u64f("f_mode")); // hot r, line 2
+    for i in 0..14 {
+        fields.push(u64f(&format!("cold_d2_{i}")));
+    }
+    fields.push(u64f("io_writes")); // contended counter, line 3
+    for i in 0..15 {
+        fields.push(u64f(&format!("cold_d3_{i}")));
+    }
+    RecordType::new("file_d", fields)
+}
+
+/// Struct E: the scheduler-runqueue analogue (32 fields).
+///
+/// Instances are per-CPU; owners write the hot ring fields (`rq_head`,
+/// `rq_tail`, `rq_len`, `rq_clock`) and remote CPUs occasionally read
+/// `rq_len` when looking for work to steal. The baseline keeps the ring
+/// fields adjacent but shares their line with the cold stats that the
+/// steal path also touches.
+pub fn struct_e() -> RecordType {
+    let mut fields: Vec<(String, FieldType)> = Vec::new();
+    fields.push(ptrf("rq_head")); // hot w (owner)
+    fields.push(ptrf("rq_tail")); // hot w (owner)
+    fields.push(u64f("rq_len")); // hot w (owner), r (stealers)
+    fields.push(u64f("rq_clock")); // hot w (owner)
+    fields.push(u64f("steal_count")); // written by stealers
+    for i in 0..11 {
+        fields.push(u64f(&format!("cold_e0_{i}")));
+    }
+    for i in 0..8 {
+        fields.push(u32f(&format!("cold_e1_{i}")));
+    }
+    for i in 0..8 {
+        fields.push(u64f(&format!("cold_e2_{i}")));
+    }
+    RecordType::new("rq_e", fields)
+}
+
+/// The five records registered in one registry.
+#[derive(Copy, Clone, Debug, Eq, PartialEq)]
+pub struct KernelRecords {
+    /// Struct A (process table entry).
+    pub a: RecordId,
+    /// Struct B (vnode).
+    pub b: RecordId,
+    /// Struct C (buffer-cache header).
+    pub c: RecordId,
+    /// Struct D (open-file entry).
+    pub d: RecordId,
+    /// Struct E (runqueue).
+    pub e: RecordId,
+}
+
+impl KernelRecords {
+    /// All five in A..E order with their display letters.
+    pub fn all(&self) -> [(char, RecordId); 5] {
+        [('A', self.a), ('B', self.b), ('C', self.c), ('D', self.d), ('E', self.e)]
+    }
+}
+
+/// Registers structs A–E into `registry`.
+pub fn register_all(registry: &mut TypeRegistry) -> KernelRecords {
+    KernelRecords {
+        a: registry.add_record(struct_a()),
+        b: registry.add_record(struct_b()),
+        c: registry.add_record(struct_c()),
+        d: registry.add_record(struct_d()),
+        e: registry.add_record(struct_e()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slopt_ir::layout::StructLayout;
+    use slopt_ir::types::FieldIdx;
+
+    #[test]
+    fn struct_a_has_paper_scale_field_count() {
+        let a = struct_a();
+        assert!(a.field_count() > 100, "paper: struct A has >100 fields");
+        assert_eq!(a.field_count(), 16 + 16 + 16 * STAT_CLASSES);
+    }
+
+    #[test]
+    fn struct_a_baseline_isolates_every_counter() {
+        let a = struct_a();
+        let l = StructLayout::declaration_order(&a, 128).unwrap();
+        assert_eq!(l.size(), 128 * 10, "hot line + acct line + 8 counter lines");
+        let stat_lines: Vec<u64> = (0..STAT_CLASSES)
+            .map(|k| {
+                let f = a.field_by_name(&format!("stat{k}")).unwrap();
+                l.lines_of(f).0
+            })
+            .collect();
+        // All counters on distinct lines, none on the hot line 0.
+        let mut unique = stat_lines.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), STAT_CLASSES);
+        assert!(!stat_lines.contains(&0));
+        // Hot fields all on line 0.
+        for name in ["pid", "flags", "state", "fd_ptr", "lock"] {
+            let f = a.field_by_name(name).unwrap();
+            assert_eq!(l.lines_of(f), (0, 0), "{name} must be on the hot line");
+        }
+    }
+
+    #[test]
+    fn struct_b_scatters_lookup_fields_across_lines() {
+        let b = struct_b();
+        assert_eq!(b.field_count(), 40);
+        let l = StructLayout::declaration_order(&b, 128).unwrap();
+        let lines: Vec<u64> = ["v_hash", "v_name", "v_parent", "v_flags", "v_type"]
+            .iter()
+            .map(|n| l.lines_of(b.field_by_name(n).unwrap()).0)
+            .collect();
+        let mut unique = lines.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() >= 3, "lookup fields must span >= 3 lines, got {lines:?}");
+    }
+
+    #[test]
+    fn struct_c_splits_traversal_group() {
+        let c = struct_c();
+        assert_eq!(c.field_count(), 24);
+        let l = StructLayout::declaration_order(&c, 128).unwrap();
+        let next = c.field_by_name("next").unwrap();
+        let size = c.field_by_name("size").unwrap();
+        assert!(!l.share_line(next, size), "baseline splits the traversal group");
+    }
+
+    #[test]
+    fn struct_d_baseline_separates_io_counters() {
+        let d = struct_d();
+        assert_eq!(d.field_count(), 64);
+        let l = StructLayout::declaration_order(&d, 128).unwrap();
+        let r = d.field_by_name("io_reads").unwrap();
+        let w = d.field_by_name("io_writes").unwrap();
+        assert!(!l.share_line(r, w));
+        assert!(!l.share_line(r, d.field_by_name("f_pos").unwrap()));
+    }
+
+    #[test]
+    fn struct_e_shape() {
+        let e = struct_e();
+        assert_eq!(e.field_count(), 32);
+        let l = StructLayout::declaration_order(&e, 128).unwrap();
+        assert!(l.share_line(
+            e.field_by_name("rq_head").unwrap(),
+            e.field_by_name("rq_len").unwrap()
+        ));
+    }
+
+    #[test]
+    fn register_all_yields_distinct_ids() {
+        let mut reg = TypeRegistry::new();
+        let recs = register_all(&mut reg);
+        let ids = [recs.a, recs.b, recs.c, recs.d, recs.e];
+        let mut unique = ids.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 5);
+        assert_eq!(reg.len(), 5);
+        assert_eq!(recs.all()[0].0, 'A');
+    }
+
+    #[test]
+    fn every_field_idx_resolves() {
+        for rec in [struct_a(), struct_b(), struct_c(), struct_d(), struct_e()] {
+            for (idx, f) in rec.fields() {
+                assert_eq!(rec.field_by_name(f.name()), Some(idx));
+            }
+            // And layouts compute without error at both line sizes.
+            StructLayout::declaration_order(&rec, 128).unwrap();
+            StructLayout::declaration_order(&rec, 64).unwrap();
+            let _ = FieldIdx(0);
+        }
+    }
+}

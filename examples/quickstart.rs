@@ -1,0 +1,115 @@
+//! Quickstart: the full pipeline on a small program.
+//!
+//! We declare a struct whose hot loop reads two fields that the
+//! declaration order separates, and whose statistics counter is written
+//! concurrently by every CPU. The tool should (a) co-locate the loop pair
+//! and (b) isolate the counter.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use slopt::core::{suggest_layout, ToolParams};
+use slopt::ir::builder::{FunctionBuilder, ProgramBuilder};
+use slopt::ir::cfg::InstanceSlot;
+use slopt::ir::layout::StructLayout;
+use slopt::ir::types::{FieldType, PrimType, RecordType, TypeRegistry};
+use slopt::sample::{concurrency_map, ConcurrencyConfig, Sampler, SamplerConfig};
+use slopt::sim::{
+    CacheConfig, EngineConfig, Invocation, LatencyModel, LayoutTable, MemSystem, Script, Topology,
+};
+use slopt::workload; // only for the doc pointer below
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the record. Declaration order = current layout.
+    let mut registry = TypeRegistry::new();
+    let rec = registry.add_record(RecordType::new(
+        "counters",
+        vec![
+            ("head", FieldType::Prim(PrimType::Ptr)),   // hot loop
+            ("pad", FieldType::Array { elem: PrimType::U64, len: 18 }), // 144B of cold stuff
+            ("len", FieldType::Prim(PrimType::U64)),    // hot loop (far from head!)
+            ("hits", FieldType::Prim(PrimType::U64)),   // written by every CPU
+        ],
+    ));
+    let ty = registry.record(rec).clone();
+    let head = ty.field_by_name("head").unwrap();
+    let len = ty.field_by_name("len").unwrap();
+    let hits = ty.field_by_name("hits").unwrap();
+
+    // 2. Write the kernel code: a scan loop (reads head+len) and a bump
+    //    (writes hits), both on a shared instance.
+    let mut pb = ProgramBuilder::new(registry);
+    let mut scan = FunctionBuilder::new("scan");
+    let entry = scan.add_block();
+    let body = scan.add_block();
+    let exit = scan.add_block();
+    scan.jump(entry, body);
+    scan.read(body, rec, head, InstanceSlot(0))
+        .read(body, rec, len, InstanceSlot(0))
+        .compute(body, 20)
+        .loop_latch(body, body, exit, 16);
+    let scan_id = pb.add(scan, entry);
+
+    let mut bump = FunctionBuilder::new("bump");
+    let b0 = bump.add_block();
+    bump.write(b0, rec, hits, InstanceSlot(0)).compute(b0, 30);
+    let bump_id = pb.add(bump, b0);
+    let program = pb.finish();
+
+    // 3. Run it on a simulated 16-way machine with the *current* layout,
+    //    collecting a profile and PMU-style samples.
+    let current = StructLayout::declaration_order(&ty, 128)?;
+    let mut layouts = LayoutTable::new();
+    layouts.set(rec, current.clone());
+    let mut mem = MemSystem::new(
+        Topology::superdome(16),
+        LatencyModel::superdome(),
+        CacheConfig { line_size: 128, sets: 256, ways: 8 },
+    );
+    let shared = 0x10_000u64;
+    let script = Script {
+        invocations: vec![
+            Invocation { func: scan_id, bindings: vec![shared] },
+            Invocation { func: bump_id, bindings: vec![shared] },
+        ],
+    };
+    let mut sampler = Sampler::new(
+        16,
+        SamplerConfig { period: 200, max_phase_jitter: 16, ..Default::default() },
+    );
+    let result = slopt::sim::run(
+        &program,
+        &layouts,
+        &mut mem,
+        vec![vec![script; 50]; 16],
+        &EngineConfig::default(),
+        &mut sampler,
+    )?;
+    println!(
+        "measurement run: {} scripts in {} cycles ({} samples)",
+        result.scripts_done,
+        result.makespan,
+        sampler.samples().len()
+    );
+
+    // 4. Analysis: affinity (CycleGain) + Code Concurrency (CycleLoss).
+    let affinity = slopt::ir::affinity::AffinityGraph::analyze(&program, &result.profile, rec);
+    let cm = concurrency_map(sampler.samples(), &ConcurrencyConfig { interval: 2_000 });
+    let fmf = slopt::ir::fmf::FieldMap::build(&program);
+    let loss = slopt::sample::cycle_loss(&cm, &fmf, rec);
+
+    // 5. Ask the tool for a layout and print the advisory.
+    let suggestion = suggest_layout(&ty, &affinity, Some(&loss), ToolParams::default())?;
+    println!("\n{}", suggestion.report);
+    println!("suggested layout:\n{}", suggestion.layout);
+
+    // The two loop fields end up together; the contended counter is
+    // separated from them.
+    assert!(suggestion.layout.share_line(head, len), "scan pair must co-locate");
+    assert!(!suggestion.layout.share_line(head, hits), "counter must be isolated");
+    println!("=> scan pair co-located, counter isolated.");
+    println!(
+        "(For the full five-struct kernel of the paper, see `{}` and the fig8/fig9/fig10 binaries.)",
+        std::any::type_name::<workload::Kernel>()
+    );
+    Ok(())
+}

@@ -1,0 +1,202 @@
+//! Cross-crate edge cases: degenerate loop trips, extreme branch
+//! probabilities, single-field records, minimum machine sizes, empty
+//! analyses — the corners a downstream user will eventually hit.
+
+use slopt::core::{cluster, suggest_layout, Flg, ToolParams};
+use slopt::ir::builder::{FunctionBuilder, ProgramBuilder};
+use slopt::ir::cfg::{BlockId, InstanceSlot, Terminator};
+use slopt::ir::interp::profile_invocations;
+use slopt::ir::layout::StructLayout;
+use slopt::ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType, TypeRegistry};
+use slopt::sample::{concurrency_map, ConcurrencyConfig};
+use slopt::sim::{CacheConfig, EngineConfig, Invocation, LatencyModel, LayoutTable, MemSystem, Script, Topology};
+
+#[test]
+fn loop_with_trip_one_executes_body_once() {
+    let mut pb = ProgramBuilder::new(TypeRegistry::new());
+    let mut fb = FunctionBuilder::new("f");
+    let b0 = fb.add_block();
+    let b1 = fb.add_block();
+    fb.loop_latch(b0, b0, b1, 1);
+    let id = pb.add(fb, b0);
+    let prog = pb.finish();
+    let p = profile_invocations(&prog, &[id], 1, 100).unwrap();
+    assert_eq!(p.count(id, b0), 1);
+    assert_eq!(p.count(id, b1), 1);
+}
+
+#[test]
+fn loop_with_trip_zero_still_terminates() {
+    // trip = 0 is degenerate; the counter reaches 1 >= 0 on first entry,
+    // so the body runs once and exits (documented latch semantics).
+    let mut pb = ProgramBuilder::new(TypeRegistry::new());
+    let mut fb = FunctionBuilder::new("f");
+    let b0 = fb.add_block();
+    let b1 = fb.add_block();
+    fb.loop_latch(b0, b0, b1, 0);
+    let id = pb.add(fb, b0);
+    let prog = pb.finish();
+    let p = profile_invocations(&prog, &[id], 1, 100).unwrap();
+    assert_eq!(p.count(id, b1), 1, "must exit");
+    assert!(p.count(id, b0) <= 1);
+}
+
+#[test]
+fn branch_probability_extremes_are_deterministic() {
+    for (prob, expect_taken) in [(0.0, false), (1.0, true)] {
+        let mut pb = ProgramBuilder::new(TypeRegistry::new());
+        let mut fb = FunctionBuilder::new("f");
+        let b0 = fb.add_block();
+        let taken = fb.add_block();
+        let not_taken = fb.add_block();
+        fb.branch(b0, taken, not_taken, prob);
+        let id = pb.add(fb, b0);
+        let prog = pb.finish();
+        let p = profile_invocations(&prog, &vec![id; 50], 9, 10_000).unwrap();
+        if expect_taken {
+            assert_eq!(p.count(id, taken), 50);
+            assert_eq!(p.count(id, not_taken), 0);
+        } else {
+            assert_eq!(p.count(id, taken), 0);
+            assert_eq!(p.count(id, not_taken), 50);
+        }
+    }
+}
+
+#[test]
+fn single_field_record_is_trivially_laid_out() {
+    let rec = RecordType::new("S", vec![("only", FieldType::Prim(PrimType::U8))]);
+    let layout = StructLayout::declaration_order(&rec, 128).unwrap();
+    assert_eq!(layout.size(), 1);
+    assert_eq!(layout.line_span(), 1);
+    let flg = Flg::from_parts(RecordId(0), vec![5], vec![]);
+    let clustering = cluster(&flg, &rec, 128);
+    assert_eq!(clustering.len(), 1);
+    // The whole pipeline handles it too.
+    let mut reg = TypeRegistry::new();
+    let rid = reg.add_record(rec.clone());
+    let mut pb = ProgramBuilder::new(reg);
+    let mut fb = FunctionBuilder::new("touch");
+    let b = fb.add_block();
+    fb.read(b, rid, FieldIdx(0), InstanceSlot(0));
+    let f = pb.add(fb, b);
+    let prog = pb.finish();
+    let profile = profile_invocations(&prog, &[f], 1, 100).unwrap();
+    let affinity = slopt::ir::affinity::AffinityGraph::analyze(&prog, &profile, rid);
+    let s = suggest_layout(&rec, &affinity, None, ToolParams::default()).unwrap();
+    assert_eq!(s.layout.order(), &[FieldIdx(0)]);
+}
+
+#[test]
+fn one_cpu_machine_runs_the_engine() {
+    let mut reg = TypeRegistry::new();
+    let rid = reg.add_record(RecordType::new(
+        "S",
+        vec![("x", FieldType::Prim(PrimType::U64))],
+    ));
+    let mut pb = ProgramBuilder::new(reg);
+    let mut fb = FunctionBuilder::new("w");
+    let b = fb.add_block();
+    fb.write(b, rid, FieldIdx(0), InstanceSlot(0));
+    let f = pb.add(fb, b);
+    let prog = pb.finish();
+    let mut layouts = LayoutTable::new();
+    layouts.set(
+        rid,
+        StructLayout::declaration_order(prog.registry().record(rid), 64).unwrap(),
+    );
+    let mut mem = MemSystem::new(
+        Topology::bus(1),
+        LatencyModel::bus(),
+        CacheConfig { line_size: 64, sets: 2, ways: 1 },
+    );
+    let r = slopt::sim::run(
+        &prog,
+        &layouts,
+        &mut mem,
+        vec![vec![Script {
+            invocations: vec![Invocation { func: f, bindings: vec![0x1000] }],
+        }]],
+        &EngineConfig::default(),
+        &mut slopt::sim::NullObserver,
+    )
+    .unwrap();
+    assert_eq!(r.scripts_done, 1);
+    mem.check_invariants();
+}
+
+#[test]
+fn empty_sample_set_yields_empty_concurrency() {
+    let cm = concurrency_map(&[], &ConcurrencyConfig { interval: 100 });
+    assert!(cm.is_empty());
+    assert!(cm.top_pairs(5).is_empty());
+}
+
+#[test]
+fn cpu_count_boundaries() {
+    // 128 is the max; the sharer bitmask must work at the edge.
+    let mut mem = MemSystem::new(
+        Topology::superdome(128),
+        LatencyModel::superdome(),
+        CacheConfig { line_size: 128, sets: 4, ways: 2 },
+    );
+    let mut now = 0;
+    // CPU 127 (highest bit of the u128 mask) reads, CPU 0 writes.
+    now += mem.access(slopt::sim::CpuId(127), 0, 8, false, None, now);
+    now += mem.access(slopt::sim::CpuId(0), 64, 8, true, None, now);
+    let _ = mem.access(slopt::sim::CpuId(127), 0, 8, false, None, now);
+    assert_eq!(
+        mem.stats().class(slopt::sim::AccessClass::FalseSharingMiss).count,
+        1,
+        "bit 127 of the sharer mask must be handled"
+    );
+    mem.check_invariants();
+}
+
+#[test]
+fn ret_only_function_profiles_cleanly() {
+    let mut pb = ProgramBuilder::new(TypeRegistry::new());
+    let mut fb = FunctionBuilder::new("nop");
+    let b = fb.add_block();
+    fb.set_term(b, Terminator::Ret);
+    let id = pb.add(fb, b);
+    let prog = pb.finish();
+    let p = profile_invocations(&prog, &[id, id, id], 1, 100).unwrap();
+    assert_eq!(p.count(id, BlockId(0)), 3);
+}
+
+#[test]
+fn text_format_handles_minimal_program() {
+    let prog = slopt::ir::text::parse_program(
+        "record r { x: u64 }\nfn f { block b { read r.x @0 ret } }",
+    )
+    .unwrap();
+    let printed = slopt::ir::text::print_program(&prog);
+    let again = slopt::ir::text::parse_program(&printed).unwrap();
+    assert_eq!(again.function_count(), 1);
+    assert_eq!(again.registry().len(), 1);
+}
+
+#[test]
+fn opaque_only_record_survives_the_tool() {
+    // A record of two big opaque blobs (e.g. embedded locks): the tool
+    // must not panic on fields larger than half a line.
+    let rec = RecordType::new(
+        "locks",
+        vec![
+            ("l1", FieldType::Opaque { size: 96, align: 8 }),
+            ("l2", FieldType::Opaque { size: 96, align: 8 }),
+        ],
+    );
+    let flg = Flg::from_parts(RecordId(0), vec![10, 10], vec![(FieldIdx(0), FieldIdx(1), -5.0)]);
+    let clustering = cluster(&flg, &rec, 128);
+    assert_eq!(clustering.len(), 2, "negative edge separates the blobs");
+    let layout = slopt::core::layout_from_clusters(
+        &rec,
+        &clustering,
+        &flg,
+        slopt::core::LayoutOptions::default(),
+    )
+    .unwrap();
+    assert!(!layout.share_line(FieldIdx(0), FieldIdx(1)));
+}

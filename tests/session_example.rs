@@ -1,0 +1,58 @@
+//! The shipped `examples/session_table.sirw` workload file must parse,
+//! run, and produce the advisory its header comment promises.
+
+use slopt::core::ToolParams;
+use slopt::workload::{
+    analyze, parse_workload_file, suggest_for, AnalysisConfig, Machine, SdetConfig, WorkloadSpec,
+};
+use slopt::sim::CacheConfig;
+
+fn load() -> slopt::workload::CustomWorkload {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/session_table.sirw");
+    let input = std::fs::read_to_string(path).expect("example file exists");
+    parse_workload_file(&input).expect("example file parses")
+}
+
+#[test]
+fn example_file_parses_with_expected_shape() {
+    let w = load();
+    assert_eq!(w.program().function_count(), 4);
+    assert_eq!(w.actions().len(), 3);
+    let bump = w.actions().iter().find(|a| a.name == "bump").expect("bump action");
+    assert_eq!(bump.variants.len(), 2, "per-CPU counter variants");
+    let session = w.program().registry().lookup("session").expect("record");
+    assert_eq!(w.record_type(session).field_count(), 10);
+}
+
+#[test]
+fn example_advisory_matches_its_header_comment() {
+    let w = load();
+    let session = w.program().registry().lookup("session").unwrap();
+    let ty = w.record_type(session).clone();
+    let sdet = SdetConfig {
+        scripts_per_cpu: 8,
+        invocations_per_script: 8,
+        pool_instances: 64,
+        cache: CacheConfig { line_size: 128, sets: 128, ways: 4 },
+        ..SdetConfig::default()
+    };
+    let cfg = AnalysisConfig { machine: Machine::superdome(8), ..Default::default() };
+    let analysis = analyze(&w, &sdet, &cfg);
+    let suggestion = suggest_for(&w, &analysis, session, ToolParams::default());
+
+    let f = |n: &str| ty.field_by_name(n).unwrap();
+    // "the lookup trio (sid, state, last_seen) co-locates"
+    assert!(suggestion.layout.share_line(f("sid"), f("state")));
+    assert!(suggestion.layout.share_line(f("sid"), f("last_seen")));
+    // "the request counters move away from the hot read fields"
+    for counter in ["nreq_a", "nreq_b"] {
+        for hot in ["sid", "state", "last_seen"] {
+            assert!(
+                !suggestion.layout.share_line(f(counter), f(hot)),
+                "{counter} must not share a line with {hot}"
+            );
+        }
+    }
+    // ...and away from each other (different worker classes write them).
+    assert!(!suggestion.layout.share_line(f("nreq_a"), f("nreq_b")));
+}
