@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Order matters: the cheap static
+# checks fail fast before the build and the (slower) test suite.
+#
+# The build environment is fully offline (dependencies are vendored under
+# vendor/), hence --offline everywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test =="
+cargo test --offline -q
+
+echo "ci.sh: all green"

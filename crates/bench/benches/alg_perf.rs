@@ -67,7 +67,11 @@ fn bench_memsystem(c: &mut Criterion) {
             let mut m = MemSystem::new(
                 Topology::superdome(16),
                 LatencyModel::superdome(),
-                CacheConfig { line_size: 128, sets: 256, ways: 8 },
+                CacheConfig {
+                    line_size: 128,
+                    sets: 256,
+                    ways: 8,
+                },
             );
             let mut total = 0u64;
             for i in 0..100_000u64 {
@@ -85,7 +89,11 @@ fn bench_memsystem(c: &mut Criterion) {
             let mut m = MemSystem::new(
                 Topology::superdome(16),
                 LatencyModel::superdome(),
-                CacheConfig { line_size: 128, sets: 256, ways: 8 },
+                CacheConfig {
+                    line_size: 128,
+                    sets: 256,
+                    ways: 8,
+                },
             );
             let mut total = 0u64;
             for i in 0..100_000u64 {
@@ -104,15 +112,34 @@ fn bench_engine(c: &mut Criterion) {
     let cfg = SdetConfig {
         scripts_per_cpu: 8,
         pool_instances: 64,
-        cache: CacheConfig { line_size: 128, sets: 128, ways: 4 },
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 128,
+            ways: 4,
+        },
         ..SdetConfig::default()
     };
     let layouts = baseline_layouts(&kernel, cfg.line_size);
     let machine = Machine::superdome(16);
     c.bench_function("engine/sdet_16way", |b| {
-        b.iter(|| run_once(&kernel, &layouts, &machine, &cfg, 3, &mut slopt_sim::NullObserver))
+        b.iter(|| {
+            run_once(
+                &kernel,
+                &layouts,
+                &machine,
+                &cfg,
+                3,
+                &mut slopt_sim::NullObserver,
+            )
+        })
     });
 }
 
-criterion_group!(benches, bench_clustering, bench_flg_build, bench_memsystem, bench_engine);
+criterion_group!(
+    benches,
+    bench_clustering,
+    bench_flg_build,
+    bench_memsystem,
+    bench_engine
+);
 criterion_main!(benches);

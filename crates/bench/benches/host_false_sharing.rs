@@ -40,7 +40,9 @@ struct Isolated {
 }
 
 fn new_packed() -> Packed {
-    Packed { counters: std::array::from_fn(|_| AtomicU64::new(0)) }
+    Packed {
+        counters: std::array::from_fn(|_| AtomicU64::new(0)),
+    }
 }
 
 fn new_isolated() -> Isolated {
@@ -66,7 +68,9 @@ fn hammer(counters: &[&AtomicU64], threads: usize) {
 }
 
 fn bench_false_sharing(c: &mut Criterion) {
-    let max_threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let max_threads = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     if max_threads < 2 {
         eprintln!(
             "host_false_sharing: only {max_threads} hardware thread(s) available; \

@@ -9,23 +9,26 @@
 //! We measure baseline / tool / sort-by-hotness layouts for struct A at
 //! both block sizes on the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
 use slopt_sim::CacheConfig;
 use slopt_workload::{
-    baseline_layouts, compute_paper_layouts, layouts_with, measure, LayoutKind, Machine,
-    SdetConfig,
+    baseline_layouts, compute_paper_layouts_jobs, layouts_with, LayoutKind, Machine, SdetConfig,
 };
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
-    let machine = Machine::superdome(128);
+const KINDS: [LayoutKind; 2] = [LayoutKind::Tool, LayoutKind::SortByHotness];
 
-    println!("=== ablation: coherence block size, struct A (128-way) ===");
-    println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");
-    for line_size in [64u64, 128u64] {
+fn main() {
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
+    let machine = Machine::superdome(128);
+    let block_sizes = [64u64, 128u64];
+
+    // The grid: per block size, one baseline cell followed by one cell per
+    // layout kind for struct A.
+    let mut cells = Vec::new();
+    for line_size in block_sizes {
         let sdet = SdetConfig {
             line_size,
             cache: CacheConfig {
@@ -36,20 +39,43 @@ fn main() {
             },
             ..setup.sdet.clone()
         };
-        let layouts = compute_paper_layouts(&setup.kernel, &sdet, &setup.analysis, {
-            let mut tool = setup.tool;
-            tool.layout.line_size = line_size;
-            tool
-        });
+        let layouts = compute_paper_layouts_jobs(
+            &setup.kernel,
+            &sdet,
+            &setup.analysis,
+            {
+                let mut tool = setup.tool;
+                tool.layout.line_size = line_size;
+                tool
+            },
+            setup.jobs,
+        );
         let a = setup.kernel.records.a;
-        let base_table = baseline_layouts(&setup.kernel, line_size);
-        let baseline = measure(&setup.kernel, &base_table, &machine, &sdet, setup.runs);
-        let mut row = Vec::new();
-        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness] {
-            let table = layouts_with(&setup.kernel, line_size, a, layouts.layout(a, kind).clone());
-            let t = measure(&setup.kernel, &table, &machine, &sdet, setup.runs);
-            row.push(t.pct_vs(&baseline));
+        cells.push(Cell {
+            label: format!("{line_size}B/baseline"),
+            table: baseline_layouts(&setup.kernel, line_size),
+            sdet: sdet.clone(),
+            machine: machine.clone(),
+        });
+        for kind in KINDS {
+            cells.push(Cell {
+                label: format!("{line_size}B/{kind}"),
+                table: layouts_with(&setup.kernel, line_size, a, layouts.layout(a, kind).clone()),
+                sdet: sdet.clone(),
+                machine: machine.clone(),
+            });
         }
+    }
+
+    let measured = measure_cells(&setup.kernel, &cells, setup.runs, setup.jobs);
+
+    println!("=== ablation: coherence block size, struct A (128-way) ===");
+    println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");
+    let per_block = 1 + KINDS.len();
+    for (i, line_size) in block_sizes.iter().enumerate() {
+        let group = &measured[i * per_block..(i + 1) * per_block];
+        let baseline = &group[0];
+        let row: Vec<f64> = group[1..].iter().map(|t| t.pct_vs(baseline)).collect();
         println!("{line_size:>7}B {:>11.2}% {:>17.2}%", row[0], row[1]);
     }
 }

@@ -13,9 +13,7 @@
 
 use slopt_bench::{default_figure_setup, parse_scale};
 use slopt_ir::inline::InlineParams;
-use slopt_workload::{
-    analyze, baseline_layouts, layouts_with, measure, suggest_for, Machine,
-};
+use slopt_workload::{analyze, baseline_layouts, layouts_with, measure, suggest_for, Machine};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

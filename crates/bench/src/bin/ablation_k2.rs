@@ -10,46 +10,66 @@
 //! accessed with, and throughput collapses (the sort-by-hotness failure
 //! mode). Beyond a modest `k2` the layout stabilizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
 use slopt_core::{suggest_layout, FlgParams, ToolParams};
-use slopt_workload::{
-    analyze, baseline_layouts, layouts_with, loss_for, measure, Machine, STAT_CLASSES,
-};
+use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine, STAT_CLASSES};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let a = kernel.records.a;
     let ty = kernel.record_type(a);
     let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
     let loss = loss_for(kernel, &analysis, a);
-
     let machine = Machine::superdome(128);
-    let base_table = baseline_layouts(kernel, setup.sdet.line_size);
-    let baseline = measure(kernel, &base_table, &machine, &setup.sdet, setup.runs);
+    let k2s = [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0];
 
-    println!("=== ablation: k2 sweep on struct A (128-way) ===");
-    println!("{:>10} {:>22} {:>14}", "k2", "counters isolated?", "% vs baseline");
-    for k2 in [0.0, 0.1, 1.0, 10.0, 100.0, 1000.0] {
-        let params = ToolParams { flg: FlgParams { k1: 1.0, k2 }, ..setup.tool };
-        let suggestion =
-            suggest_layout(ty, &affinity, Some(&loss), params).expect("valid record");
+    // The grid: one baseline cell, then one cell per k2 value. Layout
+    // derivation is cheap and stays serial; the measurements dominate.
+    let mut cells = vec![Cell {
+        label: "baseline".to_string(),
+        table: baseline_layouts(kernel, setup.sdet.line_size),
+        sdet: setup.sdet.clone(),
+        machine: machine.clone(),
+    }];
+    let mut isolated_flags = Vec::new();
+    for k2 in k2s {
+        let params = ToolParams {
+            flg: FlgParams { k1: 1.0, k2 },
+            ..setup.tool
+        };
+        let suggestion = suggest_layout(ty, &affinity, Some(&loss), params).expect("valid record");
         let flags = kernel.field(a, "flags");
-        let isolated = (0..STAT_CLASSES).all(|k| {
+        isolated_flags.push((0..STAT_CLASSES).all(|k| {
             let stat = kernel.field(a, &format!("stat{k}"));
             !suggestion.layout.share_line(stat, flags)
+        }));
+        cells.push(Cell {
+            label: format!("k2={k2}"),
+            table: layouts_with(kernel, setup.sdet.line_size, a, suggestion.layout.clone()),
+            sdet: setup.sdet.clone(),
+            machine: machine.clone(),
         });
-        let table = layouts_with(kernel, setup.sdet.line_size, a, suggestion.layout.clone());
-        let t = measure(kernel, &table, &machine, &setup.sdet, setup.runs);
+    }
+
+    let measured = measure_cells(kernel, &cells, setup.runs, setup.jobs);
+    let baseline = &measured[0];
+
+    println!("=== ablation: k2 sweep on struct A (128-way) ===");
+    println!(
+        "{:>10} {:>22} {:>14}",
+        "k2", "counters isolated?", "% vs baseline"
+    );
+    for ((k2, isolated), t) in k2s.iter().zip(isolated_flags).zip(&measured[1..]) {
         println!(
             "{:>10} {:>22} {:>13.2}%",
             k2,
             if isolated { "yes" } else { "NO" },
-            t.pct_vs(&baseline)
+            t.pct_vs(baseline)
         );
     }
 }

@@ -10,37 +10,60 @@
 //! We compare the two modes' automatic layouts for every struct on the
 //! 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
 use slopt_core::suggest_layout;
 use slopt_ir::affinity::{AffinityGraph, AffinityMode};
-use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, measure, Machine};
+use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine};
+
+const MODES: [AffinityMode; 2] = [AffinityMode::Minimum, AffinityMode::GroupFrequency];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let machine = Machine::superdome(128);
-    let base_table = baseline_layouts(kernel, setup.sdet.line_size);
-    let baseline = measure(kernel, &base_table, &machine, &setup.sdet, setup.runs);
 
-    println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");
-    println!("{:<8} {:>14} {:>18}", "struct", "minimum", "group-frequency");
+    // The grid: one baseline cell, then a (struct × mode) cell block.
+    let mut cells = vec![Cell {
+        label: "baseline".to_string(),
+        table: baseline_layouts(kernel, setup.sdet.line_size),
+        sdet: setup.sdet.clone(),
+        machine: machine.clone(),
+    }];
     for (letter, rec) in kernel.records.all() {
         let ty = kernel.record_type(rec);
         let loss = loss_for(kernel, &analysis, rec);
-        let mut row = Vec::new();
-        for mode in [AffinityMode::Minimum, AffinityMode::GroupFrequency] {
+        for mode in MODES {
             let affinity =
                 AffinityGraph::analyze_with_mode(&kernel.program, &analysis.profile, rec, mode);
             let suggestion =
                 suggest_layout(ty, &affinity, Some(&loss), setup.tool).expect("valid record");
-            let table = layouts_with(kernel, setup.sdet.line_size, rec, suggestion.layout.clone());
-            let t = measure(kernel, &table, &machine, &setup.sdet, setup.runs);
-            row.push(t.pct_vs(&baseline));
+            cells.push(Cell {
+                label: format!("{letter}/{mode:?}"),
+                table: layouts_with(kernel, setup.sdet.line_size, rec, suggestion.layout.clone()),
+                sdet: setup.sdet.clone(),
+                machine: machine.clone(),
+            });
         }
-        println!("{letter:<8} {:>13.2}% {:>17.2}%", row[0], row[1]);
+    }
+
+    let measured = measure_cells(kernel, &cells, setup.runs, setup.jobs);
+    let baseline = &measured[0];
+
+    println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");
+    println!(
+        "{:<8} {:>14} {:>18}",
+        "struct", "minimum", "group-frequency"
+    );
+    for (i, (letter, _)) in kernel.records.all().iter().enumerate() {
+        let group = &measured[1 + i * MODES.len()..1 + (i + 1) * MODES.len()];
+        println!(
+            "{letter:<8} {:>13.2}% {:>17.2}%",
+            group[0].pct_vs(baseline),
+            group[1].pct_vs(baseline)
+        );
     }
 }

@@ -9,43 +9,69 @@
 //! paper's subject — is protocol-independent: the sort-by-hotness
 //! catastrophe on struct A is reproduced under both.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
 use slopt_sim::Protocol;
 use slopt_workload::{
-    baseline_layouts, compute_paper_layouts, layouts_with, measure, LayoutKind, Machine,
-    SdetConfig,
+    baseline_layouts, compute_paper_layouts_jobs, layouts_with, LayoutKind, Machine, SdetConfig,
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
     let machine = Machine::superdome(128);
-    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let layouts = compute_paper_layouts_jobs(
+        &setup.kernel,
+        &setup.sdet,
+        &setup.analysis,
+        setup.tool,
+        setup.jobs,
+    );
     let a = setup.kernel.records.a;
+    let protocols = [Protocol::Mesi, Protocol::Msi];
+
+    // The grid: per protocol, a baseline cell and a hotness-A cell.
+    let mut cells = Vec::new();
+    for protocol in protocols {
+        let sdet = SdetConfig {
+            protocol,
+            ..setup.sdet.clone()
+        };
+        cells.push(Cell {
+            label: format!("{protocol:?}/baseline"),
+            table: baseline_layouts(&setup.kernel, sdet.line_size),
+            sdet: sdet.clone(),
+            machine: machine.clone(),
+        });
+        cells.push(Cell {
+            label: format!("{protocol:?}/hotness-A"),
+            table: layouts_with(
+                &setup.kernel,
+                sdet.line_size,
+                a,
+                layouts.layout(a, LayoutKind::SortByHotness).clone(),
+            ),
+            sdet,
+            machine: machine.clone(),
+        });
+    }
+
+    let measured = measure_cells(&setup.kernel, &cells, setup.runs, setup.jobs);
 
     println!("=== ablation: MESI vs MSI (128-way) ===");
     println!(
         "{:>10} {:>22} {:>24}",
         "protocol", "baseline tput", "hotness-A vs baseline"
     );
-    for protocol in [Protocol::Mesi, Protocol::Msi] {
-        let sdet = SdetConfig { protocol, ..setup.sdet.clone() };
-        let base_table = baseline_layouts(&setup.kernel, sdet.line_size);
-        let baseline = measure(&setup.kernel, &base_table, &machine, &sdet, setup.runs);
-        let table = layouts_with(
-            &setup.kernel,
-            sdet.line_size,
-            a,
-            layouts.layout(a, LayoutKind::SortByHotness).clone(),
-        );
-        let hot = measure(&setup.kernel, &table, &machine, &sdet, setup.runs);
+    for (i, protocol) in protocols.iter().enumerate() {
+        let baseline = &measured[2 * i];
+        let hot = &measured[2 * i + 1];
         println!(
             "{:>10} {:>22.1} {:>23.2}%",
             format!("{protocol:?}"),
             baseline.mean,
-            hot.pct_vs(&baseline)
+            hot.pct_vs(baseline)
         );
     }
 }

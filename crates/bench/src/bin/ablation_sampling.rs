@@ -7,16 +7,16 @@
 //! contended counters, and (b) the top-20 concurrency-pair overlap with
 //! exact (unsampled) ground truth.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::RunnerArgs;
 use slopt_core::suggest_layout;
 use slopt_sample::{concurrency_map, ConcurrencyConfig, ExactCounter, SamplerConfig};
 use slopt_workload::{analyze, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = slopt_bench::default_figure_setup(args.scale);
     let kernel = &setup.kernel;
     let layouts = baseline_layouts(kernel, setup.sdet.line_size);
 
@@ -32,57 +32,79 @@ fn main() {
     );
     let exact_cc = concurrency_map(
         exact.samples(),
-        &ConcurrencyConfig { interval: setup.analysis.interval },
+        &ConcurrencyConfig {
+            interval: setup.analysis.interval,
+        },
     );
-    let exact_top: std::collections::HashSet<_> =
-        exact_cc.top_pairs(20).into_iter().map(|(a, b, _)| (a, b)).collect();
+    let exact_top: std::collections::HashSet<_> = exact_cc
+        .top_pairs(20)
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect();
+
+    // Each (period, interval) pair is an independent instrumented run +
+    // analysis; fan the grid out and collect rows by grid index.
+    let mut grid = Vec::new();
+    for period in [250u64, 500, 2_000, 8_000] {
+        for interval in [3_000u64, 6_000, 24_000] {
+            if interval < 4 * period {
+                continue; // fewer than ~4 samples per interval is meaningless
+            }
+            grid.push((period, interval));
+        }
+    }
+    eprintln!(
+        "[ablation_sampling] analyzing {} sampling configurations on {} thread(s)...",
+        grid.len(),
+        args.jobs
+    );
+    let rows = slopt_core::par_map(args.jobs, &grid, |_, &(period, interval)| {
+        let cfg = AnalysisConfig {
+            sampler: SamplerConfig {
+                period,
+                ..setup.analysis.sampler
+            },
+            interval,
+            ..setup.analysis.clone()
+        };
+        let analysis = analyze(kernel, &setup.sdet, &cfg);
+        let a = kernel.records.a;
+        let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
+        let loss = slopt_workload::loss_for(kernel, &analysis, a);
+        let suggestion = suggest_layout(kernel.record_type(a), &affinity, Some(&loss), setup.tool)
+            .expect("valid record");
+        let flags = kernel.field(a, "flags");
+        let isolated = (0..STAT_CLASSES).all(|k| {
+            let stat = kernel.field(a, &format!("stat{k}"));
+            !suggestion.layout.share_line(stat, flags)
+        });
+        let top: std::collections::HashSet<_> = analysis
+            .concurrency
+            .top_pairs(20)
+            .into_iter()
+            .map(|(x, y, _)| (x, y))
+            .collect();
+        let overlap = if exact_top.is_empty() {
+            0.0
+        } else {
+            top.intersection(&exact_top).count() as f64 / exact_top.len() as f64
+        };
+        (analysis.samples.len(), isolated, overlap)
+    });
 
     println!("=== ablation: sampling parameters (struct A isolation + CC fidelity) ===");
     println!(
         "{:>10} {:>10} {:>10} {:>20} {:>16}",
         "period", "interval", "samples", "counters isolated?", "top-20 overlap"
     );
-    for period in [250u64, 500, 2_000, 8_000] {
-        for interval in [3_000u64, 6_000, 24_000] {
-            if interval < 4 * period {
-                continue; // fewer than ~4 samples per interval is meaningless
-            }
-            let cfg = AnalysisConfig {
-                sampler: SamplerConfig { period, ..setup.analysis.sampler },
-                interval,
-                ..setup.analysis.clone()
-            };
-            let analysis = analyze(kernel, &setup.sdet, &cfg);
-            let a = kernel.records.a;
-            let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
-            let loss = slopt_workload::loss_for(kernel, &analysis, a);
-            let suggestion =
-                suggest_layout(kernel.record_type(a), &affinity, Some(&loss), setup.tool)
-                    .expect("valid record");
-            let flags = kernel.field(a, "flags");
-            let isolated = (0..STAT_CLASSES).all(|k| {
-                let stat = kernel.field(a, &format!("stat{k}"));
-                !suggestion.layout.share_line(stat, flags)
-            });
-            let top: std::collections::HashSet<_> = analysis
-                .concurrency
-                .top_pairs(20)
-                .into_iter()
-                .map(|(x, y, _)| (x, y))
-                .collect();
-            let overlap = if exact_top.is_empty() {
-                0.0
-            } else {
-                top.intersection(&exact_top).count() as f64 / exact_top.len() as f64
-            };
-            println!(
-                "{:>10} {:>10} {:>10} {:>20} {:>15.0}%",
-                period,
-                interval,
-                analysis.samples.len(),
-                if isolated { "yes" } else { "NO" },
-                overlap * 100.0
-            );
-        }
+    for (&(period, interval), &(samples, isolated, overlap)) in grid.iter().zip(&rows) {
+        println!(
+            "{:>10} {:>10} {:>10} {:>20} {:>15.0}%",
+            period,
+            interval,
+            samples,
+            if isolated { "yes" } else { "NO" },
+            overlap * 100.0
+        );
     }
 }

@@ -35,16 +35,32 @@ fn main() {
     let setup = default_figure_setup(parse_scale(&args));
     let kernel = &setup.kernel;
     let layouts = baseline_layouts(kernel, setup.sdet.line_size);
-    let cc_cfg = ConcurrencyConfig { interval: setup.analysis.interval };
+    let cc_cfg = ConcurrencyConfig {
+        interval: setup.analysis.interval,
+    };
 
     // 1. Sampled vs exact, same 16-way run (same seed => same execution).
     let machine = Machine::superdome(16);
     let mut sampler = Sampler::new(machine.cpus(), setup.analysis.sampler);
-    run_once(kernel, &layouts, &machine, &setup.sdet, setup.analysis.seed, &mut sampler);
+    run_once(
+        kernel,
+        &layouts,
+        &machine,
+        &setup.sdet,
+        setup.analysis.seed,
+        &mut sampler,
+    );
     let sampled = concurrency_map(sampler.samples(), &cc_cfg);
 
     let mut exact = ExactCounter::new();
-    run_once(kernel, &layouts, &machine, &setup.sdet, setup.analysis.seed, &mut exact);
+    run_once(
+        kernel,
+        &layouts,
+        &machine,
+        &setup.sdet,
+        setup.analysis.seed,
+        &mut exact,
+    );
     let exact_cc = concurrency_map(exact.samples(), &cc_cfg);
 
     println!("=== Code Concurrency validation ===");
@@ -63,7 +79,14 @@ fn main() {
     // 2. 4-way vs 16-way stability (sampled, like the paper).
     let machine4 = Machine::superdome(4);
     let mut sampler4 = Sampler::new(machine4.cpus(), setup.analysis.sampler);
-    run_once(kernel, &layouts, &machine4, &setup.sdet, setup.analysis.seed, &mut sampler4);
+    run_once(
+        kernel,
+        &layouts,
+        &machine4,
+        &setup.sdet,
+        setup.analysis.seed,
+        &mut sampler4,
+    );
     let sampled4 = concurrency_map(sampler4.samples(), &cc_cfg);
     for k in [10, 20] {
         println!(

@@ -17,7 +17,12 @@ fn main() {
     let sub = important_subgraph(&suggestion.flg, SubgraphParams::default());
     println!("=== important subgraph edges for A ===");
     for (f1, f2, w) in sub.edges() {
-        println!("  {:<12} -- {:<12} {:+.1}", ty.field(f1).name(), ty.field(f2).name(), w);
+        println!(
+            "  {:<12} -- {:<12} {:+.1}",
+            ty.field(f1).name(),
+            ty.field(f2).name(),
+            w
+        );
     }
     let clustering = slopt_core::cluster(&sub, ty, 128);
     let constraints = Constraints::from_clustering(&sub, &clustering);
@@ -27,10 +32,16 @@ fn main() {
         println!("  {names:?}");
     }
     let original = StructLayout::declaration_order(ty, 128).unwrap();
-    let constrained =
-        slopt_core::constrained_layout(ty, &original, &constraints, 128).unwrap();
-    println!("=== layouts: baseline {} lines, constrained {} lines", original.line_span(), constrained.line_span());
-    println!("baseline order == constrained order: {}", original.order() == constrained.order());
+    let constrained = slopt_core::constrained_layout(ty, &original, &constraints, 128).unwrap();
+    println!(
+        "=== layouts: baseline {} lines, constrained {} lines",
+        original.line_span(),
+        constrained.line_span()
+    );
+    println!(
+        "baseline order == constrained order: {}",
+        original.order() == constrained.order()
+    );
     // First differences.
     for (i, (b, c)) in original.order().iter().zip(constrained.order()).enumerate() {
         if b != c {
@@ -46,6 +57,11 @@ fn main() {
     let loss = loss_for(kernel, &analysis, a);
     println!("=== top loss pairs ===");
     for (f1, f2, l) in loss.pairs().iter().take(12) {
-        println!("  {:<12} -- {:<12} {:.2}", ty.field(*f1).name(), ty.field(*f2).name(), l);
+        println!(
+            "  {:<12} -- {:<12} {:.2}",
+            ty.field(*f1).name(),
+            ty.field(*f2).name(),
+            l
+        );
     }
 }

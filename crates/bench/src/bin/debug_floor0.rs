@@ -5,9 +5,7 @@
 use slopt_bench::default_figure_setup;
 use slopt_core::{suggest_constrained, SubgraphParams, ToolParams};
 use slopt_ir::layout::StructLayout;
-use slopt_workload::{
-    analyze, baseline_layouts, layouts_with, loss_for, measure, Machine,
-};
+use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, measure, Machine};
 
 fn main() {
     let setup = default_figure_setup(2);
@@ -25,11 +23,13 @@ fn main() {
 
     for floor in [0.0, 0.01] {
         let params = ToolParams {
-            subgraph: SubgraphParams { negative_floor: floor, ..SubgraphParams::default() },
+            subgraph: SubgraphParams {
+                negative_floor: floor,
+                ..SubgraphParams::default()
+            },
             ..setup.tool
         };
-        let layout =
-            suggest_constrained(ty, &original, &affinity, Some(&loss), params).unwrap();
+        let layout = suggest_constrained(ty, &original, &affinity, Some(&loss), params).unwrap();
         let unchanged = layout.order() == original.order();
         let table = layouts_with(kernel, setup.sdet.line_size, a, layout);
         let t = measure(kernel, &table, &machine, &setup.sdet, setup.runs);

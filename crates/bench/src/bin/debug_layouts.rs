@@ -43,19 +43,45 @@ fn main() {
             println!("  {i}: {names:?}");
         }
 
-        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
+        for kind in [
+            LayoutKind::Tool,
+            LayoutKind::SortByHotness,
+            LayoutKind::Constrained,
+        ] {
             let l = layouts.layout(rec, kind);
             println!("--- {kind}: size {} lines {}", l.size(), l.line_span());
         }
 
         // Measure false sharing per layout on the big machine.
         let base_table = baseline_layouts(&setup.kernel, setup.sdet.line_size);
-        let base = run_once(&setup.kernel, &base_table, &machine, &setup.sdet, 3, &mut slopt_sim::NullObserver);
+        let base = run_once(
+            &setup.kernel,
+            &base_table,
+            &machine,
+            &setup.sdet,
+            3,
+            &mut slopt_sim::NullObserver,
+        );
         print_stats("baseline", &base, rec);
-        for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
-            let table =
-                layouts_with(&setup.kernel, setup.sdet.line_size, rec, layouts.layout(rec, kind).clone());
-            let run = run_once(&setup.kernel, &table, &machine, &setup.sdet, 3, &mut slopt_sim::NullObserver);
+        for kind in [
+            LayoutKind::Tool,
+            LayoutKind::SortByHotness,
+            LayoutKind::Constrained,
+        ] {
+            let table = layouts_with(
+                &setup.kernel,
+                setup.sdet.line_size,
+                rec,
+                layouts.layout(rec, kind).clone(),
+            );
+            let run = run_once(
+                &setup.kernel,
+                &table,
+                &machine,
+                &setup.sdet,
+                3,
+                &mut slopt_sim::NullObserver,
+            );
             print_stats(&kind.to_string(), &run, rec);
         }
         println!();

@@ -7,21 +7,32 @@
 //! and slightly beats automatic on B; C and D stay best with the
 //! automatic layout. Best-case improvement ≈ 3.2%.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
-use slopt_workload::{best_rows, compute_paper_layouts, figure_rows, LayoutKind, Machine};
+use slopt_bench::{figure_setup, RunnerArgs};
+use slopt_workload::{
+    best_rows, compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine,
+};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
 
     eprintln!("[fig10] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let layouts = compute_paper_layouts_jobs(
+        &setup.kernel,
+        &setup.sdet,
+        &setup.analysis,
+        setup.tool,
+        setup.jobs,
+    );
 
-    eprintln!("[fig10] measuring on superdome128 ({} runs per layout)...", setup.runs);
+    eprintln!(
+        "[fig10] measuring on superdome128 ({} runs per layout, {} jobs)...",
+        setup.runs, setup.jobs
+    );
     let machine = Machine::superdome(128);
-    let fig = figure_rows(
+    let fig = figure_rows_jobs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -29,6 +40,7 @@ fn main() {
         &layouts,
         &[LayoutKind::Tool, LayoutKind::Constrained],
         "Figure 10: best layout per struct (automatic vs constrained)",
+        setup.jobs,
     );
     println!("{fig}");
 

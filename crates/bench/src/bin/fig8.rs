@@ -7,21 +7,30 @@
 //! comparable on B–E but degrades struct A by **more than 2×** because it
 //! packs the false-sharing counters together.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
-use slopt_workload::{compute_paper_layouts, figure_rows, LayoutKind, Machine};
+use slopt_bench::{figure_setup, RunnerArgs};
+use slopt_workload::{compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
 
     eprintln!("[fig8] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let layouts = compute_paper_layouts_jobs(
+        &setup.kernel,
+        &setup.sdet,
+        &setup.analysis,
+        setup.tool,
+        setup.jobs,
+    );
 
-    eprintln!("[fig8] measuring on superdome128 ({} runs per layout)...", setup.runs);
+    eprintln!(
+        "[fig8] measuring on superdome128 ({} runs per layout, {} jobs)...",
+        setup.runs, setup.jobs
+    );
     let machine = Machine::superdome(128);
-    let fig = figure_rows(
+    let fig = figure_rows_jobs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -29,6 +38,7 @@ fn main() {
         &layouts,
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 8: automatic layout vs sort-by-hotness (128-way Superdome)",
+        setup.jobs,
     );
     println!("{fig}");
 

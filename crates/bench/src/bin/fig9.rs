@@ -5,21 +5,30 @@
 //! layout — separating the few false-sharing fields costs nothing when
 //! false sharing is cheap, and the locality improvements still help.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N]`
 
-use slopt_bench::{default_figure_setup, parse_scale};
-use slopt_workload::{compute_paper_layouts, figure_rows, LayoutKind, Machine};
+use slopt_bench::{figure_setup, RunnerArgs};
+use slopt_workload::{compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = RunnerArgs::from_env();
+    let setup = figure_setup(&args);
 
     eprintln!("[fig9] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
+    let layouts = compute_paper_layouts_jobs(
+        &setup.kernel,
+        &setup.sdet,
+        &setup.analysis,
+        setup.tool,
+        setup.jobs,
+    );
 
-    eprintln!("[fig9] measuring on bus4 ({} runs per layout)...", setup.runs);
+    eprintln!(
+        "[fig9] measuring on bus4 ({} runs per layout, {} jobs)...",
+        setup.runs, setup.jobs
+    );
     let machine = Machine::bus(4);
-    let fig = figure_rows(
+    let fig = figure_rows_jobs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -27,6 +36,7 @@ fn main() {
         &layouts,
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 9: the Figure-8 layouts on a 4-way bus machine",
+        setup.jobs,
     );
     println!("{fig}");
 }

@@ -35,12 +35,24 @@ fn main() {
     let a = setup.kernel.records.a;
 
     println!("=== struct A degradation vs coherence-transfer latency (64-way) ===");
-    println!("{:>8} {:>10} {:>22}", "factor", "remote", "sort-by-hotness vs base");
+    println!(
+        "{:>8} {:>10} {:>22}",
+        "factor", "remote", "sort-by-hotness vs base"
+    );
     for factor in [0.25, 0.5, 1.0, 2.0] {
         let lat = scaled(LatencyModel::superdome(), factor);
-        let machine = Machine { topo: Topology::superdome(64), lat };
+        let machine = Machine {
+            topo: Topology::superdome(64),
+            lat,
+        };
         let base_table = baseline_layouts(&setup.kernel, setup.sdet.line_size);
-        let baseline = measure(&setup.kernel, &base_table, &machine, &setup.sdet, setup.runs);
+        let baseline = measure(
+            &setup.kernel,
+            &base_table,
+            &machine,
+            &setup.sdet,
+            setup.runs,
+        );
         let table = layouts_with(
             &setup.kernel,
             setup.sdet.line_size,
@@ -48,6 +60,10 @@ fn main() {
             layouts.layout(a, LayoutKind::SortByHotness).clone(),
         );
         let t = measure(&setup.kernel, &table, &machine, &setup.sdet, setup.runs);
-        println!("{factor:>8} {:>10} {:>21.2}%", lat.remote, t.pct_vs(&baseline));
+        println!(
+            "{factor:>8} {:>10} {:>21.2}%",
+            lat.remote,
+            t.pct_vs(&baseline)
+        );
     }
 }

@@ -69,7 +69,10 @@ fn main() {
     );
 
     println!("\ntop measured pairs vs their estimated CycleLoss:");
-    println!("{:<16} {:<16} {:>12} {:>14}", "field 1", "field 2", "measured", "estimated");
+    println!(
+        "{:<16} {:<16} {:>12} {:>14}",
+        "field 1", "field 2", "measured", "estimated"
+    );
     for (f1, f2, n) in truth.pairs().iter().take(10) {
         println!(
             "{:<16} {:<16} {:>12} {:>14.1}",
@@ -116,7 +119,10 @@ fn main() {
     let precision = if est_top_colocated.is_empty() {
         1.0
     } else {
-        est_top_colocated.iter().filter(|p| truth_set.contains(p)).count() as f64
+        est_top_colocated
+            .iter()
+            .filter(|p| truth_set.contains(p))
+            .count() as f64
             / est_top_colocated.len() as f64
     };
     println!(

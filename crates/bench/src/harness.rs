@@ -19,6 +19,9 @@ pub struct FigureSetup {
     /// to keep the full figure under a couple of minutes — pass a scale
     /// argument to change it).
     pub runs: usize,
+    /// Host threads to fan the measurement grid across (`--jobs N`;
+    /// defaults to the host's available parallelism).
+    pub jobs: usize,
 }
 
 /// The default setup used by `fig8`/`fig9`/`fig10`.
@@ -40,7 +43,17 @@ pub fn default_figure_setup(scale: usize) -> FigureSetup {
         analysis,
         tool: ToolParams::default(),
         runs: (5 + scale).min(10),
+        jobs: slopt_core::default_jobs(),
     }
+}
+
+/// The setup for a parsed command line: [`default_figure_setup`] at the
+/// requested scale, with the measurement grid fanned across
+/// `args.jobs` threads.
+pub fn figure_setup(args: &crate::runner::RunnerArgs) -> FigureSetup {
+    let mut setup = default_figure_setup(args.scale);
+    setup.jobs = args.jobs;
+    setup
 }
 
 /// Parses the optional `--scale N` argument of the figure binaries.

@@ -21,5 +21,7 @@
 //! `#[repr(C)]` layouts on host threads.
 
 pub mod harness;
+pub mod runner;
 
-pub use harness::{default_figure_setup, parse_scale, FigureSetup};
+pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
+pub use runner::{measure_cells, parse_jobs, Cell, RunnerArgs};

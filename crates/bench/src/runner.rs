@@ -1,0 +1,184 @@
+//! The shared parallel experiment runner.
+//!
+//! Every figure/ablation binary is, at heart, the same program: build a
+//! grid of *measurement cells* — each a layout table measured under some
+//! workload/machine configuration — measure all of them, and print a
+//! table. This module owns that shape once:
+//!
+//! * [`RunnerArgs`] — the common `--scale N` / `--jobs N` command line;
+//! * [`Cell`] — one grid cell (label + layout table + config + machine);
+//! * [`measure_cells`] — measures the whole grid, fanned out over host
+//!   threads at `(cell, run-seed)` granularity via
+//!   [`slopt_core::par_map`].
+//!
+//! Determinism contract: cells carry their entire configuration, run
+//! seeds come from [`slopt_workload::measurement_seeds`], and results are
+//! collected by `(cell, seed)` index — so the output is bit-identical for
+//! every `--jobs` value, including `--jobs 1` (which spawns no threads at
+//! all).
+
+use slopt_sim::LayoutTable;
+use slopt_workload::{measurement_seeds, run_once, Machine, SdetConfig, Throughput, WorkloadSpec};
+
+use crate::harness::parse_scale;
+
+/// The command-line arguments shared by every figure/ablation binary.
+#[derive(Clone, Debug)]
+pub struct RunnerArgs {
+    /// Workload scale factor (`--scale N`, default 1).
+    pub scale: usize,
+    /// Host threads to fan work across (`--jobs N`, default: available
+    /// parallelism).
+    pub jobs: usize,
+}
+
+impl RunnerArgs {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> RunnerArgs {
+        let args: Vec<String> = std::env::args().collect();
+        RunnerArgs::from_args(&args)
+    }
+
+    /// Parses `--scale N` and `--jobs N` from an argument list.
+    pub fn from_args(args: &[String]) -> RunnerArgs {
+        RunnerArgs {
+            scale: parse_scale(args),
+            jobs: parse_jobs(args),
+        }
+    }
+}
+
+/// Parses the optional `--jobs N` argument; defaults to the host's
+/// available parallelism, and clamps 0 to 1.
+pub fn parse_jobs(args: &[String]) -> usize {
+    args.windows(2)
+        .find(|w| w[0] == "--jobs")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or_else(slopt_core::default_jobs)
+        .max(1)
+}
+
+/// One measurement cell of an experiment grid.
+///
+/// A cell owns its whole configuration so grids may vary anything between
+/// cells — layouts (the figures), block size (`ablation_blocksize`),
+/// protocol (`ablation_protocol`), machine — while staying independent
+/// work items.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Display label (used in progress output only).
+    pub label: String,
+    /// The layout table to measure.
+    pub table: LayoutTable,
+    /// Workload sizing for this cell.
+    pub sdet: SdetConfig,
+    /// The machine to measure on.
+    pub machine: Machine,
+}
+
+/// Measures every cell — a warm-up plus `runs` measured runs each — and
+/// returns one [`Throughput`] per cell, in cell order.
+///
+/// The grid is flattened to `(cell, run seed)` work items, the finest
+/// independent unit of simulation, so even a handful of cells scales to
+/// many threads. Results are bit-identical for every `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure_cells(
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+) -> Vec<Throughput> {
+    assert!(runs > 0, "need at least one measured run");
+    let seeds = measurement_seeds(runs);
+    eprintln!(
+        "[runner] measuring {} cells x {} runs (+warm-up) on {} thread(s)...",
+        cells.len(),
+        runs,
+        jobs.max(1).min(cells.len() * seeds.len())
+    );
+    let grid: Vec<(usize, u64)> = (0..cells.len())
+        .flat_map(|c| seeds.iter().map(move |&seed| (c, seed)))
+        .collect();
+    let values = slopt_core::par_map(jobs, &grid, |_, &(c, seed)| {
+        let cell = &cells[c];
+        run_once(
+            kernel,
+            &cell.table,
+            &cell.machine,
+            &cell.sdet,
+            seed,
+            &mut slopt_sim::NullObserver,
+        )
+        .result
+        .throughput()
+    });
+    values
+        .chunks_exact(seeds.len())
+        .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slopt_sim::CacheConfig;
+    use slopt_workload::{baseline_layouts, build_kernel, measure};
+
+    fn small_cfg() -> SdetConfig {
+        SdetConfig {
+            scripts_per_cpu: 4,
+            invocations_per_script: 6,
+            pool_instances: 32,
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 64,
+                ways: 4,
+            },
+            ..SdetConfig::default()
+        }
+    }
+
+    #[test]
+    fn jobs_flag_parses_with_default() {
+        let args: Vec<String> = ["--jobs", "3"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_jobs(&args), 3);
+        assert_eq!(parse_jobs(&[]), slopt_core::default_jobs());
+        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_jobs(&zero), 1);
+        let both: Vec<String> = ["--scale", "2", "--jobs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ra = RunnerArgs::from_args(&both);
+        assert_eq!((ra.scale, ra.jobs), (2, 5));
+    }
+
+    #[test]
+    fn cells_match_direct_measure_for_any_job_count() {
+        let kernel = build_kernel();
+        let cfg = small_cfg();
+        let machine = Machine::bus(2);
+        let table = baseline_layouts(&kernel, cfg.line_size);
+        let cells: Vec<Cell> = (0..3)
+            .map(|i| Cell {
+                label: format!("cell{i}"),
+                table: table.clone(),
+                sdet: cfg.clone(),
+                machine: machine.clone(),
+            })
+            .collect();
+        let direct = measure(&kernel, &table, &machine, &cfg, 3);
+        for jobs in [1, 4] {
+            let out = measure_cells(&kernel, &cells, 3, jobs);
+            assert_eq!(out.len(), 3);
+            for t in &out {
+                assert_eq!(t.runs, direct.runs, "jobs={jobs}");
+                assert_eq!(t.mean, direct.mean, "jobs={jobs}");
+            }
+        }
+    }
+}

@@ -3,8 +3,9 @@
 use slopt_core::{to_dot, DotOptions, ToolParams};
 use slopt_sim::AccessClass;
 use slopt_workload::{
-    analyze, baseline_layouts, build_kernel, compute_paper_layouts, figure_rows, layouts_with,
-    measure, run_once, suggest_for, AnalysisConfig, LayoutKind, Machine, SdetConfig,
+    analyze, baseline_layouts, build_kernel, compute_paper_layouts_jobs, figure_rows_jobs,
+    layouts_with, measure_jobs, run_once, suggest_for, AnalysisConfig, LayoutKind, Machine,
+    SdetConfig,
 };
 use std::path::PathBuf;
 
@@ -28,8 +29,10 @@ USAGE:
         Run the SDET-like workload with baseline layouts and print the
         memory-system breakdown per structure (a `perf c2c`-style view).
 
-    slopt-tool figures [--scale N]
-        Regenerate the paper's Figures 8, 9 and 10 in one go.
+    slopt-tool figures [--scale N] [--jobs N]
+        Regenerate the paper's Figures 8, 9 and 10 in one go. --jobs fans
+        the measurement grid across N host threads (default: all cores);
+        the output is bit-identical for every N.
 
     slopt-tool help
         This text."
@@ -69,7 +72,9 @@ pub fn advise(args: &[String]) -> Result<(), String> {
         return advise_custom(path, args);
     }
     let kernel = build_kernel();
-    let letter = flag_value(args, "--struct").unwrap_or("A").to_ascii_uppercase();
+    let letter = flag_value(args, "--struct")
+        .unwrap_or("A")
+        .to_ascii_uppercase();
     let rec = kernel
         .records
         .all()
@@ -86,8 +91,14 @@ pub fn advise(args: &[String]) -> Result<(), String> {
     }
 
     let sdet = SdetConfig::default();
-    let analysis_cfg = AnalysisConfig { machine: Machine::superdome(cpus), ..Default::default() };
-    eprintln!("[advise] measuring on {} ...", analysis_cfg.machine.topo.name());
+    let analysis_cfg = AnalysisConfig {
+        machine: Machine::superdome(cpus),
+        ..Default::default()
+    };
+    eprintln!(
+        "[advise] measuring on {} ...",
+        analysis_cfg.machine.topo.name()
+    );
     let analysis = analyze(&kernel, &sdet, &analysis_cfg);
     let suggestion = suggest_for(&kernel, &analysis, rec, ToolParams::default());
     let ty = kernel.record_type(rec);
@@ -99,8 +110,15 @@ pub fn advise(args: &[String]) -> Result<(), String> {
         let dir = PathBuf::from(dir);
         std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         let layout_path = dir.join(format!("{}.layout.txt", ty.name()));
-        std::fs::write(&layout_path, format!("{}\n{}", suggestion.report, suggestion.layout.to_annotated_string(ty)))
-            .map_err(|e| format!("writing {}: {e}", layout_path.display()))?;
+        std::fs::write(
+            &layout_path,
+            format!(
+                "{}\n{}",
+                suggestion.report,
+                suggestion.layout.to_annotated_string(ty)
+            ),
+        )
+        .map_err(|e| format!("writing {}: {e}", layout_path.display()))?;
         let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
         let dot = to_dot(
             ty,
@@ -142,12 +160,17 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("no record `{name}` in {path}"))?,
         None => {
             let mut it = workload.program().registry().records();
-            it.next().map(|(r, _)| r).ok_or_else(|| format!("{path} declares no records"))?
+            it.next()
+                .map(|(r, _)| r)
+                .ok_or_else(|| format!("{path} declares no records"))?
         }
     };
 
     let sdet = SdetConfig::default();
-    let analysis_cfg = AnalysisConfig { machine: Machine::superdome(cpus), ..Default::default() };
+    let analysis_cfg = AnalysisConfig {
+        machine: Machine::superdome(cpus),
+        ..Default::default()
+    };
     eprintln!(
         "[advise] measuring `{path}` on {} ...",
         analysis_cfg.machine.topo.name()
@@ -163,7 +186,12 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
         let dir = PathBuf::from(dir);
         std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
-        let dot = to_dot(ty, &suggestion.flg, Some(&suggestion.clustering), DotOptions::default());
+        let dot = to_dot(
+            ty,
+            &suggestion.flg,
+            Some(&suggestion.clustering),
+            DotOptions::default(),
+        );
         std::fs::write(&dot_path, dot)
             .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
         println!("wrote {}", dot_path.display());
@@ -177,8 +205,18 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     let kernel = build_kernel();
     let sdet = SdetConfig::default();
     let layouts = baseline_layouts(&kernel, sdet.line_size);
-    eprintln!("[simulate] running SDET-like workload on {} ...", machine.topo.name());
-    let run = run_once(&kernel, &layouts, &machine, &sdet, 1, &mut slopt_sim::NullObserver);
+    eprintln!(
+        "[simulate] running SDET-like workload on {} ...",
+        machine.topo.name()
+    );
+    let run = run_once(
+        &kernel,
+        &layouts,
+        &machine,
+        &sdet,
+        1,
+        &mut slopt_sim::NullObserver,
+    );
     println!(
         "throughput: {:.1} scripts/Mcycle over {} cycles ({} scripts)",
         run.result.throughput(),
@@ -203,12 +241,25 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the optional `--jobs N` flag shared by the heavier commands;
+/// defaults to the host's available parallelism.
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--jobs") {
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            Ok(n.max(1))
+        }
+        None => Ok(slopt_core::default_jobs()),
+    }
+}
+
 /// `slopt-tool figures`.
 pub fn figures(args: &[String]) -> Result<(), String> {
     let scale: usize = match flag_value(args, "--scale") {
         Some(v) => v.parse().map_err(|_| format!("bad --scale `{v}`"))?,
         None => 1,
     };
+    let jobs = parse_jobs(args)?;
     let kernel = build_kernel();
     let sdet = SdetConfig {
         scripts_per_cpu: 24 * scale.max(1),
@@ -216,8 +267,9 @@ pub fn figures(args: &[String]) -> Result<(), String> {
     };
     let analysis = AnalysisConfig::default();
     let runs = (5 + scale).min(10);
-    eprintln!("[figures] measurement + layout derivation ...");
-    let layouts = compute_paper_layouts(&kernel, &sdet, &analysis, ToolParams::default());
+    eprintln!("[figures] measurement + layout derivation ({jobs} jobs) ...");
+    let layouts =
+        compute_paper_layouts_jobs(&kernel, &sdet, &analysis, ToolParams::default(), jobs);
 
     for (machine, kinds, title) in [
         (
@@ -237,21 +289,26 @@ pub fn figures(args: &[String]) -> Result<(), String> {
         ),
     ] {
         eprintln!("[figures] {} ...", title);
-        let fig = figure_rows(&kernel, &machine, &sdet, runs, &layouts, &kinds, title);
+        let fig = figure_rows_jobs(
+            &kernel, &machine, &sdet, runs, &layouts, &kinds, title, jobs,
+        );
         println!("{fig}");
     }
     // A tiny shared-measure sanity line so users see the baseline too.
-    let base = measure(
+    let base = measure_jobs(
         &kernel,
         &layouts_with(
             &kernel,
             sdet.line_size,
             kernel.records.a,
-            baseline_layouts(&kernel, sdet.line_size).layout(kernel.records.a).clone(),
+            baseline_layouts(&kernel, sdet.line_size)
+                .layout(kernel.records.a)
+                .clone(),
         ),
         &Machine::superdome(128),
         &sdet,
         runs,
+        jobs,
     );
     println!("(baseline sanity: {:.1} scripts/Mcycle)", base.mean);
     Ok(())
@@ -275,11 +332,24 @@ mod tests {
 
     #[test]
     fn flags_parse_positionally() {
-        let args: Vec<String> =
-            ["--struct", "B", "--out", "/tmp/x"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--struct", "B", "--out", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(flag_value(&args, "--struct"), Some("B"));
         assert_eq!(flag_value(&args, "--out"), Some("/tmp/x"));
         assert_eq!(flag_value(&args, "--cpus"), None);
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let args: Vec<String> = ["--jobs", "4"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_jobs(&args).unwrap(), 4);
+        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(parse_jobs(&zero).unwrap(), 1);
+        assert_eq!(parse_jobs(&[]).unwrap(), slopt_core::default_jobs());
+        let bad: Vec<String> = ["--jobs", "x"].iter().map(|s| s.to_string()).collect();
+        assert!(parse_jobs(&bad).is_err());
     }
 
     #[test]
@@ -291,8 +361,10 @@ mod tests {
 
     #[test]
     fn advise_rejects_missing_program_file() {
-        let args: Vec<String> =
-            ["--program", "/nonexistent/x.sirw"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--program", "/nonexistent/x.sirw"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let err = advise(&args).unwrap_err();
         assert!(err.contains("reading"));
     }

@@ -4,7 +4,7 @@
 //! ```text
 //! slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
 //! slopt-tool simulate [--machine bus4|superdome16|superdome128]
-//! slopt-tool figures [--scale N]
+//! slopt-tool figures [--scale N] [--jobs N]
 //! slopt-tool help
 //! ```
 //!

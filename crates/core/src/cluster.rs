@@ -124,16 +124,17 @@ pub fn cluster(flg: &Flg, record: &RecordType, line_size: u64) -> Clustering {
         record.field_count(),
         "FLG and record field counts differ"
     );
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
 
     let mut unassigned = flg.fields_by_hotness();
     let mut clusters: Vec<Vec<FieldIdx>> = Vec::new();
     while !unassigned.is_empty() {
         let seed = unassigned.remove(0);
         let mut current = vec![seed];
-        while let Some(best) =
-            find_best_match(flg, record, &current, &unassigned, line_size)
-        {
+        while let Some(best) = find_best_match(flg, record, &current, &unassigned, line_size) {
             unassigned.retain(|&f| f != best);
             current.push(best);
         }
@@ -230,7 +231,13 @@ mod tests {
         let rec = RecordType::new(
             "S",
             vec![
-                ("blob", FieldType::Array { elem: PrimType::U8, len: 200 }),
+                (
+                    "blob",
+                    FieldType::Array {
+                        elem: PrimType::U8,
+                        len: 200,
+                    },
+                ),
                 ("x", FieldType::Prim(PrimType::U64)),
                 ("y", FieldType::Prim(PrimType::U64)),
             ],

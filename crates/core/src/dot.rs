@@ -23,7 +23,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { min_edge_weight: 0.0, hide_isolated: true }
+        DotOptions {
+            min_edge_weight: 0.0,
+            hide_isolated: true,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ pub fn to_dot(
     let mut out = String::new();
     let _ = writeln!(out, "graph flg_{} {{", record.name());
     let _ = writeln!(out, "  graph [overlap=false, splines=true];");
-    let _ = writeln!(out, "  node [shape=ellipse, style=filled, fillcolor=white];");
+    let _ = writeln!(
+        out,
+        "  node [shape=ellipse, style=filled, fillcolor=white];"
+    );
 
     let kept_edges: Vec<(FieldIdx, FieldIdx, f64)> = flg
         .edges()
@@ -108,7 +114,11 @@ pub fn to_dot(
         if opts.hide_isolated && (!visible[a.index()] || !visible[b.index()]) {
             continue;
         }
-        let (color, style) = if w >= 0.0 { ("forestgreen", "solid") } else { ("crimson", "bold") };
+        let (color, style) = if w >= 0.0 {
+            ("forestgreen", "solid")
+        } else {
+            ("crimson", "bold")
+        };
         let _ = writeln!(
             out,
             "  f{} -- f{} [label=\"{:+.0}\", color={color}, style={style}];",
@@ -164,7 +174,15 @@ mod tests {
         let (rec, flg) = setup();
         let dot = to_dot(&rec, &flg, None, DotOptions::default());
         assert!(!dot.contains("dead"));
-        let dot_all = to_dot(&rec, &flg, None, DotOptions { hide_isolated: false, ..Default::default() });
+        let dot_all = to_dot(
+            &rec,
+            &flg,
+            None,
+            DotOptions {
+                hide_isolated: false,
+                ..Default::default()
+            },
+        );
         assert!(dot_all.contains("dead"));
     }
 
@@ -184,7 +202,10 @@ mod tests {
             &rec,
             &flg,
             None,
-            DotOptions { min_edge_weight: 50.0, ..Default::default() },
+            DotOptions {
+                min_edge_weight: 50.0,
+                ..Default::default()
+            },
         );
         assert!(!dot.contains("+30"));
         assert!(dot.contains("-80"));

@@ -85,8 +85,15 @@ impl Flg {
             }
         }
         weights.retain(|_, w| *w != 0.0);
-        let hotness = (0..n as u32).map(|i| affinity.hotness(FieldIdx(i))).collect();
-        Flg { record: affinity.record(), field_count: n, weights, hotness }
+        let hotness = (0..n as u32)
+            .map(|i| affinity.hotness(FieldIdx(i)))
+            .collect();
+        Flg {
+            record: affinity.record(),
+            field_count: n,
+            weights,
+            hotness,
+        }
     }
 
     /// Builds an FLG directly from explicit edge weights and hotness — for
@@ -110,7 +117,12 @@ impl Flg {
                 *weights.entry(Self::key(f1, f2)).or_insert(0.0) += w;
             }
         }
-        Flg { record, field_count: n, weights, hotness }
+        Flg {
+            record,
+            field_count: n,
+            weights,
+            hotness,
+        }
     }
 
     /// The record this graph describes.
@@ -167,11 +179,7 @@ impl Flg {
     /// seed order of the clustering algorithm.
     pub fn fields_by_hotness(&self) -> Vec<FieldIdx> {
         let mut v: Vec<FieldIdx> = (0..self.field_count as u32).map(FieldIdx).collect();
-        v.sort_by(|a, b| {
-            self.hotness(*b)
-                .cmp(&self.hotness(*a))
-                .then(a.0.cmp(&b.0))
-        });
+        v.sort_by(|a, b| self.hotness(*b).cmp(&self.hotness(*a)).then(a.0.cmp(&b.0)));
         v
     }
 }
@@ -237,7 +245,14 @@ mod tests {
         let aff = AffinityGraph::analyze(&prog, &profile, s);
 
         // No loss: pure positive edge.
-        let flg = Flg::build(&aff, None, FlgParams { k1: 1.0, k2: 1000.0 });
+        let flg = Flg::build(
+            &aff,
+            None,
+            FlgParams {
+                k1: 1.0,
+                k2: 1000.0,
+            },
+        );
         assert_eq!(flg.weight(FieldIdx(0), FieldIdx(1)), 100.0);
 
         // With synthetic loss: CC join can't easily be built here without a
@@ -260,7 +275,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "self-loop")]
     fn from_parts_rejects_self_loops() {
-        Flg::from_parts(RecordId(0), vec![1, 1], vec![(FieldIdx(0), FieldIdx(0), 1.0)]);
+        Flg::from_parts(
+            RecordId(0),
+            vec![1, 1],
+            vec![(FieldIdx(0), FieldIdx(0), 1.0)],
+        );
     }
 
     #[test]

@@ -59,11 +59,21 @@ impl GvlProblem {
     /// # Panics
     ///
     /// Panics if size is zero or alignment is not a power of two.
-    pub fn add_global(&mut self, name: impl Into<String>, size: u64, align: u64, hotness: u64) -> GlobalId {
+    pub fn add_global(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        align: u64,
+        hotness: u64,
+    ) -> GlobalId {
         assert!(size > 0, "zero-size global");
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         let id = GlobalId(self.globals.len() as u32);
-        self.globals.push(Global { name: name.into(), size, align });
+        self.globals.push(Global {
+            name: name.into(),
+            size,
+            align,
+        });
         self.hotness.push(hotness);
         id
     }
@@ -123,8 +133,14 @@ impl SectionLayout {
     pub fn share_line(&self, problem: &GvlProblem, a: GlobalId, b: GlobalId) -> bool {
         let ga = &problem.globals[a.0 as usize];
         let gb = &problem.globals[b.0 as usize];
-        let (a0, a1) = (self.offset(a) / self.line_size, (self.offset(a) + ga.size - 1) / self.line_size);
-        let (b0, b1) = (self.offset(b) / self.line_size, (self.offset(b) + gb.size - 1) / self.line_size);
+        let (a0, a1) = (
+            self.offset(a) / self.line_size,
+            (self.offset(a) + ga.size - 1) / self.line_size,
+        );
+        let (b0, b1) = (
+            self.offset(b) / self.line_size,
+            (self.offset(b) + gb.size - 1) / self.line_size,
+        );
         a0 <= b1 && b0 <= a1
     }
 }
@@ -141,7 +157,10 @@ fn align_up(x: u64, a: u64) -> u64 {
 ///
 /// Panics if `line_size` is not a power of two.
 pub fn layout_globals(problem: &GvlProblem, line_size: u64) -> SectionLayout {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let n = problem.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
@@ -220,7 +239,11 @@ pub fn layout_globals(problem: &GvlProblem, line_size: u64) -> SectionLayout {
             cursor += g.size;
         }
     }
-    SectionLayout { offsets, size: cursor, line_size }
+    SectionLayout {
+        offsets,
+        size: cursor,
+        line_size,
+    }
 }
 
 /// A deterministic shuffled layout — the "link order" baseline GVL papers
@@ -241,7 +264,11 @@ pub fn link_order_layout(problem: &GvlProblem, seed: u64, line_size: u64) -> Sec
         offsets[m as usize] = cursor;
         cursor += g.size;
     }
-    SectionLayout { offsets, size: cursor, line_size }
+    SectionLayout {
+        offsets,
+        size: cursor,
+        line_size,
+    }
 }
 
 #[cfg(test)]
@@ -267,9 +294,18 @@ mod tests {
     fn contended_globals_get_separate_lines() {
         let (p, c1, c2, cfg_a, cfg_b) = sample_problem();
         let layout = layout_globals(&p, 128);
-        assert!(!layout.share_line(&p, c1, c2), "concurrent counters must split");
-        assert!(layout.share_line(&p, cfg_a, cfg_b), "affine config must co-locate");
-        assert!(!layout.share_line(&p, c1, cfg_a), "writer separated from hot readers");
+        assert!(
+            !layout.share_line(&p, c1, c2),
+            "concurrent counters must split"
+        );
+        assert!(
+            layout.share_line(&p, cfg_a, cfg_b),
+            "affine config must co-locate"
+        );
+        assert!(
+            !layout.share_line(&p, c1, cfg_a),
+            "writer separated from hot readers"
+        );
         // Offsets respect alignment.
         for g in [c1, c2, cfg_a, cfg_b] {
             assert_eq!(layout.offset(g) % 8, 0);
@@ -289,11 +325,15 @@ mod tests {
     fn cold_globals_pack_into_a_tail() {
         let mut p = GvlProblem::new();
         let hot = p.add_global("hot", 8, 8, 100);
-        let colds: Vec<GlobalId> =
-            (0..10).map(|i| p.add_global(format!("cold{i}"), 8, 8, 0)).collect();
+        let colds: Vec<GlobalId> = (0..10)
+            .map(|i| p.add_global(format!("cold{i}"), 8, 8, 0))
+            .collect();
         let layout = layout_globals(&p, 128);
         for &c in &colds {
-            assert!(!layout.share_line(&p, hot, c), "cold tail on its own line(s)");
+            assert!(
+                !layout.share_line(&p, hot, c),
+                "cold tail on its own line(s)"
+            );
         }
         // Tail is packed, not one line per global.
         assert!(layout.size() <= 3 * 128);
@@ -306,7 +346,10 @@ mod tests {
         let small = p.add_global("len", 4, 4, 50);
         p.set_weight(big, small, 40.0);
         let layout = layout_globals(&p, 128);
-        assert!(layout.share_line(&p, big, small), "affine pair packs into the table's tail line");
+        assert!(
+            layout.share_line(&p, big, small),
+            "affine pair packs into the table's tail line"
+        );
         assert_eq!(layout.offset(small) % 4, 0);
     }
 

@@ -19,7 +19,10 @@ use slopt_ir::types::{FieldIdx, RecordType};
 /// # Errors
 ///
 /// Returns an error if `line_size` is invalid.
-pub fn declaration_layout(record: &RecordType, line_size: u64) -> Result<StructLayout, LayoutError> {
+pub fn declaration_layout(
+    record: &RecordType,
+    line_size: u64,
+) -> Result<StructLayout, LayoutError> {
     StructLayout::declaration_order(record, line_size)
 }
 
@@ -82,11 +85,11 @@ mod tests {
         RecordType::new(
             "S",
             vec![
-                ("a8", FieldType::Prim(PrimType::U64)),  // f0
-                ("b1", FieldType::Prim(PrimType::U8)),   // f1
-                ("c8", FieldType::Prim(PrimType::U64)),  // f2
-                ("d4", FieldType::Prim(PrimType::U32)),  // f3
-                ("e1", FieldType::Prim(PrimType::U8)),   // f4
+                ("a8", FieldType::Prim(PrimType::U64)), // f0
+                ("b1", FieldType::Prim(PrimType::U8)),  // f1
+                ("c8", FieldType::Prim(PrimType::U64)), // f2
+                ("d4", FieldType::Prim(PrimType::U32)), // f3
+                ("e1", FieldType::Prim(PrimType::U8)),  // f4
             ],
         )
     }
@@ -106,7 +109,13 @@ mod tests {
         let l = sort_by_hotness(&rec, &hotness, 128).unwrap();
         assert_eq!(
             l.order(),
-            &[FieldIdx(2), FieldIdx(0), FieldIdx(3), FieldIdx(4), FieldIdx(1)]
+            &[
+                FieldIdx(2),
+                FieldIdx(0),
+                FieldIdx(3),
+                FieldIdx(4),
+                FieldIdx(1)
+            ]
         );
         // Descending alignment means zero padding.
         assert_eq!(l.padding(&rec), l.size() - rec.payload_size());
@@ -125,7 +134,11 @@ mod tests {
         let hotness: Vec<u64> = (0..32).map(|i| if i % 2 == 0 { 1000 } else { 1 }).collect();
         let l = sort_by_hotness(&rec, &hotness, 128).unwrap();
         for i in (0..32u32).filter(|i| i % 2 == 0) {
-            assert_eq!(l.lines_of(FieldIdx(i)).0, 0, "hot field f{i} must be on line 0");
+            assert_eq!(
+                l.lines_of(FieldIdx(i)).0,
+                0,
+                "hot field f{i} must be on line 0"
+            );
         }
     }
 

@@ -29,7 +29,10 @@ pub struct LayoutOptions {
 
 impl Default for LayoutOptions {
     fn default() -> Self {
-        LayoutOptions { line_size: slopt_ir::layout::DEFAULT_LINE_SIZE, pack_cold_tail: true }
+        LayoutOptions {
+            line_size: slopt_ir::layout::DEFAULT_LINE_SIZE,
+            pack_cold_tail: true,
+        }
     }
 }
 
@@ -128,7 +131,10 @@ mod tests {
         hot[0] = 1;
         let flg = Flg::from_parts(RecordId(0), hot, vec![]);
         let c = cluster(&flg, &rec, 128);
-        let opts = LayoutOptions { line_size: 128, pack_cold_tail: false };
+        let opts = LayoutOptions {
+            line_size: 128,
+            pack_cold_tail: false,
+        };
         let layout = layout_from_clusters(&rec, &c, &flg, opts).unwrap();
         assert_eq!(layout.line_span(), 4, "every singleton on its own line");
     }

@@ -57,6 +57,7 @@ pub mod flg;
 pub mod gvl;
 pub mod heuristics;
 pub mod layoutgen;
+pub mod par;
 pub mod pipeline;
 pub mod refine;
 pub mod report;
@@ -66,13 +67,16 @@ pub mod transform;
 pub use cluster::{cluster, Clustering};
 pub use dot::{to_dot, DotOptions};
 pub use flg::{Flg, FlgParams};
+pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};
 pub use heuristics::{declaration_layout, random_layout, sort_by_hotness};
 pub use layoutgen::{layout_from_clusters, LayoutOptions};
-pub use pipeline::{suggest_constrained, suggest_layout, Suggestion, ToolParams};
+pub use par::{default_jobs, par_map};
+pub use pipeline::{
+    suggest_constrained, suggest_layout, suggest_layout_all, LayoutRequest, Suggestion, ToolParams,
+};
 pub use refine::{clustering_score, refine, RefineParams};
-pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};
 pub use report::{LayoutReport, ReportEdge};
-pub use transform::{materialize_split, split_hot_cold, SplitParams, SplitPlan};
 pub use subgraph::{
     best_effort_layout, constrained_layout, important_subgraph, Constraints, SubgraphParams,
 };
+pub use transform::{materialize_split, split_hot_cold, SplitParams, SplitPlan};

@@ -67,7 +67,42 @@ pub fn suggest_layout(
     }
     let layout = layout_from_clusters(record, &clustering, &flg, params.layout)?;
     let report = LayoutReport::build(record, &flg, &clustering);
-    Ok(Suggestion { layout, clustering, flg, report })
+    Ok(Suggestion {
+        layout,
+        clustering,
+        flg,
+        report,
+    })
+}
+
+/// One record's inputs for the batch entry point
+/// [`suggest_layout_all`].
+#[derive(Copy, Clone, Debug)]
+pub struct LayoutRequest<'a> {
+    /// The record to lay out.
+    pub record: &'a RecordType,
+    /// Its static affinity graph (CycleGain side).
+    pub affinity: &'a AffinityGraph,
+    /// Its sampled CycleLoss map, if concurrency data exists.
+    pub loss: Option<&'a CycleLossMap>,
+}
+
+/// Runs [`suggest_layout`] for every request, fanning records out across
+/// up to `jobs` host threads.
+///
+/// Records are independent units of work — each suggestion reads only its
+/// own affinity graph and loss map — so the result is **bit-identical**
+/// for every `jobs` value: results come back in request order, and no
+/// suggestion depends on shared mutable state. `jobs == 1` is exactly the
+/// serial loop.
+pub fn suggest_layout_all(
+    requests: &[LayoutRequest<'_>],
+    params: ToolParams,
+    jobs: usize,
+) -> Vec<Result<Suggestion, LayoutError>> {
+    crate::par::par_map(jobs, requests, |_, req| {
+        suggest_layout(req.record, req.affinity, req.loss, params)
+    })
 }
 
 /// Runs the incremental flow (§5.2): cluster only the important-edge
@@ -84,7 +119,13 @@ pub fn suggest_constrained(
     params: ToolParams,
 ) -> Result<StructLayout, LayoutError> {
     let flg = Flg::build(affinity, loss, params.flg);
-    best_effort_layout(record, original, &flg, params.subgraph, params.layout.line_size)
+    best_effort_layout(
+        record,
+        original,
+        &flg,
+        params.subgraph,
+        params.layout.line_size,
+    )
 }
 
 #[cfg(test)]
@@ -103,7 +144,13 @@ mod tests {
             "S",
             vec![
                 ("hot1", FieldType::Prim(PrimType::U64)),
-                ("cold", FieldType::Array { elem: PrimType::U64, len: 20 }),
+                (
+                    "cold",
+                    FieldType::Array {
+                        elem: PrimType::U64,
+                        len: 20,
+                    },
+                ),
                 ("hot2", FieldType::Prim(PrimType::U64)),
             ],
         ));
@@ -132,6 +179,57 @@ mod tests {
             suggestion.clustering.cluster_of(FieldIdx(2))
         );
         assert!(suggestion.report.to_string().contains("hot1"));
+    }
+
+    #[test]
+    fn batch_suggestions_match_serial_for_any_job_count() {
+        let mut reg = TypeRegistry::new();
+        let s = reg.add_record(RecordType::new(
+            "S",
+            vec![
+                ("hot1", FieldType::Prim(PrimType::U64)),
+                (
+                    "cold",
+                    FieldType::Array {
+                        elem: PrimType::U64,
+                        len: 20,
+                    },
+                ),
+                ("hot2", FieldType::Prim(PrimType::U64)),
+            ],
+        ));
+        let mut pb = ProgramBuilder::new(reg);
+        let mut fb = FunctionBuilder::new("sweep");
+        let e = fb.add_block();
+        let body = fb.add_block();
+        let x = fb.add_block();
+        fb.jump(e, body);
+        fb.read(body, s, FieldIdx(0), InstanceSlot(0));
+        fb.read(body, s, FieldIdx(2), InstanceSlot(0));
+        fb.loop_latch(body, body, x, 500);
+        let id = pb.add(fb, e);
+        let prog = pb.finish();
+        let profile = profile_invocations(&prog, &[id], 1, 100_000).unwrap();
+        let affinity = slopt_ir::affinity::AffinityGraph::analyze(&prog, &profile, s);
+        let rec = prog.registry().record(s);
+
+        // The same request many times over: every slot must come back
+        // identical regardless of how the work was scheduled.
+        let requests: Vec<LayoutRequest<'_>> = (0..16)
+            .map(|_| LayoutRequest {
+                record: rec,
+                affinity: &affinity,
+                loss: None,
+            })
+            .collect();
+        let serial = suggest_layout_all(&requests, ToolParams::default(), 1);
+        let parallel = suggest_layout_all(&requests, ToolParams::default(), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.layout, b.layout);
+            assert_eq!(a.clustering.clusters(), b.clustering.clusters());
+        }
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub fn refine(
     line_size: u64,
     params: RefineParams,
 ) -> (Clustering, f64) {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let mut clusters: Vec<Vec<FieldIdx>> = clustering.clusters().to_vec();
     let mut moves = 0usize;
 
@@ -90,8 +93,7 @@ pub fn refine(
         let mut best: Option<(usize, usize, usize, f64)> = None; // (src, idx, dst, gain)
         for (src, cluster) in clusters.iter().enumerate() {
             for (idx, &f) in cluster.iter().enumerate() {
-                let others: Vec<FieldIdx> =
-                    cluster.iter().copied().filter(|&g| g != f).collect();
+                let others: Vec<FieldIdx> = cluster.iter().copied().filter(|&g| g != f).collect();
                 let out_gain = -flg.gain_into(f, &others); // lost by leaving
                 for dst in 0..=clusters.len() {
                     if dst == src {
@@ -117,7 +119,9 @@ pub fn refine(
                 }
             }
         }
-        let Some((src, idx, dst, _)) = best else { break };
+        let Some((src, idx, dst, _)) = best else {
+            break;
+        };
         let f = clusters[src].remove(idx);
         if dst == clusters.len() {
             clusters.push(vec![f]);
@@ -142,7 +146,9 @@ mod tests {
     fn record_u64(n: usize) -> RecordType {
         RecordType::new(
             "S",
-            (0..n).map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64))).collect(),
+            (0..n)
+                .map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64)))
+                .collect(),
         )
     }
 
@@ -239,7 +245,11 @@ mod tests {
         let (_, unlimited) = refine(&flg, &rec, &greedy, 128, RefineParams::default());
         let (capped, capped_score) =
             refine(&flg, &rec, &greedy, 128, RefineParams { max_moves: 0 });
-        assert_eq!(capped.clusters(), greedy.clusters(), "zero budget = no change");
+        assert_eq!(
+            capped.clusters(),
+            greedy.clusters(),
+            "zero budget = no change"
+        );
         assert!(capped_score <= unlimited);
     }
 }

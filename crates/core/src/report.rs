@@ -106,8 +106,11 @@ impl LayoutReport {
         let mut negative: Vec<&(FieldIdx, FieldIdx, f64)> =
             edges.iter().filter(|e| e.2 < 0.0).collect();
         negative.reverse(); // edges() is descending; worst (most negative) last
-        let top_negative: Vec<ReportEdge> =
-            negative.into_iter().take(REPORT_EDGES).map(|&e| mk(e)).collect();
+        let top_negative: Vec<ReportEdge> = negative
+            .into_iter()
+            .take(REPORT_EDGES)
+            .map(|&e| mk(e))
+            .collect();
 
         LayoutReport {
             record_name: record.name().to_string(),
@@ -124,10 +127,7 @@ impl fmt::Display for LayoutReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== layout advisory for struct {} ===", self.record_name)?;
         for (i, cluster) in self.clusters.iter().enumerate() {
-            let names: Vec<String> = cluster
-                .iter()
-                .map(|(n, h)| format!("{n}(h={h})"))
-                .collect();
+            let names: Vec<String> = cluster.iter().map(|(n, h)| format!("{n}(h={h})")).collect();
             writeln!(
                 f,
                 "cluster {i}: [{}]  intra-weight {:.1}",

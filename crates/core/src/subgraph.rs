@@ -31,7 +31,10 @@ pub struct SubgraphParams {
 
 impl Default for SubgraphParams {
     fn default() -> Self {
-        SubgraphParams { top_positive: 20, negative_floor: 0.01 }
+        SubgraphParams {
+            top_positive: 20,
+            negative_floor: 0.01,
+        }
     }
 }
 
@@ -39,11 +42,7 @@ impl Default for SubgraphParams {
 /// positive edges. Node set and hotness are preserved (isolated nodes
 /// simply have no edges; the constraint extraction ignores them).
 pub fn important_subgraph(flg: &Flg, params: SubgraphParams) -> Flg {
-    let most_negative = flg
-        .edges()
-        .iter()
-        .map(|e| e.2)
-        .fold(0.0f64, f64::min);
+    let most_negative = flg.edges().iter().map(|e| e.2).fold(0.0f64, f64::min);
     let floor = most_negative.abs() * params.negative_floor;
     let mut kept: Vec<(FieldIdx, FieldIdx, f64)> = Vec::new();
     let mut positive_kept = 0;
@@ -149,8 +148,7 @@ pub fn constrained_layout(
     }
 
     // 2. Insert line breaks until the constraints hold.
-    let pos_of: HashMap<FieldIdx, usize> =
-        order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let pos_of: HashMap<FieldIdx, usize> = order.iter().enumerate().map(|(i, &f)| (f, i)).collect();
     let mut breaks: BTreeSet<usize> = BTreeSet::new();
     loop {
         let groups = split_at(&order, &breaks);
@@ -264,7 +262,13 @@ mod tests {
     #[test]
     fn filter_keeps_negatives_and_top_k_positives() {
         let flg = sample_flg();
-        let sub = important_subgraph(&flg, SubgraphParams { top_positive: 2, ..SubgraphParams::default() });
+        let sub = important_subgraph(
+            &flg,
+            SubgraphParams {
+                top_positive: 2,
+                ..SubgraphParams::default()
+            },
+        );
         assert_eq!(sub.weight(FieldIdx(0), FieldIdx(1)), 100.0);
         assert_eq!(sub.weight(FieldIdx(2), FieldIdx(3)), 80.0);
         assert_eq!(sub.weight(FieldIdx(0), FieldIdx(4)), -500.0);
@@ -276,7 +280,13 @@ mod tests {
     #[test]
     fn constraints_ignore_isolated_fields() {
         let flg = sample_flg();
-        let sub = important_subgraph(&flg, SubgraphParams { top_positive: 2, ..SubgraphParams::default() });
+        let sub = important_subgraph(
+            &flg,
+            SubgraphParams {
+                top_positive: 2,
+                ..SubgraphParams::default()
+            },
+        );
         let rec = record_u64(6);
         let clustering = cluster(&sub, &rec, 128);
         let constraints = Constraints::from_clustering(&sub, &clustering);
@@ -292,9 +302,17 @@ mod tests {
         let flg = sample_flg();
         let rec = record_u64(6);
         let original = StructLayout::declaration_order(&rec, 128).unwrap();
-        let layout =
-            best_effort_layout(&rec, &original, &flg, SubgraphParams { top_positive: 2, ..SubgraphParams::default() }, 128)
-                .unwrap();
+        let layout = best_effort_layout(
+            &rec,
+            &original,
+            &flg,
+            SubgraphParams {
+                top_positive: 2,
+                ..SubgraphParams::default()
+            },
+            128,
+        )
+        .unwrap();
         // Together: {0,1} and {2,3}.
         assert!(layout.share_line(FieldIdx(0), FieldIdx(1)));
         assert!(layout.share_line(FieldIdx(2), FieldIdx(3)));
@@ -324,7 +342,10 @@ mod tests {
             .copied()
             .filter(|f| ![FieldIdx(2), FieldIdx(4)].contains(f))
             .collect();
-        assert_eq!(tail, vec![FieldIdx(0), FieldIdx(1), FieldIdx(3), FieldIdx(5)]);
+        assert_eq!(
+            tail,
+            vec![FieldIdx(0), FieldIdx(1), FieldIdx(3), FieldIdx(5)]
+        );
     }
 
     #[test]

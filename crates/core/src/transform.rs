@@ -44,7 +44,10 @@ pub struct SplitParams {
 
 impl Default for SplitParams {
     fn default() -> Self {
-        SplitParams { cold_fraction: 0.01, min_savings: 64 }
+        SplitParams {
+            cold_fraction: 0.01,
+            min_savings: 64,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ pub fn split_hot_cold(record: &RecordType, flg: &Flg, params: SplitParams) -> Sp
     let savings: u64 = cold.iter().map(|&f| record.field(f).size()).sum();
     if savings < params.min_savings || hot.is_empty() {
         // Not worth the indirection: keep everything hot.
-        return SplitPlan { hot: record.field_indices().collect(), cold: Vec::new() };
+        return SplitPlan {
+            hot: record.field_indices().collect(),
+            cold: Vec::new(),
+        };
     }
     SplitPlan { hot, cold }
 }
@@ -90,16 +96,26 @@ pub fn split_hot_cold(record: &RecordType, flg: &Flg, params: SplitParams) -> Sp
 ///
 /// Panics if the plan is not a partition of the record's fields — plans
 /// must come from [`split_hot_cold`] on the same record.
-pub fn materialize_split(record: &RecordType, plan: &SplitPlan) -> (RecordType, Option<RecordType>) {
+pub fn materialize_split(
+    record: &RecordType,
+    plan: &SplitPlan,
+) -> (RecordType, Option<RecordType>) {
     let total = plan.hot.len() + plan.cold.len();
-    assert_eq!(total, record.field_count(), "split plan must cover every field");
+    assert_eq!(
+        total,
+        record.field_count(),
+        "split plan must cover every field"
+    );
     let field = |f: &FieldIdx| -> (String, FieldType) {
         let def: &FieldDef = record.field(*f);
         (def.name().to_string(), def.ty().clone())
     };
     if plan.cold.is_empty() {
         return (
-            RecordType::new(record.name().to_string(), plan.hot.iter().map(field).collect()),
+            RecordType::new(
+                record.name().to_string(),
+                plan.hot.iter().map(field).collect(),
+            ),
             None,
         );
     }
@@ -171,13 +187,12 @@ mod tests {
         let (rec, _) = record(2, 20);
         let mut hotness = vec![1_000, 1_000];
         hotness.extend(std::iter::repeat_n(0, 20));
-        let flg = Flg::from_parts(
-            RecordId(0),
-            hotness,
-            vec![(FieldIdx(0), FieldIdx(2), 50.0)],
-        );
+        let flg = Flg::from_parts(RecordId(0), hotness, vec![(FieldIdx(0), FieldIdx(2), 50.0)]);
         let plan = split_hot_cold(&rec, &flg, SplitParams::default());
-        assert!(plan.hot.contains(&FieldIdx(2)), "affine field must stay in the hot part");
+        assert!(
+            plan.hot.contains(&FieldIdx(2)),
+            "affine field must stay in the hot part"
+        );
         assert_eq!(plan.cold.len(), 19);
     }
 
@@ -185,6 +200,12 @@ mod tests {
     #[should_panic(expected = "must cover every field")]
     fn materialize_rejects_partial_plans() {
         let (rec, _) = record(2, 2);
-        materialize_split(&rec, &SplitPlan { hot: vec![FieldIdx(0)], cold: vec![FieldIdx(1)] });
+        materialize_split(
+            &rec,
+            &SplitPlan {
+                hot: vec![FieldIdx(0)],
+                cold: vec![FieldIdx(1)],
+            },
+        );
     }
 }

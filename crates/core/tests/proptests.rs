@@ -12,7 +12,9 @@ use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
 fn record_u64(n: usize) -> RecordType {
     RecordType::new(
         "R",
-        (0..n).map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64))).collect(),
+        (0..n)
+            .map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64)))
+            .collect(),
     )
 }
 

@@ -193,7 +193,11 @@ impl AffinityGraph {
 /// in the spirit of the paper's Fig. 5.
 impl std::fmt::Display for AffinityGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "affinity graph for {} ({} fields)", self.record, self.field_count)?;
+        writeln!(
+            f,
+            "affinity graph for {} ({} fields)",
+            self.record, self.field_count
+        )?;
         for i in 0..self.field_count {
             let fi = FieldIdx(i as u32);
             if self.hotness(fi) > 0 {
@@ -257,7 +261,9 @@ mod tests {
         let body = fb.add_block();
         let exit = fb.add_block();
         let slot = InstanceSlot(0);
-        fb.write(entry, s, f1, slot).write(entry, s, f2, slot).jump(entry, body);
+        fb.write(entry, s, f1, slot)
+            .write(entry, s, f2, slot)
+            .jump(entry, body);
         fb.write(body, s, f3, slot)
             .read(body, s, f3, slot)
             .read(body, s, f1, slot)
@@ -281,7 +287,11 @@ mod tests {
         assert_eq!(g.write_count(f3), big_n, "f3 W = N");
         // Edges.
         assert_eq!(g.weight(f1, f2), n_entry, "straight-line group weight n");
-        assert_eq!(g.weight(f1, f3), big_n, "loop group weight N (min heuristic)");
+        assert_eq!(
+            g.weight(f1, f3),
+            big_n,
+            "loop group weight N (min heuristic)"
+        );
         assert_eq!(g.weight(f2, f3), 0, "f2 and f3 never share a region");
         // Symmetry & self.
         assert_eq!(g.weight(f3, f1), g.weight(f1, f3));

@@ -8,7 +8,7 @@
 //! info).
 
 use crate::cfg::{
-    AccessKind, BasicBlock, BlockId, FieldAccess, FuncId, Function, Instr, InstanceSlot, Program,
+    AccessKind, BasicBlock, BlockId, FieldAccess, FuncId, Function, InstanceSlot, Instr, Program,
     Terminator,
 };
 use crate::source::SourceLine;
@@ -24,7 +24,10 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Starts building a function with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        FunctionBuilder { name: name.into(), blocks: Vec::new() }
+        FunctionBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+        }
     }
 
     /// Adds an empty block (terminator defaults to [`Terminator::Ret`]) and
@@ -59,7 +62,12 @@ impl FunctionBuilder {
     ) -> &mut Self {
         self.push(
             block,
-            Instr::Access(FieldAccess { record, field, kind: AccessKind::Read, slot }),
+            Instr::Access(FieldAccess {
+                record,
+                field,
+                kind: AccessKind::Read,
+                slot,
+            }),
         )
     }
 
@@ -73,7 +81,12 @@ impl FunctionBuilder {
     ) -> &mut Self {
         self.push(
             block,
-            Instr::Access(FieldAccess { record, field, kind: AccessKind::Write, slot }),
+            Instr::Access(FieldAccess {
+                record,
+                field,
+                kind: AccessKind::Write,
+                slot,
+            }),
         )
     }
 
@@ -110,7 +123,14 @@ impl FunctionBuilder {
         not_taken: BlockId,
         prob_taken: f64,
     ) -> &mut Self {
-        self.set_term(from, Terminator::Branch { taken, not_taken, prob_taken })
+        self.set_term(
+            from,
+            Terminator::Branch {
+                taken,
+                not_taken,
+                prob_taken,
+            },
+        )
     }
 
     /// Sets a counted-loop latch terminator: jump to `back` until this block
@@ -158,7 +178,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a program over the given types.
     pub fn new(registry: TypeRegistry) -> Self {
-        ProgramBuilder { program: Program::new(registry), next_line: 0 }
+        ProgramBuilder {
+            program: Program::new(registry),
+            next_line: 0,
+        }
     }
 
     /// Finishes `builder`, rebases its source lines to a fresh range, and
@@ -182,7 +205,10 @@ impl ProgramBuilder {
             (0..func.block_count())
                 .map(|i| {
                     let blk = func.block(BlockId(i as u32)).clone();
-                    BasicBlock { line: SourceLine(blk.line.0 + base), ..blk }
+                    BasicBlock {
+                        line: SourceLine(blk.line.0 + base),
+                        ..blk
+                    }
                 })
                 .collect(),
             func.entry(),

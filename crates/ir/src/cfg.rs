@@ -173,13 +173,20 @@ impl Function {
         assert!(!blocks.is_empty(), "function must have at least one block");
         let n = blocks.len();
         let check = |b: BlockId| {
-            assert!(b.index() < n, "terminator target {b} out of range ({n} blocks)")
+            assert!(
+                b.index() < n,
+                "terminator target {b} out of range ({n} blocks)"
+            )
         };
         check(entry);
         for b in &blocks {
             match b.term {
                 Terminator::Jump(t) => check(t),
-                Terminator::Branch { taken, not_taken, prob_taken } => {
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
                     assert!(
                         (0.0..=1.0).contains(&prob_taken),
                         "branch probability {prob_taken} outside [0, 1]"
@@ -194,7 +201,11 @@ impl Function {
                 Terminator::Ret => {}
             }
         }
-        Function { name: name.into(), blocks, entry }
+        Function {
+            name: name.into(),
+            blocks,
+            entry,
+        }
     }
 
     /// The function's name.
@@ -223,14 +234,19 @@ impl Function {
 
     /// Iterates over `(BlockId, &BasicBlock)`.
     pub fn blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 
     /// Successor blocks of `id` in CFG order.
     pub fn successors(&self, id: BlockId) -> Vec<BlockId> {
         match self.block(id).term {
             Terminator::Jump(t) => vec![t],
-            Terminator::Branch { taken, not_taken, .. } => vec![taken, not_taken],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => vec![taken, not_taken],
             Terminator::Loop { back, exit, .. } => vec![back, exit],
             Terminator::Ret => vec![],
         }
@@ -271,8 +287,8 @@ impl Function {
             }
         }
         post.reverse();
-        for i in 0..n {
-            if !visited[i] {
+        for (i, &seen) in visited.iter().enumerate() {
+            if !seen {
                 post.push(BlockId(i as u32));
             }
         }
@@ -291,7 +307,11 @@ pub struct Program {
 impl Program {
     /// Creates a program over the given types with no functions yet.
     pub fn new(registry: TypeRegistry) -> Self {
-        Program { registry, funcs: Vec::new(), by_name: HashMap::new() }
+        Program {
+            registry,
+            funcs: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// Adds a function and returns its id.
@@ -361,7 +381,10 @@ impl Program {
 
     /// Iterates over `(FuncId, &Function)`.
     pub fn functions(&self) -> impl Iterator<Item = (FuncId, &Function)> {
-        self.funcs.iter().enumerate().map(|(i, f)| (FuncId(i as u32), f))
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
     }
 }
 
@@ -387,7 +410,14 @@ mod tests {
         let b0 = fb.add_block();
         let b1 = fb.add_block();
         let b2 = fb.add_block();
-        fb.set_term(b0, Terminator::Branch { taken: b1, not_taken: b2, prob_taken: 0.5 });
+        fb.set_term(
+            b0,
+            Terminator::Branch {
+                taken: b1,
+                not_taken: b2,
+                prob_taken: 0.5,
+            },
+        );
         fb.set_term(b1, Terminator::Jump(b2));
         fb.set_term(b2, Terminator::Ret);
         let f = fb.build(b0);
@@ -409,7 +439,14 @@ mod tests {
         let b1 = fb.add_block();
         let b2 = fb.add_block();
         let b3 = fb.add_block(); // unreachable
-        fb.set_term(b0, Terminator::Loop { back: b1, exit: b2, trip: 3 });
+        fb.set_term(
+            b0,
+            Terminator::Loop {
+                back: b1,
+                exit: b2,
+                trip: 3,
+            },
+        );
         fb.set_term(b1, Terminator::Jump(b0));
         fb.set_term(b2, Terminator::Ret);
         fb.set_term(b3, Terminator::Ret);

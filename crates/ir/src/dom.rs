@@ -96,7 +96,11 @@ impl DominatorTree {
             }
         }
 
-        DominatorTree { idom, rpo_index, entry: func.entry() }
+        DominatorTree {
+            idom,
+            rpo_index,
+            entry: func.entry(),
+        }
     }
 
     /// Immediate dominator of `b` (`None` for the entry and for unreachable

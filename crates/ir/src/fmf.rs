@@ -122,11 +122,23 @@ mod tests {
         let ((rec, fi), rw) = at0[0];
         assert_eq!(rec, s);
         assert_eq!(fi, FieldIdx(0));
-        assert_eq!(rw, Rw { reads: 1, writes: 1 });
+        assert_eq!(
+            rw,
+            Rw {
+                reads: 1,
+                writes: 1
+            }
+        );
         assert!(rw.has_write());
 
         let at1: Vec<_> = fmf.fields_at(line1).collect();
-        assert_eq!(at1[0].1, Rw { reads: 0, writes: 1 });
+        assert_eq!(
+            at1[0].1,
+            Rw {
+                reads: 0,
+                writes: 1
+            }
+        );
         assert_eq!(fmf.fields_at(SourceLine(9999)).count(), 0);
     }
 

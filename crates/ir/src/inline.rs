@@ -39,7 +39,11 @@ impl Default for InlineParams {
 fn shift_term(term: &Terminator, delta: u32, ret_to: BlockId) -> Terminator {
     match *term {
         Terminator::Jump(t) => Terminator::Jump(BlockId(t.0 + delta)),
-        Terminator::Branch { taken, not_taken, prob_taken } => Terminator::Branch {
+        Terminator::Branch {
+            taken,
+            not_taken,
+            prob_taken,
+        } => Terminator::Branch {
             taken: BlockId(taken.0 + delta),
             not_taken: BlockId(not_taken.0 + delta),
             prob_taken,
@@ -69,7 +73,9 @@ fn inline_function(func: &Function, flattened: &[Function], params: InlineParams
             .iter()
             .position(|i| matches!(i, Instr::Call(_)));
         let Some(pos) = call_pos else { continue };
-        let Instr::Call(callee_id) = blocks[bi].instrs[pos] else { unreachable!() };
+        let Instr::Call(callee_id) = blocks[bi].instrs[pos] else {
+            unreachable!()
+        };
         let callee = &flattened[callee_id.0 as usize];
 
         if blocks.len() + callee.block_count() + 1 > params.max_blocks {
@@ -185,7 +191,10 @@ mod tests {
         }
         // Same multiset of accesses.
         let count = |p: &Program, f: FuncId| -> usize {
-            p.function(f).blocks().map(|(_, b)| b.accesses().count()).sum()
+            p.function(f)
+                .blocks()
+                .map(|(_, b)| b.accesses().count())
+                .sum()
         };
         assert_eq!(count(&flat, caller_id), 3);
         assert_eq!(count(&prog, caller_id), 2, "original kept the call");
@@ -261,7 +270,10 @@ mod tests {
             .blocks()
             .map(|(_, b)| b.accesses().count())
             .sum();
-        assert_eq!(accesses, 2, "both transitive leaf writes are inlined into top");
+        assert_eq!(
+            accesses, 2,
+            "both transitive leaf writes are inlined into top"
+        );
         let p = profile_invocations(&flat, &[top_id], 1, 10_000).unwrap();
         assert_eq!(p.count(mid_id, BlockId(0)), 0);
         assert_eq!(p.count(leaf_id, BlockId(0)), 0);
@@ -293,10 +305,7 @@ mod tests {
             let mut writes = 0;
             for (fid, f) in p.functions() {
                 for (bid, b) in f.blocks() {
-                    let w: u64 = b
-                        .accesses()
-                        .filter(|a| a.kind.is_write())
-                        .count() as u64;
+                    let w: u64 = b.accesses().filter(|a| a.kind.is_write()).count() as u64;
                     writes += w * profile.count(fid, bid);
                 }
             }

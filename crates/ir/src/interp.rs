@@ -72,7 +72,10 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     /// Creates an interpreter with a deterministic branch seed.
     pub fn new(program: &'p Program, seed: u64) -> Self {
-        Interp { program, rng: SplitMix64::new(seed) }
+        Interp {
+            program,
+            rng: SplitMix64::new(seed),
+        }
     }
 
     /// Executes `func` once, recording block counts into `profile`.
@@ -104,8 +107,16 @@ impl<'p> Interp<'p> {
             }
             match block.term {
                 Terminator::Jump(t) => cur = t,
-                Terminator::Branch { taken, not_taken, prob_taken } => {
-                    cur = if self.rng.next_f64() < prob_taken { taken } else { not_taken };
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
+                    cur = if self.rng.next_f64() < prob_taken {
+                        taken
+                    } else {
+                        not_taken
+                    };
                 }
                 Terminator::Loop { back, exit, trip } => {
                     let c = loop_counters.entry(cur).or_insert(0);
@@ -211,7 +222,10 @@ mod tests {
         let invocations = vec![id; runs];
         let p = profile_invocations(&prog, &invocations, 42, 10_000_000).unwrap();
         let taken = p.count(id, b1) as f64 / runs as f64;
-        assert!((taken - 0.25).abs() < 0.02, "taken fraction {taken} too far from 0.25");
+        assert!(
+            (taken - 0.25).abs() < 0.02,
+            "taken fraction {taken} too far from 0.25"
+        );
     }
 
     #[test]

@@ -142,8 +142,18 @@ impl StructLayout {
         }
         let align = record.align();
         let size = align_up(cursor, align);
-        let sizes = record.field_indices().map(|f| record.field(f).size()).collect();
-        Ok(StructLayout { offsets, sizes, order, size, align, line_size })
+        let sizes = record
+            .field_indices()
+            .map(|f| record.field(f).size())
+            .collect();
+        Ok(StructLayout {
+            offsets,
+            sizes,
+            order,
+            size,
+            align,
+            line_size,
+        })
     }
 
     /// Byte offset of a field.
@@ -220,7 +230,11 @@ impl StructLayout {
     ///
     /// Panics if `record` does not match this layout's field count.
     pub fn to_annotated_string(&self, record: &RecordType) -> String {
-        assert_eq!(record.field_count(), self.order.len(), "record does not match layout");
+        assert_eq!(
+            record.field_count(),
+            self.order.len(),
+            "record does not match layout"
+        );
         use fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
@@ -233,7 +247,11 @@ impl StructLayout {
         );
         for &fi in &self.order {
             let (l0, l1) = self.lines_of(fi);
-            let lines = if l0 == l1 { format!("line {l0}") } else { format!("lines {l0}-{l1}") };
+            let lines = if l0 == l1 {
+                format!("line {l0}")
+            } else {
+                format!("lines {l0}-{l1}")
+            };
             let _ = writeln!(
                 out,
                 "  +{:>5}  {:<24} ({} bytes, {})",
@@ -249,7 +267,13 @@ impl StructLayout {
 
 impl fmt::Display for StructLayout {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "layout: size={} align={} lines={}", self.size, self.align, self.line_span())?;
+        writeln!(
+            f,
+            "layout: size={} align={} lines={}",
+            self.size,
+            self.align,
+            self.line_span()
+        )?;
         for &fi in &self.order {
             writeln!(
                 f,
@@ -273,10 +297,10 @@ mod tests {
         RecordType::new(
             "S",
             vec![
-                ("a", FieldType::Prim(PrimType::U8)),   // f0: 1 byte
-                ("b", FieldType::Prim(PrimType::U64)),  // f1: 8 bytes
-                ("c", FieldType::Prim(PrimType::U16)),  // f2: 2 bytes
-                ("d", FieldType::Prim(PrimType::U32)),  // f3: 4 bytes
+                ("a", FieldType::Prim(PrimType::U8)),  // f0: 1 byte
+                ("b", FieldType::Prim(PrimType::U64)), // f1: 8 bytes
+                ("c", FieldType::Prim(PrimType::U16)), // f2: 2 bytes
+                ("d", FieldType::Prim(PrimType::U32)), // f3: 4 bytes
             ],
         )
     }
@@ -316,7 +340,11 @@ mod tests {
     #[test]
     fn groups_start_on_line_boundaries() {
         let r = rec();
-        let groups = vec![vec![FieldIdx(0)], vec![FieldIdx(1), FieldIdx(2)], vec![FieldIdx(3)]];
+        let groups = vec![
+            vec![FieldIdx(0)],
+            vec![FieldIdx(1), FieldIdx(2)],
+            vec![FieldIdx(3)],
+        ];
         let l = StructLayout::from_groups(&r, &groups, 64).unwrap();
         assert_eq!(l.offset(FieldIdx(0)), 0);
         assert_eq!(l.offset(FieldIdx(1)), 64);
@@ -332,7 +360,13 @@ mod tests {
         let r = RecordType::new(
             "T",
             vec![
-                ("x", FieldType::Array { elem: PrimType::U64, len: 20 }), // 160 bytes
+                (
+                    "x",
+                    FieldType::Array {
+                        elem: PrimType::U64,
+                        len: 20,
+                    },
+                ), // 160 bytes
                 ("y", FieldType::Prim(PrimType::U32)),
             ],
         );

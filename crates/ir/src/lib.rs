@@ -78,7 +78,7 @@ pub mod types;
 pub use affinity::{AffinityGraph, AffinityMode};
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cfg::{
-    AccessKind, BasicBlock, BlockId, FieldAccess, FuncId, Function, Instr, InstanceSlot, Program,
+    AccessKind, BasicBlock, BlockId, FieldAccess, FuncId, Function, InstanceSlot, Instr, Program,
     Terminator,
 };
 pub use fmf::FieldMap;

@@ -80,7 +80,12 @@ impl LoopForest {
                     }
                 }
             }
-            loops.push(NaturalLoop { header, body, parent: None, depth: 0 });
+            loops.push(NaturalLoop {
+                header,
+                body,
+                parent: None,
+                depth: 0,
+            });
         }
 
         // Sort loops by increasing body size so that parents (larger) come
@@ -113,11 +118,11 @@ impl LoopForest {
         // Innermost loop per block: smallest loop containing it. Since
         // loops are sorted by size, the first match is innermost.
         let mut innermost = vec![None; n];
-        for b in 0..n {
+        for (b, slot) in innermost.iter_mut().enumerate() {
             let blk = BlockId(b as u32);
             for (li, l) in loops.iter().enumerate() {
                 if l.body.contains(&blk) {
-                    innermost[b] = Some(LoopId(li as u32));
+                    *slot = Some(LoopId(li as u32));
                     break;
                 }
             }
@@ -142,7 +147,10 @@ impl LoopForest {
 
     /// Iterates over `(LoopId, &NaturalLoop)`, innermost (smallest) first.
     pub fn loops(&self) -> impl Iterator<Item = (LoopId, &NaturalLoop)> {
-        self.loops.iter().enumerate().map(|(i, l)| (LoopId(i as u32), l))
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId(i as u32), l))
     }
 
     /// The innermost loop containing `block`, if any.

@@ -43,7 +43,7 @@
 //! * `#` starts a comment to end of line.
 
 use crate::builder::{FunctionBuilder, ProgramBuilder};
-use crate::cfg::{FuncId, Instr, InstanceSlot, Program, Terminator};
+use crate::cfg::{FuncId, InstanceSlot, Instr, Program, Terminator};
 use crate::types::{FieldType, PrimType, RecordType, TypeRegistry};
 use std::collections::HashMap;
 use std::error::Error;
@@ -67,7 +67,10 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// One token with its source line.
@@ -85,14 +88,20 @@ fn tokenize(input: &str) -> Vec<Tok> {
         let mut cur = String::new();
         let flush = |cur: &mut String, out: &mut Vec<Tok>| {
             if !cur.is_empty() {
-                out.push(Tok { text: std::mem::take(cur), line });
+                out.push(Tok {
+                    text: std::mem::take(cur),
+                    line,
+                });
             }
         };
         for ch in code.chars() {
             match ch {
                 '{' | '}' | ':' | '(' | ')' | ',' | '.' | '@' | '[' | ']' => {
                     flush(&mut cur, &mut out);
-                    out.push(Tok { text: ch.to_string(), line });
+                    out.push(Tok {
+                        text: ch.to_string(),
+                        line,
+                    });
                 }
                 c if c.is_whitespace() => flush(&mut cur, &mut out),
                 c => cur.push(c),
@@ -122,14 +131,18 @@ impl Parser {
     }
 
     fn cur_line(&self) -> usize {
-        self.peek().map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
+        self.peek()
+            .map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
     }
 
     fn expect(&mut self, what: &str) -> Result<Tok, ParseError> {
         match self.next() {
             Some(t) if t.text == what => Ok(t),
             Some(t) => err(t.line, format!("expected `{what}`, found `{}`", t.text)),
-            None => err(self.cur_line(), format!("expected `{what}`, found end of input")),
+            None => err(
+                self.cur_line(),
+                format!("expected `{what}`, found end of input"),
+            ),
         }
     }
 
@@ -142,15 +155,19 @@ impl Parser {
                 Ok(t)
             }
             Some(t) => err(t.line, format!("expected {what}, found `{}`", t.text)),
-            None => err(self.cur_line(), format!("expected {what}, found end of input")),
+            None => err(
+                self.cur_line(),
+                format!("expected {what}, found end of input"),
+            ),
         }
     }
 
     fn number<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, ParseError> {
         let t = self.ident(what)?;
-        t.text
-            .parse::<T>()
-            .map_err(|_| ParseError { line: t.line, message: format!("bad {what} `{}`", t.text) })
+        t.text.parse::<T>().map_err(|_| ParseError {
+            line: t.line,
+            message: format!("bad {what} `{}`", t.text),
+        })
     }
 
     /// Parses a float that may span a `.` token (the tokenizer treats `.`
@@ -164,8 +181,10 @@ impl Parser {
             text.push('.');
             text.push_str(&frac.text);
         }
-        text.parse::<f64>()
-            .map_err(|_| ParseError { line: t.line, message: format!("bad {what} `{text}`") })
+        text.parse::<f64>().map_err(|_| ParseError {
+            line: t.line,
+            message: format!("bad {what} `{text}`"),
+        })
     }
 }
 
@@ -216,7 +235,10 @@ fn parse_field_type(p: &mut Parser) -> Result<FieldType, ParseError> {
             return err(t.line, "opaque size must be non-zero");
         }
         if !align.is_power_of_two() {
-            return err(t.line, format!("opaque alignment {align} is not a power of two"));
+            return err(
+                t.line,
+                format!("opaque alignment {align} is not a power of two"),
+            );
         }
         return Ok(FieldType::Opaque { size, align });
     }
@@ -243,7 +265,10 @@ fn parse_field_type(p: &mut Parser) -> Result<FieldType, ParseError> {
 /// semantic problem (unknown record/field/function, dangling block,
 /// duplicate names, calls to later-defined functions, …).
 pub fn parse_program(input: &str) -> Result<Program, ParseError> {
-    let mut p = Parser { toks: tokenize(input), pos: 0 };
+    let mut p = Parser {
+        toks: tokenize(input),
+        pos: 0,
+    };
     let mut registry = TypeRegistry::new();
     // First pass gathers records inline (records must precede use; we
     // enforce file order = definition order, like the builder API).
@@ -254,9 +279,18 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
         blocks: Vec<(String, Vec<RawInstr>, RawTerm, usize)>,
     }
     enum RawInstr {
-        Access { record: String, field: String, write: bool, slot: u8, line: usize },
+        Access {
+            record: String,
+            field: String,
+            write: bool,
+            slot: u8,
+            line: usize,
+        },
         Compute(u32),
-        Call { name: String, line: usize },
+        Call {
+            name: String,
+            line: usize,
+        },
     }
     enum RawTerm {
         Jump(String, usize),
@@ -378,7 +412,10 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                             blocks.push((bname.text, instrs, term, bname.line));
                         }
                         Some(t) => {
-                            return err(t.line, format!("expected `block` or `}}`, found `{}`", t.text))
+                            return err(
+                                t.line,
+                                format!("expected `block` or `}}`, found `{}`", t.text),
+                            )
                         }
                         None => return err(name.line, "unterminated function"),
                     }
@@ -389,9 +426,18 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                 if fns.iter().any(|f| f.name == name.text) {
                     return err(name.line, format!("duplicate function `{}`", name.text));
                 }
-                fns.push(PendingFn { name: name.text, line: name.line, blocks });
+                fns.push(PendingFn {
+                    name: name.text,
+                    line: name.line,
+                    blocks,
+                });
             }
-            other => return err(tok.line, format!("expected `record` or `fn`, found `{other}`")),
+            other => {
+                return err(
+                    tok.line,
+                    format!("expected `record` or `fn`, found `{other}`"),
+                )
+            }
         }
     }
 
@@ -403,20 +449,29 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
         let mut block_ids = HashMap::new();
         for (bname, _, _, bline) in &pf.blocks {
             if block_ids.insert(bname.clone(), fb.add_block()).is_some() {
-                return err(*bline, format!("duplicate block `{bname}` in `{}`", pf.name));
+                return err(
+                    *bline,
+                    format!("duplicate block `{bname}` in `{}`", pf.name),
+                );
             }
         }
         let lookup_block = |name: &str, line: usize| {
-            block_ids
-                .get(name)
-                .copied()
-                .ok_or(ParseError { line, message: format!("unknown block `{name}`") })
+            block_ids.get(name).copied().ok_or(ParseError {
+                line,
+                message: format!("unknown block `{name}`"),
+            })
         };
         for (bname, instrs, term, _) in &pf.blocks {
             let bid = block_ids[bname];
             for ri in instrs {
                 match ri {
-                    RawInstr::Access { record, field, write, slot, line } => {
+                    RawInstr::Access {
+                        record,
+                        field,
+                        write,
+                        slot,
+                        line,
+                    } => {
                         let Some(rid) = pb.program().registry().lookup(record) else {
                             return err(*line, format!("unknown record `{record}`"));
                         };
@@ -523,8 +578,16 @@ pub fn print_program(program: &Program) -> String {
                 Terminator::Jump(t) => {
                     let _ = writeln!(out, "        jump b{}", t.0);
                 }
-                Terminator::Branch { taken, not_taken, prob_taken } => {
-                    let _ = writeln!(out, "        branch b{} b{} {prob_taken}", taken.0, not_taken.0);
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "        branch b{} b{} {prob_taken}",
+                        taken.0, not_taken.0
+                    );
                 }
                 Terminator::Loop { back, exit, trip } => {
                     let _ = writeln!(out, "        loop b{} b{} {trip}", back.0, exit.0);
@@ -584,8 +647,14 @@ fn scan {
         let rec = prog.registry().lookup("S").unwrap();
         let ty = prog.registry().record(rec);
         assert_eq!(ty.field_count(), 3);
-        assert_eq!(ty.field_by_name("name").map(|f| ty.field(f).size()), Some(16));
-        assert_eq!(ty.field_by_name("lock").map(|f| ty.field(f).align()), Some(8));
+        assert_eq!(
+            ty.field_by_name("name").map(|f| ty.field(f).size()),
+            Some(16)
+        );
+        assert_eq!(
+            ty.field_by_name("lock").map(|f| ty.field(f).align()),
+            Some(8)
+        );
         assert_eq!(prog.function_count(), 2);
         let scan = prog.function(prog.lookup("scan").unwrap());
         assert_eq!(scan.block_count(), 3);
@@ -637,11 +706,20 @@ fn scan {
     fn error_reporting_carries_lines() {
         let cases = [
             ("record S { }", "has no fields"),
-            ("record S { x: u64 }\nrecord S { y: u64 }", "duplicate record"),
+            (
+                "record S { x: u64 }\nrecord S { y: u64 }",
+                "duplicate record",
+            ),
             ("record S { x: zz }", "unknown type"),
-            ("record S { x: u64 }\nfn f { block b { read S.y @0 ret } }", "no field `y`"),
+            (
+                "record S { x: u64 }\nfn f { block b { read S.y @0 ret } }",
+                "no field `y`",
+            ),
             ("fn f { block b { jump nowhere } }", "unknown block"),
-            ("fn f { block b { call g ret } }", "unknown (or later-defined) function"),
+            (
+                "fn f { block b { call g ret } }",
+                "unknown (or later-defined) function",
+            ),
             ("record S { x: opaque(0, 8) }", "size must be non-zero"),
             ("record S { x: opaque(8, 3) }", "power of two"),
             ("banana", "expected `record` or `fn`"),

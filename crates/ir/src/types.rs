@@ -135,7 +135,10 @@ pub struct FieldDef {
 impl FieldDef {
     /// Creates a field definition.
     pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
-        FieldDef { name: name.into(), ty }
+        FieldDef {
+            name: name.into(),
+            ty,
+        }
     }
 
     /// The field's name.
@@ -178,8 +181,10 @@ impl RecordType {
     /// alignment is not a power of two — these are programming errors in the
     /// record description, not runtime conditions.
     pub fn new<N: Into<String>>(name: impl Into<String>, fields: Vec<(N, FieldType)>) -> Self {
-        let fields: Vec<FieldDef> =
-            fields.into_iter().map(|(n, t)| FieldDef::new(n, t)).collect();
+        let fields: Vec<FieldDef> = fields
+            .into_iter()
+            .map(|(n, t)| FieldDef::new(n, t))
+            .collect();
         let mut seen = HashMap::new();
         for (i, f) in fields.iter().enumerate() {
             assert!(f.size() > 0, "field `{}` has zero size", f.name());
@@ -190,10 +195,16 @@ impl RecordType {
                 f.align()
             );
             if let Some(prev) = seen.insert(f.name().to_string(), i) {
-                panic!("duplicate field name `{}` (indices {prev} and {i})", f.name());
+                panic!(
+                    "duplicate field name `{}` (indices {prev} and {i})",
+                    f.name()
+                );
             }
         }
-        RecordType { name: name.into(), fields }
+        RecordType {
+            name: name.into(),
+            fields,
+        }
     }
 
     /// The record's name.
@@ -217,7 +228,10 @@ impl RecordType {
 
     /// Iterates over `(FieldIdx, &FieldDef)` in declaration order.
     pub fn fields(&self) -> impl Iterator<Item = (FieldIdx, &FieldDef)> {
-        self.fields.iter().enumerate().map(|(i, f)| (FieldIdx(i as u32), f))
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldIdx(i as u32), f))
     }
 
     /// All field indices in declaration order.
@@ -330,7 +344,10 @@ mod tests {
 
     #[test]
     fn array_and_opaque_types() {
-        let a = FieldType::Array { elem: PrimType::U16, len: 10 };
+        let a = FieldType::Array {
+            elem: PrimType::U16,
+            len: 10,
+        };
         assert_eq!(a.size(), 20);
         assert_eq!(a.align(), 2);
         let o = FieldType::Opaque { size: 24, align: 8 };
@@ -345,7 +362,13 @@ mod tests {
             vec![
                 ("a", FieldType::Prim(PrimType::U8)),
                 ("b", FieldType::Prim(PrimType::U64)),
-                ("c", FieldType::Array { elem: PrimType::U32, len: 4 }),
+                (
+                    "c",
+                    FieldType::Array {
+                        elem: PrimType::U32,
+                        len: 4,
+                    },
+                ),
             ],
         );
         assert_eq!(r.field_count(), 3);
@@ -380,8 +403,14 @@ mod tests {
     fn registry_roundtrip() {
         let mut reg = TypeRegistry::new();
         assert!(reg.is_empty());
-        let a = reg.add_record(RecordType::new::<&str>("A", vec![("x", FieldType::Prim(PrimType::U32))]));
-        let b = reg.add_record(RecordType::new::<&str>("B", vec![("y", FieldType::Prim(PrimType::U64))]));
+        let a = reg.add_record(RecordType::new::<&str>(
+            "A",
+            vec![("x", FieldType::Prim(PrimType::U32))],
+        ));
+        let b = reg.add_record(RecordType::new::<&str>(
+            "B",
+            vec![("y", FieldType::Prim(PrimType::U64))],
+        ));
         assert_eq!(reg.len(), 2);
         assert_ne!(a, b);
         assert_eq!(reg.lookup("A"), Some(a));
@@ -396,7 +425,13 @@ mod tests {
     #[should_panic(expected = "duplicate record name")]
     fn registry_rejects_duplicate_records() {
         let mut reg = TypeRegistry::new();
-        reg.add_record(RecordType::new::<&str>("A", vec![("x", FieldType::Prim(PrimType::U32))]));
-        reg.add_record(RecordType::new::<&str>("A", vec![("y", FieldType::Prim(PrimType::U64))]));
+        reg.add_record(RecordType::new::<&str>(
+            "A",
+            vec![("x", FieldType::Prim(PrimType::U32))],
+        ));
+        reg.add_record(RecordType::new::<&str>(
+            "A",
+            vec![("y", FieldType::Prim(PrimType::U64))],
+        ));
     }
 }

@@ -32,7 +32,9 @@ pub struct ConcurrencyConfig {
 
 impl Default for ConcurrencyConfig {
     fn default() -> Self {
-        ConcurrencyConfig { interval: 1_200_000 }
+        ConcurrencyConfig {
+            interval: 1_200_000,
+        }
     }
 }
 

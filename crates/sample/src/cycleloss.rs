@@ -98,13 +98,18 @@ pub fn cycle_loss_filtered(
     record: RecordId,
     may_alias: impl Fn(slopt_ir::source::SourceLine, slopt_ir::source::SourceLine) -> bool,
 ) -> CycleLossMap {
-    cycle_loss_weighted(cm, fmf, record, |l1, _, l2, _| {
-        if may_alias(l1, l2) {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    cycle_loss_weighted(
+        cm,
+        fmf,
+        record,
+        |l1, _, l2, _| {
+            if may_alias(l1, l2) {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    )
 }
 
 /// The fully general join: each contribution of concurrency `cc` between
@@ -129,7 +134,10 @@ pub fn cycle_loss_weighted(
         FieldIdx,
     ) -> f64,
 ) -> CycleLossMap {
-    let mut out = CycleLossMap { record, map: HashMap::new() };
+    let mut out = CycleLossMap {
+        record,
+        map: HashMap::new(),
+    };
     for (l1, l2, cc) in cm.pairs() {
         for ((r1, f1), rw1) in fmf.fields_at(l1) {
             if r1 != record {
@@ -198,7 +206,13 @@ mod tests {
     }
 
     fn sample_at(cpu: u16, time: u64, line: SourceLine) -> Sample {
-        Sample { cpu: CpuId(cpu), time, func: FuncId(0), block: BlockId(0), line }
+        Sample {
+            cpu: CpuId(cpu),
+            time,
+            func: FuncId(0),
+            block: BlockId(0),
+            line,
+        }
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        SamplerConfig { period: 100_000, max_phase_jitter: 64, loss_probability: 0.0, seed: 0 }
+        SamplerConfig {
+            period: 100_000,
+            max_phase_jitter: 64,
+            loss_probability: 0.0,
+            seed: 0,
+        }
     }
 }
 
@@ -86,7 +91,13 @@ impl Sampler {
                 cfg.period + jitter
             })
             .collect();
-        Sampler { cfg, next_due, rng, samples: Vec::new(), dropped: 0 }
+        Sampler {
+            cfg,
+            next_due,
+            rng,
+            samples: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// The samples collected so far, in per-CPU time order.
@@ -125,7 +136,13 @@ impl Observer for Sampler {
             let keep = self.cfg.loss_probability == 0.0
                 || self.rng.next_f64() >= self.cfg.loss_probability;
             if keep {
-                self.samples.push(Sample { cpu, time: *due, func, block, line });
+                self.samples.push(Sample {
+                    cpu,
+                    time: *due,
+                    func,
+                    block,
+                    line,
+                });
             } else {
                 self.dropped += 1;
             }
@@ -169,7 +186,13 @@ impl Observer for ExactCounter {
         start: u64,
         _end: u64,
     ) {
-        self.samples.push(Sample { cpu, time: start, func, block, line });
+        self.samples.push(Sample {
+            cpu,
+            time: start,
+            func,
+            block,
+            line,
+        });
     }
 }
 
@@ -178,12 +201,23 @@ mod tests {
     use super::*;
 
     fn ev(s: &mut Sampler, cpu: u16, line: u32, start: u64, end: u64) {
-        s.on_block(CpuId(cpu), FuncId(0), BlockId(0), SourceLine(line), start, end);
+        s.on_block(
+            CpuId(cpu),
+            FuncId(0),
+            BlockId(0),
+            SourceLine(line),
+            start,
+            end,
+        );
     }
 
     #[test]
     fn samples_fall_on_period_grid() {
-        let cfg = SamplerConfig { period: 100, max_phase_jitter: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            period: 100,
+            max_phase_jitter: 0,
+            ..Default::default()
+        };
         let mut s = Sampler::new(1, cfg);
         ev(&mut s, 0, 1, 0, 350);
         let times: Vec<u64> = s.samples().iter().map(|x| x.time).collect();
@@ -192,7 +226,11 @@ mod tests {
 
     #[test]
     fn samples_attribute_to_covering_block() {
-        let cfg = SamplerConfig { period: 100, max_phase_jitter: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            period: 100,
+            max_phase_jitter: 0,
+            ..Default::default()
+        };
         let mut s = Sampler::new(1, cfg);
         ev(&mut s, 0, 7, 0, 150); // covers t=100
         ev(&mut s, 0, 8, 150, 260); // covers t=200
@@ -202,7 +240,11 @@ mod tests {
 
     #[test]
     fn idle_gaps_produce_no_samples() {
-        let cfg = SamplerConfig { period: 100, max_phase_jitter: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            period: 100,
+            max_phase_jitter: 0,
+            ..Default::default()
+        };
         let mut s = Sampler::new(1, cfg);
         ev(&mut s, 0, 1, 0, 150);
         ev(&mut s, 0, 2, 1000, 1150); // big gap
@@ -214,7 +256,11 @@ mod tests {
 
     #[test]
     fn per_cpu_clocks_are_independent() {
-        let cfg = SamplerConfig { period: 100, max_phase_jitter: 0, ..Default::default() };
+        let cfg = SamplerConfig {
+            period: 100,
+            max_phase_jitter: 0,
+            ..Default::default()
+        };
         let mut s = Sampler::new(2, cfg);
         ev(&mut s, 0, 1, 0, 250);
         ev(&mut s, 1, 2, 0, 150);
@@ -243,7 +289,12 @@ mod tests {
 
     #[test]
     fn jitter_staggers_cpus_deterministically() {
-        let cfg = SamplerConfig { period: 1000, max_phase_jitter: 100, seed: 9, ..Default::default() };
+        let cfg = SamplerConfig {
+            period: 1000,
+            max_phase_jitter: 100,
+            seed: 9,
+            ..Default::default()
+        };
         let s1 = Sampler::new(8, cfg);
         let s2 = Sampler::new(8, cfg);
         assert_eq!(s1.next_due, s2.next_due);
@@ -264,6 +315,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "period must be non-zero")]
     fn zero_period_rejected() {
-        Sampler::new(1, SamplerConfig { period: 0, ..Default::default() });
+        Sampler::new(
+            1,
+            SamplerConfig {
+                period: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -2,10 +2,10 @@
 //! locality, monotonicity, and sampler grid correctness.
 
 use proptest::prelude::*;
-use slopt_sample::{concurrency_map, ConcurrencyConfig, Sample, Sampler, SamplerConfig};
-use slopt_sim::{CpuId, Observer};
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::source::SourceLine;
+use slopt_sample::{concurrency_map, ConcurrencyConfig, Sample, Sampler, SamplerConfig};
+use slopt_sim::{CpuId, Observer};
 
 fn mk_sample(cpu: u16, time: u64, line: u32) -> Sample {
     Sample {

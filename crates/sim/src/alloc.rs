@@ -24,8 +24,14 @@ impl Arena {
     ///
     /// Panics if `line_size` is not a power of two.
     pub fn new(base: u64, line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        Arena { next: base, line_size }
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        Arena {
+            next: base,
+            line_size,
+        }
     }
 
     /// Allocates `size` bytes aligned to `align.max(line_size)` and returns

@@ -34,7 +34,11 @@ impl CacheConfig {
     /// A 4 MiB, 8-way cache of 128-byte lines — roughly the 6 MB Itanium 2
     /// L3 of the paper's machines, at the L2 line/coherence granularity.
     pub fn itanium_l2() -> Self {
-        CacheConfig { line_size: 128, sets: 4096, ways: 8 }
+        CacheConfig {
+            line_size: 128,
+            sets: 4096,
+            ways: 8,
+        }
     }
 
     /// Total capacity in bytes.
@@ -53,7 +57,11 @@ impl CacheConfig {
             "line size {} must be a power of two <= 128",
             self.line_size
         );
-        assert!(self.sets.is_power_of_two(), "set count {} must be a power of two", self.sets);
+        assert!(
+            self.sets.is_power_of_two(),
+            "set count {} must be a power of two",
+            self.sets
+        );
         assert!(self.ways > 0, "associativity must be non-zero");
     }
 }
@@ -81,7 +89,11 @@ impl Cache {
     /// Panics on invalid geometry (see [`CacheConfig::validate`]).
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
-        Cache { cfg, sets: vec![Vec::new(); cfg.sets], tick: 0 }
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets],
+            tick: 0,
+        }
     }
 
     /// The cache's geometry.
@@ -106,7 +118,10 @@ impl Cache {
     /// Peeks at a line's state without touching LRU.
     pub fn peek(&self, line: u64) -> Option<Mesi> {
         let set = self.set_of(line);
-        self.sets[set].iter().find(|f| f.line == line).map(|f| f.state)
+        self.sets[set]
+            .iter()
+            .find(|f| f.line == line)
+            .map(|f| f.state)
     }
 
     /// Changes the state of a resident line.
@@ -135,7 +150,10 @@ impl Cache {
         let ways = self.cfg.ways;
         let set_idx = self.set_of(line);
         let set = &mut self.sets[set_idx];
-        assert!(set.iter().all(|f| f.line != line), "insert of resident line {line:#x}");
+        assert!(
+            set.iter().all(|f| f.line != line),
+            "insert of resident line {line:#x}"
+        );
         let evicted = if set.len() == ways {
             let (pos, _) = set
                 .iter()
@@ -147,7 +165,11 @@ impl Cache {
         } else {
             None
         };
-        set.push(Frame { line, state, lru: tick });
+        set.push(Frame {
+            line,
+            state,
+            lru: tick,
+        });
         evicted
     }
 
@@ -170,7 +192,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Cache {
-        Cache::new(CacheConfig { line_size: 64, sets: 2, ways: 2 })
+        Cache::new(CacheConfig {
+            line_size: 64,
+            sets: 2,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -239,6 +265,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_bad_line_size() {
-        Cache::new(CacheConfig { line_size: 96, sets: 2, ways: 1 });
+        Cache::new(CacheConfig {
+            line_size: 96,
+            sets: 2,
+            ways: 1,
+        });
     }
 }

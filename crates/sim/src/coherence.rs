@@ -272,8 +272,9 @@ impl MemSystem {
         let mut inval_lat = 0;
         let mut killed = 0;
         if others != 0 {
-            let victims: Vec<u16> =
-                (0..self.topo.cpu_count() as u16).filter(|&c| others & (1u128 << c) != 0).collect();
+            let victims: Vec<u16> = (0..self.topo.cpu_count() as u16)
+                .filter(|&c| others & (1u128 << c) != 0)
+                .collect();
             for v in victims {
                 let d = self.topo.distance(cpu, CpuId(v));
                 inval_lat = inval_lat.max(self.lat.transfer(d));
@@ -316,7 +317,14 @@ impl MemSystem {
     }
 
     /// Read or write miss.
-    fn miss(&mut self, cpu: CpuId, line: u64, mask: u128, write: bool, now: u64) -> (u64, AccessClass) {
+    fn miss(
+        &mut self,
+        cpu: CpuId,
+        line: u64,
+        mask: u128,
+        write: bool,
+        now: u64,
+    ) -> (u64, AccessClass) {
         let entry = self.dir.entry(line).or_default();
 
         // Classify before mutating sharer state.
@@ -384,7 +392,11 @@ impl MemSystem {
             entry.sharers = cpu_bit(cpu);
             let had_copies = owner.is_some() || sharers != 0;
             let service = fetch_lat.max(inval_lat);
-            lat = if had_copies { self.queue_delay(line, now, service) } else { service };
+            lat = if had_copies {
+                self.queue_delay(line, now, service)
+            } else {
+                service
+            };
             self.insert_line(cpu, line, Mesi::Modified);
             self.note_write(cpu, line, mask);
         } else {
@@ -461,7 +473,10 @@ impl MemSystem {
             for c in 0..self.topo.cpu_count() {
                 let has = self.caches[c].peek(line).is_some();
                 let marked = entry.sharers & (1u128 << c) != 0;
-                assert_eq!(has, marked, "line {line:#x}: cpu {c} cache/directory disagree");
+                assert_eq!(
+                    has, marked,
+                    "line {line:#x}: cpu {c} cache/directory disagree"
+                );
                 if has && entry.owner != Some(c as u16) {
                     assert_eq!(
                         self.caches[c].peek(line),
@@ -487,7 +502,11 @@ mod tests {
         MemSystem::new(
             Topology::superdome(cpus),
             LatencyModel::superdome(),
-            CacheConfig { line_size: 128, sets: 64, ways: 4 },
+            CacheConfig {
+                line_size: 128,
+                sets: 64,
+                ways: 4,
+            },
         )
     }
 
@@ -577,7 +596,11 @@ mod tests {
         let mut m = MemSystem::new(
             Topology::bus(1),
             LatencyModel::bus(),
-            CacheConfig { line_size: 64, sets: 1, ways: 2 },
+            CacheConfig {
+                line_size: 64,
+                sets: 1,
+                ways: 2,
+            },
         );
         m.access(CpuId(0), 0, 8, false, REC, 0); // line 0
         m.access(CpuId(0), 64, 8, false, REC, 0); // line 1
@@ -611,7 +634,10 @@ mod tests {
         m.access(CpuId(1), 0, 8, false, REC, 0); // read from owner
         assert_eq!(m.stats().writebacks, 1);
         // Both now Shared.
-        assert_eq!(m.access(CpuId(0), 0, 8, false, REC, 0), LatencyModel::superdome().hit);
+        assert_eq!(
+            m.access(CpuId(0), 0, 8, false, REC, 0),
+            LatencyModel::superdome().hit
+        );
         m.check_invariants();
     }
 
@@ -628,7 +654,10 @@ mod tests {
                 expensive += 1;
             }
         }
-        assert!(expensive >= 9, "ping-pong writes should mostly miss ({expensive}/10)");
+        assert!(
+            expensive >= 9,
+            "ping-pong writes should mostly miss ({expensive}/10)"
+        );
         m.check_invariants();
     }
 

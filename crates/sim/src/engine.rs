@@ -20,8 +20,8 @@ use rand::{Rng, SeedableRng};
 use slopt_ir::cfg::{BlockId, FuncId, Instr, Program, Terminator};
 use slopt_ir::profile::Profile;
 use slopt_ir::source::SourceLine;
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -85,7 +85,11 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { seed: 0, max_steps: 500_000_000, block_cost: 1 }
+        EngineConfig {
+            seed: 0,
+            max_steps: 500_000_000,
+            block_cost: 1,
+        }
     }
 }
 
@@ -153,7 +157,12 @@ struct CpuState {
 impl CpuState {
     /// Advances to the next invocation (or script); returns `false` when
     /// all work is exhausted. Reports completed scripts via `on_done`.
-    fn next_work(&mut self, cpu: CpuId, observer: &mut dyn Observer, scripts_done: &mut u64) -> bool {
+    fn next_work(
+        &mut self,
+        cpu: CpuId,
+        observer: &mut dyn Observer,
+        scripts_done: &mut u64,
+    ) -> bool {
         loop {
             if self.script_idx >= self.scripts.len() {
                 self.done = true;
@@ -225,13 +234,13 @@ pub fn run(
     let mut steps = 0u64;
 
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for i in 0..cpus {
+    for (i, state) in states.iter_mut().enumerate() {
         // Prime each CPU with its first invocation.
         let cpu = CpuId(i as u16);
-        if states[i].next_work(cpu, observer, &mut scripts_done) {
-            let func = states[i].frames.last().expect("frame pushed").func;
-            states[i].frames.last_mut().expect("frame").block = program.function(func).entry();
-            heap.push(Reverse((states[i].time, i)));
+        if state.next_work(cpu, observer, &mut scripts_done) {
+            let func = state.frames.last().expect("frame pushed").func;
+            state.frames.last_mut().expect("frame").block = program.function(func).entry();
+            heap.push(Reverse((state.time, i)));
         }
     }
 
@@ -272,8 +281,14 @@ pub fn run(
                             .unwrap_or_else(|| panic!("unbound {} in {}", a.slot, func.name()));
                         let addr = base + layout.offset(a.field);
                         let size = layout.field_size(a.field).min(8);
-                        state.time +=
-                            mem.access(cpu, addr, size, a.kind.is_write(), Some(a.record), state.time);
+                        state.time += mem.access(
+                            cpu,
+                            addr,
+                            size,
+                            a.kind.is_write(),
+                            Some(a.record),
+                            state.time,
+                        );
                     }
                     Instr::Call(callee) => {
                         called = Some(*callee);
@@ -301,7 +316,11 @@ pub fn run(
             let frame = state.frames.last_mut().expect("active frame");
             match block.term {
                 Terminator::Jump(t) => Some(t),
-                Terminator::Branch { taken, not_taken, prob_taken } => {
+                Terminator::Branch {
+                    taken,
+                    not_taken,
+                    prob_taken,
+                } => {
                     if state.rng.gen::<f64>() < prob_taken {
                         Some(taken)
                     } else {
@@ -334,8 +353,7 @@ pub fn run(
                 if state.frames.is_empty() {
                     if state.next_work(cpu, observer, &mut scripts_done) {
                         let f = state.frames.last().expect("frame").func;
-                        state.frames.last_mut().expect("frame").block =
-                            program.function(f).entry();
+                        state.frames.last_mut().expect("frame").block = program.function(f).entry();
                         heap.push(Reverse((state.time, idx)));
                     }
                 } else {
@@ -347,7 +365,13 @@ pub fn run(
 
     let per_cpu_time: Vec<u64> = states.iter().map(|s| s.time).collect();
     let makespan = per_cpu_time.iter().copied().max().unwrap_or(0);
-    Ok(RunResult { makespan, scripts_done, per_cpu_time, profile, steps })
+    Ok(RunResult {
+        makespan,
+        scripts_done,
+        per_cpu_time,
+        profile,
+        steps,
+    })
 }
 
 #[cfg(test)]
@@ -383,7 +407,11 @@ mod tests {
         MemSystem::new(
             Topology::superdome(cpus),
             LatencyModel::superdome(),
-            CacheConfig { line_size: 128, sets: 256, ways: 4 },
+            CacheConfig {
+                line_size: 128,
+                sets: 256,
+                ways: 4,
+            },
         )
     }
 
@@ -402,7 +430,10 @@ mod tests {
         let layouts = layouts_for(&prog, rec);
         let mut m = mem(1);
         let script = Script {
-            invocations: vec![Invocation { func: f, bindings: vec![0x10000] }],
+            invocations: vec![Invocation {
+                func: f,
+                bindings: vec![0x10000],
+            }],
         };
         let result = run(
             &prog,
@@ -455,7 +486,10 @@ mod tests {
 
         let shared_base = 0x2_0000u64;
         let workload = |f: FuncId| Script {
-            invocations: vec![Invocation { func: f, bindings: vec![shared_base] }],
+            invocations: vec![Invocation {
+                func: f,
+                bindings: vec![shared_base],
+            }],
         };
 
         // Packed: both fields on line 0.
@@ -495,7 +529,11 @@ mod tests {
             "packed layout must false-share (got {})",
             m1.stats().false_sharing_for(s)
         );
-        assert_eq!(m2.stats().false_sharing_for(s), 0, "split layout must not false-share");
+        assert_eq!(
+            m2.stats().false_sharing_for(s),
+            0,
+            "split layout must not false-share"
+        );
         assert!(
             r_packed.makespan > 2 * r_split.makespan,
             "false sharing should dominate: packed {} vs split {}",
@@ -534,7 +572,10 @@ mod tests {
             &layouts,
             &mut m,
             vec![vec![Script {
-                invocations: vec![Invocation { func: caller_id, bindings: vec![0x1000] }],
+                invocations: vec![Invocation {
+                    func: caller_id,
+                    bindings: vec![0x1000],
+                }],
             }]],
             &EngineConfig::default(),
             &mut NullObserver,
@@ -554,7 +595,10 @@ mod tests {
         let (prog, rec, f) = simple_program();
         let layouts = layouts_for(&prog, rec);
         let script = Script {
-            invocations: vec![Invocation { func: f, bindings: vec![0x4000] }],
+            invocations: vec![Invocation {
+                func: f,
+                bindings: vec![0x4000],
+            }],
         };
         let mut results = Vec::new();
         for _ in 0..2 {
@@ -584,12 +628,20 @@ mod tests {
         let prog = pb.finish();
         let layouts = LayoutTable::new();
         let mut m = mem(1);
-        let cfg = EngineConfig { max_steps: 1000, ..EngineConfig::default() };
+        let cfg = EngineConfig {
+            max_steps: 1000,
+            ..EngineConfig::default()
+        };
         let err = run(
             &prog,
             &layouts,
             &mut m,
-            vec![vec![Script { invocations: vec![Invocation { func: f, bindings: vec![] }] }]],
+            vec![vec![Script {
+                invocations: vec![Invocation {
+                    func: f,
+                    bindings: vec![],
+                }],
+            }]],
             &cfg,
             &mut NullObserver,
         )
@@ -633,7 +685,10 @@ mod tests {
             &layouts,
             &mut m,
             vec![vec![Script {
-                invocations: vec![Invocation { func: f, bindings: vec![0x8000] }],
+                invocations: vec![Invocation {
+                    func: f,
+                    bindings: vec![0x8000],
+                }],
             }]],
             &EngineConfig::default(),
             &mut obs,
@@ -650,6 +705,13 @@ mod tests {
         let (prog, rec, _) = simple_program();
         let layouts = layouts_for(&prog, rec);
         let mut m = mem(2);
-        let _ = run(&prog, &layouts, &mut m, vec![vec![]], &EngineConfig::default(), &mut NullObserver);
+        let _ = run(
+            &prog,
+            &layouts,
+            &mut m,
+            vec![vec![]],
+            &EngineConfig::default(),
+            &mut NullObserver,
+        );
     }
 }

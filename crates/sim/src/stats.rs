@@ -65,7 +65,12 @@ impl MemStats {
         c.count += 1;
         c.cycles += cycles;
         if let Some(r) = record {
-            let rc = self.per_record.entry(r).or_default().entry(class).or_default();
+            let rc = self
+                .per_record
+                .entry(r)
+                .or_default()
+                .entry(class)
+                .or_default();
             rc.count += 1;
             rc.cycles += cycles;
         }

@@ -80,11 +80,22 @@ impl Topology {
     ///
     /// Panics if `cpus` is 0 or exceeds [`MAX_CPUS`].
     pub fn bus(cpus: usize) -> Self {
-        assert!(cpus > 0 && cpus <= MAX_CPUS, "cpu count {cpus} out of range");
+        assert!(
+            cpus > 0 && cpus <= MAX_CPUS,
+            "cpu count {cpus} out of range"
+        );
         let locs = (0..cpus)
-            .map(|i| CpuLoc { chip: i as u16, bus: 0, cell: 0, crossbar: 0 })
+            .map(|i| CpuLoc {
+                chip: i as u16,
+                bus: 0,
+                cell: 0,
+                crossbar: 0,
+            })
             .collect();
-        Topology { name: format!("bus{cpus}"), locs }
+        Topology {
+            name: format!("bus{cpus}"),
+            locs,
+        }
     }
 
     /// An HP-Superdome-like hierarchy: 2 CPUs per chip, 2 chips per bus,
@@ -97,17 +108,28 @@ impl Topology {
     ///
     /// Panics if `cpus` is 0 or exceeds [`MAX_CPUS`].
     pub fn superdome(cpus: usize) -> Self {
-        assert!(cpus > 0 && cpus <= MAX_CPUS, "cpu count {cpus} out of range");
+        assert!(
+            cpus > 0 && cpus <= MAX_CPUS,
+            "cpu count {cpus} out of range"
+        );
         let locs = (0..cpus)
             .map(|i| {
                 let chip = (i / 2) as u16;
                 let bus = chip / 2;
                 let cell = bus / 2;
                 let crossbar = cell / 4;
-                CpuLoc { chip, bus, cell, crossbar }
+                CpuLoc {
+                    chip,
+                    bus,
+                    cell,
+                    crossbar,
+                }
             })
             .collect();
-        Topology { name: format!("superdome{cpus}"), locs }
+        Topology {
+            name: format!("superdome{cpus}"),
+            locs,
+        }
     }
 
     /// The machine's name (e.g. `superdome128`).
@@ -301,7 +323,10 @@ mod tests {
     fn bus_latency_remote_is_close_to_memory() {
         let m = LatencyModel::bus();
         let remote = m.transfer(Distance::SameBus) as f64;
-        assert!(remote / m.memory as f64 <= 1.25, "remote should be only slightly above memory");
+        assert!(
+            remote / m.memory as f64 <= 1.25,
+            "remote should be only slightly above memory"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! statistics conservation under randomized traffic on several machines.
 
 use proptest::prelude::*;
-use slopt_sim::{AccessClass, Cache, CacheConfig, CpuId, LatencyModel, Mesi, MemSystem, Topology};
+use slopt_sim::{AccessClass, Cache, CacheConfig, CpuId, LatencyModel, MemSystem, Mesi, Topology};
 
 proptest! {
     /// The cache never holds more lines than its geometry allows, and a

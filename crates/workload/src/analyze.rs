@@ -53,7 +53,11 @@ impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
             machine: Machine::superdome(16),
-            sampler: SamplerConfig { period: 500, max_phase_jitter: 32, ..Default::default() },
+            sampler: SamplerConfig {
+                period: 500,
+                max_phase_jitter: 32,
+                ..Default::default()
+            },
             interval: 6_000,
             seed: 42,
         }
@@ -79,12 +83,21 @@ pub struct KernelAnalysis {
 
 /// Runs the instrumented measurement run (baseline layouts) and computes
 /// all analysis artifacts.
-pub fn analyze(kernel: &impl WorkloadSpec, sdet: &SdetConfig, cfg: &AnalysisConfig) -> KernelAnalysis {
+pub fn analyze(
+    kernel: &impl WorkloadSpec,
+    sdet: &SdetConfig,
+    cfg: &AnalysisConfig,
+) -> KernelAnalysis {
     let layouts = baseline_layouts(kernel, sdet.line_size);
     let mut sampler = Sampler::new(cfg.machine.cpus(), cfg.sampler);
     let run = run_once(kernel, &layouts, &cfg.machine, sdet, cfg.seed, &mut sampler);
     let samples = sampler.into_samples();
-    let concurrency = concurrency_map(&samples, &ConcurrencyConfig { interval: cfg.interval });
+    let concurrency = concurrency_map(
+        &samples,
+        &ConcurrencyConfig {
+            interval: cfg.interval,
+        },
+    );
     let fmf = FieldMap::build(kernel.program());
     KernelAnalysis {
         profile: run.result.profile,
@@ -116,7 +129,9 @@ pub fn slot_uses(kernel: &impl WorkloadSpec, rec: RecordId) -> SlotUseMap {
     }
     let mut uses: SlotUseMap = HashMap::new();
     for (fid, func) in kernel.program().functions() {
-        let Some(slots) = slots_of.get(&fid) else { continue };
+        let Some(slots) = slots_of.get(&fid) else {
+            continue;
+        };
         for (_, block) in func.blocks() {
             for acc in block.accesses() {
                 if acc.record != rec {
@@ -149,9 +164,10 @@ fn pair_alias_probability(a: SlotKind, b: SlotKind, cpus: usize, pool: usize) ->
         (Shared(_), Shared(_)) => 1.0,
         (OwnCpu(_), OwnCpu(_)) => 0.0,
         (OwnCpu(_), OtherCpu(_)) | (OtherCpu(_), OwnCpu(_)) | (OtherCpu(_), OtherCpu(_))
-            if cpus > 1 => {
-                1.0 / (cpus - 1) as f64
-            }
+            if cpus > 1 =>
+        {
+            1.0 / (cpus - 1) as f64
+        }
         (Pool(_), Pool(_)) => 1.0 / pool.max(1) as f64,
         _ => 0.0,
     }
@@ -168,24 +184,39 @@ pub fn loss_for_with(
     pool: usize,
 ) -> CycleLossMap {
     let uses = slot_uses(kernel, rec);
-    cycle_loss_weighted(&analysis.concurrency, &analysis.fmf, rec, |l1, f1, l2, f2| {
-        let (Some(u1), Some(u2)) = (uses.get(&(l1, f1)), uses.get(&(l2, f2))) else {
-            return 0.0;
-        };
-        let mut best = 0.0f64;
-        for &a in u1 {
-            for &b in u2 {
-                best = best.max(pair_alias_probability(a, b, cpus, pool));
+    cycle_loss_weighted(
+        &analysis.concurrency,
+        &analysis.fmf,
+        rec,
+        |l1, f1, l2, f2| {
+            let (Some(u1), Some(u2)) = (uses.get(&(l1, f1)), uses.get(&(l2, f2))) else {
+                return 0.0;
+            };
+            let mut best = 0.0f64;
+            for &a in u1 {
+                for &b in u2 {
+                    best = best.max(pair_alias_probability(a, b, cpus, pool));
+                }
             }
-        }
-        best
-    })
+            best
+        },
+    )
 }
 
 /// [`loss_for_with`] using the measurement run's own machine and pool
 /// sizes.
-pub fn loss_for(kernel: &impl WorkloadSpec, analysis: &KernelAnalysis, rec: RecordId) -> CycleLossMap {
-    loss_for_with(kernel, analysis, rec, analysis.cpus, analysis.pool_instances)
+pub fn loss_for(
+    kernel: &impl WorkloadSpec,
+    analysis: &KernelAnalysis,
+    rec: RecordId,
+) -> CycleLossMap {
+    loss_for_with(
+        kernel,
+        analysis,
+        rec,
+        analysis.cpus,
+        analysis.pool_instances,
+    )
 }
 
 /// The affinity graph for one record.
@@ -228,10 +259,17 @@ pub fn constrained_for(
 ) -> StructLayout {
     let affinity = affinity_for(kernel, analysis, rec);
     let loss = loss_for(kernel, analysis, rec);
-    let original = StructLayout::declaration_order(kernel.record_type(rec), params.layout.line_size)
-        .expect("valid record");
-    suggest_constrained(kernel.record_type(rec), &original, &affinity, Some(&loss), params)
-        .expect("valid record must lay out")
+    let original =
+        StructLayout::declaration_order(kernel.record_type(rec), params.layout.line_size)
+            .expect("valid record");
+    suggest_constrained(
+        kernel.record_type(rec),
+        &original,
+        &affinity,
+        Some(&loss),
+        params,
+    )
+    .expect("valid record must lay out")
 }
 
 #[cfg(test)]
@@ -246,7 +284,11 @@ mod tests {
             scripts_per_cpu: 6,
             invocations_per_script: 8,
             pool_instances: 32,
-            cache: CacheConfig { line_size: 128, sets: 128, ways: 4 },
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 128,
+                ways: 4,
+            },
             ..SdetConfig::default()
         };
         let cfg = AnalysisConfig {
@@ -261,8 +303,14 @@ mod tests {
         let (kernel, sdet, cfg) = small();
         let analysis = analyze(&kernel, &sdet, &cfg);
         assert!(analysis.profile.total() > 0, "profile must have counts");
-        assert!(!analysis.samples.is_empty(), "sampling must produce samples");
-        assert!(!analysis.concurrency.is_empty(), "some concurrency must be observed");
+        assert!(
+            !analysis.samples.is_empty(),
+            "sampling must produce samples"
+        );
+        assert!(
+            !analysis.concurrency.is_empty(),
+            "some concurrency must be observed"
+        );
         assert!(!analysis.fmf.is_empty());
     }
 
@@ -282,7 +330,10 @@ mod tests {
             .iter()
             .map(|&s| loss.get(s, flags) + stats.iter().map(|&t| loss.get(s, t)).sum::<f64>())
             .sum();
-        assert!(total > 0.0, "stat counters must show false-sharing potential");
+        assert!(
+            total > 0.0,
+            "stat counters must show false-sharing potential"
+        );
     }
 
     #[test]
@@ -292,23 +343,43 @@ mod tests {
         let uses = slot_uses(&kernel, e);
         let e_tick = kernel.program.lookup("e_tick").unwrap();
         let e_steal = kernel.program.lookup("e_steal").unwrap();
-        let tick_line = kernel.program.function(e_tick).block(slopt_ir::cfg::BlockId(0)).line;
-        let steal_line = kernel.program.function(e_steal).block(slopt_ir::cfg::BlockId(0)).line;
+        let tick_line = kernel
+            .program
+            .function(e_tick)
+            .block(slopt_ir::cfg::BlockId(0))
+            .line;
+        let steal_line = kernel
+            .program
+            .function(e_steal)
+            .block(slopt_ir::cfg::BlockId(0))
+            .line;
         let rq_len = kernel.field(e, "rq_len");
         let steal_count = kernel.field(e, "steal_count");
         assert_eq!(uses[&(tick_line, rq_len)], vec![SlotKind::OwnCpu(e)]);
-        assert_eq!(uses[&(steal_line, steal_count)], vec![SlotKind::OtherCpu(e)]);
+        assert_eq!(
+            uses[&(steal_line, steal_count)],
+            vec![SlotKind::OtherCpu(e)]
+        );
         // Own x own never aliases; steal x own does with probability
         // 1/(cpus-1); shared x shared always.
-        assert_eq!(pair_alias_probability(SlotKind::OwnCpu(e), SlotKind::OwnCpu(e), 16, 512), 0.0);
+        assert_eq!(
+            pair_alias_probability(SlotKind::OwnCpu(e), SlotKind::OwnCpu(e), 16, 512),
+            0.0
+        );
         assert!(
             (pair_alias_probability(SlotKind::OtherCpu(e), SlotKind::OwnCpu(e), 16, 512)
                 - 1.0 / 15.0)
                 .abs()
                 < 1e-12
         );
-        assert_eq!(pair_alias_probability(SlotKind::Shared(e), SlotKind::Shared(e), 16, 512), 1.0);
-        assert_eq!(pair_alias_probability(SlotKind::Shared(e), SlotKind::Pool(e), 16, 512), 0.0);
+        assert_eq!(
+            pair_alias_probability(SlotKind::Shared(e), SlotKind::Shared(e), 16, 512),
+            1.0
+        );
+        assert_eq!(
+            pair_alias_probability(SlotKind::Shared(e), SlotKind::Pool(e), 16, 512),
+            0.0
+        );
     }
 
     #[test]

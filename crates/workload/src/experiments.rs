@@ -19,7 +19,9 @@
 
 use crate::analyze::{analyze, constrained_for, suggest_for, AnalysisConfig, KernelAnalysis};
 use crate::kernel::Kernel;
-use crate::sdet::{baseline_layouts, layouts_with, measure, Machine, SdetConfig, Throughput};
+use crate::sdet::{
+    baseline_layouts, layouts_with, measurement_seeds, run_once, Machine, SdetConfig, Throughput,
+};
 use slopt_core::{sort_by_hotness, Suggestion, ToolParams};
 use slopt_ir::layout::StructLayout;
 use slopt_ir::types::RecordId;
@@ -76,32 +78,61 @@ impl PaperLayouts {
     }
 }
 
-/// Runs the measurement run and derives all per-record layouts.
+/// Runs the measurement run and derives all per-record layouts: the
+/// serial path, equivalent to [`compute_paper_layouts_jobs`] with
+/// `jobs == 1`.
 pub fn compute_paper_layouts(
     kernel: &Kernel,
     sdet: &SdetConfig,
     analysis_cfg: &AnalysisConfig,
     tool: ToolParams,
 ) -> PaperLayouts {
+    compute_paper_layouts_jobs(kernel, sdet, analysis_cfg, tool, 1)
+}
+
+/// [`compute_paper_layouts`] with per-record layout derivation fanned out
+/// over up to `jobs` host threads.
+///
+/// The instrumented measurement run is a single simulation and stays
+/// serial; the per-record work (FLG build, clustering, sort-by-hotness,
+/// constrained edit) reads only the shared analysis artifacts and its own
+/// record, so records are independent work items. Results are keyed by
+/// `RecordId`, so the returned [`PaperLayouts`] is bit-identical for
+/// every `jobs` value.
+pub fn compute_paper_layouts_jobs(
+    kernel: &Kernel,
+    sdet: &SdetConfig,
+    analysis_cfg: &AnalysisConfig,
+    tool: ToolParams,
+    jobs: usize,
+) -> PaperLayouts {
     let analysis = analyze(kernel, sdet, analysis_cfg);
-    let mut suggestions = HashMap::new();
-    let mut hotness = HashMap::new();
-    let mut constrained = HashMap::new();
-    for (_, rec) in kernel.records.all() {
+    let records = kernel.records.all();
+    let derived = slopt_core::par_map(jobs, &records, |_, &(_, rec)| {
         let suggestion = suggest_for(kernel, &analysis, rec, tool);
         let ty = kernel.record_type(rec);
         let hot: Vec<u64> = ty
             .field_indices()
             .map(|f| suggestion.flg.hotness(f))
             .collect();
-        hotness.insert(
-            rec,
-            sort_by_hotness(ty, &hot, tool.layout.line_size).expect("valid record"),
-        );
-        constrained.insert(rec, constrained_for(kernel, &analysis, rec, tool));
+        let hotness = sort_by_hotness(ty, &hot, tool.layout.line_size).expect("valid record");
+        let constrained = constrained_for(kernel, &analysis, rec, tool);
+        (rec, suggestion, hotness, constrained)
+    });
+    let mut suggestions = HashMap::new();
+    let mut hotness = HashMap::new();
+    let mut constrained = HashMap::new();
+    for (rec, suggestion, hot_layout, constrained_layout) in derived {
         suggestions.insert(rec, suggestion);
+        hotness.insert(rec, hot_layout);
+        constrained.insert(rec, constrained_layout);
     }
-    PaperLayouts { analysis, suggestions, hotness, constrained }
+    PaperLayouts {
+        analysis,
+        suggestions,
+        hotness,
+        constrained,
+    }
 }
 
 /// One figure row: the % throughput difference vs baseline for each
@@ -130,7 +161,11 @@ pub struct Figure {
 impl fmt::Display for Figure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== {} ===", self.title)?;
-        writeln!(f, "baseline throughput: {:.3} scripts/Mcycle", self.baseline.mean)?;
+        writeln!(
+            f,
+            "baseline throughput: {:.3} scripts/Mcycle",
+            self.baseline.mean
+        )?;
         if let Some(first) = self.rows.first() {
             write!(f, "{:<8}", "struct")?;
             for (kind, _) in &first.results {
@@ -151,7 +186,8 @@ impl fmt::Display for Figure {
 
 /// Measures the % throughput difference of each layout kind for each
 /// struct on `machine`, transforming one struct at a time (the paper's
-/// §5.1/§5.2 protocol).
+/// §5.1/§5.2 protocol): the serial path, equivalent to
+/// [`figure_rows_jobs`] with `jobs == 1`.
 pub fn figure_rows(
     kernel: &Kernel,
     machine: &Machine,
@@ -161,26 +197,87 @@ pub fn figure_rows(
     kinds: &[LayoutKind],
     title: impl Into<String>,
 ) -> Figure {
-    let base_table = baseline_layouts(kernel, sdet.line_size);
-    let baseline = measure(kernel, &base_table, machine, sdet, runs);
-    let rows = kernel
-        .records
-        .all()
-        .iter()
-        .map(|&(letter, rec)| {
-            let results = kinds
-                .iter()
-                .map(|&kind| {
-                    let table =
-                        layouts_with(kernel, sdet.line_size, rec, layouts.layout(rec, kind).clone());
-                    let t = measure(kernel, &table, machine, sdet, runs);
-                    (kind, t.pct_vs(&baseline))
-                })
-                .collect();
-            FigureRow { letter, record: rec, results }
-        })
+    figure_rows_jobs(kernel, machine, sdet, runs, layouts, kinds, title, 1)
+}
+
+/// [`figure_rows`] with the whole measurement grid fanned out over up to
+/// `jobs` host threads.
+///
+/// The grid is flattened to `(layout table, run seed)` work items — the
+/// finest independent unit of simulation — so even a single figure's
+/// `1 + structs × kinds` cells scale past a handful of threads. Seeds come
+/// from [`measurement_seeds`] exactly as in the serial path, every run
+/// owns its instances, scripts and memory system, and values are regrouped
+/// by `(table, seed)` index, never completion order: the resulting
+/// [`Figure`] is bit-identical for every `jobs` value.
+#[allow(clippy::too_many_arguments)]
+pub fn figure_rows_jobs(
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+) -> Figure {
+    assert!(runs > 0, "need at least one measured run");
+    // Table 0 is the all-baseline configuration; tables 1.. are the
+    // one-struct-transformed cells in (struct, kind) order.
+    let records = kernel.records.all();
+    let mut tables = vec![baseline_layouts(kernel, sdet.line_size)];
+    let mut cells = Vec::new();
+    for &(letter, rec) in &records {
+        for &kind in kinds {
+            tables.push(layouts_with(
+                kernel,
+                sdet.line_size,
+                rec,
+                layouts.layout(rec, kind).clone(),
+            ));
+            cells.push((letter, rec, kind));
+        }
+    }
+
+    let seeds = measurement_seeds(runs);
+    let grid: Vec<(usize, u64)> = (0..tables.len())
+        .flat_map(|t| seeds.iter().map(move |&seed| (t, seed)))
         .collect();
-    Figure { title: title.into(), baseline, rows }
+    let values = slopt_core::par_map(jobs, &grid, |_, &(t, seed)| {
+        run_once(
+            kernel,
+            &tables[t],
+            machine,
+            sdet,
+            seed,
+            &mut slopt_sim::NullObserver,
+        )
+        .result
+        .throughput()
+    });
+    // Regroup into one Throughput per table; chunk[0] is the warm-up run.
+    let mut per_table = values
+        .chunks_exact(seeds.len())
+        .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()));
+    let baseline = per_table.next().expect("table 0 is always present");
+
+    let mut rows: Vec<FigureRow> = Vec::new();
+    for ((letter, rec, kind), t) in cells.into_iter().zip(per_table) {
+        if rows.last().map(|r| r.record) != Some(rec) {
+            rows.push(FigureRow {
+                letter,
+                record: rec,
+                results: Vec::new(),
+            });
+        }
+        let row = rows.last_mut().expect("just pushed");
+        row.results.push((kind, t.pct_vs(&baseline)));
+    }
+    Figure {
+        title: title.into(),
+        baseline,
+        rows,
+    }
 }
 
 /// Figure 10's reduction: for each struct, the best of the automatic and
@@ -211,7 +308,11 @@ mod tests {
             scripts_per_cpu: 4,
             invocations_per_script: 6,
             pool_instances: 24,
-            cache: CacheConfig { line_size: 128, sets: 64, ways: 4 },
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 64,
+                ways: 4,
+            },
             ..SdetConfig::default()
         };
         let analysis = AnalysisConfig {
@@ -226,11 +327,18 @@ mod tests {
         let (kernel, sdet, acfg) = tiny();
         let layouts = compute_paper_layouts(&kernel, &sdet, &acfg, ToolParams::default());
         for (_, rec) in kernel.records.all() {
-            for kind in [LayoutKind::Tool, LayoutKind::SortByHotness, LayoutKind::Constrained] {
+            for kind in [
+                LayoutKind::Tool,
+                LayoutKind::SortByHotness,
+                LayoutKind::Constrained,
+            ] {
                 let l = layouts.layout(rec, kind);
                 let mut order = l.order().to_vec();
                 order.sort();
-                assert_eq!(order, kernel.record_type(rec).field_indices().collect::<Vec<_>>());
+                assert_eq!(
+                    order,
+                    kernel.record_type(rec).field_indices().collect::<Vec<_>>()
+                );
             }
         }
     }

@@ -318,7 +318,13 @@ pub fn build_kernel() -> Kernel {
     {
         let mut fb = FunctionBuilder::new("b_attr_sync");
         let b0 = fb.add_block();
-        for name in ["cold_b0_2", "cold_b1_4", "cold_b2_5", "cold_b3_1", "cold_b4_6"] {
+        for name in [
+            "cold_b0_2",
+            "cold_b1_4",
+            "cold_b2_5",
+            "cold_b3_1",
+            "cold_b4_6",
+        ] {
             fb.read(b0, b, f(&rb, name), S0);
         }
         fb.compute(b0, 100);
@@ -375,9 +381,10 @@ pub fn build_kernel() -> Kernel {
     // --- struct D ------------------------------------------------------
     // d_read / d_write: per-file hot group on a pooled instance (slot 0)
     // plus a global I/O counter on the shared instance (slot 1).
-    for (name, counter, weight) in
-        [("d_read", "io_reads", 1.5f64), ("d_write", "io_writes", 0.7f64)]
-    {
+    for (name, counter, weight) in [
+        ("d_read", "io_reads", 1.5f64),
+        ("d_write", "io_writes", 0.7f64),
+    ] {
         let mut fb = FunctionBuilder::new(name);
         let b0 = fb.add_block();
         let stat = fb.add_block();
@@ -396,7 +403,11 @@ pub fn build_kernel() -> Kernel {
         fb.write(stat, d, f(&rd, counter), S1).jump(stat, out);
         let id = pb.add(fb, b0);
         actions.push(Action {
-            name: if counter == "io_reads" { "d_read".to_string() } else { "d_write".to_string() },
+            name: if counter == "io_reads" {
+                "d_read".to_string()
+            } else {
+                "d_write".to_string()
+            },
             weight,
             variants: vec![id],
             slots: vec![SlotKind::Pool(d), SlotKind::Shared(d)],
@@ -439,7 +450,11 @@ pub fn build_kernel() -> Kernel {
         });
     }
 
-    Kernel { program: pb.finish(), records, actions }
+    Kernel {
+        program: pb.finish(),
+        records,
+        actions,
+    }
 }
 
 #[cfg(test)]
@@ -453,7 +468,11 @@ mod tests {
         // 8 stat variants + 10 other functions.
         assert_eq!(k.program.function_count(), STAT_CLASSES + 13);
         assert_eq!(k.actions.len(), 13);
-        let stat = k.actions.iter().find(|a| a.name == "a_stat_update").unwrap();
+        let stat = k
+            .actions
+            .iter()
+            .find(|a| a.name == "a_stat_update")
+            .unwrap();
         assert_eq!(stat.variants.len(), STAT_CLASSES);
         for action in &k.actions {
             assert!(!action.variants.is_empty());
@@ -465,7 +484,11 @@ mod tests {
     #[test]
     fn stat_variants_write_distinct_counters() {
         let k = build_kernel();
-        let stat = k.actions.iter().find(|a| a.name == "a_stat_update").unwrap();
+        let stat = k
+            .actions
+            .iter()
+            .find(|a| a.name == "a_stat_update")
+            .unwrap();
         let mut written = std::collections::HashSet::new();
         for &v in &stat.variants {
             let func = k.program.function(v);

@@ -31,15 +31,18 @@ pub mod spec;
 pub mod structs;
 pub mod validate;
 
-pub use analyze::{analyze, constrained_for, loss_for, suggest_for, AnalysisConfig, KernelAnalysis};
+pub use analyze::{
+    analyze, constrained_for, loss_for, suggest_for, AnalysisConfig, KernelAnalysis,
+};
 pub use experiments::{
-    best_rows, compute_paper_layouts, figure_rows, Figure, FigureRow, LayoutKind, PaperLayouts,
+    best_rows, compute_paper_layouts, compute_paper_layouts_jobs, figure_rows, figure_rows_jobs,
+    Figure, FigureRow, LayoutKind, PaperLayouts,
 };
 pub use kernel::{build_kernel, Action, CustomWorkload, Kernel, SlotKind, WorkloadSpec};
 pub use sdet::{
-    baseline_layouts, build_scripts, layouts_with, measure, run_once, run_once_logged, Instances,
-    Machine, SdetConfig, SdetRun, Throughput,
+    baseline_layouts, build_scripts, layouts_with, measure, measure_jobs, measurement_seeds,
+    run_once, run_once_logged, Instances, Machine, SdetConfig, SdetRun, Throughput,
 };
 pub use spec::{parse_workload_file, SpecError};
-pub use validate::{ground_truth_loss, GroundTruthLoss};
 pub use structs::{KernelRecords, STAT_CLASSES};
+pub use validate::{ground_truth_loss, GroundTruthLoss};

@@ -33,12 +33,18 @@ pub struct Machine {
 impl Machine {
     /// The paper's 128-way HP Superdome (or a smaller prefix).
     pub fn superdome(cpus: usize) -> Self {
-        Machine { topo: Topology::superdome(cpus), lat: LatencyModel::superdome() }
+        Machine {
+            topo: Topology::superdome(cpus),
+            lat: LatencyModel::superdome(),
+        }
     }
 
     /// The paper's small bus-based machine (4 CPUs in the paper).
     pub fn bus(cpus: usize) -> Self {
-        Machine { topo: Topology::bus(cpus), lat: LatencyModel::bus() }
+        Machine {
+            topo: Topology::bus(cpus),
+            lat: LatencyModel::bus(),
+        }
     }
 
     /// Number of CPUs.
@@ -76,7 +82,11 @@ impl Default for SdetConfig {
             pool_instances: 512,
             seed: 0x5DE7,
             line_size: 128,
-            cache: CacheConfig { line_size: 128, sets: 512, ways: 8 },
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 512,
+                ways: 8,
+            },
             protocol: Protocol::Mesi,
         }
     }
@@ -108,7 +118,9 @@ impl Instances {
             shared.insert(rec, arena.alloc_record(layout));
             per_cpu.insert(
                 rec,
-                (0..cpus).map(|_| arena.alloc_record(layout)).collect::<Vec<u64>>(),
+                (0..cpus)
+                    .map(|_| arena.alloc_record(layout))
+                    .collect::<Vec<u64>>(),
             );
             pool.insert(
                 rec,
@@ -117,7 +129,11 @@ impl Instances {
                     .collect::<Vec<u64>>(),
             );
         }
-        Instances { shared, per_cpu, pool }
+        Instances {
+            shared,
+            per_cpu,
+            pool,
+        }
     }
 
     /// Base address of the shared instance of `rec`.
@@ -208,7 +224,10 @@ pub fn build_scripts(
 pub fn baseline_layouts(kernel: &impl WorkloadSpec, line_size: u64) -> LayoutTable {
     let mut t = LayoutTable::new();
     for (rec, ty) in kernel.program().registry().records() {
-        t.set(rec, StructLayout::declaration_order(ty, line_size).expect("valid record"));
+        t.set(
+            rec,
+            StructLayout::declaration_order(ty, line_size).expect("valid record"),
+        );
     }
     t
 }
@@ -270,11 +289,24 @@ pub fn run_once_logged(
     let mut mem = MemSystem::new(machine.topo.clone(), machine.lat, cfg.cache);
     mem.set_protocol(cfg.protocol);
     mem.set_sharing_log(log_sharing);
-    let engine_cfg = EngineConfig { seed: run_seed, ..EngineConfig::default() };
-    let result = slopt_sim::run(kernel.program(), layouts, &mut mem, scripts, &engine_cfg, observer)
-        .expect("finite workload exceeded engine step bound");
+    let engine_cfg = EngineConfig {
+        seed: run_seed,
+        ..EngineConfig::default()
+    };
+    let result = slopt_sim::run(
+        kernel.program(),
+        layouts,
+        &mut mem,
+        scripts,
+        &engine_cfg,
+        observer,
+    )
+    .expect("finite workload exceeded engine step bound");
     (
-        SdetRun { result, stats: mem.stats().clone() },
+        SdetRun {
+            result,
+            stats: mem.stats().clone(),
+        },
         mem.sharing_events().to_vec(),
         instances,
     )
@@ -291,34 +323,82 @@ pub struct Throughput {
 }
 
 impl Throughput {
+    /// The paper's reduction over raw per-run values: min/max dropped,
+    /// mean of the rest. The run values are kept untrimmed.
+    pub fn from_runs(values: Vec<f64>) -> Throughput {
+        Throughput {
+            mean: trimmed_mean(&values),
+            runs: values,
+        }
+    }
+
     /// Relative difference versus a baseline measurement, in percent.
     pub fn pct_vs(&self, baseline: &Throughput) -> f64 {
         (self.mean / baseline.mean - 1.0) * 100.0
     }
 }
 
+/// The seeds of one throughput measurement: seed 1 is the warm-up (seed 0
+/// stays reserved), measured run `i` uses seed `2 + i`. Centralizing this
+/// is what lets the serial and parallel paths draw identical streams.
+pub fn measurement_seeds(runs: usize) -> Vec<u64> {
+    (0..=runs).map(|i| 1 + i as u64).collect()
+}
+
 /// Measures throughput over `runs` measured runs (plus one warm-up run
-/// that is discarded).
+/// that is discarded): the serial path, equivalent to
+/// [`measure_jobs`] with `jobs == 1`.
 ///
 /// # Panics
 ///
 /// Panics if `runs == 0`.
 pub fn measure(
-    kernel: &impl WorkloadSpec,
+    kernel: &(impl WorkloadSpec + Sync),
     layouts: &LayoutTable,
     machine: &Machine,
     cfg: &SdetConfig,
     runs: usize,
 ) -> Throughput {
+    measure_jobs(kernel, layouts, machine, cfg, runs, 1)
+}
+
+/// [`measure`] with the warm-up and the measured runs fanned out over up
+/// to `jobs` host threads.
+///
+/// Every run is an independent simulation: it allocates its own
+/// [`Instances`], builds its own scripts and owns its own
+/// [`MemSystem`] and per-CPU `SmallRng`s, all derived from the explicit
+/// run seed. Results are collected by run index, so the returned
+/// [`Throughput`] — `runs` vector included — is bit-identical for every
+/// `jobs` value.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure_jobs(
+    kernel: &(impl WorkloadSpec + Sync),
+    layouts: &LayoutTable,
+    machine: &Machine,
+    cfg: &SdetConfig,
+    runs: usize,
+    jobs: usize,
+) -> Throughput {
     assert!(runs > 0, "need at least one measured run");
-    let mut observer = slopt_sim::NullObserver;
-    // Warm-up (seed 0 reserved).
-    let _ = run_once(kernel, layouts, machine, cfg, 1, &mut observer);
-    let values: Vec<f64> = (0..runs)
-        .map(|i| run_once(kernel, layouts, machine, cfg, 2 + i as u64, &mut observer).result.throughput())
-        .collect();
-    let mean = trimmed_mean(&values);
-    Throughput { mean, runs: values }
+    let seeds = measurement_seeds(runs);
+    let mut values = slopt_core::par_map(jobs, &seeds, |_, &seed| {
+        run_once(
+            kernel,
+            layouts,
+            machine,
+            cfg,
+            seed,
+            &mut slopt_sim::NullObserver,
+        )
+        .result
+        .throughput()
+    });
+    values.remove(0); // discard the warm-up run
+    Throughput::from_runs(values)
 }
 
 /// Mean with min and max removed (when more than two values).
@@ -342,7 +422,11 @@ mod tests {
             scripts_per_cpu: 4,
             invocations_per_script: 6,
             pool_instances: 32,
-            cache: CacheConfig { line_size: 128, sets: 64, ways: 4 },
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 64,
+                ways: 4,
+            },
             ..SdetConfig::default()
         }
     }
@@ -353,7 +437,14 @@ mod tests {
         let cfg = small_cfg();
         let layouts = baseline_layouts(&k, cfg.line_size);
         let machine = Machine::bus(2);
-        let run = run_once(&k, &layouts, &machine, &cfg, 1, &mut slopt_sim::NullObserver);
+        let run = run_once(
+            &k,
+            &layouts,
+            &machine,
+            &cfg,
+            1,
+            &mut slopt_sim::NullObserver,
+        );
         assert_eq!(run.result.scripts_done, 2 * 4);
         assert!(run.result.makespan > 0);
         assert!(run.stats.accesses() > 0);
@@ -365,12 +456,36 @@ mod tests {
         let cfg = small_cfg();
         let layouts = baseline_layouts(&k, cfg.line_size);
         let machine = Machine::superdome(4);
-        let a = run_once(&k, &layouts, &machine, &cfg, 7, &mut slopt_sim::NullObserver);
-        let b = run_once(&k, &layouts, &machine, &cfg, 7, &mut slopt_sim::NullObserver);
+        let a = run_once(
+            &k,
+            &layouts,
+            &machine,
+            &cfg,
+            7,
+            &mut slopt_sim::NullObserver,
+        );
+        let b = run_once(
+            &k,
+            &layouts,
+            &machine,
+            &cfg,
+            7,
+            &mut slopt_sim::NullObserver,
+        );
         assert_eq!(a.result.makespan, b.result.makespan);
         assert_eq!(a.stats.accesses(), b.stats.accesses());
-        let c = run_once(&k, &layouts, &machine, &cfg, 8, &mut slopt_sim::NullObserver);
-        assert_ne!(a.result.makespan, c.result.makespan, "different seed, different interleaving");
+        let c = run_once(
+            &k,
+            &layouts,
+            &machine,
+            &cfg,
+            8,
+            &mut slopt_sim::NullObserver,
+        );
+        assert_ne!(
+            a.result.makespan, c.result.makespan,
+            "different seed, different interleaving"
+        );
     }
 
     #[test]
@@ -407,7 +522,11 @@ mod tests {
         let layouts = baseline_layouts(&k, cfg.line_size);
         let inst = Instances::allocate(&k, &layouts, 16, &cfg);
         let scripts = build_scripts(&k, &inst, 16, &cfg, 1);
-        let stat = k.actions.iter().find(|a| a.name == "a_stat_update").unwrap();
+        let stat = k
+            .actions
+            .iter()
+            .find(|a| a.name == "a_stat_update")
+            .unwrap();
         for (cpu, queue) in scripts.iter().enumerate() {
             for script in queue {
                 for inv in &script.invocations {
@@ -431,7 +550,10 @@ mod tests {
         let spread = (t.runs.iter().cloned().fold(f64::MIN, f64::max)
             - t.runs.iter().cloned().fold(f64::MAX, f64::min))
             / t.mean;
-        assert!(spread < 0.5, "run-to-run spread suspiciously large: {spread}");
+        assert!(
+            spread < 0.5,
+            "run-to-run spread suspiciously large: {spread}"
+        );
     }
 
     #[test]
@@ -443,10 +565,19 @@ mod tests {
 
     #[test]
     fn pct_vs_computes_relative_difference() {
-        let base = Throughput { mean: 100.0, runs: vec![] };
-        let better = Throughput { mean: 103.0, runs: vec![] };
+        let base = Throughput {
+            mean: 100.0,
+            runs: vec![],
+        };
+        let better = Throughput {
+            mean: 103.0,
+            runs: vec![],
+        };
         assert!((better.pct_vs(&base) - 3.0).abs() < 1e-9);
-        let worse = Throughput { mean: 50.0, runs: vec![] };
+        let worse = Throughput {
+            mean: 50.0,
+            runs: vec![],
+        };
         assert!((worse.pct_vs(&base) + 50.0).abs() < 1e-9);
     }
 }

@@ -49,12 +49,18 @@ impl Error for SpecError {}
 
 impl From<slopt_ir::text::ParseError> for SpecError {
     fn from(e: slopt_ir::text::ParseError) -> Self {
-        SpecError { line: e.line, message: e.message }
+        SpecError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, SpecError> {
-    Err(SpecError { line, message: message.into() })
+    Err(SpecError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Splits the input into (program text, workload-section lines). Lines of
@@ -97,7 +103,10 @@ fn split_sections(input: &str) -> Result<(String, Vec<(usize, String)>), SpecErr
 
 fn parse_slot(token: &str, program: &Program, line: usize) -> Result<SlotKind, SpecError> {
     let Some((kind, rec_name)) = token.split_once(':') else {
-        return err(line, format!("slot `{token}` is not of the form kind:record"));
+        return err(
+            line,
+            format!("slot `{token}` is not of the form kind:record"),
+        );
     };
     let Some(rec) = program.registry().lookup(rec_name) else {
         return err(line, format!("unknown record `{rec_name}`"));
@@ -107,7 +116,10 @@ fn parse_slot(token: &str, program: &Program, line: usize) -> Result<SlotKind, S
         "own" => Ok(SlotKind::OwnCpu(rec)),
         "other" => Ok(SlotKind::OtherCpu(rec)),
         "pool" => Ok(SlotKind::Pool(rec)),
-        other => err(line, format!("unknown slot kind `{other}` (shared/own/other/pool)")),
+        other => err(
+            line,
+            format!("unknown slot kind `{other}` (shared/own/other/pool)"),
+        ),
     }
 }
 
@@ -176,9 +188,10 @@ pub fn parse_workload_file(input: &str) -> Result<CustomWorkload, SpecError> {
         let variant_ids = variants
             .iter()
             .map(|v| {
-                program
-                    .lookup(v)
-                    .ok_or(SpecError { line, message: format!("unknown function `{v}`") })
+                program.lookup(v).ok_or(SpecError {
+                    line,
+                    message: format!("unknown function `{v}`"),
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         let slots = slot_tokens
@@ -194,7 +207,10 @@ pub fn parse_workload_file(input: &str) -> Result<CustomWorkload, SpecError> {
                     if idx >= slots.len() {
                         return err(
                             line,
-                            format!("`{vname}` accesses slot {idx} but only {} slots are bound", slots.len()),
+                            format!(
+                                "`{vname}` accesses slot {idx} but only {} slots are bound",
+                                slots.len()
+                            ),
                         );
                     }
                     if slots[idx].record() != acc.record {
@@ -273,12 +289,23 @@ workload {
             scripts_per_cpu: 4,
             invocations_per_script: 5,
             pool_instances: 16,
-            cache: slopt_sim::CacheConfig { line_size: 128, sets: 32, ways: 2 },
+            cache: slopt_sim::CacheConfig {
+                line_size: 128,
+                sets: 32,
+                ways: 2,
+            },
             ..SdetConfig::default()
         };
         let layouts = baseline_layouts(&w, cfg.line_size);
         let machine = Machine::bus(2);
-        let run = run_once(&w, &layouts, &machine, &cfg, 1, &mut slopt_sim::NullObserver);
+        let run = run_once(
+            &w,
+            &layouts,
+            &machine,
+            &cfg,
+            1,
+            &mut slopt_sim::NullObserver,
+        );
         assert_eq!(run.result.scripts_done, 8);
         assert!(run.stats.accesses() > 0);
     }

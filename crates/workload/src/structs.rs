@@ -167,12 +167,13 @@ pub fn struct_d() -> RecordType {
 /// fields adjacent but shares their line with the cold stats that the
 /// steal path also touches.
 pub fn struct_e() -> RecordType {
-    let mut fields: Vec<(String, FieldType)> = Vec::new();
-    fields.push(ptrf("rq_head")); // hot w (owner)
-    fields.push(ptrf("rq_tail")); // hot w (owner)
-    fields.push(u64f("rq_len")); // hot w (owner), r (stealers)
-    fields.push(u64f("rq_clock")); // hot w (owner)
-    fields.push(u64f("steal_count")); // written by stealers
+    let mut fields: Vec<(String, FieldType)> = vec![
+        ptrf("rq_head"),     // hot w (owner)
+        ptrf("rq_tail"),     // hot w (owner)
+        u64f("rq_len"),      // hot w (owner), r (stealers)
+        u64f("rq_clock"),    // hot w (owner)
+        u64f("steal_count"), // written by stealers
+    ];
     for i in 0..11 {
         fields.push(u64f(&format!("cold_e0_{i}")));
     }
@@ -203,7 +204,13 @@ pub struct KernelRecords {
 impl KernelRecords {
     /// All five in A..E order with their display letters.
     pub fn all(&self) -> [(char, RecordId); 5] {
-        [('A', self.a), ('B', self.b), ('C', self.c), ('D', self.d), ('E', self.e)]
+        [
+            ('A', self.a),
+            ('B', self.b),
+            ('C', self.c),
+            ('D', self.d),
+            ('E', self.e),
+        ]
     }
 }
 
@@ -267,7 +274,10 @@ mod tests {
         let mut unique = lines.clone();
         unique.sort();
         unique.dedup();
-        assert!(unique.len() >= 3, "lookup fields must span >= 3 lines, got {lines:?}");
+        assert!(
+            unique.len() >= 3,
+            "lookup fields must span >= 3 lines, got {lines:?}"
+        );
     }
 
     #[test]
@@ -277,7 +287,10 @@ mod tests {
         let l = StructLayout::declaration_order(&c, 128).unwrap();
         let next = c.field_by_name("next").unwrap();
         let size = c.field_by_name("size").unwrap();
-        assert!(!l.share_line(next, size), "baseline splits the traversal group");
+        assert!(
+            !l.share_line(next, size),
+            "baseline splits the traversal group"
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ pub fn ground_truth_loss(
     ranges.sort_unstable();
     let size = layout.size();
 
-    let mut out = GroundTruthLoss { record: rec, map: HashMap::new(), unresolved: 0 };
+    let mut out = GroundTruthLoss {
+        record: rec,
+        map: HashMap::new(),
+        unresolved: 0,
+    };
     for ev in events {
         if !ev.false_sharing {
             continue;
@@ -170,7 +174,11 @@ mod tests {
             scripts_per_cpu: 6,
             invocations_per_script: 8,
             pool_instances: 32,
-            cache: CacheConfig { line_size: 128, sets: 128, ways: 4 },
+            cache: CacheConfig {
+                line_size: 128,
+                sets: 128,
+                ways: 4,
+            },
             ..SdetConfig::default()
         }
     }
@@ -181,8 +189,15 @@ mod tests {
         let cfg = small_cfg();
         let layouts = baseline_layouts(&kernel, cfg.line_size);
         let machine = Machine::superdome(16);
-        let (_, events, instances) =
-            run_once_logged(&kernel, &layouts, &machine, &cfg, 3, &mut slopt_sim::NullObserver, true);
+        let (_, events, instances) = run_once_logged(
+            &kernel,
+            &layouts,
+            &machine,
+            &cfg,
+            3,
+            &mut slopt_sim::NullObserver,
+            true,
+        );
         let gt = ground_truth_loss(
             &layouts,
             &instances,
@@ -203,17 +218,36 @@ mod tests {
         let kernel = build_kernel();
         let cfg = small_cfg();
         let machine = Machine::superdome(16);
-        let analysis_cfg = AnalysisConfig { machine: Machine::superdome(8), ..Default::default() };
+        let analysis_cfg = AnalysisConfig {
+            machine: Machine::superdome(8),
+            ..Default::default()
+        };
         let paper = compute_paper_layouts(&kernel, &cfg, &analysis_cfg, Default::default());
         let a = kernel.records.a;
-        let table = layouts_with(&kernel, cfg.line_size, a, paper.layout(a, LayoutKind::SortByHotness).clone());
-        let (_, events, instances) =
-            run_once_logged(&kernel, &table, &machine, &cfg, 3, &mut slopt_sim::NullObserver, true);
+        let table = layouts_with(
+            &kernel,
+            cfg.line_size,
+            a,
+            paper.layout(a, LayoutKind::SortByHotness).clone(),
+        );
+        let (_, events, instances) = run_once_logged(
+            &kernel,
+            &table,
+            &machine,
+            &cfg,
+            3,
+            &mut slopt_sim::NullObserver,
+            true,
+        );
         let gt = ground_truth_loss(&table, &instances, &events, a, 16, cfg.pool_instances);
-        assert!(!gt.is_empty(), "hotness layout must show real false sharing");
+        assert!(
+            !gt.is_empty(),
+            "hotness layout must show real false sharing"
+        );
         // Every heavy pair involves a stat counter.
-        let stats: Vec<FieldIdx> =
-            (0..STAT_CLASSES).map(|k| kernel.field(a, &format!("stat{k}"))).collect();
+        let stats: Vec<FieldIdx> = (0..STAT_CLASSES)
+            .map(|k| kernel.field(a, &format!("stat{k}")))
+            .collect();
         let (f1, f2, _) = gt.pairs()[0];
         assert!(
             stats.contains(&f1) || stats.contains(&f2),
@@ -227,12 +261,21 @@ mod tests {
         let rec = slopt_ir::types::RecordType::new(
             "S",
             vec![
-                ("a", slopt_ir::types::FieldType::Prim(slopt_ir::types::PrimType::U64)),
-                ("b", slopt_ir::types::FieldType::Prim(slopt_ir::types::PrimType::U64)),
-                ("big", slopt_ir::types::FieldType::Array {
-                    elem: slopt_ir::types::PrimType::U64,
-                    len: 20,
-                }),
+                (
+                    "a",
+                    slopt_ir::types::FieldType::Prim(slopt_ir::types::PrimType::U64),
+                ),
+                (
+                    "b",
+                    slopt_ir::types::FieldType::Prim(slopt_ir::types::PrimType::U64),
+                ),
+                (
+                    "big",
+                    slopt_ir::types::FieldType::Array {
+                        elem: slopt_ir::types::PrimType::U64,
+                        len: 20,
+                    },
+                ),
             ],
         );
         let layout = StructLayout::declaration_order(&rec, 128).unwrap();

@@ -43,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let body = fb.add_block();
     let exit = fb.add_block();
     let slot = InstanceSlot(0);
-    fb.write(entry, s, f1, slot).write(entry, s, f2, slot).jump(entry, body);
+    fb.write(entry, s, f1, slot)
+        .write(entry, s, f2, slot)
+        .jump(entry, body);
     fb.write(body, s, f3, slot)
         .read(body, s, f3, slot)
         .read(body, s, f1, slot)

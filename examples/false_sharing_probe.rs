@@ -52,11 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut mem = MemSystem::new(
             Topology::superdome(2),
             LatencyModel::superdome(),
-            CacheConfig { line_size: 128, sets: 128, ways: 4 },
+            CacheConfig {
+                line_size: 128,
+                sets: 128,
+                ways: 4,
+            },
         );
         let workload = ids
             .iter()
-            .map(|&f| vec![Script { invocations: vec![Invocation { func: f, bindings: vec![shared] }] }])
+            .map(|&f| {
+                vec![Script {
+                    invocations: vec![Invocation {
+                        func: f,
+                        bindings: vec![shared],
+                    }],
+                }]
+            })
             .collect();
         let result = slopt::sim::run(
             &program,
@@ -69,17 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("finite workload");
         (
             result.makespan,
-            mem.stats().class_for(rec, AccessClass::FalseSharingMiss).count,
-            mem.stats().class_for(rec, AccessClass::TrueSharingMiss).count,
+            mem.stats()
+                .class_for(rec, AccessClass::FalseSharingMiss)
+                .count,
+            mem.stats()
+                .class_for(rec, AccessClass::TrueSharingMiss)
+                .count,
         )
     };
 
     let packed = StructLayout::declaration_order(&ty, 128)?;
-    let split = StructLayout::from_groups(
-        &ty,
-        &[vec![FieldIdx(0)], vec![FieldIdx(1)]],
-        128,
-    )?;
+    let split = StructLayout::from_groups(&ty, &[vec![FieldIdx(0)], vec![FieldIdx(1)]], 128)?;
 
     let (t_packed, fs_packed, ts_packed) = run(packed);
     let (t_split, fs_split, ts_split) = run(split);

@@ -16,11 +16,20 @@ const SECTION_BASE: u64 = 0x100_000;
 
 /// Replays the workload's access pattern against a section layout and
 /// returns (total cycles, false-sharing misses).
-fn replay(problem: &GvlProblem, layout: &SectionLayout, counters: &[GlobalId], cfg: &[GlobalId]) -> (u64, u64) {
+fn replay(
+    problem: &GvlProblem,
+    layout: &SectionLayout,
+    counters: &[GlobalId],
+    cfg: &[GlobalId],
+) -> (u64, u64) {
     let mut mem = MemSystem::new(
         Topology::superdome(4),
         LatencyModel::superdome(),
-        CacheConfig { line_size: 128, sets: 64, ways: 4 },
+        CacheConfig {
+            line_size: 128,
+            sets: 64,
+            ways: 4,
+        },
     );
     let mut now = [0u64; 4];
     for round in 0..2_000u64 {
@@ -40,7 +49,10 @@ fn replay(problem: &GvlProblem, layout: &SectionLayout, counters: &[GlobalId], c
     }
     let _ = problem;
     let makespan = now.iter().copied().max().unwrap_or(0);
-    (makespan, mem.stats().class(AccessClass::FalseSharingMiss).count)
+    (
+        makespan,
+        mem.stats().class(AccessClass::FalseSharingMiss).count,
+    )
 }
 
 fn main() {
@@ -77,12 +89,25 @@ fn main() {
     let (t_tuned, fs_tuned) = replay(&problem, &tuned, &counters, &cfg);
 
     println!("layout        section bytes   makespan   false-sharing misses");
-    println!("link-order    {:>13} {:>10} {:>22}", naive.size(), t_naive, fs_naive);
-    println!("concurrency   {:>13} {:>10} {:>22}", tuned.size(), t_tuned, fs_tuned);
+    println!(
+        "link-order    {:>13} {:>10} {:>22}",
+        naive.size(),
+        t_naive,
+        fs_naive
+    );
+    println!(
+        "concurrency   {:>13} {:>10} {:>22}",
+        tuned.size(),
+        t_tuned,
+        fs_tuned
+    );
     println!(
         "concurrency-aware GVL is {:.1}x faster on this pattern",
         t_naive as f64 / t_tuned as f64
     );
-    assert!(fs_tuned < fs_naive / 10, "tuned layout must eliminate nearly all false sharing");
+    assert!(
+        fs_tuned < fs_naive / 10,
+        "tuned layout must eliminate nearly all false sharing"
+    );
     assert!(t_tuned < t_naive);
 }

@@ -17,12 +17,19 @@ fn main() {
     let sdet = SdetConfig {
         scripts_per_cpu: 12,
         pool_instances: 128,
-        cache: CacheConfig { line_size: 128, sets: 256, ways: 8 },
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 256,
+            ways: 8,
+        },
         ..SdetConfig::default()
     };
     let analysis_cfg = AnalysisConfig::default();
 
-    println!("collecting profile + concurrency on {}...", analysis_cfg.machine.topo.name());
+    println!(
+        "collecting profile + concurrency on {}...",
+        analysis_cfg.machine.topo.name()
+    );
     let analysis = analyze(&kernel, &sdet, &analysis_cfg);
     println!(
         "  {} samples, {} concurrent line pairs\n",
@@ -37,7 +44,10 @@ fn main() {
         &analysis,
         a,
         slopt::core::ToolParams {
-            layout: LayoutOptions { line_size: sdet.line_size, ..Default::default() },
+            layout: LayoutOptions {
+                line_size: sdet.line_size,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -49,7 +59,13 @@ fn main() {
 
     // Measure baseline vs suggested layout (transforming only struct A).
     let machine = Machine::superdome(32);
-    let base = measure(&kernel, &baseline_layouts(&kernel, sdet.line_size), &machine, &sdet, 3);
+    let base = measure(
+        &kernel,
+        &baseline_layouts(&kernel, sdet.line_size),
+        &machine,
+        &sdet,
+        3,
+    );
     let table = layouts_with(&kernel, sdet.line_size, a, suggestion.layout.clone());
     let tuned = measure(&kernel, &table, &machine, &sdet, 3);
     println!(

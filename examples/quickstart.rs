@@ -18,16 +18,24 @@ use slopt::sim::{
 };
 use slopt::workload; // only for the doc pointer below
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+// `pub` so tests/quickstart_smoke.rs can include this file as a module
+// and run it as part of the test suite.
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the record. Declaration order = current layout.
     let mut registry = TypeRegistry::new();
     let rec = registry.add_record(RecordType::new(
         "counters",
         vec![
-            ("head", FieldType::Prim(PrimType::Ptr)),   // hot loop
-            ("pad", FieldType::Array { elem: PrimType::U64, len: 18 }), // 144B of cold stuff
-            ("len", FieldType::Prim(PrimType::U64)),    // hot loop (far from head!)
-            ("hits", FieldType::Prim(PrimType::U64)),   // written by every CPU
+            ("head", FieldType::Prim(PrimType::Ptr)), // hot loop
+            (
+                "pad",
+                FieldType::Array {
+                    elem: PrimType::U64,
+                    len: 18,
+                },
+            ), // 144B of cold stuff
+            ("len", FieldType::Prim(PrimType::U64)),  // hot loop (far from head!)
+            ("hits", FieldType::Prim(PrimType::U64)), // written by every CPU
         ],
     ));
     let ty = registry.record(rec).clone();
@@ -63,18 +71,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = MemSystem::new(
         Topology::superdome(16),
         LatencyModel::superdome(),
-        CacheConfig { line_size: 128, sets: 256, ways: 8 },
+        CacheConfig {
+            line_size: 128,
+            sets: 256,
+            ways: 8,
+        },
     );
     let shared = 0x10_000u64;
     let script = Script {
         invocations: vec![
-            Invocation { func: scan_id, bindings: vec![shared] },
-            Invocation { func: bump_id, bindings: vec![shared] },
+            Invocation {
+                func: scan_id,
+                bindings: vec![shared],
+            },
+            Invocation {
+                func: bump_id,
+                bindings: vec![shared],
+            },
         ],
     };
     let mut sampler = Sampler::new(
         16,
-        SamplerConfig { period: 200, max_phase_jitter: 16, ..Default::default() },
+        SamplerConfig {
+            period: 200,
+            max_phase_jitter: 16,
+            ..Default::default()
+        },
     );
     let result = slopt::sim::run(
         &program,
@@ -104,8 +126,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The two loop fields end up together; the contended counter is
     // separated from them.
-    assert!(suggestion.layout.share_line(head, len), "scan pair must co-locate");
-    assert!(!suggestion.layout.share_line(head, hits), "counter must be isolated");
+    assert!(
+        suggestion.layout.share_line(head, len),
+        "scan pair must co-locate"
+    );
+    assert!(
+        !suggestion.layout.share_line(head, hits),
+        "counter must be isolated"
+    );
     println!("=> scan pair co-located, counter isolated.");
     println!(
         "(For the full five-struct kernel of the paper, see `{}` and the fig8/fig9/fig10 binaries.)",

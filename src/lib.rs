@@ -51,9 +51,22 @@
 //! See `examples/quickstart.rs` for the full pipeline (profile → sample →
 //! FLG → clustering → layout) and `EXPERIMENTS.md` for how each figure of
 //! the paper is regenerated.
+//!
+//! ## Parallel execution
+//!
+//! Every expensive driver fans out across host threads through one
+//! primitive, [`core::par_map`] — batch layout suggestion
+//! ([`core::suggest_layout_all`]), repeated throughput measurement
+//! ([`workload::measure_jobs`]) and whole figure grids
+//! ([`workload::figure_rows_jobs`]) all take a `jobs` argument, and every
+//! one of them returns **bit-identical results for every `jobs` value**
+//! (see `DESIGN.md`, "Parallel execution model"). The convenience
+//! re-exports below cover the common entry points.
 
 pub use slopt_core as core;
 pub use slopt_ir as ir;
 pub use slopt_sample as sample;
 pub use slopt_sim as sim;
 pub use slopt_workload as workload;
+
+pub use slopt_core::{default_jobs, par_map, suggest_layout_all, LayoutRequest};

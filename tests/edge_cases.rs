@@ -9,7 +9,9 @@ use slopt::ir::interp::profile_invocations;
 use slopt::ir::layout::StructLayout;
 use slopt::ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType, TypeRegistry};
 use slopt::sample::{concurrency_map, ConcurrencyConfig};
-use slopt::sim::{CacheConfig, EngineConfig, Invocation, LatencyModel, LayoutTable, MemSystem, Script, Topology};
+use slopt::sim::{
+    CacheConfig, EngineConfig, Invocation, LatencyModel, LayoutTable, MemSystem, Script, Topology,
+};
 
 #[test]
 fn loop_with_trip_one_executes_body_once() {
@@ -108,14 +110,21 @@ fn one_cpu_machine_runs_the_engine() {
     let mut mem = MemSystem::new(
         Topology::bus(1),
         LatencyModel::bus(),
-        CacheConfig { line_size: 64, sets: 2, ways: 1 },
+        CacheConfig {
+            line_size: 64,
+            sets: 2,
+            ways: 1,
+        },
     );
     let r = slopt::sim::run(
         &prog,
         &layouts,
         &mut mem,
         vec![vec![Script {
-            invocations: vec![Invocation { func: f, bindings: vec![0x1000] }],
+            invocations: vec![Invocation {
+                func: f,
+                bindings: vec![0x1000],
+            }],
         }]],
         &EngineConfig::default(),
         &mut slopt::sim::NullObserver,
@@ -138,7 +147,11 @@ fn cpu_count_boundaries() {
     let mut mem = MemSystem::new(
         Topology::superdome(128),
         LatencyModel::superdome(),
-        CacheConfig { line_size: 128, sets: 4, ways: 2 },
+        CacheConfig {
+            line_size: 128,
+            sets: 4,
+            ways: 2,
+        },
     );
     let mut now = 0;
     // CPU 127 (highest bit of the u128 mask) reads, CPU 0 writes.
@@ -146,7 +159,9 @@ fn cpu_count_boundaries() {
     now += mem.access(slopt::sim::CpuId(0), 64, 8, true, None, now);
     let _ = mem.access(slopt::sim::CpuId(127), 0, 8, false, None, now);
     assert_eq!(
-        mem.stats().class(slopt::sim::AccessClass::FalseSharingMiss).count,
+        mem.stats()
+            .class(slopt::sim::AccessClass::FalseSharingMiss)
+            .count,
         1,
         "bit 127 of the sharer mask must be handled"
     );
@@ -167,10 +182,9 @@ fn ret_only_function_profiles_cleanly() {
 
 #[test]
 fn text_format_handles_minimal_program() {
-    let prog = slopt::ir::text::parse_program(
-        "record r { x: u64 }\nfn f { block b { read r.x @0 ret } }",
-    )
-    .unwrap();
+    let prog =
+        slopt::ir::text::parse_program("record r { x: u64 }\nfn f { block b { read r.x @0 ret } }")
+            .unwrap();
     let printed = slopt::ir::text::print_program(&prog);
     let again = slopt::ir::text::parse_program(&printed).unwrap();
     assert_eq!(again.function_count(), 1);
@@ -188,7 +202,11 @@ fn opaque_only_record_survives_the_tool() {
             ("l2", FieldType::Opaque { size: 96, align: 8 }),
         ],
     );
-    let flg = Flg::from_parts(RecordId(0), vec![10, 10], vec![(FieldIdx(0), FieldIdx(1), -5.0)]);
+    let flg = Flg::from_parts(
+        RecordId(0),
+        vec![10, 10],
+        vec![(FieldIdx(0), FieldIdx(1), -5.0)],
+    );
     let clustering = cluster(&flg, &rec, 128);
     assert_eq!(clustering.len(), 2, "negative edge separates the blobs");
     let layout = slopt::core::layout_from_clusters(

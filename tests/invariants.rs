@@ -23,7 +23,10 @@ fn arb_record() -> impl Strategy<Value = RecordType> {
                         2 => FieldType::Prim(PrimType::U32),
                         3 => FieldType::Prim(PrimType::U64),
                         4 => FieldType::Prim(PrimType::Ptr),
-                        _ => FieldType::Array { elem: PrimType::U32, len: 5 },
+                        _ => FieldType::Array {
+                            elem: PrimType::U32,
+                            len: 5,
+                        },
                     };
                     (format!("f{i}"), ty)
                 })

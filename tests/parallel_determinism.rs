@@ -1,0 +1,161 @@
+//! The parallel runner's contract: for every entry point that takes a
+//! `jobs` argument, the result is bit-identical to the serial run —
+//! layouts, clusterings, throughput values, whole rendered figures.
+//!
+//! Exercised on the shipped `examples/session_table.sirw` workload (the
+//! user-facing path) and on the built-in synthetic kernel (the figure
+//! path).
+
+use slopt::core::{suggest_layout_all, LayoutRequest, ToolParams};
+use slopt::sim::CacheConfig;
+use slopt::workload::{
+    analyze, baseline_layouts, compute_paper_layouts_jobs, figure_rows_jobs, measure_jobs,
+    parse_workload_file, AnalysisConfig, LayoutKind, Machine, SdetConfig, WorkloadSpec,
+};
+
+fn load_session_example() -> slopt::workload::CustomWorkload {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/session_table.sirw");
+    let input = std::fs::read_to_string(path).expect("example file exists");
+    parse_workload_file(&input).expect("example file parses")
+}
+
+fn small_sdet() -> SdetConfig {
+    SdetConfig {
+        scripts_per_cpu: 6,
+        invocations_per_script: 8,
+        pool_instances: 64,
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 128,
+            ways: 4,
+        },
+        ..SdetConfig::default()
+    }
+}
+
+#[test]
+fn session_example_suggestions_are_job_count_invariant() {
+    let w = load_session_example();
+    let session = w.program().registry().lookup("session").unwrap();
+    let sdet = small_sdet();
+    let cfg = AnalysisConfig {
+        machine: Machine::superdome(8),
+        ..Default::default()
+    };
+    let analysis = analyze(&w, &sdet, &cfg);
+    let affinity = slopt::workload::analyze::affinity_for(&w, &analysis, session);
+    let loss = slopt::workload::loss_for(&w, &analysis, session);
+    let rec = w.record_type(session);
+
+    // A batch of identical requests: every slot must come back the same
+    // no matter how the scheduler interleaved them.
+    let requests: Vec<LayoutRequest<'_>> = (0..12)
+        .map(|_| LayoutRequest {
+            record: rec,
+            affinity: &affinity,
+            loss: Some(&loss),
+        })
+        .collect();
+    let serial = suggest_layout_all(&requests, ToolParams::default(), 1);
+    for jobs in [2, 4] {
+        let parallel = suggest_layout_all(&requests, ToolParams::default(), jobs);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.layout, b.layout, "jobs={jobs}");
+            assert_eq!(
+                a.clustering.clusters(),
+                b.clustering.clusters(),
+                "jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn session_example_throughput_is_job_count_invariant() {
+    let w = load_session_example();
+    let sdet = small_sdet();
+    let machine = Machine::superdome(4);
+    let layouts = baseline_layouts(&w, sdet.line_size);
+    let serial = measure_jobs(&w, &layouts, &machine, &sdet, 4, 1);
+    for jobs in [2, 4, 16] {
+        let parallel = measure_jobs(&w, &layouts, &machine, &sdet, 4, jobs);
+        // Bit-identical, not approximately equal: same seeds, same runs,
+        // same order.
+        assert_eq!(serial.runs, parallel.runs, "jobs={jobs}");
+        assert_eq!(serial.mean, parallel.mean, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn kernel_figures_are_job_count_invariant() {
+    let kernel = slopt::workload::build_kernel();
+    let sdet = SdetConfig {
+        scripts_per_cpu: 4,
+        invocations_per_script: 6,
+        pool_instances: 24,
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 64,
+            ways: 4,
+        },
+        ..SdetConfig::default()
+    };
+    let acfg = AnalysisConfig {
+        machine: Machine::superdome(8),
+        ..Default::default()
+    };
+
+    let serial_layouts =
+        compute_paper_layouts_jobs(&kernel, &sdet, &acfg, ToolParams::default(), 1);
+    let parallel_layouts =
+        compute_paper_layouts_jobs(&kernel, &sdet, &acfg, ToolParams::default(), 4);
+    for (_, rec) in kernel.records.all() {
+        for kind in [
+            LayoutKind::Tool,
+            LayoutKind::SortByHotness,
+            LayoutKind::Constrained,
+        ] {
+            assert_eq!(
+                serial_layouts.layout(rec, kind),
+                parallel_layouts.layout(rec, kind),
+                "layout {kind} differs between jobs=1 and jobs=4"
+            );
+        }
+    }
+
+    let machine = Machine::superdome(4);
+    let kinds = [LayoutKind::Tool, LayoutKind::SortByHotness];
+    let serial = figure_rows_jobs(
+        &kernel,
+        &machine,
+        &sdet,
+        2,
+        &serial_layouts,
+        &kinds,
+        "figure",
+        1,
+    );
+    let parallel = figure_rows_jobs(
+        &kernel,
+        &machine,
+        &sdet,
+        2,
+        &parallel_layouts,
+        &kinds,
+        "figure",
+        4,
+    );
+    // The whole experiment summary — baseline runs, every row, every
+    // percentage — must render identically.
+    assert_eq!(serial.baseline.runs, parallel.baseline.runs);
+    assert_eq!(serial.baseline.mean, parallel.baseline.mean);
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (a, b) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(a.letter, b.letter);
+        assert_eq!(a.record, b.record);
+        assert_eq!(a.results, b.results);
+    }
+    assert_eq!(serial.to_string(), parallel.to_string());
+}

@@ -61,17 +61,28 @@ fn mixed_workload() -> Bench {
             .loop_latch(body, body, x, 300);
         funcs.push(pb.add(fb, e));
     }
-    Bench { program: pb.finish(), rec, funcs }
+    Bench {
+        program: pb.finish(),
+        rec,
+        funcs,
+    }
 }
 
 fn run_and_suggest(bench: &Bench) -> slopt::core::Suggestion {
     let ty = bench.program.registry().record(bench.rec).clone();
     let mut layouts = LayoutTable::new();
-    layouts.set(bench.rec, StructLayout::declaration_order(&ty, 128).unwrap());
+    layouts.set(
+        bench.rec,
+        StructLayout::declaration_order(&ty, 128).unwrap(),
+    );
     let mut mem = MemSystem::new(
         Topology::superdome(4),
         LatencyModel::superdome(),
-        CacheConfig { line_size: 128, sets: 128, ways: 4 },
+        CacheConfig {
+            line_size: 128,
+            sets: 128,
+            ways: 4,
+        },
     );
     let shared = 0x4_0000u64;
     // CPU i runs funcs[i % 3] repeatedly against the shared instance.
@@ -90,7 +101,11 @@ fn run_and_suggest(bench: &Bench) -> slopt::core::Suggestion {
         .collect();
     let mut sampler = Sampler::new(
         4,
-        SamplerConfig { period: 100, max_phase_jitter: 8, ..Default::default() },
+        SamplerConfig {
+            period: 100,
+            max_phase_jitter: 8,
+            ..Default::default()
+        },
     );
     let result = slopt::sim::run(
         &bench.program,
@@ -140,7 +155,11 @@ fn suggested_layout_beats_hotness_packing_under_contention() {
         let mut mem = MemSystem::new(
             Topology::superdome(4),
             LatencyModel::superdome(),
-            CacheConfig { line_size: 128, sets: 128, ways: 4 },
+            CacheConfig {
+                line_size: 128,
+                sets: 128,
+                ways: 4,
+            },
         );
         let shared = 0x4_0000u64;
         let workload: Vec<Vec<Script>> = (0..4)

@@ -1,0 +1,12 @@
+//! The README's first code pointer is `examples/quickstart.rs`; keep it
+//! honest by compiling the example source itself into the test suite and
+//! running it. The example's own asserts (scan pair co-located, counter
+//! isolated) are the smoke checks.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[test]
+fn quickstart_example_runs_clean() {
+    quickstart::main().expect("quickstart example must run without error");
+}

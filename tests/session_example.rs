@@ -2,10 +2,10 @@
 //! run, and produce the advisory its header comment promises.
 
 use slopt::core::ToolParams;
+use slopt::sim::CacheConfig;
 use slopt::workload::{
     analyze, parse_workload_file, suggest_for, AnalysisConfig, Machine, SdetConfig, WorkloadSpec,
 };
-use slopt::sim::CacheConfig;
 
 fn load() -> slopt::workload::CustomWorkload {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/session_table.sirw");
@@ -18,7 +18,11 @@ fn example_file_parses_with_expected_shape() {
     let w = load();
     assert_eq!(w.program().function_count(), 4);
     assert_eq!(w.actions().len(), 3);
-    let bump = w.actions().iter().find(|a| a.name == "bump").expect("bump action");
+    let bump = w
+        .actions()
+        .iter()
+        .find(|a| a.name == "bump")
+        .expect("bump action");
     assert_eq!(bump.variants.len(), 2, "per-CPU counter variants");
     let session = w.program().registry().lookup("session").expect("record");
     assert_eq!(w.record_type(session).field_count(), 10);
@@ -33,10 +37,17 @@ fn example_advisory_matches_its_header_comment() {
         scripts_per_cpu: 8,
         invocations_per_script: 8,
         pool_instances: 64,
-        cache: CacheConfig { line_size: 128, sets: 128, ways: 4 },
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 128,
+            ways: 4,
+        },
         ..SdetConfig::default()
     };
-    let cfg = AnalysisConfig { machine: Machine::superdome(8), ..Default::default() };
+    let cfg = AnalysisConfig {
+        machine: Machine::superdome(8),
+        ..Default::default()
+    };
     let analysis = analyze(&w, &sdet, &cfg);
     let suggestion = suggest_for(&w, &analysis, session, ToolParams::default());
 
