@@ -19,4 +19,10 @@ cargo build --release --offline
 echo "== cargo test =="
 cargo test --offline -q
 
+echo "== cargo bench --no-run (compile-check benches) =="
+cargo bench --no-run --offline
+
+echo "== perf_report --quick (refresh BENCH_sim.json) =="
+cargo run --release --offline -p slopt-bench --bin perf_report -- --quick
+
 echo "ci.sh: all green"

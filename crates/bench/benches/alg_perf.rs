@@ -4,9 +4,12 @@
 //! scales to millions of lines" claims.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use slopt_core::{cluster, Flg};
+use slopt_core::{cluster, Flg, FlgRef};
+use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::interp::SplitMix64;
+use slopt_ir::source::SourceLine;
 use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
+use slopt_sample::{ConcurrencyConfig, ConcurrencyMap, Sample};
 use slopt_sim::{CacheConfig, CpuId, LatencyModel, MemSystem, Topology};
 
 fn record_u64(n: usize) -> RecordType {
@@ -18,8 +21,12 @@ fn record_u64(n: usize) -> RecordType {
     )
 }
 
-/// Random FLG with `n` fields and ~`edges_per_field` edges each.
-fn random_flg(n: usize, edges_per_field: usize, seed: u64) -> Flg {
+/// Random edge soup with `n` fields and ~`edges_per_field` edges each.
+fn random_flg_parts(
+    n: usize,
+    edges_per_field: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<(FieldIdx, FieldIdx, f64)>) {
     let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::new();
     for i in 0..n as u32 {
@@ -32,7 +39,27 @@ fn random_flg(n: usize, edges_per_field: usize, seed: u64) -> Flg {
         }
     }
     let hotness: Vec<u64> = (0..n).map(|_| rng.next_u64() % 10_000).collect();
+    (hotness, edges)
+}
+
+/// Random FLG with `n` fields and ~`edges_per_field` edges each.
+fn random_flg(n: usize, edges_per_field: usize, seed: u64) -> Flg {
+    let (hotness, edges) = random_flg_parts(n, edges_per_field, seed);
     Flg::from_parts(RecordId(0), hotness, edges)
+}
+
+/// Deterministic synthetic PMU stream for the concurrency benches.
+fn random_samples(n: usize, cpus: u16, lines: u32, span: u64, seed: u64) -> Vec<Sample> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Sample {
+            cpu: CpuId((rng.next_u64() % cpus as u64) as u16),
+            time: rng.next_u64() % span,
+            func: FuncId(0),
+            block: BlockId(0),
+            line: SourceLine((rng.next_u64() % lines as u64) as u32),
+        })
+        .collect()
 }
 
 fn bench_clustering(c: &mut Criterion) {
@@ -52,6 +79,31 @@ fn bench_flg_build(c: &mut Criterion) {
     for &n in &[128usize, 512] {
         group.bench_with_input(BenchmarkId::new("from_parts", n), &n, |b, &n| {
             b.iter(|| random_flg(n, 6, 7))
+        });
+        // Dense triangular vs hash-map reference on the identical edge
+        // soup: construction cost only.
+        let (hotness, edges) = random_flg_parts(n, 6, 7);
+        group.bench_with_input(BenchmarkId::new("dense_build", n), &n, |b, _| {
+            b.iter(|| Flg::from_parts(RecordId(0), hotness.clone(), edges.iter().copied()))
+        });
+        group.bench_with_input(BenchmarkId::new("reference_build", n), &n, |b, _| {
+            b.iter(|| FlgRef::from_parts(RecordId(0), hotness.clone(), edges.iter().copied()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency");
+    for &n in &[20_000usize, 80_000] {
+        let samples = random_samples(n, 16, 400, 100_000, 0xCC);
+        let cfg = ConcurrencyConfig { interval: 1_000 };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("from_samples", n), &n, |b, _| {
+            b.iter(|| ConcurrencyMap::from_samples(&samples, &cfg))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| slopt_sample::concurrency_map_naive(&samples, &cfg))
         });
     }
     group.finish();
@@ -139,6 +191,7 @@ criterion_group!(
     benches,
     bench_clustering,
     bench_flg_build,
+    bench_concurrency,
     bench_memsystem,
     bench_engine
 );

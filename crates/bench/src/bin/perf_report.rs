@@ -1,0 +1,419 @@
+//! `perf_report` — the self-reporting performance harness.
+//!
+//! Runs three microbenches over the repo's hot paths, each old-vs-new
+//! against the retained reference implementations on identical seeds, and
+//! writes `BENCH_sim.json`:
+//!
+//! 1. **engine** — full SDET runs with the dense paged coherence
+//!    directory vs the reference `HashMap` directory
+//!    (`MemSystem::set_reference_directory`).
+//! 2. **cc** — `concurrency_map` (interned lines + flat count tensor) vs
+//!    `concurrency_map_naive` (triple-nested maps) on one synthetic
+//!    sample stream.
+//! 3. **flg_cluster** — dense triangular `Flg` construction + greedy
+//!    clustering vs the hash-map `FlgRef` through the same generic
+//!    `cluster_with`.
+//!
+//! Every comparison asserts bit-identical results before timing is
+//! trusted; an equivalence failure aborts with a non-zero exit. Speedups
+//! are reported, not enforced. The dense engine bench is also measured
+//! fanned over `--jobs N` host threads (via `slopt_core::par_map`) to
+//! record the parallel-runner speedup alongside the serial numbers.
+//!
+//! Flags: `--quick` (smaller workloads, used by ci.sh), `--jobs N`,
+//! `--out PATH` (default `BENCH_sim.json`), `--no-reference` (skip the
+//! old implementations: faster, but no speedup column).
+
+use slopt_bench::runner::parse_jobs;
+use slopt_core::{cluster, cluster_with, Flg, FlgRef};
+use slopt_ir::cfg::{BlockId, FuncId};
+use slopt_ir::interp::SplitMix64;
+use slopt_ir::source::SourceLine;
+use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
+use slopt_sample::{concurrency_map, concurrency_map_naive, ConcurrencyConfig, Sample};
+use slopt_sim::{CacheConfig, CpuId, EngineConfig, MemSystem, NullObserver};
+use slopt_workload::{
+    build_kernel, build_scripts, measurement_seeds, Instances, Kernel, Machine, SdetConfig,
+    WorkloadSpec,
+};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    jobs: usize,
+    out: String,
+    reference: bool,
+}
+
+impl Args {
+    fn from_env() -> Args {
+        let args: Vec<String> = std::env::args().collect();
+        let out = args
+            .windows(2)
+            .find(|w| w[0] == "--out")
+            .map(|w| w[1].clone())
+            .unwrap_or_else(|| "BENCH_sim.json".to_string());
+        Args {
+            quick: args.iter().any(|a| a == "--quick"),
+            jobs: parse_jobs(&args),
+            out,
+            reference: !args.iter().any(|a| a == "--no-reference"),
+        }
+    }
+}
+
+/// One microbench's measurements, all in seconds of wall clock.
+struct BenchResult {
+    name: &'static str,
+    /// What one repetition processes (for the report only).
+    work: String,
+    reps: usize,
+    /// Per-rep wall clock of the dense implementation, serial.
+    dense_s: Vec<f64>,
+    /// Per-rep wall clock of the reference implementation, serial
+    /// (empty under `--no-reference`).
+    reference_s: Vec<f64>,
+    /// Total wall clock of all dense reps fanned over `--jobs` threads
+    /// (engine bench only; `None` elsewhere).
+    dense_jobs_s: Option<f64>,
+    jobs: usize,
+}
+
+impl BenchResult {
+    fn dense_total(&self) -> f64 {
+        self.dense_s.iter().sum()
+    }
+    fn reference_total(&self) -> f64 {
+        self.reference_s.iter().sum()
+    }
+    fn speedup(&self) -> Option<f64> {
+        if self.reference_s.is_empty() {
+            None
+        } else {
+            Some(self.reference_total() / self.dense_total())
+        }
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+// ---------------------------------------------------------------- engine
+
+/// One full SDET run with the directory kind chosen up front; returns the
+/// engine fingerprint used for the dense-vs-reference equivalence check.
+fn engine_run(
+    kernel: &Kernel,
+    machine: &Machine,
+    cfg: &SdetConfig,
+    seed: u64,
+    reference: bool,
+) -> (u64, u64, u64) {
+    let cpus = machine.cpus();
+    let layouts = slopt_workload::baseline_layouts(kernel, cfg.line_size);
+    let instances = Instances::allocate(kernel, &layouts, cpus, cfg);
+    let scripts = build_scripts(kernel, &instances, cpus, cfg, seed);
+    let mut mem = MemSystem::new(machine.topo.clone(), machine.lat, cfg.cache);
+    mem.set_protocol(cfg.protocol);
+    mem.set_reference_directory(reference);
+    let engine_cfg = EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    };
+    let result = slopt_sim::run(
+        kernel.program(),
+        &layouts,
+        &mut mem,
+        scripts,
+        &engine_cfg,
+        &mut NullObserver,
+    )
+    .expect("finite workload exceeded engine step bound");
+    (
+        result.makespan,
+        result.scripts_done as u64,
+        mem.stats().accesses(),
+    )
+}
+
+fn bench_engine(args: &Args) -> BenchResult {
+    let kernel = build_kernel();
+    let cfg = SdetConfig {
+        scripts_per_cpu: if args.quick { 8 } else { 24 },
+        pool_instances: if args.quick { 64 } else { 256 },
+        cache: CacheConfig {
+            line_size: 128,
+            sets: 256,
+            ways: 8,
+        },
+        ..SdetConfig::default()
+    };
+    let machine = Machine::superdome(16);
+    let runs = if args.quick { 3 } else { 6 };
+    let seeds = measurement_seeds(runs);
+
+    let mut dense_s = Vec::new();
+    let mut reference_s = Vec::new();
+    for &seed in &seeds {
+        let (dense, td) = time(|| engine_run(&kernel, &machine, &cfg, seed, false));
+        dense_s.push(td);
+        if args.reference {
+            let (refr, tr) = time(|| engine_run(&kernel, &machine, &cfg, seed, true));
+            reference_s.push(tr);
+            assert_eq!(
+                dense, refr,
+                "dense and reference directory disagree on seed {seed}"
+            );
+        }
+    }
+
+    // The same dense runs fanned over host threads, for the parallel
+    // wall-clock column.
+    let (par_results, jobs_total) = time(|| {
+        slopt_core::par_map(args.jobs, &seeds, |i, &seed| {
+            let _ = i;
+            engine_run(&kernel, &machine, &cfg, seed, false)
+        })
+    });
+    for (i, &seed) in seeds.iter().enumerate() {
+        let serial = engine_run(&kernel, &machine, &cfg, seed, false);
+        assert_eq!(
+            par_results[i], serial,
+            "parallel engine run diverged on seed {seed}"
+        );
+    }
+
+    BenchResult {
+        name: "engine",
+        work: format!(
+            "sdet 16-way, {} scripts/cpu, {} seeds",
+            cfg.scripts_per_cpu,
+            seeds.len()
+        ),
+        reps: seeds.len(),
+        dense_s,
+        reference_s,
+        dense_jobs_s: Some(jobs_total),
+        jobs: args.jobs,
+    }
+}
+
+// -------------------------------------------------------------------- cc
+
+/// Deterministic synthetic sample stream: `cpus` CPUs sampled across
+/// `intervals` intervals over `lines` distinct source lines.
+fn synth_samples(n: usize, cpus: u16, lines: u32, span: u64, seed: u64) -> Vec<Sample> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Sample {
+            cpu: CpuId((rng.next_u64() % cpus as u64) as u16),
+            time: rng.next_u64() % span,
+            func: FuncId(0),
+            block: BlockId(0),
+            line: SourceLine((rng.next_u64() % lines as u64) as u32),
+        })
+        .collect()
+}
+
+fn bench_cc(args: &Args) -> BenchResult {
+    // The naive formulation is quadratic in samples-per-interval, so the
+    // full mode grows the interval count with the stream, keeping density
+    // (and the per-interval cost ratio) fixed.
+    let (n, intervals) = if args.quick {
+        (60_000, 100u64)
+    } else {
+        (600_000, 1_000)
+    };
+    let cfg = ConcurrencyConfig { interval: 1_000 };
+    let samples = synth_samples(n, 16, 400, intervals * cfg.interval, 0xCC);
+    let reps = if args.quick { 2 } else { 3 };
+
+    let mut dense_s = Vec::new();
+    let mut reference_s = Vec::new();
+    for _ in 0..reps {
+        let (dense, td) = time(|| concurrency_map(&samples, &cfg));
+        dense_s.push(td);
+        if args.reference {
+            let (naive, tr) = time(|| concurrency_map_naive(&samples, &cfg));
+            reference_s.push(tr);
+            assert_eq!(
+                dense.pairs(),
+                naive.pairs(),
+                "dense and naive concurrency maps disagree"
+            );
+        }
+    }
+    BenchResult {
+        name: "cc",
+        work: format!("{n} samples, 16 cpus, 400 lines, {intervals} intervals"),
+        reps,
+        dense_s,
+        reference_s,
+        dense_jobs_s: None,
+        jobs: args.jobs,
+    }
+}
+
+// ----------------------------------------------------------- flg_cluster
+
+fn random_edges(n: u32, per_field: usize, seed: u64) -> (Vec<u64>, Vec<(FieldIdx, FieldIdx, f64)>) {
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for _ in 0..per_field {
+            let j = (rng.next_u64() % n as u64) as u32;
+            if i != j {
+                let w = rng.next_f64() * 200.0 - 50.0;
+                edges.push((FieldIdx(i), FieldIdx(j), w));
+            }
+        }
+    }
+    let hotness = (0..n as u64).map(|_| rng.next_u64() % 10_000).collect();
+    (hotness, edges)
+}
+
+fn record_u64(n: usize) -> RecordType {
+    RecordType::new(
+        "S",
+        (0..n)
+            .map(|i| (format!("f{i}"), FieldType::Prim(PrimType::U64)))
+            .collect(),
+    )
+}
+
+fn bench_flg_cluster(args: &Args) -> BenchResult {
+    let n: u32 = if args.quick { 256 } else { 512 };
+    let per_field = 8;
+    let (hotness, edges) = random_edges(n, per_field, 0xF16);
+    let rec = record_u64(n as usize);
+    let reps = if args.quick { 20 } else { 50 };
+
+    let mut dense_s = Vec::new();
+    let mut reference_s = Vec::new();
+    for _ in 0..reps {
+        let (dense, td) = time(|| {
+            let flg = Flg::from_parts(RecordId(0), hotness.clone(), edges.iter().copied());
+            cluster(&flg, &rec, 128)
+        });
+        dense_s.push(td);
+        if args.reference {
+            let (refr, tr) = time(|| {
+                let flg = FlgRef::from_parts(RecordId(0), hotness.clone(), edges.iter().copied());
+                cluster_with(&flg, &rec, 128)
+            });
+            reference_s.push(tr);
+            assert_eq!(
+                dense, refr,
+                "dense and reference FLG produce different clusterings"
+            );
+        }
+    }
+    BenchResult {
+        name: "flg_cluster",
+        work: format!("{n} fields, ~{per_field} edges/field, build+cluster"),
+        reps,
+        dense_s,
+        reference_s,
+        dense_jobs_s: None,
+        jobs: args.jobs,
+    }
+}
+
+// ------------------------------------------------------------------ json
+
+fn json_f64_array(values: &[f64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Result<()> {
+    let mut benches = Vec::new();
+    for r in results {
+        let mut fields = vec![
+            format!("      \"name\": \"{}\"", r.name),
+            format!("      \"work\": \"{}\"", r.work),
+            format!("      \"reps\": {}", r.reps),
+            format!("      \"dense_serial_s\": {}", json_f64_array(&r.dense_s)),
+            format!("      \"dense_serial_total_s\": {:.6}", r.dense_total()),
+        ];
+        if !r.reference_s.is_empty() {
+            fields.push(format!(
+                "      \"reference_serial_s\": {}",
+                json_f64_array(&r.reference_s)
+            ));
+            fields.push(format!(
+                "      \"reference_serial_total_s\": {:.6}",
+                r.reference_total()
+            ));
+            fields.push(format!(
+                "      \"speedup_vs_reference\": {:.3}",
+                r.speedup().expect("reference measured")
+            ));
+        }
+        if let Some(jp) = r.dense_jobs_s {
+            fields.push(format!("      \"jobs\": {}", r.jobs));
+            fields.push(format!("      \"dense_jobs_total_s\": {jp:.6}"));
+            fields.push(format!(
+                "      \"parallel_speedup\": {:.3}",
+                r.dense_total() / jp
+            ));
+        }
+        benches.push(format!("    {{\n{}\n    }}", fields.join(",\n")));
+    }
+    let doc = format!(
+        "{{\n  \"schema\": \"slopt-perf-report/1\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        args.quick,
+        args.jobs,
+        args.reference,
+        benches.join(",\n")
+    );
+    std::fs::write(path, doc)
+}
+
+fn main() {
+    let args = Args::from_env();
+    eprintln!(
+        "[perf_report] quick={} jobs={} reference={}",
+        args.quick, args.jobs, args.reference
+    );
+
+    let results = vec![
+        bench_engine(&args),
+        bench_cc(&args),
+        bench_flg_cluster(&args),
+    ];
+
+    for r in &results {
+        match r.speedup() {
+            Some(s) => eprintln!(
+                "[perf_report] {:<12} dense {:.3}s vs reference {:.3}s -> {:.2}x ({})",
+                r.name,
+                r.dense_total(),
+                r.reference_total(),
+                s,
+                r.work
+            ),
+            None => eprintln!(
+                "[perf_report] {:<12} dense {:.3}s ({})",
+                r.name,
+                r.dense_total(),
+                r.work
+            ),
+        }
+        if let Some(jp) = r.dense_jobs_s {
+            eprintln!(
+                "[perf_report] {:<12} --jobs {}: {:.3}s total ({:.2}x vs serial)",
+                r.name,
+                r.jobs,
+                jp,
+                r.dense_total() / jp
+            );
+        }
+    }
+
+    write_report(&args.out, &args, &results).expect("write report");
+    eprintln!("[perf_report] wrote {}", args.out);
+}

@@ -12,7 +12,7 @@
 //! Every cluster is later materialized as a cache-line-aligned group of the
 //! output layout, so fields in different clusters never share a line.
 
-use crate::flg::Flg;
+use crate::flg::{Flg, FlgView};
 use slopt_ir::types::{FieldIdx, RecordType};
 
 /// A partition of a record's fields into cache-line clusters, in creation
@@ -77,7 +77,9 @@ fn cluster_bytes(record: &RecordType, members: &[FieldIdx]) -> u64 {
     cursor
 }
 
-/// Cache lines a cluster needs.
+/// Cache lines a cluster needs. (The hot path inlines this via the
+/// incremental form in `find_best_match`; kept for tests.)
+#[cfg(test)]
 fn cluster_lines(record: &RecordType, members: &[FieldIdx], line_size: u64) -> u64 {
     cluster_bytes(record, members).div_ceil(line_size).max(1)
 }
@@ -85,22 +87,27 @@ fn cluster_lines(record: &RecordType, members: &[FieldIdx], line_size: u64) -> u
 /// `find_best_match` (paper Fig. 7): the unassigned field with the largest
 /// positive total edge weight into the cluster, among those that do not
 /// grow the cluster's line count.
-fn find_best_match(
-    flg: &Flg,
+///
+/// The fit test is O(1) per candidate: because fields are packed in order,
+/// appending `f` to the cluster yields exactly
+/// `align(cluster_bytes(cluster), align(f)) + size(f)` bytes — no need to
+/// re-pack the extended cluster.
+fn find_best_match<V: FlgView>(
+    flg: &V,
     record: &RecordType,
     cluster: &[FieldIdx],
     unassigned: &[FieldIdx],
     line_size: u64,
 ) -> Option<FieldIdx> {
-    let current_lines = cluster_lines(record, cluster, line_size);
+    let current_bytes = cluster_bytes(record, cluster);
+    let current_lines = current_bytes.div_ceil(line_size).max(1);
     let mut best: Option<FieldIdx> = None;
     let mut best_weight = 0.0f64;
-    let mut extended: Vec<FieldIdx> = Vec::with_capacity(cluster.len() + 1);
     for &f in unassigned {
-        extended.clear();
-        extended.extend_from_slice(cluster);
-        extended.push(f);
-        if cluster_lines(record, &extended, line_size) > current_lines {
+        let def = record.field(f);
+        let a = def.align();
+        let extended_bytes = ((current_bytes + a - 1) & !(a - 1)) + def.size();
+        if extended_bytes.div_ceil(line_size).max(1) > current_lines {
             continue;
         }
         let weight = flg.gain_into(f, cluster);
@@ -112,13 +119,15 @@ fn find_best_match(
     best
 }
 
-/// Runs the greedy clustering (paper Fig. 6) over the FLG.
+/// Runs the greedy clustering (paper Fig. 6) over any FLG view — the
+/// dense [`Flg`] in production, [`crate::flg::reference::FlgRef`] when
+/// measuring the dense representation against the original hash map.
 ///
 /// # Panics
 ///
 /// Panics if the FLG's field count differs from the record's, or if
 /// `line_size` is not a power of two.
-pub fn cluster(flg: &Flg, record: &RecordType, line_size: u64) -> Clustering {
+pub fn cluster_with<V: FlgView>(flg: &V, record: &RecordType, line_size: u64) -> Clustering {
     assert_eq!(
         flg.field_count(),
         record.field_count(),
@@ -141,6 +150,16 @@ pub fn cluster(flg: &Flg, record: &RecordType, line_size: u64) -> Clustering {
         clusters.push(current);
     }
     Clustering::new(clusters)
+}
+
+/// Runs the greedy clustering (paper Fig. 6) over the FLG.
+///
+/// # Panics
+///
+/// Panics if the FLG's field count differs from the record's, or if
+/// `line_size` is not a power of two.
+pub fn cluster(flg: &Flg, record: &RecordType, line_size: u64) -> Clustering {
+    cluster_with(flg, record, line_size)
 }
 
 #[cfg(test)]
@@ -301,6 +320,27 @@ mod tests {
     #[should_panic(expected = "more than one cluster")]
     fn clustering_rejects_duplicates() {
         Clustering::new(vec![vec![FieldIdx(0)], vec![FieldIdx(0)]]);
+    }
+
+    #[test]
+    fn cluster_with_reference_flg_matches_dense() {
+        use crate::flg::reference::FlgRef;
+        let n = 17;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let w = if (i + j) % 3 == 0 { -2.0 } else { 1.5 };
+                edges.push((FieldIdx(i), FieldIdx(j), w));
+            }
+        }
+        let hotness: Vec<u64> = (0..n as u64).map(|i| i * 13 % 7).collect();
+        let dense = Flg::from_parts(RecordId(0), hotness.clone(), edges.clone());
+        let reference = FlgRef::from_parts(RecordId(0), hotness, edges);
+        let rec = record_u64(n);
+        assert_eq!(
+            cluster(&dense, &rec, 128),
+            cluster_with(&reference, &rec, 128)
+        );
     }
 
     #[test]

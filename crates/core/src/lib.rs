@@ -64,9 +64,9 @@ pub mod report;
 pub mod subgraph;
 pub mod transform;
 
-pub use cluster::{cluster, Clustering};
+pub use cluster::{cluster, cluster_with, Clustering};
 pub use dot::{to_dot, DotOptions};
-pub use flg::{Flg, FlgParams};
+pub use flg::{reference::FlgRef, Flg, FlgParams, FlgView};
 pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};
 pub use heuristics::{declaration_layout, random_layout, sort_by_hotness};
 pub use layoutgen::{layout_from_clusters, LayoutOptions};

@@ -17,6 +17,14 @@
 //! through the source correlation table), so the result is a
 //! [`ConcurrencyMap`] over source-line pairs, as in the paper's external
 //! scripts.
+//!
+//! **Data layout.** Source lines, CPUs and intervals are interned into
+//! dense ids once per run ([`LineInterner`]); the sample stream is then
+//! bucketed into a flat `[interval × cpu × line]` count tensor and `CC_I`
+//! is a min-sum over dense rows — no hashing in the inner loops. The
+//! original triple-nested-map formulation is retained as
+//! [`concurrency_map_naive`] for equivalence tests and the `perf_report`
+//! old-vs-new comparison; both produce identical maps.
 
 use crate::sampler::Sample;
 use slopt_ir::source::SourceLine;
@@ -38,34 +46,135 @@ impl Default for ConcurrencyConfig {
     }
 }
 
+/// Dense id of an interned [`SourceLine`] (see [`LineInterner`]).
+#[derive(Copy, Clone, Debug, Eq, PartialEq, Hash, Ord, PartialOrd)]
+pub struct LineId(pub u32);
+
+impl LineId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns the distinct source lines of one run into dense `u32` ids.
+///
+/// Ids are assigned in ascending line order, so **id order equals line
+/// order**: `id(a) < id(b) ⇔ a < b`. Downstream consumers
+/// ([`crate::cycleloss`]) exploit this to work entirely on ids and only
+/// resolve back to [`SourceLine`]s at the edges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LineInterner {
+    /// Interned lines in ascending order; the index is the id.
+    lines: Vec<SourceLine>,
+    ids: HashMap<SourceLine, u32>,
+}
+
+impl LineInterner {
+    /// Builds an interner over the distinct lines of an iterator.
+    pub fn from_lines(iter: impl IntoIterator<Item = SourceLine>) -> Self {
+        let mut lines: Vec<SourceLine> = iter.into_iter().collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let ids = lines
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, i as u32))
+            .collect();
+        LineInterner { lines, ids }
+    }
+
+    /// The id of `line`, if it was interned.
+    pub fn id(&self, line: SourceLine) -> Option<LineId> {
+        self.ids.get(&line).copied().map(LineId)
+    }
+
+    /// The line behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this interner.
+    pub fn line(&self, id: LineId) -> SourceLine {
+        self.lines[id.index()]
+    }
+
+    /// The interned lines in ascending order (index = id).
+    pub fn lines(&self) -> &[SourceLine] {
+        &self.lines
+    }
+
+    /// Number of interned lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
 /// Pairwise code-concurrency values over source lines.
-#[derive(Clone, Debug, Default)]
+///
+/// Internally keyed by interned [`LineId`] pairs; the [`LineInterner`] is
+/// carried along so consumers can stay in id space
+/// ([`ConcurrencyMap::interned_pairs`]) or resolve to lines
+/// ([`ConcurrencyMap::pairs`]).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConcurrencyMap {
-    /// Keys are normalized `(min_line, max_line)`.
-    map: HashMap<(SourceLine, SourceLine), u64>,
+    interner: LineInterner,
+    /// Keys are normalized `(min_id, max_id)` — equivalently
+    /// `(min_line, max_line)`, since id order equals line order.
+    map: HashMap<(u32, u32), u64>,
 }
 
 impl ConcurrencyMap {
-    fn key(a: SourceLine, b: SourceLine) -> (SourceLine, SourceLine) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
+    /// Computes the map from samples — the dense hot path; alias of
+    /// [`concurrency_map`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval` is zero.
+    pub fn from_samples(samples: &[Sample], cfg: &ConcurrencyConfig) -> Self {
+        concurrency_map(samples, cfg)
     }
 
     /// The concurrency value for a pair of lines (0 if never concurrent).
     pub fn get(&self, a: SourceLine, b: SourceLine) -> u64 {
-        self.map.get(&Self::key(a, b)).copied().unwrap_or(0)
+        let (Some(ia), Some(ib)) = (self.interner.id(a), self.interner.id(b)) else {
+            return 0;
+        };
+        let key = if ia <= ib { (ia.0, ib.0) } else { (ib.0, ia.0) };
+        self.map.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The interner mapping this run's source lines to dense ids.
+    pub fn interner(&self) -> &LineInterner {
+        &self.interner
+    }
+
+    /// All non-zero pairs as `(id_a, id_b, cc)` with `id_a <= id_b`,
+    /// sorted by descending concurrency (ties broken by ids — the same
+    /// order as [`ConcurrencyMap::pairs`], since id order equals line
+    /// order).
+    pub fn interned_pairs(&self) -> Vec<(LineId, LineId, u64)> {
+        let mut v: Vec<_> = self
+            .map
+            .iter()
+            .map(|(&(a, b), &cc)| (LineId(a), LineId(b), cc))
+            .collect();
+        v.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        v
     }
 
     /// All non-zero pairs as `(line_a, line_b, cc)` with `line_a <= line_b`,
     /// sorted by descending concurrency (ties broken by line ids for
     /// determinism).
     pub fn pairs(&self) -> Vec<(SourceLine, SourceLine, u64)> {
-        let mut v: Vec<_> = self.map.iter().map(|(&(a, b), &cc)| (a, b, cc)).collect();
-        v.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
-        v
+        self.interned_pairs()
+            .into_iter()
+            .map(|(a, b, cc)| (self.interner.line(a), self.interner.line(b), cc))
+            .collect()
     }
 
     /// The `k` most concurrent pairs.
@@ -86,16 +195,134 @@ impl ConcurrencyMap {
     }
 }
 
+/// Above this many distinct lines the per-interval min-sums accumulate
+/// into a hash map instead of a dense triangular array (which would need
+/// `lines²/2` words). Runs of the synthetic kernel have a few hundred
+/// distinct lines, well below the limit.
+const DENSE_ACCUMULATOR_LINE_LIMIT: usize = 2048;
+
 /// Computes the concurrency map from samples.
 ///
-/// Samples may be in any order. Complexity per interval is
-/// `O(cpu_pairs × lines_per_cpu²)`, which with the paper's parameters
-/// (~12 samples per CPU per interval) is small.
+/// Samples may be in any order. Lines, CPUs and intervals are interned
+/// into dense ids, counts are bucketed into a flat
+/// `[interval × cpu × line]` tensor, and the paper's
+/// `Σ_{Pm≠Pn} min(F_I(Pm,Bi), F_I(Pn,Bj))` is evaluated as a min-sum over
+/// the tensor's dense per-CPU rows. Complexity per interval is
+/// `O(cpu_pairs × lines_per_cpu²)` as before — with the paper's parameters
+/// (~12 samples per CPU per interval) small — but with index arithmetic
+/// instead of hashing throughout.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.interval` is zero.
 pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
+    assert!(cfg.interval > 0, "interval must be non-zero");
+
+    let interner = LineInterner::from_lines(samples.iter().map(|s| s.line));
+    let n_lines = interner.len();
+
+    // Intern intervals and CPUs the same way: sorted distinct values.
+    let mut intervals: Vec<u64> = samples.iter().map(|s| s.time / cfg.interval).collect();
+    intervals.sort_unstable();
+    intervals.dedup();
+    let mut cpus: Vec<u16> = samples.iter().map(|s| s.cpu.0).collect();
+    cpus.sort_unstable();
+    cpus.dedup();
+    let (n_intervals, n_cpus) = (intervals.len(), cpus.len());
+
+    // The flat [interval × cpu × line] count tensor.
+    let mut counts = vec![0u64; n_intervals * n_cpus * n_lines];
+    for s in samples {
+        let ti = intervals
+            .binary_search(&(s.time / cfg.interval))
+            .expect("interval interned");
+        let ci = cpus.binary_search(&s.cpu.0).expect("cpu interned");
+        let li = interner.id(s.line).expect("line interned").index();
+        counts[(ti * n_cpus + ci) * n_lines + li] += 1;
+    }
+
+    // Accumulate min-sums per normalized (id_a <= id_b) pair: dense
+    // triangular array when the line universe is small, hash map beyond.
+    let dense_acc = n_lines <= DENSE_ACCUMULATOR_LINE_LIMIT;
+    let mut tri = vec![
+        0u64;
+        if dense_acc {
+            n_lines * (n_lines + 1) / 2
+        } else {
+            0
+        }
+    ];
+    let mut sparse: HashMap<(u32, u32), u64> = HashMap::new();
+    // Triangular index of (i <= j) with diagonal: row i starts at
+    // i*n - i*(i-1)/2 = i*(2n+1-i)/2, offset j - i.
+    let tri_idx = |i: usize, j: usize| i * (2 * n_lines + 1 - i) / 2 + (j - i);
+
+    let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
+    for ti in 0..n_intervals {
+        let base = ti * n_cpus * n_lines;
+        let rows = &counts[base..base + n_cpus * n_lines];
+        for (ci, t) in touched.iter_mut().enumerate() {
+            t.clear();
+            let row = &rows[ci * n_lines..(ci + 1) * n_lines];
+            t.extend(
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(li, _)| li as u32),
+            );
+        }
+        for m in 0..n_cpus {
+            let row_m = &rows[m * n_lines..(m + 1) * n_lines];
+            for n in 0..n_cpus {
+                if m == n {
+                    continue;
+                }
+                let row_n = &rows[n * n_lines..(n + 1) * n_lines];
+                for &li in &touched[m] {
+                    let ci = row_m[li as usize];
+                    // Accumulate each ordered (line_i, line_j) pair once:
+                    // keep only li <= lj so the normalized key receives
+                    // exactly the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)).
+                    let from = touched[n].partition_point(|&lj| lj < li);
+                    for &lj in &touched[n][from..] {
+                        let add = ci.min(row_n[lj as usize]);
+                        if dense_acc {
+                            tri[tri_idx(li as usize, lj as usize)] += add;
+                        } else {
+                            *sparse.entry((li, lj)).or_insert(0) += add;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let map = if dense_acc {
+        let mut map = HashMap::new();
+        for i in 0..n_lines {
+            for j in i..n_lines {
+                let cc = tri[tri_idx(i, j)];
+                if cc > 0 {
+                    map.insert((i as u32, j as u32), cc);
+                }
+            }
+        }
+        map
+    } else {
+        sparse
+    };
+    ConcurrencyMap { interner, map }
+}
+
+/// The original triple-nested-map formulation, retained as the reference
+/// implementation: used by the equivalence property tests and by
+/// `perf_report` to measure the dense rewrite against, on identical
+/// inputs. Produces a map equal to [`concurrency_map`]'s.
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` is zero.
+pub fn concurrency_map_naive(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
     assert!(cfg.interval > 0, "interval must be non-zero");
 
     // interval index -> cpu -> line -> count
@@ -110,7 +337,8 @@ pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> Concurren
             .or_insert(0) += 1;
     }
 
-    let mut cm = ConcurrencyMap::default();
+    let interner = LineInterner::from_lines(samples.iter().map(|s| s.line));
+    let mut map: HashMap<(u32, u32), u64> = HashMap::new();
     for per_cpu in intervals.values() {
         let cpus: Vec<&u16> = {
             let mut v: Vec<&u16> = per_cpu.keys().collect();
@@ -130,15 +358,19 @@ pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> Concurren
                         // keep only li <= lj so the normalized key receives
                         // exactly the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)).
                         if li <= lj {
-                            *cm.map.entry((li, lj)).or_insert(0) += ci.min(cj);
+                            let key = (
+                                interner.id(li).expect("line interned").0,
+                                interner.id(lj).expect("line interned").0,
+                            );
+                            *map.entry(key).or_insert(0) += ci.min(cj);
                         }
                     }
                 }
             }
         }
     }
-    cm.map.retain(|_, v| *v > 0);
-    cm
+    map.retain(|_, v| *v > 0);
+    ConcurrencyMap { interner, map }
 }
 
 #[cfg(test)]
@@ -251,8 +483,48 @@ mod tests {
     }
 
     #[test]
+    fn dense_equals_naive_on_a_mixed_stream() {
+        // A hand-rolled stream crossing intervals, cpus and lines.
+        let mut samples = Vec::new();
+        for i in 0..200u64 {
+            samples.push(sample((i % 5) as u16, (i * 37) % 1000, (i % 7) as u32));
+        }
+        let cfg = ConcurrencyConfig { interval: 100 };
+        let dense = concurrency_map(&samples, &cfg);
+        let naive = concurrency_map_naive(&samples, &cfg);
+        assert_eq!(dense, naive);
+        assert_eq!(dense.pairs(), naive.pairs());
+    }
+
+    #[test]
+    fn interner_round_trips_and_orders() {
+        let samples = vec![sample(0, 1, 9), sample(1, 2, 3), sample(2, 3, 7)];
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+        let it = cm.interner();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.lines(), &[SourceLine(3), SourceLine(7), SourceLine(9)]);
+        for (i, &l) in it.lines().iter().enumerate() {
+            assert_eq!(it.id(l), Some(LineId(i as u32)));
+            assert_eq!(it.line(LineId(i as u32)), l);
+        }
+        assert_eq!(it.id(SourceLine(1000)), None);
+        // interned_pairs and pairs agree through the interner.
+        for ((ia, ib, icc), (la, lb, lcc)) in cm.interned_pairs().iter().zip(cm.pairs().iter()) {
+            assert_eq!(it.line(*ia), *la);
+            assert_eq!(it.line(*ib), *lb);
+            assert_eq!(icc, lcc);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "interval must be non-zero")]
     fn zero_interval_rejected() {
         concurrency_map(&[], &ConcurrencyConfig { interval: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn zero_interval_rejected_by_naive() {
+        concurrency_map_naive(&[], &ConcurrencyConfig { interval: 0 });
     }
 }

@@ -15,7 +15,7 @@
 //! *instances*; see [`CycleLossMap`] docs for the alias-analysis hook.
 
 use crate::concurrency::ConcurrencyMap;
-use slopt_ir::fmf::FieldMap;
+use slopt_ir::fmf::{FieldMap, Rw};
 use slopt_ir::types::{FieldIdx, RecordId};
 use std::collections::HashMap;
 
@@ -123,6 +123,11 @@ pub fn cycle_loss_filtered(
 /// unmitigated over-approximation; `0.0` excludes provably disjoint
 /// instance classes (e.g. two different CPUs' own per-CPU data);
 /// intermediate values express pool-aliasing probabilities.
+///
+/// The join runs in interned-id space: the FMF is resolved once per
+/// distinct line into a per-id field list (sorted by field index, so the
+/// accumulation order is deterministic), and the pair loop indexes that
+/// cache instead of re-querying line hash maps per pair.
 pub fn cycle_loss_weighted(
     cm: &ConcurrencyMap,
     fmf: &FieldMap,
@@ -134,23 +139,42 @@ pub fn cycle_loss_weighted(
         FieldIdx,
     ) -> f64,
 ) -> CycleLossMap {
+    let interner = cm.interner();
+    // Per interned line id: this record's fields at that line.
+    let fields_per_id: Vec<Vec<(FieldIdx, Rw)>> = interner
+        .lines()
+        .iter()
+        .map(|&l| {
+            let mut v: Vec<(FieldIdx, Rw)> = fmf
+                .fields_at(l)
+                .filter(|&((r, _), _)| r == record)
+                .map(|((_, f), rw)| (f, rw))
+                .collect();
+            v.sort_unstable_by_key(|&(f, _)| f.0);
+            v
+        })
+        .collect();
+
     let mut out = CycleLossMap {
         record,
         map: HashMap::new(),
     };
-    for (l1, l2, cc) in cm.pairs() {
-        for ((r1, f1), rw1) in fmf.fields_at(l1) {
-            if r1 != record {
-                continue;
-            }
-            for ((r2, f2), rw2) in fmf.fields_at(l2) {
-                if r2 != record || f1 == f2 {
+    for (ia, ib, cc) in cm.interned_pairs() {
+        let fa = &fields_per_id[ia.index()];
+        let fb = &fields_per_id[ib.index()];
+        if fa.is_empty() || fb.is_empty() {
+            continue;
+        }
+        let (l1, l2) = (interner.line(ia), interner.line(ib));
+        for &(f1, rw1) in fa {
+            for &(f2, rw2) in fb {
+                if f1 == f2 {
                     continue;
                 }
                 // Avoid double-counting the symmetric (f2, f1) visit when
                 // both fields live on the same line pair: only take f1 < f2
                 // for l1 == l2.
-                if l1 == l2 && f1 >= f2 {
+                if ia == ib && f1 >= f2 {
                     continue;
                 }
                 if !(rw1.has_write() || rw2.has_write()) {

@@ -25,6 +25,8 @@ pub mod concurrency;
 pub mod cycleloss;
 pub mod sampler;
 
-pub use concurrency::{concurrency_map, ConcurrencyConfig, ConcurrencyMap};
+pub use concurrency::{
+    concurrency_map, concurrency_map_naive, ConcurrencyConfig, ConcurrencyMap, LineId, LineInterner,
+};
 pub use cycleloss::{cycle_loss, cycle_loss_filtered, cycle_loss_weighted, CycleLossMap};
 pub use sampler::{ExactCounter, Sample, Sampler, SamplerConfig};

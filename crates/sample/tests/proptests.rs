@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::source::SourceLine;
-use slopt_sample::{concurrency_map, ConcurrencyConfig, Sample, Sampler, SamplerConfig};
+use slopt_sample::{
+    concurrency_map, concurrency_map_naive, ConcurrencyConfig, Sample, Sampler, SamplerConfig,
+};
 use slopt_sim::{CpuId, Observer};
 
 fn mk_sample(cpu: u16, time: u64, line: u32) -> Sample {
@@ -73,6 +75,52 @@ proptest! {
         let cm2 = concurrency_map(&bigger, &ConcurrencyConfig { interval: 500 });
         for (a, b, cc) in cm1.pairs() {
             prop_assert!(cm2.get(a, b) >= cc);
+        }
+    }
+
+    /// The dense interned-tensor estimator equals the naive nested-map
+    /// formula on arbitrary sample streams: same map, same interner, same
+    /// sorted pair list, same point lookups.
+    #[test]
+    fn dense_concurrency_matches_naive(
+        samples in prop::collection::vec((0u16..6, 0u64..20_000, 0u32..12), 0..250),
+        interval_pick in 0usize..4,
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let cfg = ConcurrencyConfig { interval: [1u64, 100, 1_000, 7_919][interval_pick] };
+        let dense = concurrency_map(&samples, &cfg);
+        let naive = concurrency_map_naive(&samples, &cfg);
+        prop_assert_eq!(&dense, &naive);
+        prop_assert_eq!(dense.pairs(), naive.pairs());
+        prop_assert_eq!(dense.interned_pairs(), naive.interned_pairs());
+        prop_assert_eq!(dense.interner(), naive.interner());
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                prop_assert_eq!(
+                    dense.get(SourceLine(a), SourceLine(b)),
+                    naive.get(SourceLine(a), SourceLine(b))
+                );
+            }
+        }
+    }
+
+    /// Interner ids are dense, sorted, and round-trip: id order equals
+    /// source-line order, the invariant `cycle_loss_weighted` relies on to
+    /// stay in id space.
+    #[test]
+    fn interner_ids_are_sorted_and_dense(
+        samples in prop::collection::vec((0u16..4, 0u64..5_000, 0u32..40), 0..150),
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 1_000 });
+        let it = cm.interner();
+        let lines = it.lines();
+        prop_assert!(lines.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        for (i, &l) in lines.iter().enumerate() {
+            prop_assert_eq!(it.id(l), Some(slopt_sample::LineId(i as u32)));
+            prop_assert_eq!(it.line(slopt_sample::LineId(i as u32)), l);
         }
     }
 

@@ -78,6 +78,153 @@ struct DirEntry {
     busy_until: u64,
 }
 
+/// Lines per dense directory page (and per [`LineSet`] page).
+const DIR_PAGE_LINES: usize = 1024;
+const DIR_PAGE_SHIFT: u32 = DIR_PAGE_LINES.trailing_zeros();
+
+/// Line numbers below this live in the dense paged array; anything above
+/// (synthetic tests probing far addresses) overflows into a hash map so a
+/// single outlier cannot force a huge page vector. 1 << 24 lines of 128
+/// bytes covers a 2 GiB simulated address space — far beyond what the
+/// arena allocator ([`crate::Arena`]) hands out.
+const DENSE_LINE_LIMIT: u64 = 1 << 24;
+
+/// The default directory storage: line number → entry via a paged dense
+/// array. The engine's address space is allocator-controlled (instances
+/// come from a bump [`crate::Arena`] starting near zero), so line numbers
+/// are small and dense — an index computation plus two loads replaces
+/// hashing on the hottest path of the simulator.
+///
+/// A default [`DirEntry`] (no owner, no sharers, nothing pending, never
+/// busy) behaves identically to an absent hash-map entry in every
+/// directory operation, so presence does not need to be tracked.
+#[derive(Debug, Default)]
+struct DenseDirectory {
+    pages: Vec<Option<Box<[DirEntry]>>>,
+    overflow: HashMap<u64, DirEntry>,
+}
+
+impl DenseDirectory {
+    #[inline]
+    fn probe_mut(&mut self, line: u64) -> Option<&mut DirEntry> {
+        if line < DENSE_LINE_LIMIT {
+            self.pages
+                .get_mut((line >> DIR_PAGE_SHIFT) as usize)?
+                .as_mut()
+                .map(|p| &mut p[(line as usize) & (DIR_PAGE_LINES - 1)])
+        } else {
+            self.overflow.get_mut(&line)
+        }
+    }
+
+    #[inline]
+    fn entry_mut(&mut self, line: u64) -> &mut DirEntry {
+        if line < DENSE_LINE_LIMIT {
+            let page_idx = (line >> DIR_PAGE_SHIFT) as usize;
+            if page_idx >= self.pages.len() {
+                self.pages.resize_with(page_idx + 1, || None);
+            }
+            let page = self.pages[page_idx].get_or_insert_with(|| {
+                vec![DirEntry::default(); DIR_PAGE_LINES].into_boxed_slice()
+            });
+            &mut page[(line as usize) & (DIR_PAGE_LINES - 1)]
+        } else {
+            self.overflow.entry(line).or_default()
+        }
+    }
+}
+
+/// Directory storage: the dense paged layout (default) or the original
+/// hash map, retained as the equivalence/performance reference
+/// ([`MemSystem::set_reference_directory`], `perf_report --reference`,
+/// and the property tests in `crates/sim/tests`).
+#[derive(Debug)]
+enum Directory {
+    Dense(DenseDirectory),
+    Reference(HashMap<u64, DirEntry>),
+}
+
+impl Directory {
+    /// The entry for `line` if it may carry state; `None` only when the
+    /// line provably has no directory state.
+    #[inline]
+    fn probe_mut(&mut self, line: u64) -> Option<&mut DirEntry> {
+        match self {
+            Directory::Dense(d) => d.probe_mut(line),
+            Directory::Reference(m) => m.get_mut(&line),
+        }
+    }
+
+    /// The entry for `line`, created (default) if missing.
+    #[inline]
+    fn entry_mut(&mut self, line: u64) -> &mut DirEntry {
+        match self {
+            Directory::Dense(d) => d.entry_mut(line),
+            Directory::Reference(m) => m.entry(line).or_default(),
+        }
+    }
+
+    /// Visits every line that may carry directory state (dense pages
+    /// include untouched default entries, which satisfy all invariants
+    /// vacuously).
+    fn for_each(&self, mut f: impl FnMut(u64, &DirEntry)) {
+        match self {
+            Directory::Dense(d) => {
+                for (pi, page) in d.pages.iter().enumerate() {
+                    if let Some(p) = page {
+                        for (i, entry) in p.iter().enumerate() {
+                            f(((pi << DIR_PAGE_SHIFT) + i) as u64, entry);
+                        }
+                    }
+                }
+                for (&line, entry) in &d.overflow {
+                    f(line, entry);
+                }
+            }
+            Directory::Reference(m) => {
+                for (&line, entry) in m {
+                    f(line, entry);
+                }
+            }
+        }
+    }
+}
+
+/// A paged per-CPU set of line numbers (the ever-cached set consulted on
+/// every miss for cold-vs-capacity classification): one bit per line for
+/// small line numbers, hash-set overflow for outliers.
+#[derive(Debug, Default)]
+struct LineSet {
+    words: Vec<u64>,
+    overflow: HashSet<u64>,
+}
+
+impl LineSet {
+    #[inline]
+    fn insert(&mut self, line: u64) {
+        if line < DENSE_LINE_LIMIT {
+            let idx = (line / 64) as usize;
+            if idx >= self.words.len() {
+                self.words.resize(idx + 1, 0);
+            }
+            self.words[idx] |= 1u64 << (line % 64);
+        } else {
+            self.overflow.insert(line);
+        }
+    }
+
+    #[inline]
+    fn contains(&self, line: u64) -> bool {
+        if line < DENSE_LINE_LIMIT {
+            self.words
+                .get((line / 64) as usize)
+                .is_some_and(|w| w & (1u64 << (line % 64)) != 0)
+        } else {
+            self.overflow.contains(&line)
+        }
+    }
+}
+
 fn cpu_bit(cpu: CpuId) -> u128 {
     1u128 << cpu.0
 }
@@ -98,8 +245,8 @@ pub struct MemSystem {
     lat: LatencyModel,
     cfg: CacheConfig,
     caches: Vec<Cache>,
-    dir: HashMap<u64, DirEntry>,
-    ever_cached: Vec<HashSet<u64>>,
+    dir: Directory,
+    ever_cached: Vec<LineSet>,
     stats: MemStats,
     serialize: bool,
     log_sharing: bool,
@@ -121,8 +268,8 @@ impl MemSystem {
             lat,
             cfg,
             caches: (0..n).map(|_| Cache::new(cfg)).collect(),
-            dir: HashMap::new(),
-            ever_cached: vec![HashSet::new(); n],
+            dir: Directory::Dense(DenseDirectory::default()),
+            ever_cached: (0..n).map(|_| LineSet::default()).collect(),
             stats: MemStats::new(),
             serialize: true,
             log_sharing: false,
@@ -134,6 +281,28 @@ impl MemSystem {
     /// Selects the coherence protocol (default [`Protocol::Mesi`]).
     pub fn set_protocol(&mut self, protocol: Protocol) {
         self.protocol = protocol;
+    }
+
+    /// Switches the directory to the retained hash-map reference
+    /// implementation (`true`) or back to the default dense paged layout
+    /// (`false`). Both are observationally identical; the reference exists
+    /// for equivalence tests and the `perf_report` old-vs-new comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any access has already been performed — the directory
+    /// kind must be chosen while the system is empty.
+    pub fn set_reference_directory(&mut self, on: bool) {
+        assert_eq!(
+            self.stats.accesses(),
+            0,
+            "directory kind must be chosen before the first access"
+        );
+        self.dir = if on {
+            Directory::Reference(HashMap::new())
+        } else {
+            Directory::Dense(DenseDirectory::default())
+        };
     }
 
     /// Enables recording of every sharing miss (bytes read vs bytes
@@ -235,7 +404,7 @@ impl MemSystem {
             Some(Mesi::Exclusive) => {
                 if write {
                     self.caches[cpu.index()].set_state(line, Mesi::Modified);
-                    let entry = self.dir.entry(line).or_default();
+                    let entry = self.dir.entry_mut(line);
                     entry.owner = Some(cpu.0);
                     self.note_write(cpu, line, mask);
                 }
@@ -255,7 +424,7 @@ impl MemSystem {
     /// Accumulates written bytes into the pending-invalidation records of
     /// CPUs waiting to re-fetch this line.
     fn note_write(&mut self, writer: CpuId, line: u64, mask: u128) {
-        if let Some(entry) = self.dir.get_mut(&line) {
+        if let Some(entry) = self.dir.probe_mut(line) {
             for (c, bm) in entry.pending_inval.iter_mut() {
                 if *c != writer.0 {
                     *bm |= mask;
@@ -267,7 +436,7 @@ impl MemSystem {
     /// Write hit on a Shared line: invalidate remote copies and take
     /// ownership.
     fn upgrade(&mut self, cpu: CpuId, line: u64, mask: u128, now: u64) -> (u64, AccessClass) {
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.entry_mut(line);
         let others = entry.sharers & !cpu_bit(cpu);
         let mut inval_lat = 0;
         let mut killed = 0;
@@ -280,11 +449,11 @@ impl MemSystem {
                 inval_lat = inval_lat.max(self.lat.transfer(d));
                 self.caches[v as usize].invalidate(line);
                 killed += 1;
-                let entry = self.dir.get_mut(&line).expect("entry exists");
+                let entry = self.dir.probe_mut(line).expect("entry exists");
                 entry.pending_inval.push((v, 0));
             }
         }
-        let entry = self.dir.get_mut(&line).expect("entry exists");
+        let entry = self.dir.probe_mut(line).expect("entry exists");
         entry.owner = Some(cpu.0);
         entry.sharers = cpu_bit(cpu);
         self.caches[cpu.index()].set_state(line, Mesi::Modified);
@@ -310,7 +479,7 @@ impl MemSystem {
         if !self.serialize {
             return service;
         }
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.entry_mut(line);
         let wait = entry.busy_until.saturating_sub(now);
         entry.busy_until = now + wait + service;
         wait + service
@@ -325,7 +494,7 @@ impl MemSystem {
         write: bool,
         now: u64,
     ) -> (u64, AccessClass) {
-        let entry = self.dir.entry(line).or_default();
+        let entry = self.dir.entry_mut(line);
 
         // Classify before mutating sharer state.
         let mut sharing_event: Option<SharingMissEvent> = None;
@@ -346,7 +515,7 @@ impl MemSystem {
             } else {
                 AccessClass::TrueSharingMiss
             }
-        } else if self.ever_cached[cpu.index()].contains(&line) {
+        } else if self.ever_cached[cpu.index()].contains(line) {
             AccessClass::CapacityMiss
         } else {
             AccessClass::ColdMiss
@@ -384,7 +553,7 @@ impl MemSystem {
                 }
                 self.stats.invalidations += 1;
             }
-            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let entry = self.dir.probe_mut(line).expect("entry exists");
             for v in victims {
                 entry.pending_inval.push((v, 0));
             }
@@ -408,7 +577,7 @@ impl MemSystem {
                 self.caches[o as usize].set_state(line, Mesi::Shared);
             }
             let protocol = self.protocol;
-            let entry = self.dir.get_mut(&line).expect("entry exists");
+            let entry = self.dir.probe_mut(line).expect("entry exists");
             entry.owner = None;
             let new_state = if entry.sharers == 0 && protocol == Protocol::Mesi {
                 Mesi::Exclusive
@@ -441,7 +610,7 @@ impl MemSystem {
             if vstate == Mesi::Modified {
                 self.stats.writebacks += 1;
             }
-            if let Some(entry) = self.dir.get_mut(&victim) {
+            if let Some(entry) = self.dir.probe_mut(victim) {
                 entry.sharers &= !cpu_bit(cpu);
                 if entry.owner == Some(cpu.0) {
                     entry.owner = None;
@@ -457,7 +626,7 @@ impl MemSystem {
     ///
     /// Panics if an invariant is violated.
     pub fn check_invariants(&self) {
-        for (&line, entry) in &self.dir {
+        self.dir.for_each(|line, entry| {
             if let Some(o) = entry.owner {
                 assert_eq!(
                     entry.sharers,
@@ -490,7 +659,7 @@ impl MemSystem {
                     assert!(!has, "line {line:#x}: cpu {c} pending-inval yet resident");
                 }
             }
-        }
+        });
     }
 }
 
@@ -648,7 +817,7 @@ mod tests {
         m.access(CpuId(0), 0, 8, true, REC, 0);
         let mut expensive = 0;
         for i in 0..10 {
-            let cpu = CpuId(((i % 2) as u16));
+            let cpu = CpuId((i % 2) as u16);
             let l = m.access(CpuId(1 - cpu.0), 0, 8, true, REC, 0);
             if l >= lat.same_chip {
                 expensive += 1;

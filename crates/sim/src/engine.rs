@@ -21,7 +21,7 @@ use slopt_ir::cfg::{BlockId, FuncId, Instr, Program, Terminator};
 use slopt_ir::profile::Profile;
 use slopt_ir::source::SourceLine;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
 
@@ -140,7 +140,9 @@ struct FrameState {
     func: FuncId,
     block: BlockId,
     instr_idx: usize,
-    loop_counters: HashMap<BlockId, u32>,
+    /// Loop trip counters indexed by block id, grown lazily on the first
+    /// `Loop` terminator — loop-free frames never allocate.
+    loop_counters: Vec<u32>,
 }
 
 struct CpuState {
@@ -168,16 +170,19 @@ impl CpuState {
                 self.done = true;
                 return false;
             }
-            let script = &self.scripts[self.script_idx];
+            let script = &mut self.scripts[self.script_idx];
             if self.inv_idx < script.invocations.len() {
-                let inv = &script.invocations[self.inv_idx];
+                let inv = &mut script.invocations[self.inv_idx];
                 self.inv_idx += 1;
-                self.bindings = inv.bindings.clone();
+                // The workload is owned by the run and every invocation is
+                // executed exactly once, so the bindings can be moved out
+                // instead of cloned — no per-invocation allocation.
+                self.bindings = std::mem::take(&mut inv.bindings);
                 self.frames.push(FrameState {
                     func: inv.func,
                     block: BlockId(0), // placeholder, set by caller
                     instr_idx: 0,
-                    loop_counters: HashMap::new(),
+                    loop_counters: Vec::new(),
                 });
                 return true;
             }
@@ -305,7 +310,7 @@ pub fn run(
                 func: callee,
                 block: program.function(callee).entry(),
                 instr_idx: 0,
-                loop_counters: HashMap::new(),
+                loop_counters: Vec::new(),
             });
             heap.push(Reverse((state.time, idx)));
             continue;
@@ -328,7 +333,11 @@ pub fn run(
                     }
                 }
                 Terminator::Loop { back, exit, trip } => {
-                    let c = frame.loop_counters.entry(block_id).or_insert(0);
+                    let idx = block_id.index();
+                    if frame.loop_counters.len() <= idx {
+                        frame.loop_counters.resize(idx + 1, 0);
+                    }
+                    let c = &mut frame.loop_counters[idx];
                     *c += 1;
                     if *c < trip {
                         Some(back)

@@ -107,6 +107,63 @@ proptest! {
         mem.check_invariants();
     }
 
+    /// The paged dense directory is observationally equivalent to the
+    /// reference `HashMap` directory: identical per-access latencies and
+    /// identical statistics on arbitrary traffic, across machine shapes,
+    /// protocols and address ranges (including addresses past the dense
+    /// page limit, which exercise the overflow map).
+    #[test]
+    fn dense_directory_matches_reference(
+        ops in prop::collection::vec(
+            // flags bit 0: write, bit 1: far (overflow-path address).
+            (0u16..8, 0u64..24, 0u64..120, 1u64..8, 0u8..4),
+            1..300
+        ),
+        superdome in any::<bool>(),
+        msi in any::<bool>(),
+    ) {
+        let mk = |reference: bool| {
+            let topo = if superdome { Topology::superdome(8) } else { Topology::bus(8) };
+            let lat = if superdome { LatencyModel::superdome() } else { LatencyModel::bus() };
+            let mut mem = MemSystem::new(topo, lat, CacheConfig { line_size: 128, sets: 4, ways: 2 });
+            if msi {
+                mem.set_protocol(slopt_sim::Protocol::Msi);
+            }
+            mem.set_reference_directory(reference);
+            mem
+        };
+        let mut dense = mk(false);
+        let mut reference = mk(true);
+        let mut now = 0u64;
+        for &(cpu, line, off, size, flags) in &ops {
+            let (write, far) = (flags & 1 != 0, flags & 2 != 0);
+            // `far` pushes the line past the dense limit (1 << 24 lines)
+            // into the overflow path.
+            let base = if far { (1u64 << 24) * 128 } else { 0 };
+            let addr = base + line * 128 + off.min(120);
+            let ld = dense.access(CpuId(cpu), addr, size, write, None, now);
+            let lr = reference.access(CpuId(cpu), addr, size, write, None, now);
+            prop_assert_eq!(ld, lr, "latency diverged at t={}", now);
+            now += ld;
+        }
+        dense.check_invariants();
+        reference.check_invariants();
+        let (ds, rs) = (dense.stats(), reference.stats());
+        prop_assert_eq!(ds.accesses(), rs.accesses());
+        prop_assert_eq!(ds.invalidations, rs.invalidations);
+        prop_assert_eq!(ds.writebacks, rs.writebacks);
+        for class in [
+            AccessClass::Hit,
+            AccessClass::UpgradeHit,
+            AccessClass::ColdMiss,
+            AccessClass::CapacityMiss,
+            AccessClass::TrueSharingMiss,
+            AccessClass::FalseSharingMiss,
+        ] {
+            prop_assert_eq!(ds.class(class), rs.class(class));
+        }
+    }
+
     /// Disjoint per-CPU address spaces never interact: all misses are cold
     /// or capacity.
     #[test]

@@ -54,7 +54,7 @@ fn branch_probability_extremes_are_deterministic() {
         fb.branch(b0, taken, not_taken, prob);
         let id = pb.add(fb, b0);
         let prog = pb.finish();
-        let p = profile_invocations(&prog, &vec![id; 50], 9, 10_000).unwrap();
+        let p = profile_invocations(&prog, &[id; 50], 9, 10_000).unwrap();
         if expect_taken {
             assert_eq!(p.count(id, taken), 50);
             assert_eq!(p.count(id, not_taken), 0);
