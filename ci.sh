@@ -22,7 +22,17 @@ cargo test --offline -q
 echo "== cargo bench --no-run (compile-check benches) =="
 cargo bench --no-run --offline
 
-echo "== perf_report --quick (refresh BENCH_sim.json) =="
+echo "== trace lint (fig9 --trace-out round-trip) =="
+TRACE_TMP="$(mktemp /tmp/slopt_trace.XXXXXX.jsonl)"
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 --trace-out "$TRACE_TMP" > /dev/null
+cargo run --release --offline -p slopt-obs --bin trace_lint -- "$TRACE_TMP"
+rm -f "$TRACE_TMP"
+
+echo "== perf_report --quick (refresh BENCH_sim.json) + perf_guard =="
+BASELINE_TMP="$(mktemp /tmp/slopt_bench_baseline.XXXXXX.json)"
+cp BENCH_sim.json "$BASELINE_TMP"
 cargo run --release --offline -p slopt-bench --bin perf_report -- --quick
+cargo run --release --offline -p slopt-bench --bin perf_guard -- BENCH_sim.json --baseline "$BASELINE_TMP"
+rm -f "$BASELINE_TMP"
 
 echo "ci.sh: all green"

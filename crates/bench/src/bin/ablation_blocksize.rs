@@ -9,12 +9,12 @@
 //! We measure baseline / tool / sort-by-hotness layouts for struct A at
 //! both block sizes on the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
-use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
 use slopt_sim::CacheConfig;
 use slopt_workload::{
-    baseline_layouts, compute_paper_layouts_jobs, layouts_with, LayoutKind, Machine, SdetConfig,
+    baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
 };
 
 const KINDS: [LayoutKind; 2] = [LayoutKind::Tool, LayoutKind::SortByHotness];
@@ -22,6 +22,7 @@ const KINDS: [LayoutKind; 2] = [LayoutKind::Tool, LayoutKind::SortByHotness];
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
     let machine = Machine::superdome(128);
     let block_sizes = [64u64, 128u64];
 
@@ -39,7 +40,7 @@ fn main() {
             },
             ..setup.sdet.clone()
         };
-        let layouts = compute_paper_layouts_jobs(
+        let layouts = compute_paper_layouts_jobs_obs(
             &setup.kernel,
             &sdet,
             &setup.analysis,
@@ -49,6 +50,7 @@ fn main() {
                 tool
             },
             setup.jobs,
+            &obs,
         );
         let a = setup.kernel.records.a;
         cells.push(Cell {
@@ -67,7 +69,7 @@ fn main() {
         }
     }
 
-    let measured = measure_cells(&setup.kernel, &cells, setup.runs, setup.jobs);
+    let measured = measure_cells_obs(&setup.kernel, &cells, setup.runs, setup.jobs, &obs);
 
     println!("=== ablation: coherence block size, struct A (128-way) ===");
     println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");
@@ -78,4 +80,6 @@ fn main() {
         let row: Vec<f64> = group[1..].iter().map(|t| t.pct_vs(baseline)).collect();
         println!("{line_size:>7}B {:>11.2}% {:>17.2}%", row[0], row[1]);
     }
+
+    args.finish(&obs);
 }

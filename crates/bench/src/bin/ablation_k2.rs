@@ -10,15 +10,16 @@
 //! accessed with, and throughput collapses (the sort-by-hotness failure
 //! mode). Beyond a modest `k2` the layout stabilizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
-use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
 use slopt_core::{suggest_layout, FlgParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine, STAT_CLASSES};
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let a = kernel.records.a;
@@ -56,7 +57,7 @@ fn main() {
         });
     }
 
-    let measured = measure_cells(kernel, &cells, setup.runs, setup.jobs);
+    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
     let baseline = &measured[0];
 
     println!("=== ablation: k2 sweep on struct A (128-way) ===");
@@ -72,4 +73,6 @@ fn main() {
             t.pct_vs(baseline)
         );
     }
+
+    args.finish(&obs);
 }

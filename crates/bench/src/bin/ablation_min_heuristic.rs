@@ -10,9 +10,9 @@
 //! We compare the two modes' automatic layouts for every struct on the
 //! 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
-use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
 use slopt_core::suggest_layout;
 use slopt_ir::affinity::{AffinityGraph, AffinityMode};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine};
@@ -22,6 +22,7 @@ const MODES: [AffinityMode; 2] = [AffinityMode::Minimum, AffinityMode::GroupFreq
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let machine = Machine::superdome(128);
@@ -50,7 +51,7 @@ fn main() {
         }
     }
 
-    let measured = measure_cells(kernel, &cells, setup.runs, setup.jobs);
+    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
     let baseline = &measured[0];
 
     println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");
@@ -66,4 +67,6 @@ fn main() {
             group[1].pct_vs(baseline)
         );
     }
+
+    args.finish(&obs);
 }

@@ -9,24 +9,26 @@
 //! paper's subject — is protocol-independent: the sort-by-hotness
 //! catastrophe on struct A is reproduced under both.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
-use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
 use slopt_sim::Protocol;
 use slopt_workload::{
-    baseline_layouts, compute_paper_layouts_jobs, layouts_with, LayoutKind, Machine, SdetConfig,
+    baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
 };
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
     let machine = Machine::superdome(128);
-    let layouts = compute_paper_layouts_jobs(
+    let layouts = compute_paper_layouts_jobs_obs(
         &setup.kernel,
         &setup.sdet,
         &setup.analysis,
         setup.tool,
         setup.jobs,
+        &obs,
     );
     let a = setup.kernel.records.a;
     let protocols = [Protocol::Mesi, Protocol::Msi];
@@ -57,7 +59,7 @@ fn main() {
         });
     }
 
-    let measured = measure_cells(&setup.kernel, &cells, setup.runs, setup.jobs);
+    let measured = measure_cells_obs(&setup.kernel, &cells, setup.runs, setup.jobs, &obs);
 
     println!("=== ablation: MESI vs MSI (128-way) ===");
     println!(
@@ -74,4 +76,6 @@ fn main() {
             hot.pct_vs(baseline)
         );
     }
+
+    args.finish(&obs);
 }

@@ -6,15 +6,16 @@
 //! measured throughput of both variants' automatic layouts per struct on
 //! the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
-use slopt_bench::{figure_setup, measure_cells, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
 use slopt_core::{clustering_score, RefineParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, suggest_for, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let machine = Machine::superdome(128);
@@ -49,7 +50,7 @@ fn main() {
         }
     }
 
-    let measured = measure_cells(kernel, &cells, setup.runs, setup.jobs);
+    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
     let baseline = &measured[0];
 
     println!("=== ablation: greedy vs refined clustering (128-way) ===");
@@ -67,4 +68,6 @@ fn main() {
             t_r.pct_vs(baseline)
         );
     }
+
+    args.finish(&obs);
 }

@@ -7,29 +7,33 @@
 //! contended counters, and (b) the top-20 concurrency-pair overlap with
 //! exact (unsampled) ground truth.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
 use slopt_bench::RunnerArgs;
 use slopt_core::suggest_layout;
 use slopt_sample::{concurrency_map, ConcurrencyConfig, ExactCounter, SamplerConfig};
-use slopt_workload::{analyze, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
+use slopt_workload::{analyze_obs, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let obs = args.obs();
     let setup = slopt_bench::default_figure_setup(args.scale);
     let kernel = &setup.kernel;
     let layouts = baseline_layouts(kernel, setup.sdet.line_size);
 
     // Ground truth: exact per-block counts on the measurement machine.
     let mut exact = ExactCounter::new();
-    run_once(
-        kernel,
-        &layouts,
-        &setup.analysis.machine,
-        &setup.sdet,
-        setup.analysis.seed,
-        &mut exact,
-    );
+    {
+        let _span = obs.span("exact_run");
+        run_once(
+            kernel,
+            &layouts,
+            &setup.analysis.machine,
+            &setup.sdet,
+            setup.analysis.seed,
+            &mut exact,
+        );
+    }
     let exact_cc = concurrency_map(
         exact.samples(),
         &ConcurrencyConfig {
@@ -67,7 +71,7 @@ fn main() {
             interval,
             ..setup.analysis.clone()
         };
-        let analysis = analyze(kernel, &setup.sdet, &cfg);
+        let analysis = analyze_obs(kernel, &setup.sdet, &cfg, &obs);
         let a = kernel.records.a;
         let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
         let loss = slopt_workload::loss_for(kernel, &analysis, a);
@@ -107,4 +111,6 @@ fn main() {
             overlap * 100.0
         );
     }
+
+    args.finish(&obs);
 }

@@ -7,24 +7,26 @@
 //! and slightly beats automatic on B; C and D stay best with the
 //! automatic layout. Best-case improvement ≈ 3.2%.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
 use slopt_bench::{figure_setup, RunnerArgs};
 use slopt_workload::{
-    best_rows, compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine,
+    best_rows, compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine,
 };
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
 
     eprintln!("[fig10] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts_jobs(
+    let layouts = compute_paper_layouts_jobs_obs(
         &setup.kernel,
         &setup.sdet,
         &setup.analysis,
         setup.tool,
         setup.jobs,
+        &obs,
     );
 
     eprintln!(
@@ -32,7 +34,7 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let fig = figure_rows_jobs(
+    let fig = figure_rows_jobs_obs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -41,6 +43,7 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::Constrained],
         "Figure 10: best layout per struct (automatic vs constrained)",
         setup.jobs,
+        &obs,
     );
     println!("{fig}");
 
@@ -48,4 +51,6 @@ fn main() {
     for (letter, kind, pct) in best_rows(&fig) {
         println!("  {letter}: {kind} ({pct:+.2}%)");
     }
+
+    args.finish(&obs);
 }

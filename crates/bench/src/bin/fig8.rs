@@ -7,22 +7,24 @@
 //! comparable on B–E but degrades struct A by **more than 2×** because it
 //! packs the false-sharing counters together.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
 use slopt_bench::{figure_setup, RunnerArgs};
-use slopt_workload::{compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine};
+use slopt_workload::{compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
 
     eprintln!("[fig8] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts_jobs(
+    let layouts = compute_paper_layouts_jobs_obs(
         &setup.kernel,
         &setup.sdet,
         &setup.analysis,
         setup.tool,
         setup.jobs,
+        &obs,
     );
 
     eprintln!(
@@ -30,7 +32,7 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let fig = figure_rows_jobs(
+    let fig = figure_rows_jobs_obs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -39,6 +41,7 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 8: automatic layout vs sort-by-hotness (128-way Superdome)",
         setup.jobs,
+        &obs,
     );
     println!("{fig}");
 
@@ -50,4 +53,6 @@ fn main() {
         "struct A: tool {tool_a:+.2}% vs sort-by-hotness {hot_a:+.2}% \
          (paper: ~-5% vs worse than -50%)"
     );
+
+    args.finish(&obs);
 }

@@ -5,22 +5,24 @@
 //! layout — separating the few false-sharing fields costs nothing when
 //! false sharing is cheap, and the locality improvements still help.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
 
 use slopt_bench::{figure_setup, RunnerArgs};
-use slopt_workload::{compute_paper_layouts_jobs, figure_rows_jobs, LayoutKind, Machine};
+use slopt_workload::{compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
     let setup = figure_setup(&args);
+    let obs = args.obs();
 
     eprintln!("[fig9] measurement run (16-way) + layout derivation...");
-    let layouts = compute_paper_layouts_jobs(
+    let layouts = compute_paper_layouts_jobs_obs(
         &setup.kernel,
         &setup.sdet,
         &setup.analysis,
         setup.tool,
         setup.jobs,
+        &obs,
     );
 
     eprintln!(
@@ -28,7 +30,7 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::bus(4);
-    let fig = figure_rows_jobs(
+    let fig = figure_rows_jobs_obs(
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -37,6 +39,9 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 9: the Figure-8 layouts on a 4-way bus machine",
         setup.jobs,
+        &obs,
     );
     println!("{fig}");
+
+    args.finish(&obs);
 }

@@ -1,0 +1,113 @@
+//! `perf_guard` — the CI regression gate over `perf_report` output.
+//!
+//! Compares the `dense_serial_total_s` of each bench in a freshly
+//! generated report against a committed baseline report and exits
+//! nonzero if any bench regressed beyond the tolerance. Used by `ci.sh`
+//! to assert that instrumentation (and anything else) did not slow the
+//! hot paths down.
+//!
+//! The check is one-sided — faster is always fine — and allows
+//! `baseline * (1 + tolerance) + floor` seconds, where the absolute
+//! `floor` absorbs scheduler noise on the sub-100 ms `--quick` numbers.
+//! Reads both `slopt-perf-report/1` and `/2` reports (the `/2` additions
+//! are ignored here).
+//!
+//! Usage:
+//! `perf_guard <fresh.json> --baseline <old.json> [--tolerance 0.10]
+//!  [--floor-s 0.05]`
+
+use slopt_obs::json::{parse, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].as_str())
+}
+
+/// `bench name -> dense_serial_total_s` from one perf report.
+fn bench_totals(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}: missing schema field"))?;
+    if !schema.starts_with("slopt-perf-report/") {
+        return Err(format!("{path}: unexpected schema `{schema}`"));
+    }
+    let benches = doc
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing benches array"))?;
+    let mut totals = BTreeMap::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: bench without name"))?;
+        let total = b
+            .get("dense_serial_total_s")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}: bench {name} without dense_serial_total_s"))?;
+        totals.insert(name.to_string(), total);
+    }
+    Ok(totals)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fresh_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .filter(|a| flag_value(&args, "--baseline") != Some(a.as_str()))
+        .ok_or("usage: perf_guard <fresh.json> --baseline <old.json>")?
+        .clone();
+    let baseline_path = flag_value(&args, "--baseline")
+        .ok_or("usage: perf_guard <fresh.json> --baseline <old.json>")?
+        .to_string();
+    let tolerance: f64 = match flag_value(&args, "--tolerance") {
+        Some(v) => v.parse().map_err(|_| format!("bad --tolerance `{v}`"))?,
+        None => 0.10,
+    };
+    let floor_s: f64 = match flag_value(&args, "--floor-s") {
+        Some(v) => v.parse().map_err(|_| format!("bad --floor-s `{v}`"))?,
+        None => 0.05,
+    };
+
+    let fresh = bench_totals(&fresh_path)?;
+    let baseline = bench_totals(&baseline_path)?;
+    let mut failed = false;
+    for (name, &base) in &baseline {
+        let Some(&now) = fresh.get(name) else {
+            eprintln!("[perf_guard] {name}: missing from {fresh_path}");
+            failed = true;
+            continue;
+        };
+        let allowed = base * (1.0 + tolerance) + floor_s;
+        let verdict = if now <= allowed { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "[perf_guard] {name:<12} baseline {base:.4}s now {now:.4}s \
+             (allowed <= {allowed:.4}s) {verdict}"
+        );
+        if now > allowed {
+            failed = true;
+        }
+    }
+    if failed {
+        return Err("performance regression detected".into());
+    }
+    eprintln!("[perf_guard] all benches within tolerance");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perf_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -23,6 +23,12 @@
 //! Flags: `--quick` (smaller workloads, used by ci.sh), `--jobs N`,
 //! `--out PATH` (default `BENCH_sim.json`), `--no-reference` (skip the
 //! old implementations: faster, but no speedup column).
+//!
+//! Schema: `slopt-perf-report/2`. Version 2 adds a `peak_rss_kb` field
+//! per bench — the process's high-water resident set (Linux `VmHWM`,
+//! absent elsewhere) sampled right after the bench finishes. All /1
+//! fields are unchanged, so /1 consumers can read /2 reports by ignoring
+//! the new field.
 
 use slopt_bench::runner::parse_jobs;
 use slopt_core::{cluster, cluster_with, Flg, FlgRef};
@@ -77,6 +83,32 @@ struct BenchResult {
     /// (engine bench only; `None` elsewhere).
     dense_jobs_s: Option<f64>,
     jobs: usize,
+    /// Peak resident set size (Linux `VmHWM`, kB) sampled right after the
+    /// bench; `None` on platforms without `/proc/self/status`. VmHWM is a
+    /// process-lifetime high-water mark, so per-bench values are
+    /// monotonically non-decreasing in run order.
+    peak_rss_kb: Option<u64>,
+}
+
+/// The process's peak resident set size in kilobytes, from the `VmHWM`
+/// line of `/proc/self/status`; `None` on non-Linux platforms.
+fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status.lines().find_map(|line| {
+            line.strip_prefix("VmHWM:")?
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .ok()
+        })
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 impl BenchResult {
@@ -198,6 +230,7 @@ fn bench_engine(args: &Args) -> BenchResult {
         reference_s,
         dense_jobs_s: Some(jobs_total),
         jobs: args.jobs,
+        peak_rss_kb: peak_rss_kb(),
     }
 }
 
@@ -254,6 +287,7 @@ fn bench_cc(args: &Args) -> BenchResult {
         reference_s,
         dense_jobs_s: None,
         jobs: args.jobs,
+        peak_rss_kb: peak_rss_kb(),
     }
 }
 
@@ -319,6 +353,7 @@ fn bench_flg_cluster(args: &Args) -> BenchResult {
         reference_s,
         dense_jobs_s: None,
         jobs: args.jobs,
+        peak_rss_kb: peak_rss_kb(),
     }
 }
 
@@ -353,6 +388,9 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
                 r.speedup().expect("reference measured")
             ));
         }
+        if let Some(kb) = r.peak_rss_kb {
+            fields.push(format!("      \"peak_rss_kb\": {kb}"));
+        }
         if let Some(jp) = r.dense_jobs_s {
             fields.push(format!("      \"jobs\": {}", r.jobs));
             fields.push(format!("      \"dense_jobs_total_s\": {jp:.6}"));
@@ -364,7 +402,7 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
         benches.push(format!("    {{\n{}\n    }}", fields.join(",\n")));
     }
     let doc = format!(
-        "{{\n  \"schema\": \"slopt-perf-report/1\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"slopt-perf-report/2\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
         args.quick,
         args.jobs,
         args.reference,

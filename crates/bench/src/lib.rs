@@ -24,4 +24,4 @@ pub mod harness;
 pub mod runner;
 
 pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
-pub use runner::{measure_cells, parse_jobs, Cell, RunnerArgs};
+pub use runner::{measure_cells, measure_cells_obs, parse_jobs, parse_trace_out, Cell, RunnerArgs};

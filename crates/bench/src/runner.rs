@@ -30,6 +30,11 @@ pub struct RunnerArgs {
     /// Host threads to fan work across (`--jobs N`, default: available
     /// parallelism).
     pub jobs: usize,
+    /// Machine-readable run trace destination (`--trace-out <path>`,
+    /// `slopt-trace/1` JSONL).
+    pub trace_out: Option<String>,
+    /// Print the human counter/span summary table at exit (`--stats`).
+    pub stats: bool,
 }
 
 impl RunnerArgs {
@@ -39,13 +44,52 @@ impl RunnerArgs {
         RunnerArgs::from_args(&args)
     }
 
-    /// Parses `--scale N` and `--jobs N` from an argument list.
+    /// Parses `--scale N`, `--jobs N`, `--trace-out <path>` and `--stats`
+    /// from an argument list.
     pub fn from_args(args: &[String]) -> RunnerArgs {
         RunnerArgs {
             scale: parse_scale(args),
             jobs: parse_jobs(args),
+            trace_out: parse_trace_out(args),
+            stats: args.iter().any(|a| a == "--stats"),
         }
     }
+
+    /// Builds the observability handle the flags ask for: a trace-file
+    /// sink for `--trace-out`, aggregate-only for plain `--stats`, the
+    /// zero-cost disabled handle otherwise.
+    ///
+    /// Exits with an error message if the trace file cannot be created.
+    pub fn obs(&self) -> slopt_obs::Obs {
+        match slopt_obs::obs_from_flags(self.trace_out.as_deref(), self.stats) {
+            Ok(obs) => obs,
+            Err(e) => {
+                let path = self.trace_out.as_deref().unwrap_or("<none>");
+                eprintln!("error: cannot open trace output {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Flushes the trace sink and, under `--stats`, prints the aggregate
+    /// summary table. Call once at the end of `main`.
+    pub fn finish(&self, obs: &slopt_obs::Obs) {
+        obs.finish();
+        if self.stats && obs.enabled() {
+            println!("=== run stats ===");
+            print!("{}", obs.summary());
+        }
+        if let Some(path) = &self.trace_out {
+            eprintln!("[runner] trace written to {path}");
+        }
+    }
+}
+
+/// Parses the optional `--trace-out <path>` argument.
+pub fn parse_trace_out(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == "--trace-out")
+        .map(|w| w[1].clone())
 }
 
 /// Parses the optional `--jobs N` argument; defaults to the host's
@@ -92,6 +136,26 @@ pub fn measure_cells(
     runs: usize,
     jobs: usize,
 ) -> Vec<Throughput> {
+    measure_cells_obs(kernel, cells, runs, jobs, &slopt_obs::Obs::disabled())
+}
+
+/// [`measure_cells`] with instrumentation: the whole grid runs under a
+/// `measure_grid` span, every `(cell, seed)` simulation under its own
+/// `measure_cell` span (workers get distinct trace thread ids), and the
+/// grid shape plus per-worker utilization — each worker's `measure_cell`
+/// wall time divided by the grid's — are flushed as `runner.*` counters
+/// and gauges.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure_cells_obs(
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> Vec<Throughput> {
     assert!(runs > 0, "need at least one measured run");
     let seeds = measurement_seeds(runs);
     eprintln!(
@@ -103,19 +167,38 @@ pub fn measure_cells(
     let grid: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|c| seeds.iter().map(move |&seed| (c, seed)))
         .collect();
-    let values = slopt_core::par_map(jobs, &grid, |_, &(c, seed)| {
-        let cell = &cells[c];
-        run_once(
-            kernel,
-            &cell.table,
-            &cell.machine,
-            &cell.sdet,
-            seed,
-            &mut slopt_sim::NullObserver,
-        )
-        .result
-        .throughput()
-    });
+    let t0 = std::time::Instant::now();
+    let values = {
+        let _span = obs.span("measure_grid");
+        slopt_core::par_map(jobs, &grid, |_, &(c, seed)| {
+            let _cell = obs.span("measure_cell");
+            let cell = &cells[c];
+            run_once(
+                kernel,
+                &cell.table,
+                &cell.machine,
+                &cell.sdet,
+                seed,
+                &mut slopt_sim::NullObserver,
+            )
+            .result
+            .throughput()
+        })
+    };
+    if obs.enabled() {
+        obs.counter("runner.cells", cells.len() as u64);
+        obs.counter("runner.runs_per_cell", seeds.len() as u64);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        if wall_ns > 0 {
+            let summary = obs.summary();
+            for row in summary.span_rows("measure_cell") {
+                obs.gauge(
+                    &format!("runner.worker{}.utilization", row.tid),
+                    row.total_ns as f64 / wall_ns as f64,
+                );
+            }
+        }
+    }
     values
         .chunks_exact(seeds.len())
         .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()))
@@ -155,6 +238,43 @@ mod tests {
             .collect();
         let ra = RunnerArgs::from_args(&both);
         assert_eq!((ra.scale, ra.jobs), (2, 5));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let args: Vec<String> = ["--trace-out", "/tmp/t.jsonl", "--stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ra = RunnerArgs::from_args(&args);
+        assert_eq!(ra.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(ra.stats);
+        let none = RunnerArgs::from_args(&[]);
+        assert!(none.trace_out.is_none());
+        assert!(!none.stats);
+    }
+
+    #[test]
+    fn instrumented_cells_match_plain_cells() {
+        let kernel = build_kernel();
+        let cfg = small_cfg();
+        let machine = Machine::bus(2);
+        let table = baseline_layouts(&kernel, cfg.line_size);
+        let cells = vec![Cell {
+            label: "c".into(),
+            table: table.clone(),
+            sdet: cfg.clone(),
+            machine: machine.clone(),
+        }];
+        let plain = measure_cells(&kernel, &cells, 2, 2);
+        let obs = slopt_obs::Obs::aggregating();
+        let traced = measure_cells_obs(&kernel, &cells, 2, 2, &obs);
+        assert_eq!(plain[0].runs, traced[0].runs);
+        let s = obs.summary();
+        // One warm-up + two measured runs for the single cell.
+        assert_eq!(s.span_count("measure_cell"), 3);
+        assert_eq!(s.span_count("measure_grid"), 1);
+        assert_eq!(s.metrics.counter("runner.cells"), 1);
     }
 
     #[test]

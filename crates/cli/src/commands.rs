@@ -3,9 +3,9 @@
 use slopt_core::{to_dot, DotOptions, ToolParams};
 use slopt_sim::AccessClass;
 use slopt_workload::{
-    analyze, baseline_layouts, build_kernel, compute_paper_layouts_jobs, figure_rows_jobs,
-    layouts_with, measure_jobs, run_once, suggest_for, AnalysisConfig, LayoutKind, Machine,
-    SdetConfig,
+    analyze_obs, baseline_layouts, build_kernel, compute_paper_layouts_jobs_obs,
+    figure_rows_jobs_obs, layouts_with, measure_jobs, run_once_obs, suggest_for_obs,
+    AnalysisConfig, LayoutKind, Machine, SdetConfig,
 };
 use std::path::PathBuf;
 
@@ -34,8 +34,18 @@ USAGE:
         the measurement grid across N host threads (default: all cores);
         the output is bit-identical for every N.
 
+    slopt-tool stats <trace.jsonl>
+        Replay a saved run trace and print the aggregate counter/span
+        table it implies.
+
     slopt-tool help
-        This text."
+        This text.
+
+OBSERVABILITY (advise, simulate, figures):
+    --trace-out <path>   Write a machine-readable run trace (slopt-trace/1
+                         JSONL, Chrome trace events) to <path>.
+    --stats              Print the aggregate counter/span summary table at
+                         exit."
     );
 }
 
@@ -43,6 +53,32 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.windows(2)
         .find(|w| w[0] == name)
         .map(|w| w[1].as_str())
+}
+
+/// Builds the observability handle the shared `--trace-out <path>` /
+/// `--stats` flags ask for (disabled when neither is present).
+fn obs_from_args(args: &[String]) -> Result<slopt_obs::Obs, String> {
+    let trace_out = flag_value(args, "--trace-out");
+    let stats = args.iter().any(|a| a == "--stats");
+    slopt_obs::obs_from_flags(trace_out, stats).map_err(|e| {
+        format!(
+            "cannot open trace output {}: {e}",
+            trace_out.unwrap_or("<none>")
+        )
+    })
+}
+
+/// Flushes the trace sink and, under `--stats`, prints the aggregate
+/// summary table. Call once at the end of each instrumented subcommand.
+fn finish_obs(args: &[String], obs: &slopt_obs::Obs) {
+    obs.finish();
+    if obs.enabled() && args.iter().any(|a| a == "--stats") {
+        println!("=== run stats ===");
+        print!("{}", obs.summary());
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        eprintln!("[slopt-tool] trace written to {path}");
+    }
 }
 
 fn parse_machine(spec: &str) -> Result<Machine, String> {
@@ -99,8 +135,9 @@ pub fn advise(args: &[String]) -> Result<(), String> {
         "[advise] measuring on {} ...",
         analysis_cfg.machine.topo.name()
     );
-    let analysis = analyze(&kernel, &sdet, &analysis_cfg);
-    let suggestion = suggest_for(&kernel, &analysis, rec, ToolParams::default());
+    let obs = obs_from_args(args)?;
+    let analysis = analyze_obs(&kernel, &sdet, &analysis_cfg, &obs);
+    let suggestion = suggest_for_obs(&kernel, &analysis, rec, ToolParams::default(), &obs);
     let ty = kernel.record_type(rec);
 
     println!("{}", suggestion.report);
@@ -134,6 +171,7 @@ pub fn advise(args: &[String]) -> Result<(), String> {
             dot_path.display()
         );
     }
+    finish_obs(args, &obs);
     Ok(())
 }
 
@@ -175,8 +213,9 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
         "[advise] measuring `{path}` on {} ...",
         analysis_cfg.machine.topo.name()
     );
-    let analysis = analyze(&workload, &sdet, &analysis_cfg);
-    let suggestion = suggest_for(&workload, &analysis, rec, ToolParams::default());
+    let obs = obs_from_args(args)?;
+    let analysis = analyze_obs(&workload, &sdet, &analysis_cfg, &obs);
+    let suggestion = suggest_for_obs(&workload, &analysis, rec, ToolParams::default(), &obs);
     let ty = workload.record_type(rec);
 
     println!("{}", suggestion.report);
@@ -196,6 +235,7 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
         println!("wrote {}", dot_path.display());
     }
+    finish_obs(args, &obs);
     Ok(())
 }
 
@@ -209,13 +249,15 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
         "[simulate] running SDET-like workload on {} ...",
         machine.topo.name()
     );
-    let run = run_once(
+    let obs = obs_from_args(args)?;
+    let run = run_once_obs(
         &kernel,
         &layouts,
         &machine,
         &sdet,
         1,
         &mut slopt_sim::NullObserver,
+        &obs,
     );
     println!(
         "throughput: {:.1} scripts/Mcycle over {} cycles ({} scripts)",
@@ -238,6 +280,7 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
             s.class_for(rec, AccessClass::UpgradeHit).count,
         );
     }
+    finish_obs(args, &obs);
     Ok(())
 }
 
@@ -268,8 +311,15 @@ pub fn figures(args: &[String]) -> Result<(), String> {
     let analysis = AnalysisConfig::default();
     let runs = (5 + scale).min(10);
     eprintln!("[figures] measurement + layout derivation ({jobs} jobs) ...");
-    let layouts =
-        compute_paper_layouts_jobs(&kernel, &sdet, &analysis, ToolParams::default(), jobs);
+    let obs = obs_from_args(args)?;
+    let layouts = compute_paper_layouts_jobs_obs(
+        &kernel,
+        &sdet,
+        &analysis,
+        ToolParams::default(),
+        jobs,
+        &obs,
+    );
 
     for (machine, kinds, title) in [
         (
@@ -289,8 +339,8 @@ pub fn figures(args: &[String]) -> Result<(), String> {
         ),
     ] {
         eprintln!("[figures] {} ...", title);
-        let fig = figure_rows_jobs(
-            &kernel, &machine, &sdet, runs, &layouts, &kinds, title, jobs,
+        let fig = figure_rows_jobs_obs(
+            &kernel, &machine, &sdet, runs, &layouts, &kinds, title, jobs, &obs,
         );
         println!("{fig}");
     }
@@ -311,6 +361,19 @@ pub fn figures(args: &[String]) -> Result<(), String> {
         jobs,
     );
     println!("(baseline sanity: {:.1} scripts/Mcycle)", base.mean);
+    finish_obs(args, &obs);
+    Ok(())
+}
+
+/// `slopt-tool stats <trace.jsonl>`: replay a saved `slopt-trace/1` run
+/// trace and print the aggregate counter/span table it implies.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("usage: slopt-tool stats <trace.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let summary = slopt_obs::replay::replay_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{summary}");
     Ok(())
 }
 
@@ -350,6 +413,27 @@ mod tests {
         assert_eq!(parse_jobs(&[]).unwrap(), slopt_core::default_jobs());
         let bad: Vec<String> = ["--jobs", "x"].iter().map(|s| s.to_string()).collect();
         assert!(parse_jobs(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_requires_a_path() {
+        assert!(stats(&[]).is_err());
+        let args = vec!["--stats".to_string()];
+        assert!(stats(&args).is_err());
+    }
+
+    #[test]
+    fn stats_replays_a_written_trace() {
+        let path = std::env::temp_dir().join("slopt_cli_stats_test.jsonl");
+        let obs = slopt_obs::Obs::to_trace_file(&path).unwrap();
+        {
+            let _s = obs.span("phase");
+            obs.counter("widgets", 2);
+        }
+        obs.finish();
+        let args = vec![path.to_string_lossy().into_owned()];
+        stats(&args).unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

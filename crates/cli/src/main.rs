@@ -5,8 +5,13 @@
 //! slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
 //! slopt-tool simulate [--machine bus4|superdome16|superdome128]
 //! slopt-tool figures [--scale N] [--jobs N]
+//! slopt-tool stats <trace.jsonl>
 //! slopt-tool help
 //! ```
+//!
+//! `advise`, `simulate` and `figures` additionally accept
+//! `--trace-out <path>` (machine-readable `slopt-trace/1` JSONL run
+//! trace) and `--stats` (aggregate counter/span summary at exit).
 //!
 //! `advise` runs the instrumented measurement run on the built-in
 //! synthetic kernel, prints the layout advisory for the chosen structure
@@ -28,6 +33,7 @@ fn main() -> ExitCode {
         "advise" => commands::advise(rest),
         "simulate" => commands::simulate(rest),
         "figures" => commands::figures(rest),
+        "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

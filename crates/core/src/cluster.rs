@@ -128,6 +128,24 @@ fn find_best_match<V: FlgView>(
 /// Panics if the FLG's field count differs from the record's, or if
 /// `line_size` is not a power of two.
 pub fn cluster_with<V: FlgView>(flg: &V, record: &RecordType, line_size: u64) -> Clustering {
+    cluster_with_obs(flg, record, line_size, &slopt_obs::Obs::disabled())
+}
+
+/// [`cluster_with`] with instrumentation: wraps the run in a `cluster`
+/// span and flushes `cluster.iterations` (calls to `find_best_match`) and
+/// `cluster.clusters` to `obs`.
+///
+/// # Panics
+///
+/// Panics if the FLG's field count differs from the record's, or if
+/// `line_size` is not a power of two.
+pub fn cluster_with_obs<V: FlgView>(
+    flg: &V,
+    record: &RecordType,
+    line_size: u64,
+    obs: &slopt_obs::Obs,
+) -> Clustering {
+    let _span = obs.span("cluster");
     assert_eq!(
         flg.field_count(),
         record.field_count(),
@@ -138,16 +156,25 @@ pub fn cluster_with<V: FlgView>(flg: &V, record: &RecordType, line_size: u64) ->
         "line size must be a power of two"
     );
 
+    let mut iterations = 0u64;
     let mut unassigned = flg.fields_by_hotness();
     let mut clusters: Vec<Vec<FieldIdx>> = Vec::new();
     while !unassigned.is_empty() {
         let seed = unassigned.remove(0);
         let mut current = vec![seed];
-        while let Some(best) = find_best_match(flg, record, &current, &unassigned, line_size) {
+        loop {
+            iterations += 1;
+            let Some(best) = find_best_match(flg, record, &current, &unassigned, line_size) else {
+                break;
+            };
             unassigned.retain(|&f| f != best);
             current.push(best);
         }
         clusters.push(current);
+    }
+    if obs.enabled() {
+        obs.counter("cluster.iterations", iterations);
+        obs.counter("cluster.clusters", clusters.len() as u64);
     }
     Clustering::new(clusters)
 }

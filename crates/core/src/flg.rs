@@ -111,6 +111,23 @@ impl Flg {
     ///
     /// Panics if `loss` describes a different record than `affinity`.
     pub fn build(affinity: &AffinityGraph, loss: Option<&CycleLossMap>, params: FlgParams) -> Self {
+        Self::build_obs(affinity, loss, params, &slopt_obs::Obs::disabled())
+    }
+
+    /// [`Flg::build`] with instrumentation: wraps the build in an
+    /// `flg_build` span and flushes graph statistics (`flg.fields`,
+    /// `flg.edges_kept`, `flg.edges_pruned`) to `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` describes a different record than `affinity`.
+    pub fn build_obs(
+        affinity: &AffinityGraph,
+        loss: Option<&CycleLossMap>,
+        params: FlgParams,
+        obs: &slopt_obs::Obs,
+    ) -> Self {
+        let _span = obs.span("flg_build");
         if let Some(l) = loss {
             assert_eq!(
                 l.record(),
@@ -136,8 +153,22 @@ impl Flg {
             }
         }
         // Same pruning as the original `retain(|_, w| *w != 0.0)`.
+        let (mut kept, mut pruned) = (0u64, 0u64);
         for (p, &w) in flg.present.iter_mut().zip(&flg.weights) {
+            let was_present = *p;
             *p &= w != 0.0;
+            if was_present {
+                if *p {
+                    kept += 1;
+                } else {
+                    pruned += 1;
+                }
+            }
+        }
+        if obs.enabled() {
+            obs.counter("flg.fields", n as u64);
+            obs.counter("flg.edges_kept", kept);
+            obs.counter("flg.edges_pruned", pruned);
         }
         flg
     }

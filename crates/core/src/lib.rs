@@ -64,7 +64,7 @@ pub mod report;
 pub mod subgraph;
 pub mod transform;
 
-pub use cluster::{cluster, cluster_with, Clustering};
+pub use cluster::{cluster, cluster_with, cluster_with_obs, Clustering};
 pub use dot::{to_dot, DotOptions};
 pub use flg::{reference::FlgRef, Flg, FlgParams, FlgView};
 pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};
@@ -72,7 +72,8 @@ pub use heuristics::{declaration_layout, random_layout, sort_by_hotness};
 pub use layoutgen::{layout_from_clusters, LayoutOptions};
 pub use par::{default_jobs, par_map};
 pub use pipeline::{
-    suggest_constrained, suggest_layout, suggest_layout_all, LayoutRequest, Suggestion, ToolParams,
+    suggest_constrained, suggest_layout, suggest_layout_all, suggest_layout_all_obs,
+    suggest_layout_obs, LayoutRequest, Suggestion, ToolParams,
 };
 pub use refine::{clustering_score, refine, RefineParams};
 pub use report::{LayoutReport, ReportEdge};

@@ -6,7 +6,7 @@
 //! builds the FLG, clusters it, and emits both the concrete layout and the
 //! human-readable advisory.
 
-use crate::cluster::{cluster, Clustering};
+use crate::cluster::{cluster_with_obs, Clustering};
 use crate::flg::{Flg, FlgParams};
 use crate::layoutgen::{layout_from_clusters, LayoutOptions};
 use crate::refine::{refine, RefineParams};
@@ -60,13 +60,56 @@ pub fn suggest_layout(
     loss: Option<&CycleLossMap>,
     params: ToolParams,
 ) -> Result<Suggestion, LayoutError> {
-    let flg = Flg::build(affinity, loss, params.flg);
-    let mut clustering = cluster(&flg, record, params.layout.line_size);
+    suggest_layout_obs(record, affinity, loss, params, &slopt_obs::Obs::disabled())
+}
+
+/// [`suggest_layout`] with instrumentation: every phase (FLG build,
+/// clustering, optional refinement, layout materialization, report) runs
+/// under its own span, and per-layout statistics are flushed as counters —
+/// notably `layout.bytes_moved`, the summed absolute field displacement
+/// versus declaration order.
+///
+/// # Errors
+///
+/// Returns a [`LayoutError`] if layout materialization fails.
+///
+/// # Panics
+///
+/// Panics if `affinity`/`loss` describe different records than `record`'s
+/// field count implies.
+pub fn suggest_layout_obs(
+    record: &RecordType,
+    affinity: &AffinityGraph,
+    loss: Option<&CycleLossMap>,
+    params: ToolParams,
+    obs: &slopt_obs::Obs,
+) -> Result<Suggestion, LayoutError> {
+    let _span = obs.span("suggest_layout");
+    let flg = Flg::build_obs(affinity, loss, params.flg, obs);
+    let mut clustering = cluster_with_obs(&flg, record, params.layout.line_size, obs);
     if let Some(rp) = params.refine {
+        let _refine = obs.span("refine");
         clustering = refine(&flg, record, &clustering, params.layout.line_size, rp).0;
     }
-    let layout = layout_from_clusters(record, &clustering, &flg, params.layout)?;
-    let report = LayoutReport::build(record, &flg, &clustering);
+    let layout = {
+        let _gen = obs.span("layout_gen");
+        layout_from_clusters(record, &clustering, &flg, params.layout)?
+    };
+    let report = {
+        let _rep = obs.span("report");
+        LayoutReport::build(record, &flg, &clustering)
+    };
+    if obs.enabled() {
+        obs.counter("layout.records", 1);
+        if let Ok(decl) = StructLayout::declaration_order(record, params.layout.line_size) {
+            let moved: u64 = layout
+                .order()
+                .iter()
+                .map(|&f| layout.offset(f).abs_diff(decl.offset(f)))
+                .sum();
+            obs.counter("layout.bytes_moved", moved);
+        }
+    }
     Ok(Suggestion {
         layout,
         clustering,
@@ -100,8 +143,21 @@ pub fn suggest_layout_all(
     params: ToolParams,
     jobs: usize,
 ) -> Vec<Result<Suggestion, LayoutError>> {
+    suggest_layout_all_obs(requests, params, jobs, &slopt_obs::Obs::disabled())
+}
+
+/// [`suggest_layout_all`] with instrumentation: each record's suggestion
+/// runs under its own spans (workers get distinct trace thread ids), and
+/// the whole fan-out is wrapped in a `suggest_layout_all` span.
+pub fn suggest_layout_all_obs(
+    requests: &[LayoutRequest<'_>],
+    params: ToolParams,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> Vec<Result<Suggestion, LayoutError>> {
+    let _span = obs.span("suggest_layout_all");
     crate::par::par_map(jobs, requests, |_, req| {
-        suggest_layout(req.record, req.affinity, req.loss, params)
+        suggest_layout_obs(req.record, req.affinity, req.loss, params, obs)
     })
 }
 

@@ -1,0 +1,63 @@
+//! Line-by-line validator for `slopt-trace/1` files (CI gate).
+//!
+//! ```text
+//! trace_lint <trace.jsonl> [--summary]
+//! ```
+//!
+//! Exit 0 with a one-line verdict when the file is valid; exit 1 with the
+//! offending line number otherwise. `--summary` additionally prints the
+//! replayed counter/span table.
+
+use std::process::ExitCode;
+
+use slopt_obs::replay_str;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut summary = false;
+    for a in &args {
+        match a.as_str() {
+            "--summary" => summary = true,
+            "--help" | "-h" => {
+                println!("usage: trace_lint <trace.jsonl> [--summary]");
+                return ExitCode::SUCCESS;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("trace_lint: unexpected argument '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_lint <trace.jsonl> [--summary]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_lint: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match replay_str(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: OK ({} events, {} span names, {} counters, {} threads)",
+                s.events,
+                s.spans.len(),
+                s.counters.len(),
+                s.tids.len()
+            );
+            if summary {
+                print!("{s}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_lint: {path}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

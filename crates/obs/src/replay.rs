@@ -1,0 +1,364 @@
+//! Replay and validation of saved `slopt-trace/1` files.
+//!
+//! [`replay_str`] re-aggregates a trace into the same counter/span summary
+//! the live `--stats` sink prints, so `slopt-tool stats <file>` can
+//! inspect a run without re-executing it. [`lint_str`] is the strict
+//! line-by-line validator behind the `trace_lint` bin used in CI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{parse, Json};
+use crate::trace::SCHEMA;
+
+/// A trace validation failure, pointing at the offending line.
+#[derive(Clone, Debug)]
+pub struct TraceError {
+    /// 1-based line number in the trace file.
+    pub line: usize,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Aggregate duration statistics for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed B/E pairs.
+    pub count: u64,
+    /// Total microseconds across all completions.
+    pub total_us: f64,
+}
+
+/// What a full replay of a trace recovers.
+#[derive(Clone, Debug, Default)]
+pub struct ReplaySummary {
+    /// Schema string from the metadata line.
+    pub schema: String,
+    /// Total event lines (including metadata).
+    pub events: usize,
+    /// Final cumulative value per counter/gauge name.
+    pub counters: BTreeMap<String, f64>,
+    /// Per-name span statistics, aggregated over all threads.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Distinct thread ids that emitted events.
+    pub tids: Vec<u64>,
+}
+
+impl fmt::Display for ReplaySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: schema {}, {} events, {} threads",
+            self.schema,
+            self.events,
+            self.tids.len()
+        )?;
+        if !self.spans.is_empty() {
+            writeln!(
+                f,
+                "  {:<40} {:>8} {:>12} {:>12}",
+                "span", "count", "total_ms", "mean_ms"
+            )?;
+            for (name, s) in &self.spans {
+                let total_ms = s.total_us / 1e3;
+                let mean_ms = if s.count > 0 {
+                    total_ms / s.count as f64
+                } else {
+                    0.0
+                };
+                writeln!(
+                    f,
+                    "  {:<40} {:>8} {:>12.3} {:>12.3}",
+                    name, s.count, total_ms, mean_ms
+                )?;
+            }
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "  {:<40} {:>14}", "counter/gauge", "value")?;
+            for (name, v) in &self.counters {
+                if v.fract() == 0.0 && v.abs() < 9e15 {
+                    writeln!(f, "  {:<40} {:>14}", name, *v as i64)?;
+                } else {
+                    writeln!(f, "  {name:<40} {v:>14.4}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One parsed trace line, validated.
+struct Line {
+    ph: char,
+    name: String,
+    tid: u64,
+    ts: f64,
+    value: Option<f64>,
+}
+
+fn check_line(no: usize, text: &str) -> Result<Line, TraceError> {
+    let fail = |msg: &str| TraceError {
+        line: no,
+        msg: msg.to_string(),
+    };
+    let v = parse(text).map_err(|e| fail(&format!("not valid JSON: {e}")))?;
+    let ph_str = v
+        .get("ph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing string field 'ph'"))?;
+    let ph = match ph_str {
+        "M" => 'M',
+        "B" => 'B',
+        "E" => 'E',
+        "C" => 'C',
+        other => return Err(fail(&format!("unknown phase '{other}'"))),
+    };
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("missing string field 'name'"))?;
+    if name.is_empty() {
+        return Err(fail("empty event name"));
+    }
+    v.get("pid")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail("missing numeric field 'pid'"))?;
+    let tid = v
+        .get("tid")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail("missing numeric field 'tid'"))?;
+    let ts = v
+        .get("ts")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| fail("missing numeric field 'ts'"))?;
+    if ts < 0.0 || !ts.is_finite() {
+        return Err(fail("negative or non-finite 'ts'"));
+    }
+    let value = match ph {
+        'C' => Some(
+            v.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("C event missing numeric args.value"))?,
+        ),
+        _ => None,
+    };
+    if ph == 'M' && no == 1 {
+        let schema = v
+            .get("args")
+            .and_then(|a| a.get("schema"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("metadata line missing args.schema"))?;
+        if schema != SCHEMA {
+            return Err(fail(&format!("schema '{schema}' is not '{SCHEMA}'")));
+        }
+    }
+    Ok(Line {
+        ph,
+        name: name.to_string(),
+        tid: tid as u64,
+        ts,
+        value,
+    })
+}
+
+/// Validates and aggregates a trace held in memory.
+///
+/// Enforces, per line: valid JSON with `ph`/`name`/`pid`/`tid`/`ts`
+/// fields, a known phase, and `args.value` on `C` events. Enforces across
+/// lines: line 1 is the `slopt-trace/1` metadata event, and span B/E
+/// events are properly nested (LIFO, matching names) and balanced on every
+/// thread by end of file.
+pub fn replay_str(text: &str) -> Result<ReplaySummary, TraceError> {
+    let mut summary = ReplaySummary::default();
+    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut first = true;
+    let mut no = 0usize;
+    for raw in text.lines() {
+        no += 1;
+        let line = check_line(no, raw)?;
+        if first {
+            if line.ph != 'M' {
+                return Err(TraceError {
+                    line: no,
+                    msg: format!(
+                        "first line must be the schema metadata event, got '{}'",
+                        line.ph
+                    ),
+                });
+            }
+            summary.schema = SCHEMA.to_string();
+            first = false;
+        }
+        summary.events += 1;
+        if !summary.tids.contains(&line.tid) {
+            summary.tids.push(line.tid);
+        }
+        match line.ph {
+            'B' => stacks
+                .entry(line.tid)
+                .or_default()
+                .push((line.name, line.ts)),
+            'E' => {
+                let stack = stacks.entry(line.tid).or_default();
+                let Some((open, began)) = stack.pop() else {
+                    return Err(TraceError {
+                        line: no,
+                        msg: format!("E '{}' with no open span on tid {}", line.name, line.tid),
+                    });
+                };
+                if open != line.name {
+                    return Err(TraceError {
+                        line: no,
+                        msg: format!(
+                            "E '{}' does not match innermost open span '{open}' on tid {}",
+                            line.name, line.tid
+                        ),
+                    });
+                }
+                let s = summary.spans.entry(open).or_default();
+                s.count += 1;
+                s.total_us += (line.ts - began).max(0.0);
+            }
+            'C' => {
+                summary
+                    .counters
+                    .insert(line.name, line.value.unwrap_or(0.0));
+            }
+            _ => {}
+        }
+    }
+    if first {
+        return Err(TraceError {
+            line: 0,
+            msg: "empty trace file".to_string(),
+        });
+    }
+    for (tid, stack) in &stacks {
+        if let Some((open, _)) = stack.last() {
+            return Err(TraceError {
+                line: no,
+                msg: format!("span '{open}' still open on tid {tid} at end of trace"),
+            });
+        }
+    }
+    summary.tids.sort_unstable();
+    Ok(summary)
+}
+
+/// Strict validation only (same checks as [`replay_str`], summary
+/// discarded). Returns the number of event lines checked.
+pub fn lint_str(text: &str) -> Result<usize, TraceError> {
+    replay_str(text).map(|s| s.events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "{\"ph\":\"M\",\"name\":\"slopt_trace_schema\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"schema\":\"slopt-trace/1\"}}";
+
+    fn ev(ph: &str, name: &str, tid: u64, ts: f64, value: Option<u64>) -> String {
+        match value {
+            Some(v) => format!(
+                "{{\"ph\":\"{ph}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"value\":{v}}}}}"
+            ),
+            None => format!(
+                "{{\"ph\":\"{ph}\",\"name\":\"{name}\",\"pid\":1,\"tid\":{tid},\"ts\":{ts}}}"
+            ),
+        }
+    }
+
+    #[test]
+    fn replays_counters_and_spans() {
+        let text = [
+            HEADER.to_string(),
+            ev("B", "outer", 0, 10.0, None),
+            ev("C", "n", 0, 11.0, Some(3)),
+            ev("B", "inner", 0, 12.0, None),
+            ev("E", "inner", 0, 15.0, None),
+            ev("C", "n", 0, 16.0, Some(7)),
+            ev("E", "outer", 0, 20.0, None),
+        ]
+        .join("\n");
+        let s = replay_str(&text).unwrap();
+        assert_eq!(s.events, 7);
+        assert_eq!(s.counters.get("n"), Some(&7.0));
+        assert_eq!(s.spans["outer"].count, 1);
+        assert!((s.spans["outer"].total_us - 10.0).abs() < 1e-9);
+        assert!((s.spans["inner"].total_us - 3.0).abs() < 1e-9);
+        let rendered = s.to_string();
+        assert!(rendered.contains("outer"));
+        assert!(rendered.contains('7'));
+    }
+
+    #[test]
+    fn rejects_missing_schema_header() {
+        let text = ev("B", "x", 0, 1.0, None);
+        let err = replay_str(&text).unwrap_err();
+        assert!(err.msg.contains("metadata"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let text = HEADER.replace("slopt-trace/1", "slopt-trace/0");
+        assert!(replay_str(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_spans() {
+        let text = [HEADER.to_string(), ev("B", "x", 0, 1.0, None)].join("\n");
+        let err = replay_str(&text).unwrap_err();
+        assert!(err.msg.contains("still open"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_mismatched_end() {
+        let text = [
+            HEADER.to_string(),
+            ev("B", "x", 0, 1.0, None),
+            ev("E", "y", 0, 2.0, None),
+        ]
+        .join("\n");
+        let err = replay_str(&text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("does not match"), "{}", err.msg);
+    }
+
+    #[test]
+    fn spans_balance_independently_per_thread() {
+        let text = [
+            HEADER.to_string(),
+            ev("B", "work", 1, 1.0, None),
+            ev("B", "work", 2, 2.0, None),
+            ev("E", "work", 1, 3.0, None),
+            ev("E", "work", 2, 4.0, None),
+        ]
+        .join("\n");
+        let s = replay_str(&text).unwrap();
+        assert_eq!(s.spans["work"].count, 2);
+        assert_eq!(s.tids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rejects_c_event_without_value() {
+        let text = [HEADER.to_string(), ev("C", "n", 0, 1.0, None)].join("\n");
+        let err = replay_str(&text).unwrap_err();
+        assert!(err.msg.contains("args.value"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_empty_file_and_bad_json() {
+        assert!(replay_str("").is_err());
+        let text = [HEADER.to_string(), "{not json".to_string()].join("\n");
+        assert!(lint_str(&text).is_err());
+    }
+}

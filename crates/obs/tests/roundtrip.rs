@@ -1,0 +1,48 @@
+//! End-to-end: an instrumented run writes a trace file, and replay/lint
+//! recover the same aggregates the live handle reports.
+
+use slopt_obs::{replay_str, Obs};
+
+#[test]
+fn trace_file_roundtrips_through_replay() {
+    let dir = std::env::temp_dir().join("slopt_obs_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.jsonl");
+
+    let obs = Obs::to_trace_file(&path).unwrap();
+    {
+        let _run = obs.span("run");
+        for i in 0..4u64 {
+            let _step = obs.span("step");
+            obs.counter("work.items", i + 1);
+        }
+        obs.gauge("work.util", 0.5);
+    }
+    std::thread::scope(|scope| {
+        let o = obs.clone();
+        scope.spawn(move || {
+            let _w = o.span("worker");
+            o.counter("work.items", 5);
+        });
+    });
+    obs.finish();
+
+    let live = obs.summary();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let replayed = replay_str(&text).unwrap();
+
+    // Counter totals and span counts agree between live and replayed views.
+    assert_eq!(
+        replayed.counters.get("work.items").copied(),
+        Some(live.metrics.counter("work.items") as f64)
+    );
+    assert_eq!(live.metrics.counter("work.items"), 1 + 2 + 3 + 4 + 5);
+    assert_eq!(replayed.counters.get("work.util").copied(), Some(0.5));
+    assert_eq!(replayed.spans["step"].count, live.span_count("step"));
+    assert_eq!(replayed.spans["run"].count, 1);
+    assert_eq!(replayed.spans["worker"].count, 1);
+    // Two threads emitted: main (0) and the worker (1).
+    assert_eq!(replayed.tids, vec![0, 1]);
+
+    std::fs::remove_file(&path).ok();
+}

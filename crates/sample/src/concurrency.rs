@@ -216,7 +216,25 @@ const DENSE_ACCUMULATOR_LINE_LIMIT: usize = 2048;
 ///
 /// Panics if `cfg.interval` is zero.
 pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
+    concurrency_map_obs(samples, cfg, &slopt_obs::Obs::disabled())
+}
+
+/// [`concurrency_map`] with instrumentation: wraps the build in a
+/// `cc_build` span and, when `obs` is enabled, flushes interner/tensor
+/// statistics as `cc.*` counters (samples bucketed, distinct lines, CPUs
+/// and intervals, tensor cells, non-zero pairs, and whether the dense
+/// triangular accumulator was used).
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` is zero.
+pub fn concurrency_map_obs(
+    samples: &[Sample],
+    cfg: &ConcurrencyConfig,
+    obs: &slopt_obs::Obs,
+) -> ConcurrencyMap {
     assert!(cfg.interval > 0, "interval must be non-zero");
+    let _span = obs.span("cc_build");
 
     let interner = LineInterner::from_lines(samples.iter().map(|s| s.line));
     let n_lines = interner.len();
@@ -311,6 +329,15 @@ pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> Concurren
     } else {
         sparse
     };
+    if obs.enabled() {
+        obs.counter("cc.samples_bucketed", samples.len() as u64);
+        obs.counter("cc.lines", n_lines as u64);
+        obs.counter("cc.cpus", n_cpus as u64);
+        obs.counter("cc.intervals", n_intervals as u64);
+        obs.counter("cc.tensor_cells", (n_intervals * n_cpus * n_lines) as u64);
+        obs.counter("cc.pairs", map.len() as u64);
+        obs.gauge("cc.dense_accumulator", if dense_acc { 1.0 } else { 0.0 });
+    }
     ConcurrencyMap { interner, map }
 }
 

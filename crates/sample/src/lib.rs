@@ -26,7 +26,8 @@ pub mod cycleloss;
 pub mod sampler;
 
 pub use concurrency::{
-    concurrency_map, concurrency_map_naive, ConcurrencyConfig, ConcurrencyMap, LineId, LineInterner,
+    concurrency_map, concurrency_map_naive, concurrency_map_obs, ConcurrencyConfig, ConcurrencyMap,
+    LineId, LineInterner,
 };
 pub use cycleloss::{cycle_loss, cycle_loss_filtered, cycle_loss_weighted, CycleLossMap};
 pub use sampler::{ExactCounter, Sample, Sampler, SamplerConfig};

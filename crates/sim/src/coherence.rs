@@ -393,6 +393,11 @@ impl MemSystem {
         write: bool,
         now: u64,
     ) -> (u64, AccessClass) {
+        // Counted for both directory kinds (from the line number alone) so
+        // dense/reference equivalence is preserved.
+        if line >= DENSE_LINE_LIMIT {
+            self.stats.dir_overflow_hits += 1;
+        }
         let state = self.caches[cpu.index()].lookup(line);
         match state {
             Some(Mesi::Modified) => {
@@ -404,6 +409,7 @@ impl MemSystem {
             Some(Mesi::Exclusive) => {
                 if write {
                     self.caches[cpu.index()].set_state(line, Mesi::Modified);
+                    self.stats.state_transitions += 1;
                     let entry = self.dir.entry_mut(line);
                     entry.owner = Some(cpu.0);
                     self.note_write(cpu, line, mask);
@@ -448,6 +454,7 @@ impl MemSystem {
                 let d = self.topo.distance(cpu, CpuId(v));
                 inval_lat = inval_lat.max(self.lat.transfer(d));
                 self.caches[v as usize].invalidate(line);
+                self.stats.state_transitions += 1;
                 killed += 1;
                 let entry = self.dir.probe_mut(line).expect("entry exists");
                 entry.pending_inval.push((v, 0));
@@ -457,6 +464,7 @@ impl MemSystem {
         entry.owner = Some(cpu.0);
         entry.sharers = cpu_bit(cpu);
         self.caches[cpu.index()].set_state(line, Mesi::Modified);
+        self.stats.state_transitions += 1;
         self.stats.invalidations += killed;
         self.note_write(cpu, line, mask);
         if killed > 0 {
@@ -552,6 +560,7 @@ impl MemSystem {
                     self.stats.writebacks += 1;
                 }
                 self.stats.invalidations += 1;
+                self.stats.state_transitions += 1;
             }
             let entry = self.dir.probe_mut(line).expect("entry exists");
             for v in victims {
@@ -575,6 +584,7 @@ impl MemSystem {
                     self.stats.writebacks += 1;
                 }
                 self.caches[o as usize].set_state(line, Mesi::Shared);
+                self.stats.state_transitions += 1;
             }
             let protocol = self.protocol;
             let entry = self.dir.probe_mut(line).expect("entry exists");
@@ -606,7 +616,10 @@ impl MemSystem {
     /// Inserts a line into a CPU's cache, handling the directory update for
     /// an evicted victim.
     fn insert_line(&mut self, cpu: CpuId, line: u64, state: Mesi) {
+        // The inserted line leaves Invalid; an evicted victim enters it.
+        self.stats.state_transitions += 1;
         if let Some((victim, vstate)) = self.caches[cpu.index()].insert(line, state) {
+            self.stats.state_transitions += 1;
             if vstate == Mesi::Modified {
                 self.stats.writebacks += 1;
             }

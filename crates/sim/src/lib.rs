@@ -47,6 +47,7 @@ pub mod alloc;
 pub mod cache;
 pub mod coherence;
 pub mod engine;
+pub mod obs;
 pub mod stats;
 pub mod topology;
 
@@ -56,5 +57,6 @@ pub use coherence::{MemSystem, Protocol, SharingMissEvent};
 pub use engine::{
     run, EngineConfig, Invocation, NullObserver, Observer, RunResult, Script, StepsExhausted,
 };
+pub use obs::{publish_mem_stats, publish_run_result};
 pub use stats::{AccessClass, ClassCounts, MemStats};
 pub use topology::{CpuId, CpuLoc, Distance, LatencyModel, Topology, MAX_CPUS};

@@ -1,0 +1,96 @@
+//! Publishing simulator results to an [`Obs`] handle.
+//!
+//! The simulator's hot path (every memory access) already accumulates into
+//! [`MemStats`]; instrumentation must not add per-access work on top. So
+//! the coherence layer keeps counting into its local accumulators, and
+//! these helpers flush the totals as `sim.*` / `engine.*` counters once
+//! per run — the cost is a handful of counter emissions regardless of how
+//! many billions of accesses the run simulated.
+
+use slopt_obs::Obs;
+
+use crate::engine::RunResult;
+use crate::stats::{AccessClass, MemStats};
+
+/// Flushes accumulated memory-system statistics as `sim.*` counters.
+pub fn publish_mem_stats(stats: &MemStats, obs: &Obs) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("sim.accesses", stats.accesses());
+    obs.counter("sim.mem_cycles", stats.total_cycles());
+    obs.counter("sim.hits", stats.class(AccessClass::Hit).count);
+    obs.counter(
+        "sim.upgrade_hits",
+        stats.class(AccessClass::UpgradeHit).count,
+    );
+    obs.counter("sim.cold_misses", stats.class(AccessClass::ColdMiss).count);
+    obs.counter(
+        "sim.capacity_misses",
+        stats.class(AccessClass::CapacityMiss).count,
+    );
+    obs.counter(
+        "sim.true_sharing_misses",
+        stats.class(AccessClass::TrueSharingMiss).count,
+    );
+    obs.counter(
+        "sim.false_sharing_misses",
+        stats.class(AccessClass::FalseSharingMiss).count,
+    );
+    obs.counter("sim.invalidations", stats.invalidations);
+    obs.counter("sim.writebacks", stats.writebacks);
+    obs.counter("sim.state_transitions", stats.state_transitions);
+    obs.counter("sim.dir_overflow_hits", stats.dir_overflow_hits);
+}
+
+/// Flushes an engine run's outcome as `engine.*` counters/gauges.
+pub fn publish_run_result(result: &RunResult, obs: &Obs) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("engine.steps", result.steps);
+    obs.counter("engine.scripts_done", result.scripts_done);
+    obs.gauge("engine.makespan", result.makespan as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publishes_nonzero_sim_counters() {
+        use crate::cache::CacheConfig;
+        use crate::coherence::MemSystem;
+        use crate::topology::{CpuId, LatencyModel, Topology};
+
+        let mut mem = MemSystem::new(
+            Topology::superdome(2),
+            LatencyModel::superdome(),
+            CacheConfig {
+                line_size: 128,
+                sets: 64,
+                ways: 4,
+            },
+        );
+        mem.access(CpuId(0), 0, 8, false, None, 0);
+        mem.access(CpuId(1), 64, 8, true, None, 0);
+        mem.access(CpuId(0), 0, 8, false, None, 0);
+
+        let obs = Obs::aggregating();
+        publish_mem_stats(mem.stats(), &obs);
+        let m = obs.summary().metrics;
+        assert_eq!(m.counter("sim.accesses"), 3);
+        assert_eq!(m.counter("sim.false_sharing_misses"), 1);
+        assert!(m.counter("sim.invalidations") >= 1);
+        assert!(m.counter("sim.state_transitions") >= 3);
+        assert_eq!(m.counter("sim.dir_overflow_hits"), 0);
+    }
+
+    #[test]
+    fn disabled_obs_publishes_nothing() {
+        let stats = MemStats::new();
+        let obs = Obs::disabled();
+        publish_mem_stats(&stats, &obs);
+        assert!(obs.summary().metrics.is_empty());
+    }
+}

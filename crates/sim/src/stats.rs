@@ -48,6 +48,12 @@ pub struct MemStats {
     pub invalidations: u64,
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
+    /// MESI line-state changes (insertions, upgrades, demotions, and
+    /// invalidations all count one transition each).
+    pub state_transitions: u64,
+    /// Line accesses that fell past the dense directory range and were
+    /// served by the overflow hash map.
+    pub dir_overflow_hits: u64,
     /// Per-record breakdown (only for accesses within tagged ranges).
     per_record: HashMap<RecordId, HashMap<AccessClass, ClassCounts>>,
 }
@@ -123,6 +129,8 @@ impl MemStats {
         }
         self.invalidations += other.invalidations;
         self.writebacks += other.writebacks;
+        self.state_transitions += other.state_transitions;
+        self.dir_overflow_hits += other.dir_overflow_hits;
         for (&rec, m) in &other.per_record {
             let e = self.per_record.entry(rec).or_default();
             for (&class, &cc) in m {
@@ -152,6 +160,10 @@ impl fmt::Display for MemStats {
         }
         writeln!(f, "  invalidations: {}", self.invalidations)?;
         writeln!(f, "  writebacks: {}", self.writebacks)?;
+        writeln!(f, "  state transitions: {}", self.state_transitions)?;
+        if self.dir_overflow_hits > 0 {
+            writeln!(f, "  directory overflow hits: {}", self.dir_overflow_hits)?;
+        }
         Ok(())
     }
 }
@@ -191,11 +203,15 @@ mod tests {
         b.record(AccessClass::Hit, 20, Some(RecordId(1)));
         b.invalidations = 3;
         b.writebacks = 1;
+        b.state_transitions = 5;
+        b.dir_overflow_hits = 2;
         a.merge(&b);
         assert_eq!(a.class(AccessClass::Hit).count, 2);
         assert_eq!(a.class_for(RecordId(1), AccessClass::Hit).cycles, 30);
         assert_eq!(a.invalidations, 3);
         assert_eq!(a.writebacks, 1);
+        assert_eq!(a.state_transitions, 5);
+        assert_eq!(a.dir_overflow_hits, 2);
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! weigh 1, pooled pairs weigh `1/pool`.
 
 use crate::kernel::{SlotKind, WorkloadSpec};
-use crate::sdet::{baseline_layouts, run_once, Machine, SdetConfig};
-use slopt_core::{suggest_constrained, suggest_layout, Suggestion, ToolParams};
+use crate::sdet::{baseline_layouts, run_once_obs, Machine, SdetConfig};
+use slopt_core::{suggest_constrained, suggest_layout_obs, Suggestion, ToolParams};
 use slopt_ir::affinity::AffinityGraph;
 use slopt_ir::cfg::FuncId;
 use slopt_ir::fmf::FieldMap;
@@ -28,8 +28,8 @@ use slopt_ir::profile::Profile;
 use slopt_ir::source::SourceLine;
 use slopt_ir::types::RecordId;
 use slopt_sample::{
-    concurrency_map, cycle_loss_weighted, ConcurrencyConfig, ConcurrencyMap, CycleLossMap, Sample,
-    Sampler, SamplerConfig,
+    concurrency_map_obs, cycle_loss_weighted, ConcurrencyConfig, ConcurrencyMap, CycleLossMap,
+    Sample, Sampler, SamplerConfig,
 };
 use std::collections::HashMap;
 
@@ -88,17 +88,49 @@ pub fn analyze(
     sdet: &SdetConfig,
     cfg: &AnalysisConfig,
 ) -> KernelAnalysis {
+    analyze_obs(kernel, sdet, cfg, &slopt_obs::Obs::disabled())
+}
+
+/// [`analyze`] with instrumentation: the measurement run executes under a
+/// `measure_run` span (flushing `sim.*`/`engine.*` counters), the sampler
+/// yield is reported as `sampler.samples` / `sampler.dropped`, the
+/// concurrency computation runs under `cc_build` with its `cc.*`
+/// counters, and the FMF construction under `fmf_build`.
+pub fn analyze_obs(
+    kernel: &impl WorkloadSpec,
+    sdet: &SdetConfig,
+    cfg: &AnalysisConfig,
+    obs: &slopt_obs::Obs,
+) -> KernelAnalysis {
+    let _span = obs.span("measure_run");
     let layouts = baseline_layouts(kernel, sdet.line_size);
     let mut sampler = Sampler::new(cfg.machine.cpus(), cfg.sampler);
-    let run = run_once(kernel, &layouts, &cfg.machine, sdet, cfg.seed, &mut sampler);
+    let run = run_once_obs(
+        kernel,
+        &layouts,
+        &cfg.machine,
+        sdet,
+        cfg.seed,
+        &mut sampler,
+        obs,
+    );
+    let dropped = sampler.dropped();
     let samples = sampler.into_samples();
-    let concurrency = concurrency_map(
+    if obs.enabled() {
+        obs.counter("sampler.samples", samples.len() as u64);
+        obs.counter("sampler.dropped", dropped);
+    }
+    let concurrency = concurrency_map_obs(
         &samples,
         &ConcurrencyConfig {
             interval: cfg.interval,
         },
+        obs,
     );
-    let fmf = FieldMap::build(kernel.program());
+    let fmf = {
+        let _fmf = obs.span("fmf_build");
+        FieldMap::build(kernel.program())
+    };
     KernelAnalysis {
         profile: run.result.profile,
         samples,
@@ -239,9 +271,26 @@ pub fn suggest_for(
     rec: RecordId,
     params: ToolParams,
 ) -> Suggestion {
+    suggest_for_obs(kernel, analysis, rec, params, &slopt_obs::Obs::disabled())
+}
+
+/// [`suggest_for`] with instrumentation: the per-record tool pipeline runs
+/// under its phase spans (`suggest_layout`, `flg_build`, `cluster`, …) and
+/// flushes the `flg.*` / `cluster.*` / `layout.*` counters.
+///
+/// # Panics
+///
+/// Panics if layout materialization fails (impossible for valid records).
+pub fn suggest_for_obs(
+    kernel: &impl WorkloadSpec,
+    analysis: &KernelAnalysis,
+    rec: RecordId,
+    params: ToolParams,
+    obs: &slopt_obs::Obs,
+) -> Suggestion {
     let affinity = affinity_for(kernel, analysis, rec);
     let loss = loss_for(kernel, analysis, rec);
-    suggest_layout(kernel.record_type(rec), &affinity, Some(&loss), params)
+    suggest_layout_obs(kernel.record_type(rec), &affinity, Some(&loss), params, obs)
         .expect("valid record must lay out")
 }
 

@@ -17,7 +17,9 @@
 //! same layouts on the 4-way machine; Figure 10 = best of {Tool,
 //! Constrained} per struct on the 128-way machine.
 
-use crate::analyze::{analyze, constrained_for, suggest_for, AnalysisConfig, KernelAnalysis};
+use crate::analyze::{
+    analyze_obs, constrained_for, suggest_for_obs, AnalysisConfig, KernelAnalysis,
+};
 use crate::kernel::Kernel;
 use crate::sdet::{
     baseline_layouts, layouts_with, measurement_seeds, run_once, Machine, SdetConfig, Throughput,
@@ -106,19 +108,44 @@ pub fn compute_paper_layouts_jobs(
     tool: ToolParams,
     jobs: usize,
 ) -> PaperLayouts {
-    let analysis = analyze(kernel, sdet, analysis_cfg);
+    compute_paper_layouts_jobs_obs(
+        kernel,
+        sdet,
+        analysis_cfg,
+        tool,
+        jobs,
+        &slopt_obs::Obs::disabled(),
+    )
+}
+
+/// [`compute_paper_layouts_jobs`] with instrumentation: the measurement
+/// run and the per-record derivation both emit spans and counters, and the
+/// whole derivation fan-out runs under a `derive_layouts` span (worker
+/// threads show up as separate trace thread ids).
+pub fn compute_paper_layouts_jobs_obs(
+    kernel: &Kernel,
+    sdet: &SdetConfig,
+    analysis_cfg: &AnalysisConfig,
+    tool: ToolParams,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> PaperLayouts {
+    let analysis = analyze_obs(kernel, sdet, analysis_cfg, obs);
     let records = kernel.records.all();
-    let derived = slopt_core::par_map(jobs, &records, |_, &(_, rec)| {
-        let suggestion = suggest_for(kernel, &analysis, rec, tool);
-        let ty = kernel.record_type(rec);
-        let hot: Vec<u64> = ty
-            .field_indices()
-            .map(|f| suggestion.flg.hotness(f))
-            .collect();
-        let hotness = sort_by_hotness(ty, &hot, tool.layout.line_size).expect("valid record");
-        let constrained = constrained_for(kernel, &analysis, rec, tool);
-        (rec, suggestion, hotness, constrained)
-    });
+    let derived = {
+        let _span = obs.span("derive_layouts");
+        slopt_core::par_map(jobs, &records, |_, &(_, rec)| {
+            let suggestion = suggest_for_obs(kernel, &analysis, rec, tool, obs);
+            let ty = kernel.record_type(rec);
+            let hot: Vec<u64> = ty
+                .field_indices()
+                .map(|f| suggestion.flg.hotness(f))
+                .collect();
+            let hotness = sort_by_hotness(ty, &hot, tool.layout.line_size).expect("valid record");
+            let constrained = constrained_for(kernel, &analysis, rec, tool);
+            (rec, suggestion, hotness, constrained)
+        })
+    };
     let mut suggestions = HashMap::new();
     let mut hotness = HashMap::new();
     let mut constrained = HashMap::new();
@@ -221,6 +248,36 @@ pub fn figure_rows_jobs(
     title: impl Into<String>,
     jobs: usize,
 ) -> Figure {
+    figure_rows_jobs_obs(
+        kernel,
+        machine,
+        sdet,
+        runs,
+        layouts,
+        kinds,
+        title,
+        jobs,
+        &slopt_obs::Obs::disabled(),
+    )
+}
+
+/// [`figure_rows_jobs`] with instrumentation: the measurement grid runs
+/// under a `figure_measure` span, each `(table, seed)` cell under its own
+/// `measure_cell` span (so per-worker utilization can be derived from the
+/// per-thread span totals), and the grid size is flushed as
+/// `figure.cells` / `figure.runs` counters.
+#[allow(clippy::too_many_arguments)]
+pub fn figure_rows_jobs_obs(
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> Figure {
     assert!(runs > 0, "need at least one measured run");
     // Table 0 is the all-baseline configuration; tables 1.. are the
     // one-struct-transformed cells in (struct, kind) order.
@@ -243,18 +300,27 @@ pub fn figure_rows_jobs(
     let grid: Vec<(usize, u64)> = (0..tables.len())
         .flat_map(|t| seeds.iter().map(move |&seed| (t, seed)))
         .collect();
-    let values = slopt_core::par_map(jobs, &grid, |_, &(t, seed)| {
-        run_once(
-            kernel,
-            &tables[t],
-            machine,
-            sdet,
-            seed,
-            &mut slopt_sim::NullObserver,
-        )
-        .result
-        .throughput()
-    });
+    if obs.enabled() {
+        obs.counter("figure.tables", tables.len() as u64);
+        obs.counter("figure.cells", grid.len() as u64);
+        obs.counter("figure.runs", seeds.len() as u64);
+    }
+    let values = {
+        let _span = obs.span("figure_measure");
+        slopt_core::par_map(jobs, &grid, |_, &(t, seed)| {
+            let _cell = obs.span("measure_cell");
+            run_once(
+                kernel,
+                &tables[t],
+                machine,
+                sdet,
+                seed,
+                &mut slopt_sim::NullObserver,
+            )
+            .result
+            .throughput()
+        })
+    };
     // Regroup into one Throughput per table; chunk[0] is the warm-up run.
     let mut per_table = values
         .chunks_exact(seeds.len())

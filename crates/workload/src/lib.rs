@@ -32,16 +32,18 @@ pub mod structs;
 pub mod validate;
 
 pub use analyze::{
-    analyze, constrained_for, loss_for, suggest_for, AnalysisConfig, KernelAnalysis,
+    analyze, analyze_obs, constrained_for, loss_for, suggest_for, suggest_for_obs, AnalysisConfig,
+    KernelAnalysis,
 };
 pub use experiments::{
-    best_rows, compute_paper_layouts, compute_paper_layouts_jobs, figure_rows, figure_rows_jobs,
-    Figure, FigureRow, LayoutKind, PaperLayouts,
+    best_rows, compute_paper_layouts, compute_paper_layouts_jobs, compute_paper_layouts_jobs_obs,
+    figure_rows, figure_rows_jobs, figure_rows_jobs_obs, Figure, FigureRow, LayoutKind,
+    PaperLayouts,
 };
 pub use kernel::{build_kernel, Action, CustomWorkload, Kernel, SlotKind, WorkloadSpec};
 pub use sdet::{
     baseline_layouts, build_scripts, layouts_with, measure, measure_jobs, measurement_seeds,
-    run_once, run_once_logged, Instances, Machine, SdetConfig, SdetRun, Throughput,
+    run_once, run_once_logged, run_once_obs, Instances, Machine, SdetConfig, SdetRun, Throughput,
 };
 pub use spec::{parse_workload_file, SpecError};
 pub use structs::{KernelRecords, STAT_CLASSES};

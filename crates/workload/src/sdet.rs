@@ -271,6 +271,27 @@ pub fn run_once(
     run_once_logged(kernel, layouts, machine, cfg, run_seed, observer, false).0
 }
 
+/// [`run_once`] with instrumentation: the whole simulation runs under an
+/// `sdet_run` span and the run's memory statistics and engine result are
+/// flushed into `obs` as `sim.*` / `engine.*` counters afterwards.
+pub fn run_once_obs(
+    kernel: &impl WorkloadSpec,
+    layouts: &LayoutTable,
+    machine: &Machine,
+    cfg: &SdetConfig,
+    run_seed: u64,
+    observer: &mut dyn Observer,
+    obs: &slopt_obs::Obs,
+) -> SdetRun {
+    let run = {
+        let _span = obs.span("sdet_run");
+        run_once(kernel, layouts, machine, cfg, run_seed, observer)
+    };
+    slopt_sim::publish_mem_stats(&run.stats, obs);
+    slopt_sim::publish_run_result(&run.result, obs);
+    run
+}
+
 /// Like [`run_once`], but optionally records every sharing miss and also
 /// returns the instance table, enabling byte-level ground-truth analysis
 /// of which field pairs actually collided (see `slopt-workload::validate`).

@@ -5,22 +5,32 @@
 //! concurrently by every CPU. The tool should (a) co-locate the loop pair
 //! and (b) isolate the counter.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart` — add
+//! `-- --trace-out quickstart.jsonl` for a machine-readable
+//! `slopt-trace/1` run trace and `-- --stats` for an aggregate
+//! span/counter summary at exit.
 
-use slopt::core::{suggest_layout, ToolParams};
+use slopt::core::{suggest_layout_obs, ToolParams};
 use slopt::ir::builder::{FunctionBuilder, ProgramBuilder};
 use slopt::ir::cfg::InstanceSlot;
 use slopt::ir::layout::StructLayout;
 use slopt::ir::types::{FieldType, PrimType, RecordType, TypeRegistry};
-use slopt::sample::{concurrency_map, ConcurrencyConfig, Sampler, SamplerConfig};
+use slopt::obs::Obs;
+use slopt::sample::{concurrency_map_obs, ConcurrencyConfig, Sampler, SamplerConfig};
 use slopt::sim::{
     CacheConfig, EngineConfig, Invocation, LatencyModel, LayoutTable, MemSystem, Script, Topology,
 };
 use slopt::workload; // only for the doc pointer below
 
-// `pub` so tests/quickstart_smoke.rs can include this file as a module
-// and run it as part of the test suite.
-pub fn main() -> Result<(), Box<dyn std::error::Error>> {
+// `pub` so tests/quickstart_smoke.rs and tests/trace_golden.rs can
+// include this file as a module and drive it from the test suite.
+
+/// The whole pipeline, instrumented: every phase runs under an
+/// [`Obs`] span and publishes its counters, so the exact same code
+/// serves `cargo run --example quickstart`, the smoke test (with a
+/// disabled handle, cost: one branch per phase) and the golden trace
+/// test (with a capturing handle).
+pub fn run(obs: &Obs) -> Result<(), Box<dyn std::error::Error>> {
     // 1. Declare the record. Declaration order = current layout.
     let mut registry = TypeRegistry::new();
     let rec = registry.add_record(RecordType::new(
@@ -98,14 +108,23 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..Default::default()
         },
     );
-    let result = slopt::sim::run(
-        &program,
-        &layouts,
-        &mut mem,
-        vec![vec![script; 50]; 16],
-        &EngineConfig::default(),
-        &mut sampler,
-    )?;
+    let result = {
+        let _span = obs.span("measure_run");
+        slopt::sim::run(
+            &program,
+            &layouts,
+            &mut mem,
+            vec![vec![script; 50]; 16],
+            &EngineConfig::default(),
+            &mut sampler,
+        )?
+    };
+    slopt::sim::publish_mem_stats(mem.stats(), obs);
+    slopt::sim::publish_run_result(&result, obs);
+    if obs.enabled() {
+        obs.counter("sampler.samples", sampler.samples().len() as u64);
+        obs.counter("sampler.dropped", sampler.dropped());
+    }
     println!(
         "measurement run: {} scripts in {} cycles ({} samples)",
         result.scripts_done,
@@ -115,12 +134,19 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Analysis: affinity (CycleGain) + Code Concurrency (CycleLoss).
     let affinity = slopt::ir::affinity::AffinityGraph::analyze(&program, &result.profile, rec);
-    let cm = concurrency_map(sampler.samples(), &ConcurrencyConfig { interval: 2_000 });
-    let fmf = slopt::ir::fmf::FieldMap::build(&program);
+    let cm = concurrency_map_obs(
+        sampler.samples(),
+        &ConcurrencyConfig { interval: 2_000 },
+        obs,
+    );
+    let fmf = {
+        let _span = obs.span("fmf_build");
+        slopt::ir::fmf::FieldMap::build(&program)
+    };
     let loss = slopt::sample::cycle_loss(&cm, &fmf, rec);
 
     // 5. Ask the tool for a layout and print the advisory.
-    let suggestion = suggest_layout(&ty, &affinity, Some(&loss), ToolParams::default())?;
+    let suggestion = suggest_layout_obs(&ty, &affinity, Some(&loss), ToolParams::default(), obs)?;
     println!("\n{}", suggestion.report);
     println!("suggested layout:\n{}", suggestion.layout);
 
@@ -139,5 +165,27 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
         "(For the full five-struct kernel of the paper, see `{}` and the fig8/fig9/fig10 binaries.)",
         std::any::type_name::<workload::Kernel>()
     );
+    Ok(())
+}
+
+/// CLI entry point: `--trace-out <path>` writes a `slopt-trace/1` JSONL
+/// run trace, `--stats` prints the aggregate span/counter summary.
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = args
+        .windows(2)
+        .find(|w| w[0] == "--trace-out")
+        .map(|w| w[1].as_str());
+    let stats = args.iter().any(|a| a == "--stats");
+    let obs = slopt::obs::obs_from_flags(trace_out, stats)?;
+    run(&obs)?;
+    obs.finish();
+    if stats && obs.enabled() {
+        println!("=== run stats ===");
+        print!("{}", obs.summary());
+    }
+    if let Some(path) = trace_out {
+        eprintln!("[quickstart] trace written to {path}");
+    }
     Ok(())
 }

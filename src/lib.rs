@@ -27,6 +27,7 @@
 //! | [`sample`] | `slopt-sample` | PMU-style whole-system sampling and *Code Concurrency* estimation |
 //! | [`core`] | `slopt-core` | the paper's algorithm: FLG construction, greedy clustering, layout generation, baselines, advisory reports |
 //! | [`workload`] | `slopt-workload` | a synthetic HP-UX-like kernel plus an SDET-like multi-user throughput workload |
+//! | [`obs`] | `slopt-obs` | zero-dependency instrumentation: hierarchical spans, counters, `slopt-trace/1` JSONL run traces |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@
 
 pub use slopt_core as core;
 pub use slopt_ir as ir;
+pub use slopt_obs as obs;
 pub use slopt_sample as sample;
 pub use slopt_sim as sim;
 pub use slopt_workload as workload;

@@ -3,10 +3,15 @@
 //! running it. The example's own asserts (scan pair co-located, counter
 //! isolated) are the smoke checks.
 
+// `main` (the example's CLI flag parsing) is unused here; only `run` is.
+#[allow(dead_code)]
 #[path = "../examples/quickstart.rs"]
 mod quickstart;
 
 #[test]
 fn quickstart_example_runs_clean() {
-    quickstart::main().expect("quickstart example must run without error");
+    // Disabled observability handle — the cost the example pays when run
+    // without `--trace-out`/`--stats`.
+    quickstart::run(&slopt::obs::Obs::disabled())
+        .expect("quickstart example must run without error");
 }
