@@ -19,6 +19,12 @@ cargo build --release --offline
 echo "== cargo test =="
 cargo test --offline -q
 
+echo "== cargo test (--test-threads=2, shakes out ordering assumptions) =="
+cargo test --offline -q -- --test-threads=2
+
+echo "== kill/resume contract (checkpoint_resume, explicitly) =="
+cargo test --offline -q --test checkpoint_resume
+
 echo "== cargo bench --no-run (compile-check benches) =="
 cargo bench --no-run --offline
 
@@ -27,6 +33,16 @@ TRACE_TMP="$(mktemp /tmp/slopt_trace.XXXXXX.jsonl)"
 cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 --trace-out "$TRACE_TMP" > /dev/null
 cargo run --release --offline -p slopt-obs --bin trace_lint -- "$TRACE_TMP"
 rm -f "$TRACE_TMP"
+
+echo "== trace lint (resumed fig9 run round-trips through trace_lint) =="
+CKPT_TMP="$(mktemp -d /tmp/slopt_ckpt.XXXXXX)"
+RESUME_TRACE_TMP="$(mktemp /tmp/slopt_resume_trace.XXXXXX.jsonl)"
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 \
+    --checkpoint-dir "$CKPT_TMP" > /dev/null
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 \
+    --checkpoint-dir "$CKPT_TMP" --resume --trace-out "$RESUME_TRACE_TMP" > /dev/null
+cargo run --release --offline -p slopt-obs --bin trace_lint -- "$RESUME_TRACE_TMP"
+rm -rf "$CKPT_TMP" "$RESUME_TRACE_TMP"
 
 echo "== perf_report --quick (refresh BENCH_sim.json) + perf_guard =="
 BASELINE_TMP="$(mktemp /tmp/slopt_bench_baseline.XXXXXX.json)"

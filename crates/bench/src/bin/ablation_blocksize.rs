@@ -9,9 +9,9 @@
 //! We measure baseline / tool / sort-by-hotness layouts for struct A at
 //! both block sizes on the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
 use slopt_sim::CacheConfig;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
@@ -69,7 +69,19 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_obs(&setup.kernel, &cells, setup.runs, setup.jobs, &obs);
+    let measured = measure_cells_ckpt_obs(
+        "ablation_blocksize",
+        &setup.kernel,
+        &cells,
+        setup.runs,
+        setup.jobs,
+        args.checkpoint_spec().as_ref(),
+        &obs,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     println!("=== ablation: coherence block size, struct A (128-way) ===");
     println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");

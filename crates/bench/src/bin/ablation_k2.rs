@@ -10,9 +10,9 @@
 //! accessed with, and throughput collapses (the sort-by-hotness failure
 //! mode). Beyond a modest `k2` the layout stabilizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
 use slopt_core::{suggest_layout, FlgParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine, STAT_CLASSES};
 
@@ -57,7 +57,19 @@ fn main() {
         });
     }
 
-    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
+    let measured = measure_cells_ckpt_obs(
+        "ablation_k2",
+        kernel,
+        &cells,
+        setup.runs,
+        setup.jobs,
+        args.checkpoint_spec().as_ref(),
+        &obs,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let baseline = &measured[0];
 
     println!("=== ablation: k2 sweep on struct A (128-way) ===");

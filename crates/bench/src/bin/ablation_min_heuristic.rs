@@ -10,9 +10,9 @@
 //! We compare the two modes' automatic layouts for every struct on the
 //! 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
 use slopt_core::suggest_layout;
 use slopt_ir::affinity::{AffinityGraph, AffinityMode};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine};
@@ -51,7 +51,19 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
+    let measured = measure_cells_ckpt_obs(
+        "ablation_min_heuristic",
+        kernel,
+        &cells,
+        setup.runs,
+        setup.jobs,
+        args.checkpoint_spec().as_ref(),
+        &obs,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let baseline = &measured[0];
 
     println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");

@@ -9,9 +9,9 @@
 //! paper's subject — is protocol-independent: the sort-by-hotness
 //! catastrophe on struct A is reproduced under both.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
 use slopt_sim::Protocol;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
@@ -59,7 +59,19 @@ fn main() {
         });
     }
 
-    let measured = measure_cells_obs(&setup.kernel, &cells, setup.runs, setup.jobs, &obs);
+    let measured = measure_cells_ckpt_obs(
+        "ablation_protocol",
+        &setup.kernel,
+        &cells,
+        setup.runs,
+        setup.jobs,
+        args.checkpoint_spec().as_ref(),
+        &obs,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
     println!("=== ablation: MESI vs MSI (128-way) ===");
     println!(

@@ -6,9 +6,9 @@
 //! measured throughput of both variants' automatic layouts per struct on
 //! the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, measure_cells_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
 use slopt_core::{clustering_score, RefineParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, suggest_for, Machine};
 
@@ -50,7 +50,19 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_obs(kernel, &cells, setup.runs, setup.jobs, &obs);
+    let measured = measure_cells_ckpt_obs(
+        "ablation_refine",
+        kernel,
+        &cells,
+        setup.runs,
+        setup.jobs,
+        args.checkpoint_spec().as_ref(),
+        &obs,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let baseline = &measured[0];
 
     println!("=== ablation: greedy vs refined clustering (128-way) ===");

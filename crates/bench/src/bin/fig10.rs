@@ -7,12 +7,10 @@
 //! and slightly beats automatic on B; C and D stay best with the
 //! automatic layout. Best-case improvement ≈ 3.2%.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, RunnerArgs};
-use slopt_workload::{
-    best_rows, compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine,
-};
+use slopt_bench::{figure_ckpt_obs, figure_setup, RunnerArgs};
+use slopt_workload::{best_rows, compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
@@ -34,7 +32,8 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let fig = figure_rows_jobs_obs(
+    let fig = figure_ckpt_obs(
+        "fig10",
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -43,8 +42,13 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::Constrained],
         "Figure 10: best layout per struct (automatic vs constrained)",
         setup.jobs,
+        args.checkpoint_spec().as_ref(),
         &obs,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("{fig}");
 
     println!("best layout per struct:");

@@ -7,10 +7,10 @@
 //! comparable on B–E but degrades struct A by **more than 2×** because it
 //! packs the false-sharing counters together.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, RunnerArgs};
-use slopt_workload::{compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine};
+use slopt_bench::{figure_ckpt_obs, figure_setup, RunnerArgs};
+use slopt_workload::{compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
@@ -32,7 +32,8 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let fig = figure_rows_jobs_obs(
+    let fig = figure_ckpt_obs(
+        "fig8",
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -41,8 +42,13 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 8: automatic layout vs sort-by-hotness (128-way Superdome)",
         setup.jobs,
+        args.checkpoint_spec().as_ref(),
         &obs,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("{fig}");
 
     // The paper's headline observation, checked mechanically.

@@ -5,10 +5,10 @@
 //! layout — separating the few false-sharing fields costs nothing when
 //! false sharing is cheap, and the locality improvements still help.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
 
-use slopt_bench::{figure_setup, RunnerArgs};
-use slopt_workload::{compute_paper_layouts_jobs_obs, figure_rows_jobs_obs, LayoutKind, Machine};
+use slopt_bench::{figure_ckpt_obs, figure_setup, RunnerArgs};
+use slopt_workload::{compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
@@ -30,7 +30,8 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::bus(4);
-    let fig = figure_rows_jobs_obs(
+    let fig = figure_ckpt_obs(
+        "fig9",
         &setup.kernel,
         &machine,
         &setup.sdet,
@@ -39,8 +40,13 @@ fn main() {
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 9: the Figure-8 layouts on a 4-way bus machine",
         setup.jobs,
+        args.checkpoint_spec().as_ref(),
         &obs,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("{fig}");
 
     args.finish(&obs);

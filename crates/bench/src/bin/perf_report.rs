@@ -1,16 +1,26 @@
 //! `perf_report` — the self-reporting performance harness.
 //!
-//! Runs three microbenches over the repo's hot paths, each old-vs-new
+//! Runs four microbenches over the repo's hot paths, each old-vs-new
 //! against the retained reference implementations on identical seeds, and
 //! writes `BENCH_sim.json`:
 //!
-//! 1. **engine** — full SDET runs with the dense paged coherence
+//! 1. **cc_stream** — sharded streaming Code Concurrency
+//!    (`shard_concurrency` over `slopt-shard/1` files) vs batch
+//!    `concurrency_map` over the materialized sample vector. Runs
+//!    *first*, and its `peak_rss_kb` is sampled *before* the batch
+//!    reference materializes the samples: because Linux `VmHWM` is a
+//!    process-lifetime high-water mark, this is the only ordering under
+//!    which the streamed figure reflects streaming alone. The bench also
+//!    records `batch_peak_rss_kb` (sampled after the batch reps) so the
+//!    report carries the peak-memory comparison the streaming path
+//!    exists for.
+//! 2. **engine** — full SDET runs with the dense paged coherence
 //!    directory vs the reference `HashMap` directory
 //!    (`MemSystem::set_reference_directory`).
-//! 2. **cc** — `concurrency_map` (interned lines + flat count tensor) vs
+//! 3. **cc** — `concurrency_map` (interned lines + flat count tensor) vs
 //!    `concurrency_map_naive` (triple-nested maps) on one synthetic
 //!    sample stream.
-//! 3. **flg_cluster** — dense triangular `Flg` construction + greedy
+//! 4. **flg_cluster** — dense triangular `Flg` construction + greedy
 //!    clustering vs the hash-map `FlgRef` through the same generic
 //!    `cluster_with`.
 //!
@@ -88,6 +98,10 @@ struct BenchResult {
     /// process-lifetime high-water mark, so per-bench values are
     /// monotonically non-decreasing in run order.
     peak_rss_kb: Option<u64>,
+    /// `cc_stream` only: the high-water mark after the batch reference
+    /// materialized the full sample vector (the figure `peak_rss_kb`
+    /// deliberately excludes).
+    batch_peak_rss_kb: Option<u64>,
 }
 
 /// The process's peak resident set size in kilobytes, from the `VmHWM`
@@ -131,6 +145,95 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let t0 = Instant::now();
     let v = f();
     (v, t0.elapsed().as_secs_f64())
+}
+
+// ------------------------------------------------------------- cc_stream
+
+fn bench_cc_stream(args: &Args) -> BenchResult {
+    // Same stream shape as the batch `cc` bench, but the samples are
+    // generated shard by shard and never held in memory at once: peak
+    // working set is one shard plus the occupied-cell table.
+    let (n, intervals) = if args.quick {
+        (60_000usize, 100u64)
+    } else {
+        (600_000, 1_000)
+    };
+    let shard_size = 32_768;
+    let cfg = ConcurrencyConfig { interval: 1_000 };
+    let span = intervals * cfg.interval;
+    let reps = if args.quick { 2 } else { 3 };
+
+    let dir = std::env::temp_dir().join(format!("slopt_perf_ccstream_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create shard dir");
+    let n_shards = n.div_ceil(shard_size);
+    for i in 0..n_shards {
+        let count = shard_size.min(n - i * shard_size);
+        let mut chunk = synth_samples(count, 16, 400, span, 0xCC57 + i as u64);
+        chunk.sort_by_key(|s| s.time);
+        slopt_sample::write_shard(&dir.join(slopt_sample::shard_file_name(i)), &chunk)
+            .expect("write shard");
+    }
+
+    let mut dense_s = Vec::new();
+    let mut streamed = None;
+    for _ in 0..reps {
+        let (out, td) = time(|| slopt_sample::shard_concurrency(&dir, cfg, 1).expect("stream"));
+        dense_s.push(td);
+        assert_eq!(out.1.samples as usize, n, "stream must ingest every sample");
+        assert_eq!(out.1.shards_skipped, 0, "no shard may be skipped");
+        streamed = Some(out.0);
+    }
+    let streamed = streamed.expect("at least one rep");
+    // Fanned finish, for the parallel column; must be bit-identical.
+    let ((), jobs_total) = time(|| {
+        for _ in 0..reps {
+            let out = slopt_sample::shard_concurrency(&dir, cfg, args.jobs).expect("stream");
+            assert_eq!(
+                out.0.pairs(),
+                streamed.pairs(),
+                "streaming diverged across --jobs"
+            );
+        }
+    });
+
+    // Sample the high-water mark *before* the batch reference materializes
+    // the full sample vector — VmHWM never goes back down.
+    let stream_rss = peak_rss_kb();
+
+    let mut reference_s = Vec::new();
+    let mut batch_rss = None;
+    if args.reference {
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n_shards {
+            let count = shard_size.min(n - i * shard_size);
+            samples.extend(synth_samples(count, 16, 400, span, 0xCC57 + i as u64));
+        }
+        samples.sort_by_key(|s| s.time);
+        for _ in 0..reps {
+            let (batch, tr) = time(|| concurrency_map(&samples, &cfg));
+            reference_s.push(tr);
+            assert_eq!(
+                streamed.pairs(),
+                batch.pairs(),
+                "streamed and batch concurrency maps disagree"
+            );
+        }
+        batch_rss = peak_rss_kb();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    BenchResult {
+        name: "cc_stream",
+        work: format!("{n} samples, {n_shards} shards of {shard_size}, {intervals} intervals"),
+        reps,
+        dense_s,
+        reference_s,
+        dense_jobs_s: Some(jobs_total),
+        jobs: args.jobs,
+        peak_rss_kb: stream_rss,
+        batch_peak_rss_kb: batch_rss,
+    }
 }
 
 // ---------------------------------------------------------------- engine
@@ -231,6 +334,7 @@ fn bench_engine(args: &Args) -> BenchResult {
         dense_jobs_s: Some(jobs_total),
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
+        batch_peak_rss_kb: None,
     }
 }
 
@@ -288,6 +392,7 @@ fn bench_cc(args: &Args) -> BenchResult {
         dense_jobs_s: None,
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
+        batch_peak_rss_kb: None,
     }
 }
 
@@ -354,6 +459,7 @@ fn bench_flg_cluster(args: &Args) -> BenchResult {
         dense_jobs_s: None,
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
+        batch_peak_rss_kb: None,
     }
 }
 
@@ -391,6 +497,9 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
         if let Some(kb) = r.peak_rss_kb {
             fields.push(format!("      \"peak_rss_kb\": {kb}"));
         }
+        if let Some(kb) = r.batch_peak_rss_kb {
+            fields.push(format!("      \"batch_peak_rss_kb\": {kb}"));
+        }
         if let Some(jp) = r.dense_jobs_s {
             fields.push(format!("      \"jobs\": {}", r.jobs));
             fields.push(format!("      \"dense_jobs_total_s\": {jp:.6}"));
@@ -419,6 +528,9 @@ fn main() {
     );
 
     let results = vec![
+        // cc_stream must run first: VmHWM only ever rises, so its peak-RSS
+        // figure is meaningful only before any other bench allocates.
+        bench_cc_stream(&args),
         bench_engine(&args),
         bench_cc(&args),
         bench_flg_cluster(&args),
@@ -448,6 +560,16 @@ fn main() {
                 r.jobs,
                 jp,
                 r.dense_total() / jp
+            );
+        }
+        if let (Some(stream), Some(batch)) = (r.peak_rss_kb, r.batch_peak_rss_kb) {
+            eprintln!(
+                "[perf_report] {:<12} peak RSS streamed {stream} kB vs batch {batch} kB",
+                r.name
+            );
+            assert!(
+                stream < batch,
+                "streamed CC peak RSS must stay strictly below batch"
             );
         }
     }

@@ -20,8 +20,13 @@
 //! tool itself and a *real-hardware* false-sharing benchmark using
 //! `#[repr(C)]` layouts on host threads.
 
+pub mod checkpoint;
 pub mod harness;
 pub mod runner;
 
+pub use checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
 pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
-pub use runner::{measure_cells, measure_cells_obs, parse_jobs, parse_trace_out, Cell, RunnerArgs};
+pub use runner::{
+    figure_ckpt_obs, measure_cells, measure_cells_ckpt_obs, measure_cells_obs,
+    parse_checkpoint_dir, parse_jobs, parse_trace_out, Cell, RunnerArgs,
+};

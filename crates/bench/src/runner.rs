@@ -18,9 +18,14 @@
 //! all).
 
 use slopt_sim::LayoutTable;
-use slopt_workload::{measurement_seeds, run_once, Machine, SdetConfig, Throughput, WorkloadSpec};
+use slopt_workload::{
+    figure_from_throughputs, figure_tables, measurement_seeds, run_once, Figure, Kernel,
+    LayoutKind, Machine, PaperLayouts, SdetConfig, Throughput, WorkloadSpec,
+};
 
+use crate::checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
 use crate::harness::parse_scale;
+use std::path::PathBuf;
 
 /// The command-line arguments shared by every figure/ablation binary.
 #[derive(Clone, Debug)]
@@ -35,6 +40,10 @@ pub struct RunnerArgs {
     pub trace_out: Option<String>,
     /// Print the human counter/span summary table at exit (`--stats`).
     pub stats: bool,
+    /// Grid checkpoint directory (`--checkpoint-dir <dir>`).
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the checkpoint instead of starting fresh (`--resume`).
+    pub resume: bool,
 }
 
 impl RunnerArgs {
@@ -44,15 +53,26 @@ impl RunnerArgs {
         RunnerArgs::from_args(&args)
     }
 
-    /// Parses `--scale N`, `--jobs N`, `--trace-out <path>` and `--stats`
-    /// from an argument list.
+    /// Parses `--scale N`, `--jobs N`, `--trace-out <path>`, `--stats`,
+    /// `--checkpoint-dir <dir>` and `--resume` from an argument list.
     pub fn from_args(args: &[String]) -> RunnerArgs {
         RunnerArgs {
             scale: parse_scale(args),
             jobs: parse_jobs(args),
             trace_out: parse_trace_out(args),
             stats: args.iter().any(|a| a == "--stats"),
+            checkpoint_dir: parse_checkpoint_dir(args),
+            resume: args.iter().any(|a| a == "--resume"),
         }
+    }
+
+    /// The checkpoint request, if `--checkpoint-dir` was given. `--resume`
+    /// without a checkpoint directory is meaningless and ignored.
+    pub fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
+        self.checkpoint_dir.as_ref().map(|dir| CheckpointSpec {
+            dir: PathBuf::from(dir),
+            resume: self.resume,
+        })
     }
 
     /// Builds the observability handle the flags ask for: a trace-file
@@ -89,6 +109,13 @@ impl RunnerArgs {
 pub fn parse_trace_out(args: &[String]) -> Option<String> {
     args.windows(2)
         .find(|w| w[0] == "--trace-out")
+        .map(|w| w[1].clone())
+}
+
+/// Parses the optional `--checkpoint-dir <dir>` argument.
+pub fn parse_checkpoint_dir(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == "--checkpoint-dir")
         .map(|w| w[1].clone())
 }
 
@@ -156,24 +183,94 @@ pub fn measure_cells_obs(
     jobs: usize,
     obs: &slopt_obs::Obs,
 ) -> Vec<Throughput> {
+    measure_cells_ckpt_obs("grid", kernel, cells, runs, jobs, None, obs)
+        .expect("no checkpoint requested, so no I/O can fail")
+}
+
+/// [`measure_cells_obs`] with optional checkpoint/resume.
+///
+/// With a [`CheckpointSpec`], every completed `(cell, seed)` grid item is
+/// appended to `<name>.ckpt` under the checkpoint directory as it
+/// finishes; a later invocation with `resume` loads those items and
+/// recomputes only the rest. Persisted values are exact `f64` bit
+/// patterns and results are assembled by grid index either way, so a
+/// resumed run's output is bit-identical to an uninterrupted one. The
+/// log header fingerprints the grid (name, run count, per-cell label +
+/// machine + workload config), so resuming a *different* grid is an
+/// error rather than a silent mix of experiments.
+///
+/// Emits `ckpt.items_total` / `ckpt.items_resumed` counters and a
+/// `ckpt.torn_line` warning when the previous run died mid-append.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure_cells_ckpt_obs(
+    name: &str,
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<Vec<Throughput>> {
     assert!(runs > 0, "need at least one measured run");
     let seeds = measurement_seeds(runs);
-    eprintln!(
-        "[runner] measuring {} cells x {} runs (+warm-up) on {} thread(s)...",
-        cells.len(),
-        runs,
-        jobs.max(1).min(cells.len() * seeds.len())
-    );
     let grid: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|c| seeds.iter().map(move |&seed| (c, seed)))
         .collect();
+
+    let ckpt = match spec {
+        Some(spec) => {
+            let mut parts: Vec<String> = vec![name.to_string(), format!("runs={runs}")];
+            for cell in cells {
+                parts.push(format!("{} {:?} {:?}", cell.label, cell.machine, cell.sdet));
+            }
+            let fp = fingerprint(parts.iter().map(String::as_str));
+            let ck = Checkpoint::open(spec, name, grid.len(), fp)?;
+            if obs.enabled() {
+                obs.counter("ckpt.items_total", grid.len() as u64);
+                obs.counter("ckpt.items_resumed", ck.resumed() as u64);
+                if ck.dropped_torn_line() {
+                    obs.warning("ckpt.torn_line");
+                }
+            }
+            if spec.resume {
+                eprintln!(
+                    "[runner] checkpoint {}: {} of {} grid items already done",
+                    ck.path().display(),
+                    ck.resumed(),
+                    grid.len()
+                );
+            }
+            Some(ck)
+        }
+        None => None,
+    };
+
+    let mut values: Vec<Option<f64>> = (0..grid.len())
+        .map(|i| ckpt.as_ref().and_then(|ck| ck.get(i)))
+        .collect();
+    let pending: Vec<(usize, usize, u64)> = grid
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| values[i].is_none())
+        .map(|(i, &(c, seed))| (i, c, seed))
+        .collect();
+    eprintln!(
+        "[runner] measuring {} cells x {} runs (+warm-up), {} item(s) on {} thread(s)...",
+        cells.len(),
+        runs,
+        pending.len(),
+        jobs.max(1).min(pending.len().max(1))
+    );
     let t0 = std::time::Instant::now();
-    let values = {
+    let computed = {
         let _span = obs.span("measure_grid");
-        slopt_core::par_map(jobs, &grid, |_, &(c, seed)| {
+        slopt_core::par_map(jobs, &pending, |_, &(i, c, seed)| {
             let _cell = obs.span("measure_cell");
             let cell = &cells[c];
-            run_once(
+            let value = run_once(
                 kernel,
                 &cell.table,
                 &cell.machine,
@@ -182,9 +279,16 @@ pub fn measure_cells_obs(
                 &mut slopt_sim::NullObserver,
             )
             .result
-            .throughput()
+            .throughput();
+            if let Some(ck) = &ckpt {
+                ck.record(i, value);
+            }
+            (i, value)
         })
     };
+    for (i, value) in computed {
+        values[i] = Some(value);
+    }
     if obs.enabled() {
         obs.counter("runner.cells", cells.len() as u64);
         obs.counter("runner.runs_per_cell", seeds.len() as u64);
@@ -199,10 +303,70 @@ pub fn measure_cells_obs(
             }
         }
     }
-    values
+    let values: Vec<f64> = values
+        .into_iter()
+        .map(|v| v.expect("every grid item was loaded or computed"))
+        .collect();
+    Ok(values
         .chunks_exact(seeds.len())
         .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()))
-        .collect()
+        .collect())
+}
+
+/// Measures one figure's grid — the all-baseline table plus one
+/// transformed struct at a time — with optional checkpoint/resume, and
+/// assembles the [`Figure`].
+///
+/// This is [`slopt_workload::figure_rows_jobs_obs`] routed through
+/// [`measure_cells_ckpt_obs`]: the grid comes from the same
+/// [`figure_tables`] call (the single source of cell order), so the
+/// result is bit-identical to the direct path for every `jobs` value,
+/// checkpointed or not. With a spec, the analysis' concurrency map is
+/// additionally snapshotted to `cc.snap` ([`guard_cc_snapshot`]): a
+/// resumed run whose analysis drifted from the checkpointed one fails
+/// instead of mixing two experiments.
+#[allow(clippy::too_many_arguments)]
+pub fn figure_ckpt_obs(
+    name: &str,
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<Figure> {
+    if let Some(spec) = spec {
+        guard_cc_snapshot(spec, &layouts.analysis.concurrency)?;
+    }
+    let (tables, meta) = figure_tables(kernel, sdet, layouts, kinds);
+    let cells: Vec<Cell> = tables
+        .into_iter()
+        .enumerate()
+        .map(|(i, table)| Cell {
+            label: if i == 0 {
+                "baseline".to_string()
+            } else {
+                let (letter, _, kind) = meta[i - 1];
+                format!("{letter}/{kind}")
+            },
+            table,
+            sdet: sdet.clone(),
+            machine: machine.clone(),
+        })
+        .collect();
+    let mut per_table =
+        measure_cells_ckpt_obs(name, kernel, &cells, runs, jobs, spec, obs)?.into_iter();
+    let baseline = per_table.next().expect("table 0 is always present");
+    Ok(figure_from_throughputs(
+        title,
+        &meta,
+        baseline,
+        per_table.collect(),
+    ))
 }
 
 #[cfg(test)]
@@ -275,6 +439,71 @@ mod tests {
         assert_eq!(s.span_count("measure_cell"), 3);
         assert_eq!(s.span_count("measure_grid"), 1);
         assert_eq!(s.metrics.counter("runner.cells"), 1);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let args: Vec<String> = ["--checkpoint-dir", "/tmp/ck", "--resume"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ra = RunnerArgs::from_args(&args);
+        assert_eq!(ra.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert!(ra.resume);
+        let spec = ra.checkpoint_spec().expect("dir given");
+        assert_eq!(spec.dir, PathBuf::from("/tmp/ck"));
+        assert!(spec.resume);
+        let none = RunnerArgs::from_args(&[]);
+        assert!(none.checkpoint_spec().is_none());
+    }
+
+    #[test]
+    fn checkpointed_cells_match_plain_cells_after_partial_run() {
+        let kernel = build_kernel();
+        let cfg = small_cfg();
+        let machine = Machine::bus(2);
+        let table = baseline_layouts(&kernel, cfg.line_size);
+        let cells: Vec<Cell> = (0..2)
+            .map(|i| Cell {
+                label: format!("cell{i}"),
+                table: table.clone(),
+                sdet: cfg.clone(),
+                machine: machine.clone(),
+            })
+            .collect();
+        let plain = measure_cells(&kernel, &cells, 3, 2);
+
+        let dir = std::env::temp_dir().join(format!("slopt_runner_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CheckpointSpec {
+            dir: dir.clone(),
+            resume: false,
+        };
+        let obs = slopt_obs::Obs::disabled();
+        // Full checkpointed run, then truncate the log to simulate a kill
+        // after the first two grid items.
+        let full = measure_cells_ckpt_obs("t", &kernel, &cells, 3, 1, Some(&spec), &obs).unwrap();
+        let path = dir.join("t.ckpt");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let resume = CheckpointSpec {
+            dir: dir.clone(),
+            resume: true,
+        };
+        let obs = slopt_obs::Obs::aggregating();
+        let resumed =
+            measure_cells_ckpt_obs("t", &kernel, &cells, 3, 2, Some(&resume), &obs).unwrap();
+        let s = obs.summary();
+        assert_eq!(s.metrics.counter("ckpt.items_resumed"), 2);
+        assert_eq!(s.metrics.counter("ckpt.items_total"), 8);
+        for ((a, b), c) in plain.iter().zip(&full).zip(&resumed) {
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.runs, c.runs);
+            assert_eq!(a.mean, c.mean, "resumed result must be bit-identical");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The `slopt-tool` subcommands.
 
+use slopt_bench::{figure_ckpt_obs, CheckpointSpec};
 use slopt_core::{to_dot, DotOptions, ToolParams};
 use slopt_sim::AccessClass;
 use slopt_workload::{
-    analyze_obs, baseline_layouts, build_kernel, compute_paper_layouts_jobs_obs,
-    figure_rows_jobs_obs, layouts_with, measure_jobs, run_once_obs, suggest_for_obs,
-    AnalysisConfig, LayoutKind, Machine, SdetConfig,
+    analyze_obs, baseline_layouts, build_kernel, compute_paper_layouts_jobs_obs, layouts_with,
+    measure_jobs, run_once_obs, suggest_for_obs, AnalysisConfig, LayoutKind, Machine, SdetConfig,
 };
 use std::path::PathBuf;
 
@@ -29,10 +29,13 @@ USAGE:
         Run the SDET-like workload with baseline layouts and print the
         memory-system breakdown per structure (a `perf c2c`-style view).
 
-    slopt-tool figures [--scale N] [--jobs N]
+    slopt-tool figures [--scale N] [--jobs N] [--checkpoint-dir DIR [--resume]]
         Regenerate the paper's Figures 8, 9 and 10 in one go. --jobs fans
         the measurement grid across N host threads (default: all cores);
-        the output is bit-identical for every N.
+        the output is bit-identical for every N. With --checkpoint-dir,
+        every completed grid item is persisted as it finishes; re-running
+        with --resume recomputes only the missing items and yields a
+        bit-identical result.
 
     slopt-tool stats <trace.jsonl>
         Replay a saved run trace and print the aggregate counter/span
@@ -321,27 +324,45 @@ pub fn figures(args: &[String]) -> Result<(), String> {
         &obs,
     );
 
-    for (machine, kinds, title) in [
+    let ckpt = flag_value(args, "--checkpoint-dir").map(|dir| CheckpointSpec {
+        dir: PathBuf::from(dir),
+        resume: args.iter().any(|a| a == "--resume"),
+    });
+    for (name, machine, kinds, title) in [
         (
+            "fig8",
             Machine::superdome(128),
             vec![LayoutKind::Tool, LayoutKind::SortByHotness],
             "Figure 8 (128-way)",
         ),
         (
+            "fig9",
             Machine::bus(4),
             vec![LayoutKind::Tool, LayoutKind::SortByHotness],
             "Figure 9 (4-way)",
         ),
         (
+            "fig10",
             Machine::superdome(128),
             vec![LayoutKind::Tool, LayoutKind::Constrained],
             "Figure 10 (best layouts)",
         ),
     ] {
         eprintln!("[figures] {} ...", title);
-        let fig = figure_rows_jobs_obs(
-            &kernel, &machine, &sdet, runs, &layouts, &kinds, title, jobs, &obs,
-        );
+        let fig = figure_ckpt_obs(
+            name,
+            &kernel,
+            &machine,
+            &sdet,
+            runs,
+            &layouts,
+            &kinds,
+            title,
+            jobs,
+            ckpt.as_ref(),
+            &obs,
+        )
+        .map_err(|e| format!("{title}: {e}"))?;
         println!("{fig}");
     }
     // A tiny shared-measure sanity line so users see the baseline too.

@@ -70,6 +70,7 @@ pub mod inline;
 pub mod interp;
 pub mod layout;
 pub mod loops;
+pub mod par;
 pub mod profile;
 pub mod source;
 pub mod text;
@@ -84,6 +85,7 @@ pub use cfg::{
 pub use fmf::FieldMap;
 pub use inline::{inline_program, InlineParams};
 pub use layout::{LayoutError, StructLayout, DEFAULT_LINE_SIZE};
+pub use par::{default_jobs, par_map};
 pub use profile::Profile;
 pub use source::SourceLine;
 pub use text::{parse_program, print_program, ParseError};

@@ -1,0 +1,140 @@
+//! Deterministic fan-out across host threads.
+//!
+//! Every parallel axis in the workspace (independent simulator runs,
+//! per-record layout suggestion, figure/ablation sweep cells) goes through
+//! [`par_map`], which enforces the two rules that make parallel results
+//! bit-identical to serial ones:
+//!
+//! 1. **work items carry their inputs explicitly** — the closure receives
+//!    the item index and a shared reference; it must derive any randomness
+//!    from seeds stored in the item, never from global or thread-local
+//!    state;
+//! 2. **results are collected by item index**, never by completion order.
+//!
+//! The scheduler is a simple atomic work queue over `std::thread::scope`:
+//! dynamic load balancing (items can be wildly uneven — a 128-way
+//! simulator run next to a 4-way one) with no unsafe code and no
+//! dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The host's available parallelism (the default for `--jobs`).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` threads, returning results in
+/// item order — bit-identical to the serial `items.iter().map(..)` as long
+/// as `f` is a pure function of `(index, item)`.
+///
+/// `jobs == 0` is treated as 1. With one job (or zero/one items) no
+/// threads are spawned at all, so `par_map(1, ..)` *is* the serial code
+/// path, not an emulation of it.
+///
+/// # Panics
+///
+/// Propagates the first panic of any worker thread.
+pub fn par_map<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Reassemble by index: completion order never leaks into the result.
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    for chunk in per_worker {
+        for (i, v) in chunk {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("atomic queue visits every index exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let parallel = par_map(jobs, &items, |_, &x| x * x);
+            assert_eq!(parallel, serial, "jobs={jobs} must match serial");
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_collects_by_index() {
+        // Make early items slow so late items finish first.
+        let items: Vec<usize> = (0..16).collect();
+        let out = par_map(4, &items, |i, &x| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_input_are_fine() {
+        assert_eq!(par_map(0, &[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
+        let empty: Vec<i32> = vec![];
+        assert_eq!(par_map(8, &empty, |_, &x| x), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(7, &items, |i, &x| (i, x));
+        for (i, &(idx, val)) in out.iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(i, val);
+        }
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

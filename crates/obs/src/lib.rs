@@ -188,6 +188,22 @@ impl Obs {
         st.sink.counter(tid, name, value as f64, ts);
     }
 
+    /// Records one occurrence of a recoverable anomaly (a skipped shard,
+    /// a torn checkpoint line, …) as counter `warn.<name>`. Warnings are
+    /// ordinary counters — they ride along in `--stats` tables and
+    /// traces — but the shared prefix lets [`Summary::warning_total`]
+    /// and operators spot them at a glance.
+    pub fn warning(&self, name: &str) {
+        self.warning_n(name, 1);
+    }
+
+    /// [`warning`](Obs::warning) with an explicit occurrence count.
+    pub fn warning_n(&self, name: &str, count: u64) {
+        if self.enabled() {
+            self.counter(&format!("warn.{name}"), count);
+        }
+    }
+
     /// Sets gauge `name` to `value` and emits a `C` event.
     pub fn gauge(&self, name: &str, value: f64) {
         let Some(shared) = &self.shared else { return };
@@ -302,6 +318,17 @@ impl Summary {
     /// Total completions of `name` across all threads.
     pub fn span_count(&self, name: &str) -> u64 {
         self.span_rows(name).map(|r| r.count).sum()
+    }
+
+    /// Sum of all `warn.*` counters — the run's recoverable-anomaly
+    /// count (skipped shards, torn checkpoint lines, …). Zero on a
+    /// clean run.
+    pub fn warning_total(&self) -> u64 {
+        self.metrics
+            .counters()
+            .filter(|(name, _)| name.starts_with("warn."))
+            .map(|(_, v)| v)
+            .sum()
     }
 }
 
@@ -462,6 +489,25 @@ mod tests {
         drop(got);
         assert_eq!(obs.summary().metrics.counter("items"), 3);
         assert_eq!(obs.summary().span_count("worker"), 3);
+    }
+
+    #[test]
+    fn warnings_are_prefixed_counters() {
+        let obs = Obs::aggregating();
+        obs.warning("shard.skipped.truncated");
+        obs.warning("shard.skipped.truncated");
+        obs.warning_n("shard.missing", 3);
+        obs.counter("cc.pairs", 10); // not a warning
+        let s = obs.summary();
+        assert_eq!(s.metrics.counter("warn.shard.skipped.truncated"), 2);
+        assert_eq!(s.metrics.counter("warn.shard.missing"), 3);
+        assert_eq!(s.warning_total(), 5);
+        assert!(s.to_string().contains("warn.shard.skipped.truncated"));
+
+        // Disabled handles pay one branch and allocate nothing.
+        let off = Obs::disabled();
+        off.warning("x");
+        assert_eq!(off.summary().warning_total(), 0);
     }
 
     #[test]

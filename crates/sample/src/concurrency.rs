@@ -139,6 +139,22 @@ impl ConcurrencyMap {
         concurrency_map(samples, cfg)
     }
 
+    /// The canonical empty map: no interned lines, no pairs. This is what
+    /// the estimator returns for an empty trace (and for any trace without
+    /// cross-CPU overlap, e.g. a single-CPU or single-sample run).
+    pub fn empty() -> Self {
+        ConcurrencyMap::default()
+    }
+
+    /// Assembles a map from an interner and a normalized
+    /// `(min_id, max_id) -> cc` pair map. Used by the streaming path
+    /// ([`crate::shard`]) and the snapshot loader ([`crate::snapshot`]);
+    /// callers must guarantee keys are normalized and non-zero.
+    pub(crate) fn from_parts(interner: LineInterner, map: HashMap<(u32, u32), u64>) -> Self {
+        debug_assert!(map.iter().all(|(&(a, b), &cc)| a <= b && cc > 0));
+        ConcurrencyMap { interner, map }
+    }
+
     /// The concurrency value for a pair of lines (0 if never concurrent).
     pub fn get(&self, a: SourceLine, b: SourceLine) -> u64 {
         let (Some(ia), Some(ib)) = (self.interner.id(a), self.interner.id(b)) else {
@@ -201,6 +217,154 @@ impl ConcurrencyMap {
 /// distinct lines, well below the limit.
 const DENSE_ACCUMULATOR_LINE_LIMIT: usize = 2048;
 
+/// Per-pair min-sum accumulator shared by the batch path
+/// ([`concurrency_map`]) and the streaming path
+/// ([`crate::shard::StreamingConcurrency`]): a dense triangular `u64`
+/// array when the line universe is small, a hash map beyond
+/// ([`DENSE_ACCUMULATOR_LINE_LIMIT`]).
+///
+/// All contributions are exact `u64` additions, so accumulators over
+/// disjoint interval sets can be [`merge`](CcAccumulator::merge)d in any
+/// order without changing the final map — the determinism argument for
+/// the parallel shard merge (DESIGN.md §11).
+#[derive(Clone, Debug)]
+pub(crate) struct CcAccumulator {
+    n_lines: usize,
+    dense: bool,
+    tri: Vec<u64>,
+    sparse: HashMap<(u32, u32), u64>,
+}
+
+impl CcAccumulator {
+    /// An empty accumulator over a universe of `n_lines` interned lines.
+    pub(crate) fn new(n_lines: usize) -> Self {
+        let dense = n_lines <= DENSE_ACCUMULATOR_LINE_LIMIT;
+        CcAccumulator {
+            n_lines,
+            dense,
+            tri: vec![
+                0u64;
+                if dense {
+                    n_lines * (n_lines + 1) / 2
+                } else {
+                    0
+                }
+            ],
+            sparse: HashMap::new(),
+        }
+    }
+
+    /// Whether the dense triangular backing is in use.
+    pub(crate) fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Triangular index of `(i <= j)` with diagonal: row `i` starts at
+    /// `i*n - i*(i-1)/2 = i*(2n+1-i)/2`, offset `j - i`.
+    #[inline]
+    fn tri_idx(&self, i: usize, j: usize) -> usize {
+        i * (2 * self.n_lines + 1 - i) / 2 + (j - i)
+    }
+
+    /// Adds `v` to the normalized pair `(li <= lj)`.
+    #[inline]
+    pub(crate) fn add(&mut self, li: u32, lj: u32, v: u64) {
+        debug_assert!(li <= lj);
+        if self.dense {
+            let idx = self.tri_idx(li as usize, lj as usize);
+            self.tri[idx] += v;
+        } else {
+            *self.sparse.entry((li, lj)).or_insert(0) += v;
+        }
+    }
+
+    /// Folds `other` (an accumulator over the same line universe) into
+    /// `self` by elementwise addition. Exact and commutative, hence
+    /// merge-order independent.
+    pub(crate) fn merge(&mut self, other: CcAccumulator) {
+        debug_assert_eq!(self.n_lines, other.n_lines);
+        debug_assert_eq!(self.dense, other.dense);
+        if self.dense {
+            for (a, b) in self.tri.iter_mut().zip(other.tri) {
+                *a += b;
+            }
+        } else {
+            for (k, v) in other.sparse {
+                *self.sparse.entry(k).or_insert(0) += v;
+            }
+        }
+    }
+
+    /// The final normalized pair map, dropping zero entries.
+    pub(crate) fn into_map(self) -> HashMap<(u32, u32), u64> {
+        if self.dense {
+            let mut map = HashMap::new();
+            for i in 0..self.n_lines {
+                for j in i..self.n_lines {
+                    let cc = self.tri[self.tri_idx(i, j)];
+                    if cc > 0 {
+                        map.insert((i as u32, j as u32), cc);
+                    }
+                }
+            }
+            map
+        } else {
+            let mut map = self.sparse;
+            map.retain(|_, v| *v > 0);
+            map
+        }
+    }
+}
+
+/// Accumulates one interval's `Σ_{Pm≠Pn} min(F_I(Pm,Bi), F_I(Pn,Bj))`
+/// into `acc`, given the interval's flat `[cpu × line]` count block
+/// (`rows`, length `n_cpus * n_lines`). `touched` is caller-provided
+/// scratch (one sorted touched-line list per CPU, cleared here) so the
+/// per-interval loop allocates nothing.
+///
+/// This is a pure function of the count block, which is what makes the
+/// streaming path bit-identical to the batch path: both feed the same
+/// per-interval blocks through this one kernel.
+pub(crate) fn interval_minsum(
+    rows: &[u64],
+    n_cpus: usize,
+    n_lines: usize,
+    touched: &mut [Vec<u32>],
+    acc: &mut CcAccumulator,
+) {
+    debug_assert_eq!(rows.len(), n_cpus * n_lines);
+    debug_assert_eq!(touched.len(), n_cpus);
+    for (ci, t) in touched.iter_mut().enumerate() {
+        t.clear();
+        let row = &rows[ci * n_lines..(ci + 1) * n_lines];
+        t.extend(
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(li, _)| li as u32),
+        );
+    }
+    for m in 0..n_cpus {
+        let row_m = &rows[m * n_lines..(m + 1) * n_lines];
+        for n in 0..n_cpus {
+            if m == n {
+                continue;
+            }
+            let row_n = &rows[n * n_lines..(n + 1) * n_lines];
+            for &li in &touched[m] {
+                let ci = row_m[li as usize];
+                // Accumulate each ordered (line_i, line_j) pair once:
+                // keep only li <= lj so the normalized key receives
+                // exactly the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)).
+                let from = touched[n].partition_point(|&lj| lj < li);
+                for &lj in &touched[n][from..] {
+                    acc.add(li, lj, ci.min(row_n[lj as usize]));
+                }
+            }
+        }
+    }
+}
+
 /// Computes the concurrency map from samples.
 ///
 /// Samples may be in any order. Lines, CPUs and intervals are interned
@@ -236,6 +400,14 @@ pub fn concurrency_map_obs(
     assert!(cfg.interval > 0, "interval must be non-zero");
     let _span = obs.span("cc_build");
 
+    // An empty trace has no interval structure at all: return the
+    // canonical empty map rather than running the interner/tensor
+    // machinery on zero-length inputs (tests/edge_cases.rs pins this, and
+    // the single-interval / single-CPU cases, down).
+    if samples.is_empty() {
+        return ConcurrencyMap::empty();
+    }
+
     let interner = LineInterner::from_lines(samples.iter().map(|s| s.line));
     let n_lines = interner.len();
 
@@ -259,76 +431,18 @@ pub fn concurrency_map_obs(
         counts[(ti * n_cpus + ci) * n_lines + li] += 1;
     }
 
-    // Accumulate min-sums per normalized (id_a <= id_b) pair: dense
-    // triangular array when the line universe is small, hash map beyond.
-    let dense_acc = n_lines <= DENSE_ACCUMULATOR_LINE_LIMIT;
-    let mut tri = vec![
-        0u64;
-        if dense_acc {
-            n_lines * (n_lines + 1) / 2
-        } else {
-            0
-        }
-    ];
-    let mut sparse: HashMap<(u32, u32), u64> = HashMap::new();
-    // Triangular index of (i <= j) with diagonal: row i starts at
-    // i*n - i*(i-1)/2 = i*(2n+1-i)/2, offset j - i.
-    let tri_idx = |i: usize, j: usize| i * (2 * n_lines + 1 - i) / 2 + (j - i);
-
+    // Accumulate min-sums per normalized (id_a <= id_b) pair through the
+    // shared per-interval kernel (also the streaming path's kernel).
+    let mut acc = CcAccumulator::new(n_lines);
+    let dense_acc = acc.is_dense();
     let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
     for ti in 0..n_intervals {
         let base = ti * n_cpus * n_lines;
         let rows = &counts[base..base + n_cpus * n_lines];
-        for (ci, t) in touched.iter_mut().enumerate() {
-            t.clear();
-            let row = &rows[ci * n_lines..(ci + 1) * n_lines];
-            t.extend(
-                row.iter()
-                    .enumerate()
-                    .filter(|&(_, &c)| c > 0)
-                    .map(|(li, _)| li as u32),
-            );
-        }
-        for m in 0..n_cpus {
-            let row_m = &rows[m * n_lines..(m + 1) * n_lines];
-            for n in 0..n_cpus {
-                if m == n {
-                    continue;
-                }
-                let row_n = &rows[n * n_lines..(n + 1) * n_lines];
-                for &li in &touched[m] {
-                    let ci = row_m[li as usize];
-                    // Accumulate each ordered (line_i, line_j) pair once:
-                    // keep only li <= lj so the normalized key receives
-                    // exactly the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)).
-                    let from = touched[n].partition_point(|&lj| lj < li);
-                    for &lj in &touched[n][from..] {
-                        let add = ci.min(row_n[lj as usize]);
-                        if dense_acc {
-                            tri[tri_idx(li as usize, lj as usize)] += add;
-                        } else {
-                            *sparse.entry((li, lj)).or_insert(0) += add;
-                        }
-                    }
-                }
-            }
-        }
+        interval_minsum(rows, n_cpus, n_lines, &mut touched, &mut acc);
     }
 
-    let map = if dense_acc {
-        let mut map = HashMap::new();
-        for i in 0..n_lines {
-            for j in i..n_lines {
-                let cc = tri[tri_idx(i, j)];
-                if cc > 0 {
-                    map.insert((i as u32, j as u32), cc);
-                }
-            }
-        }
-        map
-    } else {
-        sparse
-    };
+    let map = acc.into_map();
     if obs.enabled() {
         obs.counter("cc.samples_bucketed", samples.len() as u64);
         obs.counter("cc.lines", n_lines as u64);

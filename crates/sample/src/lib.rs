@@ -17,6 +17,11 @@
 //!
 //! The output of step 3 is the negative-edge input of the Field Layout
 //! Graph built in `slopt-core`.
+//!
+//! For production-scale traces, [`shard`] replaces the in-memory trace
+//! with fixed-size on-disk shards and a bounded-memory
+//! [`StreamingConcurrency`] fold that is bit-identical to step 2, and
+//! [`snapshot`] persists concurrency maps for checkpointed grid runs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -24,6 +29,8 @@
 pub mod concurrency;
 pub mod cycleloss;
 pub mod sampler;
+pub mod shard;
+pub mod snapshot;
 
 pub use concurrency::{
     concurrency_map, concurrency_map_naive, concurrency_map_obs, ConcurrencyConfig, ConcurrencyMap,
@@ -31,3 +38,8 @@ pub use concurrency::{
 };
 pub use cycleloss::{cycle_loss, cycle_loss_filtered, cycle_loss_weighted, CycleLossMap};
 pub use sampler::{ExactCounter, Sample, Sampler, SamplerConfig};
+pub use shard::{
+    read_shard, shard_concurrency, shard_concurrency_obs, shard_file_name, write_shard,
+    write_shards, ShardError, ShardIngestStats, ShardReader, ShardSpool, StreamingConcurrency,
+};
+pub use snapshot::{load_concurrency, save_concurrency, SnapshotError};

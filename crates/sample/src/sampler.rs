@@ -110,6 +110,15 @@ impl Sampler {
         self.samples
     }
 
+    /// Takes the samples collected so far, leaving the sampler running
+    /// with an empty buffer. This is the shard spool's drain point
+    /// ([`crate::shard::ShardSpool`]): the per-CPU sampling clocks and the
+    /// loss/jitter RNG keep their state, so draining never changes *which*
+    /// samples are emitted, only where they are buffered.
+    pub fn drain_samples(&mut self) -> Vec<Sample> {
+        std::mem::take(&mut self.samples)
+    }
+
     /// Number of due samples dropped by the loss model.
     pub fn dropped(&self) -> u64 {
         self.dropped

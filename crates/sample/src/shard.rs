@@ -1,0 +1,911 @@
+//! Streaming sharded sample ingestion (`slopt-shard/1`).
+//!
+//! The batch pipeline materializes the whole sample trace in memory
+//! before [`crate::concurrency_map`] buckets it — fine for the paper's
+//! benchmarks, a non-starter for production-scale profiles (ROADMAP
+//! "heavy traffic from millions of users"). This module bounds peak RSS
+//! by spooling samples to fixed-size binary **shards** on disk and
+//! folding them into the Code Concurrency estimate one shard at a time:
+//!
+//! * [`ShardSpool`] — an [`Observer`] that drains its [`Sampler`] to
+//!   `shard-NNNNN.slshard` files every `shard_size` samples, so the
+//!   in-memory buffer never exceeds one shard.
+//! * [`ShardReader`] — scans a shard directory and yields each shard's
+//!   samples, reporting malformed files as typed [`ShardError`]s instead
+//!   of panicking.
+//! * [`StreamingConcurrency`] — folds sample batches into a sparse
+//!   occupied-cell map keyed by `(interval, cpu, line)`; memory is
+//!   proportional to *distinct* cells, not trace length. `finish_jobs`
+//!   replays the cells through the same per-interval kernel as the batch
+//!   path ([`crate::concurrency::interval_minsum`]), in parallel over
+//!   interval groups, and merges the triangular accumulators by exact
+//!   `u64` addition — bit-identical to [`crate::concurrency_map`] for
+//!   every shard size and every `--jobs` (see DESIGN.md §11).
+//! * [`shard_concurrency_obs`] — the end-to-end fold over a directory:
+//!   malformed, truncated or missing shards are *skipped*, counted in
+//!   [`ShardIngestStats`] and as `warn.shard.*` counters, never a panic.
+//!
+//! ## On-disk format (`slopt-shard/1`)
+//!
+//! Little-endian throughout. A 32-byte header:
+//!
+//! ```text
+//! magic    8 B   "SLSHARD1"
+//! version  u32   1
+//! count    u32   number of records
+//! min_time u64   smallest record time
+//! max_time u64   largest record time
+//! ```
+//!
+//! followed by exactly `count` 24-byte records:
+//!
+//! ```text
+//! time  u64 · cpu  u16 · pad  u16 (zero) · func u32 · block u32 · line u32
+//! ```
+//!
+//! Records are non-decreasing in `time` and within
+//! `[min_time, max_time]`; readers verify both plus the exact file
+//! length, so truncation and corruption are detected structurally.
+
+use crate::concurrency::LineInterner;
+use crate::concurrency::{interval_minsum, CcAccumulator, ConcurrencyConfig, ConcurrencyMap};
+use crate::sampler::{Sample, Sampler, SamplerConfig};
+use slopt_ir::cfg::{BlockId, FuncId};
+use slopt_ir::par::par_map;
+use slopt_ir::source::SourceLine;
+use slopt_obs::Obs;
+use slopt_sim::{CpuId, Observer};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Shard format magic bytes.
+pub const SHARD_MAGIC: [u8; 8] = *b"SLSHARD1";
+/// Current shard format version.
+pub const SHARD_VERSION: u32 = 1;
+/// Header size in bytes.
+const HEADER_LEN: usize = 32;
+/// Record size in bytes.
+const RECORD_LEN: usize = 24;
+/// Shard file extension.
+pub const SHARD_EXT: &str = "slshard";
+
+/// Why a shard could not be ingested. Every variant is a *skip*, never a
+/// panic: the fold continues with the remaining shards.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The first 8 bytes are not [`SHARD_MAGIC`].
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// File length disagrees with the header's record count (truncated
+    /// mid-write, or trailing garbage).
+    Truncated {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Record times decrease at this record index.
+    OutOfOrder(usize),
+    /// A record time falls outside the header's `[min_time, max_time]`.
+    TimeBounds(usize),
+}
+
+impl ShardError {
+    /// A stable short key for skip-reason counters
+    /// (`warn.shard.skipped.<key>`).
+    pub fn reason_key(&self) -> &'static str {
+        match self {
+            ShardError::Io(_) => "io",
+            ShardError::BadMagic => "bad_magic",
+            ShardError::BadVersion(_) => "bad_version",
+            ShardError::Truncated { .. } => "truncated",
+            ShardError::OutOfOrder(_) => "out_of_order",
+            ShardError::TimeBounds(_) => "time_bounds",
+        }
+    }
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "io error: {e}"),
+            ShardError::BadMagic => write!(f, "bad magic (not a slopt-shard/1 file)"),
+            ShardError::BadVersion(v) => write!(f, "unsupported shard version {v}"),
+            ShardError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated: header promises {expected} bytes, file has {actual}"
+                )
+            }
+            ShardError::OutOfOrder(i) => write!(f, "record {i}: time decreases"),
+            ShardError::TimeBounds(i) => {
+                write!(f, "record {i}: time outside header min/max bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// The canonical file name of shard `index`.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:05}.{SHARD_EXT}")
+}
+
+/// Serializes `samples` (non-decreasing in time) to `path` in
+/// `slopt-shard/1` format. An empty slice writes a valid zero-record
+/// shard.
+///
+/// Returns `InvalidInput` if the samples are not sorted by time — the
+/// format's bounds check depends on it, and every writer in this crate
+/// sorts before calling.
+pub fn write_shard(path: &Path, samples: &[Sample]) -> io::Result<()> {
+    if samples.windows(2).any(|w| w[1].time < w[0].time) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "shard samples must be sorted by time",
+        ));
+    }
+    let (min_time, max_time) = match (samples.first(), samples.last()) {
+        (Some(a), Some(b)) => (a.time, b.time),
+        _ => (0, 0),
+    };
+    let mut buf = Vec::with_capacity(HEADER_LEN + RECORD_LEN * samples.len());
+    buf.extend_from_slice(&SHARD_MAGIC);
+    buf.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&min_time.to_le_bytes());
+    buf.extend_from_slice(&max_time.to_le_bytes());
+    for s in samples {
+        buf.extend_from_slice(&s.time.to_le_bytes());
+        buf.extend_from_slice(&s.cpu.0.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&s.func.0.to_le_bytes());
+        buf.extend_from_slice(&s.block.0.to_le_bytes());
+        buf.extend_from_slice(&s.line.0.to_le_bytes());
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)?;
+    f.flush()
+}
+
+/// Splits `samples` into shards of at most `shard_size` records under
+/// `dir` (created if missing), named `shard-00000.slshard` onward. The
+/// input is sorted by time first (stably), so each shard satisfies the
+/// format's ordering invariant; re-sorting never changes the Code
+/// Concurrency result, which depends only on per-cell counts.
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero.
+pub fn write_shards(dir: &Path, samples: &[Sample], shard_size: usize) -> io::Result<Vec<PathBuf>> {
+    assert!(shard_size > 0, "shard size must be non-zero");
+    fs::create_dir_all(dir)?;
+    let mut sorted: Vec<Sample> = samples.to_vec();
+    sorted.sort_by_key(|s| s.time);
+    let mut paths = Vec::new();
+    for (i, chunk) in sorted.chunks(shard_size).enumerate() {
+        let path = dir.join(shard_file_name(i));
+        write_shard(&path, chunk)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Deserializes one shard, verifying magic, version, exact length,
+/// time ordering and time bounds.
+pub fn read_shard(path: &Path) -> Result<Vec<Sample>, ShardError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(if bytes.get(..8).is_some_and(|m| m != SHARD_MAGIC) {
+            ShardError::BadMagic
+        } else {
+            ShardError::Truncated {
+                expected: HEADER_LEN,
+                actual: bytes.len(),
+            }
+        });
+    }
+    if bytes[..8] != SHARD_MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let version = u32_at(8);
+    if version != SHARD_VERSION {
+        return Err(ShardError::BadVersion(version));
+    }
+    let count = u32_at(12) as usize;
+    let (min_time, max_time) = (u64_at(16), u64_at(24));
+    let expected = HEADER_LEN + RECORD_LEN * count;
+    if bytes.len() != expected {
+        return Err(ShardError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    let mut samples = Vec::with_capacity(count);
+    let mut prev_time = 0u64;
+    for i in 0..count {
+        let off = HEADER_LEN + RECORD_LEN * i;
+        let time = u64_at(off);
+        if i > 0 && time < prev_time {
+            return Err(ShardError::OutOfOrder(i));
+        }
+        if count > 0 && !(min_time..=max_time).contains(&time) {
+            return Err(ShardError::TimeBounds(i));
+        }
+        prev_time = time;
+        let cpu = u16::from_le_bytes(bytes[off + 8..off + 10].try_into().unwrap());
+        samples.push(Sample {
+            cpu: CpuId(cpu),
+            time,
+            func: FuncId(u32_at(off + 12)),
+            block: BlockId(u32_at(off + 16)),
+            line: SourceLine(u32_at(off + 20)),
+        });
+    }
+    Ok(samples)
+}
+
+/// Iterates the shards of a directory in index order, yielding each
+/// shard's path and parse result. Files not matching
+/// `shard-NNNNN.slshard` are ignored; gaps in the numbering are counted
+/// as [`missing`](ShardReader::missing) (a shard that was never written,
+/// e.g. a crashed producer).
+#[derive(Debug)]
+pub struct ShardReader {
+    found: Vec<(usize, PathBuf)>,
+    pos: usize,
+    missing: u64,
+}
+
+impl ShardReader {
+    /// Scans `dir` for shard files. Fails only if the directory itself
+    /// cannot be listed.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        let mut found: Vec<(usize, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(idx) = name
+                .strip_prefix("shard-")
+                .and_then(|rest| rest.strip_suffix(&format!(".{SHARD_EXT}")))
+                .and_then(|digits| digits.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            found.push((idx, entry.path()));
+        }
+        found.sort();
+        found.dedup_by_key(|(idx, _)| *idx);
+        let missing = match found.last() {
+            Some(&(last, _)) => (last + 1 - found.len()) as u64,
+            None => 0,
+        };
+        Ok(ShardReader {
+            found,
+            pos: 0,
+            missing,
+        })
+    }
+
+    /// Number of shard files present.
+    pub fn shard_count(&self) -> usize {
+        self.found.len()
+    }
+
+    /// Number of index gaps below the highest shard index — shards that
+    /// a producer numbered past but never wrote.
+    pub fn missing(&self) -> u64 {
+        self.missing
+    }
+}
+
+impl Iterator for ShardReader {
+    type Item = (PathBuf, Result<Vec<Sample>, ShardError>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (_, path) = self.found.get(self.pos)?.clone();
+        self.pos += 1;
+        let result = read_shard(&path);
+        Some((path, result))
+    }
+}
+
+/// Ingestion outcome of one directory fold: how many shards contributed,
+/// how many were skipped and why.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardIngestStats {
+    /// Shards parsed and folded.
+    pub shards_ok: u64,
+    /// Shards skipped as malformed (see `skipped_by_reason`).
+    pub shards_skipped: u64,
+    /// Numbering gaps — shards that were never written.
+    pub shards_missing: u64,
+    /// Total samples folded from ok shards.
+    pub samples: u64,
+    /// Skip counts keyed by [`ShardError::reason_key`].
+    pub skipped_by_reason: BTreeMap<&'static str, u64>,
+}
+
+impl ShardIngestStats {
+    /// The one-line ingestion summary printed by CLI/bench consumers,
+    /// e.g. `shards: 7 ok, 2 skipped (bad_magic:1 truncated:1), 1 missing,
+    /// 35000 samples`.
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "shards: {} ok, {} skipped",
+            self.shards_ok, self.shards_skipped
+        );
+        if !self.skipped_by_reason.is_empty() {
+            let reasons: Vec<String> = self
+                .skipped_by_reason
+                .iter()
+                .map(|(k, v)| format!("{k}:{v}"))
+                .collect();
+            line.push_str(&format!(" ({})", reasons.join(" ")));
+        }
+        line.push_str(&format!(
+            ", {} missing, {} samples",
+            self.shards_missing, self.samples
+        ));
+        line
+    }
+}
+
+/// Bounded-memory Code Concurrency: folds sample batches into a sparse
+/// occupied-cell map and replays it through the batch path's
+/// per-interval kernel at [`finish`](StreamingConcurrency::finish).
+///
+/// Peak memory is `O(distinct (interval, cpu, line) cells)` — for the
+/// paper's parameters (~12 samples per CPU per interval over a few
+/// hundred lines) orders of magnitude below the trace length — plus one
+/// shard's samples at a time during ingestion.
+#[derive(Clone, Debug)]
+pub struct StreamingConcurrency {
+    cfg: ConcurrencyConfig,
+    /// `(interval index, cpu, raw source line) -> sample count`.
+    counts: HashMap<(u64, u16, u32), u64>,
+    samples: u64,
+}
+
+impl StreamingConcurrency {
+    /// An empty stream folder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval` is zero.
+    pub fn new(cfg: ConcurrencyConfig) -> Self {
+        assert!(cfg.interval > 0, "interval must be non-zero");
+        StreamingConcurrency {
+            cfg,
+            counts: HashMap::new(),
+            samples: 0,
+        }
+    }
+
+    /// Folds a batch of samples (any order) into the cell map. Cell
+    /// increments commute, so any partition of the trace into batches —
+    /// any shard size, any ingestion order — yields the same cell map.
+    pub fn ingest(&mut self, samples: &[Sample]) {
+        for s in samples {
+            *self
+                .counts
+                .entry((s.time / self.cfg.interval, s.cpu.0, s.line.0))
+                .or_insert(0) += 1;
+        }
+        self.samples += samples.len() as u64;
+    }
+
+    /// Reads and folds one shard file.
+    pub fn ingest_shard(&mut self, path: &Path) -> Result<usize, ShardError> {
+        let samples = read_shard(path)?;
+        self.ingest(&samples);
+        Ok(samples.len())
+    }
+
+    /// Total samples folded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of occupied `(interval, cpu, line)` cells — the streaming
+    /// path's working-set measure.
+    pub fn cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Serial [`finish_jobs`](StreamingConcurrency::finish_jobs).
+    pub fn finish(self) -> ConcurrencyMap {
+        self.finish_jobs(1)
+    }
+
+    /// Computes the final [`ConcurrencyMap`], fanning the per-interval
+    /// min-sums out over up to `jobs` threads. Bit-identical to
+    /// [`crate::concurrency_map`] on the union of all ingested samples,
+    /// for every `jobs` value: intervals are partitioned into contiguous
+    /// groups, each group replays its intervals through
+    /// [`interval_minsum`] into a private triangular accumulator, and
+    /// group accumulators merge by exact `u64` addition (commutative and
+    /// associative, hence independent of grouping and merge order).
+    pub fn finish_jobs(self, jobs: usize) -> ConcurrencyMap {
+        self.finish_jobs_obs(jobs, &Obs::disabled())
+    }
+
+    /// [`finish_jobs`](StreamingConcurrency::finish_jobs) with
+    /// instrumentation: a `cc_build` span plus the batch path's `cc.*`
+    /// counters and streaming-specific `cc.stream_*` counters.
+    pub fn finish_jobs_obs(self, jobs: usize, obs: &Obs) -> ConcurrencyMap {
+        let _span = obs.span("cc_build");
+        if self.counts.is_empty() {
+            return ConcurrencyMap::empty();
+        }
+        let n_cells = self.counts.len();
+
+        // Intern lines, CPUs and intervals exactly as the batch path
+        // does: sorted distinct values.
+        let interner =
+            LineInterner::from_lines(self.counts.keys().map(|&(_, _, line)| SourceLine(line)));
+        let n_lines = interner.len();
+        let mut cpus: Vec<u16> = self.counts.keys().map(|&(_, cpu, _)| cpu).collect();
+        cpus.sort_unstable();
+        cpus.dedup();
+        let n_cpus = cpus.len();
+
+        // Drain the cell map into a deterministic order: by (interval,
+        // cpu, line). HashMap iteration order never reaches the result.
+        let mut cells: Vec<(u64, u16, u32, u64)> = self
+            .counts
+            .into_iter()
+            .map(|((ti, cpu, line), c)| (ti, cpu, line, c))
+            .collect();
+        cells.sort_unstable();
+        let n_intervals = {
+            let mut n = 0usize;
+            let mut prev = None;
+            for &(ti, ..) in &cells {
+                if prev != Some(ti) {
+                    n += 1;
+                    prev = Some(ti);
+                }
+            }
+            n
+        };
+
+        // Split the cell list at interval boundaries into `groups`
+        // contiguous chunks of whole intervals.
+        let groups = jobs.max(1).min(n_intervals);
+        let per_group = n_intervals.div_ceil(groups);
+        let mut group_slices: Vec<&[(u64, u16, u32, u64)]> = Vec::with_capacity(groups);
+        let mut start = 0usize;
+        let mut intervals_taken = 0usize;
+        let mut i = 0usize;
+        while i < cells.len() {
+            let ti = cells[i].0;
+            let mut j = i;
+            while j < cells.len() && cells[j].0 == ti {
+                j += 1;
+            }
+            intervals_taken += 1;
+            if intervals_taken.is_multiple_of(per_group) || j == cells.len() {
+                group_slices.push(&cells[start..j]);
+                start = j;
+            }
+            i = j;
+        }
+
+        // Replay each group through the shared per-interval kernel.
+        let accs: Vec<CcAccumulator> = par_map(jobs, &group_slices, |_, slice| {
+            let mut acc = CcAccumulator::new(n_lines);
+            let mut rows = vec![0u64; n_cpus * n_lines];
+            let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
+            let mut i = 0usize;
+            while i < slice.len() {
+                let ti = slice[i].0;
+                let mut j = i;
+                // Materialize this interval's [cpu × line] block from its
+                // cells, run the kernel, then zero only the cells we set.
+                while j < slice.len() && slice[j].0 == ti {
+                    let (_, cpu, line, c) = slice[j];
+                    let ci = cpus.binary_search(&cpu).expect("cpu interned");
+                    let li = interner
+                        .id(SourceLine(line))
+                        .expect("line interned")
+                        .index();
+                    rows[ci * n_lines + li] = c;
+                    j += 1;
+                }
+                interval_minsum(&rows, n_cpus, n_lines, &mut touched, &mut acc);
+                for &(_, cpu, line, _) in &slice[i..j] {
+                    let ci = cpus.binary_search(&cpu).expect("cpu interned");
+                    let li = interner
+                        .id(SourceLine(line))
+                        .expect("line interned")
+                        .index();
+                    rows[ci * n_lines + li] = 0;
+                }
+                i = j;
+            }
+            acc
+        });
+
+        let mut accs = accs.into_iter();
+        let mut total = accs.next().expect("at least one group");
+        for acc in accs {
+            total.merge(acc);
+        }
+        let dense_acc = total.is_dense();
+        let map = total.into_map();
+        if obs.enabled() {
+            obs.counter("cc.samples_bucketed", self.samples);
+            obs.counter("cc.lines", n_lines as u64);
+            obs.counter("cc.cpus", n_cpus as u64);
+            obs.counter("cc.intervals", n_intervals as u64);
+            obs.counter("cc.pairs", map.len() as u64);
+            obs.counter("cc.stream_cells", n_cells as u64);
+            obs.counter("cc.stream_groups", groups as u64);
+            obs.gauge("cc.dense_accumulator", if dense_acc { 1.0 } else { 0.0 });
+        }
+        ConcurrencyMap::from_parts(interner, map)
+    }
+}
+
+/// Folds every readable shard under `dir` into a [`ConcurrencyMap`],
+/// skipping malformed shards gracefully. Serial ingestion, parallel
+/// (`jobs`) finish. Fails only if the directory cannot be listed.
+pub fn shard_concurrency(
+    dir: &Path,
+    cfg: ConcurrencyConfig,
+    jobs: usize,
+) -> io::Result<(ConcurrencyMap, ShardIngestStats)> {
+    shard_concurrency_obs(dir, cfg, jobs, &Obs::disabled())
+}
+
+/// [`shard_concurrency`] with instrumentation: wraps ingestion in a
+/// `shard_ingest` span, emits `shard.{ok,samples,missing}` counters, and
+/// records each skipped shard as a `warn.shard.skipped.<reason>` warning
+/// so skip counts surface in `--stats` output.
+pub fn shard_concurrency_obs(
+    dir: &Path,
+    cfg: ConcurrencyConfig,
+    jobs: usize,
+    obs: &Obs,
+) -> io::Result<(ConcurrencyMap, ShardIngestStats)> {
+    let mut stream = StreamingConcurrency::new(cfg);
+    let mut stats = ShardIngestStats::default();
+    {
+        let _span = obs.span("shard_ingest");
+        let reader = ShardReader::open(dir)?;
+        stats.shards_missing = reader.missing();
+        for (path, result) in reader {
+            match result {
+                Ok(samples) => {
+                    stats.shards_ok += 1;
+                    stats.samples += samples.len() as u64;
+                    stream.ingest(&samples);
+                }
+                Err(err) => {
+                    stats.shards_skipped += 1;
+                    *stats.skipped_by_reason.entry(err.reason_key()).or_insert(0) += 1;
+                    obs.warning(&format!("shard.skipped.{}", err.reason_key()));
+                    if obs.enabled() {
+                        eprintln!("[shard] skipping {}: {err}", path.display());
+                    }
+                }
+            }
+        }
+        if obs.enabled() {
+            obs.counter("shard.ok", stats.shards_ok);
+            obs.counter("shard.samples", stats.samples);
+            if stats.shards_missing > 0 {
+                obs.warning_n("shard.missing", stats.shards_missing);
+            }
+        }
+    }
+    Ok((stream.finish_jobs_obs(jobs, obs), stats))
+}
+
+/// An [`Observer`] that spools samples to shards as they are collected,
+/// so a full trace never accumulates in memory: it owns a [`Sampler`]
+/// and flushes its buffer to the next `shard-NNNNN.slshard` whenever it
+/// reaches `shard_size` samples.
+///
+/// I/O errors cannot surface through the [`Observer`] trait, so the
+/// first one is stashed and returned by
+/// [`finish`](ShardSpool::finish) — later flushes are suppressed once an
+/// error is pending.
+#[derive(Debug)]
+pub struct ShardSpool {
+    sampler: Sampler,
+    dir: PathBuf,
+    shard_size: usize,
+    next_index: usize,
+    written: Vec<PathBuf>,
+    error: Option<io::Error>,
+}
+
+impl ShardSpool {
+    /// Creates the spool directory (if missing) and the underlying
+    /// sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size` is zero, or on the [`Sampler::new`]
+    /// invariants.
+    pub fn new(dir: &Path, cpus: usize, cfg: SamplerConfig, shard_size: usize) -> io::Result<Self> {
+        assert!(shard_size > 0, "shard size must be non-zero");
+        fs::create_dir_all(dir)?;
+        Ok(ShardSpool {
+            sampler: Sampler::new(cpus, cfg),
+            dir: dir.to_path_buf(),
+            shard_size,
+            next_index: 0,
+            written: Vec::new(),
+            error: None,
+        })
+    }
+
+    fn flush(&mut self) {
+        let mut batch = self.sampler.drain_samples();
+        if batch.is_empty() || self.error.is_some() {
+            return;
+        }
+        // The sampler interleaves per-CPU streams in engine callback
+        // order; the format wants time order within a shard.
+        batch.sort_by_key(|s| s.time);
+        let path = self.dir.join(shard_file_name(self.next_index));
+        match write_shard(&path, &batch) {
+            Ok(()) => {
+                self.next_index += 1;
+                self.written.push(path);
+            }
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    /// Flushes the remaining buffer and returns the shard paths written
+    /// plus the sampler's dropped-sample count, or the first I/O error
+    /// hit while spooling.
+    pub fn finish(mut self) -> io::Result<(Vec<PathBuf>, u64)> {
+        self.flush();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok((self.written, self.sampler.dropped()))
+    }
+}
+
+impl Observer for ShardSpool {
+    fn on_block(
+        &mut self,
+        cpu: CpuId,
+        func: FuncId,
+        block: BlockId,
+        line: SourceLine,
+        start: u64,
+        end: u64,
+    ) {
+        self.sampler.on_block(cpu, func, block, line, start, end);
+        if self.sampler.samples().len() >= self.shard_size {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::concurrency_map;
+
+    fn sample(cpu: u16, time: u64, line: u32) -> Sample {
+        Sample {
+            cpu: CpuId(cpu),
+            time,
+            func: FuncId(0),
+            block: BlockId(0),
+            line: SourceLine(line),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("slopt_shard_{}_{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mixed_trace(n: u64) -> Vec<Sample> {
+        (0..n)
+            .map(|i| sample((i % 5) as u16, (i * 37) % 1000, (i % 7) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn shard_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut samples = mixed_trace(100);
+        samples.sort_by_key(|s| s.time);
+        let path = dir.join(shard_file_name(0));
+        write_shard(&path, &samples).unwrap();
+        assert_eq!(read_shard(&path).unwrap(), samples);
+        // Zero-record shard is valid too.
+        let empty = dir.join(shard_file_name(1));
+        write_shard(&empty, &[]).unwrap();
+        assert_eq!(read_shard(&empty).unwrap(), Vec::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writer_rejects_unsorted() {
+        let dir = temp_dir("unsorted");
+        let samples = vec![sample(0, 100, 1), sample(0, 50, 2)];
+        let err = write_shard(&dir.join("x.slshard"), &samples).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_detects_corruption() {
+        let dir = temp_dir("corrupt");
+        let mut samples = mixed_trace(10);
+        samples.sort_by_key(|s| s.time);
+        let path = dir.join(shard_file_name(0));
+        write_shard(&path, &samples).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        // Truncated mid-record.
+        fs::write(&path, &good[..good.len() - 7]).unwrap();
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::Truncated { .. })
+        ));
+        // Trailing garbage is also a length mismatch.
+        let mut long = good.clone();
+        long.extend_from_slice(&[0u8; 3]);
+        fs::write(&path, &long).unwrap();
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::Truncated { .. })
+        ));
+        // Corrupt magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(read_shard(&path), Err(ShardError::BadMagic)));
+        // Bad version.
+        let mut bad = good.clone();
+        bad[8] = 9;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(read_shard(&path), Err(ShardError::BadVersion(9))));
+        // Out-of-order record times (swap two record time fields).
+        let mut bad = good.clone();
+        let (a, b) = (HEADER_LEN, HEADER_LEN + RECORD_LEN);
+        for k in 0..8 {
+            bad.swap(a + k, b + k);
+        }
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::OutOfOrder(_)) | Err(ShardError::TimeBounds(_))
+        ));
+        // Empty file.
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(
+            read_shard(&path),
+            Err(ShardError::Truncated { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reader_counts_numbering_gaps() {
+        let dir = temp_dir("gaps");
+        let mut samples = mixed_trace(10);
+        samples.sort_by_key(|s| s.time);
+        write_shard(&dir.join(shard_file_name(0)), &samples).unwrap();
+        write_shard(&dir.join(shard_file_name(2)), &samples).unwrap();
+        write_shard(&dir.join(shard_file_name(5)), &samples).unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let reader = ShardReader::open(&dir).unwrap();
+        assert_eq!(reader.shard_count(), 3);
+        assert_eq!(reader.missing(), 3, "indices 1, 3, 4 were never written");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_equals_batch_for_all_shardings_and_jobs() {
+        let samples = mixed_trace(500);
+        let cfg = ConcurrencyConfig { interval: 100 };
+        let batch = concurrency_map(&samples, &cfg);
+        for shard_size in [1, 7, 64, 500, 10_000] {
+            for jobs in [1, 3, 8] {
+                let mut stream = StreamingConcurrency::new(cfg);
+                for chunk in samples.chunks(shard_size) {
+                    stream.ingest(chunk);
+                }
+                let got = stream.finish_jobs(jobs);
+                assert_eq!(
+                    got, batch,
+                    "shard_size={shard_size} jobs={jobs} must match batch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_empty_is_empty() {
+        let stream = StreamingConcurrency::new(ConcurrencyConfig { interval: 100 });
+        assert_eq!(stream.finish(), ConcurrencyMap::empty());
+    }
+
+    #[test]
+    fn shard_concurrency_skips_bad_shards() {
+        let dir = temp_dir("fold");
+        let samples = mixed_trace(300);
+        write_shards(&dir, &samples, 100).unwrap();
+        // Corrupt shard 1; the fold must use shards 0 and 2 only.
+        let victim = dir.join(shard_file_name(1));
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..20]).unwrap();
+
+        let cfg = ConcurrencyConfig { interval: 100 };
+        let (map, stats) = shard_concurrency(&dir, cfg, 2).unwrap();
+        assert_eq!(stats.shards_ok, 2);
+        assert_eq!(stats.shards_skipped, 1);
+        assert_eq!(stats.skipped_by_reason.get("truncated"), Some(&1));
+        assert_eq!(stats.samples, 200);
+
+        // Equals the batch CC over exactly the surviving shards' samples.
+        let mut survivors = Vec::new();
+        survivors.extend(read_shard(&dir.join(shard_file_name(0))).unwrap());
+        survivors.extend(read_shard(&dir.join(shard_file_name(2))).unwrap());
+        assert_eq!(map, concurrency_map(&survivors, &cfg));
+        assert!(stats.summary_line().contains("2 ok"));
+        assert!(stats.summary_line().contains("truncated:1"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spool_matches_batch_sampler() {
+        use slopt_sim::Observer as _;
+        let dir = temp_dir("spool");
+        let cfg = SamplerConfig {
+            period: 50,
+            max_phase_jitter: 16,
+            loss_probability: 0.0,
+            seed: 7,
+        };
+        let mut batch = Sampler::new(4, cfg);
+        let mut spool = ShardSpool::new(&dir, 4, cfg, 32).unwrap();
+        for i in 0..200u64 {
+            let cpu = CpuId((i % 4) as u16);
+            let (start, end) = (i * 40, i * 40 + 120);
+            let line = SourceLine((i % 9) as u32);
+            batch.on_block(cpu, FuncId(0), BlockId(0), line, start, end);
+            spool.on_block(cpu, FuncId(0), BlockId(0), line, start, end);
+        }
+        let (paths, dropped) = spool.finish().unwrap();
+        assert!(paths.len() > 1, "should have spilled multiple shards");
+        assert_eq!(dropped, 0);
+
+        let cc_cfg = ConcurrencyConfig { interval: 500 };
+        let (streamed, stats) = shard_concurrency(&dir, cc_cfg, 3).unwrap();
+        assert_eq!(stats.shards_skipped, 0);
+        assert_eq!(streamed, concurrency_map(batch.samples(), &cc_cfg));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,265 @@
+//! Versioned Code Concurrency snapshots (`slopt-ccsnap/1`).
+//!
+//! Checkpointed grid runs (see `slopt-bench`'s `--checkpoint-dir`)
+//! persist the analysis' [`ConcurrencyMap`] next to the completed-cell
+//! log, so a resumed run can verify it is continuing the *same*
+//! analysis: a config or workload drift between the original and the
+//! resuming invocation would silently change every remaining cell.
+//! The round-trip is exact — all payload is integral (`u64` CC values,
+//! `u32` line numbers) — so snapshot equality is plain `==`.
+//!
+//! ## On-disk format (`slopt-ccsnap/1`)
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic    8 B   "SLCCSNP1"
+//! version  u32   1
+//! n_lines  u32   interned line count
+//! lines    n_lines × u32, strictly ascending (interner order)
+//! n_pairs  u32   non-zero pair count
+//! pairs    n_pairs × (a u32, b u32, cc u64), a <= b < n_lines,
+//!          strictly ascending by (a, b), cc > 0
+//! ```
+
+use crate::concurrency::{ConcurrencyMap, LineInterner};
+use slopt_ir::source::SourceLine;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Snapshot format magic bytes.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SLCCSNP1";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// Not a `slopt-ccsnap` file.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// File shorter or longer than its counts imply.
+    Truncated {
+        /// Bytes the counts promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Structurally well-formed but semantically invalid (unsorted
+    /// lines, out-of-range pair ids, zero CC values, …).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic => write!(f, "bad magic (not a slopt-ccsnap/1 file)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated: counts promise {expected} bytes, file has {actual}"
+                )
+            }
+            SnapshotError::Invalid(what) => write!(f, "invalid snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Serializes `map` to `path`. The encoding is canonical (lines in
+/// interner order, pairs sorted by ids), so equal maps produce
+/// byte-identical files.
+pub fn save_concurrency(path: &Path, map: &ConcurrencyMap) -> io::Result<()> {
+    let lines = map.interner().lines();
+    let mut pairs: Vec<(u32, u32, u64)> = map
+        .interned_pairs()
+        .into_iter()
+        .map(|(a, b, cc)| (a.0, b.0, cc))
+        .collect();
+    pairs.sort_unstable();
+    let mut buf = Vec::with_capacity(8 + 4 + 4 + 4 * lines.len() + 4 + 16 * pairs.len());
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(lines.len() as u32).to_le_bytes());
+    for l in lines {
+        buf.extend_from_slice(&l.0.to_le_bytes());
+    }
+    buf.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (a, b, cc) in pairs {
+        buf.extend_from_slice(&a.to_le_bytes());
+        buf.extend_from_slice(&b.to_le_bytes());
+        buf.extend_from_slice(&cc.to_le_bytes());
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(&buf)?;
+    f.flush()
+}
+
+/// Deserializes a snapshot, verifying magic, version, exact length and
+/// the canonical-ordering invariants.
+pub fn load_concurrency(path: &Path) -> Result<ConcurrencyMap, SnapshotError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 16 {
+        return Err(if bytes.get(..8).is_some_and(|m| m != SNAPSHOT_MAGIC) {
+            SnapshotError::BadMagic
+        } else {
+            SnapshotError::Truncated {
+                expected: 16,
+                actual: bytes.len(),
+            }
+        });
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let u32_at = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let version = u32_at(8);
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let n_lines = u32_at(12) as usize;
+    let pairs_count_off = 16 + 4 * n_lines;
+    if bytes.len() < pairs_count_off + 4 {
+        return Err(SnapshotError::Truncated {
+            expected: pairs_count_off + 4,
+            actual: bytes.len(),
+        });
+    }
+    let n_pairs = u32_at(pairs_count_off) as usize;
+    let expected = pairs_count_off + 4 + 16 * n_pairs;
+    if bytes.len() != expected {
+        return Err(SnapshotError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+
+    let mut lines = Vec::with_capacity(n_lines);
+    for i in 0..n_lines {
+        lines.push(SourceLine(u32_at(16 + 4 * i)));
+    }
+    if lines.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(SnapshotError::Invalid("lines not strictly ascending"));
+    }
+
+    let mut map = HashMap::with_capacity(n_pairs);
+    let mut prev: Option<(u32, u32)> = None;
+    for i in 0..n_pairs {
+        let off = pairs_count_off + 4 + 16 * i;
+        let (a, b) = (u32_at(off), u32_at(off + 4));
+        let cc = u64_at(off + 8);
+        if a > b || (b as usize) >= n_lines {
+            return Err(SnapshotError::Invalid("pair ids out of range"));
+        }
+        if cc == 0 {
+            return Err(SnapshotError::Invalid("zero CC value"));
+        }
+        if prev.is_some_and(|p| p >= (a, b)) {
+            return Err(SnapshotError::Invalid("pairs not strictly ascending"));
+        }
+        prev = Some((a, b));
+        map.insert((a, b), cc);
+    }
+
+    let interner = LineInterner::from_lines(lines);
+    Ok(ConcurrencyMap::from_parts(interner, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrency::{concurrency_map, ConcurrencyConfig};
+    use crate::sampler::Sample;
+    use slopt_ir::cfg::{BlockId, FuncId};
+    use slopt_sim::CpuId;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("slopt_ccsnap_{}_{tag}.bin", std::process::id()))
+    }
+
+    fn mixed_map() -> ConcurrencyMap {
+        let samples: Vec<Sample> = (0..300u64)
+            .map(|i| Sample {
+                cpu: CpuId((i % 5) as u16),
+                time: (i * 37) % 1000,
+                func: FuncId(0),
+                block: BlockId(0),
+                line: SourceLine((i % 7) as u32),
+            })
+            .collect();
+        concurrency_map(&samples, &ConcurrencyConfig { interval: 100 })
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let map = mixed_map();
+        assert!(!map.is_empty());
+        let path = temp_file("roundtrip");
+        save_concurrency(&path, &map).unwrap();
+        assert_eq!(load_concurrency(&path).unwrap(), map);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_map_round_trips() {
+        let path = temp_file("empty");
+        save_concurrency(&path, &ConcurrencyMap::empty()).unwrap();
+        assert_eq!(load_concurrency(&path).unwrap(), ConcurrencyMap::empty());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn canonical_encoding_is_byte_identical() {
+        let (p1, p2) = (temp_file("canon1"), temp_file("canon2"));
+        save_concurrency(&p1, &mixed_map()).unwrap();
+        save_concurrency(&p2, &mixed_map()).unwrap();
+        assert_eq!(fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        fs::remove_file(&p1).unwrap();
+        fs::remove_file(&p2).unwrap();
+    }
+
+    #[test]
+    fn loader_rejects_corruption() {
+        let path = temp_file("corrupt");
+        save_concurrency(&path, &mixed_map()).unwrap();
+        let good = fs::read(&path).unwrap();
+
+        fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(matches!(
+            load_concurrency(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let mut bad = good.clone();
+        bad[2] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_concurrency(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bad = good.clone();
+        bad[8] = 7;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_concurrency(&path),
+            Err(SnapshotError::BadVersion(7))
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -5,9 +5,11 @@ use proptest::prelude::*;
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::source::SourceLine;
 use slopt_sample::{
-    concurrency_map, concurrency_map_naive, ConcurrencyConfig, Sample, Sampler, SamplerConfig,
+    concurrency_map, concurrency_map_naive, read_shard, shard_concurrency, write_shards,
+    ConcurrencyConfig, Sample, Sampler, SamplerConfig, StreamingConcurrency,
 };
 use slopt_sim::{CpuId, Observer};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn mk_sample(cpu: u16, time: u64, line: u32) -> Sample {
     Sample {
@@ -17,6 +19,19 @@ fn mk_sample(cpu: u16, time: u64, line: u32) -> Sample {
         block: BlockId(0),
         line: SourceLine(line),
     }
+}
+
+/// A fresh per-case temp directory (proptest runs many cases; each needs
+/// its own shard directory).
+fn case_dir(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slopt_prop_{tag}_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 proptest! {
@@ -121,6 +136,88 @@ proptest! {
         for (i, &l) in lines.iter().enumerate() {
             prop_assert_eq!(it.id(l), Some(slopt_sample::LineId(i as u32)));
             prop_assert_eq!(it.line(slopt_sample::LineId(i as u32)), l);
+        }
+    }
+
+    /// The tentpole differential: streaming sharded ingestion — any shard
+    /// size, any `jobs` fan-out — is bit-identical to both the batch
+    /// dense estimator and the naive nested-map formula on the same
+    /// samples. Covers the full triangle batch ≡ streamed ≡ naive.
+    #[test]
+    fn sharded_streaming_matches_batch_and_naive(
+        samples in prop::collection::vec((0u16..6, 0u64..20_000, 0u32..12), 0..250),
+        shard_size in 1usize..40,
+        jobs in 1usize..6,
+        interval_pick in 0usize..3,
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let cfg = ConcurrencyConfig { interval: [100u64, 1_000, 7_919][interval_pick] };
+
+        let dir = case_dir("stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let written = write_shards(&dir, &samples, shard_size).unwrap();
+        prop_assert_eq!(written.len(), samples.len().div_ceil(shard_size));
+        let (streamed, stats) = shard_concurrency(&dir, cfg, jobs).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert_eq!(stats.samples as usize, samples.len());
+        prop_assert_eq!(stats.shards_skipped, 0);
+
+        let batch = concurrency_map(&samples, &cfg);
+        let naive = concurrency_map_naive(&samples, &cfg);
+        prop_assert_eq!(&streamed, &batch);
+        prop_assert_eq!(streamed.pairs(), batch.pairs());
+        prop_assert_eq!(streamed.interner(), batch.interner());
+        prop_assert_eq!(&streamed, &naive);
+    }
+
+    /// In-memory streaming (no files): feeding samples one at a time, in
+    /// any order, equals the batch estimator for any `jobs`.
+    #[test]
+    fn incremental_streaming_matches_batch(
+        samples in prop::collection::vec((0u16..5, 0u64..10_000, 0u32..8), 0..150),
+        jobs in 1usize..5,
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let cfg = ConcurrencyConfig { interval: 500 };
+        let mut stream = StreamingConcurrency::new(cfg);
+        for s in &samples {
+            stream.ingest(std::slice::from_ref(s));
+        }
+        prop_assert_eq!(stream.samples() as usize, samples.len());
+        let streamed = stream.finish_jobs(jobs);
+        let batch = concurrency_map(&samples, &cfg);
+        prop_assert_eq!(&streamed, &batch);
+    }
+
+    /// Shard files round-trip: `write_shards` + `read_shard` reproduce
+    /// the input samples exactly, time-sorted, partitioned into
+    /// `shard_size` chunks.
+    #[test]
+    fn shard_files_round_trip(
+        samples in prop::collection::vec((0u16..6, 0u64..50_000, 0u32..20), 0..200),
+        shard_size in 1usize..64,
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        let dir = case_dir("roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let written = write_shards(&dir, &samples, shard_size).unwrap();
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|s| s.time);
+        let mut read_back = Vec::new();
+        for path in &written {
+            let chunk = read_shard(path).unwrap();
+            prop_assert!(chunk.len() <= shard_size);
+            read_back.extend(chunk);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert_eq!(read_back.len(), sorted.len());
+        for (a, b) in read_back.iter().zip(&sorted) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.cpu, b.cpu);
+            prop_assert_eq!(a.line, b.line);
         }
     }
 

@@ -141,6 +141,68 @@ pub fn analyze_obs(
     }
 }
 
+/// [`analyze_obs`] with bounded peak memory: the measurement run spools
+/// its samples to `slopt-shard/1` files under `shard_dir` (at most
+/// `shard_size` samples buffered at a time) and the Code Concurrency map
+/// is folded back from the shards by
+/// [`slopt_sample::shard_concurrency_obs`], skipping any malformed shard
+/// gracefully. `jobs` fans out the per-interval replay.
+///
+/// The returned analysis is bit-identical to [`analyze_obs`]'s except
+/// that `samples` is empty — not materializing the trace is the point —
+/// and the ingestion stats report what was folded.
+pub fn analyze_sharded_obs(
+    kernel: &impl WorkloadSpec,
+    sdet: &SdetConfig,
+    cfg: &AnalysisConfig,
+    shard_dir: &std::path::Path,
+    shard_size: usize,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<(KernelAnalysis, slopt_sample::ShardIngestStats)> {
+    let _span = obs.span("measure_run");
+    let layouts = baseline_layouts(kernel, sdet.line_size);
+    let mut spool =
+        slopt_sample::ShardSpool::new(shard_dir, cfg.machine.cpus(), cfg.sampler, shard_size)?;
+    let run = run_once_obs(
+        kernel,
+        &layouts,
+        &cfg.machine,
+        sdet,
+        cfg.seed,
+        &mut spool,
+        obs,
+    );
+    let (_paths, dropped) = spool.finish()?;
+    let (concurrency, stats) = slopt_sample::shard_concurrency_obs(
+        shard_dir,
+        ConcurrencyConfig {
+            interval: cfg.interval,
+        },
+        jobs,
+        obs,
+    )?;
+    if obs.enabled() {
+        obs.counter("sampler.samples", stats.samples);
+        obs.counter("sampler.dropped", dropped);
+    }
+    let fmf = {
+        let _fmf = obs.span("fmf_build");
+        FieldMap::build(kernel.program())
+    };
+    Ok((
+        KernelAnalysis {
+            profile: run.result.profile,
+            samples: Vec::new(),
+            concurrency,
+            fmf,
+            cpus: cfg.machine.cpus(),
+            pool_instances: sdet.pool_instances,
+        },
+        stats,
+    ))
+}
+
 /// Which allocation classes a field of a record is accessed through at a
 /// given source line — the whole-program alias information the paper's
 /// mitigation asks for ("whenever alias analysis determines that the
@@ -361,6 +423,38 @@ mod tests {
             "some concurrency must be observed"
         );
         assert!(!analysis.fmf.is_empty());
+    }
+
+    #[test]
+    fn sharded_analysis_concurrency_matches_batch() {
+        let (kernel, sdet, cfg) = small();
+        let batch = analyze(&kernel, &sdet, &cfg);
+        let dir =
+            std::env::temp_dir().join(format!("slopt_analyze_sharded_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for (shard_size, jobs) in [(100, 1), (997, 4)] {
+            let (sharded, stats) = analyze_sharded_obs(
+                &kernel,
+                &sdet,
+                &cfg,
+                &dir,
+                shard_size,
+                jobs,
+                &slopt_obs::Obs::disabled(),
+            )
+            .unwrap();
+            assert_eq!(stats.shards_skipped, 0);
+            assert_eq!(stats.samples as usize, batch.samples.len());
+            assert_eq!(
+                sharded.concurrency, batch.concurrency,
+                "shard_size={shard_size} jobs={jobs}"
+            );
+            assert!(
+                sharded.samples.is_empty(),
+                "sharded mode must not retain the trace"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

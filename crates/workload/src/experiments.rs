@@ -27,6 +27,7 @@ use crate::sdet::{
 use slopt_core::{sort_by_hotness, Suggestion, ToolParams};
 use slopt_ir::layout::StructLayout;
 use slopt_ir::types::RecordId;
+use slopt_sim::LayoutTable;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -211,6 +212,75 @@ impl fmt::Display for Figure {
     }
 }
 
+/// Per-transformed-table metadata of a figure grid: struct letter,
+/// record, layout kind.
+pub type FigureCellMeta = (char, RecordId, LayoutKind);
+
+/// Builds one figure's measurement grid: table 0 is the all-baseline
+/// configuration, tables 1.. transform one struct at a time in
+/// `(struct, kind)` order. Returns the tables plus the metadata of each
+/// transformed table.
+///
+/// This is the single source of the grid's cell order — both
+/// [`figure_rows_jobs_obs`] and `slopt-bench`'s checkpointing runner
+/// build from it, which is what makes a checkpointed figure run
+/// bit-identical to a direct one.
+pub fn figure_tables(
+    kernel: &Kernel,
+    sdet: &SdetConfig,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+) -> (Vec<LayoutTable>, Vec<FigureCellMeta>) {
+    let records = kernel.records.all();
+    let mut tables = vec![baseline_layouts(kernel, sdet.line_size)];
+    let mut cells = Vec::new();
+    for &(letter, rec) in &records {
+        for &kind in kinds {
+            tables.push(layouts_with(
+                kernel,
+                sdet.line_size,
+                rec,
+                layouts.layout(rec, kind).clone(),
+            ));
+            cells.push((letter, rec, kind));
+        }
+    }
+    (tables, cells)
+}
+
+/// Assembles a [`Figure`] from per-table throughputs in
+/// [`figure_tables`] order: `baseline` is table 0's, `per_table` the
+/// transformed tables' (same length and order as `cells`).
+///
+/// # Panics
+///
+/// Panics if `per_table` and `cells` lengths disagree.
+pub fn figure_from_throughputs(
+    title: impl Into<String>,
+    cells: &[FigureCellMeta],
+    baseline: Throughput,
+    per_table: Vec<Throughput>,
+) -> Figure {
+    assert_eq!(cells.len(), per_table.len(), "one throughput per cell");
+    let mut rows: Vec<FigureRow> = Vec::new();
+    for (&(letter, rec, kind), t) in cells.iter().zip(per_table) {
+        if rows.last().map(|r| r.record) != Some(rec) {
+            rows.push(FigureRow {
+                letter,
+                record: rec,
+                results: Vec::new(),
+            });
+        }
+        let row = rows.last_mut().expect("just pushed");
+        row.results.push((kind, t.pct_vs(&baseline)));
+    }
+    Figure {
+        title: title.into(),
+        baseline,
+        rows,
+    }
+}
+
 /// Measures the % throughput difference of each layout kind for each
 /// struct on `machine`, transforming one struct at a time (the paper's
 /// §5.1/§5.2 protocol): the serial path, equivalent to
@@ -279,23 +349,7 @@ pub fn figure_rows_jobs_obs(
     obs: &slopt_obs::Obs,
 ) -> Figure {
     assert!(runs > 0, "need at least one measured run");
-    // Table 0 is the all-baseline configuration; tables 1.. are the
-    // one-struct-transformed cells in (struct, kind) order.
-    let records = kernel.records.all();
-    let mut tables = vec![baseline_layouts(kernel, sdet.line_size)];
-    let mut cells = Vec::new();
-    for &(letter, rec) in &records {
-        for &kind in kinds {
-            tables.push(layouts_with(
-                kernel,
-                sdet.line_size,
-                rec,
-                layouts.layout(rec, kind).clone(),
-            ));
-            cells.push((letter, rec, kind));
-        }
-    }
-
+    let (tables, cells) = figure_tables(kernel, sdet, layouts, kinds);
     let seeds = measurement_seeds(runs);
     let grid: Vec<(usize, u64)> = (0..tables.len())
         .flat_map(|t| seeds.iter().map(move |&seed| (t, seed)))
@@ -326,24 +380,7 @@ pub fn figure_rows_jobs_obs(
         .chunks_exact(seeds.len())
         .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()));
     let baseline = per_table.next().expect("table 0 is always present");
-
-    let mut rows: Vec<FigureRow> = Vec::new();
-    for ((letter, rec, kind), t) in cells.into_iter().zip(per_table) {
-        if rows.last().map(|r| r.record) != Some(rec) {
-            rows.push(FigureRow {
-                letter,
-                record: rec,
-                results: Vec::new(),
-            });
-        }
-        let row = rows.last_mut().expect("just pushed");
-        row.results.push((kind, t.pct_vs(&baseline)));
-    }
-    Figure {
-        title: title.into(),
-        baseline,
-        rows,
-    }
+    figure_from_throughputs(title, &cells, baseline, per_table.collect())
 }
 
 /// Figure 10's reduction: for each struct, the best of the automatic and

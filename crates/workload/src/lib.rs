@@ -32,13 +32,13 @@ pub mod structs;
 pub mod validate;
 
 pub use analyze::{
-    analyze, analyze_obs, constrained_for, loss_for, suggest_for, suggest_for_obs, AnalysisConfig,
-    KernelAnalysis,
+    analyze, analyze_obs, analyze_sharded_obs, constrained_for, loss_for, suggest_for,
+    suggest_for_obs, AnalysisConfig, KernelAnalysis,
 };
 pub use experiments::{
     best_rows, compute_paper_layouts, compute_paper_layouts_jobs, compute_paper_layouts_jobs_obs,
-    figure_rows, figure_rows_jobs, figure_rows_jobs_obs, Figure, FigureRow, LayoutKind,
-    PaperLayouts,
+    figure_from_throughputs, figure_rows, figure_rows_jobs, figure_rows_jobs_obs, figure_tables,
+    Figure, FigureCellMeta, FigureRow, LayoutKind, PaperLayouts,
 };
 pub use kernel::{build_kernel, Action, CustomWorkload, Kernel, SlotKind, WorkloadSpec};
 pub use sdet::{

@@ -142,6 +142,65 @@ fn empty_sample_set_yields_empty_concurrency() {
 }
 
 #[test]
+fn single_interval_trace_follows_the_minsum_formula() {
+    use slopt::ir::cfg::FuncId;
+    use slopt::ir::source::SourceLine;
+    use slopt::sample::Sample;
+    use slopt::sim::CpuId;
+    let s = |cpu: u16, time: u64, line: u32| Sample {
+        cpu: CpuId(cpu),
+        time,
+        func: FuncId(0),
+        block: BlockId(0),
+        line: SourceLine(line),
+    };
+    // All samples land in interval 0: CPU 0 hits line 1 twice, CPU 1
+    // hits line 2 three times. The normalized (line 1, line 2) key
+    // accumulates min(2, 3) exactly once across the Σ_{m≠n} CPU sweep.
+    let samples = [
+        s(0, 10, 1),
+        s(0, 20, 1),
+        s(1, 30, 2),
+        s(1, 40, 2),
+        s(1, 50, 2),
+    ];
+    let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 1_000 });
+    assert_eq!(cm.get(SourceLine(1), SourceLine(2)), 2);
+    assert_eq!(cm.get(SourceLine(2), SourceLine(1)), 2);
+    // Lines never sampled concurrently with themselves across CPUs.
+    assert_eq!(cm.get(SourceLine(1), SourceLine(1)), 0);
+    assert_eq!(cm.get(SourceLine(2), SourceLine(2)), 0);
+    assert_eq!(cm.pairs().len(), 1);
+}
+
+#[test]
+fn single_cpu_trace_has_no_concurrency() {
+    use slopt::ir::cfg::FuncId;
+    use slopt::ir::source::SourceLine;
+    use slopt::sample::Sample;
+    use slopt::sim::CpuId;
+    // A serial trace: lots of samples, one CPU. CC requires two distinct
+    // CPUs in the same interval, so every pair must stay zero.
+    let samples: Vec<Sample> = (0..50)
+        .map(|i| Sample {
+            cpu: CpuId(0),
+            time: i * 37,
+            func: FuncId(0),
+            block: BlockId(0),
+            line: SourceLine((i % 7) as u32),
+        })
+        .collect();
+    let cm = concurrency_map(&samples, &ConcurrencyConfig { interval: 100 });
+    assert!(cm.pairs().is_empty());
+    assert!(cm.top_pairs(3).is_empty());
+    for a in 0..7u32 {
+        for b in 0..7u32 {
+            assert_eq!(cm.get(SourceLine(a), SourceLine(b)), 0);
+        }
+    }
+}
+
+#[test]
 fn cpu_count_boundaries() {
     // 128 is the max; the sharer bitmask must work at the edge.
     let mut mem = MemSystem::new(

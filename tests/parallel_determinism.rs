@@ -7,6 +7,7 @@
 //! path).
 
 use slopt::core::{suggest_layout_all, LayoutRequest, ToolParams};
+use slopt::sample::{concurrency_map, shard_concurrency, write_shards, ConcurrencyConfig, Sample};
 use slopt::sim::CacheConfig;
 use slopt::workload::{
     analyze, baseline_layouts, compute_paper_layouts_jobs, figure_rows_jobs, measure_jobs,
@@ -86,6 +87,50 @@ fn session_example_throughput_is_job_count_invariant() {
         assert_eq!(serial.runs, parallel.runs, "jobs={jobs}");
         assert_eq!(serial.mean, parallel.mean, "jobs={jobs}");
     }
+}
+
+#[test]
+fn sharded_streaming_is_job_count_invariant() {
+    // Deterministic pseudo-random sample stream (splitmix64).
+    let mut state = 0x5107u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let samples: Vec<Sample> = (0..4_000)
+        .map(|_| {
+            let r = next();
+            Sample {
+                cpu: slopt::sim::CpuId((r % 8) as u16),
+                time: (r >> 8) % 50_000,
+                func: slopt::ir::cfg::FuncId(0),
+                block: slopt::ir::cfg::BlockId(0),
+                line: slopt::ir::source::SourceLine(((r >> 32) % 64) as u32),
+            }
+        })
+        .collect();
+    let cfg = ConcurrencyConfig { interval: 500 };
+    let batch = concurrency_map(&samples, &cfg);
+
+    let dir = std::env::temp_dir().join(format!("slopt_det_stream_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    write_shards(&dir, &samples, 256).unwrap();
+    // The folded tensor — map, pairs, interner — must be bit-identical
+    // to the batch estimator at every fan-out, like every other `jobs`
+    // entry point in this file.
+    for jobs in [1, 2, 3, 8] {
+        let (streamed, stats) = shard_concurrency(&dir, cfg, jobs).unwrap();
+        assert_eq!(stats.samples, 4_000, "jobs={jobs}");
+        assert_eq!(stats.shards_skipped, 0, "jobs={jobs}");
+        assert_eq!(streamed, batch, "jobs={jobs}");
+        assert_eq!(streamed.pairs(), batch.pairs(), "jobs={jobs}");
+        assert_eq!(streamed.interner(), batch.interner(), "jobs={jobs}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
