@@ -10,8 +10,8 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --offline --workspace -- -D warnings
+echo "== cargo clippy (deny warnings; unwrap/expect are errors at the input boundary) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo build --release =="
 cargo build --release --offline
@@ -24,6 +24,29 @@ cargo test --offline -q -- --test-threads=2
 
 echo "== kill/resume contract (checkpoint_resume, explicitly) =="
 cargo test --offline -q --test checkpoint_resume
+
+echo "== chaos suite (seed-pinned fault plans, differential vs clean runs) =="
+cargo test --offline -q --test chaos_suite
+
+echo "== degraded-run contract (fig9 under a permanent fault plan exits 4) =="
+set +e
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 4 \
+    --fault-plan seed=3,permanent=1 > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 4 ]; then
+    echo "fig9 with permanent faults: expected exit 4 (degraded), got $code"
+    exit 1
+fi
+set +e
+cargo run --release --offline -p slopt-bench --bin fig9 -- \
+    --fault-plan bogus=1 > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 2 ]; then
+    echo "fig9 with a malformed fault plan: expected exit 2 (usage), got $code"
+    exit 1
+fi
 
 echo "== cargo bench --no-run (compile-check benches) =="
 cargo bench --no-run --offline

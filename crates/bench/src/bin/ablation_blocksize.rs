@@ -9,9 +9,9 @@
 //! We measure baseline / tool / sort-by-hotness layouts for struct A at
 //! both block sizes on the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
 use slopt_sim::CacheConfig;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
@@ -21,6 +21,7 @@ const KINDS: [LayoutKind; 2] = [LayoutKind::Tool, LayoutKind::SortByHotness];
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
     let machine = Machine::superdome(128);
@@ -69,19 +70,21 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_ckpt_obs(
+    let (measured, report) = measure_cells_fault_obs(
         "ablation_blocksize",
         &setup.kernel,
         &cells,
         setup.runs,
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let measured = require_complete("ablation_blocksize", &cells, measured, &report, &args, &obs);
 
     println!("=== ablation: coherence block size, struct A (128-way) ===");
     println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");

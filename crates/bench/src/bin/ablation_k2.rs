@@ -10,14 +10,15 @@
 //! accessed with, and throughput collapses (the sort-by-hotness failure
 //! mode). Beyond a modest `k2` the layout stabilizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
 use slopt_core::{suggest_layout, FlgParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine, STAT_CLASSES};
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
     let kernel = &setup.kernel;
@@ -57,19 +58,21 @@ fn main() {
         });
     }
 
-    let measured = measure_cells_ckpt_obs(
+    let (measured, report) = measure_cells_fault_obs(
         "ablation_k2",
         kernel,
         &cells,
         setup.runs,
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let measured = require_complete("ablation_k2", &cells, measured, &report, &args, &obs);
     let baseline = &measured[0];
 
     println!("=== ablation: k2 sweep on struct A (128-way) ===");

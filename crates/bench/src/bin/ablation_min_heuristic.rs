@@ -10,9 +10,9 @@
 //! We compare the two modes' automatic layouts for every struct on the
 //! 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
 use slopt_core::suggest_layout;
 use slopt_ir::affinity::{AffinityGraph, AffinityMode};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine};
@@ -21,6 +21,7 @@ const MODES: [AffinityMode; 2] = [AffinityMode::Minimum, AffinityMode::GroupFreq
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
     let kernel = &setup.kernel;
@@ -51,19 +52,28 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_ckpt_obs(
+    let (measured, report) = measure_cells_fault_obs(
         "ablation_min_heuristic",
         kernel,
         &cells,
         setup.runs,
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let measured = require_complete(
+        "ablation_min_heuristic",
+        &cells,
+        measured,
+        &report,
+        &args,
+        &obs,
+    );
     let baseline = &measured[0];
 
     println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");

@@ -9,9 +9,9 @@
 //! paper's subject — is protocol-independent: the sort-by-hotness
 //! catastrophe on struct A is reproduced under both.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
 use slopt_sim::Protocol;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
@@ -19,6 +19,7 @@ use slopt_workload::{
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
     let machine = Machine::superdome(128);
@@ -59,19 +60,21 @@ fn main() {
         });
     }
 
-    let measured = measure_cells_ckpt_obs(
+    let (measured, report) = measure_cells_fault_obs(
         "ablation_protocol",
         &setup.kernel,
         &cells,
         setup.runs,
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let measured = require_complete("ablation_protocol", &cells, measured, &report, &args, &obs);
 
     println!("=== ablation: MESI vs MSI (128-way) ===");
     println!(

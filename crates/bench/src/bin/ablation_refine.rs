@@ -6,14 +6,15 @@
 //! measured throughput of both variants' automatic layouts per struct on
 //! the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::{figure_setup, measure_cells_ckpt_obs, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
 use slopt_core::{clustering_score, RefineParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, suggest_for, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
     let kernel = &setup.kernel;
@@ -50,19 +51,21 @@ fn main() {
         }
     }
 
-    let measured = measure_cells_ckpt_obs(
+    let (measured, report) = measure_cells_fault_obs(
         "ablation_refine",
         kernel,
         &cells,
         setup.runs,
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let measured = require_complete("ablation_refine", &cells, measured, &report, &args, &obs);
     let baseline = &measured[0];
 
     println!("=== ablation: greedy vs refined clustering (128-way) ===");

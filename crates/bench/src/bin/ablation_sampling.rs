@@ -7,15 +7,17 @@
 //! contended counters, and (b) the top-20 concurrency-pair overlap with
 //! exact (unsampled) ground truth.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N --trace-out t.jsonl --stats --fault-plan spec --max-retries N --deadline-ms N]`
 
-use slopt_bench::RunnerArgs;
-use slopt_core::suggest_layout;
+use slopt_bench::{RunnerArgs, SITE_WORKER};
+use slopt_core::{par_map_supervised, suggest_layout, WorkerError};
+use slopt_fault::{exit, FaultKind};
 use slopt_sample::{concurrency_map, ConcurrencyConfig, ExactCounter, SamplerConfig};
 use slopt_workload::{analyze_obs, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let obs = args.obs();
     let setup = slopt_bench::default_figure_setup(args.scale);
     let kernel = &setup.kernel;
@@ -62,7 +64,8 @@ fn main() {
         grid.len(),
         args.jobs
     );
-    let rows = slopt_core::par_map(args.jobs, &grid, |_, &(period, interval)| {
+    // One (period, interval) configuration: instrumented run + analysis.
+    let analyze_pair = |(period, interval): (u64, u64)| {
         let cfg = AnalysisConfig {
             sampler: SamplerConfig {
                 period,
@@ -94,23 +97,78 @@ fn main() {
             top.intersection(&exact_top).count() as f64 / exact_top.len() as f64
         };
         (analysis.samples.len(), isolated, overlap)
-    });
+    };
+    // (samples, isolated?, overlap) per grid row; None marks a hole.
+    type Row = Option<(usize, bool, f64)>;
+    let (rows, degraded): (Vec<Row>, bool) = match &fault {
+        None => (
+            slopt_core::par_map(args.jobs, &grid, |_, &pair| analyze_pair(pair))
+                .into_iter()
+                .map(Some)
+                .collect(),
+            false,
+        ),
+        Some(fc) => {
+            let plan = &fc.plan;
+            let (rows, report) =
+                par_map_supervised(args.jobs, &grid, &fc.policy, |i, &pair, attempt| {
+                    let gi = i as u64;
+                    if plan.fires(FaultKind::Permanent, SITE_WORKER, gi, attempt) {
+                        obs.warning("fault.injected.permanent");
+                        return Err(WorkerError::permanent(format!(
+                            "injected permanent fault (grid item {i})"
+                        )));
+                    }
+                    if plan.fires(FaultKind::Panic, SITE_WORKER, gi, attempt) {
+                        obs.warning("fault.injected.panic");
+                        panic!("injected worker panic (grid item {i}, attempt {attempt})");
+                    }
+                    if plan.fires(FaultKind::Transient, SITE_WORKER, gi, attempt) {
+                        obs.warning("fault.injected.transient");
+                        return Err(WorkerError::transient(format!(
+                            "injected transient fault (grid item {i}, attempt {attempt})"
+                        )));
+                    }
+                    if plan.fires(FaultKind::Slow, SITE_WORKER, gi, attempt) {
+                        obs.warning("fault.injected.slow");
+                        std::thread::sleep(std::time::Duration::from_millis(plan.slow_ms()));
+                    }
+                    Ok(analyze_pair(pair))
+                });
+            if report.had_faults() {
+                eprintln!("[ablation_sampling] {}", report.summary_line());
+            }
+            for f in &report.poisoned {
+                eprintln!("[ablation_sampling] poisoned: {f}");
+            }
+            (rows, report.degraded())
+        }
+    };
 
     println!("=== ablation: sampling parameters (struct A isolation + CC fidelity) ===");
     println!(
         "{:>10} {:>10} {:>10} {:>20} {:>16}",
         "period", "interval", "samples", "counters isolated?", "top-20 overlap"
     );
-    for (&(period, interval), &(samples, isolated, overlap)) in grid.iter().zip(&rows) {
-        println!(
-            "{:>10} {:>10} {:>10} {:>20} {:>15.0}%",
-            period,
-            interval,
-            samples,
-            if isolated { "yes" } else { "NO" },
-            overlap * 100.0
-        );
+    for (&(period, interval), row) in grid.iter().zip(&rows) {
+        match row {
+            Some((samples, isolated, overlap)) => println!(
+                "{:>10} {:>10} {:>10} {:>20} {:>15.0}%",
+                period,
+                interval,
+                samples,
+                if *isolated { "yes" } else { "NO" },
+                overlap * 100.0
+            ),
+            None => println!(
+                "{period:>10} {interval:>10} {:>10} {:>20} {:>16}",
+                "HOLE", "HOLE", "HOLE"
+            ),
+        }
     }
 
     args.finish(&obs);
+    if degraded {
+        std::process::exit(i32::from(exit::DEGRADED));
+    }
 }

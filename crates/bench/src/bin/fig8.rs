@@ -7,13 +7,19 @@
 //! comparable on B–E but degrades struct A by **more than 2×** because it
 //! packs the false-sharing counters together.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig8 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//!
+//! With `--fault-plan` (see `slopt-fault`), grid items run under the
+//! supervised pool: transient faults are retried away (output stays
+//! bit-identical to a clean run), permanent faults degrade to a partial
+//! table plus exit code 4.
 
-use slopt_bench::{figure_ckpt_obs, figure_setup, RunnerArgs};
+use slopt_bench::{figure_fault_obs, figure_setup, require_figure, RunnerArgs};
 use slopt_workload::{compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
     let args = RunnerArgs::from_env();
+    let fault = args.fault_config_or_exit();
     let setup = figure_setup(&args);
     let obs = args.obs();
 
@@ -32,7 +38,7 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let fig = figure_ckpt_obs(
+    let outcome = figure_fault_obs(
         "fig8",
         &setup.kernel,
         &machine,
@@ -43,12 +49,14 @@ fn main() {
         "Figure 8: automatic layout vs sort-by-hotness (128-way Superdome)",
         setup.jobs,
         args.checkpoint_spec().as_ref(),
+        fault.as_ref(),
         &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let fig = require_figure("fig8", outcome, &args, &obs);
     println!("{fig}");
 
     // The paper's headline observation, checked mechanically.

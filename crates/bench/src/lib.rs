@@ -27,6 +27,8 @@ pub mod runner;
 pub use checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
 pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
 pub use runner::{
-    figure_ckpt_obs, measure_cells, measure_cells_ckpt_obs, measure_cells_obs,
-    parse_checkpoint_dir, parse_jobs, parse_trace_out, Cell, RunnerArgs,
+    figure_ckpt_obs, figure_fault_obs, measure_cells, measure_cells_ckpt_obs,
+    measure_cells_fault_obs, measure_cells_obs, parse_checkpoint_dir, parse_flag_value, parse_jobs,
+    parse_trace_out, require_complete, require_figure, Cell, FaultConfig, FigureOutcome,
+    RunnerArgs, SITE_CKPT, SITE_WORKER,
 };

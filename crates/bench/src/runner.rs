@@ -17,6 +17,8 @@
 //! every `--jobs` value, including `--jobs 1` (which spawns no threads at
 //! all).
 
+use slopt_core::{par_map_supervised, FaultReport, SupervisePolicy, WorkerError};
+use slopt_fault::{exit, FaultKind, FaultPlan};
 use slopt_sim::LayoutTable;
 use slopt_workload::{
     figure_from_throughputs, figure_tables, measurement_seeds, run_once, Figure, Kernel,
@@ -26,6 +28,13 @@ use slopt_workload::{
 use crate::checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
 use crate::harness::parse_scale;
 use std::path::PathBuf;
+use std::time::Duration;
+
+/// Fault-decision site for worker execution (`--fault-plan` panics,
+/// transients, permanent failures, stalls).
+pub const SITE_WORKER: &str = "worker";
+/// Fault-decision site for checkpoint appends (`write-error`).
+pub const SITE_CKPT: &str = "ckpt";
 
 /// The command-line arguments shared by every figure/ablation binary.
 #[derive(Clone, Debug)]
@@ -44,6 +53,24 @@ pub struct RunnerArgs {
     pub checkpoint_dir: Option<String>,
     /// Resume from the checkpoint instead of starting fresh (`--resume`).
     pub resume: bool,
+    /// Raw fault-plan spec (`--fault-plan <spec>`), validated by
+    /// [`RunnerArgs::fault_config`].
+    pub fault_plan: Option<String>,
+    /// Raw retry budget (`--max-retries N`).
+    pub max_retries: Option<String>,
+    /// Raw per-item deadline (`--deadline-ms N`).
+    pub deadline_ms: Option<String>,
+}
+
+/// Fault injection plus the supervision policy that contains it, as
+/// requested by `--fault-plan` / `--max-retries` / `--deadline-ms`.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// The seeded injection schedule (the no-op plan when only the
+    /// supervision flags were given).
+    pub plan: FaultPlan,
+    /// Retry/deadline policy of the supervised pool.
+    pub policy: SupervisePolicy,
 }
 
 impl RunnerArgs {
@@ -63,7 +90,49 @@ impl RunnerArgs {
             stats: args.iter().any(|a| a == "--stats"),
             checkpoint_dir: parse_checkpoint_dir(args),
             resume: args.iter().any(|a| a == "--resume"),
+            fault_plan: parse_flag_value(args, "--fault-plan"),
+            max_retries: parse_flag_value(args, "--max-retries"),
+            deadline_ms: parse_flag_value(args, "--deadline-ms"),
         }
+    }
+
+    /// Validates the fault/supervision flags into a [`FaultConfig`].
+    /// `Ok(None)` when none of the three flags were given; `Err` carries
+    /// a usage message naming the offending value.
+    pub fn fault_config(&self) -> Result<Option<FaultConfig>, String> {
+        if self.fault_plan.is_none() && self.max_retries.is_none() && self.deadline_ms.is_none() {
+            return Ok(None);
+        }
+        let plan = match &self.fault_plan {
+            Some(spec) => FaultPlan::parse(spec).map_err(|e| e.to_string())?,
+            None => FaultPlan::none(),
+        };
+        let mut policy = SupervisePolicy::default();
+        if let Some(raw) = &self.max_retries {
+            policy.max_retries = raw
+                .parse()
+                .map_err(|_| format!("bad --max-retries `{raw}`"))?;
+        }
+        if let Some(raw) = &self.deadline_ms {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|_| format!("bad --deadline-ms `{raw}`"))?;
+            if ms == 0 {
+                return Err("--deadline-ms must be positive".to_string());
+            }
+            policy.deadline = Some(Duration::from_millis(ms));
+        }
+        Ok(Some(FaultConfig { plan, policy }))
+    }
+
+    /// [`RunnerArgs::fault_config`], exiting with [`exit::USAGE`] on a
+    /// malformed flag — the shared prologue of the figure/ablation
+    /// binaries.
+    pub fn fault_config_or_exit(&self) -> Option<FaultConfig> {
+        self.fault_config().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(i32::from(exit::USAGE));
+        })
     }
 
     /// The checkpoint request, if `--checkpoint-dir` was given. `--resume`
@@ -105,18 +174,19 @@ impl RunnerArgs {
     }
 }
 
+/// Parses an optional `<name> <value>` argument pair.
+pub fn parse_flag_value(args: &[String], name: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
 /// Parses the optional `--trace-out <path>` argument.
 pub fn parse_trace_out(args: &[String]) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == "--trace-out")
-        .map(|w| w[1].clone())
+    parse_flag_value(args, "--trace-out")
 }
 
 /// Parses the optional `--checkpoint-dir <dir>` argument.
 pub fn parse_checkpoint_dir(args: &[String]) -> Option<String> {
-    args.windows(2)
-        .find(|w| w[0] == "--checkpoint-dir")
-        .map(|w| w[1].clone())
+    parse_flag_value(args, "--checkpoint-dir")
 }
 
 /// Parses the optional `--jobs N` argument; defaults to the host's
@@ -214,6 +284,51 @@ pub fn measure_cells_ckpt_obs(
     spec: Option<&CheckpointSpec>,
     obs: &slopt_obs::Obs,
 ) -> std::io::Result<Vec<Throughput>> {
+    let (measured, _report) =
+        measure_cells_fault_obs(name, kernel, cells, runs, jobs, spec, None, obs)?;
+    Ok(measured
+        .into_iter()
+        .map(|m| m.expect("no fault plan, so no holes"))
+        .collect())
+}
+
+/// [`measure_cells_ckpt_obs`] under fault supervision.
+///
+/// With a [`FaultConfig`], grid items run through the supervised pool
+/// ([`par_map_supervised`]): injected (or real) panics are contained,
+/// transient failures retry with bounded deterministic backoff, and
+/// items that still fail become `None` *holes* in the per-cell result.
+/// Fault decisions are keyed by **grid index**, so they are identical
+/// under any `jobs` value and compose with `--resume` (a resumed run
+/// re-rolls the same decisions for its remaining items).
+///
+/// Degradation contract:
+///
+/// * **transient faults are invisible** — once retries recover every
+///   item, the returned throughputs are bit-identical to a clean run's;
+/// * **permanent faults degrade explicitly** — a cell missing any
+///   measured run becomes `None`, the [`FaultReport`] lists each
+///   poisoned grid item (indices remapped to grid positions), and the
+///   caller must exit with [`exit::DEGRADED`].
+///
+/// Fault activity is surfaced as `warn.fault.injected.*`,
+/// `warn.fault.poisoned`, `warn.fault.deadline` and `retry.*` counters
+/// on `obs`.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_cells_fault_obs(
+    name: &str,
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    fault: Option<&FaultConfig>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<(Vec<Option<Throughput>>, FaultReport)> {
     assert!(runs > 0, "need at least one measured run");
     let seeds = measurement_seeds(runs);
     let grid: Vec<(usize, u64)> = (0..cells.len())
@@ -265,30 +380,110 @@ pub fn measure_cells_ckpt_obs(
         jobs.max(1).min(pending.len().max(1))
     );
     let t0 = std::time::Instant::now();
-    let computed = {
-        let _span = obs.span("measure_grid");
-        slopt_core::par_map(jobs, &pending, |_, &(i, c, seed)| {
-            let _cell = obs.span("measure_cell");
-            let cell = &cells[c];
-            let value = run_once(
-                kernel,
-                &cell.table,
-                &cell.machine,
-                &cell.sdet,
-                seed,
-                &mut slopt_sim::NullObserver,
-            )
-            .result
-            .throughput();
-            if let Some(ck) = &ckpt {
+    // One grid item: the simulation plus (optionally faulty) checkpoint
+    // append. Shared by the trusting and the supervised scheduler.
+    let measure_item = |i: usize, c: usize, seed: u64, attempt: u32| -> f64 {
+        let _cell = obs.span("measure_cell");
+        let cell = &cells[c];
+        let value = run_once(
+            kernel,
+            &cell.table,
+            &cell.machine,
+            &cell.sdet,
+            seed,
+            &mut slopt_sim::NullObserver,
+        )
+        .result
+        .throughput();
+        if let Some(ck) = &ckpt {
+            let dropped = fault.is_some_and(|f| {
+                f.plan
+                    .fires(FaultKind::WriteError, SITE_CKPT, i as u64, attempt)
+            });
+            if dropped {
+                // The degrade path checkpointing already has: a failed
+                // append loses only resumability of this item.
+                obs.warning("fault.injected.write_error");
+            } else {
                 ck.record(i, value);
             }
-            (i, value)
-        })
+        }
+        value
     };
-    for (i, value) in computed {
-        values[i] = Some(value);
-    }
+    let report = match fault {
+        None => {
+            let computed = {
+                let _span = obs.span("measure_grid");
+                slopt_core::par_map(jobs, &pending, |_, &(i, c, seed)| {
+                    (i, measure_item(i, c, seed, 0))
+                })
+            };
+            for (i, value) in computed {
+                values[i] = Some(value);
+            }
+            FaultReport {
+                items: pending.len(),
+                completed: pending.len(),
+                ..FaultReport::default()
+            }
+        }
+        Some(fault) => {
+            let plan = &fault.plan;
+            let (computed, mut report) = {
+                let _span = obs.span("measure_grid");
+                par_map_supervised(
+                    jobs,
+                    &pending,
+                    &fault.policy,
+                    |_, &(i, c, seed), attempt| {
+                        // Injection points, all keyed by grid index `i` so
+                        // decisions are jobs- and resume-invariant.
+                        let gi = i as u64;
+                        if plan.fires(FaultKind::Permanent, SITE_WORKER, gi, attempt) {
+                            obs.warning("fault.injected.permanent");
+                            return Err(WorkerError::permanent(format!(
+                                "injected permanent fault (grid item {i})"
+                            )));
+                        }
+                        if plan.fires(FaultKind::Panic, SITE_WORKER, gi, attempt) {
+                            obs.warning("fault.injected.panic");
+                            panic!("injected worker panic (grid item {i}, attempt {attempt})");
+                        }
+                        if plan.fires(FaultKind::Transient, SITE_WORKER, gi, attempt) {
+                            obs.warning("fault.injected.transient");
+                            return Err(WorkerError::transient(format!(
+                                "injected transient fault (grid item {i}, attempt {attempt})"
+                            )));
+                        }
+                        if plan.fires(FaultKind::Slow, SITE_WORKER, gi, attempt) {
+                            obs.warning("fault.injected.slow");
+                            std::thread::sleep(Duration::from_millis(plan.slow_ms()));
+                        }
+                        Ok((i, measure_item(i, c, seed, attempt)))
+                    },
+                )
+            };
+            // The supervisor numbers items by position in `pending`;
+            // remap poisoned entries to grid indices for reporting.
+            for failure in &mut report.poisoned {
+                failure.index = pending[failure.index].0;
+            }
+            for (i, value) in computed.into_iter().flatten() {
+                values[i] = Some(value);
+            }
+            if obs.enabled() {
+                obs.counter("retry.attempts", report.retries);
+                obs.counter("retry.recovered", report.recovered as u64);
+                if !report.poisoned.is_empty() {
+                    obs.warning_n("fault.poisoned", report.poisoned.len() as u64);
+                }
+                if report.deadline_hits > 0 {
+                    obs.warning_n("fault.deadline", report.deadline_hits);
+                }
+            }
+            report
+        }
+    };
     if obs.enabled() {
         obs.counter("runner.cells", cells.len() as u64);
         obs.counter("runner.runs_per_cell", seeds.len() as u64);
@@ -303,14 +498,19 @@ pub fn measure_cells_ckpt_obs(
             }
         }
     }
-    let values: Vec<f64> = values
-        .into_iter()
-        .map(|v| v.expect("every grid item was loaded or computed"))
-        .collect();
-    Ok(values
+    // Assemble per-cell results. A cell is a hole iff any of its
+    // *measured* runs (chunk[1..]; chunk[0] is the warm-up) is missing.
+    let measured = values
         .chunks_exact(seeds.len())
-        .map(|chunk| Throughput::from_runs(chunk[1..].to_vec()))
-        .collect())
+        .map(|chunk| {
+            chunk[1..]
+                .iter()
+                .copied()
+                .collect::<Option<Vec<f64>>>()
+                .map(Throughput::from_runs)
+        })
+        .collect();
+    Ok((measured, report))
 }
 
 /// Measures one figure's grid — the all-baseline table plus one
@@ -358,8 +558,11 @@ pub fn figure_ckpt_obs(
             machine: machine.clone(),
         })
         .collect();
-    let mut per_table =
-        measure_cells_ckpt_obs(name, kernel, &cells, runs, jobs, spec, obs)?.into_iter();
+    let (measured, _report) =
+        measure_cells_fault_obs(name, kernel, &cells, runs, jobs, spec, None, obs)?;
+    let mut per_table = measured
+        .into_iter()
+        .map(|m| m.expect("no fault plan, so no holes"));
     let baseline = per_table.next().expect("table 0 is always present");
     Ok(figure_from_throughputs(
         title,
@@ -367,6 +570,161 @@ pub fn figure_ckpt_obs(
         baseline,
         per_table.collect(),
     ))
+}
+
+/// The result of measuring a figure's grid under fault supervision.
+#[derive(Debug)]
+pub struct FigureOutcome {
+    /// The assembled figure — `Some` iff every cell completed.
+    pub figure: Option<Figure>,
+    /// Per-cell label and (possibly holed) measurement, in grid order
+    /// (cell 0 is the all-baseline table).
+    pub cells: Vec<(String, Option<Throughput>)>,
+    /// What the supervised pool saw.
+    pub report: FaultReport,
+}
+
+/// [`figure_ckpt_obs`] under fault supervision.
+///
+/// Same grid and cell order, routed through
+/// [`measure_cells_fault_obs`]. When every cell survives (clean run, or
+/// all faults transient) the [`FigureOutcome`] carries the assembled
+/// figure, bit-identical to the unsupervised path; when permanent
+/// faults poison cells it carries the partial per-cell values instead,
+/// and the caller is expected to degrade via [`require_figure`].
+#[allow(clippy::too_many_arguments)]
+pub fn figure_fault_obs(
+    name: &str,
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    fault: Option<&FaultConfig>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<FigureOutcome> {
+    if let Some(spec) = spec {
+        guard_cc_snapshot(spec, &layouts.analysis.concurrency)?;
+    }
+    let (tables, meta) = figure_tables(kernel, sdet, layouts, kinds);
+    let cells: Vec<Cell> = tables
+        .into_iter()
+        .enumerate()
+        .map(|(i, table)| Cell {
+            label: if i == 0 {
+                "baseline".to_string()
+            } else {
+                let (letter, _, kind) = meta[i - 1];
+                format!("{letter}/{kind}")
+            },
+            table,
+            sdet: sdet.clone(),
+            machine: machine.clone(),
+        })
+        .collect();
+    let (measured, report) =
+        measure_cells_fault_obs(name, kernel, &cells, runs, jobs, spec, fault, obs)?;
+    let labelled: Vec<(String, Option<Throughput>)> = cells
+        .iter()
+        .map(|c| c.label.clone())
+        .zip(measured)
+        .collect();
+    let figure = if labelled.iter().all(|(_, m)| m.is_some()) {
+        let mut per_table = labelled
+            .iter()
+            .map(|(_, m)| m.clone().expect("all present"));
+        let baseline = per_table.next().expect("table 0 is always present");
+        Some(figure_from_throughputs(
+            title,
+            &meta,
+            baseline,
+            per_table.collect(),
+        ))
+    } else {
+        None
+    };
+    Ok(FigureOutcome {
+        figure,
+        cells: labelled,
+        report,
+    })
+}
+
+/// Prints the explicit partial-result table of the degradation
+/// contract — every cell with its value or a `HOLE` marker, then the
+/// poisoned grid items — flushes the trace, and exits
+/// [`exit::DEGRADED`].
+fn degrade_and_exit(
+    tag: &str,
+    cells: &[(String, Option<Throughput>)],
+    report: &FaultReport,
+    args: &RunnerArgs,
+    obs: &slopt_obs::Obs,
+) -> ! {
+    eprintln!("[{tag}] DEGRADED: {}", report.summary_line());
+    println!("=== {tag}: PARTIAL RESULTS (degraded run) ===");
+    for (label, m) in cells {
+        match m {
+            Some(t) => println!("  {label:<28} {:>12.2}", t.mean),
+            None => println!("  {label:<28} {:>12}", "HOLE"),
+        }
+    }
+    for f in &report.poisoned {
+        eprintln!("[{tag}] poisoned: {f}");
+    }
+    args.finish(obs);
+    std::process::exit(i32::from(exit::DEGRADED));
+}
+
+/// Unwraps a [`measure_cells_fault_obs`] outcome for binaries that print
+/// their own tables. A complete grid (no holes) yields the per-cell
+/// throughputs — after logging the recovery summary if anything was
+/// injected; a holed grid prints the partial table plus poisoned items
+/// and exits [`exit::DEGRADED`].
+pub fn require_complete(
+    tag: &str,
+    cells: &[Cell],
+    measured: Vec<Option<Throughput>>,
+    report: &FaultReport,
+    args: &RunnerArgs,
+    obs: &slopt_obs::Obs,
+) -> Vec<Throughput> {
+    if measured.iter().all(Option::is_some) {
+        if report.had_faults() {
+            eprintln!("[{tag}] {}", report.summary_line());
+        }
+        return measured.into_iter().flatten().collect();
+    }
+    let labelled: Vec<(String, Option<Throughput>)> = cells
+        .iter()
+        .map(|c| c.label.clone())
+        .zip(measured)
+        .collect();
+    degrade_and_exit(tag, &labelled, report, args, obs)
+}
+
+/// Unwraps a [`FigureOutcome`] for the figure binaries: the assembled
+/// [`Figure`] when complete, the partial-table-and-exit degradation path
+/// otherwise.
+pub fn require_figure(
+    tag: &str,
+    outcome: FigureOutcome,
+    args: &RunnerArgs,
+    obs: &slopt_obs::Obs,
+) -> Figure {
+    match outcome.figure {
+        Some(figure) => {
+            if outcome.report.had_faults() {
+                eprintln!("[{tag}] {}", outcome.report.summary_line());
+            }
+            figure
+        }
+        None => degrade_and_exit(tag, &outcome.cells, &outcome.report, args, obs),
+    }
 }
 
 #[cfg(test)]
@@ -529,5 +887,134 @@ mod tests {
                 assert_eq!(t.mean, direct.mean, "jobs={jobs}");
             }
         }
+    }
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn small_cells(n: usize) -> (slopt_workload::Kernel, Vec<Cell>) {
+        let kernel = build_kernel();
+        let cfg = small_cfg();
+        let machine = Machine::bus(2);
+        let table = baseline_layouts(&kernel, cfg.line_size);
+        let cells = (0..n)
+            .map(|i| Cell {
+                label: format!("cell{i}"),
+                table: table.clone(),
+                sdet: cfg.clone(),
+                machine: machine.clone(),
+            })
+            .collect();
+        (kernel, cells)
+    }
+
+    fn fault_cfg(spec: &str, retries: u32) -> FaultConfig {
+        FaultConfig {
+            plan: FaultPlan::parse(spec).expect("valid spec"),
+            policy: SupervisePolicy {
+                max_retries: retries,
+                ..SupervisePolicy::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let ra = RunnerArgs::from_args(&strs(&[
+            "--fault-plan",
+            "seed=1,transient=0.5",
+            "--max-retries",
+            "7",
+            "--deadline-ms",
+            "250",
+        ]));
+        let fc = ra.fault_config().expect("valid").expect("flags given");
+        assert_eq!(fc.plan.seed(), 1);
+        assert_eq!(fc.policy.max_retries, 7);
+        assert_eq!(fc.policy.deadline, Some(Duration::from_millis(250)));
+
+        // No flags at all: supervision stays off entirely.
+        assert!(RunnerArgs::from_args(&[])
+            .fault_config()
+            .expect("valid")
+            .is_none());
+        // Supervision flags alone give the no-op plan.
+        let only = RunnerArgs::from_args(&strs(&["--max-retries", "2"]));
+        let fc = only.fault_config().expect("valid").expect("flag given");
+        assert_eq!(fc.plan, FaultPlan::none());
+
+        for bad in [
+            &["--fault-plan", "transient=2.0"][..],
+            &["--fault-plan", "bogus=1"][..],
+            &["--max-retries", "x"][..],
+            &["--deadline-ms", "0"][..],
+        ] {
+            assert!(
+                RunnerArgs::from_args(&strs(bad)).fault_config().is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_fault_plans_are_invisible_in_output() {
+        let (kernel, cells) = small_cells(2);
+        let clean = measure_cells(&kernel, &cells, 2, 2);
+        let fc = fault_cfg("seed=7,transient=0.5,panic=0.2", 16);
+        for jobs in [1, 3] {
+            let obs = slopt_obs::Obs::aggregating();
+            let (measured, report) =
+                measure_cells_fault_obs("t", &kernel, &cells, 2, jobs, None, Some(&fc), &obs)
+                    .unwrap();
+            assert!(report.had_faults(), "plan should fire on this grid");
+            assert!(!report.degraded(), "transients must all recover");
+            assert!(report.poisoned.is_empty());
+            assert!(report.recovered > 0);
+            let s = obs.summary();
+            assert!(s.metrics.counter("retry.attempts") > 0);
+            for (m, c) in measured.iter().zip(&clean) {
+                let m = m.as_ref().expect("no holes on a recovered run");
+                assert_eq!(m.runs, c.runs, "bit-identical under jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_fault_plans_hole_everything_with_grid_indices() {
+        let (kernel, cells) = small_cells(2);
+        let fc = fault_cfg("seed=3,permanent=1", 2);
+        let obs = slopt_obs::Obs::disabled();
+        let (measured, report) =
+            measure_cells_fault_obs("t", &kernel, &cells, 2, 1, None, Some(&fc), &obs).unwrap();
+        assert!(measured.iter().all(Option::is_none));
+        assert!(report.degraded());
+        // 2 cells x (warm-up + 2 runs) grid items, each poisoned on its
+        // first attempt (permanent faults never retry).
+        assert_eq!(report.poisoned.len(), 6);
+        for (gi, f) in report.poisoned.iter().enumerate() {
+            assert_eq!(f.index, gi, "poisoned indices are grid indices");
+            assert_eq!(f.attempts, 1);
+            assert_eq!(f.kind, slopt_core::FailureKind::Permanent);
+        }
+    }
+
+    #[test]
+    fn fault_reports_and_holes_are_jobs_invariant() {
+        let (kernel, cells) = small_cells(2);
+        let fc = fault_cfg("seed=5,permanent=0.4,transient=0.3", 4);
+        let obs = slopt_obs::Obs::disabled();
+        let (m1, r1) =
+            measure_cells_fault_obs("t", &kernel, &cells, 2, 1, None, Some(&fc), &obs).unwrap();
+        let (m4, r4) =
+            measure_cells_fault_obs("t", &kernel, &cells, 2, 4, None, Some(&fc), &obs).unwrap();
+        assert!(r1.degraded(), "this seed poisons at least one item");
+        assert_eq!(r1, r4, "fault report is scheduling-invariant");
+        let runs = |m: &[Option<Throughput>]| -> Vec<Option<Vec<f64>>> {
+            m.iter()
+                .map(|t| t.as_ref().map(|t| t.runs.clone()))
+                .collect()
+        };
+        assert_eq!(runs(&m1), runs(&m4), "holes and values match across jobs");
     }
 }

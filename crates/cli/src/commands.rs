@@ -1,13 +1,71 @@
 //! The `slopt-tool` subcommands.
+//!
+//! Every command returns a [`CliError`] carrying both the message and the
+//! process exit code from the shared vocabulary in [`slopt_fault::exit`]:
+//! flag misuse exits 2, unreadable/unparseable input exits 3, a degraded
+//! (partial-result) figures run exits 4, everything else exits 1.
 
-use slopt_bench::{figure_ckpt_obs, CheckpointSpec};
+use slopt_bench::{figure_fault_obs, CheckpointSpec, RunnerArgs};
 use slopt_core::{to_dot, DotOptions, ToolParams};
+use slopt_fault::exit;
 use slopt_sim::AccessClass;
 use slopt_workload::{
     analyze_obs, baseline_layouts, build_kernel, compute_paper_layouts_jobs_obs, layouts_with,
     measure_jobs, run_once_obs, suggest_for_obs, AnalysisConfig, LayoutKind, Machine, SdetConfig,
 };
 use std::path::PathBuf;
+
+/// A classified command failure: what to print and which exit code the
+/// process should end with.
+#[derive(Clone, Debug)]
+pub struct CliError {
+    /// Human-readable description, printed to stderr by `main`.
+    pub message: String,
+    /// Process exit code (see [`slopt_fault::exit`]).
+    pub code: u8,
+}
+
+impl CliError {
+    /// Flag/usage mistakes: exit [`exit::USAGE`].
+    pub(crate) fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: exit::USAGE,
+        }
+    }
+
+    /// Unreadable or unparseable user input: exit [`exit::BAD_INPUT`].
+    pub(crate) fn bad_input(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: exit::BAD_INPUT,
+        }
+    }
+
+    /// Partial results under permanent faults: exit [`exit::DEGRADED`].
+    pub(crate) fn degraded(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: exit::DEGRADED,
+        }
+    }
+
+    /// Everything else: exit [`exit::FAILURE`].
+    pub(crate) fn failure(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            code: exit::FAILURE,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Prints usage.
 pub fn print_help() {
@@ -30,12 +88,21 @@ USAGE:
         memory-system breakdown per structure (a `perf c2c`-style view).
 
     slopt-tool figures [--scale N] [--jobs N] [--checkpoint-dir DIR [--resume]]
+                       [--fault-plan SPEC] [--max-retries N] [--deadline-ms N]
         Regenerate the paper's Figures 8, 9 and 10 in one go. --jobs fans
         the measurement grid across N host threads (default: all cores);
         the output is bit-identical for every N. With --checkpoint-dir,
         every completed grid item is persisted as it finishes; re-running
         with --resume recomputes only the missing items and yields a
         bit-identical result.
+
+        --fault-plan injects seed-deterministic faults into the worker
+        pool (e.g. `seed=7,transient=0.1,panic=0.05`; kinds: panic,
+        transient, permanent, slow, write-error, read-error, corrupt).
+        Transient faults are retried (--max-retries, default 3) and leave
+        the output bit-identical; permanent faults hole the affected
+        cells, print partial results, and exit 4. --deadline-ms bounds
+        each grid item cooperatively.
 
     slopt-tool stats <trace.jsonl>
         Replay a saved run trace and print the aggregate counter/span
@@ -48,7 +115,15 @@ OBSERVABILITY (advise, simulate, figures):
     --trace-out <path>   Write a machine-readable run trace (slopt-trace/1
                          JSONL, Chrome trace events) to <path>.
     --stats              Print the aggregate counter/span summary table at
-                         exit."
+                         exit.
+
+EXIT CODES:
+    0  success
+    1  internal failure (I/O on outputs, trace sink, ...)
+    2  usage error (bad flag or flag value)
+    3  bad input (unreadable or unparseable user file)
+    4  degraded run (permanent faults holed part of a figure grid;
+       partial results were printed)"
     );
 }
 
@@ -60,14 +135,14 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Builds the observability handle the shared `--trace-out <path>` /
 /// `--stats` flags ask for (disabled when neither is present).
-fn obs_from_args(args: &[String]) -> Result<slopt_obs::Obs, String> {
+fn obs_from_args(args: &[String]) -> Result<slopt_obs::Obs, CliError> {
     let trace_out = flag_value(args, "--trace-out");
     let stats = args.iter().any(|a| a == "--stats");
     slopt_obs::obs_from_flags(trace_out, stats).map_err(|e| {
-        format!(
+        CliError::failure(format!(
             "cannot open trace output {}: {e}",
             trace_out.unwrap_or("<none>")
-        )
+        ))
     })
 }
 
@@ -106,7 +181,7 @@ fn parse_machine(spec: &str) -> Result<Machine, String> {
 }
 
 /// `slopt-tool advise`.
-pub fn advise(args: &[String]) -> Result<(), String> {
+pub fn advise(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = flag_value(args, "--program") {
         return advise_custom(path, args);
     }
@@ -120,14 +195,8 @@ pub fn advise(args: &[String]) -> Result<(), String> {
         .iter()
         .find(|(l, _)| l.to_string() == letter)
         .map(|&(_, r)| r)
-        .ok_or_else(|| format!("no struct `{letter}` (use A..E)"))?;
-    let cpus: usize = match flag_value(args, "--cpus") {
-        Some(v) => v.parse().map_err(|_| format!("bad --cpus `{v}`"))?,
-        None => 16,
-    };
-    if cpus == 0 || cpus > 128 {
-        return Err(format!("--cpus {cpus} out of range (1..=128)"));
-    }
+        .ok_or_else(|| CliError::usage(format!("no struct `{letter}` (use A..E)")))?;
+    let cpus = parse_cpus(args)?;
 
     let sdet = SdetConfig::default();
     let analysis_cfg = AnalysisConfig {
@@ -148,7 +217,8 @@ pub fn advise(args: &[String]) -> Result<(), String> {
 
     if let Some(dir) = flag_value(args, "--out") {
         let dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::failure(format!("creating {}: {e}", dir.display())))?;
         let layout_path = dir.join(format!("{}.layout.txt", ty.name()));
         std::fs::write(
             &layout_path,
@@ -158,7 +228,7 @@ pub fn advise(args: &[String]) -> Result<(), String> {
                 suggestion.layout.to_annotated_string(ty)
             ),
         )
-        .map_err(|e| format!("writing {}: {e}", layout_path.display()))?;
+        .map_err(|e| CliError::failure(format!("writing {}: {e}", layout_path.display())))?;
         let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
         let dot = to_dot(
             ty,
@@ -167,7 +237,7 @@ pub fn advise(args: &[String]) -> Result<(), String> {
             DotOptions::default(),
         );
         std::fs::write(&dot_path, dot)
-            .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
+            .map_err(|e| CliError::failure(format!("writing {}: {e}", dot_path.display())))?;
         println!(
             "wrote {} and {} (render with `dot -Tsvg`)",
             layout_path.display(),
@@ -180,30 +250,25 @@ pub fn advise(args: &[String]) -> Result<(), String> {
 
 /// `slopt-tool advise --program <file>`: run the pipeline on a
 /// user-supplied workload file (`.sir` program + `workload` section).
-fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
+fn advise_custom(path: &str, args: &[String]) -> Result<(), CliError> {
     use slopt_workload::WorkloadSpec as _;
-    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let workload =
-        slopt_workload::parse_workload_file(&input).map_err(|e| format!("{path}:{e}"))?;
+    let input = std::fs::read_to_string(path)
+        .map_err(|e| CliError::bad_input(format!("reading {path}: {e}")))?;
+    let workload = slopt_workload::parse_workload_file(&input)
+        .map_err(|e| CliError::bad_input(format!("{path}:{e}")))?;
 
-    let cpus: usize = match flag_value(args, "--cpus") {
-        Some(v) => v.parse().map_err(|_| format!("bad --cpus `{v}`"))?,
-        None => 16,
-    };
-    if cpus == 0 || cpus > 128 {
-        return Err(format!("--cpus {cpus} out of range (1..=128)"));
-    }
+    let cpus = parse_cpus(args)?;
     let rec = match flag_value(args, "--struct") {
         Some(name) => workload
             .program()
             .registry()
             .lookup(name)
-            .ok_or_else(|| format!("no record `{name}` in {path}"))?,
+            .ok_or_else(|| CliError::bad_input(format!("no record `{name}` in {path}")))?,
         None => {
             let mut it = workload.program().registry().records();
             it.next()
                 .map(|(r, _)| r)
-                .ok_or_else(|| format!("{path} declares no records"))?
+                .ok_or_else(|| CliError::bad_input(format!("{path} declares no records")))?
         }
     };
 
@@ -226,7 +291,8 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
 
     if let Some(dir) = flag_value(args, "--out") {
         let dir = PathBuf::from(dir);
-        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CliError::failure(format!("creating {}: {e}", dir.display())))?;
         let dot_path = dir.join(format!("{}.flg.dot", ty.name()));
         let dot = to_dot(
             ty,
@@ -235,7 +301,7 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
             DotOptions::default(),
         );
         std::fs::write(&dot_path, dot)
-            .map_err(|e| format!("writing {}: {e}", dot_path.display()))?;
+            .map_err(|e| CliError::failure(format!("writing {}: {e}", dot_path.display())))?;
         println!("wrote {}", dot_path.display());
     }
     finish_obs(args, &obs);
@@ -243,8 +309,9 @@ fn advise_custom(path: &str, args: &[String]) -> Result<(), String> {
 }
 
 /// `slopt-tool simulate`.
-pub fn simulate(args: &[String]) -> Result<(), String> {
-    let machine = parse_machine(flag_value(args, "--machine").unwrap_or("superdome16"))?;
+pub fn simulate(args: &[String]) -> Result<(), CliError> {
+    let machine = parse_machine(flag_value(args, "--machine").unwrap_or("superdome16"))
+        .map_err(CliError::usage)?;
     let kernel = build_kernel();
     let sdet = SdetConfig::default();
     let layouts = baseline_layouts(&kernel, sdet.line_size);
@@ -289,23 +356,46 @@ pub fn simulate(args: &[String]) -> Result<(), String> {
 
 /// Parses the optional `--jobs N` flag shared by the heavier commands;
 /// defaults to the host's available parallelism.
-fn parse_jobs(args: &[String]) -> Result<usize, String> {
+fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
     match flag_value(args, "--jobs") {
         Some(v) => {
-            let n: usize = v.parse().map_err(|_| format!("bad --jobs `{v}`"))?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad --jobs `{v}`")))?;
             Ok(n.max(1))
         }
         None => Ok(slopt_core::default_jobs()),
     }
 }
 
+/// Parses the optional `--cpus N` flag (1..=128, default 16).
+fn parse_cpus(args: &[String]) -> Result<usize, CliError> {
+    let cpus: usize = match flag_value(args, "--cpus") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad --cpus `{v}`")))?,
+        None => 16,
+    };
+    if cpus == 0 || cpus > 128 {
+        return Err(CliError::usage(format!(
+            "--cpus {cpus} out of range (1..=128)"
+        )));
+    }
+    Ok(cpus)
+}
+
 /// `slopt-tool figures`.
-pub fn figures(args: &[String]) -> Result<(), String> {
+pub fn figures(args: &[String]) -> Result<(), CliError> {
     let scale: usize = match flag_value(args, "--scale") {
-        Some(v) => v.parse().map_err(|_| format!("bad --scale `{v}`"))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad --scale `{v}`")))?,
         None => 1,
     };
     let jobs = parse_jobs(args)?;
+    let fault = RunnerArgs::from_args(args)
+        .fault_config()
+        .map_err(CliError::usage)?;
     let kernel = build_kernel();
     let sdet = SdetConfig {
         scripts_per_cpu: 24 * scale.max(1),
@@ -349,7 +439,7 @@ pub fn figures(args: &[String]) -> Result<(), String> {
         ),
     ] {
         eprintln!("[figures] {} ...", title);
-        let fig = figure_ckpt_obs(
+        let outcome = figure_fault_obs(
             name,
             &kernel,
             &machine,
@@ -360,10 +450,38 @@ pub fn figures(args: &[String]) -> Result<(), String> {
             title,
             jobs,
             ckpt.as_ref(),
+            fault.as_ref(),
             &obs,
         )
-        .map_err(|e| format!("{title}: {e}"))?;
-        println!("{fig}");
+        .map_err(|e| CliError::failure(format!("{title}: {e}")))?;
+        if outcome.report.had_faults() {
+            eprintln!("[figures] {}: {}", name, outcome.report.summary_line());
+        }
+        match outcome.figure {
+            Some(fig) => println!("{fig}"),
+            None => {
+                // Permanent faults holed part of the grid: print what we
+                // have, flush the trace, and report a degraded run.
+                println!("=== {title}: PARTIAL RESULTS (degraded run) ===");
+                for (label, cell) in &outcome.cells {
+                    match cell {
+                        Some(t) => println!("{label:<28} {:>12.2}", t.mean),
+                        None => println!("{label:<28} {:>12}", "HOLE"),
+                    }
+                }
+                for failure in &outcome.report.poisoned {
+                    eprintln!(
+                        "[figures] poisoned grid item {} after {} attempt(s): {} ({})",
+                        failure.index, failure.attempts, failure.message, failure.kind
+                    );
+                }
+                finish_obs(args, &obs);
+                return Err(CliError::degraded(format!(
+                    "{title}: {} grid item(s) poisoned — partial results above",
+                    outcome.report.poisoned.len()
+                )));
+            }
+        }
     }
     // A tiny shared-measure sanity line so users see the baseline too.
     let base = measure_jobs(
@@ -388,18 +506,22 @@ pub fn figures(args: &[String]) -> Result<(), String> {
 
 /// `slopt-tool stats <trace.jsonl>`: replay a saved `slopt-trace/1` run
 /// trace and print the aggregate counter/span table it implies.
-pub fn stats(args: &[String]) -> Result<(), String> {
+pub fn stats(args: &[String]) -> Result<(), CliError> {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err("usage: slopt-tool stats <trace.jsonl>".into());
+        return Err(CliError::usage("usage: slopt-tool stats <trace.jsonl>"));
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let summary = slopt_obs::replay::replay_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::bad_input(format!("reading {path}: {e}")))?;
+    let summary = slopt_obs::replay::replay_str(&text)
+        .map_err(|e| CliError::bad_input(format!("{path}: {e}")))?;
     print!("{summary}");
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
 
     #[test]
@@ -438,9 +560,17 @@ mod tests {
 
     #[test]
     fn stats_requires_a_path() {
-        assert!(stats(&[]).is_err());
+        assert_eq!(stats(&[]).unwrap_err().code, exit::USAGE);
         let args = vec!["--stats".to_string()];
-        assert!(stats(&args).is_err());
+        assert_eq!(stats(&args).unwrap_err().code, exit::USAGE);
+    }
+
+    #[test]
+    fn stats_classifies_unreadable_input() {
+        let args = vec!["/nonexistent/trace.jsonl".to_string()];
+        let err = stats(&args).unwrap_err();
+        assert_eq!(err.code, exit::BAD_INPUT);
+        assert!(err.message.contains("reading"));
     }
 
     #[test]
@@ -461,7 +591,8 @@ mod tests {
     fn advise_rejects_unknown_struct() {
         let args: Vec<String> = ["--struct", "Z"].iter().map(|s| s.to_string()).collect();
         let err = advise(&args).unwrap_err();
-        assert!(err.contains("no struct"));
+        assert!(err.message.contains("no struct"));
+        assert_eq!(err.code, exit::USAGE);
     }
 
     #[test]
@@ -471,6 +602,27 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let err = advise(&args).unwrap_err();
-        assert!(err.contains("reading"));
+        assert!(err.message.contains("reading"));
+        assert_eq!(err.code, exit::BAD_INPUT);
+    }
+
+    #[test]
+    fn cpus_flag_is_a_usage_error_when_out_of_range() {
+        for bad in [["--cpus", "0"], ["--cpus", "999"], ["--cpus", "x"]] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert_eq!(parse_cpus(&args).unwrap_err().code, exit::USAGE, "{bad:?}");
+        }
+        assert_eq!(parse_cpus(&[]).unwrap(), 16);
+    }
+
+    #[test]
+    fn bad_fault_plan_is_a_usage_error() {
+        let args: Vec<String> = ["figures", "--fault-plan", "bogus=1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = figures(&args[1..]).unwrap_err();
+        assert_eq!(err.code, exit::USAGE);
+        assert!(err.message.contains("bogus"));
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
 //! slopt-tool simulate [--machine bus4|superdome16|superdome128]
-//! slopt-tool figures [--scale N] [--jobs N]
+//! slopt-tool figures [--scale N] [--jobs N] [--fault-plan SPEC]
 //! slopt-tool stats <trace.jsonl>
 //! slopt-tool help
 //! ```
@@ -18,6 +18,14 @@
 //! (cluster contents, intra/inter-cluster weights, strongest edges), and
 //! optionally writes the suggested layout and a Graphviz rendering of the
 //! Field Layout Graph to `--out`.
+//!
+//! Exit codes follow the shared vocabulary in `slopt_fault::exit`:
+//! 0 success, 1 internal failure, 2 usage error, 3 bad input,
+//! 4 degraded (partial) figures run under permanent injected faults.
+
+// The CLI is the crash-free boundary of the tool: every fallible path
+// must surface a classified `CliError`, never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::process::ExitCode;
 
@@ -27,7 +35,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         commands::print_help();
-        return ExitCode::FAILURE;
+        return ExitCode::from(slopt_fault::exit::USAGE);
     };
     let result = match cmd.as_str() {
         "advise" => commands::advise(rest),
@@ -38,13 +46,15 @@ fn main() -> ExitCode {
             commands::print_help();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `slopt-tool help`)")),
+        other => Err(commands::CliError::usage(format!(
+            "unknown command `{other}` (try `slopt-tool help`)"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("slopt-tool: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("slopt-tool: {e}");
+            ExitCode::from(e.code)
         }
     }
 }

@@ -5,4 +5,7 @@
 //! on — can fan out through the same scheduler. This module re-exports it
 //! under the historical `slopt_core::par` path.
 
-pub use slopt_ir::par::{default_jobs, par_map};
+pub use slopt_ir::par::{
+    default_jobs, par_map, par_map_supervised, FailureKind, FaultReport, ItemFailure,
+    SupervisePolicy, WorkerError,
+};

@@ -85,7 +85,10 @@ pub use cfg::{
 pub use fmf::FieldMap;
 pub use inline::{inline_program, InlineParams};
 pub use layout::{LayoutError, StructLayout, DEFAULT_LINE_SIZE};
-pub use par::{default_jobs, par_map};
+pub use par::{
+    default_jobs, par_map, par_map_supervised, FailureKind, FaultReport, ItemFailure,
+    SupervisePolicy, WorkerError,
+};
 pub use profile::Profile;
 pub use source::SourceLine;
 pub use text::{parse_program, print_program, ParseError};

@@ -15,8 +15,20 @@
 //! dynamic load balancing (items can be wildly uneven — a 128-way
 //! simulator run next to a 4-way one) with no unsafe code and no
 //! dependencies.
+//!
+//! [`par_map`] is the *trusting* scheduler: a panicking worker kills the
+//! whole run. [`par_map_supervised`] is its production sibling: worker
+//! panics are contained with `catch_unwind`, transient failures retry
+//! with a bounded deterministic backoff, per-item deadlines are
+//! enforced at the attempt boundary, and items that still fail are
+//! quarantined into a structured [`FaultReport`] instead of aborting —
+//! the run degrades to a partial result with explicitly marked holes.
 
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// The host's available parallelism (the default for `--jobs`).
 pub fn default_jobs() -> usize {
@@ -89,6 +101,377 @@ where
         .collect()
 }
 
+/// How a supervised worker attempt failed, as reported by the work
+/// closure. The distinction drives the retry policy: transient errors
+/// are retried (and, if a retry succeeds, are invisible in the result);
+/// permanent errors quarantine the item immediately.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum WorkerError {
+    /// A failure that may succeed on retry (I/O hiccup, flaky
+    /// collector, injected transient fault).
+    Transient(String),
+    /// A failure that will recur on every attempt; retrying is wasted
+    /// work.
+    Permanent(String),
+}
+
+impl WorkerError {
+    /// A [`WorkerError::Transient`] with the given message.
+    pub fn transient(message: impl Into<String>) -> WorkerError {
+        WorkerError::Transient(message.into())
+    }
+
+    /// A [`WorkerError::Permanent`] with the given message.
+    pub fn permanent(message: impl Into<String>) -> WorkerError {
+        WorkerError::Permanent(message.into())
+    }
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Transient(m) => write!(f, "transient: {m}"),
+            WorkerError::Permanent(m) => write!(f, "permanent: {m}"),
+        }
+    }
+}
+
+impl Error for WorkerError {}
+
+/// Why a quarantined item ended up poisoned.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum FailureKind {
+    /// The final attempt panicked (earlier attempts may have too).
+    Panic,
+    /// Every attempt failed transiently until the retry budget ran out.
+    TransientExhausted,
+    /// An attempt failed permanently; no further retries were made.
+    Permanent,
+    /// An attempt overran the per-item deadline.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::Panic => "panic",
+            FailureKind::TransientExhausted => "transient-exhausted",
+            FailureKind::Permanent => "permanent",
+            FailureKind::DeadlineExceeded => "deadline-exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One quarantined item: the hole's index, how many attempts were made,
+/// and why the last one failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the poisoned item in the input slice.
+    pub index: usize,
+    /// Attempts made (1 initial + retries).
+    pub attempts: u32,
+    /// Classification of the final failure.
+    pub kind: FailureKind,
+    /// Human-readable message of the final failure.
+    pub message: String,
+}
+
+impl fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "item {} [{}] after {} attempt(s): {}",
+            self.index, self.kind, self.attempts, self.message
+        )
+    }
+}
+
+/// Retry/deadline policy of [`par_map_supervised`].
+///
+/// The backoff schedule is *deterministic*: attempt `n` sleeps
+/// `backoff_base << n`, capped at `backoff_cap` — a pure function of
+/// the attempt number, so two runs of the same plan wait the same
+/// schedule. Backoff bounds wall-clock cost; it cannot affect results,
+/// which are assembled by item index.
+#[derive(Clone, Debug)]
+pub struct SupervisePolicy {
+    /// Retries after the initial attempt (so `max_retries + 1` attempts
+    /// total). Default 3.
+    pub max_retries: u32,
+    /// Per-item deadline, enforced at the attempt boundary: an attempt
+    /// that overruns it quarantines the item immediately (retrying work
+    /// that is already over budget doubles down on the stall). `None`
+    /// disables the check. Cooperative — a stalled attempt is detected
+    /// when it returns, not preempted mid-flight.
+    pub deadline: Option<Duration>,
+    /// First retry's backoff. Default 1 ms.
+    pub backoff_base: Duration,
+    /// Backoff ceiling. Default 50 ms.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> SupervisePolicy {
+        SupervisePolicy {
+            max_retries: 3,
+            deadline: None,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// The deterministic backoff before retry `attempt` (0-based over
+    /// retries): `base << attempt`, capped.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff_base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.backoff_cap)
+    }
+}
+
+/// The structured outcome of a supervised run: totals, retry activity,
+/// and the quarantined items (the holes in the result).
+///
+/// Everything except `deadline_hits` is deterministic given
+/// deterministic worker behavior: retry counts come from per-attempt
+/// decisions, not thread scheduling. Deadline hits depend on real wall
+/// time and are only deterministic when the stall is much longer than
+/// the deadline (as with injected slow-worker faults).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Items in the input slice.
+    pub items: usize,
+    /// Items that produced a value.
+    pub completed: usize,
+    /// Total retry attempts across all items.
+    pub retries: u64,
+    /// Items that failed at least once and then succeeded — the faults
+    /// that are *invisible* in the result.
+    pub recovered: usize,
+    /// Worker panics contained by the supervisor (including ones later
+    /// recovered by retry).
+    pub panics_contained: u64,
+    /// Attempts that overran the deadline.
+    pub deadline_hits: u64,
+    /// Quarantined items, sorted by index. Empty on a clean run.
+    pub poisoned: Vec<ItemFailure>,
+}
+
+impl FaultReport {
+    /// Whether the result has holes (any poisoned item). A degraded run
+    /// must exit with a distinct nonzero code rather than pretend the
+    /// partial result is complete.
+    pub fn degraded(&self) -> bool {
+        !self.poisoned.is_empty()
+    }
+
+    /// Whether the supervisor saw *any* fault activity, including
+    /// recovered-and-invisible retries.
+    pub fn had_faults(&self) -> bool {
+        self.degraded() || self.retries > 0 || self.panics_contained > 0
+    }
+
+    /// One-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} item(s): {} ok, {} poisoned; {} retry(ies) ({} item(s) recovered), \
+             {} panic(s) contained, {} deadline hit(s)",
+            self.items,
+            self.completed,
+            self.poisoned.len(),
+            self.retries,
+            self.recovered,
+            self.panics_contained,
+            self.deadline_hits
+        )
+    }
+}
+
+/// Per-item bookkeeping produced by the attempt loop.
+#[derive(Debug, Default)]
+struct ItemStats {
+    retries: u64,
+    recovered: bool,
+    panics: u64,
+    deadline_hit: bool,
+    failure: Option<ItemFailure>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs the attempt loop for one item. Pure supervision: which faults
+/// fire is entirely up to `f`.
+fn run_supervised<I, T, F>(
+    policy: &SupervisePolicy,
+    i: usize,
+    item: &I,
+    f: &F,
+) -> (Option<T>, ItemStats)
+where
+    F: Fn(usize, &I, u32) -> Result<T, WorkerError>,
+{
+    let mut stats = ItemStats::default();
+    let mut attempt: u32 = 0;
+    loop {
+        let start = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(i, item, attempt)));
+        if let Some(deadline) = policy.deadline {
+            if start.elapsed() > deadline {
+                stats.deadline_hit = true;
+                if outcome.is_err() {
+                    stats.panics += 1;
+                }
+                stats.failure = Some(ItemFailure {
+                    index: i,
+                    attempts: attempt + 1,
+                    kind: FailureKind::DeadlineExceeded,
+                    message: format!(
+                        "attempt took {:?}, deadline {:?}",
+                        start.elapsed(),
+                        deadline
+                    ),
+                });
+                return (None, stats);
+            }
+        }
+        let retryable_message = match outcome {
+            Ok(Ok(value)) => {
+                stats.recovered = attempt > 0;
+                return (Some(value), stats);
+            }
+            Ok(Err(WorkerError::Permanent(message))) => {
+                stats.failure = Some(ItemFailure {
+                    index: i,
+                    attempts: attempt + 1,
+                    kind: FailureKind::Permanent,
+                    message,
+                });
+                return (None, stats);
+            }
+            Ok(Err(WorkerError::Transient(message))) => (FailureKind::TransientExhausted, message),
+            Err(payload) => {
+                stats.panics += 1;
+                (FailureKind::Panic, panic_message(payload.as_ref()))
+            }
+        };
+        let (kind, message) = retryable_message;
+        if attempt >= policy.max_retries {
+            stats.failure = Some(ItemFailure {
+                index: i,
+                attempts: attempt + 1,
+                kind,
+                message,
+            });
+            return (None, stats);
+        }
+        std::thread::sleep(policy.backoff_for(attempt));
+        stats.retries += 1;
+        attempt += 1;
+    }
+}
+
+/// [`par_map`] with failure containment: maps `f` over `items` on up to
+/// `jobs` threads, where `f` receives `(index, item, attempt)` and
+/// returns `Result<T, WorkerError>`.
+///
+/// * **Panics are contained** per attempt with `catch_unwind` and
+///   treated as retryable (the global panic hook still runs, so
+///   contained panics remain visible on stderr).
+/// * **Transient errors retry** up to `policy.max_retries` times with
+///   the policy's bounded deterministic backoff.
+/// * **Permanent errors quarantine** the item immediately.
+/// * **Deadline overruns quarantine** the item at the attempt boundary.
+///
+/// Returns one `Option<T>` per item in item order (`None` marks a
+/// quarantined hole) plus the [`FaultReport`]. When `f` is a pure
+/// function of `(index, item, attempt)`, both the values and the report
+/// are identical for every `jobs` value — recovered faults leave the
+/// value slice bit-identical to an unsupervised clean run.
+pub fn par_map_supervised<I, T, F>(
+    jobs: usize,
+    items: &[I],
+    policy: &SupervisePolicy,
+    f: F,
+) -> (Vec<Option<T>>, FaultReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I, u32) -> Result<T, WorkerError> + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let per_worker: Vec<Vec<(usize, Option<T>, ItemStats)>> = if jobs <= 1 {
+        vec![items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let (value, stats) = run_supervised(policy, i, item, &f);
+                (i, value, stats)
+            })
+            .collect()]
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            let (value, stats) = run_supervised(policy, i, item, &f);
+                            out.push((i, value, stats));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    // The supervisor itself must not panic; a worker
+                    // thread dying here means containment failed.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    let mut report = FaultReport {
+        items: items.len(),
+        ..FaultReport::default()
+    };
+    let mut failures: Vec<ItemFailure> = Vec::new();
+    for chunk in per_worker {
+        for (i, value, stats) in chunk {
+            report.retries += stats.retries;
+            report.recovered += usize::from(stats.recovered);
+            report.panics_contained += stats.panics;
+            report.deadline_hits += u64::from(stats.deadline_hit);
+            if let Some(failure) = stats.failure {
+                failures.push(failure);
+            }
+            slots[i] = value;
+        }
+    }
+    failures.sort_by_key(|f| f.index);
+    report.completed = slots.iter().filter(|s| s.is_some()).count();
+    report.poisoned = failures;
+    (slots, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +519,194 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    fn fast_policy() -> SupervisePolicy {
+        SupervisePolicy {
+            backoff_base: Duration::from_micros(10),
+            backoff_cap: Duration::from_micros(100),
+            ..SupervisePolicy::default()
+        }
+    }
+
+    #[test]
+    fn supervised_zero_items_is_a_clean_empty_run() {
+        let empty: Vec<u32> = vec![];
+        let (values, report) = par_map_supervised(8, &empty, &fast_policy(), |_, &x, _| {
+            Ok::<u32, WorkerError>(x)
+        });
+        assert!(values.is_empty());
+        assert_eq!(report.items, 0);
+        assert_eq!(report.completed, 0);
+        assert!(!report.degraded());
+        assert!(!report.had_faults());
+    }
+
+    #[test]
+    fn supervised_clean_run_matches_par_map() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        for jobs in [1, 2, 8] {
+            let (values, report) = par_map_supervised(jobs, &items, &fast_policy(), |_, &x, _| {
+                Ok::<u64, WorkerError>(x * 3)
+            });
+            let values: Vec<u64> = values.into_iter().map(|v| v.unwrap()).collect();
+            assert_eq!(values, serial, "jobs={jobs}");
+            assert!(!report.had_faults());
+            assert_eq!(report.completed, 97);
+        }
+    }
+
+    #[test]
+    fn supervised_all_items_poisoned_still_returns() {
+        let items: Vec<u32> = (0..13).collect();
+        for jobs in [1, 4] {
+            let (values, report) = par_map_supervised(jobs, &items, &fast_policy(), |i, _, _| {
+                Err::<u32, _>(WorkerError::permanent(format!("item {i} is cursed")))
+            });
+            assert!(values.iter().all(Option::is_none), "jobs={jobs}");
+            assert_eq!(report.poisoned.len(), 13);
+            assert!(report.degraded());
+            assert_eq!(report.completed, 0);
+            // Permanent failures never retry.
+            assert_eq!(report.retries, 0);
+            for (k, failure) in report.poisoned.iter().enumerate() {
+                assert_eq!(failure.index, k, "poisoned list sorted by index");
+                assert_eq!(failure.kind, FailureKind::Permanent);
+                assert_eq!(failure.attempts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_retry_then_succeed_is_deterministic_for_any_jobs() {
+        // Item i fails transiently on attempts < i % 4, then succeeds:
+        // a pure function of (index, attempt), like a seeded fault plan.
+        let items: Vec<u64> = (0..41).collect();
+        let run = |jobs| {
+            par_map_supervised(jobs, &items, &fast_policy(), |i, &x, attempt| {
+                if (attempt as usize) < i % 4 {
+                    Err(WorkerError::transient(format!("flake {i}/{attempt}")))
+                } else {
+                    Ok(x * x)
+                }
+            })
+        };
+        let (base_values, base_report) = run(1);
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(
+            base_values.iter().map(|v| v.unwrap()).collect::<Vec<_>>(),
+            expect
+        );
+        let expected_retries: u64 = (0..41u64).map(|i| i % 4).sum();
+        assert_eq!(base_report.retries, expected_retries);
+        assert_eq!(
+            base_report.recovered,
+            items.iter().filter(|&&i| i % 4 != 0).count()
+        );
+        for jobs in [2, 3, 8, 64] {
+            let (values, report) = run(jobs);
+            assert_eq!(values, base_values, "jobs={jobs}");
+            assert_eq!(
+                report, base_report,
+                "jobs={jobs}: report must be scheduling-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_contains_and_retries_panics() {
+        let items: Vec<u32> = (0..10).collect();
+        let (values, report) = par_map_supervised(4, &items, &fast_policy(), |i, &x, attempt| {
+            if i % 2 == 0 && attempt == 0 {
+                panic!("injected panic at item {i}");
+            }
+            Ok::<u32, WorkerError>(x + 1)
+        });
+        assert!(values.iter().all(Option::is_some), "every panic recovered");
+        assert_eq!(report.panics_contained, 5);
+        assert_eq!(report.recovered, 5);
+        assert!(!report.degraded());
+        assert!(report.had_faults());
+    }
+
+    #[test]
+    fn supervised_exhausted_transients_quarantine_with_attempt_count() {
+        let items: Vec<u32> = (0..4).collect();
+        let policy = SupervisePolicy {
+            max_retries: 2,
+            ..fast_policy()
+        };
+        let (values, report) = par_map_supervised(2, &items, &policy, |i, &x, _| {
+            if i == 2 {
+                Err(WorkerError::transient("never recovers"))
+            } else {
+                Ok::<u32, WorkerError>(x)
+            }
+        });
+        assert_eq!(values.iter().filter(|v| v.is_none()).count(), 1);
+        assert!(values[2].is_none(), "the hole is exactly the failing item");
+        let failure = &report.poisoned[0];
+        assert_eq!(failure.index, 2);
+        assert_eq!(failure.kind, FailureKind::TransientExhausted);
+        assert_eq!(failure.attempts, 3, "1 initial + 2 retries");
+        assert_eq!(report.retries, 2);
+    }
+
+    #[test]
+    fn supervised_deadline_fires_on_a_deliberately_slow_worker() {
+        let items: Vec<u32> = (0..6).collect();
+        let policy = SupervisePolicy {
+            deadline: Some(Duration::from_millis(30)),
+            ..fast_policy()
+        };
+        let (values, report) = par_map_supervised(3, &items, &policy, |i, &x, _| {
+            if i == 4 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            Ok::<u32, WorkerError>(x)
+        });
+        assert!(values[4].is_none(), "slow item quarantined");
+        assert_eq!(values.iter().filter(|v| v.is_some()).count(), 5);
+        assert_eq!(report.deadline_hits, 1);
+        let failure = &report.poisoned[0];
+        assert_eq!(failure.kind, FailureKind::DeadlineExceeded);
+        assert_eq!(failure.attempts, 1, "deadline overruns do not retry");
+    }
+
+    #[test]
+    fn supervised_backoff_is_bounded_and_monotone() {
+        let policy = SupervisePolicy::default();
+        let mut last = Duration::ZERO;
+        for attempt in 0..40 {
+            let b = policy.backoff_for(attempt);
+            assert!(b >= last);
+            assert!(b <= policy.backoff_cap);
+            last = b;
+        }
+        assert_eq!(policy.backoff_for(0), policy.backoff_base);
+    }
+
+    #[test]
+    fn fault_report_summary_mentions_the_numbers() {
+        let report = FaultReport {
+            items: 8,
+            completed: 7,
+            retries: 3,
+            recovered: 2,
+            panics_contained: 1,
+            deadline_hits: 0,
+            poisoned: vec![ItemFailure {
+                index: 5,
+                attempts: 4,
+                kind: FailureKind::TransientExhausted,
+                message: "x".into(),
+            }],
+        };
+        let line = report.summary_line();
+        assert!(line.contains("8 item(s)"), "{line}");
+        assert!(line.contains("1 poisoned"), "{line}");
+        assert!(report.degraded());
+        assert!(report.poisoned[0].to_string().contains("item 5"));
     }
 }

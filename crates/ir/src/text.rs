@@ -42,6 +42,10 @@
 //! * The first block of a function is its entry.
 //! * `#` starts a comment to end of line.
 
+// This module is the crash-free input boundary for untrusted `.sir`
+// text: every failure must surface as a `ParseError`, never a panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::builder::{FunctionBuilder, ProgramBuilder};
 use crate::cfg::{FuncId, InstanceSlot, Instr, Program, Terminator};
 use crate::types::{FieldType, PrimType, RecordType, TypeRegistry};
@@ -49,35 +53,67 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parse error with its 1-based source line.
+/// A parse error with its 1-based source position and, when one exists,
+/// the offending token.
 #[derive(Clone, Debug, Eq, PartialEq)]
 pub struct ParseError {
     /// 1-based line of the offending token.
     pub line: usize,
+    /// 1-based column of the offending token's first character.
+    pub col: usize,
+    /// The token the parser was looking at, `None` at end of input.
+    pub token: Option<String>,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
     }
 }
 
 impl Error for ParseError {}
 
-fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+fn err<T>(tok: &Tok, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
-        line,
+        line: tok.line,
+        col: tok.col,
+        token: Some(tok.text.clone()),
         message: message.into(),
     })
 }
 
-/// One token with its source line.
+fn err_at<T>(at: (usize, usize), token: &str, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line: at.0,
+        col: at.1,
+        token: Some(token.to_string()),
+        message: message.into(),
+    })
+}
+
+fn err_eof<T>(at: (usize, usize), message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line: at.0,
+        col: at.1,
+        token: None,
+        message: message.into(),
+    })
+}
+
+/// One token with its 1-based source position.
 #[derive(Clone, Debug, PartialEq)]
 struct Tok {
     text: String,
     line: usize,
+    col: usize,
+}
+
+impl Tok {
+    fn at(&self) -> (usize, usize) {
+        (self.line, self.col)
+    }
 }
 
 fn tokenize(input: &str) -> Vec<Tok> {
@@ -86,28 +122,37 @@ fn tokenize(input: &str) -> Vec<Tok> {
         let line = ln + 1;
         let code = raw.split('#').next().unwrap_or("");
         let mut cur = String::new();
-        let flush = |cur: &mut String, out: &mut Vec<Tok>| {
+        let mut cur_start = 1;
+        let flush = |cur: &mut String, start: usize, out: &mut Vec<Tok>| {
             if !cur.is_empty() {
                 out.push(Tok {
                     text: std::mem::take(cur),
                     line,
+                    col: start,
                 });
             }
         };
-        for ch in code.chars() {
+        for (ci, ch) in code.chars().enumerate() {
+            let col = ci + 1;
             match ch {
                 '{' | '}' | ':' | '(' | ')' | ',' | '.' | '@' | '[' | ']' => {
-                    flush(&mut cur, &mut out);
+                    flush(&mut cur, cur_start, &mut out);
                     out.push(Tok {
                         text: ch.to_string(),
                         line,
+                        col,
                     });
                 }
-                c if c.is_whitespace() => flush(&mut cur, &mut out),
-                c => cur.push(c),
+                c if c.is_whitespace() => flush(&mut cur, cur_start, &mut out),
+                c => {
+                    if cur.is_empty() {
+                        cur_start = col;
+                    }
+                    cur.push(c);
+                }
             }
         }
-        flush(&mut cur, &mut out);
+        flush(&mut cur, cur_start, &mut out);
     }
     out
 }
@@ -130,17 +175,18 @@ impl Parser {
         t
     }
 
-    fn cur_line(&self) -> usize {
+    /// Position of the next token, or just past the last one at EOF.
+    fn cur_at(&self) -> (usize, usize) {
         self.peek()
-            .map_or_else(|| self.toks.last().map_or(1, |t| t.line), |t| t.line)
+            .map_or_else(|| self.toks.last().map_or((1, 1), |t| t.at()), |t| t.at())
     }
 
     fn expect(&mut self, what: &str) -> Result<Tok, ParseError> {
         match self.next() {
             Some(t) if t.text == what => Ok(t),
-            Some(t) => err(t.line, format!("expected `{what}`, found `{}`", t.text)),
-            None => err(
-                self.cur_line(),
+            Some(t) => err(&t, format!("expected `{what}`, found `{}`", t.text)),
+            None => err_eof(
+                self.cur_at(),
                 format!("expected `{what}`, found end of input"),
             ),
         }
@@ -154,9 +200,9 @@ impl Parser {
             {
                 Ok(t)
             }
-            Some(t) => err(t.line, format!("expected {what}, found `{}`", t.text)),
-            None => err(
-                self.cur_line(),
+            Some(t) => err(&t, format!("expected {what}, found `{}`", t.text)),
+            None => err_eof(
+                self.cur_at(),
                 format!("expected {what}, found end of input"),
             ),
         }
@@ -164,10 +210,10 @@ impl Parser {
 
     fn number<T: std::str::FromStr>(&mut self, what: &str) -> Result<T, ParseError> {
         let t = self.ident(what)?;
-        t.text.parse::<T>().map_err(|_| ParseError {
-            line: t.line,
-            message: format!("bad {what} `{}`", t.text),
-        })
+        match t.text.parse::<T>() {
+            Ok(v) => Ok(v),
+            Err(_) => err(&t, format!("bad {what} `{}`", t.text)),
+        }
     }
 
     /// Parses a float that may span a `.` token (the tokenizer treats `.`
@@ -181,10 +227,10 @@ impl Parser {
             text.push('.');
             text.push_str(&frac.text);
         }
-        text.parse::<f64>().map_err(|_| ParseError {
-            line: t.line,
-            message: format!("bad {what} `{text}`"),
-        })
+        match text.parse::<f64>() {
+            Ok(v) => Ok(v),
+            Err(_) => err(&t, format!("bad {what} `{text}`")),
+        }
     }
 }
 
@@ -232,25 +278,25 @@ fn parse_field_type(p: &mut Parser) -> Result<FieldType, ParseError> {
         let align: u64 = p.number("opaque alignment")?;
         p.expect(")")?;
         if size == 0 {
-            return err(t.line, "opaque size must be non-zero");
+            return err(&t, "opaque size must be non-zero");
         }
         if !align.is_power_of_two() {
             return err(
-                t.line,
+                &t,
                 format!("opaque alignment {align} is not a power of two"),
             );
         }
         return Ok(FieldType::Opaque { size, align });
     }
     let Some(prim) = prim_of(&t.text) else {
-        return err(t.line, format!("unknown type `{}`", t.text));
+        return err(&t, format!("unknown type `{}`", t.text));
     };
     if p.peek().is_some_and(|n| n.text == "[") {
         p.expect("[")?;
         let len: u64 = p.number("array length")?;
         p.expect("]")?;
         if len == 0 {
-            return err(t.line, "array length must be non-zero");
+            return err(&t, "array length must be non-zero");
         }
         return Ok(FieldType::Array { elem: prim, len });
     }
@@ -272,11 +318,12 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
     let mut registry = TypeRegistry::new();
     // First pass gathers records inline (records must precede use; we
     // enforce file order = definition order, like the builder API).
+    /// (block name, instr list, terminator spec, (line, col)).
+    type RawBlock = (String, Vec<RawInstr>, RawTerm, (usize, usize));
     struct PendingFn {
         name: String,
         line: usize,
-        /// block name -> (instr list, terminator spec, line)
-        blocks: Vec<(String, Vec<RawInstr>, RawTerm, usize)>,
+        blocks: Vec<RawBlock>,
     }
     enum RawInstr {
         Access {
@@ -284,18 +331,18 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
             field: String,
             write: bool,
             slot: u8,
-            line: usize,
+            at: (usize, usize),
         },
         Compute(u32),
         Call {
             name: String,
-            line: usize,
+            at: (usize, usize),
         },
     }
     enum RawTerm {
-        Jump(String, usize),
-        Branch(String, String, f64, usize),
-        Loop(String, String, u32, usize),
+        Jump(String, (usize, usize)),
+        Branch(String, String, f64, (usize, usize)),
+        Loop(String, String, u32, (usize, usize)),
         Ret,
     }
 
@@ -306,7 +353,7 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
             "record" => {
                 let name = p.ident("a record name")?;
                 if registry.lookup(&name.text).is_some() {
-                    return err(name.line, format!("duplicate record `{}`", name.text));
+                    return err(&name, format!("duplicate record `{}`", name.text));
                 }
                 p.expect("{")?;
                 let mut fields: Vec<(String, FieldType)> = Vec::new();
@@ -319,12 +366,12 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                     p.expect(":")?;
                     let ty = parse_field_type(&mut p)?;
                     if fields.iter().any(|(n, _)| *n == t.text) {
-                        return err(t.line, format!("duplicate field `{}`", t.text));
+                        return err(&t, format!("duplicate field `{}`", t.text));
                     }
                     fields.push((t.text, ty));
                 }
                 if fields.is_empty() {
-                    return err(name.line, format!("record `{}` has no fields", name.text));
+                    return err(&name, format!("record `{}` has no fields", name.text));
                 }
                 registry.add_record(RecordType::new(name.text, fields));
             }
@@ -342,7 +389,7 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                             let mut term = RawTerm::Ret;
                             loop {
                                 let Some(t) = p.next() else {
-                                    return err(bname.line, "unterminated block");
+                                    return err(&bname, "unterminated block");
                                 };
                                 match t.text.as_str() {
                                     "}" => break,
@@ -354,11 +401,11 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                                         p.expect("@")?;
                                         let slot: u8 = p.number("slot index")?;
                                         instrs.push(RawInstr::Access {
+                                            at: rec.at(),
                                             record: rec.text,
                                             field: field.text,
                                             write,
                                             slot,
-                                            line: rec.line,
                                         });
                                     }
                                     "compute" => {
@@ -367,13 +414,13 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                                     "call" => {
                                         let callee = p.ident("a function name")?;
                                         instrs.push(RawInstr::Call {
+                                            at: callee.at(),
                                             name: callee.text,
-                                            line: callee.line,
                                         });
                                     }
                                     "jump" => {
                                         let t2 = p.ident("a block name")?;
-                                        term = RawTerm::Jump(t2.text, t2.line);
+                                        term = RawTerm::Jump(t2.text.clone(), t2.at());
                                         p.expect("}")?;
                                         break;
                                     }
@@ -382,9 +429,10 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                                         let b = p.ident("a block name")?;
                                         let prob: f64 = p.float("a probability")?;
                                         if !(0.0..=1.0).contains(&prob) {
-                                            return err(a.line, "probability outside [0, 1]");
+                                            return err(&a, "probability outside [0, 1]");
                                         }
-                                        term = RawTerm::Branch(a.text, b.text, prob, a.line);
+                                        term =
+                                            RawTerm::Branch(a.text.clone(), b.text, prob, a.at());
                                         p.expect("}")?;
                                         break;
                                     }
@@ -392,7 +440,12 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                                         let back = p.ident("a block name")?;
                                         let exit = p.ident("a block name")?;
                                         let trip: u32 = p.number("a trip count")?;
-                                        term = RawTerm::Loop(back.text, exit.text, trip, back.line);
+                                        term = RawTerm::Loop(
+                                            back.text.clone(),
+                                            exit.text,
+                                            trip,
+                                            back.at(),
+                                        );
                                         p.expect("}")?;
                                         break;
                                     }
@@ -402,29 +455,23 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                                         break;
                                     }
                                     other => {
-                                        return err(
-                                            t.line,
-                                            format!("unknown instruction `{other}`"),
-                                        )
+                                        return err(&t, format!("unknown instruction `{other}`"))
                                     }
                                 }
                             }
-                            blocks.push((bname.text, instrs, term, bname.line));
+                            blocks.push((bname.text.clone(), instrs, term, bname.at()));
                         }
                         Some(t) => {
-                            return err(
-                                t.line,
-                                format!("expected `block` or `}}`, found `{}`", t.text),
-                            )
+                            return err(&t, format!("expected `block` or `}}`, found `{}`", t.text))
                         }
-                        None => return err(name.line, "unterminated function"),
+                        None => return err(&name, "unterminated function"),
                     }
                 }
                 if blocks.is_empty() {
-                    return err(name.line, format!("function `{}` has no blocks", name.text));
+                    return err(&name, format!("function `{}` has no blocks", name.text));
                 }
                 if fns.iter().any(|f| f.name == name.text) {
-                    return err(name.line, format!("duplicate function `{}`", name.text));
+                    return err(&name, format!("duplicate function `{}`", name.text));
                 }
                 fns.push(PendingFn {
                     name: name.text,
@@ -432,12 +479,7 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                     blocks,
                 });
             }
-            other => {
-                return err(
-                    tok.line,
-                    format!("expected `record` or `fn`, found `{other}`"),
-                )
-            }
+            other => return err(&tok, format!("expected `record` or `fn`, found `{other}`")),
         }
     }
 
@@ -447,17 +489,20 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
     for pf in &fns {
         let mut fb = FunctionBuilder::new(pf.name.clone());
         let mut block_ids = HashMap::new();
-        for (bname, _, _, bline) in &pf.blocks {
+        for (bname, _, _, bat) in &pf.blocks {
             if block_ids.insert(bname.clone(), fb.add_block()).is_some() {
-                return err(
-                    *bline,
+                return err_at(
+                    *bat,
+                    bname,
                     format!("duplicate block `{bname}` in `{}`", pf.name),
                 );
             }
         }
-        let lookup_block = |name: &str, line: usize| {
+        let lookup_block = |name: &str, at: (usize, usize)| {
             block_ids.get(name).copied().ok_or(ParseError {
-                line,
+                line: at.0,
+                col: at.1,
+                token: Some(name.to_string()),
                 message: format!("unknown block `{name}`"),
             })
         };
@@ -470,14 +515,14 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                         field,
                         write,
                         slot,
-                        line,
+                        at,
                     } => {
                         let Some(rid) = pb.program().registry().lookup(record) else {
-                            return err(*line, format!("unknown record `{record}`"));
+                            return err_at(*at, record, format!("unknown record `{record}`"));
                         };
                         let rec_ty = pb.program().registry().record(rid);
                         let Some(fidx) = rec_ty.field_by_name(field) else {
-                            return err(*line, format!("no field `{field}` in `{record}`"));
+                            return err_at(*at, field, format!("no field `{field}` in `{record}`"));
                         };
                         if *write {
                             fb.write(bid, rid, fidx, InstanceSlot(*slot));
@@ -488,10 +533,11 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                     RawInstr::Compute(c) => {
                         fb.compute(bid, *c);
                     }
-                    RawInstr::Call { name, line } => {
+                    RawInstr::Call { name, at } => {
                         let Some(&callee) = fn_ids.get(name) else {
-                            return err(
-                                *line,
+                            return err_at(
+                                *at,
+                                name,
                                 format!("unknown (or later-defined) function `{name}`"),
                             );
                         };
@@ -500,16 +546,16 @@ pub fn parse_program(input: &str) -> Result<Program, ParseError> {
                 }
             }
             match term {
-                RawTerm::Jump(t, line) => {
-                    let target = lookup_block(t, *line)?;
+                RawTerm::Jump(t, at) => {
+                    let target = lookup_block(t, *at)?;
                     fb.jump(bid, target);
                 }
-                RawTerm::Branch(a, b, prob, line) => {
-                    let (ta, tb) = (lookup_block(a, *line)?, lookup_block(b, *line)?);
+                RawTerm::Branch(a, b, prob, at) => {
+                    let (ta, tb) = (lookup_block(a, *at)?, lookup_block(b, *at)?);
                     fb.branch(bid, ta, tb, *prob);
                 }
-                RawTerm::Loop(back, exit, trip, line) => {
-                    let (bk, ex) = (lookup_block(back, *line)?, lookup_block(exit, *line)?);
+                RawTerm::Loop(back, exit, trip, at) => {
+                    let (bk, ex) = (lookup_block(back, *at)?, lookup_block(exit, *at)?);
                     fb.loop_latch(bid, bk, ex, *trip);
                 }
                 RawTerm::Ret => {
@@ -605,6 +651,8 @@ pub fn print_program(program: &Program) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used)]
+
     use super::*;
     use crate::cfg::AccessKind;
 
@@ -733,6 +781,27 @@ fn scan {
             );
             assert!(e.line >= 1);
         }
+    }
+
+    #[test]
+    fn errors_carry_column_and_token() {
+        // `u64` where `:` was expected: line 2, col 9.
+        let e = parse_program("record S {\n    pid u64\n}").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 9));
+        assert_eq!(e.token.as_deref(), Some("u64"));
+        assert!(e.to_string().contains("line 2, col 9"));
+
+        // End of input carries the last token's position and no token.
+        let eof = parse_program("record S {").unwrap_err();
+        assert_eq!(eof.token, None);
+        assert_eq!((eof.line, eof.col), (1, 10));
+        assert!(eof.message.contains("end of input"));
+
+        // Second-pass (semantic) errors point at the offending name.
+        let sem = parse_program("record S { x: u64 }\nfn f { block b { read S.nope @0 ret } }")
+            .unwrap_err();
+        assert_eq!(sem.token.as_deref(), Some("nope"));
+        assert_eq!(sem.line, 2);
     }
 
     #[test]

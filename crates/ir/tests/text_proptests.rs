@@ -1,0 +1,89 @@
+//! Property tests for the `.sir` text boundary: parsing is crash-free on
+//! *any* input — arbitrary bytes and mutated once-valid scripts alike
+//! either produce a `Program` or a structured `ParseError` with a real
+//! source position, never a panic.
+
+use proptest::prelude::*;
+use slopt_ir::text::{parse_program, print_program};
+
+const VALID: &str = r#"
+# A tiny kernel object.
+record S {
+    pid: u64
+    name: u8[16]
+    lock: opaque(24, 8)
+}
+
+fn helper {
+    block only {
+        write S.lock @1
+        ret
+    }
+}
+
+fn scan {
+    block entry {
+        read S.pid @0
+        compute 20
+        call helper
+        jump body
+    }
+    block body {
+        read S.pid @0
+        loop body exit 16
+    }
+    block exit {
+        ret
+    }
+}
+"#;
+
+proptest! {
+    /// Arbitrary byte soup never panics the parser.
+    #[test]
+    fn parser_never_panics_on_random_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = parse_program(&input);
+    }
+
+    /// Single-byte mutations of a valid script never panic, and anything
+    /// that still parses keeps round-tripping through `print_program`.
+    #[test]
+    fn parser_never_panics_on_mutated_valid_scripts(
+        pos in 0usize..4096,
+        byte in any::<u8>(),
+        mode in 0u8..3,
+    ) {
+        let mut text = VALID.as_bytes().to_vec();
+        let pos = pos % text.len();
+        match mode {
+            0 => text[pos] = byte,
+            1 => text.insert(pos, byte),
+            _ => {
+                text.remove(pos);
+            }
+        }
+        let input = String::from_utf8_lossy(&text);
+        if let Ok(prog) = parse_program(&input) {
+            let printed = print_program(&prog);
+            prop_assert!(
+                parse_program(&printed).is_ok(),
+                "mutation survived parsing but broke the round-trip:\n{printed}"
+            );
+        }
+    }
+
+    /// Rejections always carry a plausible 1-based source position.
+    #[test]
+    fn parse_errors_carry_positions(
+        bytes in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let printable: String = bytes.iter().map(|b| char::from(b % 94 + 32)).collect();
+        if let Err(e) = parse_program(&printable) {
+            prop_assert!(e.line >= 1, "zero line in {e}");
+            prop_assert!(e.col >= 1, "zero col in {e}");
+        }
+    }
+}

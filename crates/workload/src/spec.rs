@@ -49,9 +49,15 @@ impl Error for SpecError {}
 
 impl From<slopt_ir::text::ParseError> for SpecError {
     fn from(e: slopt_ir::text::ParseError) -> Self {
+        // Fold the parser's column/token detail into the message; the
+        // spec error keeps only line granularity.
+        let message = match &e.token {
+            Some(tok) => format!("col {}: {} (at `{tok}`)", e.col, e.message),
+            None => format!("col {}: {}", e.col, e.message),
+        };
         SpecError {
             line: e.line,
-            message: e.message,
+            message,
         }
     }
 }

@@ -28,6 +28,7 @@
 //! | [`core`] | `slopt-core` | the paper's algorithm: FLG construction, greedy clustering, layout generation, baselines, advisory reports |
 //! | [`workload`] | `slopt-workload` | a synthetic HP-UX-like kernel plus an SDET-like multi-user throughput workload |
 //! | [`obs`] | `slopt-obs` | zero-dependency instrumentation: hierarchical spans, counters, `slopt-trace/1` JSONL run traces |
+//! | [`fault`] | `slopt-fault` | seed-deterministic fault plans, fault-injectable I/O, the shared process exit-code vocabulary |
 //!
 //! ## Quickstart
 //!
@@ -63,8 +64,15 @@
 //! one of them returns **bit-identical results for every `jobs` value**
 //! (see `DESIGN.md`, "Parallel execution model"). The convenience
 //! re-exports below cover the common entry points.
+//!
+//! The supervised variant [`core::par_map_supervised`] adds panic
+//! containment, deterministic retries and per-item deadlines on the same
+//! scheduling; [`fault`] provides the seed-deterministic fault plans that
+//! exercise it and the shared process exit-code vocabulary
+//! (`DESIGN.md` §12).
 
 pub use slopt_core as core;
+pub use slopt_fault as fault;
 pub use slopt_ir as ir;
 pub use slopt_obs as obs;
 pub use slopt_sample as sample;
