@@ -1,20 +1,38 @@
 //! `perf_guard` — the CI regression gate over `perf_report` output.
 //!
-//! Compares the `dense_serial_total_s` of each bench in a freshly
-//! generated report against a committed baseline report and exits
-//! nonzero if any bench regressed beyond the tolerance. Used by `ci.sh`
-//! to assert that instrumentation (and anything else) did not slow the
-//! hot paths down.
+//! Compares each bench in a freshly generated report against a committed
+//! baseline report and exits nonzero if any bench regressed beyond the
+//! tolerance. Used by `ci.sh` to assert that instrumentation (and
+//! anything else) did not slow the hot paths down.
 //!
-//! The check is one-sided — faster is always fine — and allows
+//! **Regression gate.** One-sided — faster is always fine — allowing
 //! `baseline * (1 + tolerance) + floor` seconds, where the absolute
 //! `floor` absorbs scheduler noise on the sub-100 ms `--quick` numbers.
-//! Reads both `slopt-perf-report/1` and `/2` reports (the `/2` additions
-//! are ignored here).
+//! When both reports carry `dense_trimmed_mean_s` (schema /3) the gate
+//! compares trimmed means — per-rep and outlier-robust, so it survives a
+//! rep-count change between baseline and fresh; older reports fall back
+//! to `dense_serial_total_s`. Reads `slopt-perf-report/1`, `/2` and `/3`.
+//!
+//! **Growth floors.** Beyond no-regression, the gate can enforce that a
+//! claimed win actually holds:
+//!
+//! * `--require-speedup name:min` — the fresh report's
+//!   `speedup_vs_reference` for bench `name` must be ≥ `min`.
+//! * `--require-parallel name:min` — the fresh report's
+//!   `parallel_speedup` for bench `name` must be ≥ `min`. Wall-clock
+//!   parallel speedup above 1 is physically impossible when the host has
+//!   fewer cores than workers, so this floor is only *enforced* when the
+//!   fresh report's `host_cores` ≥ its `jobs`; on smaller hosts the
+//!   check is reported and skipped with a note (the floor still runs on
+//!   any adequately sized CI host).
+//!
+//! Both flags repeat. A bench named in a floor but absent from the fresh
+//! report is an error.
 //!
 //! Usage:
 //! `perf_guard <fresh.json> --baseline <old.json> [--tolerance 0.10]
-//!  [--floor-s 0.05]`
+//!  [--floor-s 0.05] [--require-speedup cc_stream:2.0]...
+//!  [--require-parallel cc_stream:3.0]...`
 
 use slopt_obs::json::{parse, Json};
 use std::collections::BTreeMap;
@@ -26,8 +44,39 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(|w| w[1].as_str())
 }
 
-/// `bench name -> dense_serial_total_s` from one perf report.
-fn bench_totals(path: &str) -> Result<BTreeMap<String, f64>, String> {
+/// All values of a repeatable `--flag name:min` argument.
+fn flag_values(args: &[String], name: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for w in args.windows(2) {
+        if w[0] != name {
+            continue;
+        }
+        let (bench, min) = w[1]
+            .split_once(':')
+            .ok_or_else(|| format!("bad {name} `{}` (want name:min)", w[1]))?;
+        let min: f64 = min
+            .parse()
+            .map_err(|_| format!("bad {name} `{}` (want name:min)", w[1]))?;
+        out.push((bench.to_string(), min));
+    }
+    Ok(out)
+}
+
+/// Everything the gate needs from one perf report.
+struct Report {
+    /// `bench name -> dense_serial_total_s`.
+    totals: BTreeMap<String, f64>,
+    /// `bench name -> dense_trimmed_mean_s` (schema /3 reports only).
+    trimmed: BTreeMap<String, f64>,
+    /// `bench name -> speedup_vs_reference` where present.
+    speedups: BTreeMap<String, f64>,
+    /// `bench name -> (parallel_speedup, jobs)` where present.
+    parallel: BTreeMap<String, (f64, f64)>,
+    /// Top-level `host_cores` (schema /3); `None` on older reports.
+    host_cores: Option<f64>,
+}
+
+fn read_report(path: &str) -> Result<Report, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let schema = doc
@@ -41,7 +90,13 @@ fn bench_totals(path: &str) -> Result<BTreeMap<String, f64>, String> {
         .get("benches")
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("{path}: missing benches array"))?;
-    let mut totals = BTreeMap::new();
+    let mut report = Report {
+        totals: BTreeMap::new(),
+        trimmed: BTreeMap::new(),
+        speedups: BTreeMap::new(),
+        parallel: BTreeMap::new(),
+        host_cores: doc.get("host_cores").and_then(Json::as_f64),
+    };
     for b in benches {
         let name = b
             .get("name")
@@ -51,17 +106,42 @@ fn bench_totals(path: &str) -> Result<BTreeMap<String, f64>, String> {
             .get("dense_serial_total_s")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("{path}: bench {name} without dense_serial_total_s"))?;
-        totals.insert(name.to_string(), total);
+        report.totals.insert(name.to_string(), total);
+        if let Some(tm) = b.get("dense_trimmed_mean_s").and_then(Json::as_f64) {
+            report.trimmed.insert(name.to_string(), tm);
+        }
+        if let Some(s) = b.get("speedup_vs_reference").and_then(Json::as_f64) {
+            report.speedups.insert(name.to_string(), s);
+        }
+        if let (Some(p), Some(j)) = (
+            b.get("parallel_speedup").and_then(Json::as_f64),
+            b.get("jobs").and_then(Json::as_f64),
+        ) {
+            report.parallel.insert(name.to_string(), (p, j));
+        }
     }
-    Ok(totals)
+    Ok(report)
 }
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_operand = |a: &String| {
+        for flag in [
+            "--baseline",
+            "--tolerance",
+            "--floor-s",
+            "--require-speedup",
+            "--require-parallel",
+        ] {
+            if flag_value(&args, flag) == Some(a.as_str()) {
+                return true;
+            }
+        }
+        false
+    };
     let fresh_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .filter(|a| flag_value(&args, "--baseline") != Some(a.as_str()))
+        .find(|a| !a.starts_with("--") && !flag_operand(a))
         .ok_or("usage: perf_guard <fresh.json> --baseline <old.json>")?
         .clone();
     let baseline_path = flag_value(&args, "--baseline")
@@ -75,26 +155,85 @@ fn run() -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --floor-s `{v}`"))?,
         None => 0.05,
     };
+    let require_speedup = flag_values(&args, "--require-speedup")?;
+    let require_parallel = flag_values(&args, "--require-parallel")?;
 
-    let fresh = bench_totals(&fresh_path)?;
-    let baseline = bench_totals(&baseline_path)?;
+    let fresh = read_report(&fresh_path)?;
+    let baseline = read_report(&baseline_path)?;
     let mut failed = false;
-    for (name, &base) in &baseline {
-        let Some(&now) = fresh.get(name) else {
+
+    // Regression gate: trimmed means when both sides have them
+    // (rep-count independent), totals otherwise.
+    for (name, &base_total) in &baseline.totals {
+        if !fresh.totals.contains_key(name) {
             eprintln!("[perf_guard] {name}: missing from {fresh_path}");
             failed = true;
             continue;
+        }
+        let (base, now, metric) = match (baseline.trimmed.get(name), fresh.trimmed.get(name)) {
+            (Some(&b), Some(&n)) => (b, n, "trimmed mean"),
+            _ => (base_total, fresh.totals[name], "total"),
         };
         let allowed = base * (1.0 + tolerance) + floor_s;
         let verdict = if now <= allowed { "ok" } else { "REGRESSED" };
         eprintln!(
             "[perf_guard] {name:<12} baseline {base:.4}s now {now:.4}s \
-             (allowed <= {allowed:.4}s) {verdict}"
+             (allowed <= {allowed:.4}s, {metric}) {verdict}"
         );
         if now > allowed {
             failed = true;
         }
     }
+
+    // Speedup floors: the fresh report must beat its reference by the
+    // stated factor.
+    for (name, min) in &require_speedup {
+        match fresh.speedups.get(name) {
+            Some(&s) if s >= *min => {
+                eprintln!("[perf_guard] {name:<12} speedup_vs_reference {s:.3} >= {min:.3} ok");
+            }
+            Some(&s) => {
+                eprintln!(
+                    "[perf_guard] {name:<12} speedup_vs_reference {s:.3} < {min:.3} TOO SLOW"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "[perf_guard] {name:<12} no speedup_vs_reference in {fresh_path} \
+                     (bench missing or --no-reference run)"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Parallel floors: enforced only when the measuring host has at
+    // least as many cores as the bench used workers — wall-clock speedup
+    // beyond 1 is impossible below that, and gating on it would make the
+    // gate fail on every small host regardless of the code.
+    for (name, min) in &require_parallel {
+        let Some(&(p, jobs)) = fresh.parallel.get(name) else {
+            eprintln!("[perf_guard] {name:<12} no parallel_speedup in {fresh_path}");
+            failed = true;
+            continue;
+        };
+        let cores = fresh.host_cores.unwrap_or(0.0);
+        if cores < jobs {
+            eprintln!(
+                "[perf_guard] {name:<12} parallel_speedup {p:.3} (floor {min:.3}) SKIPPED: \
+                 host has {cores:.0} cores < {jobs:.0} jobs, wall-clock speedup not measurable"
+            );
+            continue;
+        }
+        if p >= *min {
+            eprintln!("[perf_guard] {name:<12} parallel_speedup {p:.3} >= {min:.3} ok");
+        } else {
+            eprintln!("[perf_guard] {name:<12} parallel_speedup {p:.3} < {min:.3} TOO SLOW");
+            failed = true;
+        }
+    }
+
     if failed {
         return Err("performance regression detected".into());
     }

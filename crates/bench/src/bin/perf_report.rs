@@ -5,15 +5,20 @@
 //! writes `BENCH_sim.json`:
 //!
 //! 1. **cc_stream** — sharded streaming Code Concurrency
-//!    (`shard_concurrency` over `slopt-shard/1` files) vs batch
-//!    `concurrency_map` over the materialized sample vector. Runs
-//!    *first*, and its `peak_rss_kb` is sampled *before* the batch
-//!    reference materializes the samples: because Linux `VmHWM` is a
-//!    process-lifetime high-water mark, this is the only ordering under
-//!    which the streamed figure reflects streaming alone. The bench also
-//!    records `batch_peak_rss_kb` (sampled after the batch reps) so the
-//!    report carries the peak-memory comparison the streaming path
-//!    exists for.
+//!    (`shard_concurrency` over `slopt-shard/1` files) vs the *retained*
+//!    batch reference `concurrency_map_reference` (the frozen flat
+//!    count-tensor pipeline) over the materialized sample vector. The
+//!    current batch `concurrency_map` shares its kernel with the
+//!    streaming path, so measuring against it would compare the new code
+//!    to itself; the frozen reference keeps the old-vs-new story honest.
+//!    Streamed, batch, reference and naive maps are all asserted
+//!    bit-identical. Runs *first*, and its `peak_rss_kb` is sampled
+//!    *before* the reference materializes the samples: because Linux
+//!    `VmHWM` is a process-lifetime high-water mark, this is the only
+//!    ordering under which the streamed figure reflects streaming alone.
+//!    The bench also records `batch_peak_rss_kb` (sampled after the
+//!    reference reps) so the report carries the peak-memory comparison
+//!    the streaming path exists for.
 //! 2. **engine** — full SDET runs with the dense paged coherence
 //!    directory vs the reference `HashMap` directory
 //!    (`MemSystem::set_reference_directory`).
@@ -34,11 +39,17 @@
 //! `--out PATH` (default `BENCH_sim.json`), `--no-reference` (skip the
 //! old implementations: faster, but no speedup column).
 //!
-//! Schema: `slopt-perf-report/2`. Version 2 adds a `peak_rss_kb` field
+//! Schema: `slopt-perf-report/3`. Version 2 added a `peak_rss_kb` field
 //! per bench — the process's high-water resident set (Linux `VmHWM`,
-//! absent elsewhere) sampled right after the bench finishes. All /1
-//! fields are unchanged, so /1 consumers can read /2 reports by ignoring
-//! the new field.
+//! absent elsewhere) sampled right after the bench finishes. Version 3
+//! adds per-bench `dense_trimmed_mean_s` / `reference_trimmed_mean_s`
+//! (per-rep wall clock with min and max dropped when reps ≥ 3, so the
+//! committed baseline is not noise-dominated; `speedup_vs_reference` is
+//! their ratio) and a top-level `host_cores` field, so `perf_guard` can
+//! tell a missing parallel win from a host that physically cannot show
+//! one (wall-clock speedup > 1 needs more cores than workers). All
+//! earlier fields are unchanged, so /1 and /2 consumers can read /3
+//! reports by ignoring the new fields.
 
 use slopt_bench::runner::parse_jobs;
 use slopt_core::{cluster, cluster_with, Flg, FlgRef};
@@ -46,7 +57,9 @@ use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::interp::SplitMix64;
 use slopt_ir::source::SourceLine;
 use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
-use slopt_sample::{concurrency_map, concurrency_map_naive, ConcurrencyConfig, Sample};
+use slopt_sample::{
+    concurrency_map, concurrency_map_naive, concurrency_map_reference, ConcurrencyConfig, Sample,
+};
 use slopt_sim::{CacheConfig, CpuId, EngineConfig, MemSystem, NullObserver};
 use slopt_workload::{
     build_kernel, build_scripts, measurement_seeds, Instances, Kernel, Machine, SdetConfig,
@@ -125,6 +138,19 @@ fn peak_rss_kb() -> Option<u64> {
     }
 }
 
+/// Mean of the reps with the minimum and maximum dropped (when reps ≥ 3;
+/// the plain mean below that). One outlier rep — a scheduler hiccup, a
+/// page-cache miss — cannot move the committed baseline.
+fn trimmed_mean(xs: &[f64]) -> f64 {
+    if xs.len() < 3 {
+        return xs.iter().sum::<f64>() / xs.len() as f64;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let inner = &v[1..v.len() - 1];
+    inner.iter().sum::<f64>() / inner.len() as f64
+}
+
 impl BenchResult {
     fn dense_total(&self) -> f64 {
         self.dense_s.iter().sum()
@@ -132,11 +158,13 @@ impl BenchResult {
     fn reference_total(&self) -> f64 {
         self.reference_s.iter().sum()
     }
+    /// Trimmed-mean ratio of reference over dense — robust to one noisy
+    /// rep on either side.
     fn speedup(&self) -> Option<f64> {
         if self.reference_s.is_empty() {
             None
         } else {
-            Some(self.reference_total() / self.dense_total())
+            Some(trimmed_mean(&self.reference_s) / trimmed_mean(&self.dense_s))
         }
     }
 }
@@ -152,16 +180,17 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 fn bench_cc_stream(args: &Args) -> BenchResult {
     // Same stream shape as the batch `cc` bench, but the samples are
     // generated shard by shard and never held in memory at once: peak
-    // working set is one shard plus the occupied-cell table.
-    let (n, intervals) = if args.quick {
-        (60_000usize, 100u64)
+    // working set is one shard plus the sorted cell run. Quick mode keeps
+    // its wall clock by shrinking the sample count, not the rep count —
+    // the trimmed mean needs ≥ 5 reps to be meaningful.
+    let (n, intervals, shard_size) = if args.quick {
+        (40_960usize, 80u64, 8_192usize)
     } else {
-        (600_000, 1_000)
+        (600_000, 1_000, 32_768)
     };
-    let shard_size = 32_768;
     let cfg = ConcurrencyConfig { interval: 1_000 };
     let span = intervals * cfg.interval;
-    let reps = if args.quick { 2 } else { 3 };
+    let reps = if args.quick { 6 } else { 5 };
 
     let dir = std::env::temp_dir().join(format!("slopt_perf_ccstream_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -210,15 +239,31 @@ fn bench_cc_stream(args: &Args) -> BenchResult {
             samples.extend(synth_samples(count, 16, 400, span, 0xCC57 + i as u64));
         }
         samples.sort_by_key(|s| s.time);
+        // Timed old-vs-new: the frozen tensor-pipeline reference. The
+        // current batch path shares the blocked kernel with streaming, so
+        // it is checked for equivalence but not used as the baseline.
         for _ in 0..reps {
-            let (batch, tr) = time(|| concurrency_map(&samples, &cfg));
+            let (reference, tr) = time(|| concurrency_map_reference(&samples, &cfg));
             reference_s.push(tr);
             assert_eq!(
                 streamed.pairs(),
-                batch.pairs(),
-                "streamed and batch concurrency maps disagree"
+                reference.pairs(),
+                "streamed and reference concurrency maps disagree"
             );
         }
+        // Full equivalence chain, once: streamed ≡ batch ≡ naive.
+        let batch = concurrency_map(&samples, &cfg);
+        assert_eq!(
+            streamed.pairs(),
+            batch.pairs(),
+            "streamed and batch concurrency maps disagree"
+        );
+        let naive = concurrency_map_naive(&samples, &cfg);
+        assert_eq!(
+            batch.pairs(),
+            naive.pairs(),
+            "batch and naive concurrency maps disagree"
+        );
         batch_rss = peak_rss_kb();
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -479,6 +524,10 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
             format!("      \"reps\": {}", r.reps),
             format!("      \"dense_serial_s\": {}", json_f64_array(&r.dense_s)),
             format!("      \"dense_serial_total_s\": {:.6}", r.dense_total()),
+            format!(
+                "      \"dense_trimmed_mean_s\": {:.6}",
+                trimmed_mean(&r.dense_s)
+            ),
         ];
         if !r.reference_s.is_empty() {
             fields.push(format!(
@@ -488,6 +537,10 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
             fields.push(format!(
                 "      \"reference_serial_total_s\": {:.6}",
                 r.reference_total()
+            ));
+            fields.push(format!(
+                "      \"reference_trimmed_mean_s\": {:.6}",
+                trimmed_mean(&r.reference_s)
             ));
             fields.push(format!(
                 "      \"speedup_vs_reference\": {:.3}",
@@ -511,13 +564,23 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
         benches.push(format!("    {{\n{}\n    }}", fields.join(",\n")));
     }
     let doc = format!(
-        "{{\n  \"schema\": \"slopt-perf-report/2\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"slopt-perf-report/3\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"host_cores\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
         args.quick,
         args.jobs,
+        host_cores(),
         args.reference,
         benches.join(",\n")
     );
     std::fs::write(path, doc)
+}
+
+/// Number of hardware threads available to this process. `perf_guard`
+/// uses it to decide whether a wall-clock parallel-speedup floor is
+/// physically meaningful on the measuring host.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn main() {

@@ -44,6 +44,31 @@ impl Default for FlgParams {
 /// algorithm (`cluster_with`). Implemented by the dense [`Flg`] and by the
 /// retained hash-map [`reference::FlgRef`], so the two can be benchmarked
 /// against each other on identical inputs.
+///
+/// # Example
+///
+/// ```
+/// use slopt_core::{Flg, FlgView};
+/// use slopt_ir::types::{FieldIdx, RecordId};
+///
+/// let flg = Flg::from_parts(
+///     RecordId(0),
+///     vec![10, 30, 20], // per-field hotness
+///     vec![
+///         (FieldIdx(0), FieldIdx(1), 5.0),
+///         (FieldIdx(0), FieldIdx(2), -2.0),
+///     ],
+/// );
+/// assert_eq!(flg.field_count(), 3);
+/// assert_eq!(flg.weight(FieldIdx(0), FieldIdx(1)), 5.0);
+/// // Gain of pulling field 0 into a cluster holding fields 1 and 2.
+/// assert_eq!(flg.gain_into(FieldIdx(0), &[FieldIdx(1), FieldIdx(2)]), 3.0);
+/// // Seed order: descending hotness.
+/// assert_eq!(
+///     flg.fields_by_hotness(),
+///     vec![FieldIdx(1), FieldIdx(2), FieldIdx(0)],
+/// );
+/// ```
 pub trait FlgView {
     /// Number of fields (nodes).
     fn field_count(&self) -> usize;

@@ -45,6 +45,18 @@ pub fn default_jobs() -> usize {
 /// threads are spawned at all, so `par_map(1, ..)` *is* the serial code
 /// path, not an emulation of it.
 ///
+/// # Example
+///
+/// ```
+/// use slopt_ir::par::par_map;
+///
+/// let items = vec![1u64, 2, 3, 4];
+/// let squares = par_map(4, &items, |i, &x| (i, x * x));
+/// // Results come back in item order regardless of completion order.
+/// assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+/// assert_eq!(squares, par_map(1, &items, |i, &x| (i, x * x)));
+/// ```
+///
 /// # Panics
 ///
 /// Propagates the first panic of any worker thread.
@@ -398,6 +410,27 @@ where
 /// function of `(index, item, attempt)`, both the values and the report
 /// are identical for every `jobs` value — recovered faults leave the
 /// value slice bit-identical to an unsupervised clean run.
+///
+/// # Example
+///
+/// ```
+/// use slopt_ir::par::{par_map_supervised, SupervisePolicy, WorkerError};
+///
+/// let items = vec![2u64, 0, 5];
+/// let policy = SupervisePolicy::default();
+/// let (values, report) = par_map_supervised(2, &items, &policy, |_i, &x, _attempt| {
+///     if x == 0 {
+///         // Permanent errors quarantine the item without retrying.
+///         Err(WorkerError::permanent("zero divisor"))
+///     } else {
+///         Ok(100 / x)
+///     }
+/// });
+/// assert_eq!(values, vec![Some(50), None, Some(20)]);
+/// assert_eq!(report.completed, 2);
+/// assert_eq!(report.poisoned.len(), 1);
+/// assert_eq!(report.poisoned[0].index, 1);
+/// ```
 pub fn par_map_supervised<I, T, F>(
     jobs: usize,
     items: &[I],

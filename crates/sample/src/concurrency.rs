@@ -19,16 +19,30 @@
 //! scripts.
 //!
 //! **Data layout.** Source lines, CPUs and intervals are interned into
-//! dense ids once per run ([`LineInterner`]); the sample stream is then
-//! bucketed into a flat `[interval × cpu × line]` count tensor and `CC_I`
-//! is a min-sum over dense rows — no hashing in the inner loops. The
-//! original triple-nested-map formulation is retained as
-//! [`concurrency_map_naive`] for equivalence tests and the `perf_report`
-//! old-vs-new comparison; both produce identical maps.
+//! dense ids once per run ([`LineInterner`]); the sample stream is
+//! collapsed into sorted distinct `(interval, cpu, line) -> count` cells,
+//! and each interval's min-sum runs through the blocked kernel
+//! (`interval_minsum`): the identity `min(a, b) = Σ_t [a ≥ t][b ≥ t]`
+//! rewrites the paper's cross-CPU min-sum as a sum of per-threshold outer
+//! products over a dense per-line vector, minus small same-CPU
+//! corrections. The outer products update contiguous triangular-row tails
+//! in fixed-width lanes — multiply-adds LLVM auto-vectorizes, with no
+//! hashing, no scatter and no per-element bounds checks on the hot path.
+//! All contributions are exact `u64` adds, so the result is bit-identical
+//! to the naive formulation (DESIGN.md §13 gives the derivation and the
+//! measured numbers).
+//!
+//! Two earlier formulations are retained for differential testing and the
+//! `perf_report` old-vs-new comparison: [`concurrency_map_reference`]
+//! (the flat `[interval × cpu × line]` count-tensor pipeline this kernel
+//! replaced) and [`concurrency_map_naive`] (triple-nested maps). All
+//! three produce identical maps.
 
 use crate::sampler::Sample;
+use slopt_ir::par::par_map;
 use slopt_ir::source::SourceLine;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Configuration for interval bucketing.
 #[derive(Copy, Clone, Debug)]
@@ -217,6 +231,18 @@ impl ConcurrencyMap {
 /// distinct lines, well below the limit.
 const DENSE_ACCUMULATOR_LINE_LIMIT: usize = 2048;
 
+/// Block length (in `u64` accumulator words) for the pairwise triangular
+/// merge: a 32 KiB chunk of each side streams through L1 per step, and
+/// `chunks_exact` gives LLVM a fixed trip count to vectorize without
+/// bounds checks.
+const MERGE_BLOCK: usize = 4096;
+
+/// Lane width of the kernel's row-tail multiply-add loop. Eight `u64`
+/// accumulators per block keeps the inner loop branch-free with a
+/// compile-time trip count (bounds checks elided by `chunks_exact`),
+/// which LLVM turns into packed multiply-add.
+const ROW_LANES: usize = 8;
+
 /// Per-pair min-sum accumulator shared by the batch path
 /// ([`concurrency_map`]) and the streaming path
 /// ([`crate::shard::StreamingConcurrency`]): a dense triangular `u64`
@@ -226,7 +252,7 @@ const DENSE_ACCUMULATOR_LINE_LIMIT: usize = 2048;
 /// All contributions are exact `u64` additions, so accumulators over
 /// disjoint interval sets can be [`merge`](CcAccumulator::merge)d in any
 /// order without changing the final map — the determinism argument for
-/// the parallel shard merge (DESIGN.md §11).
+/// the parallel shard merge (DESIGN.md §11 and §13).
 #[derive(Clone, Debug)]
 pub(crate) struct CcAccumulator {
     n_lines: usize,
@@ -266,6 +292,17 @@ impl CcAccumulator {
         i * (2 * self.n_lines + 1 - i) / 2 + (j - i)
     }
 
+    /// The dense triangular row of line `li`: one slot per `lj` in
+    /// `li..n_lines`, starting at the diagonal. The kernel's row updates
+    /// run over this contiguous tail. Dense mode only.
+    #[inline]
+    fn row_mut(&mut self, li: usize) -> &mut [u64] {
+        debug_assert!(self.dense);
+        let start = self.tri_idx(li, li);
+        let len = self.n_lines - li;
+        &mut self.tri[start..start + len]
+    }
+
     /// Adds `v` to the normalized pair `(li <= lj)`.
     #[inline]
     pub(crate) fn add(&mut self, li: u32, lj: u32, v: u64) {
@@ -280,13 +317,22 @@ impl CcAccumulator {
 
     /// Folds `other` (an accumulator over the same line universe) into
     /// `self` by elementwise addition. Exact and commutative, hence
-    /// merge-order independent.
+    /// merge-order independent. The dense case streams both triangles in
+    /// [`MERGE_BLOCK`]-word blocks so the adds stay cache-sequential and
+    /// vectorizable.
     pub(crate) fn merge(&mut self, other: CcAccumulator) {
         debug_assert_eq!(self.n_lines, other.n_lines);
         debug_assert_eq!(self.dense, other.dense);
         if self.dense {
-            for (a, b) in self.tri.iter_mut().zip(other.tri) {
-                *a += b;
+            let mut dst = self.tri.chunks_exact_mut(MERGE_BLOCK);
+            let mut src = other.tri.chunks_exact(MERGE_BLOCK);
+            for (db, sb) in (&mut dst).zip(&mut src) {
+                for (d, &s) in db.iter_mut().zip(sb) {
+                    *d += s;
+                }
+            }
+            for (d, &s) in dst.into_remainder().iter_mut().zip(src.remainder().iter()) {
+                *d += s;
             }
         } else {
             for (k, v) in other.sparse {
@@ -316,16 +362,449 @@ impl CcAccumulator {
     }
 }
 
-/// Accumulates one interval's `Σ_{Pm≠Pn} min(F_I(Pm,Bi), F_I(Pn,Bj))`
-/// into `acc`, given the interval's flat `[cpu × line]` count block
-/// (`rows`, length `n_cpus * n_lines`). `touched` is caller-provided
-/// scratch (one sorted touched-line list per CPU, cleared here) so the
+/// One occupied cell of a single interval in dense-id space:
+/// `(cpu index, line id, sample count)`. A kernel invocation receives one
+/// interval's cells sorted by `(cpu, line)`.
+pub(crate) type Cell = (u32, u32, u64);
+
+/// Packs a raw `(interval, cpu, line)` cell coordinate into one sortable
+/// `u128` key: interval in bits 48.., cpu in 32..48, line in 0..32.
+/// Sorting packed keys sorts cells by `(interval, cpu, line)`.
+#[inline]
+pub(crate) fn pack_cell_key(interval: u64, cpu: u16, line: u32) -> u128 {
+    (u128::from(interval) << 48) | (u128::from(cpu) << 32) | u128::from(line)
+}
+
+/// Inverse of [`pack_cell_key`].
+#[inline]
+pub(crate) fn unpack_cell_key(key: u128) -> (u64, u16, u32) {
+    ((key >> 48) as u64, (key >> 32) as u16, key as u32)
+}
+
+/// Reusable per-worker scratch for [`interval_minsum`], so the
 /// per-interval loop allocates nothing.
+pub(crate) struct MinsumScratch {
+    /// Dense per-line vector: how many CPUs reach the current count
+    /// threshold on each line (`A_t` in the derivation). Sized `n_lines`
+    /// in dense mode, empty in sparse mode.
+    at: Vec<u32>,
+    /// This interval's cells with `count >= 2`, sorted by descending
+    /// count, so each threshold round scans a shrinking prefix.
+    multi: Vec<(u32, u64)>,
+    /// Lines present at the current threshold (sorted, deduplicated).
+    touched: Vec<u32>,
+    /// Per-CPU lane boundaries within the interval's cell slice.
+    lanes: Vec<(u32, u32)>,
+}
+
+impl MinsumScratch {
+    pub(crate) fn new(n_lines: usize, dense: bool) -> Self {
+        MinsumScratch {
+            at: vec![0u32; if dense { n_lines } else { 0 }],
+            multi: Vec::new(),
+            touched: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+}
+
+/// Accumulates one interval's `Σ_{Pm≠Pn} min(F_I(Pm,Bi), F_I(Pn,Bj))`
+/// into `acc`, given the interval's occupied cells (sorted by
+/// `(cpu, line)`, counts non-zero).
 ///
-/// This is a pure function of the count block, which is what makes the
+/// **The blocked kernel.** Expanding each min through
+/// `min(a, b) = Σ_t [a ≥ t][b ≥ t]` and letting `A_t(B)` be the number
+/// of CPUs whose count on line `B` reaches `t`:
+///
+/// ```text
+/// CC_I(Bi, Bj) = Σ_t A_t(Bi)·A_t(Bj)  −  Σ_m min(F(Pm,Bi), F(Pm,Bj))
+/// ```
+///
+/// The first term is a per-threshold outer product of one dense per-line
+/// vector with itself: for every occupied row `li` the update
+/// `row[lj] += A_t(li)·A_t(lj)` runs over the *contiguous* triangular
+/// tail `lj >= li` in [`ROW_LANES`]-wide blocks — branch-free
+/// multiply-adds with no per-element bounds checks, which LLVM
+/// vectorizes. Threshold 1 covers every occupied line; higher thresholds
+/// only touch cells with `count >= t` (rare under sampling) and shrink
+/// geometrically. The second term subtracts the same-CPU diagonal —
+/// pairs within one CPU's lane, a tiny scatter loop. Every contribution
+/// is an exact `u64` add/subtract and, per cell, the additions dominate
+/// the subtractions at every point of the schedule (Σ_t A_t(i)A_t(j) ≥
+/// Σ_t B_t(i,j) termwise), so nothing underflows and the result is
+/// bit-identical to the reference kernel for any evaluation order.
+///
+/// Sparse accumulators (line universe beyond
+/// [`DENSE_ACCUMULATOR_LINE_LIMIT`]) take the compact two-pointer
+/// cpu-pair path instead, which needs no dense per-line vector.
+///
+/// This is a pure function of the cell slice, which is what makes the
 /// streaming path bit-identical to the batch path: both feed the same
-/// per-interval blocks through this one kernel.
+/// per-interval cells through this one kernel.
 pub(crate) fn interval_minsum(
+    cells: &[Cell],
+    n_lines: usize,
+    scratch: &mut MinsumScratch,
+    acc: &mut CcAccumulator,
+) {
+    debug_assert!(cells
+        .windows(2)
+        .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
+    if !acc.is_dense() {
+        interval_minsum_sparse(cells, scratch, acc);
+        return;
+    }
+    debug_assert_eq!(scratch.at.len(), n_lines);
+
+    // Threshold t = 1: every occupied cell participates.
+    scratch.multi.clear();
+    for &(_, line, count) in cells {
+        scratch.at[line as usize] += 1;
+        if count >= 2 {
+            scratch.multi.push((line, count));
+        }
+    }
+
+    // A-phase, t = 1: dense rank-1 update of the triangle. `row` and the
+    // vector tail are the same length by construction, so the lane loop
+    // is pure multiply-add.
+    let at = &mut scratch.at;
+    for li in 0..n_lines {
+        let ai = u64::from(at[li]);
+        if ai == 0 {
+            continue;
+        }
+        let row = acc.row_mut(li);
+        let tail = &at[li..];
+        let mut rch = row.chunks_exact_mut(ROW_LANES);
+        let mut tch = tail.chunks_exact(ROW_LANES);
+        for (rb, tb) in (&mut rch).zip(&mut tch) {
+            for (r, &a) in rb.iter_mut().zip(tb) {
+                *r += ai * u64::from(a);
+            }
+        }
+        for (r, &a) in rch.into_remainder().iter_mut().zip(tch.remainder()) {
+            *r += ai * u64::from(a);
+        }
+    }
+    // Clear the t = 1 vector via the occupied cells (never a full sweep).
+    for &(_, line, _) in cells {
+        at[line as usize] = 0;
+    }
+
+    // A-phase, t >= 2: only cells with count >= t participate. Sorting by
+    // descending count makes each round a prefix scan, so the total work
+    // across all thresholds is bounded by the interval's sample count.
+    scratch
+        .multi
+        .sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    let mut t = 2u64;
+    loop {
+        let len = scratch.multi.partition_point(|&(_, c)| c >= t);
+        if len == 0 {
+            break;
+        }
+        scratch.touched.clear();
+        for &(line, _) in &scratch.multi[..len] {
+            if at[line as usize] == 0 {
+                scratch.touched.push(line);
+            }
+            at[line as usize] += 1;
+        }
+        scratch.touched.sort_unstable();
+        for (idx, &li) in scratch.touched.iter().enumerate() {
+            let ai = u64::from(at[li as usize]);
+            for &lj in &scratch.touched[idx..] {
+                acc.add(li, lj, ai * u64::from(at[lj as usize]));
+            }
+        }
+        for &li in &scratch.touched {
+            at[li as usize] = 0;
+        }
+        t += 1;
+    }
+
+    // B-phase: subtract the same-CPU diagonal Σ_m min(F(m,i), F(m,j)).
+    // Within one CPU's lane the cells are line-ascending, so `lj >= li`
+    // and the row offset is direct.
+    let mut i = 0usize;
+    while i < cells.len() {
+        let cpu = cells[i].0;
+        let mut j = i;
+        while j < cells.len() && cells[j].0 == cpu {
+            j += 1;
+        }
+        let lane = &cells[i..j];
+        for (p, &(_, li, ci)) in lane.iter().enumerate() {
+            let row = acc.row_mut(li as usize);
+            for &(_, lj, cj) in &lane[p..] {
+                row[(lj - li) as usize] -= ci.min(cj);
+            }
+        }
+        i = j;
+    }
+}
+
+/// The sparse-accumulator fallback of [`interval_minsum`]: the compact
+/// cpu-pair formulation over per-CPU lanes with a monotone merge cursor
+/// (no dense per-line vector, no triangle). Same exact arithmetic, same
+/// result.
+fn interval_minsum_sparse(cells: &[Cell], scratch: &mut MinsumScratch, acc: &mut CcAccumulator) {
+    scratch.lanes.clear();
+    let mut i = 0usize;
+    while i < cells.len() {
+        let cpu = cells[i].0;
+        let mut j = i;
+        while j < cells.len() && cells[j].0 == cpu {
+            j += 1;
+        }
+        scratch.lanes.push((i as u32, j as u32));
+        i = j;
+    }
+    for (a_idx, &(ms, me)) in scratch.lanes.iter().enumerate() {
+        let lane_m = &cells[ms as usize..me as usize];
+        for (b_idx, &(ns, ne)) in scratch.lanes.iter().enumerate() {
+            if a_idx == b_idx {
+                continue;
+            }
+            let lane_n = &cells[ns as usize..ne as usize];
+            // Keep only li <= lj so the normalized key receives exactly
+            // the paper's Σ_{m≠n} min(F(m,Bi), F(n,Bj)); the cursor only
+            // ever advances because li ascends within the lane.
+            let mut from = 0usize;
+            for &(_, li, ci) in lane_m {
+                while from < lane_n.len() && lane_n[from].1 < li {
+                    from += 1;
+                }
+                for &(_, lj, cj) in &lane_n[from..] {
+                    acc.add(li, lj, ci.min(cj));
+                }
+            }
+        }
+    }
+}
+
+/// What [`cells_finish`] computed, for the callers' instrumentation.
+pub(crate) struct CellsOutcome {
+    /// The finished map.
+    pub(crate) map: ConcurrencyMap,
+    /// Distinct interned lines.
+    pub(crate) n_lines: usize,
+    /// Distinct CPUs.
+    pub(crate) n_cpus: usize,
+    /// Distinct intervals.
+    pub(crate) n_intervals: usize,
+    /// Interval groups fanned over workers.
+    pub(crate) groups: usize,
+    /// Whether the dense triangular accumulator was used.
+    pub(crate) dense_acc: bool,
+}
+
+/// The shared final fold of both the batch and the streaming path: turns
+/// sorted distinct `(packed cell key, count)` cells into the finished
+/// [`ConcurrencyMap`], fanning per-interval kernels over up to `jobs`
+/// workers and merging their triangular accumulators pairwise.
+///
+/// Bit-identical for every `jobs` value: intervals are partitioned into
+/// contiguous groups, each group replays its intervals through
+/// [`interval_minsum`] into a private accumulator, and accumulators merge
+/// by exact `u64` addition (commutative and associative, hence
+/// independent of grouping and merge order).
+pub(crate) fn cells_finish(cells: &[(u128, u64)], jobs: usize) -> CellsOutcome {
+    debug_assert!(!cells.is_empty());
+    debug_assert!(cells.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // Intern lines and CPUs exactly as before: sorted distinct values.
+    let interner = LineInterner::from_lines(
+        cells
+            .iter()
+            .map(|&(key, _)| SourceLine(unpack_cell_key(key).2)),
+    );
+    let n_lines = interner.len();
+    let mut cpus: Vec<u16> = cells
+        .iter()
+        .map(|&(key, _)| unpack_cell_key(key).1)
+        .collect();
+    cpus.sort_unstable();
+    cpus.dedup();
+    let n_cpus = cpus.len();
+
+    // Translate to dense-id cells and record interval boundaries. Raw
+    // key order equals dense-id order (both interners sort), so cells
+    // stay sorted by (cpu, line) within each interval.
+    let mut dense_cells: Vec<Cell> = Vec::with_capacity(cells.len());
+    let mut interval_starts: Vec<usize> = Vec::new();
+    let mut prev_interval = None;
+    for &(key, count) in cells {
+        let (interval, cpu, line) = unpack_cell_key(key);
+        if prev_interval != Some(interval) {
+            interval_starts.push(dense_cells.len());
+            prev_interval = Some(interval);
+        }
+        let ci = cpus.binary_search(&cpu).expect("cpu interned") as u32;
+        let li = interner.id(SourceLine(line)).expect("line interned").0;
+        dense_cells.push((ci, li, count));
+    }
+    let n_intervals = interval_starts.len();
+
+    // Contiguous interval ranges, one per worker group.
+    let groups = jobs.max(1).min(n_intervals);
+    let per_group = n_intervals.div_ceil(groups);
+    let ranges: Vec<(usize, usize)> = (0..groups)
+        .map(|g| (g * per_group, ((g + 1) * per_group).min(n_intervals)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+
+    let accs: Vec<CcAccumulator> = par_map(jobs, &ranges, |_, &(ilo, ihi)| {
+        let mut acc = CcAccumulator::new(n_lines);
+        let mut scratch = MinsumScratch::new(n_lines, acc.is_dense());
+        for t in ilo..ihi {
+            let s = interval_starts[t];
+            let e = interval_starts
+                .get(t + 1)
+                .copied()
+                .unwrap_or(dense_cells.len());
+            interval_minsum(&dense_cells[s..e], n_lines, &mut scratch, &mut acc);
+        }
+        acc
+    });
+    let groups = accs.len();
+
+    let total = merge_accumulators(accs, jobs);
+    let dense_acc = total.is_dense();
+    let map = total.into_map();
+    CellsOutcome {
+        map: ConcurrencyMap::from_parts(interner, map),
+        n_lines,
+        n_cpus,
+        n_intervals,
+        groups,
+        dense_acc,
+    }
+}
+
+/// Reduces per-group accumulators to one by pairwise merging: each round
+/// merges disjoint pairs in parallel (`par_map`), halving the list, so
+/// the reduction's critical path is logarithmic instead of the serial
+/// fold's linear chain. Merging is exact `u64` addition — commutative and
+/// associative — so the tree shape never changes the result.
+pub(crate) fn merge_accumulators(mut accs: Vec<CcAccumulator>, jobs: usize) -> CcAccumulator {
+    assert!(!accs.is_empty(), "nothing to merge");
+    while accs.len() > 1 {
+        let odd = accs.len() % 2 == 1;
+        let slots: Vec<Mutex<Option<CcAccumulator>>> =
+            accs.into_iter().map(|a| Mutex::new(Some(a))).collect();
+        let pair_count: Vec<usize> = (0..slots.len() / 2).collect();
+        let mut merged: Vec<CcAccumulator> = par_map(jobs, &pair_count, |_, &k| {
+            let mut a = slots[2 * k]
+                .lock()
+                .expect("accumulator slot")
+                .take()
+                .expect("left operand present");
+            let b = slots[2 * k + 1]
+                .lock()
+                .expect("accumulator slot")
+                .take()
+                .expect("right operand present");
+            a.merge(b);
+            a
+        });
+        if odd {
+            merged.push(
+                slots
+                    .last()
+                    .expect("odd slot")
+                    .lock()
+                    .expect("accumulator slot")
+                    .take()
+                    .expect("odd operand present"),
+            );
+        }
+        accs = merged;
+    }
+    accs.pop().expect("one accumulator remains")
+}
+
+/// Computes the concurrency map from samples.
+///
+/// Samples may be in any order. Each sample's `(interval, cpu, line)`
+/// coordinate is packed into one sortable key; one sort plus a
+/// run-length pass yields the sorted distinct cell list, which the
+/// blocked per-interval kernel ([`interval_minsum`]) folds into the
+/// triangular accumulator — the same cells-first pipeline the streaming
+/// path uses, which is why the two are bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` is zero.
+pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
+    concurrency_map_obs(samples, cfg, &slopt_obs::Obs::disabled())
+}
+
+/// [`concurrency_map`] with instrumentation: wraps the build in a
+/// `cc_build` span and, when `obs` is enabled, flushes interner/cell
+/// statistics as `cc.*` counters (samples bucketed, distinct lines, CPUs
+/// and intervals, occupied cells, non-zero pairs, and whether the dense
+/// triangular accumulator was used).
+///
+/// # Panics
+///
+/// Panics if `cfg.interval` is zero.
+pub fn concurrency_map_obs(
+    samples: &[Sample],
+    cfg: &ConcurrencyConfig,
+    obs: &slopt_obs::Obs,
+) -> ConcurrencyMap {
+    assert!(cfg.interval > 0, "interval must be non-zero");
+    let _span = obs.span("cc_build");
+
+    // An empty trace has no interval structure at all: return the
+    // canonical empty map rather than running the interner/kernel
+    // machinery on zero-length inputs (tests/edge_cases.rs pins this, and
+    // the single-interval / single-CPU cases, down).
+    if samples.is_empty() {
+        return ConcurrencyMap::empty();
+    }
+
+    // Collapse the stream to sorted distinct cells: pack, sort,
+    // run-length.
+    let mut keys: Vec<u128> = samples
+        .iter()
+        .map(|s| pack_cell_key(s.time / cfg.interval, s.cpu.0, s.line.0))
+        .collect();
+    keys.sort_unstable();
+    let mut cells: Vec<(u128, u64)> = Vec::new();
+    for &key in &keys {
+        match cells.last_mut() {
+            Some(last) if last.0 == key => last.1 += 1,
+            _ => cells.push((key, 1)),
+        }
+    }
+
+    let out = cells_finish(&cells, 1);
+    if obs.enabled() {
+        obs.counter("cc.samples_bucketed", samples.len() as u64);
+        obs.counter("cc.lines", out.n_lines as u64);
+        obs.counter("cc.cpus", out.n_cpus as u64);
+        obs.counter("cc.intervals", out.n_intervals as u64);
+        obs.counter("cc.cells", cells.len() as u64);
+        obs.counter("cc.pairs", out.map.len() as u64);
+        obs.gauge(
+            "cc.dense_accumulator",
+            if out.dense_acc { 1.0 } else { 0.0 },
+        );
+    }
+    out.map
+}
+
+/// Accumulates one interval's min-sum from its flat `[cpu × line]` count
+/// block (`rows`, length `n_cpus * n_lines`) — the **retained reference
+/// kernel** the blocked [`interval_minsum`] replaced. `touched` is
+/// caller-provided scratch (one sorted touched-line list per CPU, cleared
+/// here). Used by [`concurrency_map_reference`] and the kernel
+/// equivalence tests; produces exactly the same accumulator contents as
+/// the blocked kernel on the same interval.
+pub(crate) fn interval_minsum_reference(
     rows: &[u64],
     n_cpus: usize,
     n_lines: usize,
@@ -365,45 +844,20 @@ pub(crate) fn interval_minsum(
     }
 }
 
-/// Computes the concurrency map from samples.
-///
-/// Samples may be in any order. Lines, CPUs and intervals are interned
-/// into dense ids, counts are bucketed into a flat
-/// `[interval × cpu × line]` tensor, and the paper's
-/// `Σ_{Pm≠Pn} min(F_I(Pm,Bi), F_I(Pn,Bj))` is evaluated as a min-sum over
-/// the tensor's dense per-CPU rows. Complexity per interval is
-/// `O(cpu_pairs × lines_per_cpu²)` as before — with the paper's parameters
-/// (~12 samples per CPU per interval) small — but with index arithmetic
-/// instead of hashing throughout.
+/// The flat count-tensor pipeline the blocked kernel replaced, retained
+/// verbatim as the batch **reference implementation**: lines, CPUs and
+/// intervals are interned, counts are bucketed into a flat
+/// `[interval × cpu × line]` tensor, and each interval's block runs
+/// through [`interval_minsum_reference`]. Used by the kernel-equivalence
+/// property tests and by `perf_report`'s cc/cc_stream benches as the
+/// frozen old-vs-new baseline. Produces a map equal to
+/// [`concurrency_map`]'s, bit for bit.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.interval` is zero.
-pub fn concurrency_map(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
-    concurrency_map_obs(samples, cfg, &slopt_obs::Obs::disabled())
-}
-
-/// [`concurrency_map`] with instrumentation: wraps the build in a
-/// `cc_build` span and, when `obs` is enabled, flushes interner/tensor
-/// statistics as `cc.*` counters (samples bucketed, distinct lines, CPUs
-/// and intervals, tensor cells, non-zero pairs, and whether the dense
-/// triangular accumulator was used).
-///
-/// # Panics
-///
-/// Panics if `cfg.interval` is zero.
-pub fn concurrency_map_obs(
-    samples: &[Sample],
-    cfg: &ConcurrencyConfig,
-    obs: &slopt_obs::Obs,
-) -> ConcurrencyMap {
+pub fn concurrency_map_reference(samples: &[Sample], cfg: &ConcurrencyConfig) -> ConcurrencyMap {
     assert!(cfg.interval > 0, "interval must be non-zero");
-    let _span = obs.span("cc_build");
-
-    // An empty trace has no interval structure at all: return the
-    // canonical empty map rather than running the interner/tensor
-    // machinery on zero-length inputs (tests/edge_cases.rs pins this, and
-    // the single-interval / single-CPU cases, down).
     if samples.is_empty() {
         return ConcurrencyMap::empty();
     }
@@ -431,33 +885,20 @@ pub fn concurrency_map_obs(
         counts[(ti * n_cpus + ci) * n_lines + li] += 1;
     }
 
-    // Accumulate min-sums per normalized (id_a <= id_b) pair through the
-    // shared per-interval kernel (also the streaming path's kernel).
     let mut acc = CcAccumulator::new(n_lines);
-    let dense_acc = acc.is_dense();
     let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
     for ti in 0..n_intervals {
         let base = ti * n_cpus * n_lines;
         let rows = &counts[base..base + n_cpus * n_lines];
-        interval_minsum(rows, n_cpus, n_lines, &mut touched, &mut acc);
+        interval_minsum_reference(rows, n_cpus, n_lines, &mut touched, &mut acc);
     }
 
-    let map = acc.into_map();
-    if obs.enabled() {
-        obs.counter("cc.samples_bucketed", samples.len() as u64);
-        obs.counter("cc.lines", n_lines as u64);
-        obs.counter("cc.cpus", n_cpus as u64);
-        obs.counter("cc.intervals", n_intervals as u64);
-        obs.counter("cc.tensor_cells", (n_intervals * n_cpus * n_lines) as u64);
-        obs.counter("cc.pairs", map.len() as u64);
-        obs.gauge("cc.dense_accumulator", if dense_acc { 1.0 } else { 0.0 });
-    }
-    ConcurrencyMap { interner, map }
+    ConcurrencyMap::from_parts(interner, acc.into_map())
 }
 
-/// The original triple-nested-map formulation, retained as the reference
-/// implementation: used by the equivalence property tests and by
-/// `perf_report` to measure the dense rewrite against, on identical
+/// The original triple-nested-map formulation, retained as the oldest
+/// reference implementation: used by the equivalence property tests and
+/// by `perf_report` to measure the rewrites against, on identical
 /// inputs. Produces a map equal to [`concurrency_map`]'s.
 ///
 /// # Panics
@@ -518,6 +959,7 @@ pub fn concurrency_map_naive(samples: &[Sample], cfg: &ConcurrencyConfig) -> Con
 mod tests {
     use super::*;
     use slopt_ir::cfg::{BlockId, FuncId};
+    use slopt_ir::interp::SplitMix64;
     use slopt_sim::CpuId;
 
     fn sample(cpu: u16, time: u64, line: u32) -> Sample {
@@ -637,6 +1079,133 @@ mod tests {
         assert_eq!(dense.pairs(), naive.pairs());
     }
 
+    /// Deterministic random stream: `n` samples over the given universe.
+    fn random_samples(n: usize, cpus: u16, lines: u32, span: u64, seed: u64) -> Vec<Sample> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                sample(
+                    (rng.next_u64() % u64::from(cpus)) as u16,
+                    rng.next_u64() % span,
+                    (rng.next_u64() % u64::from(lines)) as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_kernel_equals_reference_kernel_directly() {
+        // Drive both kernels on the same per-interval inputs across random
+        // shapes, including line counts straddling the ROW_LANES and
+        // MERGE_BLOCK tile edges (1, 7, 8, 9, 63, 64, 65...).
+        let mut rng = SplitMix64::new(0xB10C);
+        for &n_lines in &[1usize, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 90, 128, 130] {
+            for case in 0..4u64 {
+                let n_cpus = 1 + (rng.next_u64() % 5) as usize;
+                let density = 1 + (rng.next_u64() % 4);
+                // Random [cpu × line] block with duplicate-heavy counts so
+                // thresholds t >= 2 are exercised.
+                let mut rows = vec![0u64; n_cpus * n_lines];
+                let fills = (n_cpus * n_lines) as u64 * density / 3 + case;
+                for _ in 0..fills {
+                    let idx = (rng.next_u64() % (n_cpus * n_lines) as u64) as usize;
+                    rows[idx] += 1 + rng.next_u64() % 3;
+                }
+
+                // Reference: the retained rows-based kernel.
+                let mut ref_acc = CcAccumulator::new(n_lines);
+                let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
+                interval_minsum_reference(&rows, n_cpus, n_lines, &mut touched, &mut ref_acc);
+
+                // Blocked: the same block as sorted cells.
+                let mut cells: Vec<Cell> = Vec::new();
+                for (ci, chunk) in rows.chunks(n_lines).enumerate() {
+                    for (li, &c) in chunk.iter().enumerate() {
+                        if c > 0 {
+                            cells.push((ci as u32, li as u32, c));
+                        }
+                    }
+                }
+                let mut acc = CcAccumulator::new(n_lines);
+                let mut scratch = MinsumScratch::new(n_lines, acc.is_dense());
+                interval_minsum(&cells, n_lines, &mut scratch, &mut acc);
+
+                assert_eq!(
+                    acc.into_map(),
+                    ref_acc.into_map(),
+                    "kernel divergence at n_lines={n_lines} n_cpus={n_cpus} case={case}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_pipeline_equals_reference_pipeline_on_random_streams() {
+        for seed in 0..8u64 {
+            let samples = random_samples(600, 6, 40, 2_000, 0x5EED + seed);
+            let cfg = ConcurrencyConfig { interval: 250 };
+            let new = concurrency_map(&samples, &cfg);
+            let reference = concurrency_map_reference(&samples, &cfg);
+            assert_eq!(new, reference, "pipeline divergence at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_accumulator_fallback_equals_naive() {
+        // A line universe past DENSE_ACCUMULATOR_LINE_LIMIT forces the
+        // sparse two-pointer path; results must not change.
+        let mut samples = Vec::new();
+        let mut rng = SplitMix64::new(0x5AB5);
+        for _ in 0..400 {
+            samples.push(sample(
+                (rng.next_u64() % 4) as u16,
+                rng.next_u64() % 500,
+                (rng.next_u64() % 4_000) as u32,
+            ));
+        }
+        // Pin the universe width above the dense limit regardless of rng.
+        samples.push(sample(0, 10, 3_500));
+        samples.push(sample(1, 12, 0));
+        let cfg = ConcurrencyConfig { interval: 100 };
+        let cm = concurrency_map(&samples, &cfg);
+        assert!(cm.interner().len() > 100, "universe should be wide");
+        assert_eq!(cm, concurrency_map_naive(&samples, &cfg));
+        assert_eq!(cm, concurrency_map_reference(&samples, &cfg));
+    }
+
+    #[test]
+    fn pairwise_merge_matches_serial_fold() {
+        // Build several accumulators and check the pairwise tree (at
+        // various jobs) equals a serial left fold.
+        for n_accs in [1usize, 2, 3, 5, 8] {
+            let mut rng = SplitMix64::new(0xACC0 + n_accs as u64);
+            let n_lines = 33; // not a multiple of any tile width
+            let make = |rng: &mut SplitMix64| {
+                let mut acc = CcAccumulator::new(n_lines);
+                for _ in 0..50 {
+                    let a = (rng.next_u64() % n_lines as u64) as u32;
+                    let b = (rng.next_u64() % n_lines as u64) as u32;
+                    let (li, lj) = if a <= b { (a, b) } else { (b, a) };
+                    acc.add(li, lj, 1 + rng.next_u64() % 9);
+                }
+                acc
+            };
+            let accs: Vec<CcAccumulator> = (0..n_accs).map(|_| make(&mut rng)).collect();
+            let mut serial = accs[0].clone();
+            for a in &accs[1..] {
+                serial.merge(a.clone());
+            }
+            for jobs in [1usize, 2, 4, 7] {
+                let tree = merge_accumulators(accs.clone(), jobs);
+                assert_eq!(
+                    tree.into_map(),
+                    serial.clone().into_map(),
+                    "merge divergence at n_accs={n_accs} jobs={jobs}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn interner_round_trips_and_orders() {
         let samples = vec![sample(0, 1, 9), sample(1, 2, 3), sample(2, 3, 7)];
@@ -658,6 +1227,21 @@ mod tests {
     }
 
     #[test]
+    fn cell_key_round_trips() {
+        for &(interval, cpu, line) in &[
+            (0u64, 0u16, 0u32),
+            (1, 2, 3),
+            (u64::MAX >> 16, u16::MAX, u32::MAX),
+            (123_456_789, 17, 42),
+        ] {
+            assert_eq!(
+                unpack_cell_key(pack_cell_key(interval, cpu, line)),
+                (interval, cpu, line)
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "interval must be non-zero")]
     fn zero_interval_rejected() {
         concurrency_map(&[], &ConcurrencyConfig { interval: 0 });
@@ -667,5 +1251,11 @@ mod tests {
     #[should_panic(expected = "interval must be non-zero")]
     fn zero_interval_rejected_by_naive() {
         concurrency_map_naive(&[], &ConcurrencyConfig { interval: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn zero_interval_rejected_by_reference() {
+        concurrency_map_reference(&[], &ConcurrencyConfig { interval: 0 });
     }
 }

@@ -23,7 +23,7 @@
 //! [`StreamingConcurrency`] fold that is bit-identical to step 2, and
 //! [`snapshot`] persists concurrency maps for checkpointed grid runs.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod concurrency;
@@ -33,8 +33,8 @@ pub mod shard;
 pub mod snapshot;
 
 pub use concurrency::{
-    concurrency_map, concurrency_map_naive, concurrency_map_obs, ConcurrencyConfig, ConcurrencyMap,
-    LineId, LineInterner,
+    concurrency_map, concurrency_map_naive, concurrency_map_obs, concurrency_map_reference,
+    ConcurrencyConfig, ConcurrencyMap, LineId, LineInterner,
 };
 pub use cycleloss::{cycle_loss, cycle_loss_filtered, cycle_loss_weighted, CycleLossMap};
 pub use sampler::{ExactCounter, Sample, Sampler, SamplerConfig};

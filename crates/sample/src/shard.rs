@@ -13,14 +13,17 @@
 //! * [`ShardReader`] — scans a shard directory and yields each shard's
 //!   samples, reporting malformed files as typed [`ShardError`]s instead
 //!   of panicking.
-//! * [`StreamingConcurrency`] — folds sample batches into a sparse
-//!   occupied-cell map keyed by `(interval, cpu, line)`; memory is
-//!   proportional to *distinct* cells, not trace length. `finish_jobs`
-//!   replays the cells through the same per-interval kernel as the batch
-//!   path ([`crate::concurrency::interval_minsum`]), in parallel over
-//!   interval groups, and merges the triangular accumulators by exact
-//!   `u64` addition — bit-identical to [`crate::concurrency_map`] for
-//!   every shard size and every `--jobs` (see DESIGN.md §11).
+//! * [`StreamingConcurrency`] — folds sample batches into **sorted
+//!   runs** of packed `(interval, cpu, line) -> count` cells: batches
+//!   append packed keys to a pending buffer, which is periodically
+//!   sorted, run-length-encoded and linearly merge-added into one sorted
+//!   run (an LSM-style compaction — no hashing on the ingest path, and
+//!   memory proportional to *distinct* cells, not trace length).
+//!   `finish_jobs` hands the sorted cells to the batch path's shared
+//!   final fold (`cells_finish`), which fans per-interval kernels over
+//!   workers and merges their triangular accumulators **pairwise** via
+//!   `par_map` — bit-identical to [`crate::concurrency_map`] for every
+//!   shard size and every `--jobs` (see DESIGN.md §11 and §13).
 //! * [`shard_concurrency_obs`] — the end-to-end fold over a directory:
 //!   malformed, truncated or missing shards are *skipped*, counted in
 //!   [`ShardIngestStats`] and as `warn.shard.*` counters, never a panic.
@@ -47,15 +50,14 @@
 //! `[min_time, max_time]`; readers verify both plus the exact file
 //! length, so truncation and corruption are detected structurally.
 
-use crate::concurrency::LineInterner;
-use crate::concurrency::{interval_minsum, CcAccumulator, ConcurrencyConfig, ConcurrencyMap};
+use crate::concurrency::{cells_finish, pack_cell_key, ConcurrencyConfig, ConcurrencyMap};
 use crate::sampler::{Sample, Sampler, SamplerConfig};
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::par::par_map;
 use slopt_ir::source::SourceLine;
 use slopt_obs::Obs;
 use slopt_sim::{CpuId, Observer};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
@@ -313,6 +315,13 @@ impl ShardReader {
     pub fn missing(&self) -> u64 {
         self.missing
     }
+
+    /// The shard paths in index order, without consuming the iterator.
+    /// The parallel directory fold ([`shard_concurrency_obs`]) chunks
+    /// this list over workers instead of iterating serially.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.found.iter().map(|(_, p)| p.clone()).collect()
+    }
 }
 
 impl Iterator for ShardReader {
@@ -367,19 +376,62 @@ impl ShardIngestStats {
     }
 }
 
-/// Bounded-memory Code Concurrency: folds sample batches into a sparse
-/// occupied-cell map and replays it through the batch path's
-/// per-interval kernel at [`finish`](StreamingConcurrency::finish).
+/// Once the pending key buffer reaches this many entries (and at least
+/// the sorted run's current length), it is compacted into the sorted
+/// run. The floor keeps tiny batches from compacting constantly; the
+/// `sorted.len()` coupling makes total compaction cost amortized
+/// `O(n log n)` in ingested samples.
+const PENDING_COMPACT_MIN: usize = 64 * 1024;
+
+/// Bounded-memory Code Concurrency: folds sample batches into one
+/// **sorted run** of packed `(interval, cpu, line) -> count` cells and
+/// hands it to the batch path's shared final fold at
+/// [`finish`](StreamingConcurrency::finish).
+///
+/// Ingestion appends packed `u128` keys to a pending buffer; when the
+/// buffer grows past the sorted run's length it is sorted,
+/// run-length-encoded and linearly merge-added into the run — an
+/// LSM-style compaction with no hashing and sequential memory traffic.
+/// Cell counts are exact `u64` sums, so the final run is independent of
+/// how the trace was partitioned into batches (any shard size, any
+/// ingestion order), and two folders over disjoint parts of a trace can
+/// be [`merge`](StreamingConcurrency::merge)d without changing the
+/// result — the basis of the parallel directory fold.
 ///
 /// Peak memory is `O(distinct (interval, cpu, line) cells)` — for the
 /// paper's parameters (~12 samples per CPU per interval over a few
-/// hundred lines) orders of magnitude below the trace length — plus one
-/// shard's samples at a time during ingestion.
+/// hundred lines) orders of magnitude below the trace length — plus the
+/// bounded pending buffer and one shard's samples during ingestion.
+///
+/// # Example
+///
+/// ```
+/// use slopt_ir::cfg::{BlockId, FuncId};
+/// use slopt_ir::source::SourceLine;
+/// use slopt_sample::{ConcurrencyConfig, Sample, StreamingConcurrency};
+/// use slopt_sim::CpuId;
+///
+/// let mk = |cpu: u16, time: u64, line: u32| Sample {
+///     cpu: CpuId(cpu),
+///     time,
+///     func: FuncId(0),
+///     block: BlockId(0),
+///     line: SourceLine(line),
+/// };
+/// let mut stream = StreamingConcurrency::new(ConcurrencyConfig { interval: 100 });
+/// stream.ingest(&[mk(0, 10, 1)]); // cpu 0 in line 1 ...
+/// stream.ingest(&[mk(1, 20, 2)]); // ... cpu 1 in line 2, same interval
+/// let map = stream.finish();
+/// assert_eq!(map.get(SourceLine(1), SourceLine(2)), 1);
+/// ```
 #[derive(Clone, Debug)]
 pub struct StreamingConcurrency {
     cfg: ConcurrencyConfig,
-    /// `(interval index, cpu, raw source line) -> sample count`.
-    counts: HashMap<(u64, u16, u32), u64>,
+    /// Sorted distinct packed cells (`pack_cell_key` order =
+    /// `(interval, cpu, line)` order) with exact sample counts.
+    sorted: Vec<(u128, u64)>,
+    /// Raw packed keys not yet folded into `sorted`.
+    pending: Vec<u128>,
     samples: u64,
 }
 
@@ -393,22 +445,25 @@ impl StreamingConcurrency {
         assert!(cfg.interval > 0, "interval must be non-zero");
         StreamingConcurrency {
             cfg,
-            counts: HashMap::new(),
+            sorted: Vec::new(),
+            pending: Vec::new(),
             samples: 0,
         }
     }
 
-    /// Folds a batch of samples (any order) into the cell map. Cell
+    /// Folds a batch of samples (any order) into the cell store. Cell
     /// increments commute, so any partition of the trace into batches —
-    /// any shard size, any ingestion order — yields the same cell map.
+    /// any shard size, any ingestion order — yields the same cell store.
     pub fn ingest(&mut self, samples: &[Sample]) {
-        for s in samples {
-            *self
-                .counts
-                .entry((s.time / self.cfg.interval, s.cpu.0, s.line.0))
-                .or_insert(0) += 1;
-        }
+        self.pending.extend(
+            samples
+                .iter()
+                .map(|s| pack_cell_key(s.time / self.cfg.interval, s.cpu.0, s.line.0)),
+        );
         self.samples += samples.len() as u64;
+        if self.pending.len() >= PENDING_COMPACT_MIN.max(self.sorted.len()) {
+            self.compact();
+        }
     }
 
     /// Reads and folds one shard file.
@@ -424,9 +479,51 @@ impl StreamingConcurrency {
     }
 
     /// Number of occupied `(interval, cpu, line)` cells — the streaming
-    /// path's working-set measure.
-    pub fn cells(&self) -> usize {
-        self.counts.len()
+    /// path's working-set measure. Compacts pending keys first.
+    pub fn cells(&mut self) -> usize {
+        self.compact();
+        self.sorted.len()
+    }
+
+    /// Folds `other` (a folder over a disjoint or overlapping part of
+    /// the trace, same interval config) into `self`: one linear
+    /// merge-add of the two sorted runs. Exact and commutative, so the
+    /// parallel directory fold can ingest shard chunks independently and
+    /// merge the partial folders in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two folders were built with different interval
+    /// lengths — their interval indices would not be comparable.
+    pub fn merge(&mut self, mut other: StreamingConcurrency) {
+        assert_eq!(
+            self.cfg.interval, other.cfg.interval,
+            "merge requires identical interval config"
+        );
+        self.compact();
+        other.compact();
+        let a = std::mem::take(&mut self.sorted);
+        self.sorted = merge_sorted_runs(a, other.sorted);
+        self.samples += other.samples;
+    }
+
+    /// Sorts + run-length-encodes the pending keys and merge-adds them
+    /// into the sorted run.
+    fn compact(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_unstable();
+        let mut run: Vec<(u128, u64)> = Vec::new();
+        for &key in &self.pending {
+            match run.last_mut() {
+                Some(last) if last.0 == key => last.1 += 1,
+                _ => run.push((key, 1)),
+            }
+        }
+        self.pending.clear();
+        let a = std::mem::take(&mut self.sorted);
+        self.sorted = merge_sorted_runs(a, run);
     }
 
     /// Serial [`finish_jobs`](StreamingConcurrency::finish_jobs).
@@ -437,11 +534,13 @@ impl StreamingConcurrency {
     /// Computes the final [`ConcurrencyMap`], fanning the per-interval
     /// min-sums out over up to `jobs` threads. Bit-identical to
     /// [`crate::concurrency_map`] on the union of all ingested samples,
-    /// for every `jobs` value: intervals are partitioned into contiguous
-    /// groups, each group replays its intervals through
-    /// [`interval_minsum`] into a private triangular accumulator, and
-    /// group accumulators merge by exact `u64` addition (commutative and
-    /// associative, hence independent of grouping and merge order).
+    /// for every `jobs` value: the sorted cells go through the batch
+    /// path's shared final fold, which partitions intervals into
+    /// contiguous groups, replays each group through the blocked
+    /// per-interval kernel into a private triangular accumulator, and
+    /// reduces the accumulators pairwise by exact `u64` addition
+    /// (commutative and associative, hence independent of grouping and
+    /// merge order).
     pub fn finish_jobs(self, jobs: usize) -> ConcurrencyMap {
         self.finish_jobs_obs(jobs, &Obs::disabled())
     }
@@ -449,124 +548,67 @@ impl StreamingConcurrency {
     /// [`finish_jobs`](StreamingConcurrency::finish_jobs) with
     /// instrumentation: a `cc_build` span plus the batch path's `cc.*`
     /// counters and streaming-specific `cc.stream_*` counters.
-    pub fn finish_jobs_obs(self, jobs: usize, obs: &Obs) -> ConcurrencyMap {
+    pub fn finish_jobs_obs(mut self, jobs: usize, obs: &Obs) -> ConcurrencyMap {
         let _span = obs.span("cc_build");
-        if self.counts.is_empty() {
+        self.compact();
+        if self.sorted.is_empty() {
             return ConcurrencyMap::empty();
         }
-        let n_cells = self.counts.len();
-
-        // Intern lines, CPUs and intervals exactly as the batch path
-        // does: sorted distinct values.
-        let interner =
-            LineInterner::from_lines(self.counts.keys().map(|&(_, _, line)| SourceLine(line)));
-        let n_lines = interner.len();
-        let mut cpus: Vec<u16> = self.counts.keys().map(|&(_, cpu, _)| cpu).collect();
-        cpus.sort_unstable();
-        cpus.dedup();
-        let n_cpus = cpus.len();
-
-        // Drain the cell map into a deterministic order: by (interval,
-        // cpu, line). HashMap iteration order never reaches the result.
-        let mut cells: Vec<(u64, u16, u32, u64)> = self
-            .counts
-            .into_iter()
-            .map(|((ti, cpu, line), c)| (ti, cpu, line, c))
-            .collect();
-        cells.sort_unstable();
-        let n_intervals = {
-            let mut n = 0usize;
-            let mut prev = None;
-            for &(ti, ..) in &cells {
-                if prev != Some(ti) {
-                    n += 1;
-                    prev = Some(ti);
-                }
-            }
-            n
-        };
-
-        // Split the cell list at interval boundaries into `groups`
-        // contiguous chunks of whole intervals.
-        let groups = jobs.max(1).min(n_intervals);
-        let per_group = n_intervals.div_ceil(groups);
-        let mut group_slices: Vec<&[(u64, u16, u32, u64)]> = Vec::with_capacity(groups);
-        let mut start = 0usize;
-        let mut intervals_taken = 0usize;
-        let mut i = 0usize;
-        while i < cells.len() {
-            let ti = cells[i].0;
-            let mut j = i;
-            while j < cells.len() && cells[j].0 == ti {
-                j += 1;
-            }
-            intervals_taken += 1;
-            if intervals_taken.is_multiple_of(per_group) || j == cells.len() {
-                group_slices.push(&cells[start..j]);
-                start = j;
-            }
-            i = j;
-        }
-
-        // Replay each group through the shared per-interval kernel.
-        let accs: Vec<CcAccumulator> = par_map(jobs, &group_slices, |_, slice| {
-            let mut acc = CcAccumulator::new(n_lines);
-            let mut rows = vec![0u64; n_cpus * n_lines];
-            let mut touched: Vec<Vec<u32>> = vec![Vec::new(); n_cpus];
-            let mut i = 0usize;
-            while i < slice.len() {
-                let ti = slice[i].0;
-                let mut j = i;
-                // Materialize this interval's [cpu × line] block from its
-                // cells, run the kernel, then zero only the cells we set.
-                while j < slice.len() && slice[j].0 == ti {
-                    let (_, cpu, line, c) = slice[j];
-                    let ci = cpus.binary_search(&cpu).expect("cpu interned");
-                    let li = interner
-                        .id(SourceLine(line))
-                        .expect("line interned")
-                        .index();
-                    rows[ci * n_lines + li] = c;
-                    j += 1;
-                }
-                interval_minsum(&rows, n_cpus, n_lines, &mut touched, &mut acc);
-                for &(_, cpu, line, _) in &slice[i..j] {
-                    let ci = cpus.binary_search(&cpu).expect("cpu interned");
-                    let li = interner
-                        .id(SourceLine(line))
-                        .expect("line interned")
-                        .index();
-                    rows[ci * n_lines + li] = 0;
-                }
-                i = j;
-            }
-            acc
-        });
-
-        let mut accs = accs.into_iter();
-        let mut total = accs.next().expect("at least one group");
-        for acc in accs {
-            total.merge(acc);
-        }
-        let dense_acc = total.is_dense();
-        let map = total.into_map();
+        let out = cells_finish(&self.sorted, jobs);
         if obs.enabled() {
             obs.counter("cc.samples_bucketed", self.samples);
-            obs.counter("cc.lines", n_lines as u64);
-            obs.counter("cc.cpus", n_cpus as u64);
-            obs.counter("cc.intervals", n_intervals as u64);
-            obs.counter("cc.pairs", map.len() as u64);
-            obs.counter("cc.stream_cells", n_cells as u64);
-            obs.counter("cc.stream_groups", groups as u64);
-            obs.gauge("cc.dense_accumulator", if dense_acc { 1.0 } else { 0.0 });
+            obs.counter("cc.lines", out.n_lines as u64);
+            obs.counter("cc.cpus", out.n_cpus as u64);
+            obs.counter("cc.intervals", out.n_intervals as u64);
+            obs.counter("cc.pairs", out.map.len() as u64);
+            obs.counter("cc.stream_cells", self.sorted.len() as u64);
+            obs.counter("cc.stream_groups", out.groups as u64);
+            obs.gauge(
+                "cc.dense_accumulator",
+                if out.dense_acc { 1.0 } else { 0.0 },
+            );
         }
-        ConcurrencyMap::from_parts(interner, map)
+        out.map
     }
 }
 
+/// Linear merge-add of two key-sorted distinct runs: counts of equal
+/// keys sum exactly, so the result is independent of which side a
+/// sample landed on.
+fn merge_sorted_runs(a: Vec<(u128, u64)>, b: Vec<(u128, u64)>) -> Vec<(u128, u64)> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push((a[i].0, a[i].1 + b[j].1));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 /// Folds every readable shard under `dir` into a [`ConcurrencyMap`],
-/// skipping malformed shards gracefully. Serial ingestion, parallel
-/// (`jobs`) finish. Fails only if the directory cannot be listed.
+/// skipping malformed shards gracefully. Parallel (`jobs`) ingestion
+/// and finish. Fails only if the directory cannot be listed.
 pub fn shard_concurrency(
     dir: &Path,
     cfg: ConcurrencyConfig,
@@ -579,6 +621,13 @@ pub fn shard_concurrency(
 /// `shard_ingest` span, emits `shard.{ok,samples,missing}` counters, and
 /// records each skipped shard as a `warn.shard.skipped.<reason>` warning
 /// so skip counts surface in `--stats` output.
+///
+/// Ingestion fans the shard list out as up to `jobs` contiguous chunks,
+/// each folded by a private [`StreamingConcurrency`]; the partial
+/// folders then [`merge`](StreamingConcurrency::merge) in index order.
+/// Cell counts sum exactly, so the merged cell store — and hence the
+/// final map, the stats and the warning order — are identical to the
+/// serial fold's for every `jobs` value.
 pub fn shard_concurrency_obs(
     dir: &Path,
     cfg: ConcurrencyConfig,
@@ -591,20 +640,38 @@ pub fn shard_concurrency_obs(
         let _span = obs.span("shard_ingest");
         let reader = ShardReader::open(dir)?;
         stats.shards_missing = reader.missing();
-        for (path, result) in reader {
-            match result {
-                Ok(samples) => {
-                    stats.shards_ok += 1;
-                    stats.samples += samples.len() as u64;
-                    stream.ingest(&samples);
-                }
-                Err(err) => {
-                    stats.shards_skipped += 1;
-                    *stats.skipped_by_reason.entry(err.reason_key()).or_insert(0) += 1;
-                    obs.warning(&format!("shard.skipped.{}", err.reason_key()));
-                    if obs.enabled() {
-                        eprintln!("[shard] skipping {}: {err}", path.display());
+        let paths = reader.paths();
+        let chunk_size = paths.len().div_ceil(jobs.max(1)).max(1);
+        let chunks: Vec<&[PathBuf]> = paths.chunks(chunk_size).collect();
+        type ChunkFold = (StreamingConcurrency, u64, u64, Vec<(PathBuf, ShardError)>);
+        let partials: Vec<ChunkFold> = par_map(jobs, &chunks, |_, chunk| {
+            let mut partial = StreamingConcurrency::new(cfg);
+            let (mut ok, mut samples) = (0u64, 0u64);
+            let mut skips: Vec<(PathBuf, ShardError)> = Vec::new();
+            for path in *chunk {
+                match partial.ingest_shard(path) {
+                    Ok(n) => {
+                        ok += 1;
+                        samples += n as u64;
                     }
+                    Err(err) => skips.push((path.clone(), err)),
+                }
+            }
+            (partial, ok, samples, skips)
+        });
+        // Fold partials in chunk (= shard index) order: the merged cell
+        // store is chunking-independent, and skip warnings replay in the
+        // same order the serial fold would emit them.
+        for (partial, ok, samples, skips) in partials {
+            stream.merge(partial);
+            stats.shards_ok += ok;
+            stats.samples += samples;
+            for (path, err) in skips {
+                stats.shards_skipped += 1;
+                *stats.skipped_by_reason.entry(err.reason_key()).or_insert(0) += 1;
+                obs.warning(&format!("shard.skipped.{}", err.reason_key()));
+                if obs.enabled() {
+                    eprintln!("[shard] skipping {}: {err}", path.display());
                 }
             }
         }

@@ -5,8 +5,9 @@ use proptest::prelude::*;
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::source::SourceLine;
 use slopt_sample::{
-    concurrency_map, concurrency_map_naive, read_shard, shard_concurrency, write_shards,
-    ConcurrencyConfig, Sample, Sampler, SamplerConfig, StreamingConcurrency,
+    concurrency_map, concurrency_map_naive, concurrency_map_reference, read_shard,
+    shard_concurrency, write_shards, ConcurrencyConfig, Sample, Sampler, SamplerConfig,
+    StreamingConcurrency,
 };
 use slopt_sim::{CpuId, Observer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -218,6 +219,56 @@ proptest! {
             prop_assert_eq!(a.time, b.time);
             prop_assert_eq!(a.cpu, b.cpu);
             prop_assert_eq!(a.line, b.line);
+        }
+    }
+
+    /// The blocked threshold-decomposition kernel equals the retained
+    /// flat-tensor reference pipeline on arbitrary streams, across line
+    /// universes that straddle the kernel's lane width (8) and other
+    /// non-multiple-of-tile shapes: identical map, interner and pair
+    /// list, bit for bit.
+    #[test]
+    fn blocked_kernel_matches_reference_pipeline(
+        samples in prop::collection::vec((0u16..6, 0u64..20_000, 0u32..0xFFFF), 0..250),
+        lines_pick in 0usize..8,
+        interval_pick in 0usize..3,
+    ) {
+        // Fold the raw line numbers into a universe whose width sits on,
+        // just under, or just over the ROW_LANES=8 tile edge (and one
+        // far past it), so the lane remainder paths all run.
+        let width = [1u32, 7, 8, 9, 15, 17, 63, 130][lines_pick];
+        let samples: Vec<Sample> = samples
+            .into_iter()
+            .map(|(c, t, l)| mk_sample(c, t, l % width))
+            .collect();
+        let cfg = ConcurrencyConfig { interval: [100u64, 1_000, 7_919][interval_pick] };
+        let blocked = concurrency_map(&samples, &cfg);
+        let reference = concurrency_map_reference(&samples, &cfg);
+        prop_assert_eq!(&blocked, &reference);
+        prop_assert_eq!(blocked.pairs(), reference.pairs());
+        prop_assert_eq!(blocked.interner(), reference.interner());
+    }
+
+    /// The pairwise parallel accumulator merge equals the serial fold at
+    /// every `jobs` fan-out that changes the reduction tree's shape
+    /// (1 = the serial fold itself, then 2, 4 and 7 workers).
+    #[test]
+    fn pairwise_merge_matches_serial_fold_across_jobs(
+        samples in prop::collection::vec((0u16..5, 0u64..40_000, 0u32..10), 1..300),
+    ) {
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+        // interval 500 over a 40_000-cycle span: up to 80 interval
+        // groups, so jobs ∈ {2, 4, 7} all get non-trivial trees.
+        let cfg = ConcurrencyConfig { interval: 500 };
+        let mut serial = StreamingConcurrency::new(cfg);
+        serial.ingest(&samples);
+        let serial_map = serial.finish_jobs(1);
+        for jobs in [2usize, 4, 7] {
+            let mut stream = StreamingConcurrency::new(cfg);
+            stream.ingest(&samples);
+            let got = stream.finish_jobs(jobs);
+            prop_assert_eq!(&got, &serial_map, "jobs={}", jobs);
         }
     }
 

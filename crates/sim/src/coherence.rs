@@ -166,7 +166,9 @@ impl Directory {
 
     /// Visits every line that may carry directory state (dense pages
     /// include untouched default entries, which satisfy all invariants
-    /// vacuously).
+    /// vacuously). The dense walk streams one 1024-entry page at a time
+    /// in line order — each page is a contiguous block that fits in L1,
+    /// and absent pages are skipped without touching any entry.
     fn for_each(&self, mut f: impl FnMut(u64, &DirEntry)) {
         match self {
             Directory::Dense(d) => {
@@ -441,22 +443,33 @@ impl MemSystem {
 
     /// Write hit on a Shared line: invalidate remote copies and take
     /// ownership.
+    ///
+    /// Victims are walked straight off the sharer bitmask
+    /// (`trailing_zeros`, ascending CPU order — the same order the old
+    /// full-CPU scan produced), with no victim list allocation and one
+    /// directory probe for the whole batch of pending-invalidation
+    /// records instead of one probe per victim.
     fn upgrade(&mut self, cpu: CpuId, line: u64, mask: u128, now: u64) -> (u64, AccessClass) {
         let entry = self.dir.entry_mut(line);
         let others = entry.sharers & !cpu_bit(cpu);
         let mut inval_lat = 0;
         let mut killed = 0;
         if others != 0 {
-            let victims: Vec<u16> = (0..self.topo.cpu_count() as u16)
-                .filter(|&c| others & (1u128 << c) != 0)
-                .collect();
-            for v in victims {
+            let mut rest = others;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as u16;
+                rest &= rest - 1;
                 let d = self.topo.distance(cpu, CpuId(v));
                 inval_lat = inval_lat.max(self.lat.transfer(d));
                 self.caches[v as usize].invalidate(line);
                 self.stats.state_transitions += 1;
                 killed += 1;
-                let entry = self.dir.probe_mut(line).expect("entry exists");
+            }
+            let entry = self.dir.probe_mut(line).expect("entry exists");
+            let mut rest = others;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as u16;
+                rest &= rest - 1;
                 entry.pending_inval.push((v, 0));
             }
         }
@@ -536,12 +549,16 @@ impl MemSystem {
             let d = self.topo.distance(CpuId(o), cpu);
             self.lat.transfer(d)
         } else if sharers != 0 {
-            // Nearest sharer forwards the line.
-            (0..self.topo.cpu_count() as u16)
-                .filter(|&c| sharers & (1u128 << c) != 0)
-                .map(|c| self.lat.transfer(self.topo.distance(CpuId(c), cpu)))
-                .min()
-                .expect("non-empty sharers")
+            // Nearest sharer forwards the line; walk the sharer bits
+            // directly instead of scanning every CPU.
+            let mut best = u64::MAX;
+            let mut rest = sharers;
+            while rest != 0 {
+                let c = rest.trailing_zeros() as u16;
+                rest &= rest - 1;
+                best = best.min(self.lat.transfer(self.topo.distance(CpuId(c), cpu)));
+            }
+            best
         } else {
             self.lat.memory
         };
@@ -549,21 +566,27 @@ impl MemSystem {
         let lat;
         if write {
             // Read-for-ownership: every remote copy is invalidated.
-            let victims: Vec<u16> = (0..self.topo.cpu_count() as u16)
-                .filter(|&c| sharers & (1u128 << c) != 0 && c != cpu.0)
-                .collect();
+            // Victims come straight off the sharer bitmask in ascending
+            // CPU order, with no victim list allocation.
+            let victim_mask = sharers & !cpu_bit(cpu);
             let mut inval_lat = 0;
-            for v in &victims {
-                let d = self.topo.distance(cpu, CpuId(*v));
+            let mut rest = victim_mask;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as u16;
+                rest &= rest - 1;
+                let d = self.topo.distance(cpu, CpuId(v));
                 inval_lat = inval_lat.max(self.lat.transfer(d));
-                if self.caches[*v as usize].invalidate(line) == Some(Mesi::Modified) {
+                if self.caches[v as usize].invalidate(line) == Some(Mesi::Modified) {
                     self.stats.writebacks += 1;
                 }
                 self.stats.invalidations += 1;
                 self.stats.state_transitions += 1;
             }
             let entry = self.dir.probe_mut(line).expect("entry exists");
-            for v in victims {
+            let mut rest = victim_mask;
+            while rest != 0 {
+                let v = rest.trailing_zeros() as u16;
+                rest &= rest - 1;
                 entry.pending_inval.push((v, 0));
             }
             entry.owner = Some(cpu.0);
