@@ -70,18 +70,35 @@ rm -rf "$CKPT_TMP" "$RESUME_TRACE_TMP"
 echo "== cargo test --doc (public-API doctests) =="
 cargo test --offline -q --doc
 
+echo "== search smoke (seeded annealing beats greedy, jobs-invariant) =="
+# A fixed seed makes the whole portfolio deterministic, so the outputs of
+# a serial and a fanned-out run must be byte-identical, and the stress
+# workload's greedy trap must be escaped on both of its structs.
+SEARCH_J1="$(mktemp /tmp/slopt_search_j1.XXXXXX.txt)"
+SEARCH_J4="$(mktemp /tmp/slopt_search_j4.XXXXXX.txt)"
+cargo run --release --offline -p slopt-cli -- search --stress --seed 42 \
+    --jobs 1 > "$SEARCH_J1"
+cargo run --release --offline -p slopt-cli -- search --stress --seed 42 \
+    --jobs 4 > "$SEARCH_J4"
+cmp "$SEARCH_J1" "$SEARCH_J4"
+grep -q "strictly better objective than greedy on 2/2 structs" "$SEARCH_J1"
+rm -f "$SEARCH_J1" "$SEARCH_J4"
+
 echo "== perf_report --quick --jobs 4 (refresh BENCH_sim.json) + perf_guard =="
 BASELINE_TMP="$(mktemp /tmp/slopt_bench_baseline.XXXXXX.json)"
 cp BENCH_sim.json "$BASELINE_TMP"
 cargo run --release --offline -p slopt-bench --bin perf_report -- --quick --jobs 4
 # Growth floors: streamed CC must beat the retained batch reference 2x,
-# and the parallel paths must show 3x at jobs=4. The parallel floors are
-# host-core-aware: perf_guard enforces them only when the measuring host
-# reports >= 4 cores (wall-clock speedup is physically capped below that)
-# and prints a SKIPPED note otherwise.
+# the delta move scorer must beat a full canonical recompute 20x (it is
+# serial, so never host-core-skipped), and the parallel paths must show
+# 3x at jobs=4. The parallel floors are host-core-aware: perf_guard
+# enforces them only when the measuring host reports >= 4 cores
+# (wall-clock speedup is physically capped below that) and prints a
+# SKIPPED note otherwise.
 cargo run --release --offline -p slopt-bench --bin perf_guard -- BENCH_sim.json \
     --baseline "$BASELINE_TMP" \
     --require-speedup cc_stream:2.0 \
+    --require-speedup search_delta:20 \
     --require-parallel cc_stream:3.0 \
     --require-parallel engine:3.0
 rm -f "$BASELINE_TMP"

@@ -1,0 +1,126 @@
+//! `debug_search` — diagnostic probe for the stochastic layout search.
+//!
+//! For each kernel struct, reports the greedy FLG objective, what the
+//! `refine` hill-climber finds, and what annealing portfolios find from
+//! three different starts (greedy, sort-by-hotness, per-field
+//! singletons), plus the FLG's weight scale vs the typical accepted move
+//! delta. Use it to tell "greedy is optimal here" apart from "the
+//! search is mis-tuned" when the `fig_search` deltas come out flat.
+//!
+//! Usage: `cargo run --release -p slopt-bench --bin debug_search [-- --chains C --steps K --seed S]`
+
+use slopt_core::{
+    cluster, clustering_score_with, refine, Clustering, DeltaObjective, Flg, RefineParams,
+};
+use slopt_search::{run_chain, SearchParams};
+use slopt_workload::analyze::affinity_for;
+use slopt_workload::{analyze, loss_for, SdetConfig};
+
+fn uint_flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().collect();
+    let chains = uint_flag(&raw, "--chains", 8) as usize;
+    let steps = uint_flag(&raw, "--steps", 2_000) as usize;
+    let seed = uint_flag(&raw, "--seed", 42);
+    let line_override = raw
+        .windows(2)
+        .find(|w| w[0] == "--line")
+        .and_then(|w| w[1].parse::<u64>().ok());
+
+    let kernel = slopt_workload::build_kernel();
+    let sdet = SdetConfig::default();
+    let analysis = analyze(&kernel, &sdet, &Default::default());
+    let tool = slopt_core::ToolParams::default();
+
+    for (name, rec) in kernel.records.all() {
+        let affinity = affinity_for(&kernel, &analysis, rec);
+        let loss = loss_for(&kernel, &analysis, rec);
+        let flg = Flg::build(&affinity, Some(&loss), tool.flg);
+        let record = kernel.record_type(rec);
+        let line = line_override.unwrap_or(sdet.line_size);
+        let params = SearchParams {
+            steps,
+            line_size: line,
+            ..SearchParams::default()
+        };
+
+        let greedy = cluster(&flg, record, line);
+        let greedy_score = clustering_score_with(&flg, &greedy);
+        let (refined, refined_score) = refine(&flg, record, &greedy, line, RefineParams::default());
+        let _ = refined;
+
+        let singles = Clustering::new(
+            (0..record.field_count())
+                .map(|i| vec![slopt_ir::types::FieldIdx(i as u32)])
+                .collect(),
+        );
+
+        let best_from = |label: &str, start: &Clustering| {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_clusters: Vec<Vec<slopt_ir::types::FieldIdx>> = Vec::new();
+            let mut rng = slopt_ir::interp::SplitMix64::new(seed);
+            for c in 0..chains {
+                let r = run_chain(&flg, record, start, &params, c, rng.next_u64());
+                if r.score > best {
+                    best = r.score;
+                    best_clusters = r.clusters.clone();
+                }
+            }
+            // Capacity audit: packed bytes and line count of the winner.
+            let max_lines = best_clusters
+                .iter()
+                .map(|c| {
+                    let mut cursor = 0u64;
+                    for &f in c {
+                        let def = record.field(f);
+                        let a = def.align();
+                        cursor = (cursor + a - 1) & !(a - 1);
+                        cursor += def.size();
+                    }
+                    cursor.div_ceil(line).max(1)
+                })
+                .max()
+                .unwrap_or(1);
+            let max_fields = best_clusters.iter().map(Vec::len).max().unwrap_or(0);
+            println!(
+                "  {label:<12} best {best:>14.6}  ({:+.6} vs greedy, max {max_lines} lines / {max_fields} fields per cluster)",
+                best - greedy_score
+            );
+            best
+        };
+        println!(
+            "struct {name}: {} fields, greedy {greedy_score:.6}, refine {refined_score:.6} ({:+.6})",
+            record.field_count(),
+            refined_score - greedy_score
+        );
+        best_from("anneal@greedy", &greedy);
+        best_from("anneal@single", &singles);
+
+        // Weight scale vs move-delta scale: how hot the default t0 is.
+        let d = DeltaObjective::new(&flg, record, &greedy, line);
+        let n = record.field_count();
+        let mut deltas = Vec::new();
+        for f in 0..n {
+            for dst in 0..d.cluster_count() {
+                if let Some(est) = d.score_move(slopt_core::Move::MoveField {
+                    field: slopt_ir::types::FieldIdx(f as u32),
+                    dst,
+                }) {
+                    deltas.push(est.abs());
+                }
+            }
+        }
+        deltas.sort_by(f64::total_cmp);
+        let med = deltas.get(deltas.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "  weight-scale: {} feasible single moves, median |delta| {med:.6}",
+            deltas.len()
+        );
+    }
+}

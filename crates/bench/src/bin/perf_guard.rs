@@ -11,13 +11,17 @@
 //! When both reports carry `dense_trimmed_mean_s` (schema /3) the gate
 //! compares trimmed means — per-rep and outlier-robust, so it survives a
 //! rep-count change between baseline and fresh; older reports fall back
-//! to `dense_serial_total_s`. Reads `slopt-perf-report/1`, `/2` and `/3`.
+//! to `dense_serial_total_s`. Reads `slopt-perf-report/1` through `/4`.
 //!
 //! **Growth floors.** Beyond no-regression, the gate can enforce that a
 //! claimed win actually holds:
 //!
 //! * `--require-speedup name:min` — the fresh report's
-//!   `speedup_vs_reference` for bench `name` must be ≥ `min`.
+//!   `speedup_vs_reference` for bench `name` must be ≥ `min`. When the
+//!   bench carries a `delta_full_ratio` (schema /4, the `search_delta`
+//!   bench) that field is floored instead — it is the per-proposal
+//!   delta-vs-full cost ratio the floor is actually about, and it is
+//!   measured serially, so it is never host-core-skipped.
 //! * `--require-parallel name:min` — the fresh report's
 //!   `parallel_speedup` for bench `name` must be ≥ `min`. Wall-clock
 //!   parallel speedup above 1 is physically impossible when the host has
@@ -70,6 +74,8 @@ struct Report {
     trimmed: BTreeMap<String, f64>,
     /// `bench name -> speedup_vs_reference` where present.
     speedups: BTreeMap<String, f64>,
+    /// `bench name -> delta_full_ratio` (schema /4) where present.
+    delta_ratios: BTreeMap<String, f64>,
     /// `bench name -> (parallel_speedup, jobs)` where present.
     parallel: BTreeMap<String, (f64, f64)>,
     /// Top-level `host_cores` (schema /3); `None` on older reports.
@@ -94,6 +100,7 @@ fn read_report(path: &str) -> Result<Report, String> {
         totals: BTreeMap::new(),
         trimmed: BTreeMap::new(),
         speedups: BTreeMap::new(),
+        delta_ratios: BTreeMap::new(),
         parallel: BTreeMap::new(),
         host_cores: doc.get("host_cores").and_then(Json::as_f64),
     };
@@ -112,6 +119,9 @@ fn read_report(path: &str) -> Result<Report, String> {
         }
         if let Some(s) = b.get("speedup_vs_reference").and_then(Json::as_f64) {
             report.speedups.insert(name.to_string(), s);
+        }
+        if let Some(r) = b.get("delta_full_ratio").and_then(Json::as_f64) {
+            report.delta_ratios.insert(name.to_string(), r);
         }
         if let (Some(p), Some(j)) = (
             b.get("parallel_speedup").and_then(Json::as_f64),
@@ -186,16 +196,19 @@ fn run() -> Result<(), String> {
     }
 
     // Speedup floors: the fresh report must beat its reference by the
-    // stated factor.
+    // stated factor. A bench carrying a `delta_full_ratio` is floored on
+    // that field — the per-proposal cost ratio the floor is about.
     for (name, min) in &require_speedup {
-        match fresh.speedups.get(name) {
-            Some(&s) if s >= *min => {
-                eprintln!("[perf_guard] {name:<12} speedup_vs_reference {s:.3} >= {min:.3} ok");
+        let (value, metric) = match (fresh.delta_ratios.get(name), fresh.speedups.get(name)) {
+            (Some(&r), _) => (Some(r), "delta_full_ratio"),
+            (None, s) => (s.copied(), "speedup_vs_reference"),
+        };
+        match value {
+            Some(s) if s >= *min => {
+                eprintln!("[perf_guard] {name:<12} {metric} {s:.3} >= {min:.3} ok");
             }
-            Some(&s) => {
-                eprintln!(
-                    "[perf_guard] {name:<12} speedup_vs_reference {s:.3} < {min:.3} TOO SLOW"
-                );
+            Some(s) => {
+                eprintln!("[perf_guard] {name:<12} {metric} {s:.3} < {min:.3} TOO SLOW");
                 failed = true;
             }
             None => {

@@ -28,6 +28,17 @@
 //! 4. **flg_cluster** — dense triangular `Flg` construction + greedy
 //!    clustering vs the hash-map `FlgRef` through the same generic
 //!    `cluster_with`.
+//! 5. **search_delta** — the annealing search's incremental
+//!    `DeltaObjective` (`score_move` per proposal, `apply` on the
+//!    accepted ones) vs what a no-delta search pays: cloning the
+//!    clustering and re-running the full `clustering_score` on **every**
+//!    proposal. Both paths replay one precomputed feasible proposal
+//!    trace with a fixed acceptance schedule, and their committed score
+//!    traces are asserted bit-identical before the ratio is trusted.
+//!    The ratio is emitted as `delta_full_ratio` (and mirrored as
+//!    `speedup_vs_reference`); `perf_guard --require-speedup
+//!    search_delta:20` enforces the floor. Both sides are serial, so
+//!    the floor is never host-core-skipped.
 //!
 //! Every comparison asserts bit-identical results before timing is
 //! trusted; an equivalence failure aborts with a non-zero exit. Speedups
@@ -39,7 +50,7 @@
 //! `--out PATH` (default `BENCH_sim.json`), `--no-reference` (skip the
 //! old implementations: faster, but no speedup column).
 //!
-//! Schema: `slopt-perf-report/3`. Version 2 added a `peak_rss_kb` field
+//! Schema: `slopt-perf-report/4`. Version 2 added a `peak_rss_kb` field
 //! per bench — the process's high-water resident set (Linux `VmHWM`,
 //! absent elsewhere) sampled right after the bench finishes. Version 3
 //! adds per-bench `dense_trimmed_mean_s` / `reference_trimmed_mean_s`
@@ -47,12 +58,14 @@
 //! committed baseline is not noise-dominated; `speedup_vs_reference` is
 //! their ratio) and a top-level `host_cores` field, so `perf_guard` can
 //! tell a missing parallel win from a host that physically cannot show
-//! one (wall-clock speedup > 1 needs more cores than workers). All
-//! earlier fields are unchanged, so /1 and /2 consumers can read /3
-//! reports by ignoring the new fields.
+//! one (wall-clock speedup > 1 needs more cores than workers). Version
+//! 4 adds the `search_delta` bench and its `delta_full_ratio` field
+//! (the per-proposal cost ratio of full rescoring over delta
+//! evaluation). All earlier fields are unchanged, so /1–/3 consumers
+//! can read /4 reports by ignoring the new fields.
 
 use slopt_bench::runner::parse_jobs;
-use slopt_core::{cluster, cluster_with, Flg, FlgRef};
+use slopt_core::{canonical_cluster_sum, cluster, cluster_with, DeltaObjective, Flg, FlgRef, Move};
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::interp::SplitMix64;
 use slopt_ir::source::SourceLine;
@@ -115,6 +128,9 @@ struct BenchResult {
     /// materialized the full sample vector (the figure `peak_rss_kb`
     /// deliberately excludes).
     batch_peak_rss_kb: Option<u64>,
+    /// `search_delta` only: per-proposal cost ratio of the full-rescore
+    /// reference over delta evaluation (the number `perf_guard` floors).
+    delta_full_ratio: Option<f64>,
 }
 
 /// The process's peak resident set size in kilobytes, from the `VmHWM`
@@ -214,17 +230,27 @@ fn bench_cc_stream(args: &Args) -> BenchResult {
         streamed = Some(out.0);
     }
     let streamed = streamed.expect("at least one rep");
-    // Fanned finish, for the parallel column; must be bit-identical.
-    let ((), jobs_total) = time(|| {
-        for _ in 0..reps {
-            let out = slopt_sample::shard_concurrency(&dir, cfg, args.jobs).expect("stream");
-            assert_eq!(
-                out.0.pairs(),
-                streamed.pairs(),
-                "streaming diverged across --jobs"
-            );
-        }
+    // Fanned finish, for the parallel column; must be bit-identical. The
+    // equivalence check sorts every non-zero pair, which at --quick scale
+    // costs more than the fold itself — asserting outside the timed
+    // region keeps the parallel column about the fold, like the serial
+    // column above.
+    let (fanned, jobs_total) = time(|| {
+        (0..reps)
+            .map(|_| {
+                slopt_sample::shard_concurrency(&dir, cfg, args.jobs)
+                    .expect("stream")
+                    .0
+            })
+            .collect::<Vec<_>>()
     });
+    for out in &fanned {
+        assert_eq!(
+            out.pairs(),
+            streamed.pairs(),
+            "streaming diverged across --jobs"
+        );
+    }
 
     // Sample the high-water mark *before* the batch reference materializes
     // the full sample vector — VmHWM never goes back down.
@@ -278,6 +304,7 @@ fn bench_cc_stream(args: &Args) -> BenchResult {
         jobs: args.jobs,
         peak_rss_kb: stream_rss,
         batch_peak_rss_kb: batch_rss,
+        delta_full_ratio: None,
     }
 }
 
@@ -380,6 +407,7 @@ fn bench_engine(args: &Args) -> BenchResult {
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
         batch_peak_rss_kb: None,
+        delta_full_ratio: None,
     }
 }
 
@@ -438,6 +466,7 @@ fn bench_cc(args: &Args) -> BenchResult {
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
         batch_peak_rss_kb: None,
+        delta_full_ratio: None,
     }
 }
 
@@ -505,7 +534,148 @@ fn bench_flg_cluster(args: &Args) -> BenchResult {
         jobs: args.jobs,
         peak_rss_kb: peak_rss_kb(),
         batch_peak_rss_kb: None,
+        delta_full_ratio: None,
     }
+}
+
+// ---------------------------------------------------------- search_delta
+
+/// One proposal in the search's mix (6/10 move-field, 2/10 swap, 1/10
+/// split, 1/10 merge), drawn from a `SplitMix64` stream.
+fn propose_move(rng: &mut SplitMix64, d: &DeltaObjective<'_, Flg>, n: u32) -> Move {
+    let k = d.cluster_count() as u64;
+    let field = |rng: &mut SplitMix64| FieldIdx((rng.next_u64() % n as u64) as u32);
+    match rng.next_u64() % 10 {
+        0..=5 => Move::MoveField {
+            field: field(rng),
+            dst: (rng.next_u64() % (k + 1)) as usize,
+        },
+        6 | 7 => Move::SwapFields {
+            a: field(rng),
+            b: field(rng),
+        },
+        8 => {
+            let cluster = (rng.next_u64() % k) as usize;
+            let len = d.clusters()[cluster].len().max(1);
+            Move::Split {
+                cluster,
+                at: (rng.next_u64() % len as u64) as usize,
+            }
+        }
+        _ => Move::Merge {
+            dst: (rng.next_u64() % k) as usize,
+            src: (rng.next_u64() % k) as usize,
+        },
+    }
+}
+
+fn bench_search_delta(args: &Args) -> BenchResult {
+    // Both paths replay one precomputed trace of feasible proposals with
+    // a fixed acceptance schedule (improving moves always, every third
+    // non-improving one), so they visit bit-identical cluster states.
+    // Dense pays `score_move` per proposal plus `apply` on the accepted
+    // ones; the reference pays what a search without delta evaluation
+    // pays per proposal — cloning the cluster list and re-running the
+    // full canonical scorer over every cluster. The committed score
+    // traces are asserted bit-equal before the ratio is trusted.
+    let n: u32 = if args.quick { 1_024 } else { 2_048 };
+    let per_field = 8;
+    let proposals = if args.quick { 3_000usize } else { 6_000 };
+    let reps = 5;
+    let line = 128u64;
+    let (hotness, edges) = random_edges(n, per_field, 0x5EA7C4);
+    let rec = record_u64(n as usize);
+    let flg = Flg::from_parts(RecordId(0), hotness, edges.iter().copied());
+    let start = cluster(&flg, &rec, line);
+
+    let mut trace: Vec<(Move, bool)> = Vec::with_capacity(proposals);
+    {
+        let mut d = DeltaObjective::new(&flg, &rec, &start, line);
+        let mut rng = SplitMix64::new(0xACCE97);
+        let mut rejected = 0u64;
+        while trace.len() < proposals {
+            let m = propose_move(&mut rng, &d, n);
+            let Some(est) = d.score_move(m) else { continue };
+            let accept = est > 0.0 || {
+                rejected += 1;
+                rejected.is_multiple_of(3)
+            };
+            if accept {
+                d.apply(m);
+            }
+            trace.push((m, accept));
+        }
+    }
+
+    let full_score = |d: &DeltaObjective<'_, Flg>| -> f64 {
+        let cand: Vec<Vec<FieldIdx>> = d.clusters().to_vec();
+        cand.iter().map(|c| canonical_cluster_sum(&flg, c)).sum()
+    };
+
+    let mut dense_s = Vec::new();
+    let mut dense_trace: Vec<u64> = Vec::new();
+    for rep in 0..reps {
+        let mut d = DeltaObjective::new(&flg, &rec, &start, line);
+        let mut committed: Vec<u64> = Vec::with_capacity(trace.len());
+        let mut checksum = 0.0f64;
+        let ((), td) = time(|| {
+            for &(m, accept) in &trace {
+                let est = d.score_move(m).expect("trace moves stay feasible");
+                checksum += est;
+                if accept {
+                    d.apply(m);
+                    committed.push(d.score().to_bits());
+                }
+            }
+        });
+        dense_s.push(td);
+        assert!(checksum.is_finite(), "delta estimates overflowed");
+        if rep == 0 {
+            dense_trace = committed;
+        } else {
+            assert_eq!(dense_trace, committed, "delta replay diverged across reps");
+        }
+    }
+
+    let mut reference_s = Vec::new();
+    if args.reference {
+        for _ in 0..reps {
+            let mut d = DeltaObjective::new(&flg, &rec, &start, line);
+            let mut committed: Vec<u64> = Vec::with_capacity(trace.len());
+            let mut checksum = 0.0f64;
+            let ((), tr) = time(|| {
+                for &(m, accept) in &trace {
+                    if accept {
+                        d.apply(m);
+                        committed.push(full_score(&d).to_bits());
+                    } else {
+                        checksum += full_score(&d);
+                    }
+                }
+            });
+            reference_s.push(tr);
+            assert!(checksum.is_finite(), "full rescoring overflowed");
+            assert_eq!(
+                dense_trace, committed,
+                "delta and full-rescore committed score traces diverged"
+            );
+        }
+    }
+
+    let mut r = BenchResult {
+        name: "search_delta",
+        work: format!("{n} fields, {proposals} proposals, ~{per_field} edges/field"),
+        reps,
+        dense_s,
+        reference_s,
+        dense_jobs_s: None,
+        jobs: args.jobs,
+        peak_rss_kb: peak_rss_kb(),
+        batch_peak_rss_kb: None,
+        delta_full_ratio: None,
+    };
+    r.delta_full_ratio = r.speedup();
+    r
 }
 
 // ------------------------------------------------------------------ json
@@ -547,6 +717,9 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
                 r.speedup().expect("reference measured")
             ));
         }
+        if let Some(ratio) = r.delta_full_ratio {
+            fields.push(format!("      \"delta_full_ratio\": {ratio:.3}"));
+        }
         if let Some(kb) = r.peak_rss_kb {
             fields.push(format!("      \"peak_rss_kb\": {kb}"));
         }
@@ -564,7 +737,7 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
         benches.push(format!("    {{\n{}\n    }}", fields.join(",\n")));
     }
     let doc = format!(
-        "{{\n  \"schema\": \"slopt-perf-report/3\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"host_cores\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"slopt-perf-report/4\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"host_cores\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
         args.quick,
         args.jobs,
         host_cores(),
@@ -597,6 +770,7 @@ fn main() {
         bench_engine(&args),
         bench_cc(&args),
         bench_flg_cluster(&args),
+        bench_search_delta(&args),
     ];
 
     for r in &results {

@@ -8,10 +8,13 @@
 use slopt_bench::{figure_fault_obs, CheckpointSpec, RunnerArgs};
 use slopt_core::{to_dot, DotOptions, ToolParams};
 use slopt_fault::exit;
+use slopt_ir::types::RecordId;
+use slopt_search::{Portfolio, SearchParams};
 use slopt_sim::AccessClass;
 use slopt_workload::{
     analyze_obs, baseline_layouts, build_kernel, compute_paper_layouts_jobs_obs, layouts_with,
-    measure_jobs, run_once_obs, suggest_for_obs, AnalysisConfig, LayoutKind, Machine, SdetConfig,
+    measure_jobs, run_once_obs, search_for_obs, stress_records, stress_workload, suggest_for_obs,
+    validate_top_k, AnalysisConfig, KernelAnalysis, LayoutKind, Machine, SdetConfig, WorkloadSpec,
 };
 use std::path::PathBuf;
 
@@ -104,6 +107,17 @@ USAGE:
         cells, print partial results, and exit 4. --deadline-ms bounds
         each grid item cooperatively.
 
+    slopt-tool search [--stress | --program FILE] [--struct NAME]
+                      [--seed S] [--chains C] [--steps K]
+                      [--validate-top T] [--jobs N] [--cpus N]
+        Run the slopt-search annealing portfolio against the greedy
+        clustering and validate the winner in simulated cycles. By
+        default on the built-in kernel (where greedy is already
+        optimal); --stress uses the shipped stress workload whose
+        affinity structure greedy provably mishandles; --program runs a
+        user workload file. Deterministic per --seed and bit-identical
+        for every --jobs value.
+
     slopt-tool stats <trace.jsonl>
         Replay a saved run trace and print the aggregate counter/span
         table it implies.
@@ -111,7 +125,7 @@ USAGE:
     slopt-tool help
         This text.
 
-OBSERVABILITY (advise, simulate, figures):
+OBSERVABILITY (advise, simulate, figures, search):
     --trace-out <path>   Write a machine-readable run trace (slopt-trace/1
                          JSONL, Chrome trace events) to <path>.
     --stats              Print the aggregate counter/span summary table at
@@ -504,6 +518,166 @@ pub fn figures(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses an optional unsigned flag, rejecting malformed values.
+fn parse_uint_flag(args: &[String], name: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad {name} `{v}`"))),
+        None => Ok(default),
+    }
+}
+
+/// `slopt-tool search`: run the annealing portfolio against the greedy
+/// clustering on the built-in kernel, the shipped stress workload
+/// (`--stress`), or a user workload file (`--program FILE`), validating
+/// the winner in simulated cycles. Deterministic per `--seed` and
+/// bit-identical for every `--jobs` value.
+pub fn search(args: &[String]) -> Result<(), CliError> {
+    let seed = parse_uint_flag(args, "--seed", 42)?;
+    let chains = parse_uint_flag(args, "--chains", 6)?.max(1) as usize;
+    let steps = parse_uint_flag(args, "--steps", 1_200)? as usize;
+    let top = parse_uint_flag(args, "--validate-top", 2)?.max(1) as usize;
+    let jobs = parse_jobs(args)?;
+    let cpus = parse_cpus(args)?;
+    let obs = obs_from_args(args)?;
+
+    let params = SearchParams {
+        steps,
+        ..SearchParams::default()
+    };
+    let portfolio = Portfolio {
+        chains,
+        master_seed: seed,
+    };
+    let stress = args.iter().any(|a| a == "--stress");
+    if stress && flag_value(args, "--program").is_some() {
+        return Err(CliError::usage("--stress and --program are exclusive"));
+    }
+
+    let analysis_cfg = AnalysisConfig {
+        machine: Machine::superdome(cpus),
+        ..Default::default()
+    };
+    let sdet = SdetConfig::default();
+    eprintln!("[search] seed {seed}, {chains} chains x {steps} steps, validating top {top} ...");
+
+    let better = if stress {
+        let w = stress_workload();
+        let records = select_records(stress_records(&w), flag_value(args, "--struct"))?;
+        let analysis = analyze_obs(&w, &sdet, &analysis_cfg, &obs);
+        search_table(
+            &w, &records, &analysis, &sdet, &params, portfolio, top, jobs, &obs,
+        )
+    } else if let Some(path) = flag_value(args, "--program") {
+        let input = std::fs::read_to_string(path)
+            .map_err(|e| CliError::bad_input(format!("reading {path}: {e}")))?;
+        let w = slopt_workload::parse_workload_file(&input)
+            .map_err(|e| CliError::bad_input(format!("{path}:{e}")))?;
+        let all: Vec<(String, RecordId)> = w
+            .program()
+            .registry()
+            .records()
+            .map(|(id, ty)| (ty.name().to_string(), id))
+            .collect();
+        let records = select_records(all, flag_value(args, "--struct"))?;
+        let analysis = analyze_obs(&w, &sdet, &analysis_cfg, &obs);
+        search_table(
+            &w, &records, &analysis, &sdet, &params, portfolio, top, jobs, &obs,
+        )
+    } else {
+        let kernel = build_kernel();
+        let all: Vec<(String, RecordId)> = kernel
+            .records
+            .all()
+            .iter()
+            .map(|&(l, r)| (l.to_string(), r))
+            .collect();
+        let wanted = flag_value(args, "--struct").map(str::to_ascii_uppercase);
+        let records = select_records(all, wanted.as_deref())?;
+        let analysis = analyze_obs(&kernel, &sdet, &analysis_cfg, &obs);
+        search_table(
+            &kernel, &records, &analysis, &sdet, &params, portfolio, top, jobs, &obs,
+        )
+    };
+    let (better, total) = better;
+    println!("search: strictly better objective than greedy on {better}/{total} structs");
+    finish_obs(args, &obs);
+    Ok(())
+}
+
+/// Filters a record list down to `--struct NAME` when given.
+fn select_records(
+    all: Vec<(String, RecordId)>,
+    wanted: Option<&str>,
+) -> Result<Vec<(String, RecordId)>, CliError> {
+    match wanted {
+        None => Ok(all),
+        Some(name) => {
+            let hit: Vec<_> = all.iter().filter(|(n, _)| n == name).cloned().collect();
+            if hit.is_empty() {
+                let known: Vec<&str> = all.iter().map(|(n, _)| n.as_str()).collect();
+                return Err(CliError::usage(format!(
+                    "no struct `{name}` (known: {})",
+                    known.join(", ")
+                )));
+            }
+            Ok(hit)
+        }
+    }
+}
+
+/// Runs the greedy-vs-search comparison over one workload's records and
+/// prints its table. Returns `(strictly_better, total)`.
+#[allow(clippy::too_many_arguments)]
+fn search_table<W: WorkloadSpec + Sync>(
+    w: &W,
+    records: &[(String, RecordId)],
+    analysis: &KernelAnalysis,
+    sdet: &SdetConfig,
+    params: &SearchParams,
+    portfolio: Portfolio,
+    top: usize,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> (usize, usize) {
+    let tool = ToolParams::default();
+    let machine = Machine::superdome(16);
+    let runs = 5;
+    println!(
+        "{:<12} {:>14} {:>14} {:>12}  {:>10}",
+        "struct", "greedy obj", "search obj", "delta", "sim-vs-tool%"
+    );
+    let mut better = 0usize;
+    for (name, rec) in records {
+        let rec = *rec;
+        let search = search_for_obs(w, analysis, rec, tool, params, portfolio, jobs, obs);
+        let (validated, best_i) = validate_top_k(w, &search, tool, &machine, sdet, top, runs, jobs);
+        let suggestion = suggest_for_obs(w, analysis, rec, tool, obs);
+        let tool_tp = measure_jobs(
+            w,
+            &layouts_with(w, sdet.line_size, rec, suggestion.layout.clone()),
+            &machine,
+            sdet,
+            runs,
+            jobs,
+        );
+        let win = search.outcome.winner();
+        if search.outcome.improved() {
+            better += 1;
+        }
+        println!(
+            "{:<12} {:>14.6} {:>14.6} {:>+12.6}  {:>+10.2}",
+            name,
+            search.outcome.greedy_score,
+            win.score,
+            win.score - search.outcome.greedy_score,
+            validated[best_i].throughput.pct_vs(&tool_tp),
+        );
+    }
+    (better, records.len())
+}
+
 /// `slopt-tool stats <trace.jsonl>`: replay a saved `slopt-trace/1` run
 /// trace and print the aggregate counter/span table it implies.
 pub fn stats(args: &[String]) -> Result<(), CliError> {
@@ -613,6 +787,37 @@ mod tests {
             assert_eq!(parse_cpus(&args).unwrap_err().code, exit::USAGE, "{bad:?}");
         }
         assert_eq!(parse_cpus(&[]).unwrap(), 16);
+    }
+
+    #[test]
+    fn search_flag_conflicts_and_bad_values_are_usage_errors() {
+        let both: Vec<String> = ["--stress", "--program", "x.sirw"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(search(&both).unwrap_err().code, exit::USAGE);
+        let bad_seed: Vec<String> = ["--seed", "xyz"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(search(&bad_seed).unwrap_err().code, exit::USAGE);
+    }
+
+    #[test]
+    fn search_rejects_unknown_struct_with_known_names() {
+        let args: Vec<String> = ["--stress", "--struct", "nope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = search(&args).unwrap_err();
+        assert_eq!(err.code, exit::USAGE);
+        assert!(err.message.contains("dcache_ent"), "{}", err.message);
+    }
+
+    #[test]
+    fn search_rejects_missing_program_file() {
+        let args: Vec<String> = ["--program", "/nonexistent/w.sirw"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(search(&args).unwrap_err().code, exit::BAD_INPUT);
     }
 
     #[test]

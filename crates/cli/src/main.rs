@@ -5,11 +5,12 @@
 //! slopt-tool advise [--struct A|B|C|D|E] [--out DIR] [--cpus N]
 //! slopt-tool simulate [--machine bus4|superdome16|superdome128]
 //! slopt-tool figures [--scale N] [--jobs N] [--fault-plan SPEC]
+//! slopt-tool search [--stress | --program FILE] [--seed S] [--jobs N]
 //! slopt-tool stats <trace.jsonl>
 //! slopt-tool help
 //! ```
 //!
-//! `advise`, `simulate` and `figures` additionally accept
+//! `advise`, `simulate`, `figures` and `search` additionally accept
 //! `--trace-out <path>` (machine-readable `slopt-trace/1` JSONL run
 //! trace) and `--stats` (aggregate counter/span summary at exit).
 //!
@@ -41,6 +42,7 @@ fn main() -> ExitCode {
         "advise" => commands::advise(rest),
         "simulate" => commands::simulate(rest),
         "figures" => commands::figures(rest),
+        "search" => commands::search(rest),
         "stats" => commands::stats(rest),
         "help" | "--help" | "-h" => {
             commands::print_help();

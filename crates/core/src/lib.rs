@@ -52,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cluster;
+pub mod delta;
 pub mod dot;
 pub mod flg;
 pub mod gvl;
@@ -65,6 +66,7 @@ pub mod subgraph;
 pub mod transform;
 
 pub use cluster::{cluster, cluster_with, cluster_with_obs, Clustering};
+pub use delta::{canonical_cluster_sum, clustering_score_with, DeltaObjective, Move};
 pub use dot::{to_dot, DotOptions};
 pub use flg::{reference::FlgRef, Flg, FlgParams, FlgView};
 pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, SectionLayout};

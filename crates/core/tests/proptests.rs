@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use slopt_core::{
-    best_effort_layout, cluster, constrained_layout, important_subgraph, Constraints, Flg,
-    SubgraphParams,
+    best_effort_layout, canonical_cluster_sum, cluster, constrained_layout, important_subgraph,
+    Constraints, DeltaObjective, Flg, Move, SubgraphParams,
 };
 use slopt_ir::layout::StructLayout;
 use slopt_ir::types::{FieldIdx, FieldType, PrimType, RecordId, RecordType};
@@ -127,6 +127,82 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The delta evaluator's committed score is bit-identical to a full
+    /// canonical recompute of its cluster list after every applied move
+    /// of a random mutation sequence, on records with mixed field sizes
+    /// and alignments (where the packing/capacity cache earns its keep).
+    #[test]
+    fn delta_objective_matches_full_recompute_bitwise(
+        flg in arb_flg(14),
+        tys in prop::collection::vec(0usize..6, 14),
+        raw_moves in prop::collection::vec(
+            (0u8..4, any::<u32>(), any::<u32>(), any::<u32>()),
+            0..80,
+        ),
+        line_pow in 5u32..8,
+    ) {
+        let n = flg.field_count();
+        let line = 1u64 << line_pow; // 32, 64 or 128
+        let palette = [
+            FieldType::Prim(PrimType::U8),
+            FieldType::Prim(PrimType::U16),
+            FieldType::Prim(PrimType::U32),
+            FieldType::Prim(PrimType::U64),
+            FieldType::Array { elem: PrimType::U8, len: 24 },
+            FieldType::Array { elem: PrimType::U16, len: 16 },
+        ];
+        let rec = RecordType::new(
+            "R",
+            (0..n)
+                .map(|i| (format!("f{i}"), palette[tys[i]].clone()))
+                .collect::<Vec<_>>(),
+        );
+        let start = cluster(&flg, &rec, line);
+        let mut d = DeltaObjective::new(&flg, &rec, &start, line);
+        let full = |d: &DeltaObjective<'_, Flg>| -> f64 {
+            d.clusters().iter().map(|c| canonical_cluster_sum(&flg, c)).sum()
+        };
+        prop_assert_eq!(d.score().to_bits(), full(&d).to_bits());
+        for (kind, a, b, c) in raw_moves {
+            let k = d.cluster_count();
+            let m = match kind {
+                0 => Move::MoveField {
+                    field: FieldIdx(a % n as u32),
+                    dst: (b as usize) % (k + 1),
+                },
+                1 => Move::SwapFields {
+                    a: FieldIdx(a % n as u32),
+                    b: FieldIdx(b % n as u32),
+                },
+                2 => {
+                    let cl = (a as usize) % k;
+                    let len = d.clusters()[cl].len();
+                    if len < 2 {
+                        continue;
+                    }
+                    Move::Split { cluster: cl, at: 1 + (b as usize) % (len - 1) }
+                }
+                _ => Move::Merge {
+                    dst: (a as usize) % k,
+                    src: (c as usize) % k,
+                },
+            };
+            // Feasible moves apply regardless of gain sign: the contract
+            // under test is score maintenance, not hill climbing.
+            if d.score_move(m).is_some() {
+                d.apply(m);
+                prop_assert_eq!(
+                    d.score().to_bits(),
+                    full(&d).to_bits(),
+                    "after {:?}", m
+                );
+            }
+        }
+        // The final state is still a partition of the field set.
+        let clustering = d.into_clustering();
+        prop_assert_eq!(clustering.field_count(), n);
     }
 
     /// With no edges at all, the constrained edit is the identity.

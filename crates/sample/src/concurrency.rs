@@ -584,6 +584,12 @@ fn interval_minsum_sparse(cells: &[Cell], scratch: &mut MinsumScratch, acc: &mut
     }
 }
 
+/// Below this many distinct cells the final fold stays serial: spawning
+/// workers and merging their triangular accumulators dominates the fold
+/// itself on small inputs. The quick `cc_stream` workload (~40k cells)
+/// lands under the threshold; the full one (~570k cells) stays parallel.
+pub(crate) const PARALLEL_FINISH_MIN_CELLS: usize = 1 << 17;
+
 /// What [`cells_finish`] computed, for the callers' instrumentation.
 pub(crate) struct CellsOutcome {
     /// The finished map.
@@ -610,9 +616,20 @@ pub(crate) struct CellsOutcome {
 /// [`interval_minsum`] into a private accumulator, and accumulators merge
 /// by exact `u64` addition (commutative and associative, hence
 /// independent of grouping and merge order).
+///
+/// Folds smaller than [`PARALLEL_FINISH_MIN_CELLS`] run serially: thread
+/// fan-out plus the pairwise accumulator merge cost more than the fold
+/// itself on small inputs (the quick `cc_stream` bench regressed to a
+/// 0.49× "speedup" at `jobs = 4`), and since grouping never changes the
+/// result, clamping `jobs` is invisible outside wall-clock time.
 pub(crate) fn cells_finish(cells: &[(u128, u64)], jobs: usize) -> CellsOutcome {
     debug_assert!(!cells.is_empty());
     debug_assert!(cells.windows(2).all(|w| w[0].0 < w[1].0));
+    let jobs = if cells.len() < PARALLEL_FINISH_MIN_CELLS {
+        1
+    } else {
+        jobs
+    };
 
     // Intern lines and CPUs exactly as before: sorted distinct values.
     let interner = LineInterner::from_lines(

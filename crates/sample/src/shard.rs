@@ -73,6 +73,12 @@ const HEADER_LEN: usize = 32;
 const RECORD_LEN: usize = 24;
 /// Shard file extension.
 pub const SHARD_EXT: &str = "slshard";
+/// Below this many total shard bytes, [`shard_concurrency_obs`] ingests
+/// serially: record decoding is cheaper than worker fan-out plus sorted
+/// run merges at that size (the quick `cc_stream` bench, ~1 MB of
+/// shards, paid a 2× wall-clock penalty at `jobs = 4`). The clamp never
+/// changes outputs — ingestion is chunking-independent.
+pub const PARALLEL_INGEST_MIN_BYTES: u64 = 4 << 20;
 
 /// Why a shard could not be ingested. Every variant is a *skip*, never a
 /// panic: the fold continues with the remaining shards.
@@ -628,6 +634,11 @@ pub fn shard_concurrency(
 /// Cell counts sum exactly, so the merged cell store — and hence the
 /// final map, the stats and the warning order — are identical to the
 /// serial fold's for every `jobs` value.
+///
+/// Shard sets smaller than [`PARALLEL_INGEST_MIN_BYTES`] in total ingest
+/// serially: decoding a megabyte of records is cheaper than spawning
+/// workers and merging their sorted runs, and the chunking-independence
+/// argument above means the clamp cannot change any output.
 pub fn shard_concurrency_obs(
     dir: &Path,
     cfg: ConcurrencyConfig,
@@ -641,6 +652,16 @@ pub fn shard_concurrency_obs(
         let reader = ShardReader::open(dir)?;
         stats.shards_missing = reader.missing();
         let paths = reader.paths();
+        let total_bytes: u64 = paths
+            .iter()
+            .filter_map(|p| fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        let jobs = if total_bytes < PARALLEL_INGEST_MIN_BYTES {
+            1
+        } else {
+            jobs
+        };
         let chunk_size = paths.len().div_ceil(jobs.max(1)).max(1);
         let chunks: Vec<&[PathBuf]> = paths.chunks(chunk_size).collect();
         type ChunkFold = (StreamingConcurrency, u64, u64, Vec<(PathBuf, ShardError)>);

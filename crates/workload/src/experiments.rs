@@ -40,6 +40,10 @@ pub enum LayoutKind {
     SortByHotness,
     /// The §5.2 constrained edit of the baseline.
     Constrained,
+    /// Stochastic portfolio search over the FLG objective (see
+    /// [`crate::search`]); not part of the paper's figures, used by the
+    /// greedy-vs-search comparison.
+    Search,
 }
 
 impl fmt::Display for LayoutKind {
@@ -48,6 +52,7 @@ impl fmt::Display for LayoutKind {
             LayoutKind::Tool => "tool",
             LayoutKind::SortByHotness => "sort-by-hotness",
             LayoutKind::Constrained => "constrained",
+            LayoutKind::Search => "search",
         };
         f.write_str(s)
     }
@@ -71,12 +76,17 @@ impl PaperLayouts {
     ///
     /// # Panics
     ///
-    /// Panics if `rec` is not one of the kernel records.
+    /// Panics if `rec` is not one of the kernel records, or if `kind` is
+    /// [`LayoutKind::Search`] — search layouts are seeded and produced on
+    /// demand by [`crate::search::search_for`], not stored here.
     pub fn layout(&self, rec: RecordId, kind: LayoutKind) -> &StructLayout {
         match kind {
             LayoutKind::Tool => &self.suggestions[&rec].layout,
             LayoutKind::SortByHotness => &self.hotness[&rec],
             LayoutKind::Constrained => &self.constrained[&rec],
+            LayoutKind::Search => {
+                panic!("search layouts are derived on demand by workload::search")
+            }
         }
     }
 }

@@ -19,6 +19,11 @@
 //! * [`experiments`] — figure drivers: derive the tool / sort-by-hotness /
 //!   constrained layouts once, then measure each against the baseline on
 //!   any machine (Figures 8, 9, 10).
+//! * [`mod@search`] — greedy-vs-search: the `slopt-search` annealing
+//!   portfolio run on the tool's own per-record FLG, with the top-k
+//!   candidates validated in simulated cycles.
+//! * [`stress`] — a shipped workload spec whose affinity structure traps
+//!   the greedy clustering in a local optimum the search escapes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,7 +32,9 @@ pub mod analyze;
 pub mod experiments;
 pub mod kernel;
 pub mod sdet;
+pub mod search;
 pub mod spec;
+pub mod stress;
 pub mod structs;
 pub mod validate;
 
@@ -45,6 +52,8 @@ pub use sdet::{
     baseline_layouts, build_scripts, layouts_with, measure, measure_jobs, measurement_seeds,
     run_once, run_once_logged, run_once_obs, Instances, Machine, SdetConfig, SdetRun, Throughput,
 };
+pub use search::{search_for, search_for_obs, validate_top_k, StructSearch, ValidatedCandidate};
 pub use spec::{parse_workload_file, SpecError};
+pub use stress::{stress_records, stress_workload, SEARCH_STRESS_SPEC};
 pub use structs::{KernelRecords, STAT_CLASSES};
 pub use validate::{ground_truth_loss, GroundTruthLoss};

@@ -26,6 +26,7 @@
 //! | [`sim`] | `slopt-sim` | execution-driven multiprocessor simulator: MESI coherence, hierarchical topology, false-sharing miss classification |
 //! | [`sample`] | `slopt-sample` | PMU-style whole-system sampling and *Code Concurrency* estimation |
 //! | [`core`] | `slopt-core` | the paper's algorithm: FLG construction, greedy clustering, layout generation, baselines, advisory reports |
+//! | [`search`] | `slopt-search` | stochastic layout superoptimization: seeded annealing chains over the FLG objective with delta evaluation |
 //! | [`workload`] | `slopt-workload` | a synthetic HP-UX-like kernel plus an SDET-like multi-user throughput workload |
 //! | [`obs`] | `slopt-obs` | zero-dependency instrumentation: hierarchical spans, counters, `slopt-trace/1` JSONL run traces |
 //! | [`fault`] | `slopt-fault` | seed-deterministic fault plans, fault-injectable I/O, the shared process exit-code vocabulary |
@@ -76,6 +77,7 @@ pub use slopt_fault as fault;
 pub use slopt_ir as ir;
 pub use slopt_obs as obs;
 pub use slopt_sample as sample;
+pub use slopt_search as search;
 pub use slopt_sim as sim;
 pub use slopt_workload as workload;
 
