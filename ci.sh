@@ -55,7 +55,29 @@ echo "== trace lint (fig9 --trace-out round-trip) =="
 TRACE_TMP="$(mktemp /tmp/slopt_trace.XXXXXX.jsonl)"
 cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 --trace-out "$TRACE_TMP" > /dev/null
 cargo run --release --offline -p slopt-obs --bin trace_lint -- "$TRACE_TMP"
-rm -f "$TRACE_TMP"
+
+echo "== trace_diff determinism gate (two same-seed serial fig9 runs) =="
+# Everything deterministic in the trace — span counts, counters, workload
+# histograms — must be bit-identical between two serial runs on the same
+# seed; only timestamps (and the timing-derived gauges/span histograms
+# trace_diff already excludes) may move. Exit 0 plus an explicit zero in
+# the result line is the gate.
+TRACE_TMP2="$(mktemp /tmp/slopt_trace2.XXXXXX.jsonl)"
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 --trace-out "$TRACE_TMP2" > /dev/null
+DIFF_OUT="$(cargo run --release --offline -p slopt-obs --bin trace_diff -- "$TRACE_TMP" "$TRACE_TMP2")"
+echo "$DIFF_OUT" | grep -q "result: 0 structural delta(s), 0 timing breach(es)" \
+    || { echo "trace_diff found deltas between same-seed runs:"; echo "$DIFF_OUT"; exit 1; }
+
+echo "== slopt-tool stats --prom (Prometheus exposition self-check) =="
+# `stats --prom` runs the exposition text through the built-in format
+# validator before printing; the greps double-check the histogram family
+# made it out with its +Inf terminator.
+PROM_TMP="$(mktemp /tmp/slopt_prom.XXXXXX.txt)"
+cargo run --release --offline -p slopt-cli -- stats "$TRACE_TMP" --prom > "$PROM_TMP"
+grep -q '^# TYPE slopt_' "$PROM_TMP"
+grep -q '_bucket{le="+Inf"}' "$PROM_TMP"
+grep -q '_count ' "$PROM_TMP"
+rm -f "$TRACE_TMP" "$TRACE_TMP2" "$PROM_TMP"
 
 echo "== trace lint (resumed fig9 run round-trips through trace_lint) =="
 CKPT_TMP="$(mktemp -d /tmp/slopt_ckpt.XXXXXX)"

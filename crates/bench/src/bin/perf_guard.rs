@@ -11,7 +11,9 @@
 //! When both reports carry `dense_trimmed_mean_s` (schema /3) the gate
 //! compares trimmed means — per-rep and outlier-robust, so it survives a
 //! rep-count change between baseline and fresh; older reports fall back
-//! to `dense_serial_total_s`. Reads `slopt-perf-report/1` through `/4`.
+//! to `dense_serial_total_s`. Reads `slopt-perf-report/1` through `/5`
+//! (schema /5 adds advisory `dense_p50_s` / `dense_p99_s` quantiles,
+//! which the gate ignores — `trace_diff` is the tool for reading them).
 //!
 //! **Growth floors.** Beyond no-regression, the gate can enforce that a
 //! claimed win actually holds:

@@ -50,7 +50,7 @@
 //! `--out PATH` (default `BENCH_sim.json`), `--no-reference` (skip the
 //! old implementations: faster, but no speedup column).
 //!
-//! Schema: `slopt-perf-report/4`. Version 2 added a `peak_rss_kb` field
+//! Schema: `slopt-perf-report/5`. Version 2 added a `peak_rss_kb` field
 //! per bench — the process's high-water resident set (Linux `VmHWM`,
 //! absent elsewhere) sampled right after the bench finishes. Version 3
 //! adds per-bench `dense_trimmed_mean_s` / `reference_trimmed_mean_s`
@@ -61,8 +61,14 @@
 //! one (wall-clock speedup > 1 needs more cores than workers). Version
 //! 4 adds the `search_delta` bench and its `delta_full_ratio` field
 //! (the per-proposal cost ratio of full rescoring over delta
-//! evaluation). All earlier fields are unchanged, so /1–/3 consumers
-//! can read /4 reports by ignoring the new fields.
+//! evaluation). Version 5 adds per-bench `dense_p50_s` / `dense_p99_s`:
+//! the per-rep wall clocks folded (at nanosecond resolution) into the
+//! same deterministic log2 `slopt_obs::Histogram` the profiling layer
+//! uses for span durations, so the committed baseline carries tail
+//! behavior alongside the trimmed mean and `trace_diff` deltas can be
+//! read against the same quantile rule. All earlier fields are
+//! unchanged, so /1–/4 consumers can read /5 reports by ignoring the
+//! new fields.
 
 use slopt_bench::runner::parse_jobs;
 use slopt_core::{canonical_cluster_sum, cluster, cluster_with, DeltaObjective, Flg, FlgRef, Move};
@@ -173,6 +179,18 @@ impl BenchResult {
     }
     fn reference_total(&self) -> f64 {
         self.reference_s.iter().sum()
+    }
+    /// Per-rep dense wall clocks folded into the deterministic log2
+    /// histogram at nanosecond resolution — the same structure (and
+    /// therefore the same quantile rule) the profiling layer uses for
+    /// span durations, so report quantiles and `trace_diff` deltas are
+    /// comparable like for like.
+    fn dense_hist(&self) -> slopt_obs::Histogram {
+        let mut h = slopt_obs::Histogram::new();
+        for &s in &self.dense_s {
+            h.record((s * 1e9) as u64);
+        }
+        h
     }
     /// Trimmed-mean ratio of reference over dense — robust to one noisy
     /// rep on either side.
@@ -699,6 +717,12 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
                 trimmed_mean(&r.dense_s)
             ),
         ];
+        let hist = r.dense_hist();
+        if !hist.is_empty() {
+            let s = hist.summary();
+            fields.push(format!("      \"dense_p50_s\": {:.6}", s.p50 as f64 / 1e9));
+            fields.push(format!("      \"dense_p99_s\": {:.6}", s.p99 as f64 / 1e9));
+        }
         if !r.reference_s.is_empty() {
             fields.push(format!(
                 "      \"reference_serial_s\": {}",
@@ -737,7 +761,7 @@ fn write_report(path: &str, args: &Args, results: &[BenchResult]) -> std::io::Re
         benches.push(format!("    {{\n{}\n    }}", fields.join(",\n")));
     }
     let doc = format!(
-        "{{\n  \"schema\": \"slopt-perf-report/4\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"host_cores\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"slopt-perf-report/5\",\n  \"quick\": {},\n  \"jobs\": {},\n  \"host_cores\": {},\n  \"equivalence_checked\": {},\n  \"benches\": [\n{}\n  ]\n}}\n",
         args.quick,
         args.jobs,
         host_cores(),

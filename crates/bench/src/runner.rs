@@ -385,16 +385,20 @@ pub fn measure_cells_fault_obs(
     let measure_item = |i: usize, c: usize, seed: u64, attempt: u32| -> f64 {
         let _cell = obs.span("measure_cell");
         let cell = &cells[c];
-        let value = run_once(
+        let out = run_once(
             kernel,
             &cell.table,
             &cell.machine,
             &cell.sdet,
             seed,
             &mut slopt_sim::NullObserver,
-        )
-        .result
-        .throughput();
+        );
+        // Per-cell simulated makespan distribution. Simulated cycles are
+        // a pure function of (cell, seed), so unlike the wall-clock span
+        // histograms this one is bit-identical at any --jobs value and
+        // trace_diff compares it structurally.
+        obs.histogram("figure.cell_makespan", out.result.makespan);
+        let value = out.result.throughput();
         if let Some(ck) = &ckpt {
             let dropped = fault.is_some_and(|f| {
                 f.plan

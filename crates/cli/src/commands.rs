@@ -118,9 +118,16 @@ USAGE:
         user workload file. Deterministic per --seed and bit-identical
         for every --jobs value.
 
-    slopt-tool stats <trace.jsonl>
-        Replay a saved run trace and print the aggregate counter/span
-        table it implies.
+    slopt-tool stats <trace.jsonl> [--prom]
+        Replay a saved run trace and print the aggregate counter/span/
+        histogram table it implies. --prom renders the same aggregates in
+        Prometheus text exposition format instead (for scrapers; the
+        output is self-checked before printing).
+
+    slopt-tool flame <trace.jsonl>
+        Export a saved run trace as a folded-stack profile (FlameGraph
+        collapsed format; value = self time in microseconds). Render with
+        `slopt-tool flame run.jsonl | flamegraph.pl > run.svg`.
 
     slopt-tool help
         This text.
@@ -678,17 +685,46 @@ fn search_table<W: WorkloadSpec + Sync>(
     (better, records.len())
 }
 
-/// `slopt-tool stats <trace.jsonl>`: replay a saved `slopt-trace/1` run
-/// trace and print the aggregate counter/span table it implies.
+/// `slopt-tool stats <trace.jsonl> [--prom]`: replay a saved
+/// `slopt-trace/1` run trace and print the aggregate counter/span/
+/// histogram table it implies — or, with `--prom`, the same aggregates in
+/// Prometheus text exposition format (self-checked before printing).
 pub fn stats(args: &[String]) -> Result<(), CliError> {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err(CliError::usage("usage: slopt-tool stats <trace.jsonl>"));
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        return Err(CliError::usage(
+            "usage: slopt-tool stats <trace.jsonl> [--prom]",
+        ));
     };
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::bad_input(format!("reading {path}: {e}")))?;
     let summary = slopt_obs::replay::replay_str(&text)
         .map_err(|e| CliError::bad_input(format!("{path}: {e}")))?;
-    print!("{summary}");
+    if args.iter().any(|a| a == "--prom") {
+        let snap = slopt_obs::prom::MetricsSnapshot::from_replay(&summary);
+        let exposition = snap.to_prometheus();
+        // Self-check: never emit an exposition a scraper would reject.
+        slopt_obs::prom::validate(&exposition)
+            .map_err(|e| CliError::failure(format!("prometheus self-check failed: {e}")))?;
+        print!("{exposition}");
+    } else {
+        print!("{summary}");
+    }
+    Ok(())
+}
+
+/// `slopt-tool flame <trace.jsonl>`: export a saved trace as a folded
+/// stack profile (FlameGraph collapsed format) on stdout, one
+/// `path;to;frame <self_us>` line per distinct span stack. Pipe through
+/// `flamegraph.pl` or `inferno-flamegraph` to render an SVG.
+pub fn flame(args: &[String]) -> Result<(), CliError> {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        return Err(CliError::usage("usage: slopt-tool flame <trace.jsonl>"));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::bad_input(format!("reading {path}: {e}")))?;
+    let summary = slopt_obs::replay::replay_str(&text)
+        .map_err(|e| CliError::bad_input(format!("{path}: {e}")))?;
+    print!("{}", slopt_obs::flame::folded(&summary));
     Ok(())
 }
 
@@ -758,7 +794,31 @@ mod tests {
         obs.finish();
         let args = vec![path.to_string_lossy().into_owned()];
         stats(&args).unwrap();
+        // --prom on the same trace renders a self-checked exposition.
+        let prom_args = vec![args[0].clone(), "--prom".to_string()];
+        stats(&prom_args).unwrap();
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flame_exports_a_written_trace() {
+        let path = std::env::temp_dir().join("slopt_cli_flame_test.jsonl");
+        let obs = slopt_obs::Obs::to_trace_file(&path).unwrap();
+        {
+            let _outer = obs.span("outer");
+            let _inner = obs.span("inner");
+        }
+        obs.finish();
+        let args = vec![path.to_string_lossy().into_owned()];
+        flame(&args).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flame_requires_a_path_and_classifies_bad_input() {
+        assert_eq!(flame(&[]).unwrap_err().code, exit::USAGE);
+        let args = vec!["/nonexistent/trace.jsonl".to_string()];
+        assert_eq!(flame(&args).unwrap_err().code, exit::BAD_INPUT);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! slopt-tool simulate [--machine bus4|superdome16|superdome128]
 //! slopt-tool figures [--scale N] [--jobs N] [--fault-plan SPEC]
 //! slopt-tool search [--stress | --program FILE] [--seed S] [--jobs N]
-//! slopt-tool stats <trace.jsonl>
+//! slopt-tool stats <trace.jsonl> [--prom]
+//! slopt-tool flame <trace.jsonl>
 //! slopt-tool help
 //! ```
 //!
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
         "figures" => commands::figures(rest),
         "search" => commands::search(rest),
         "stats" => commands::stats(rest),
+        "flame" => commands::flame(rest),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

@@ -109,6 +109,12 @@ pub fn suggest_layout_obs(
                 .sum();
             obs.counter("layout.bytes_moved", moved);
         }
+        // Per-struct objective distribution, in milli-units so sub-1.0
+        // scores keep three decimal digits inside the integer histogram.
+        // The score is a pure function of the FLG, so the distribution is
+        // identical at any --jobs value.
+        let score = crate::delta::clustering_score_with(&flg, &clustering);
+        obs.histogram("flg.objective_milli", (score.max(0.0) * 1e3).round() as u64);
     }
     Ok(Suggestion {
         layout,

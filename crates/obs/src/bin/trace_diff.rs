@@ -1,0 +1,233 @@
+//! Compares two `slopt-trace/1` files — the triage tool `perf_guard`
+//! points at when it trips.
+//!
+//! ```text
+//! trace_diff <a.jsonl> <b.jsonl> [--threshold-pct N] [--min-self-us U]
+//! ```
+//!
+//! Two comparisons happen, with different determinism expectations:
+//!
+//! * **Structural** — span completion counts, counter final values, and
+//!   workload histogram contents (count/min/max/buckets). These are pure
+//!   functions of the work done, so two same-seed serial runs must match
+//!   exactly; any delta exits 1. Gauges (tagged `"gauge":true`, e.g.
+//!   worker utilization) and span-duration histograms (`span.*`) are
+//!   timing-derived and excluded.
+//! * **Timing** — per-span total/self microseconds and span-duration p99.
+//!   Always reported for spans above `--min-self-us` (default 100), but
+//!   only *judged* when `--threshold-pct N` is given: any such span whose
+//!   self time or p99 moved more than N% exits 1.
+//!
+//! Exit codes: 0 no deltas, 1 structural delta or threshold breach,
+//! 2 usage or unreadable/invalid input.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use slopt_obs::replay::ReplaySummary;
+use slopt_obs::replay_str;
+
+const USAGE: &str = "usage: trace_diff <a.jsonl> <b.jsonl> [--threshold-pct N] [--min-self-us U]";
+
+struct Args {
+    a: String,
+    b: String,
+    threshold_pct: Option<f64>,
+    min_self_us: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = None;
+    let mut min_self_us = 100.0;
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--threshold-pct" => {
+                let v = it.next().ok_or("--threshold-pct needs a value")?;
+                let v: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold-pct '{v}'"))?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(format!("bad --threshold-pct '{v}'"));
+                }
+                threshold_pct = Some(v);
+            }
+            "--min-self-us" => {
+                let v = it.next().ok_or("--min-self-us needs a value")?;
+                min_self_us = v.parse().map_err(|_| format!("bad --min-self-us '{v}'"))?;
+            }
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if paths.len() != 2 {
+        return Err("expected exactly two trace files".to_string());
+    }
+    let b = paths.pop().unwrap_or_default();
+    let a = paths.pop().unwrap_or_default();
+    Ok(Args {
+        a,
+        b,
+        threshold_pct,
+        min_self_us,
+    })
+}
+
+fn load(path: &str) -> Result<ReplaySummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    replay_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn pct(a: f64, b: f64) -> f64 {
+    if a == 0.0 {
+        if b == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (b - a) / a * 100.0
+    }
+}
+
+/// Structural comparison; returns the number of deltas printed.
+fn diff_structural(a: &ReplaySummary, b: &ReplaySummary) -> usize {
+    let mut deltas = 0;
+
+    let span_names: BTreeSet<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    for name in span_names {
+        let ca = a.spans.get(name).map_or(0, |s| s.count);
+        let cb = b.spans.get(name).map_or(0, |s| s.count);
+        if ca != cb {
+            println!("  span {name}: count {ca} -> {cb}");
+            deltas += 1;
+        }
+    }
+
+    let counter_names: BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+    for name in counter_names {
+        let va = a.counters.get(name).copied();
+        let vb = b.counters.get(name).copied();
+        if va != vb {
+            let fmt = |v: Option<f64>| v.map_or("absent".to_string(), |x| format!("{x}"));
+            println!("  counter {name}: {} -> {}", fmt(va), fmt(vb));
+            deltas += 1;
+        }
+    }
+
+    // Workload histograms are deterministic; span.* duration histograms
+    // are timing and handled in the timing section.
+    let hist_names: BTreeSet<&String> = a
+        .hists
+        .keys()
+        .chain(b.hists.keys())
+        .filter(|n| !n.starts_with("span."))
+        .collect();
+    for name in hist_names {
+        match (a.hists.get(name), b.hists.get(name)) {
+            (Some(ha), Some(hb)) => {
+                if ha.count != hb.count
+                    || ha.min != hb.min
+                    || ha.max != hb.max
+                    || ha.buckets != hb.buckets
+                {
+                    println!(
+                        "  histogram {name}: count {} -> {}, min {} -> {}, max {} -> {}",
+                        ha.count, hb.count, ha.min, hb.min, ha.max, hb.max
+                    );
+                    deltas += 1;
+                }
+            }
+            (pa, _) => {
+                let (present, missing) = if pa.is_some() { ("a", "b") } else { ("b", "a") };
+                println!("  histogram {name}: present in {present}, absent in {missing}");
+                deltas += 1;
+            }
+        }
+    }
+    deltas
+}
+
+/// Timing report; returns the number of threshold breaches (always 0
+/// without `--threshold-pct`).
+fn diff_timing(a: &ReplaySummary, b: &ReplaySummary, args: &Args) -> usize {
+    let mut breaches = 0;
+    let mut header = false;
+    let span_names: BTreeSet<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    for name in span_names {
+        let sa = a.spans.get(name).copied().unwrap_or_default();
+        let sb = b.spans.get(name).copied().unwrap_or_default();
+        if sa.self_us.max(sb.self_us) < args.min_self_us {
+            continue;
+        }
+        if !header {
+            println!(
+                "  {:<40} {:>12} {:>12} {:>8} {:>10} {:>10} {:>8}",
+                "span (timing)", "self_ms_a", "self_ms_b", "self%", "p99_us_a", "p99_us_b", "p99%"
+            );
+            header = true;
+        }
+        let self_pct = pct(sa.self_us, sb.self_us);
+        let key = format!("span.{name}");
+        let p99a = a.hists.get(&key).map_or(0, |h| h.p99) / 1000; // ns -> us
+        let p99b = b.hists.get(&key).map_or(0, |h| h.p99) / 1000;
+        let p99_pct = pct(p99a as f64, p99b as f64);
+        let mut flag = "";
+        if let Some(t) = args.threshold_pct {
+            if self_pct.abs() > t || p99_pct.abs() > t {
+                breaches += 1;
+                flag = "  <-- over threshold";
+            }
+        }
+        println!(
+            "  {:<40} {:>12.3} {:>12.3} {:>7.1}% {:>10} {:>10} {:>7.1}%{}",
+            name,
+            sa.self_us / 1e3,
+            sb.self_us / 1e3,
+            self_pct,
+            p99a,
+            p99b,
+            p99_pct,
+            flag
+        );
+    }
+    breaches
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("trace_diff: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (a, b) = match (load(&args.a), load(&args.b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("trace_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("trace_diff: {} vs {}", args.a, args.b);
+    println!("structural (spans, counters, workload histograms):");
+    let structural = diff_structural(&a, &b);
+    if structural == 0 {
+        println!("  no deltas");
+    }
+    println!("timing (informational unless --threshold-pct):");
+    let breaches = diff_timing(&a, &b, &args);
+    println!("result: {structural} structural delta(s), {breaches} timing breach(es)");
+    if structural > 0 || breaches > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

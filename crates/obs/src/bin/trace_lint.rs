@@ -44,10 +44,13 @@ fn main() -> ExitCode {
     match replay_str(&text) {
         Ok(s) => {
             println!(
-                "{path}: OK ({} events, {} span names, {} counters, {} threads)",
+                "{path}: OK ({} events, {} span names, {} counters, {} gauges, \
+                 {} histograms, {} threads)",
                 s.events,
                 s.spans.len(),
                 s.counters.len(),
+                s.gauges.len(),
+                s.hists.len(),
                 s.tids.len()
             );
             if summary {

@@ -36,12 +36,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flame;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod replay;
 pub mod sink;
 pub mod trace;
 
+pub use histogram::{HistSummary, Histogram};
 pub use metrics::Metrics;
 pub use replay::{lint_str, replay_str, ReplaySummary, SpanStats, TraceError};
 pub use sink::{MemorySink, NullSink, ObsSink, TraceEvent};
@@ -70,6 +74,16 @@ struct State {
     depth: Vec<u64>,
     /// Completed-span aggregation keyed by (name, tid).
     spans: BTreeMap<(String, u64), SpanAgg>,
+    /// Per-span-name duration histograms (ns), fed on every guard drop.
+    /// Keyed by the span's `&'static str` name so drops never allocate.
+    span_hists: BTreeMap<&'static str, Histogram>,
+    /// Workload-level value histograms fed via [`Obs::histogram`].
+    hists: BTreeMap<String, Histogram>,
+    /// Scratch buffer for composed metric names (`warn.<x>`,
+    /// `span.<x>`), reused across calls so hot paths do not allocate.
+    name_buf: String,
+    /// Guards one-shot summary emission in [`Obs::finish`].
+    summarized: bool,
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -123,6 +137,10 @@ impl Obs {
                     tids: HashMap::new(),
                     depth: Vec::new(),
                     spans: BTreeMap::new(),
+                    span_hists: BTreeMap::new(),
+                    hists: BTreeMap::new(),
+                    name_buf: String::new(),
+                    summarized: false,
                 }),
             })),
         }
@@ -198,20 +216,64 @@ impl Obs {
     }
 
     /// [`warning`](Obs::warning) with an explicit occurrence count.
+    ///
+    /// Composes the `warn.<name>` key in a retained scratch buffer so
+    /// hot-path warnings (shard ingest) never allocate per call once the
+    /// buffer has grown to the longest warning name.
     pub fn warning_n(&self, name: &str, count: u64) {
-        if self.enabled() {
-            self.counter(&format!("warn.{name}"), count);
-        }
+        let Some(shared) = &self.shared else { return };
+        let ts = Self::ts_us(shared, Instant::now());
+        let mut st = shared.state.lock().unwrap();
+        let tid = st.tid();
+        let State {
+            metrics,
+            sink,
+            name_buf,
+            ..
+        } = &mut *st;
+        name_buf.clear();
+        name_buf.push_str("warn.");
+        name_buf.push_str(name);
+        let value = metrics.add(name_buf, count);
+        sink.counter(tid, name_buf, value as f64, ts);
     }
 
-    /// Sets gauge `name` to `value` and emits a `C` event.
+    /// Sets gauge `name` to `value` and emits a gauge-tagged `C` event.
+    ///
+    /// Gauges are point-in-time readings (worker utilization, queue
+    /// depth); unlike counters and histograms they are *not* expected to
+    /// be deterministic across runs, so the trace sink tags them and
+    /// `trace_diff` skips them during structural comparison.
     pub fn gauge(&self, name: &str, value: f64) {
         let Some(shared) = &self.shared else { return };
         let ts = Self::ts_us(shared, Instant::now());
         let mut st = shared.state.lock().unwrap();
         let tid = st.tid();
         st.metrics.set_gauge(name, value);
-        st.sink.counter(tid, name, value, ts);
+        st.sink.gauge(tid, name, value, ts);
+    }
+
+    /// Records `value` into the named workload-level histogram and emits
+    /// an `H` event. Buckets are fixed log2 boundaries and counts are
+    /// exact `u64`s, so the aggregate is bit-reproducible at any `--jobs`
+    /// (see [`histogram::Histogram`]).
+    pub fn histogram(&self, name: &str, value: u64) {
+        let Some(shared) = &self.shared else { return };
+        let ts = Self::ts_us(shared, Instant::now());
+        let mut st = shared.state.lock().unwrap();
+        let tid = st.tid();
+        let State { hists, sink, .. } = &mut *st;
+        // get_mut-then-insert instead of entry() so the steady state
+        // (histogram already exists) never allocates the key.
+        match hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                hists.insert(name.to_string(), h);
+            }
+        }
+        sink.hist_value(tid, name, value, ts);
     }
 
     /// A snapshot of everything aggregated so far.
@@ -220,6 +282,14 @@ impl Obs {
             return Summary::default();
         };
         let st = shared.state.lock().unwrap();
+        let mut hists: BTreeMap<String, Histogram> = st
+            .hists
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect();
+        for (name, h) in &st.span_hists {
+            hists.insert(format!("span.{name}"), h.clone());
+        }
         Summary {
             metrics: st.metrics.clone(),
             spans: st
@@ -232,14 +302,39 @@ impl Obs {
                     total_ns: agg.total_ns,
                 })
                 .collect(),
+            hists,
         }
     }
 
-    /// Flushes the sink (writes out any buffered trace lines). Call once
-    /// at end of run; drop order makes this awkward to do implicitly.
+    /// Emits one `S` summary event per histogram (span-duration
+    /// histograms under `span.<name>`, workload histograms under their
+    /// own name), then flushes the sink. Call once at end of run; the
+    /// summary emission is guarded so repeated calls only re-flush.
     pub fn finish(&self) {
         if let Some(shared) = &self.shared {
-            shared.state.lock().unwrap().sink.flush();
+            let ts = Self::ts_us(shared, Instant::now());
+            let mut st = shared.state.lock().unwrap();
+            let tid = st.tid();
+            if !st.summarized {
+                st.summarized = true;
+                let State {
+                    span_hists,
+                    hists,
+                    sink,
+                    name_buf,
+                    ..
+                } = &mut *st;
+                for (name, h) in span_hists.iter() {
+                    name_buf.clear();
+                    name_buf.push_str("span.");
+                    name_buf.push_str(name);
+                    sink.hist_summary(tid, name_buf, h, ts);
+                }
+                for (name, h) in hists.iter() {
+                    sink.hist_summary(tid, name, h, ts);
+                }
+            }
+            st.sink.flush();
         }
     }
 }
@@ -275,6 +370,7 @@ impl Drop for SpanGuard {
             .or_default();
         agg.count += 1;
         agg.total_ns += dur_ns;
+        st.span_hists.entry(self.name).or_default().record(dur_ns);
         let d = &mut st.depth[self.tid as usize];
         *d = d.saturating_sub(1);
     }
@@ -302,9 +398,18 @@ pub struct Summary {
     pub metrics: Metrics,
     /// Span timing rows, ordered by (name, tid).
     pub spans: Vec<SpanRow>,
+    /// Histograms: workload histograms under their own name, span
+    /// duration histograms (ns) under `span.<name>`.
+    pub hists: BTreeMap<String, Histogram>,
 }
 
 impl Summary {
+    /// The named histogram, if any values were recorded into it.
+    /// Span-duration histograms live under `span.<name>`.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
     /// Rows for one span name (one per thread that ran it).
     pub fn span_rows<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRow> {
         self.spans.iter().filter(move |r| r.name == name)
@@ -359,6 +464,21 @@ impl std::fmt::Display for Summary {
                     f,
                     "  {:<40} {:>8} {:>12.3} {:>12.3}",
                     name, agg.count, total_ms, mean_ms
+                )?;
+            }
+        }
+        if !self.hists.is_empty() {
+            writeln!(
+                f,
+                "  {:<40} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            )?;
+            for (name, h) in &self.hists {
+                let s = h.summary();
+                writeln!(
+                    f,
+                    "  {:<40} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                    name, s.count, s.p50, s.p90, s.p99, s.max
                 )?;
             }
         }
@@ -508,6 +628,72 @@ mod tests {
         let off = Obs::disabled();
         off.warning("x");
         assert_eq!(off.summary().warning_total(), 0);
+    }
+
+    #[test]
+    fn histograms_aggregate_and_emit_h_events() {
+        let sink = MemorySink::new();
+        let events = sink.events();
+        let obs = Obs::with_sink(Box::new(sink));
+        obs.histogram("cc.interval_cells", 3);
+        obs.histogram("cc.interval_cells", 900);
+        obs.histogram("flg.objective", 7);
+        let s = obs.summary();
+        let h = s.hist("cc.interval_cells").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!((h.min(), h.max()), (3, 900));
+        assert_eq!(s.hist("flg.objective").unwrap().count(), 1);
+        let got = events.lock().unwrap();
+        let hs: Vec<_> = got.iter().filter(|e| e.ph == 'H').collect();
+        assert_eq!(hs.len(), 3);
+        assert_eq!(hs[0].value, Some(3.0));
+        assert!(s.to_string().contains("cc.interval_cells"));
+    }
+
+    #[test]
+    fn spans_feed_duration_histograms() {
+        let obs = Obs::aggregating();
+        for _ in 0..5 {
+            let _g = obs.span("phase_a");
+        }
+        let s = obs.summary();
+        let h = s.hist("span.phase_a").unwrap();
+        assert_eq!(h.count(), 5);
+        let sum = s.span_total_ns("phase_a");
+        assert_eq!(h.sum(), sum);
+    }
+
+    #[test]
+    fn finish_emits_summaries_once() {
+        let sink = MemorySink::new();
+        let events = sink.events();
+        let obs = Obs::with_sink(Box::new(sink));
+        {
+            let _g = obs.span("work");
+        }
+        obs.histogram("vals", 9);
+        obs.finish();
+        obs.finish(); // second call only re-flushes
+        let got = events.lock().unwrap();
+        let summaries: Vec<_> = got.iter().filter(|e| e.ph == 'S').collect();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].name, "span.work");
+        assert_eq!(summaries[1].name, "vals");
+    }
+
+    #[test]
+    fn warnings_do_not_grow_allocations_per_call() {
+        // Behavioral contract of the retained name buffer: repeated
+        // warnings of the same name keep aggregating correctly.
+        let obs = Obs::aggregating();
+        for _ in 0..100 {
+            obs.warning("shard.skipped.truncated");
+            obs.warning("io");
+        }
+        let s = obs.summary();
+        assert_eq!(s.metrics.counter("warn.shard.skipped.truncated"), 100);
+        assert_eq!(s.metrics.counter("warn.io"), 100);
+        assert_eq!(s.warning_total(), 200);
     }
 
     #[test]

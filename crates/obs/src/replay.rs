@@ -2,12 +2,27 @@
 //!
 //! [`replay_str`] re-aggregates a trace into the same counter/span summary
 //! the live `--stats` sink prints, so `slopt-tool stats <file>` can
-//! inspect a run without re-executing it. [`lint_str`] is the strict
-//! line-by-line validator behind the `trace_lint` bin used in CI.
+//! inspect a run without re-executing it. On top of the flat aggregates it
+//! runs the *attribution* pass: the span tree is reconstructed per thread
+//! (spans nest LIFO per tid), each completion's duration is split into
+//! **self time** (duration minus direct children) and inclusive time, and
+//! every completion's full ancestor path is folded into a stack profile
+//! ([`ReplaySummary::folded`]) that [`crate::flame`] renders in FlameGraph
+//! collapsed format.
+//!
+//! [`lint_str`] is the strict line-by-line validator behind the
+//! `trace_lint` bin used in CI. It understands every phase the trace sink
+//! writes — `M`/`B`/`E`/`C` plus the profiling phases `H` (one histogram
+//! observation) and `S` (end-of-run histogram summary) — and rejects
+//! malformed histogram payloads (out-of-range or descending bucket
+//! indices, non-monotonic cumulative counts, quantiles outside
+//! `[min, max]`, summaries inconsistent with the `H` stream) instead of
+//! silently passing them.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::histogram::{Histogram, BUCKETS};
 use crate::json::{parse, Json};
 use crate::trace::SCHEMA;
 
@@ -33,8 +48,34 @@ impl std::error::Error for TraceError {}
 pub struct SpanStats {
     /// Number of completed B/E pairs.
     pub count: u64,
-    /// Total microseconds across all completions.
+    /// Total (inclusive) microseconds across all completions.
     pub total_us: f64,
+    /// Self microseconds: inclusive time minus time spent in direct
+    /// children. Sums to the trace's total wall-clock span time across
+    /// all names, which is what makes it the right regression unit.
+    pub self_us: f64,
+}
+
+/// One `S` summary event, as parsed off the wire.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplayHist {
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of observations (f64 on the wire).
+    pub sum: f64,
+    /// Exact minimum observation.
+    pub min: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+    /// Median (bucket upper bound clamped to `[min, max]`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets as `(bucket index, cumulative count)`,
+    /// ascending in both.
+    pub buckets: Vec<(usize, u64)>,
 }
 
 /// What a full replay of a trace recovers.
@@ -44,10 +85,21 @@ pub struct ReplaySummary {
     pub schema: String,
     /// Total event lines (including metadata).
     pub events: usize,
-    /// Final cumulative value per counter/gauge name.
+    /// Final cumulative value per counter name (gauge-tagged `C` events
+    /// are kept separately in [`ReplaySummary::gauges`]).
     pub counters: BTreeMap<String, f64>,
+    /// Final value per gauge name (`C` events tagged `"gauge":true`).
+    /// Gauges are point-in-time, usually timing-derived readings, so
+    /// `trace_diff` excludes them from structural comparison.
+    pub gauges: BTreeMap<String, f64>,
     /// Per-name span statistics, aggregated over all threads.
     pub spans: BTreeMap<String, SpanStats>,
+    /// Histogram summaries from `S` events, by name (span-duration
+    /// histograms under `span.<name>`).
+    pub hists: BTreeMap<String, ReplayHist>,
+    /// Folded stack profile: `a;b;c` ancestor path → self microseconds,
+    /// merged across threads. Rendered by [`crate::flame::folded`].
+    pub folded: BTreeMap<String, f64>,
     /// Distinct thread ids that emitted events.
     pub tids: Vec<u64>,
 }
@@ -64,8 +116,8 @@ impl fmt::Display for ReplaySummary {
         if !self.spans.is_empty() {
             writeln!(
                 f,
-                "  {:<40} {:>8} {:>12} {:>12}",
-                "span", "count", "total_ms", "mean_ms"
+                "  {:<40} {:>8} {:>12} {:>12} {:>12}",
+                "span", "count", "total_ms", "self_ms", "mean_ms"
             )?;
             for (name, s) in &self.spans {
                 let total_ms = s.total_us / 1e3;
@@ -76,14 +128,32 @@ impl fmt::Display for ReplaySummary {
                 };
                 writeln!(
                     f,
-                    "  {:<40} {:>8} {:>12.3} {:>12.3}",
-                    name, s.count, total_ms, mean_ms
+                    "  {:<40} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+                    name,
+                    s.count,
+                    total_ms,
+                    s.self_us / 1e3,
+                    mean_ms
                 )?;
             }
         }
-        if !self.counters.is_empty() {
+        if !self.hists.is_empty() {
+            writeln!(
+                f,
+                "  {:<40} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "p50", "p90", "p99", "max"
+            )?;
+            for (name, h) in &self.hists {
+                writeln!(
+                    f,
+                    "  {:<40} {:>8} {:>12} {:>12} {:>12} {:>12}",
+                    name, h.count, h.p50, h.p90, h.p99, h.max
+                )?;
+            }
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
             writeln!(f, "  {:<40} {:>14}", "counter/gauge", "value")?;
-            for (name, v) in &self.counters {
+            for (name, v) in self.counters.iter().chain(self.gauges.iter()) {
                 if v.fract() == 0.0 && v.abs() < 9e15 {
                     writeln!(f, "  {:<40} {:>14}", name, *v as i64)?;
                 } else {
@@ -102,6 +172,101 @@ struct Line {
     tid: u64,
     ts: f64,
     value: Option<f64>,
+    gauge: bool,
+    hist: Option<ReplayHist>,
+}
+
+fn non_negative_u64(v: &Json, field: &str) -> Result<u64, String> {
+    let n = v
+        .get(field)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("S event missing numeric args.{field}"))?;
+    if !(n.is_finite() && n >= 0.0 && n.fract() == 0.0) {
+        return Err(format!("args.{field} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+/// Validates an `S` event's args: all summary fields present, bucket
+/// indices ascending and in range, cumulative counts strictly increasing
+/// and ending at `count`, quantiles ordered and inside `[min, max]`.
+fn check_summary_args(args: &Json) -> Result<ReplayHist, String> {
+    let count = non_negative_u64(args, "count")?;
+    let sum = args
+        .get("sum")
+        .and_then(Json::as_f64)
+        .ok_or("S event missing numeric args.sum")?;
+    let min = non_negative_u64(args, "min")?;
+    let max = non_negative_u64(args, "max")?;
+    let p50 = non_negative_u64(args, "p50")?;
+    let p90 = non_negative_u64(args, "p90")?;
+    let p99 = non_negative_u64(args, "p99")?;
+    let raw = args
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("S event missing array args.buckets")?;
+    let mut buckets = Vec::with_capacity(raw.len());
+    for pair in raw {
+        let pair = pair.as_arr().ok_or("bucket entry is not a 2-array")?;
+        if pair.len() != 2 {
+            return Err("bucket entry is not a 2-array".to_string());
+        }
+        let idx = pair[0]
+            .as_f64()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+            .ok_or("bucket index is not a non-negative integer")? as usize;
+        let cum = pair[1]
+            .as_f64()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+            .ok_or("bucket cumulative count is not a non-negative integer")?
+            as u64;
+        if idx >= BUCKETS {
+            return Err(format!(
+                "bucket index {idx} out of range (max {})",
+                BUCKETS - 1
+            ));
+        }
+        if let Some(&(prev_idx, prev_cum)) = buckets.last() {
+            if idx <= prev_idx {
+                return Err(format!("bucket indices not ascending at index {idx}"));
+            }
+            if cum <= prev_cum {
+                return Err(format!(
+                    "cumulative counts not increasing at bucket {idx} ({cum} <= {prev_cum})"
+                ));
+            }
+        }
+        buckets.push((idx, cum));
+    }
+    let bucket_total = buckets.last().map_or(0, |&(_, cum)| cum);
+    if bucket_total != count {
+        return Err(format!(
+            "bucket counts sum to {bucket_total} but args.count is {count}"
+        ));
+    }
+    if count > 0 {
+        if min > max {
+            return Err(format!("min {min} exceeds max {max}"));
+        }
+        if !(p50 <= p90 && p90 <= p99) {
+            return Err("quantiles not ordered (p50 <= p90 <= p99)".to_string());
+        }
+        if p50 < min || p99 > max {
+            return Err("quantiles outside [min, max]".to_string());
+        }
+    } else if !buckets.is_empty() {
+        return Err("empty summary (count 0) with non-empty buckets".to_string());
+    }
+    Ok(ReplayHist {
+        count,
+        sum,
+        min,
+        max,
+        p50,
+        p90,
+        p99,
+        buckets,
+    })
 }
 
 fn check_line(no: usize, text: &str) -> Result<Line, TraceError> {
@@ -119,6 +284,8 @@ fn check_line(no: usize, text: &str) -> Result<Line, TraceError> {
         "B" => 'B',
         "E" => 'E',
         "C" => 'C',
+        "H" => 'H',
+        "S" => 'S',
         other => return Err(fail(&format!("unknown phase '{other}'"))),
     };
     let name = v
@@ -149,7 +316,29 @@ fn check_line(no: usize, text: &str) -> Result<Line, TraceError> {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| fail("C event missing numeric args.value"))?,
         ),
+        'H' => {
+            let raw = v
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("H event missing numeric args.value"))?;
+            if !(raw.is_finite() && raw >= 0.0 && raw.fract() == 0.0) {
+                return Err(fail("H event args.value is not a non-negative integer"));
+            }
+            Some(raw)
+        }
         _ => None,
+    };
+    let gauge = ph == 'C'
+        && v.get("args")
+            .and_then(|a| a.get("gauge"))
+            .map(|g| *g == Json::Bool(true))
+            .unwrap_or(false);
+    let hist = if ph == 'S' {
+        let args = v.get("args").ok_or_else(|| fail("S event missing args"))?;
+        Some(check_summary_args(args).map_err(|e| fail(&e))?)
+    } else {
+        None
     };
     if ph == 'M' && no == 1 {
         let schema = v
@@ -167,19 +356,33 @@ fn check_line(no: usize, text: &str) -> Result<Line, TraceError> {
         tid: tid as u64,
         ts,
         value,
+        gauge,
+        hist,
     })
+}
+
+/// One open span frame during replay: name, begin ts, and the inclusive
+/// microseconds its direct children have consumed so far.
+struct Frame {
+    name: String,
+    began: f64,
+    child_us: f64,
 }
 
 /// Validates and aggregates a trace held in memory.
 ///
 /// Enforces, per line: valid JSON with `ph`/`name`/`pid`/`tid`/`ts`
-/// fields, a known phase, and `args.value` on `C` events. Enforces across
-/// lines: line 1 is the `slopt-trace/1` metadata event, and span B/E
-/// events are properly nested (LIFO, matching names) and balanced on every
-/// thread by end of file.
+/// fields, a known phase, `args.value` on `C`/`H` events, and a
+/// well-formed summary payload on `S` events. Enforces across lines: line
+/// 1 is the `slopt-trace/1` metadata event, span B/E events are properly
+/// nested (LIFO, matching names) and balanced on every thread by end of
+/// file, and every `S` summary agrees with the `H` observations of the
+/// same name (exact bucket counts).
 pub fn replay_str(text: &str) -> Result<ReplaySummary, TraceError> {
     let mut summary = ReplaySummary::default();
-    let mut stacks: BTreeMap<u64, Vec<(String, f64)>> = BTreeMap::new();
+    let mut stacks: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+    // Histograms rebuilt from the H stream, to cross-check S summaries.
+    let mut observed: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut first = true;
     let mut no = 0usize;
     for raw in text.lines() {
@@ -203,35 +406,74 @@ pub fn replay_str(text: &str) -> Result<ReplaySummary, TraceError> {
             summary.tids.push(line.tid);
         }
         match line.ph {
-            'B' => stacks
-                .entry(line.tid)
-                .or_default()
-                .push((line.name, line.ts)),
+            'B' => stacks.entry(line.tid).or_default().push(Frame {
+                name: line.name,
+                began: line.ts,
+                child_us: 0.0,
+            }),
             'E' => {
                 let stack = stacks.entry(line.tid).or_default();
-                let Some((open, began)) = stack.pop() else {
+                let Some(frame) = stack.pop() else {
                     return Err(TraceError {
                         line: no,
                         msg: format!("E '{}' with no open span on tid {}", line.name, line.tid),
                     });
                 };
-                if open != line.name {
+                if frame.name != line.name {
                     return Err(TraceError {
                         line: no,
                         msg: format!(
-                            "E '{}' does not match innermost open span '{open}' on tid {}",
-                            line.name, line.tid
+                            "E '{}' does not match innermost open span '{}' on tid {}",
+                            line.name, frame.name, line.tid
                         ),
                     });
                 }
-                let s = summary.spans.entry(open).or_default();
+                let total = (line.ts - frame.began).max(0.0);
+                let self_us = (total - frame.child_us).max(0.0);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_us += total;
+                }
+                let mut path = String::new();
+                for f in stack.iter() {
+                    path.push_str(&f.name);
+                    path.push(';');
+                }
+                path.push_str(&frame.name);
+                *summary.folded.entry(path).or_insert(0.0) += self_us;
+                let s = summary.spans.entry(frame.name).or_default();
                 s.count += 1;
-                s.total_us += (line.ts - began).max(0.0);
+                s.total_us += total;
+                s.self_us += self_us;
             }
             'C' => {
-                summary
-                    .counters
-                    .insert(line.name, line.value.unwrap_or(0.0));
+                let target = if line.gauge {
+                    &mut summary.gauges
+                } else {
+                    &mut summary.counters
+                };
+                target.insert(line.name, line.value.unwrap_or(0.0));
+            }
+            'H' => {
+                observed
+                    .entry(line.name)
+                    .or_default()
+                    .record(line.value.unwrap_or(0.0) as u64);
+            }
+            'S' => {
+                let hist = line.hist.unwrap_or_default();
+                if let Some(h) = observed.get(&line.name) {
+                    if h.nonzero_buckets() != hist.buckets {
+                        return Err(TraceError {
+                            line: no,
+                            msg: format!(
+                                "S summary for '{}' disagrees with its H events \
+                                 (bucket counts differ)",
+                                line.name
+                            ),
+                        });
+                    }
+                }
+                summary.hists.insert(line.name, hist);
             }
             _ => {}
         }
@@ -243,10 +485,13 @@ pub fn replay_str(text: &str) -> Result<ReplaySummary, TraceError> {
         });
     }
     for (tid, stack) in &stacks {
-        if let Some((open, _)) = stack.last() {
+        if let Some(frame) = stack.last() {
             return Err(TraceError {
                 line: no,
-                msg: format!("span '{open}' still open on tid {tid} at end of trace"),
+                msg: format!(
+                    "span '{}' still open on tid {tid} at end of trace",
+                    frame.name
+                ),
             });
         }
     }
@@ -277,6 +522,12 @@ mod tests {
         }
     }
 
+    fn summary_ev(name: &str, ts: f64, args: &str) -> String {
+        format!(
+            "{{\"ph\":\"S\",\"name\":\"{name}\",\"pid\":1,\"tid\":0,\"ts\":{ts},\"args\":{args}}}"
+        )
+    }
+
     #[test]
     fn replays_counters_and_spans() {
         let text = [
@@ -298,6 +549,125 @@ mod tests {
         let rendered = s.to_string();
         assert!(rendered.contains("outer"));
         assert!(rendered.contains('7'));
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let text = [
+            HEADER.to_string(),
+            ev("B", "outer", 0, 0.0, None),
+            ev("B", "mid", 0, 2.0, None),
+            ev("B", "leaf", 0, 3.0, None),
+            ev("E", "leaf", 0, 7.0, None),
+            ev("E", "mid", 0, 8.0, None),
+            ev("B", "leaf", 0, 9.0, None),
+            ev("E", "leaf", 0, 10.0, None),
+            ev("E", "outer", 0, 12.0, None),
+        ]
+        .join("\n");
+        let s = replay_str(&text).unwrap();
+        // outer: 12 total, children mid (6) + leaf (1) -> self 5.
+        assert!((s.spans["outer"].self_us - 5.0).abs() < 1e-9);
+        // mid: 6 total, child leaf 4 -> self 2.
+        assert!((s.spans["mid"].self_us - 2.0).abs() < 1e-9);
+        // leaf is a leaf: self == total == 4 + 1.
+        assert!((s.spans["leaf"].self_us - 5.0).abs() < 1e-9);
+        // Self times sum to the root's inclusive time.
+        let total_self: f64 = s.spans.values().map(|x| x.self_us).sum();
+        assert!((total_self - 12.0).abs() < 1e-9);
+        // Folded stacks carry the ancestor path.
+        assert!((s.folded["outer;mid;leaf"] - 4.0).abs() < 1e-9);
+        assert!((s.folded["outer;leaf"] - 1.0).abs() < 1e-9);
+        assert!((s.folded["outer"] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_are_separated_from_counters() {
+        let gauge_line = "{\"ph\":\"C\",\"name\":\"util\",\"pid\":1,\"tid\":0,\"ts\":1,\"args\":{\"value\":0.5,\"gauge\":true}}";
+        let text = [
+            HEADER.to_string(),
+            ev("C", "n", 0, 1.0, Some(3)),
+            gauge_line.to_string(),
+        ]
+        .join("\n");
+        let s = replay_str(&text).unwrap();
+        assert_eq!(s.counters.get("n"), Some(&3.0));
+        assert!(!s.counters.contains_key("util"));
+        assert_eq!(s.gauges.get("util"), Some(&0.5));
+    }
+
+    #[test]
+    fn replays_histograms_and_checks_summary_consistency() {
+        let good = summary_ev(
+            "vals",
+            9.0,
+            "{\"count\":3,\"sum\":12,\"min\":2,\"max\":8,\"p50\":3,\"p90\":8,\"p99\":8,\"buckets\":[[2,2],[4,3]]}",
+        );
+        let text = [
+            HEADER.to_string(),
+            ev("H", "vals", 0, 1.0, Some(2)),
+            ev("H", "vals", 0, 2.0, Some(3)),
+            ev("H", "vals", 0, 3.0, Some(8)),
+            good,
+        ]
+        .join("\n");
+        let s = replay_str(&text).unwrap();
+        let h = &s.hists["vals"];
+        assert_eq!(h.count, 3);
+        assert_eq!((h.min, h.max, h.p99), (2, 8, 8));
+        assert_eq!(h.buckets, vec![(2, 2), (4, 3)]);
+        assert!(s.to_string().contains("vals"));
+
+        // Same S payload but only two H events -> bucket mismatch.
+        let bad = [
+            HEADER.to_string(),
+            ev("H", "vals", 0, 1.0, Some(2)),
+            ev("H", "vals", 0, 3.0, Some(8)),
+            summary_ev(
+                "vals",
+                9.0,
+                "{\"count\":3,\"sum\":12,\"min\":2,\"max\":8,\"p50\":3,\"p90\":8,\"p99\":8,\"buckets\":[[2,2],[4,3]]}",
+            ),
+        ]
+        .join("\n");
+        let err = replay_str(&bad).unwrap_err();
+        assert!(err.msg.contains("disagrees"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_malformed_summaries() {
+        let cases = [
+            // Descending bucket indices.
+            "{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"p50\":1,\"p90\":3,\"p99\":3,\"buckets\":[[2,1],[1,2]]}",
+            // Non-monotonic cumulative counts.
+            "{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"p50\":1,\"p90\":3,\"p99\":3,\"buckets\":[[1,2],[2,2]]}",
+            // Bucket total disagrees with count.
+            "{\"count\":5,\"sum\":4,\"min\":1,\"max\":3,\"p50\":1,\"p90\":3,\"p99\":3,\"buckets\":[[1,1],[2,2]]}",
+            // Bucket index out of range.
+            "{\"count\":1,\"sum\":4,\"min\":1,\"max\":3,\"p50\":1,\"p90\":3,\"p99\":3,\"buckets\":[[65,1]]}",
+            // Quantiles out of order.
+            "{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"p50\":3,\"p90\":1,\"p99\":3,\"buckets\":[[1,1],[2,2]]}",
+            // Quantile outside [min, max].
+            "{\"count\":2,\"sum\":4,\"min\":1,\"max\":3,\"p50\":1,\"p90\":3,\"p99\":9,\"buckets\":[[1,1],[2,2]]}",
+            // min above max.
+            "{\"count\":2,\"sum\":4,\"min\":5,\"max\":3,\"p50\":5,\"p90\":5,\"p99\":5,\"buckets\":[[1,1],[2,2]]}",
+        ];
+        for args in cases {
+            let text = [HEADER.to_string(), summary_ev("h", 1.0, args)].join("\n");
+            assert!(replay_str(&text).is_err(), "accepted malformed: {args}");
+        }
+    }
+
+    #[test]
+    fn rejects_fractional_h_values() {
+        let text = [
+            HEADER.to_string(),
+            "{\"ph\":\"H\",\"name\":\"h\",\"pid\":1,\"tid\":0,\"ts\":1,\"args\":{\"value\":1.5}}"
+                .to_string(),
+        ]
+        .join("\n");
+        let err = replay_str(&text).unwrap_err();
+        assert!(err.msg.contains("non-negative integer"), "{}", err.msg);
     }
 
     #[test]
@@ -346,6 +716,8 @@ mod tests {
         let s = replay_str(&text).unwrap();
         assert_eq!(s.spans["work"].count, 2);
         assert_eq!(s.tids, vec![0, 1, 2]);
+        // Sibling stacks merge in the folded profile.
+        assert!((s.folded["work"] - 4.0).abs() < 1e-9);
     }
 
     #[test]

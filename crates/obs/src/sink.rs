@@ -12,10 +12,12 @@
 ///
 /// `ph` follows the Chrome trace-event phase vocabulary: `B`/`E` bracket a
 /// span on one thread, `C` carries a cumulative counter (or gauge) value,
-/// `M` is metadata.
+/// `M` is metadata. Two slopt-specific phases ride along: `H` is one
+/// histogram observation, `S` is an end-of-run histogram summary (bucket
+/// counts + quantiles).
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
-    /// Chrome phase tag: `B`, `E`, `C`, or `M`.
+    /// Phase tag: `B`, `E`, `C`, `M`, `H`, or `S`.
     pub ph: char,
     /// Span, counter, or metadata name.
     pub name: String,
@@ -40,9 +42,34 @@ pub trait ObsSink: Send {
         let _ = (tid, name, ts_us);
     }
 
-    /// Counter or gauge `name` now reads `value` (cumulative for counters).
+    /// Counter `name` now reads `value` (cumulative).
     fn counter(&mut self, tid: u64, name: &str, value: f64, ts_us: f64) {
         let _ = (tid, name, value, ts_us);
+    }
+
+    /// Gauge `name` sampled at `value`. Gauges are point-in-time readings
+    /// (often timing-derived, e.g. worker utilization) and are therefore
+    /// *not* expected to be deterministic across runs; sinks that persist
+    /// them should tag them so `trace_diff` can exclude them from
+    /// structural comparison. Defaults to the counter path.
+    fn gauge(&mut self, tid: u64, name: &str, value: f64, ts_us: f64) {
+        self.counter(tid, name, value, ts_us);
+    }
+
+    /// One observation of `value` recorded into histogram `name`.
+    fn hist_value(&mut self, tid: u64, name: &str, value: u64, ts_us: f64) {
+        let _ = (tid, name, value, ts_us);
+    }
+
+    /// End-of-run summary of histogram `name` (bucket counts + quantiles).
+    fn hist_summary(
+        &mut self,
+        tid: u64,
+        name: &str,
+        hist: &crate::histogram::Histogram,
+        ts_us: f64,
+    ) {
+        let _ = (tid, name, hist, ts_us);
     }
 
     /// Flush any buffered output (end of run).
@@ -103,6 +130,32 @@ impl ObsSink for MemorySink {
             tid,
             ts_us,
             value: Some(value),
+        });
+    }
+
+    fn hist_value(&mut self, tid: u64, name: &str, value: u64, ts_us: f64) {
+        self.events.lock().unwrap().push(TraceEvent {
+            ph: 'H',
+            name: name.to_string(),
+            tid,
+            ts_us,
+            value: Some(value as f64),
+        });
+    }
+
+    fn hist_summary(
+        &mut self,
+        tid: u64,
+        name: &str,
+        hist: &crate::histogram::Histogram,
+        ts_us: f64,
+    ) {
+        self.events.lock().unwrap().push(TraceEvent {
+            ph: 'S',
+            name: name.to_string(),
+            tid,
+            ts_us,
+            value: Some(hist.count() as f64),
         });
     }
 }

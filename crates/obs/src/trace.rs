@@ -130,6 +130,68 @@ impl ObsSink for TraceSink {
         self.write_line(&line);
     }
 
+    fn gauge(&mut self, tid: u64, name: &str, value: f64, ts_us: f64) {
+        // Same wire shape as a counter, plus a "gauge":true marker so
+        // `trace_diff` knows the value is a point-in-time (usually
+        // timing-derived, hence nondeterministic) reading and excludes it
+        // from structural comparison.
+        let v = if value.fract() == 0.0 && value.abs() < 9e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value}")
+        };
+        let line = format!(
+            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{TRACE_PID},\"tid\":{tid},\
+             \"ts\":{},\"args\":{{\"value\":{v},\"gauge\":true}}}}",
+            json_escape(name),
+            fmt_ts(ts_us)
+        );
+        self.write_line(&line);
+    }
+
+    fn hist_value(&mut self, tid: u64, name: &str, value: u64, ts_us: f64) {
+        let line = format!(
+            "{{\"ph\":\"H\",\"name\":\"{}\",\"pid\":{TRACE_PID},\"tid\":{tid},\
+             \"ts\":{},\"args\":{{\"value\":{value}}}}}",
+            json_escape(name),
+            fmt_ts(ts_us)
+        );
+        self.write_line(&line);
+    }
+
+    fn hist_summary(
+        &mut self,
+        tid: u64,
+        name: &str,
+        hist: &crate::histogram::Histogram,
+        ts_us: f64,
+    ) {
+        let s = hist.summary();
+        let mut buckets = String::from("[");
+        for (i, (idx, cum)) in hist.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{idx},{cum}]"));
+        }
+        buckets.push(']');
+        let line = format!(
+            "{{\"ph\":\"S\",\"name\":\"{}\",\"pid\":{TRACE_PID},\"tid\":{tid},\
+             \"ts\":{},\"args\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":{buckets}}}}}",
+            json_escape(name),
+            fmt_ts(ts_us),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            s.p50,
+            s.p90,
+            s.p99,
+        );
+        self.write_line(&line);
+    }
+
     fn flush(&mut self) {
         if self.error.is_none() {
             if let Err(e) = self.out.flush() {

@@ -17,6 +17,8 @@ fn trace_file_roundtrips_through_replay() {
             obs.counter("work.items", i + 1);
         }
         obs.gauge("work.util", 0.5);
+        obs.histogram("work.cost", 3);
+        obs.histogram("work.cost", 1000);
     }
     std::thread::scope(|scope| {
         let o = obs.clone();
@@ -37,12 +39,35 @@ fn trace_file_roundtrips_through_replay() {
         Some(live.metrics.counter("work.items") as f64)
     );
     assert_eq!(live.metrics.counter("work.items"), 1 + 2 + 3 + 4 + 5);
-    assert_eq!(replayed.counters.get("work.util").copied(), Some(0.5));
+    // Gauges are tagged on the wire and replay into their own table.
+    assert_eq!(replayed.gauges.get("work.util").copied(), Some(0.5));
+    assert!(!replayed.counters.contains_key("work.util"));
     assert_eq!(replayed.spans["step"].count, live.span_count("step"));
     assert_eq!(replayed.spans["run"].count, 1);
     assert_eq!(replayed.spans["worker"].count, 1);
     // Two threads emitted: main (0) and the worker (1).
     assert_eq!(replayed.tids, vec![0, 1]);
+
+    // Histogram summaries survive the round trip exactly: the replayed
+    // S event matches the live histogram's counts and quantiles.
+    let live_hist = live.hist("work.cost").unwrap();
+    let rep = &replayed.hists["work.cost"];
+    assert_eq!(rep.count, live_hist.count());
+    assert_eq!(rep.buckets, live_hist.nonzero_buckets());
+    let s = live_hist.summary();
+    assert_eq!((rep.min, rep.max), (s.min, s.max));
+    assert_eq!((rep.p50, rep.p90, rep.p99), (s.p50, s.p90, s.p99));
+    // Span-duration histograms were summarized too, with matching counts.
+    assert_eq!(
+        replayed.hists["span.step"].count,
+        replayed.spans["step"].count
+    );
+    // Self time: "run" contains "step" spans, so its self time is below
+    // its inclusive time; leaf spans have self == total.
+    assert!(replayed.spans["run"].self_us <= replayed.spans["run"].total_us);
+    assert!((replayed.spans["step"].self_us - replayed.spans["step"].total_us).abs() < 1e-9);
+    // The folded profile has a path through run -> step.
+    assert!(replayed.folded.contains_key("run;step"));
 
     std::fs::remove_file(&path).ok();
 }

@@ -810,6 +810,31 @@ pub fn concurrency_map_obs(
             "cc.dense_accumulator",
             if out.dense_acc { 1.0 } else { 0.0 },
         );
+        // Per-interval cost distribution: the kernel's work per interval
+        // is quadratic in its occupied cells, so the histogram of cells
+        // per interval is the profile that explains CC build time skew.
+        // Cells are sorted by packed key, so one linear pass suffices;
+        // values are workload-derived, hence deterministic at any --jobs.
+        let mut run = 0u64;
+        let mut current: Option<u64> = None;
+        for &(key, _) in &cells {
+            let interval = (key >> 48) as u64;
+            match current {
+                Some(t) if t == interval => run += 1,
+                Some(_) => {
+                    obs.histogram("cc.interval_cells", run);
+                    current = Some(interval);
+                    run = 1;
+                }
+                None => {
+                    current = Some(interval);
+                    run = 1;
+                }
+            }
+        }
+        if current.is_some() {
+            obs.histogram("cc.interval_cells", run);
+        }
     }
     out.map
 }

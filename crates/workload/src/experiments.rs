@@ -344,8 +344,9 @@ pub fn figure_rows_jobs(
 /// [`figure_rows_jobs`] with instrumentation: the measurement grid runs
 /// under a `figure_measure` span, each `(table, seed)` cell under its own
 /// `measure_cell` span (so per-worker utilization can be derived from the
-/// per-thread span totals), and the grid size is flushed as
-/// `figure.cells` / `figure.runs` counters.
+/// per-thread span totals), the grid size is flushed as
+/// `figure.cells` / `figure.runs` counters, and every cell's simulated
+/// makespan feeds the deterministic `figure.cell_makespan` histogram.
 #[allow(clippy::too_many_arguments)]
 pub fn figure_rows_jobs_obs(
     kernel: &Kernel,
@@ -373,16 +374,20 @@ pub fn figure_rows_jobs_obs(
         let _span = obs.span("figure_measure");
         slopt_core::par_map(jobs, &grid, |_, &(t, seed)| {
             let _cell = obs.span("measure_cell");
-            run_once(
+            let out = run_once(
                 kernel,
                 &tables[t],
                 machine,
                 sdet,
                 seed,
                 &mut slopt_sim::NullObserver,
-            )
-            .result
-            .throughput()
+            );
+            // Per-cell simulated makespan distribution. Simulated cycles
+            // are a pure function of (table, seed), so unlike the
+            // wall-clock span histograms this one is bit-identical at any
+            // --jobs value and trace_diff compares it structurally.
+            obs.histogram("figure.cell_makespan", out.result.makespan);
+            out.result.throughput()
         })
     };
     // Regroup into one Throughput per table; chunk[0] is the warm-up run.
