@@ -13,20 +13,51 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings; unwrap/expect are errors at the input boundary) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== cargo build --release =="
-cargo build --release --offline
+# The root directory is both the workspace and a package, so a bare
+# `cargo build`/`cargo test` would cover the root package only —
+# --workspace everywhere below, or the experiment bins never rebuild.
+echo "== cargo build --release (whole workspace) =="
+cargo build --release --offline --workspace
 
-echo "== cargo test =="
-cargo test --offline -q
+echo "== cargo test (whole workspace) =="
+cargo test --offline -q --workspace
 
 echo "== cargo test (--test-threads=2, shakes out ordering assumptions) =="
-cargo test --offline -q -- --test-threads=2
+cargo test --offline -q --workspace -- --test-threads=2
 
 echo "== kill/resume contract (checkpoint_resume, explicitly) =="
 cargo test --offline -q --test checkpoint_resume
 
 echo "== chaos suite (seed-pinned fault plans, differential vs clean runs) =="
 cargo test --offline -q --test chaos_suite
+
+echo "== execctx capability matrix (24 lattice points, explicitly) =="
+cargo test --offline -q --test execctx_matrix
+
+echo "== composed-capabilities smoke (fig9: jobs 4 + trace + checkpoint + transient faults) =="
+# Every capability at once must compose: the run exits 0 (transient
+# faults retry to invisibility), its trace lints clean, and a serial run
+# of the same plan is structurally identical — composition is data on
+# one code path, not a separate code path per combination.
+SMOKE_CKPT_J4="$(mktemp -d /tmp/slopt_smoke_ckpt4.XXXXXX)"
+SMOKE_CKPT_J1="$(mktemp -d /tmp/slopt_smoke_ckpt1.XXXXXX)"
+SMOKE_TRACE_J4="$(mktemp /tmp/slopt_smoke_j4.XXXXXX.jsonl)"
+SMOKE_TRACE_J1="$(mktemp /tmp/slopt_smoke_j1.XXXXXX.jsonl)"
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 4 \
+    --trace-out "$SMOKE_TRACE_J4" --checkpoint-dir "$SMOKE_CKPT_J4" \
+    --fault-plan seed=7,transient=0.5,panic=0.2 --max-retries 16 > /dev/null
+cargo run --release --offline -p slopt-obs --bin trace_lint -- "$SMOKE_TRACE_J4"
+cargo run --release --offline -p slopt-bench --bin fig9 -- --jobs 1 \
+    --trace-out "$SMOKE_TRACE_J1" --checkpoint-dir "$SMOKE_CKPT_J1" \
+    --fault-plan seed=7,transient=0.5,panic=0.2 --max-retries 16 > /dev/null
+SMOKE_DIFF="$(cargo run --release --offline -p slopt-obs --bin trace_diff -- \
+    "$SMOKE_TRACE_J1" "$SMOKE_TRACE_J4")"
+echo "$SMOKE_DIFF" | grep -q "result: 0 structural delta(s), 0 timing breach(es)" \
+    || { echo "composed smoke: serial vs fanned trace diverged:"; echo "$SMOKE_DIFF"; exit 1; }
+rm -rf "$SMOKE_CKPT_J4" "$SMOKE_CKPT_J1" "$SMOKE_TRACE_J4" "$SMOKE_TRACE_J1"
+
+echo "== help-surface conformance (every bin, one flag reference) =="
+cargo test --offline -q -p slopt-bench --test help_matrix --test args_prop
 
 echo "== degraded-run contract (fig9 under a permanent fault plan exits 4) =="
 set +e
@@ -90,7 +121,7 @@ cargo run --release --offline -p slopt-obs --bin trace_lint -- "$RESUME_TRACE_TM
 rm -rf "$CKPT_TMP" "$RESUME_TRACE_TMP"
 
 echo "== cargo test --doc (public-API doctests) =="
-cargo test --offline -q --doc
+cargo test --offline -q --workspace --doc
 
 echo "== search smoke (seeded annealing beats greedy, jobs-invariant) =="
 # A fixed seed makes the whole portfolio deterministic, so the outputs of

@@ -1,0 +1,426 @@
+//! The one command-line vocabulary of the experiment binaries.
+//!
+//! Every figure/ablation binary (and `slopt-tool figures`/`search`)
+//! accepts the same execution-context flags; [`CommonArgs`] is their
+//! single parser, help text and validation, so flag semantics — and the
+//! `--help` output documenting them — cannot drift between binaries.
+//!
+//! Parsing is *strict*: a malformed value for any known flag is a usage
+//! error ([`exit::USAGE`], code 2) with a message naming the offending
+//! argument position, never a silent fallback to a default. Unknown
+//! tokens are skipped so binaries can layer their own flags (e.g.
+//! `fig_search --seed`) on top.
+
+use slopt_core::SupervisePolicy;
+use slopt_fault::{exit, FaultPlan};
+
+use crate::checkpoint::CheckpointSpec;
+use crate::runner::{ExecCtx, FaultConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The flag reference shared by every experiment binary's `--help`.
+/// `tests/help_matrix.rs` diffs each binary's output against this text.
+pub const FLAG_REFERENCE: &str = "OPTIONS:
+    --scale N            Workload scale factor (default 1).
+    --jobs N             Host threads to fan the measurement grid across
+                         (default: all cores; the output is bit-identical
+                         for every N; 0 is clamped to 1).
+    --trace-out <path>   Write a machine-readable run trace (slopt-trace/1
+                         JSONL, Chrome trace events) to <path>.
+    --stats              Print the aggregate counter/span summary table at
+                         exit.
+    --checkpoint-dir DIR Persist every completed grid item to DIR as it
+                         finishes.
+    --resume             Resume from the checkpoint in --checkpoint-dir,
+                         recomputing only the missing items (bit-identical
+                         result).
+    --fault-plan SPEC    Inject seed-deterministic faults into the worker
+                         pool (e.g. `seed=7,transient=0.1,panic=0.05`;
+                         kinds: panic, transient, permanent, slow,
+                         write-error, read-error, corrupt).
+    --max-retries N      Retry budget per grid item for transient faults
+                         (default 3).
+    --deadline-ms N      Cooperative per-item deadline in milliseconds; an
+                         item over budget is holed and never checkpointed
+                         as completed.
+    --help, -h           This text.";
+
+/// The process exit-code vocabulary shared by every experiment binary's
+/// `--help` (and `slopt-tool help`).
+pub const EXIT_CODE_TABLE: &str = "EXIT CODES:
+    0  success
+    1  internal failure (I/O on outputs, trace sink, ...)
+    2  usage error (bad flag or flag value)
+    3  bad input (unreadable or unparseable user file)
+    4  degraded run (permanent faults holed part of the measurement
+       grid; partial results were printed)";
+
+/// A strict parse failure: which argument position (1-based) broke, and
+/// why. Rendered as `arg N: message` so scripts can locate the culprit
+/// the way compilers point at line/column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArgError {
+    /// 1-based position of the offending argument.
+    pub pos: usize,
+    /// What was wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "arg {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The command-line arguments shared by every experiment binary,
+/// validated at parse time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonArgs {
+    /// Workload scale factor (`--scale N`, default 1).
+    pub scale: usize,
+    /// Host threads to fan work across (`--jobs N`, default: available
+    /// parallelism; 0 clamps to 1).
+    pub jobs: usize,
+    /// Machine-readable run trace destination (`--trace-out <path>`,
+    /// `slopt-trace/1` JSONL).
+    pub trace_out: Option<String>,
+    /// Print the human counter/span summary table at exit (`--stats`).
+    pub stats: bool,
+    /// Grid checkpoint directory (`--checkpoint-dir <dir>`).
+    pub checkpoint_dir: Option<String>,
+    /// Resume from the checkpoint instead of starting fresh (`--resume`).
+    pub resume: bool,
+    /// Fault injection + supervision, already validated (`--fault-plan` /
+    /// `--max-retries` / `--deadline-ms`). `None` when none of the three
+    /// flags were given.
+    pub fault: Option<FaultConfig>,
+    /// `--help` / `-h` was given; the caller should print the help text
+    /// and exit 0.
+    pub help: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> CommonArgs {
+        CommonArgs {
+            scale: 1,
+            jobs: slopt_core::default_jobs(),
+            trace_out: None,
+            stats: false,
+            checkpoint_dir: None,
+            resume: false,
+            fault: None,
+            help: false,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// Strictly parses an argument list (without the program name).
+    /// Unknown tokens are skipped one at a time so binaries can layer
+    /// their own flags on top; known flags with malformed or missing
+    /// values are [`ArgError`]s. Flag order never matters: the last
+    /// occurrence of a repeated flag wins.
+    pub fn parse(args: &[String]) -> Result<CommonArgs, ArgError> {
+        let mut out = CommonArgs::default();
+        let mut fault_plan: Option<FaultPlan> = None;
+        let mut max_retries: Option<u32> = None;
+        let mut deadline: Option<Duration> = None;
+        // The value slot of a `--flag value` pair, 1-based for messages.
+        let value = |i: usize, flag: &str| -> Result<&String, ArgError> {
+            args.get(i + 1).ok_or(ArgError {
+                pos: i + 1,
+                msg: format!("{flag} needs a value"),
+            })
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let pos = i + 2;
+            match flag {
+                "--help" | "-h" => out.help = true,
+                "--stats" => out.stats = true,
+                "--resume" => out.resume = true,
+                "--scale" => {
+                    let raw = value(i, flag)?;
+                    out.scale = raw.parse().map_err(|_| ArgError {
+                        pos,
+                        msg: format!(
+                            "bad value `{raw}` for --scale (expected an unsigned integer)"
+                        ),
+                    })?;
+                    i += 1;
+                }
+                "--jobs" => {
+                    let raw = value(i, flag)?;
+                    let jobs: usize = raw.parse().map_err(|_| ArgError {
+                        pos,
+                        msg: format!("bad value `{raw}` for --jobs (expected an unsigned integer)"),
+                    })?;
+                    out.jobs = jobs.max(1);
+                    i += 1;
+                }
+                "--trace-out" => {
+                    out.trace_out = Some(value(i, flag)?.clone());
+                    i += 1;
+                }
+                "--checkpoint-dir" => {
+                    out.checkpoint_dir = Some(value(i, flag)?.clone());
+                    i += 1;
+                }
+                "--fault-plan" => {
+                    let raw = value(i, flag)?;
+                    fault_plan = Some(FaultPlan::parse(raw).map_err(|e| ArgError {
+                        pos,
+                        msg: format!("bad value for --fault-plan: {e}"),
+                    })?);
+                    i += 1;
+                }
+                "--max-retries" => {
+                    let raw = value(i, flag)?;
+                    max_retries = Some(raw.parse().map_err(|_| ArgError {
+                        pos,
+                        msg: format!(
+                            "bad value `{raw}` for --max-retries (expected an unsigned integer)"
+                        ),
+                    })?);
+                    i += 1;
+                }
+                "--deadline-ms" => {
+                    let raw = value(i, flag)?;
+                    let ms: u64 = raw.parse().map_err(|_| ArgError {
+                        pos,
+                        msg: format!(
+                            "bad value `{raw}` for --deadline-ms (expected a positive integer)"
+                        ),
+                    })?;
+                    if ms == 0 {
+                        return Err(ArgError {
+                            pos,
+                            msg: "--deadline-ms must be positive".to_string(),
+                        });
+                    }
+                    deadline = Some(Duration::from_millis(ms));
+                    i += 1;
+                }
+                _ => {} // not ours; a binary-specific flag or its value
+            }
+            i += 1;
+        }
+        if fault_plan.is_some() || max_retries.is_some() || deadline.is_some() {
+            let mut policy = SupervisePolicy::default();
+            if let Some(n) = max_retries {
+                policy.max_retries = n;
+            }
+            policy.deadline = deadline;
+            out.fault = Some(FaultConfig {
+                plan: fault_plan.unwrap_or_else(FaultPlan::none),
+                policy,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args()`, handling `--help` (print and exit 0)
+    /// and parse errors (report and exit [`exit::USAGE`]) — the whole
+    /// prologue of an experiment binary. `bin` and `about` head the help
+    /// text; `extra` documents any binary-specific flags (empty for
+    /// most).
+    pub fn from_env_or_exit(bin: &str, about: &str, extra: &str) -> CommonArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match CommonArgs::parse(&argv) {
+            Ok(args) if args.help => {
+                println!("{}", help_text(bin, about, extra));
+                std::process::exit(0);
+            }
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{bin}: {e}");
+                eprintln!("try `{bin} --help`");
+                std::process::exit(i32::from(exit::USAGE));
+            }
+        }
+    }
+
+    /// The checkpoint request, if `--checkpoint-dir` was given.
+    /// `--resume` without a checkpoint directory is meaningless and
+    /// ignored.
+    pub fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
+        self.checkpoint_dir.as_ref().map(|dir| CheckpointSpec {
+            dir: PathBuf::from(dir),
+            resume: self.resume,
+        })
+    }
+
+    /// Builds the [`ExecCtx`] these flags describe. `Err` carries the
+    /// trace-sink failure message when `--trace-out` points somewhere
+    /// unwritable.
+    pub fn try_ctx(&self) -> Result<ExecCtx, String> {
+        let obs =
+            slopt_obs::obs_from_flags(self.trace_out.as_deref(), self.stats).map_err(|e| {
+                let path = self.trace_out.as_deref().unwrap_or("<none>");
+                format!("cannot open trace output {path}: {e}")
+            })?;
+        Ok(ExecCtx {
+            obs,
+            checkpoint: self.checkpoint_spec(),
+            fault: self.fault.clone(),
+            jobs: self.jobs,
+            stats: self.stats,
+            trace_out: self.trace_out.clone(),
+        })
+    }
+
+    /// [`CommonArgs::try_ctx`], exiting 1 on a trace-sink failure — the
+    /// experiment binaries' second prologue line.
+    pub fn ctx_or_exit(&self) -> ExecCtx {
+        self.try_ctx().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+/// Assembles a binary's `--help` text around the shared
+/// [`FLAG_REFERENCE`] and [`EXIT_CODE_TABLE`].
+pub fn help_text(bin: &str, about: &str, extra: &str) -> String {
+    let extra = if extra.is_empty() {
+        String::new()
+    } else {
+        format!("{extra}\n\n")
+    };
+    format!("{bin} — {about}\n\nUSAGE:\n    {bin} [options]\n\n{extra}{FLAG_REFERENCE}\n\n{EXIT_CODE_TABLE}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jobs_flag_parses_with_default() {
+        let args = CommonArgs::parse(&strs(&["--jobs", "3"])).unwrap();
+        assert_eq!(args.jobs, 3);
+        assert_eq!(
+            CommonArgs::parse(&[]).unwrap().jobs,
+            slopt_core::default_jobs()
+        );
+        assert_eq!(CommonArgs::parse(&strs(&["--jobs", "0"])).unwrap().jobs, 1);
+        let both = CommonArgs::parse(&strs(&["--scale", "2", "--jobs", "5"])).unwrap();
+        assert_eq!((both.scale, both.jobs), (2, 5));
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let args = CommonArgs::parse(&strs(&["--trace-out", "/tmp/t.jsonl", "--stats"])).unwrap();
+        assert_eq!(args.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(args.stats);
+        let none = CommonArgs::parse(&[]).unwrap();
+        assert!(none.trace_out.is_none());
+        assert!(!none.stats);
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let args = CommonArgs::parse(&strs(&["--checkpoint-dir", "/tmp/ck", "--resume"])).unwrap();
+        assert_eq!(args.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert!(args.resume);
+        let spec = args.checkpoint_spec().expect("dir given");
+        assert_eq!(spec.dir, PathBuf::from("/tmp/ck"));
+        assert!(spec.resume);
+        assert!(CommonArgs::parse(&[]).unwrap().checkpoint_spec().is_none());
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let args = CommonArgs::parse(&strs(&[
+            "--fault-plan",
+            "seed=1,transient=0.5",
+            "--max-retries",
+            "7",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        let fc = args.fault.expect("flags given");
+        assert_eq!(fc.plan.seed(), 1);
+        assert_eq!(fc.policy.max_retries, 7);
+        assert_eq!(fc.policy.deadline, Some(Duration::from_millis(250)));
+
+        // No flags at all: supervision stays off entirely.
+        assert!(CommonArgs::parse(&[]).unwrap().fault.is_none());
+        // Supervision flags alone give the no-op plan.
+        let only = CommonArgs::parse(&strs(&["--max-retries", "2"])).unwrap();
+        assert_eq!(only.fault.expect("flag given").plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn malformed_values_are_positional_errors() {
+        for (bad, pos) in [
+            (&["--fault-plan", "transient=2.0"][..], 2),
+            (&["--fault-plan", "bogus=1"][..], 2),
+            (&["--max-retries", "x"][..], 2),
+            (&["--deadline-ms", "0"][..], 2),
+            (&["--jobs", "many"][..], 2),
+            (&["--scale", "-1"][..], 2),
+            (&["--stats", "--jobs", "1.5"][..], 3),
+            (&["--trace-out"][..], 1),
+        ] {
+            let err = CommonArgs::parse(&strs(bad)).expect_err("must be rejected");
+            assert_eq!(err.pos, pos, "{bad:?}");
+            assert!(
+                err.to_string().starts_with(&format!("arg {pos}: ")),
+                "{err}"
+            );
+        }
+        // The offending value is named in the message.
+        let err = CommonArgs::parse(&strs(&["--fault-plan", "bogus=1"])).unwrap_err();
+        assert!(err.msg.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn unknown_tokens_are_skipped_for_binary_specific_flags() {
+        let args =
+            CommonArgs::parse(&strs(&["--seed", "42", "--jobs", "2", "--top", "3"])).unwrap();
+        assert_eq!(args.jobs, 2);
+        assert_eq!(args.scale, 1);
+    }
+
+    #[test]
+    fn help_flag_is_recognized() {
+        assert!(CommonArgs::parse(&strs(&["--help"])).unwrap().help);
+        assert!(CommonArgs::parse(&strs(&["-h"])).unwrap().help);
+        assert!(!CommonArgs::parse(&[]).unwrap().help);
+        let text = help_text("fig9", "about", "");
+        assert!(text.contains(FLAG_REFERENCE));
+        assert!(text.contains(EXIT_CODE_TABLE));
+    }
+
+    #[test]
+    fn try_ctx_carries_every_capability() {
+        let args = CommonArgs::parse(&strs(&[
+            "--jobs",
+            "3",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--fault-plan",
+            "seed=2,transient=0.1",
+            "--deadline-ms",
+            "100",
+        ]))
+        .unwrap();
+        let ctx = args.ctx_or_exit();
+        assert_eq!(ctx.jobs, 3);
+        assert_eq!(ctx.deadline_ms(), Some(100));
+        assert_eq!(
+            ctx.checkpoint.expect("dir given").dir,
+            PathBuf::from("/tmp/ck")
+        );
+        assert!(!ctx.obs.enabled());
+    }
+}

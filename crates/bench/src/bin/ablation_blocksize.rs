@@ -9,9 +9,10 @@
 //! We measure baseline / tool / sort-by-hotness layouts for struct A at
 //! both block sizes on the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_blocksize [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells, require_complete, Cell, CommonArgs};
 use slopt_sim::CacheConfig;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
@@ -20,10 +21,13 @@ use slopt_workload::{
 const KINDS: [LayoutKind; 2] = [LayoutKind::Tool, LayoutKind::SortByHotness];
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_blocksize",
+        "64 B vs 128 B coherence blocks, struct A (128-way)",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
     let machine = Machine::superdome(128);
     let block_sizes = [64u64, 128u64];
 
@@ -51,7 +55,7 @@ fn main() {
                 tool
             },
             setup.jobs,
-            &obs,
+            &ctx.obs,
         );
         let a = setup.kernel.records.a;
         cells.push(Cell {
@@ -70,21 +74,18 @@ fn main() {
         }
     }
 
-    let (measured, report) = measure_cells_fault_obs(
+    let outcome = measure_cells(
+        &ctx,
         "ablation_blocksize",
         &setup.kernel,
         &cells,
         setup.runs,
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    let measured = require_complete("ablation_blocksize", &cells, measured, &report, &args, &obs);
+    let measured = require_complete("ablation_blocksize", &ctx, &cells, outcome);
 
     println!("=== ablation: coherence block size, struct A (128-way) ===");
     println!("{:>8} {:>12} {:>18}", "block", "tool", "sort-by-hotness");
@@ -96,5 +97,5 @@ fn main() {
         println!("{line_size:>7}B {:>11.2}% {:>17.2}%", row[0], row[1]);
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

@@ -9,15 +9,20 @@
 //! and compare the recovered affinity, the resulting layouts, and their
 //! measured throughput.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_inline`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_inline [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{default_figure_setup, CommonArgs};
 use slopt_ir::inline::InlineParams;
 use slopt_workload::{analyze, baseline_layouts, layouts_with, measure, suggest_for, Machine};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_inline",
+        "intra-procedural analysis vs inlining (struct B)",
+        "",
+    );
+    let setup = default_figure_setup(args.scale);
     let raw = &setup.kernel;
     let inlined = raw.inlined(InlineParams::default());
 

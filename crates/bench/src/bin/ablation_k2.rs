@@ -10,17 +10,21 @@
 //! accessed with, and throughput collapses (the sort-by-hotness failure
 //! mode). Beyond a modest `k2` the layout stabilizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_k2 [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells, require_complete, Cell, CommonArgs};
 use slopt_core::{suggest_layout, FlgParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine, STAT_CLASSES};
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_k2",
+        "CycleLoss constant sweep on struct A (128-way)",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let a = kernel.records.a;
@@ -58,21 +62,12 @@ fn main() {
         });
     }
 
-    let (measured, report) = measure_cells_fault_obs(
-        "ablation_k2",
-        kernel,
-        &cells,
-        setup.runs,
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let measured = require_complete("ablation_k2", &cells, measured, &report, &args, &obs);
+    let outcome =
+        measure_cells(&ctx, "ablation_k2", kernel, &cells, setup.runs).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let measured = require_complete("ablation_k2", &ctx, &cells, outcome);
     let baseline = &measured[0];
 
     println!("=== ablation: k2 sweep on struct A (128-way) ===");
@@ -89,5 +84,5 @@ fn main() {
         );
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

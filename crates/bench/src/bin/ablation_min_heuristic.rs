@@ -10,9 +10,10 @@
 //! We compare the two modes' automatic layouts for every struct on the
 //! 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_min_heuristic [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells, require_complete, Cell, CommonArgs};
 use slopt_core::suggest_layout;
 use slopt_ir::affinity::{AffinityGraph, AffinityMode};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine};
@@ -20,10 +21,13 @@ use slopt_workload::{analyze, baseline_layouts, layouts_with, loss_for, Machine}
 const MODES: [AffinityMode; 2] = [AffinityMode::Minimum, AffinityMode::GroupFrequency];
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_min_heuristic",
+        "Minimum Heuristic vs group-frequency affinity (128-way)",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let machine = Machine::superdome(128);
@@ -52,28 +56,12 @@ fn main() {
         }
     }
 
-    let (measured, report) = measure_cells_fault_obs(
-        "ablation_min_heuristic",
-        kernel,
-        &cells,
-        setup.runs,
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let measured = require_complete(
-        "ablation_min_heuristic",
-        &cells,
-        measured,
-        &report,
-        &args,
-        &obs,
-    );
+    let outcome = measure_cells(&ctx, "ablation_min_heuristic", kernel, &cells, setup.runs)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let measured = require_complete("ablation_min_heuristic", &ctx, &cells, outcome);
     let baseline = &measured[0];
 
     println!("=== ablation: Minimum Heuristic vs group-frequency affinity (128-way) ===");
@@ -90,5 +78,5 @@ fn main() {
         );
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

@@ -9,19 +9,23 @@
 //! paper's subject — is protocol-independent: the sort-by-hotness
 //! catastrophe on struct A is reproduced under both.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_protocol [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells, require_complete, Cell, CommonArgs};
 use slopt_sim::Protocol;
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts_jobs_obs, layouts_with, LayoutKind, Machine, SdetConfig,
 };
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_protocol",
+        "MESI vs MSI coherence, struct A (128-way)",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
     let machine = Machine::superdome(128);
     let layouts = compute_paper_layouts_jobs_obs(
         &setup.kernel,
@@ -29,7 +33,7 @@ fn main() {
         &setup.analysis,
         setup.tool,
         setup.jobs,
-        &obs,
+        &ctx.obs,
     );
     let a = setup.kernel.records.a;
     let protocols = [Protocol::Mesi, Protocol::Msi];
@@ -60,21 +64,12 @@ fn main() {
         });
     }
 
-    let (measured, report) = measure_cells_fault_obs(
-        "ablation_protocol",
-        &setup.kernel,
-        &cells,
-        setup.runs,
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let measured = require_complete("ablation_protocol", &cells, measured, &report, &args, &obs);
+    let outcome = measure_cells(&ctx, "ablation_protocol", &setup.kernel, &cells, setup.runs)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let measured = require_complete("ablation_protocol", &ctx, &cells, outcome);
 
     println!("=== ablation: MESI vs MSI (128-way) ===");
     println!(
@@ -92,5 +87,5 @@ fn main() {
         );
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

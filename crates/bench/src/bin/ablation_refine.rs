@@ -6,17 +6,21 @@
 //! measured throughput of both variants' automatic layouts per struct on
 //! the 128-way machine.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_refine [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{figure_setup, measure_cells_fault_obs, require_complete, Cell, RunnerArgs};
+use slopt_bench::{figure_setup, measure_cells, require_complete, Cell, CommonArgs};
 use slopt_core::{clustering_score, RefineParams, ToolParams};
 use slopt_workload::{analyze, baseline_layouts, layouts_with, suggest_for, Machine};
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_refine",
+        "greedy vs refined clustering (128-way)",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
     let kernel = &setup.kernel;
     let analysis = analyze(kernel, &setup.sdet, &setup.analysis);
     let machine = Machine::superdome(128);
@@ -51,21 +55,12 @@ fn main() {
         }
     }
 
-    let (measured, report) = measure_cells_fault_obs(
-        "ablation_refine",
-        kernel,
-        &cells,
-        setup.runs,
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    let measured = require_complete("ablation_refine", &cells, measured, &report, &args, &obs);
+    let outcome = measure_cells(&ctx, "ablation_refine", kernel, &cells, setup.runs)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let measured = require_complete("ablation_refine", &ctx, &cells, outcome);
     let baseline = &measured[0];
 
     println!("=== ablation: greedy vs refined clustering (128-way) ===");
@@ -84,5 +79,5 @@ fn main() {
         );
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

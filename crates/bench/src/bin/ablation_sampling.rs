@@ -7,26 +7,31 @@
 //! contended counters, and (b) the top-20 concurrency-pair overlap with
 //! exact (unsampled) ground truth.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --scale N --jobs N --trace-out t.jsonl --stats --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin ablation_sampling [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{RunnerArgs, SITE_WORKER};
+use slopt_bench::{CommonArgs, SITE_WORKER};
 use slopt_core::{par_map_supervised, suggest_layout, WorkerError};
 use slopt_fault::{exit, FaultKind};
 use slopt_sample::{concurrency_map, ConcurrencyConfig, ExactCounter, SamplerConfig};
 use slopt_workload::{analyze_obs, baseline_layouts, run_once, AnalysisConfig, STAT_CLASSES};
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
-    let obs = args.obs();
+    let args = CommonArgs::from_env_or_exit(
+        "ablation_sampling",
+        "sampling period/interval sweep for Code Concurrency fidelity",
+        "",
+    );
+    let fault = args.fault.clone();
     let setup = slopt_bench::default_figure_setup(args.scale);
+    let ctx = args.ctx_or_exit();
     let kernel = &setup.kernel;
     let layouts = baseline_layouts(kernel, setup.sdet.line_size);
 
     // Ground truth: exact per-block counts on the measurement machine.
     let mut exact = ExactCounter::new();
     {
-        let _span = obs.span("exact_run");
+        let _span = ctx.obs.span("exact_run");
         run_once(
             kernel,
             &layouts,
@@ -62,7 +67,7 @@ fn main() {
     eprintln!(
         "[ablation_sampling] analyzing {} sampling configurations on {} thread(s)...",
         grid.len(),
-        args.jobs
+        ctx.jobs
     );
     // One (period, interval) configuration: instrumented run + analysis.
     let analyze_pair = |(period, interval): (u64, u64)| {
@@ -74,7 +79,7 @@ fn main() {
             interval,
             ..setup.analysis.clone()
         };
-        let analysis = analyze_obs(kernel, &setup.sdet, &cfg, &obs);
+        let analysis = analyze_obs(kernel, &setup.sdet, &cfg, &ctx.obs);
         let a = kernel.records.a;
         let affinity = slopt_workload::analyze::affinity_for(kernel, &analysis, a);
         let loss = slopt_workload::loss_for(kernel, &analysis, a);
@@ -102,7 +107,7 @@ fn main() {
     type Row = Option<(usize, bool, f64)>;
     let (rows, degraded): (Vec<Row>, bool) = match &fault {
         None => (
-            slopt_core::par_map(args.jobs, &grid, |_, &pair| analyze_pair(pair))
+            slopt_core::par_map(ctx.jobs, &grid, |_, &pair| analyze_pair(pair))
                 .into_iter()
                 .map(Some)
                 .collect(),
@@ -111,26 +116,26 @@ fn main() {
         Some(fc) => {
             let plan = &fc.plan;
             let (rows, report) =
-                par_map_supervised(args.jobs, &grid, &fc.policy, |i, &pair, attempt| {
+                par_map_supervised(ctx.jobs, &grid, &fc.policy, |i, &pair, attempt| {
                     let gi = i as u64;
                     if plan.fires(FaultKind::Permanent, SITE_WORKER, gi, attempt) {
-                        obs.warning("fault.injected.permanent");
+                        ctx.obs.warning("fault.injected.permanent");
                         return Err(WorkerError::permanent(format!(
                             "injected permanent fault (grid item {i})"
                         )));
                     }
                     if plan.fires(FaultKind::Panic, SITE_WORKER, gi, attempt) {
-                        obs.warning("fault.injected.panic");
+                        ctx.obs.warning("fault.injected.panic");
                         panic!("injected worker panic (grid item {i}, attempt {attempt})");
                     }
                     if plan.fires(FaultKind::Transient, SITE_WORKER, gi, attempt) {
-                        obs.warning("fault.injected.transient");
+                        ctx.obs.warning("fault.injected.transient");
                         return Err(WorkerError::transient(format!(
                             "injected transient fault (grid item {i}, attempt {attempt})"
                         )));
                     }
                     if plan.fires(FaultKind::Slow, SITE_WORKER, gi, attempt) {
-                        obs.warning("fault.injected.slow");
+                        ctx.obs.warning("fault.injected.slow");
                         std::thread::sleep(std::time::Duration::from_millis(plan.slow_ms()));
                     }
                     Ok(analyze_pair(pair))
@@ -167,7 +172,7 @@ fn main() {
         }
     }
 
-    args.finish(&obs);
+    ctx.finish();
     if degraded {
         std::process::exit(i32::from(exit::DEGRADED));
     }

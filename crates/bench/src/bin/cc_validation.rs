@@ -12,9 +12,10 @@
 //!    concurrency values remain more or less the same". We compare the
 //!    top-K sets across machine sizes.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin cc_validation`
+//! Usage: `cargo run --release -p slopt-bench --bin cc_validation [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{default_figure_setup, CommonArgs};
 use slopt_sample::{concurrency_map, ConcurrencyConfig, ConcurrencyMap, ExactCounter, Sampler};
 use slopt_workload::{baseline_layouts, run_once, Machine};
 
@@ -31,8 +32,12 @@ fn top_overlap(a: &ConcurrencyMap, b: &ConcurrencyMap, k: usize) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = CommonArgs::from_env_or_exit(
+        "cc_validation",
+        "Code Concurrency sampling-fidelity and machine-size checks",
+        "",
+    );
+    let setup = default_figure_setup(args.scale);
     let kernel = &setup.kernel;
     let layouts = baseline_layouts(kernel, setup.sdet.line_size);
     let cc_cfg = ConcurrencyConfig {

@@ -7,21 +7,25 @@
 //! and slightly beats automatic on B; C and D stay best with the
 //! automatic layout. Best-case improvement ≈ 3.2%.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig10 [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 //!
 //! With `--fault-plan` (see `slopt-fault`), grid items run under the
 //! supervised pool: transient faults are retried away (output stays
 //! bit-identical to a clean run), permanent faults degrade to a partial
 //! table plus exit code 4.
 
-use slopt_bench::{figure_fault_obs, figure_setup, require_figure, RunnerArgs};
+use slopt_bench::{figure, figure_setup, require_figure, CommonArgs};
 use slopt_workload::{best_rows, compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "fig10",
+        "best layout per struct (automatic vs constrained) on the 128-way Superdome",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
 
     eprintln!("[fig10] measurement run (16-way) + layout derivation...");
     let layouts = compute_paper_layouts_jobs_obs(
@@ -30,7 +34,7 @@ fn main() {
         &setup.analysis,
         setup.tool,
         setup.jobs,
-        &obs,
+        &ctx.obs,
     );
 
     eprintln!(
@@ -38,7 +42,8 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::superdome(128);
-    let outcome = figure_fault_obs(
+    let outcome = figure(
+        &ctx,
         "fig10",
         &setup.kernel,
         &machine,
@@ -47,16 +52,12 @@ fn main() {
         &layouts,
         &[LayoutKind::Tool, LayoutKind::Constrained],
         "Figure 10: best layout per struct (automatic vs constrained)",
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    let fig = require_figure("fig10", outcome, &args, &obs);
+    let fig = require_figure("fig10", &ctx, outcome);
     println!("{fig}");
 
     println!("best layout per struct:");
@@ -64,5 +65,5 @@ fn main() {
         println!("  {letter}: {kind} ({pct:+.2}%)");
     }
 
-    args.finish(&obs);
+    ctx.finish();
 }

@@ -5,21 +5,25 @@
 //! layout — separating the few false-sharing fields costs nothing when
 //! false sharing is cheap, and the locality improvements still help.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --scale N --jobs N --trace-out t.jsonl --stats --checkpoint-dir d --resume --fault-plan spec --max-retries N --deadline-ms N]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig9 [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 //!
 //! With `--fault-plan` (see `slopt-fault`), grid items run under the
 //! supervised pool: transient faults are retried away (output stays
 //! bit-identical to a clean run), permanent faults degrade to a partial
 //! table plus exit code 4.
 
-use slopt_bench::{figure_fault_obs, figure_setup, require_figure, RunnerArgs};
+use slopt_bench::{figure, figure_setup, require_figure, CommonArgs};
 use slopt_workload::{compute_paper_layouts_jobs_obs, LayoutKind, Machine};
 
 fn main() {
-    let args = RunnerArgs::from_env();
-    let fault = args.fault_config_or_exit();
+    let args = CommonArgs::from_env_or_exit(
+        "fig9",
+        "the Figure-8 layouts measured on a 4-way bus machine",
+        "",
+    );
     let setup = figure_setup(&args);
-    let obs = args.obs();
+    let ctx = args.ctx_or_exit();
 
     eprintln!("[fig9] measurement run (16-way) + layout derivation...");
     let layouts = compute_paper_layouts_jobs_obs(
@@ -28,7 +32,7 @@ fn main() {
         &setup.analysis,
         setup.tool,
         setup.jobs,
-        &obs,
+        &ctx.obs,
     );
 
     eprintln!(
@@ -36,7 +40,8 @@ fn main() {
         setup.runs, setup.jobs
     );
     let machine = Machine::bus(4);
-    let outcome = figure_fault_obs(
+    let outcome = figure(
+        &ctx,
         "fig9",
         &setup.kernel,
         &machine,
@@ -45,17 +50,13 @@ fn main() {
         &layouts,
         &[LayoutKind::Tool, LayoutKind::SortByHotness],
         "Figure 9: the Figure-8 layouts on a 4-way bus machine",
-        setup.jobs,
-        args.checkpoint_spec().as_ref(),
-        fault.as_ref(),
-        &obs,
     )
     .unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
-    let fig = require_figure("fig9", outcome, &args, &obs);
+    let fig = require_figure("fig9", &ctx, outcome);
     println!("{fig}");
 
-    args.finish(&obs);
+    ctx.finish();
 }

@@ -23,10 +23,11 @@
 //! Deterministic: one master seed (`--seed`) fixes every chain, and the
 //! output is bit-identical for every `--jobs` value.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin fig_search [-- --scale N
-//! --jobs N --seed S --chains C --steps K --top T --trace-out t.jsonl --stats]`
+//! Usage: `cargo run --release -p slopt-bench --bin fig_search [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]) plus
+//! `--seed`, `--chains`, `--steps`, `--top`.
 
-use slopt_bench::{figure_setup, RunnerArgs};
+use slopt_bench::{figure_setup, CommonArgs};
 use slopt_core::{sort_by_hotness, ToolParams};
 use slopt_ir::types::RecordId;
 use slopt_obs::Obs;
@@ -36,6 +37,13 @@ use slopt_workload::{
     stress_workload, suggest_for_obs, validate_top_k, KernelAnalysis, Machine, SdetConfig,
     WorkloadSpec,
 };
+
+const EXTRA_FLAGS: &str = "SEARCH OPTIONS:
+    --seed <u64>          master seed for the annealing portfolio [default: 42]
+    --chains <n>          independent annealing chains per record [default: 6]
+    --steps <n>           annealing steps per chain [default: 1200]
+    --top <n>             candidates re-measured in the simulator [default: 2]
+";
 
 fn uint_flag(args: &[String], name: &str, default: u64) -> u64 {
     args.windows(2)
@@ -135,14 +143,19 @@ fn section<W: WorkloadSpec + Sync>(
 }
 
 fn main() {
-    let args = RunnerArgs::from_env();
+    let args = CommonArgs::from_env_or_exit(
+        "fig_search",
+        "greedy clustering vs the stochastic layout search",
+        EXTRA_FLAGS,
+    );
     let setup = figure_setup(&args);
+    let ctx = args.ctx_or_exit();
     let raw: Vec<String> = std::env::args().collect();
     let seed = uint_flag(&raw, "--seed", 42);
     let chains = uint_flag(&raw, "--chains", 6) as usize;
     let steps = uint_flag(&raw, "--steps", 1_200) as usize;
     let top = (uint_flag(&raw, "--top", 2) as usize).max(1);
-    let obs = args.obs();
+    let obs = &ctx.obs;
 
     let params = SearchParams {
         steps,
@@ -174,28 +187,21 @@ fn main() {
         .iter()
         .map(|&(l, r)| (l.to_string(), r))
         .collect();
-    let kernel_analysis = analyze_obs(&setup.kernel, &setup.sdet, &setup.analysis, &obs);
+    let kernel_analysis = analyze_obs(&setup.kernel, &setup.sdet, &setup.analysis, obs);
     let kernel_better = section(
         "kernel",
         &setup.kernel,
         &kernel_records,
         &kernel_analysis,
         &cfg,
-        &obs,
+        obs,
     );
 
     eprintln!("[fig_search] stress workload measurement run...");
     let stress = stress_workload();
     let stress_recs = stress_records(&stress);
-    let stress_analysis = analyze_obs(&stress, &setup.sdet, &setup.analysis, &obs);
-    let stress_better = section(
-        "stress",
-        &stress,
-        &stress_recs,
-        &stress_analysis,
-        &cfg,
-        &obs,
-    );
+    let stress_analysis = analyze_obs(&stress, &setup.sdet, &setup.analysis, obs);
+    let stress_better = section("stress", &stress, &stress_recs, &stress_analysis, &cfg, obs);
 
     println!(
         "search vs greedy: kernel {kernel_better}/{} (greedy already optimal there), \
@@ -204,5 +210,5 @@ fn main() {
         stress_recs.len()
     );
 
-    args.finish(&obs);
+    ctx.finish();
 }

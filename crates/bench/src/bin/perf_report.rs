@@ -70,7 +70,7 @@
 //! unchanged, so /1–/4 consumers can read /5 reports by ignoring the
 //! new fields.
 
-use slopt_bench::runner::parse_jobs;
+use slopt_bench::CommonArgs;
 use slopt_core::{canonical_cluster_sum, cluster, cluster_with, DeltaObjective, Flg, FlgRef, Move};
 use slopt_ir::cfg::{BlockId, FuncId};
 use slopt_ir::interp::SplitMix64;
@@ -95,7 +95,13 @@ struct Args {
 
 impl Args {
     fn from_env() -> Args {
-        let args: Vec<String> = std::env::args().collect();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // `--jobs` comes from the shared execution-context parser (which
+        // skips the bin-specific flags below as unknown tokens).
+        let common = CommonArgs::parse(&args).unwrap_or_else(|e| {
+            eprintln!("perf_report: {e}");
+            std::process::exit(i32::from(slopt_fault::exit::USAGE));
+        });
         let out = args
             .windows(2)
             .find(|w| w[0] == "--out")
@@ -103,7 +109,7 @@ impl Args {
             .unwrap_or_else(|| "BENCH_sim.json".to_string());
         Args {
             quick: args.iter().any(|a| a == "--quick"),
-            jobs: parse_jobs(&args),
+            jobs: common.jobs,
             out,
             reference: !args.iter().any(|a| a == "--no-reference"),
         }

@@ -7,9 +7,10 @@
 //! latencies; struct A is measured with the baseline and sort-by-hotness
 //! layouts at each point.
 //!
-//! Usage: `cargo run --release -p slopt-bench --bin sweep_remote_latency`
+//! Usage: `cargo run --release -p slopt-bench --bin sweep_remote_latency [-- --help]` —
+//! accepts the shared execution-context flags ([`slopt_bench::args`]).
 
-use slopt_bench::{default_figure_setup, parse_scale};
+use slopt_bench::{default_figure_setup, CommonArgs};
 use slopt_sim::{LatencyModel, Topology};
 use slopt_workload::{
     baseline_layouts, compute_paper_layouts, layouts_with, measure, LayoutKind, Machine,
@@ -29,8 +30,12 @@ fn scaled(lat: LatencyModel, factor: f64) -> LatencyModel {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let setup = default_figure_setup(parse_scale(&args));
+    let args = CommonArgs::from_env_or_exit(
+        "sweep_remote_latency",
+        "sort-by-hotness cost vs coherence-transfer latency (64-way)",
+        "",
+    );
+    let setup = default_figure_setup(args.scale);
     let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);
     let a = setup.kernel.records.a;
 

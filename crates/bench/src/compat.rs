@@ -1,0 +1,143 @@
+//! Deprecated forwarders for the pre-[`ExecCtx`] runner entry points.
+//!
+//! The runner used to grow one function per capability combination
+//! (observability × checkpointing × fault supervision); those twins are
+//! now thin shims over the single [`measure_cells`] / [`figure`] path,
+//! kept for exactly one release so out-of-tree callers get a
+//! deprecation warning instead of a build break. They will be removed
+//! in the next PR — migrate to [`ExecCtx`].
+//!
+//! [`measure_cells`]: crate::runner::measure_cells
+//! [`figure`]: crate::runner::figure
+
+#![allow(deprecated)]
+
+use slopt_core::FaultReport;
+use slopt_workload::{Figure, Kernel, LayoutKind, Machine, PaperLayouts, Throughput, WorkloadSpec};
+
+use crate::checkpoint::CheckpointSpec;
+use crate::runner::{figure, measure_cells, Cell, ExecCtx, FaultConfig, FigureOutcome};
+
+fn ctx_from(
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    fault: Option<&FaultConfig>,
+    obs: &slopt_obs::Obs,
+) -> ExecCtx {
+    ExecCtx {
+        obs: obs.clone(),
+        checkpoint: spec.cloned(),
+        fault: fault.cloned(),
+        jobs,
+        stats: false,
+        trace_out: None,
+    }
+}
+
+/// [`measure_cells`](crate::runner::measure_cells) with instrumentation.
+#[deprecated(note = "build an `ExecCtx` and call `measure_cells(&ctx, ...)` instead")]
+pub fn measure_cells_obs(
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    obs: &slopt_obs::Obs,
+) -> Vec<Throughput> {
+    let ctx = ctx_from(jobs, None, None, obs);
+    let out = measure_cells(&ctx, "grid", kernel, cells, runs)
+        .expect("no checkpoint requested, so no I/O can fail");
+    out.measured
+        .into_iter()
+        .map(|m| m.expect("no fault plan, so no holes"))
+        .collect()
+}
+
+/// [`measure_cells`](crate::runner::measure_cells) with optional
+/// checkpoint/resume.
+#[deprecated(note = "build an `ExecCtx` and call `measure_cells(&ctx, ...)` instead")]
+pub fn measure_cells_ckpt_obs(
+    name: &str,
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<Vec<Throughput>> {
+    let ctx = ctx_from(jobs, spec, None, obs);
+    let out = measure_cells(&ctx, name, kernel, cells, runs)?;
+    Ok(out
+        .measured
+        .into_iter()
+        .map(|m| m.expect("no fault plan, so no holes"))
+        .collect())
+}
+
+/// [`measure_cells`](crate::runner::measure_cells) under fault
+/// supervision.
+#[deprecated(note = "build an `ExecCtx` and call `measure_cells(&ctx, ...)` instead")]
+#[allow(clippy::too_many_arguments)]
+pub fn measure_cells_fault_obs(
+    name: &str,
+    kernel: &(impl WorkloadSpec + Sync),
+    cells: &[Cell],
+    runs: usize,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    fault: Option<&FaultConfig>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<(Vec<Option<Throughput>>, FaultReport)> {
+    let ctx = ctx_from(jobs, spec, fault, obs);
+    let out = measure_cells(&ctx, name, kernel, cells, runs)?;
+    Ok((out.measured, out.report))
+}
+
+/// [`figure`](crate::runner::figure) with optional checkpoint/resume,
+/// returning the assembled figure directly (no fault plan, so the grid
+/// is always complete).
+#[deprecated(note = "build an `ExecCtx` and call `figure(&ctx, ...)` instead")]
+#[allow(clippy::too_many_arguments)]
+pub fn figure_ckpt_obs(
+    name: &str,
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &slopt_workload::SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<Figure> {
+    let ctx = ctx_from(jobs, spec, None, obs);
+    let outcome = figure(
+        &ctx, name, kernel, machine, sdet, runs, layouts, kinds, title,
+    )?;
+    Ok(outcome
+        .figure
+        .expect("no fault plan, so the grid is complete"))
+}
+
+/// [`figure`](crate::runner::figure) under fault supervision.
+#[deprecated(note = "build an `ExecCtx` and call `figure(&ctx, ...)` instead")]
+#[allow(clippy::too_many_arguments)]
+pub fn figure_fault_obs(
+    name: &str,
+    kernel: &Kernel,
+    machine: &Machine,
+    sdet: &slopt_workload::SdetConfig,
+    runs: usize,
+    layouts: &PaperLayouts,
+    kinds: &[LayoutKind],
+    title: impl Into<String>,
+    jobs: usize,
+    spec: Option<&CheckpointSpec>,
+    fault: Option<&FaultConfig>,
+    obs: &slopt_obs::Obs,
+) -> std::io::Result<FigureOutcome> {
+    let ctx = ctx_from(jobs, spec, fault, obs);
+    figure(
+        &ctx, name, kernel, machine, sdet, runs, layouts, kinds, title,
+    )
+}

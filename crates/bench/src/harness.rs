@@ -50,7 +50,7 @@ pub fn default_figure_setup(scale: usize) -> FigureSetup {
 /// The setup for a parsed command line: [`default_figure_setup`] at the
 /// requested scale, with the measurement grid fanned across
 /// `args.jobs` threads.
-pub fn figure_setup(args: &crate::runner::RunnerArgs) -> FigureSetup {
+pub fn figure_setup(args: &crate::args::CommonArgs) -> FigureSetup {
     let mut setup = default_figure_setup(args.scale);
     setup.jobs = args.jobs;
     setup

@@ -20,15 +20,21 @@
 //! tool itself and a *real-hardware* false-sharing benchmark using
 //! `#[repr(C)]` layouts on host threads.
 
+pub mod args;
 pub mod checkpoint;
+pub mod compat;
 pub mod harness;
 pub mod runner;
 
+pub use args::{help_text, ArgError, CommonArgs, EXIT_CODE_TABLE, FLAG_REFERENCE};
 pub use checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
+#[allow(deprecated)]
+pub use compat::{
+    figure_ckpt_obs, figure_fault_obs, measure_cells_ckpt_obs, measure_cells_fault_obs,
+    measure_cells_obs,
+};
 pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
 pub use runner::{
-    figure_ckpt_obs, figure_fault_obs, measure_cells, measure_cells_ckpt_obs,
-    measure_cells_fault_obs, measure_cells_obs, parse_checkpoint_dir, parse_flag_value, parse_jobs,
-    parse_trace_out, require_complete, require_figure, Cell, FaultConfig, FigureOutcome,
-    RunnerArgs, SITE_CKPT, SITE_WORKER,
+    figure, measure_cells, require_complete, require_figure, resolve, Cell, Degraded, ExecCtx,
+    FaultConfig, FigureOutcome, GridOutcome, SITE_CKPT, SITE_WORKER,
 };

@@ -5,19 +5,26 @@
 //! workload/machine configuration — measure all of them, and print a
 //! table. This module owns that shape once:
 //!
-//! * [`RunnerArgs`] — the common `--scale N` / `--jobs N` command line;
+//! * [`ExecCtx`] — the execution context: observability, checkpointing,
+//!   fault supervision and the thread count, composed as *data* rather
+//!   than as a combinatorial family of function variants;
 //! * [`Cell`] — one grid cell (label + layout table + config + machine);
-//! * [`measure_cells`] — measures the whole grid, fanned out over host
-//!   threads at `(cell, run-seed)` granularity via
-//!   [`slopt_core::par_map`].
+//! * [`measure_cells`] — measures the whole grid under an [`ExecCtx`],
+//!   fanned out over host threads at `(cell, run-seed)` granularity;
+//! * [`figure`] — the figure-shaped wrapper: same grid, cells generated
+//!   by [`figure_tables`], assembled into a [`Figure`];
+//! * [`resolve`] — the one complete-vs-degraded decision shared by every
+//!   caller, so exit-4 semantics cannot diverge between the figure and
+//!   cell paths.
 //!
 //! Determinism contract: cells carry their entire configuration, run
-//! seeds come from [`slopt_workload::measurement_seeds`], and results are
-//! collected by `(cell, seed)` index — so the output is bit-identical for
-//! every `--jobs` value, including `--jobs 1` (which spawns no threads at
-//! all).
+//! seeds come from [`slopt_workload::measurement_seeds`], fault decisions
+//! are keyed by grid index, and results are collected by `(cell, seed)`
+//! index — so the output is bit-identical for every `jobs` value,
+//! including `jobs == 1` (which spawns no threads at all), and invariant
+//! under checkpoint resume.
 
-use slopt_core::{par_map_supervised, FaultReport, SupervisePolicy, WorkerError};
+use slopt_core::{par_map_supervised_commit, FaultReport, SupervisePolicy, WorkerError};
 use slopt_fault::{exit, FaultKind, FaultPlan};
 use slopt_sim::LayoutTable;
 use slopt_workload::{
@@ -26,8 +33,6 @@ use slopt_workload::{
 };
 
 use crate::checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
-use crate::harness::parse_scale;
-use std::path::PathBuf;
 use std::time::Duration;
 
 /// Fault-decision site for worker execution (`--fault-plan` panics,
@@ -36,35 +41,9 @@ pub const SITE_WORKER: &str = "worker";
 /// Fault-decision site for checkpoint appends (`write-error`).
 pub const SITE_CKPT: &str = "ckpt";
 
-/// The command-line arguments shared by every figure/ablation binary.
-#[derive(Clone, Debug)]
-pub struct RunnerArgs {
-    /// Workload scale factor (`--scale N`, default 1).
-    pub scale: usize,
-    /// Host threads to fan work across (`--jobs N`, default: available
-    /// parallelism).
-    pub jobs: usize,
-    /// Machine-readable run trace destination (`--trace-out <path>`,
-    /// `slopt-trace/1` JSONL).
-    pub trace_out: Option<String>,
-    /// Print the human counter/span summary table at exit (`--stats`).
-    pub stats: bool,
-    /// Grid checkpoint directory (`--checkpoint-dir <dir>`).
-    pub checkpoint_dir: Option<String>,
-    /// Resume from the checkpoint instead of starting fresh (`--resume`).
-    pub resume: bool,
-    /// Raw fault-plan spec (`--fault-plan <spec>`), validated by
-    /// [`RunnerArgs::fault_config`].
-    pub fault_plan: Option<String>,
-    /// Raw retry budget (`--max-retries N`).
-    pub max_retries: Option<String>,
-    /// Raw per-item deadline (`--deadline-ms N`).
-    pub deadline_ms: Option<String>,
-}
-
 /// Fault injection plus the supervision policy that contains it, as
 /// requested by `--fault-plan` / `--max-retries` / `--deadline-ms`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
     /// The seeded injection schedule (the no-op plan when only the
     /// supervision flags were given).
@@ -73,130 +52,105 @@ pub struct FaultConfig {
     pub policy: SupervisePolicy,
 }
 
-impl RunnerArgs {
-    /// Parses `std::env::args()`.
-    pub fn from_env() -> RunnerArgs {
-        let args: Vec<String> = std::env::args().collect();
-        RunnerArgs::from_args(&args)
-    }
+/// The execution context: every capability a grid run can carry,
+/// composed as plain data.
+///
+/// Historically each capability combination had its own entry point (an
+/// `_obs` / checkpoint / fault suffix per axis, see [`crate::compat`]);
+/// the lattice grew multiplicatively with each new capability. An
+/// `ExecCtx` collapses that into one
+/// [`measure_cells`] / [`figure`] path: a capability that is "off" is
+/// simply `None` (or a disabled [`slopt_obs::Obs`] handle), and the
+/// runner's behavior with everything off is bit-identical to the old
+/// plain path.
+#[derive(Clone)]
+pub struct ExecCtx {
+    /// Observability handle. [`slopt_obs::Obs::disabled`] is zero-cost.
+    pub obs: slopt_obs::Obs,
+    /// Grid checkpoint/resume request (`--checkpoint-dir` / `--resume`).
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Fault injection + supervision (`--fault-plan` / `--max-retries` /
+    /// `--deadline-ms`). `None` runs the trusting scheduler.
+    pub fault: Option<FaultConfig>,
+    /// Host threads to fan work across.
+    pub jobs: usize,
+    /// Print the human counter/span summary table from [`ExecCtx::finish`]
+    /// (`--stats`).
+    pub stats: bool,
+    /// Where the trace sink writes, if anywhere (`--trace-out`) — kept so
+    /// [`ExecCtx::finish`] can tell the user where the trace went.
+    pub trace_out: Option<String>,
+}
 
-    /// Parses `--scale N`, `--jobs N`, `--trace-out <path>`, `--stats`,
-    /// `--checkpoint-dir <dir>` and `--resume` from an argument list.
-    pub fn from_args(args: &[String]) -> RunnerArgs {
-        RunnerArgs {
-            scale: parse_scale(args),
-            jobs: parse_jobs(args),
-            trace_out: parse_trace_out(args),
-            stats: args.iter().any(|a| a == "--stats"),
-            checkpoint_dir: parse_checkpoint_dir(args),
-            resume: args.iter().any(|a| a == "--resume"),
-            fault_plan: parse_flag_value(args, "--fault-plan"),
-            max_retries: parse_flag_value(args, "--max-retries"),
-            deadline_ms: parse_flag_value(args, "--deadline-ms"),
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("obs_enabled", &self.obs.enabled())
+            .field("checkpoint", &self.checkpoint)
+            .field("fault", &self.fault)
+            .field("jobs", &self.jobs)
+            .field("stats", &self.stats)
+            .field("trace_out", &self.trace_out)
+            .finish()
+    }
+}
+
+impl ExecCtx {
+    /// The bare context: no observability, no checkpoint, no fault
+    /// supervision — the old `measure_cells(kernel, cells, runs, jobs)`
+    /// behavior.
+    pub fn bare(jobs: usize) -> ExecCtx {
+        ExecCtx {
+            obs: slopt_obs::Obs::disabled(),
+            checkpoint: None,
+            fault: None,
+            jobs,
+            stats: false,
+            trace_out: None,
         }
     }
 
-    /// Validates the fault/supervision flags into a [`FaultConfig`].
-    /// `Ok(None)` when none of the three flags were given; `Err` carries
-    /// a usage message naming the offending value.
-    pub fn fault_config(&self) -> Result<Option<FaultConfig>, String> {
-        if self.fault_plan.is_none() && self.max_retries.is_none() && self.deadline_ms.is_none() {
-            return Ok(None);
-        }
-        let plan = match &self.fault_plan {
-            Some(spec) => FaultPlan::parse(spec).map_err(|e| e.to_string())?,
-            None => FaultPlan::none(),
-        };
-        let mut policy = SupervisePolicy::default();
-        if let Some(raw) = &self.max_retries {
-            policy.max_retries = raw
-                .parse()
-                .map_err(|_| format!("bad --max-retries `{raw}`"))?;
-        }
-        if let Some(raw) = &self.deadline_ms {
-            let ms: u64 = raw
-                .parse()
-                .map_err(|_| format!("bad --deadline-ms `{raw}`"))?;
-            if ms == 0 {
-                return Err("--deadline-ms must be positive".to_string());
-            }
-            policy.deadline = Some(Duration::from_millis(ms));
-        }
-        Ok(Some(FaultConfig { plan, policy }))
+    /// Replaces the observability handle.
+    pub fn with_obs(mut self, obs: slopt_obs::Obs) -> ExecCtx {
+        self.obs = obs;
+        self
     }
 
-    /// [`RunnerArgs::fault_config`], exiting with [`exit::USAGE`] on a
-    /// malformed flag — the shared prologue of the figure/ablation
-    /// binaries.
-    pub fn fault_config_or_exit(&self) -> Option<FaultConfig> {
-        self.fault_config().unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(i32::from(exit::USAGE));
-        })
+    /// Adds a checkpoint request.
+    pub fn with_checkpoint(mut self, spec: CheckpointSpec) -> ExecCtx {
+        self.checkpoint = Some(spec);
+        self
     }
 
-    /// The checkpoint request, if `--checkpoint-dir` was given. `--resume`
-    /// without a checkpoint directory is meaningless and ignored.
-    pub fn checkpoint_spec(&self) -> Option<CheckpointSpec> {
-        self.checkpoint_dir.as_ref().map(|dir| CheckpointSpec {
-            dir: PathBuf::from(dir),
-            resume: self.resume,
-        })
+    /// Adds fault supervision.
+    pub fn with_fault(mut self, fault: FaultConfig) -> ExecCtx {
+        self.fault = Some(fault);
+        self
     }
 
-    /// Builds the observability handle the flags ask for: a trace-file
-    /// sink for `--trace-out`, aggregate-only for plain `--stats`, the
-    /// zero-cost disabled handle otherwise.
-    ///
-    /// Exits with an error message if the trace file cannot be created.
-    pub fn obs(&self) -> slopt_obs::Obs {
-        match slopt_obs::obs_from_flags(self.trace_out.as_deref(), self.stats) {
-            Ok(obs) => obs,
-            Err(e) => {
-                let path = self.trace_out.as_deref().unwrap_or("<none>");
-                eprintln!("error: cannot open trace output {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+    /// The per-item deadline in milliseconds, if fault supervision
+    /// carries one. The deadline lives inside the supervision policy —
+    /// it is only enforceable by the supervised pool — but callers ask
+    /// the context, not the policy.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        self.fault
+            .as_ref()
+            .and_then(|f| f.policy.deadline)
+            .map(|d| d.as_millis() as u64)
     }
 
-    /// Flushes the trace sink and, under `--stats`, prints the aggregate
+    /// Flushes the trace sink and, under `stats`, prints the aggregate
     /// summary table. Call once at the end of `main`.
-    pub fn finish(&self, obs: &slopt_obs::Obs) {
-        obs.finish();
-        if self.stats && obs.enabled() {
+    pub fn finish(&self) {
+        self.obs.finish();
+        if self.stats && self.obs.enabled() {
             println!("=== run stats ===");
-            print!("{}", obs.summary());
+            print!("{}", self.obs.summary());
         }
         if let Some(path) = &self.trace_out {
             eprintln!("[runner] trace written to {path}");
         }
     }
-}
-
-/// Parses an optional `<name> <value>` argument pair.
-pub fn parse_flag_value(args: &[String], name: &str) -> Option<String> {
-    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
-}
-
-/// Parses the optional `--trace-out <path>` argument.
-pub fn parse_trace_out(args: &[String]) -> Option<String> {
-    parse_flag_value(args, "--trace-out")
-}
-
-/// Parses the optional `--checkpoint-dir <dir>` argument.
-pub fn parse_checkpoint_dir(args: &[String]) -> Option<String> {
-    parse_flag_value(args, "--checkpoint-dir")
-}
-
-/// Parses the optional `--jobs N` argument; defaults to the host's
-/// available parallelism, and clamps 0 to 1.
-pub fn parse_jobs(args: &[String]) -> usize {
-    args.windows(2)
-        .find(|w| w[0] == "--jobs")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or_else(slopt_core::default_jobs)
-        .max(1)
 }
 
 /// One measurement cell of an experiment grid.
@@ -217,125 +171,76 @@ pub struct Cell {
     pub machine: Machine,
 }
 
-/// Measures every cell — a warm-up plus `runs` measured runs each — and
-/// returns one [`Throughput`] per cell, in cell order.
+/// What [`measure_cells`] produced: one (possibly holed) measurement per
+/// cell plus the supervised pool's report.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// Per-cell measurement in cell order; `None` marks a hole (a cell
+    /// that lost at least one measured run to a permanent fault).
+    pub measured: Vec<Option<Throughput>>,
+    /// What the supervised pool saw. The trusting path reports
+    /// all-completed with no faults.
+    pub report: FaultReport,
+}
+
+/// Measures every cell — a warm-up plus `runs` measured runs each —
+/// under the given execution context, and returns one (possibly holed)
+/// [`Throughput`] per cell, in cell order.
 ///
 /// The grid is flattened to `(cell, run seed)` work items, the finest
 /// independent unit of simulation, so even a handful of cells scales to
-/// many threads. Results are bit-identical for every `jobs` value.
+/// many threads. Results are bit-identical for every `ctx.jobs` value.
+///
+/// Capabilities, per the context:
+///
+/// * **Observability** (`ctx.obs`): the whole grid runs under a
+///   `measure_grid` span, every `(cell, seed)` simulation under its own
+///   `measure_cell` span (workers get distinct trace thread ids), and
+///   the grid shape plus per-worker utilization are flushed as
+///   `runner.*` counters and gauges. Disabled handles cost nothing.
+/// * **Checkpointing** (`ctx.checkpoint`): every completed grid item is
+///   appended to `<name>.ckpt` as it is *accepted* — deadline-holed or
+///   quarantined items are never recorded as completed — and a later
+///   `resume` run loads those items and recomputes only the rest.
+///   Persisted values are exact `f64` bit patterns and results are
+///   assembled by grid index either way, so a resumed run's output is
+///   bit-identical to an uninterrupted one. The log header fingerprints
+///   the grid (name, run count, per-cell label + machine + workload
+///   config), so resuming a *different* grid is an error rather than a
+///   silent mix of experiments. Emits `ckpt.items_total` /
+///   `ckpt.items_resumed` counters and a `ckpt.torn_line` warning when
+///   the previous run died mid-append.
+/// * **Fault supervision** (`ctx.fault`): grid items run through the
+///   supervised pool; injected (or real) panics are contained, transient
+///   failures retry with bounded deterministic backoff, and items that
+///   still fail become `None` *holes*. Fault decisions are keyed by
+///   **grid index**, so they are identical under any `jobs` value and
+///   compose with resume. Transient faults are invisible (recovered
+///   items are bit-identical to a clean run's); permanent faults degrade
+///   explicitly (the [`FaultReport`] lists each poisoned grid item and
+///   the caller must exit [`exit::DEGRADED`], via [`resolve`]). Fault
+///   activity is surfaced as `warn.fault.injected.*`,
+///   `warn.fault.poisoned`, `warn.fault.deadline` and `retry.*`
+///   counters.
 ///
 /// # Panics
 ///
 /// Panics if `runs == 0`.
 pub fn measure_cells(
-    kernel: &(impl WorkloadSpec + Sync),
-    cells: &[Cell],
-    runs: usize,
-    jobs: usize,
-) -> Vec<Throughput> {
-    measure_cells_obs(kernel, cells, runs, jobs, &slopt_obs::Obs::disabled())
-}
-
-/// [`measure_cells`] with instrumentation: the whole grid runs under a
-/// `measure_grid` span, every `(cell, seed)` simulation under its own
-/// `measure_cell` span (workers get distinct trace thread ids), and the
-/// grid shape plus per-worker utilization — each worker's `measure_cell`
-/// wall time divided by the grid's — are flushed as `runner.*` counters
-/// and gauges.
-///
-/// # Panics
-///
-/// Panics if `runs == 0`.
-pub fn measure_cells_obs(
-    kernel: &(impl WorkloadSpec + Sync),
-    cells: &[Cell],
-    runs: usize,
-    jobs: usize,
-    obs: &slopt_obs::Obs,
-) -> Vec<Throughput> {
-    measure_cells_ckpt_obs("grid", kernel, cells, runs, jobs, None, obs)
-        .expect("no checkpoint requested, so no I/O can fail")
-}
-
-/// [`measure_cells_obs`] with optional checkpoint/resume.
-///
-/// With a [`CheckpointSpec`], every completed `(cell, seed)` grid item is
-/// appended to `<name>.ckpt` under the checkpoint directory as it
-/// finishes; a later invocation with `resume` loads those items and
-/// recomputes only the rest. Persisted values are exact `f64` bit
-/// patterns and results are assembled by grid index either way, so a
-/// resumed run's output is bit-identical to an uninterrupted one. The
-/// log header fingerprints the grid (name, run count, per-cell label +
-/// machine + workload config), so resuming a *different* grid is an
-/// error rather than a silent mix of experiments.
-///
-/// Emits `ckpt.items_total` / `ckpt.items_resumed` counters and a
-/// `ckpt.torn_line` warning when the previous run died mid-append.
-///
-/// # Panics
-///
-/// Panics if `runs == 0`.
-pub fn measure_cells_ckpt_obs(
+    ctx: &ExecCtx,
     name: &str,
     kernel: &(impl WorkloadSpec + Sync),
     cells: &[Cell],
     runs: usize,
-    jobs: usize,
-    spec: Option<&CheckpointSpec>,
-    obs: &slopt_obs::Obs,
-) -> std::io::Result<Vec<Throughput>> {
-    let (measured, _report) =
-        measure_cells_fault_obs(name, kernel, cells, runs, jobs, spec, None, obs)?;
-    Ok(measured
-        .into_iter()
-        .map(|m| m.expect("no fault plan, so no holes"))
-        .collect())
-}
-
-/// [`measure_cells_ckpt_obs`] under fault supervision.
-///
-/// With a [`FaultConfig`], grid items run through the supervised pool
-/// ([`par_map_supervised`]): injected (or real) panics are contained,
-/// transient failures retry with bounded deterministic backoff, and
-/// items that still fail become `None` *holes* in the per-cell result.
-/// Fault decisions are keyed by **grid index**, so they are identical
-/// under any `jobs` value and compose with `--resume` (a resumed run
-/// re-rolls the same decisions for its remaining items).
-///
-/// Degradation contract:
-///
-/// * **transient faults are invisible** — once retries recover every
-///   item, the returned throughputs are bit-identical to a clean run's;
-/// * **permanent faults degrade explicitly** — a cell missing any
-///   measured run becomes `None`, the [`FaultReport`] lists each
-///   poisoned grid item (indices remapped to grid positions), and the
-///   caller must exit with [`exit::DEGRADED`].
-///
-/// Fault activity is surfaced as `warn.fault.injected.*`,
-/// `warn.fault.poisoned`, `warn.fault.deadline` and `retry.*` counters
-/// on `obs`.
-///
-/// # Panics
-///
-/// Panics if `runs == 0`.
-#[allow(clippy::too_many_arguments)]
-pub fn measure_cells_fault_obs(
-    name: &str,
-    kernel: &(impl WorkloadSpec + Sync),
-    cells: &[Cell],
-    runs: usize,
-    jobs: usize,
-    spec: Option<&CheckpointSpec>,
-    fault: Option<&FaultConfig>,
-    obs: &slopt_obs::Obs,
-) -> std::io::Result<(Vec<Option<Throughput>>, FaultReport)> {
+) -> std::io::Result<GridOutcome> {
     assert!(runs > 0, "need at least one measured run");
+    let obs = &ctx.obs;
     let seeds = measurement_seeds(runs);
     let grid: Vec<(usize, u64)> = (0..cells.len())
         .flat_map(|c| seeds.iter().map(move |&seed| (c, seed)))
         .collect();
 
-    let ckpt = match spec {
+    let ckpt = match &ctx.checkpoint {
         Some(spec) => {
             let mut parts: Vec<String> = vec![name.to_string(), format!("runs={runs}")];
             for cell in cells {
@@ -377,12 +282,11 @@ pub fn measure_cells_fault_obs(
         cells.len(),
         runs,
         pending.len(),
-        jobs.max(1).min(pending.len().max(1))
+        ctx.jobs.max(1).min(pending.len().max(1))
     );
     let t0 = std::time::Instant::now();
-    // One grid item: the simulation plus (optionally faulty) checkpoint
-    // append. Shared by the trusting and the supervised scheduler.
-    let measure_item = |i: usize, c: usize, seed: u64, attempt: u32| -> f64 {
+    // One grid item's simulation, shared by both schedulers.
+    let simulate = |c: usize, seed: u64| -> f64 {
         let _cell = obs.span("measure_cell");
         let cell = &cells[c];
         let out = run_once(
@@ -398,9 +302,15 @@ pub fn measure_cells_fault_obs(
         // histograms this one is bit-identical at any --jobs value and
         // trace_diff compares it structurally.
         obs.histogram("figure.cell_makespan", out.result.makespan);
-        let value = out.result.throughput();
+        out.result.throughput()
+    };
+    // Committing an *accepted* grid item to the checkpoint. This is the
+    // run's only durable side effect, so it sits behind the supervised
+    // pool's acceptance boundary: an item the pool rejects (deadline
+    // overrun, quarantine) must never be recorded as completed.
+    let commit_value = |i: usize, value: f64, attempt: u32| {
         if let Some(ck) = &ckpt {
-            let dropped = fault.is_some_and(|f| {
+            let dropped = ctx.fault.as_ref().is_some_and(|f| {
                 f.plan
                     .fires(FaultKind::WriteError, SITE_CKPT, i as u64, attempt)
             });
@@ -412,14 +322,15 @@ pub fn measure_cells_fault_obs(
                 ck.record(i, value);
             }
         }
-        value
     };
-    let report = match fault {
+    let report = match &ctx.fault {
         None => {
             let computed = {
                 let _span = obs.span("measure_grid");
-                slopt_core::par_map(jobs, &pending, |_, &(i, c, seed)| {
-                    (i, measure_item(i, c, seed, 0))
+                slopt_core::par_map(ctx.jobs, &pending, |_, &(i, c, seed)| {
+                    let value = simulate(c, seed);
+                    commit_value(i, value, 0);
+                    (i, value)
                 })
             };
             for (i, value) in computed {
@@ -435,8 +346,8 @@ pub fn measure_cells_fault_obs(
             let plan = &fault.plan;
             let (computed, mut report) = {
                 let _span = obs.span("measure_grid");
-                par_map_supervised(
-                    jobs,
+                par_map_supervised_commit(
+                    ctx.jobs,
                     &pending,
                     &fault.policy,
                     |_, &(i, c, seed), attempt| {
@@ -463,8 +374,9 @@ pub fn measure_cells_fault_obs(
                             obs.warning("fault.injected.slow");
                             std::thread::sleep(Duration::from_millis(plan.slow_ms()));
                         }
-                        Ok((i, measure_item(i, c, seed, attempt)))
+                        Ok((i, simulate(c, seed)))
                     },
+                    |_, _, &(i, value), attempt| commit_value(i, value, attempt),
                 )
             };
             // The supervisor numbers items by position in `pending`;
@@ -514,69 +426,10 @@ pub fn measure_cells_fault_obs(
                 .map(Throughput::from_runs)
         })
         .collect();
-    Ok((measured, report))
+    Ok(GridOutcome { measured, report })
 }
 
-/// Measures one figure's grid — the all-baseline table plus one
-/// transformed struct at a time — with optional checkpoint/resume, and
-/// assembles the [`Figure`].
-///
-/// This is [`slopt_workload::figure_rows_jobs_obs`] routed through
-/// [`measure_cells_ckpt_obs`]: the grid comes from the same
-/// [`figure_tables`] call (the single source of cell order), so the
-/// result is bit-identical to the direct path for every `jobs` value,
-/// checkpointed or not. With a spec, the analysis' concurrency map is
-/// additionally snapshotted to `cc.snap` ([`guard_cc_snapshot`]): a
-/// resumed run whose analysis drifted from the checkpointed one fails
-/// instead of mixing two experiments.
-#[allow(clippy::too_many_arguments)]
-pub fn figure_ckpt_obs(
-    name: &str,
-    kernel: &Kernel,
-    machine: &Machine,
-    sdet: &SdetConfig,
-    runs: usize,
-    layouts: &PaperLayouts,
-    kinds: &[LayoutKind],
-    title: impl Into<String>,
-    jobs: usize,
-    spec: Option<&CheckpointSpec>,
-    obs: &slopt_obs::Obs,
-) -> std::io::Result<Figure> {
-    if let Some(spec) = spec {
-        guard_cc_snapshot(spec, &layouts.analysis.concurrency)?;
-    }
-    let (tables, meta) = figure_tables(kernel, sdet, layouts, kinds);
-    let cells: Vec<Cell> = tables
-        .into_iter()
-        .enumerate()
-        .map(|(i, table)| Cell {
-            label: if i == 0 {
-                "baseline".to_string()
-            } else {
-                let (letter, _, kind) = meta[i - 1];
-                format!("{letter}/{kind}")
-            },
-            table,
-            sdet: sdet.clone(),
-            machine: machine.clone(),
-        })
-        .collect();
-    let (measured, _report) =
-        measure_cells_fault_obs(name, kernel, &cells, runs, jobs, spec, None, obs)?;
-    let mut per_table = measured
-        .into_iter()
-        .map(|m| m.expect("no fault plan, so no holes"));
-    let baseline = per_table.next().expect("table 0 is always present");
-    Ok(figure_from_throughputs(
-        title,
-        &meta,
-        baseline,
-        per_table.collect(),
-    ))
-}
-
-/// The result of measuring a figure's grid under fault supervision.
+/// The result of measuring a figure's grid.
 #[derive(Debug)]
 pub struct FigureOutcome {
     /// The assembled figure — `Some` iff every cell completed.
@@ -588,16 +441,25 @@ pub struct FigureOutcome {
     pub report: FaultReport,
 }
 
-/// [`figure_ckpt_obs`] under fault supervision.
+/// Measures one figure's grid — the all-baseline table plus one
+/// transformed struct at a time — under the given execution context, and
+/// assembles the [`Figure`] when every cell completes.
 ///
-/// Same grid and cell order, routed through
-/// [`measure_cells_fault_obs`]. When every cell survives (clean run, or
-/// all faults transient) the [`FigureOutcome`] carries the assembled
-/// figure, bit-identical to the unsupervised path; when permanent
-/// faults poison cells it carries the partial per-cell values instead,
-/// and the caller is expected to degrade via [`require_figure`].
+/// This is [`slopt_workload::figure_rows_jobs_obs`] routed through
+/// [`measure_cells`]: the grid comes from the same [`figure_tables`]
+/// call (the single source of cell order), so the result is
+/// bit-identical to the direct path for every `jobs` value,
+/// checkpointed or not. With a checkpoint, the analysis' concurrency
+/// map is additionally snapshotted to `cc.snap` ([`guard_cc_snapshot`]):
+/// a resumed run whose analysis drifted from the checkpointed one fails
+/// instead of mixing two experiments.
+///
+/// When permanent faults poison cells the [`FigureOutcome`] carries the
+/// partial per-cell values instead of a figure, and the caller is
+/// expected to degrade via [`require_figure`] (or [`resolve`]).
 #[allow(clippy::too_many_arguments)]
-pub fn figure_fault_obs(
+pub fn figure(
+    ctx: &ExecCtx,
     name: &str,
     kernel: &Kernel,
     machine: &Machine,
@@ -606,12 +468,8 @@ pub fn figure_fault_obs(
     layouts: &PaperLayouts,
     kinds: &[LayoutKind],
     title: impl Into<String>,
-    jobs: usize,
-    spec: Option<&CheckpointSpec>,
-    fault: Option<&FaultConfig>,
-    obs: &slopt_obs::Obs,
 ) -> std::io::Result<FigureOutcome> {
-    if let Some(spec) = spec {
+    if let Some(spec) = &ctx.checkpoint {
         guard_cc_snapshot(spec, &layouts.analysis.concurrency)?;
     }
     let (tables, meta) = figure_tables(kernel, sdet, layouts, kinds);
@@ -630,8 +488,7 @@ pub fn figure_fault_obs(
             machine: machine.clone(),
         })
         .collect();
-    let (measured, report) =
-        measure_cells_fault_obs(name, kernel, &cells, runs, jobs, spec, fault, obs)?;
+    let GridOutcome { measured, report } = measure_cells(ctx, name, kernel, &cells, runs)?;
     let labelled: Vec<(String, Option<Throughput>)> = cells
         .iter()
         .map(|c| c.label.clone())
@@ -658,20 +515,52 @@ pub fn figure_fault_obs(
     })
 }
 
-/// Prints the explicit partial-result table of the degradation
-/// contract — every cell with its value or a `HOLE` marker, then the
-/// poisoned grid items — flushes the trace, and exits
-/// [`exit::DEGRADED`].
-fn degrade_and_exit(
+/// A degraded run: permanent faults holed part of the grid. Carries the
+/// process exit code so every caller agrees on it.
+#[derive(Debug)]
+pub struct Degraded {
+    /// How many grid items were poisoned.
+    pub poisoned: usize,
+}
+
+impl Degraded {
+    /// The exit code of the degradation contract.
+    pub fn exit_code(&self) -> u8 {
+        exit::DEGRADED
+    }
+
+    /// Flushes the context and exits with [`exit::DEGRADED`] — the
+    /// binaries' terminal degrade step.
+    pub fn finish_and_exit(&self, ctx: &ExecCtx) -> ! {
+        ctx.finish();
+        std::process::exit(i32::from(self.exit_code()))
+    }
+}
+
+/// The one complete-vs-degraded decision, shared by the figure and cell
+/// paths (and `slopt-tool figures`) so the degradation contract cannot
+/// diverge between them.
+///
+/// A complete grid (no holes) yields the per-cell throughputs — after
+/// logging the recovery summary if anything was injected. A holed grid
+/// prints the explicit partial-result table — every cell with its value
+/// or a `HOLE` marker — then the poisoned grid items, and returns
+/// [`Degraded`]; the caller decides how to exit (binaries call
+/// [`Degraded::finish_and_exit`], the CLI maps it to its error type).
+pub fn resolve(
     tag: &str,
-    cells: &[(String, Option<Throughput>)],
+    cells: Vec<(String, Option<Throughput>)>,
     report: &FaultReport,
-    args: &RunnerArgs,
-    obs: &slopt_obs::Obs,
-) -> ! {
+) -> Result<Vec<Throughput>, Degraded> {
+    if cells.iter().all(|(_, m)| m.is_some()) {
+        if report.had_faults() {
+            eprintln!("[{tag}] {}", report.summary_line());
+        }
+        return Ok(cells.into_iter().filter_map(|(_, m)| m).collect());
+    }
     eprintln!("[{tag}] DEGRADED: {}", report.summary_line());
     println!("=== {tag}: PARTIAL RESULTS (degraded run) ===");
-    for (label, m) in cells {
+    for (label, m) in &cells {
         match m {
             Some(t) => println!("  {label:<28} {:>12.2}", t.mean),
             None => println!("  {label:<28} {:>12}", "HOLE"),
@@ -680,54 +569,40 @@ fn degrade_and_exit(
     for f in &report.poisoned {
         eprintln!("[{tag}] poisoned: {f}");
     }
-    args.finish(obs);
-    std::process::exit(i32::from(exit::DEGRADED));
+    Err(Degraded {
+        poisoned: report.poisoned.len(),
+    })
 }
 
-/// Unwraps a [`measure_cells_fault_obs`] outcome for binaries that print
-/// their own tables. A complete grid (no holes) yields the per-cell
-/// throughputs — after logging the recovery summary if anything was
-/// injected; a holed grid prints the partial table plus poisoned items
-/// and exits [`exit::DEGRADED`].
+/// Unwraps a [`measure_cells`] outcome for binaries that print their own
+/// tables: the per-cell throughputs when complete, the partial table
+/// plus [`exit::DEGRADED`] otherwise (via [`resolve`]).
 pub fn require_complete(
     tag: &str,
+    ctx: &ExecCtx,
     cells: &[Cell],
-    measured: Vec<Option<Throughput>>,
-    report: &FaultReport,
-    args: &RunnerArgs,
-    obs: &slopt_obs::Obs,
+    outcome: GridOutcome,
 ) -> Vec<Throughput> {
-    if measured.iter().all(Option::is_some) {
-        if report.had_faults() {
-            eprintln!("[{tag}] {}", report.summary_line());
-        }
-        return measured.into_iter().flatten().collect();
-    }
     let labelled: Vec<(String, Option<Throughput>)> = cells
         .iter()
         .map(|c| c.label.clone())
-        .zip(measured)
+        .zip(outcome.measured)
         .collect();
-    degrade_and_exit(tag, &labelled, report, args, obs)
+    resolve(tag, labelled, &outcome.report).unwrap_or_else(|d| d.finish_and_exit(ctx))
 }
 
 /// Unwraps a [`FigureOutcome`] for the figure binaries: the assembled
 /// [`Figure`] when complete, the partial-table-and-exit degradation path
-/// otherwise.
-pub fn require_figure(
-    tag: &str,
-    outcome: FigureOutcome,
-    args: &RunnerArgs,
-    obs: &slopt_obs::Obs,
-) -> Figure {
-    match outcome.figure {
-        Some(figure) => {
-            if outcome.report.had_faults() {
-                eprintln!("[{tag}] {}", outcome.report.summary_line());
-            }
-            figure
-        }
-        None => degrade_and_exit(tag, &outcome.cells, &outcome.report, args, obs),
+/// otherwise (via [`resolve`]).
+pub fn require_figure(tag: &str, ctx: &ExecCtx, outcome: FigureOutcome) -> Figure {
+    let FigureOutcome {
+        figure,
+        cells,
+        report,
+    } = outcome;
+    match resolve(tag, cells, &report) {
+        Ok(_) => figure.expect("complete grid assembles a figure"),
+        Err(d) => d.finish_and_exit(ctx),
     }
 }
 
@@ -749,152 +624,6 @@ mod tests {
             },
             ..SdetConfig::default()
         }
-    }
-
-    #[test]
-    fn jobs_flag_parses_with_default() {
-        let args: Vec<String> = ["--jobs", "3"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_jobs(&args), 3);
-        assert_eq!(parse_jobs(&[]), slopt_core::default_jobs());
-        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_jobs(&zero), 1);
-        let both: Vec<String> = ["--scale", "2", "--jobs", "5"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let ra = RunnerArgs::from_args(&both);
-        assert_eq!((ra.scale, ra.jobs), (2, 5));
-    }
-
-    #[test]
-    fn trace_flags_parse() {
-        let args: Vec<String> = ["--trace-out", "/tmp/t.jsonl", "--stats"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let ra = RunnerArgs::from_args(&args);
-        assert_eq!(ra.trace_out.as_deref(), Some("/tmp/t.jsonl"));
-        assert!(ra.stats);
-        let none = RunnerArgs::from_args(&[]);
-        assert!(none.trace_out.is_none());
-        assert!(!none.stats);
-    }
-
-    #[test]
-    fn instrumented_cells_match_plain_cells() {
-        let kernel = build_kernel();
-        let cfg = small_cfg();
-        let machine = Machine::bus(2);
-        let table = baseline_layouts(&kernel, cfg.line_size);
-        let cells = vec![Cell {
-            label: "c".into(),
-            table: table.clone(),
-            sdet: cfg.clone(),
-            machine: machine.clone(),
-        }];
-        let plain = measure_cells(&kernel, &cells, 2, 2);
-        let obs = slopt_obs::Obs::aggregating();
-        let traced = measure_cells_obs(&kernel, &cells, 2, 2, &obs);
-        assert_eq!(plain[0].runs, traced[0].runs);
-        let s = obs.summary();
-        // One warm-up + two measured runs for the single cell.
-        assert_eq!(s.span_count("measure_cell"), 3);
-        assert_eq!(s.span_count("measure_grid"), 1);
-        assert_eq!(s.metrics.counter("runner.cells"), 1);
-    }
-
-    #[test]
-    fn checkpoint_flags_parse() {
-        let args: Vec<String> = ["--checkpoint-dir", "/tmp/ck", "--resume"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let ra = RunnerArgs::from_args(&args);
-        assert_eq!(ra.checkpoint_dir.as_deref(), Some("/tmp/ck"));
-        assert!(ra.resume);
-        let spec = ra.checkpoint_spec().expect("dir given");
-        assert_eq!(spec.dir, PathBuf::from("/tmp/ck"));
-        assert!(spec.resume);
-        let none = RunnerArgs::from_args(&[]);
-        assert!(none.checkpoint_spec().is_none());
-    }
-
-    #[test]
-    fn checkpointed_cells_match_plain_cells_after_partial_run() {
-        let kernel = build_kernel();
-        let cfg = small_cfg();
-        let machine = Machine::bus(2);
-        let table = baseline_layouts(&kernel, cfg.line_size);
-        let cells: Vec<Cell> = (0..2)
-            .map(|i| Cell {
-                label: format!("cell{i}"),
-                table: table.clone(),
-                sdet: cfg.clone(),
-                machine: machine.clone(),
-            })
-            .collect();
-        let plain = measure_cells(&kernel, &cells, 3, 2);
-
-        let dir = std::env::temp_dir().join(format!("slopt_runner_ckpt_{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let spec = CheckpointSpec {
-            dir: dir.clone(),
-            resume: false,
-        };
-        let obs = slopt_obs::Obs::disabled();
-        // Full checkpointed run, then truncate the log to simulate a kill
-        // after the first two grid items.
-        let full = measure_cells_ckpt_obs("t", &kernel, &cells, 3, 1, Some(&spec), &obs).unwrap();
-        let path = dir.join("t.ckpt");
-        let text = std::fs::read_to_string(&path).unwrap();
-        let kept: Vec<&str> = text.lines().take(3).collect();
-        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
-
-        let resume = CheckpointSpec {
-            dir: dir.clone(),
-            resume: true,
-        };
-        let obs = slopt_obs::Obs::aggregating();
-        let resumed =
-            measure_cells_ckpt_obs("t", &kernel, &cells, 3, 2, Some(&resume), &obs).unwrap();
-        let s = obs.summary();
-        assert_eq!(s.metrics.counter("ckpt.items_resumed"), 2);
-        assert_eq!(s.metrics.counter("ckpt.items_total"), 8);
-        for ((a, b), c) in plain.iter().zip(&full).zip(&resumed) {
-            assert_eq!(a.mean, b.mean);
-            assert_eq!(a.runs, c.runs);
-            assert_eq!(a.mean, c.mean, "resumed result must be bit-identical");
-        }
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn cells_match_direct_measure_for_any_job_count() {
-        let kernel = build_kernel();
-        let cfg = small_cfg();
-        let machine = Machine::bus(2);
-        let table = baseline_layouts(&kernel, cfg.line_size);
-        let cells: Vec<Cell> = (0..3)
-            .map(|i| Cell {
-                label: format!("cell{i}"),
-                table: table.clone(),
-                sdet: cfg.clone(),
-                machine: machine.clone(),
-            })
-            .collect();
-        let direct = measure(&kernel, &table, &machine, &cfg, 3);
-        for jobs in [1, 4] {
-            let out = measure_cells(&kernel, &cells, 3, jobs);
-            assert_eq!(out.len(), 3);
-            for t in &out {
-                assert_eq!(t.runs, direct.runs, "jobs={jobs}");
-                assert_eq!(t.mean, direct.mean, "jobs={jobs}");
-            }
-        }
-    }
-
-    fn strs(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| s.to_string()).collect()
     }
 
     fn small_cells(n: usize) -> (slopt_workload::Kernel, Vec<Cell>) {
@@ -923,61 +652,125 @@ mod tests {
         }
     }
 
+    fn complete(out: GridOutcome) -> Vec<Throughput> {
+        out.measured
+            .into_iter()
+            .map(|m| m.expect("no holes expected"))
+            .collect()
+    }
+
     #[test]
-    fn fault_flags_parse_and_validate() {
-        let ra = RunnerArgs::from_args(&strs(&[
-            "--fault-plan",
-            "seed=1,transient=0.5",
-            "--max-retries",
-            "7",
-            "--deadline-ms",
-            "250",
-        ]));
-        let fc = ra.fault_config().expect("valid").expect("flags given");
-        assert_eq!(fc.plan.seed(), 1);
-        assert_eq!(fc.policy.max_retries, 7);
-        assert_eq!(fc.policy.deadline, Some(Duration::from_millis(250)));
+    fn ctx_reports_the_deadline_through_the_policy() {
+        let ctx = ExecCtx::bare(2);
+        assert_eq!(ctx.deadline_ms(), None);
+        let mut fc = fault_cfg("", 1);
+        fc.policy.deadline = Some(Duration::from_millis(250));
+        let ctx = ctx.with_fault(fc);
+        assert_eq!(ctx.deadline_ms(), Some(250));
+    }
 
-        // No flags at all: supervision stays off entirely.
-        assert!(RunnerArgs::from_args(&[])
-            .fault_config()
-            .expect("valid")
-            .is_none());
-        // Supervision flags alone give the no-op plan.
-        let only = RunnerArgs::from_args(&strs(&["--max-retries", "2"]));
-        let fc = only.fault_config().expect("valid").expect("flag given");
-        assert_eq!(fc.plan, FaultPlan::none());
+    #[test]
+    fn instrumented_cells_match_plain_cells() {
+        let (kernel, cells) = small_cells(1);
+        let plain = complete(
+            measure_cells(&ExecCtx::bare(2), "grid", &kernel, &cells, 2).expect("no ckpt I/O"),
+        );
+        let obs = slopt_obs::Obs::aggregating();
+        let ctx = ExecCtx::bare(2).with_obs(obs.clone());
+        let traced = complete(measure_cells(&ctx, "grid", &kernel, &cells, 2).expect("no I/O"));
+        assert_eq!(plain[0].runs, traced[0].runs);
+        let s = obs.summary();
+        // One warm-up + two measured runs for the single cell.
+        assert_eq!(s.span_count("measure_cell"), 3);
+        assert_eq!(s.span_count("measure_grid"), 1);
+        assert_eq!(s.metrics.counter("runner.cells"), 1);
+    }
 
-        for bad in [
-            &["--fault-plan", "transient=2.0"][..],
-            &["--fault-plan", "bogus=1"][..],
-            &["--max-retries", "x"][..],
-            &["--deadline-ms", "0"][..],
-        ] {
-            assert!(
-                RunnerArgs::from_args(&strs(bad)).fault_config().is_err(),
-                "{bad:?} should be rejected"
+    #[test]
+    fn checkpointed_cells_match_plain_cells_after_partial_run() {
+        let (kernel, cells) = small_cells(2);
+        let plain = complete(
+            measure_cells(&ExecCtx::bare(2), "t", &kernel, &cells, 3).expect("no ckpt I/O"),
+        );
+
+        let dir = std::env::temp_dir().join(format!("slopt_runner_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = CheckpointSpec {
+            dir: dir.clone(),
+            resume: false,
+        };
+        // Full checkpointed run, then truncate the log to simulate a kill
+        // after the first two grid items.
+        let ctx = ExecCtx::bare(1).with_checkpoint(spec);
+        let full = complete(measure_cells(&ctx, "t", &kernel, &cells, 3).expect("ckpt I/O"));
+        let path = dir.join("t.ckpt");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", kept.join("\n"))).unwrap();
+
+        let resume = CheckpointSpec {
+            dir: dir.clone(),
+            resume: true,
+        };
+        let obs = slopt_obs::Obs::aggregating();
+        let ctx = ExecCtx::bare(2)
+            .with_checkpoint(resume)
+            .with_obs(obs.clone());
+        let resumed = complete(measure_cells(&ctx, "t", &kernel, &cells, 3).expect("ckpt I/O"));
+        let s = obs.summary();
+        assert_eq!(s.metrics.counter("ckpt.items_resumed"), 2);
+        assert_eq!(s.metrics.counter("ckpt.items_total"), 8);
+        for ((a, b), c) in plain.iter().zip(&full).zip(&resumed) {
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.runs, c.runs);
+            assert_eq!(a.mean, c.mean, "resumed result must be bit-identical");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cells_match_direct_measure_for_any_job_count() {
+        let (kernel, cells) = small_cells(3);
+        let direct = measure(
+            &kernel,
+            &cells[0].table,
+            &cells[0].machine,
+            &cells[0].sdet,
+            3,
+        );
+        for jobs in [1, 4] {
+            let out = complete(
+                measure_cells(&ExecCtx::bare(jobs), "grid", &kernel, &cells, 3)
+                    .expect("no ckpt I/O"),
             );
+            assert_eq!(out.len(), 3);
+            for t in &out {
+                assert_eq!(t.runs, direct.runs, "jobs={jobs}");
+                assert_eq!(t.mean, direct.mean, "jobs={jobs}");
+            }
         }
     }
 
     #[test]
     fn transient_fault_plans_are_invisible_in_output() {
         let (kernel, cells) = small_cells(2);
-        let clean = measure_cells(&kernel, &cells, 2, 2);
+        let clean = complete(
+            measure_cells(&ExecCtx::bare(2), "t", &kernel, &cells, 2).expect("no ckpt I/O"),
+        );
         let fc = fault_cfg("seed=7,transient=0.5,panic=0.2", 16);
         for jobs in [1, 3] {
             let obs = slopt_obs::Obs::aggregating();
-            let (measured, report) =
-                measure_cells_fault_obs("t", &kernel, &cells, 2, jobs, None, Some(&fc), &obs)
-                    .unwrap();
-            assert!(report.had_faults(), "plan should fire on this grid");
-            assert!(!report.degraded(), "transients must all recover");
-            assert!(report.poisoned.is_empty());
-            assert!(report.recovered > 0);
+            let ctx = ExecCtx::bare(jobs)
+                .with_fault(fc.clone())
+                .with_obs(obs.clone());
+            let out = measure_cells(&ctx, "t", &kernel, &cells, 2).expect("no ckpt I/O");
+            assert!(out.report.had_faults(), "plan should fire on this grid");
+            assert!(!out.report.degraded(), "transients must all recover");
+            assert!(out.report.poisoned.is_empty());
+            assert!(out.report.recovered > 0);
             let s = obs.summary();
             assert!(s.metrics.counter("retry.attempts") > 0);
-            for (m, c) in measured.iter().zip(&clean) {
+            for (m, c) in out.measured.iter().zip(&clean) {
                 let m = m.as_ref().expect("no holes on a recovered run");
                 assert_eq!(m.runs, c.runs, "bit-identical under jobs={jobs}");
             }
@@ -987,16 +780,14 @@ mod tests {
     #[test]
     fn permanent_fault_plans_hole_everything_with_grid_indices() {
         let (kernel, cells) = small_cells(2);
-        let fc = fault_cfg("seed=3,permanent=1", 2);
-        let obs = slopt_obs::Obs::disabled();
-        let (measured, report) =
-            measure_cells_fault_obs("t", &kernel, &cells, 2, 1, None, Some(&fc), &obs).unwrap();
-        assert!(measured.iter().all(Option::is_none));
-        assert!(report.degraded());
+        let ctx = ExecCtx::bare(1).with_fault(fault_cfg("seed=3,permanent=1", 2));
+        let out = measure_cells(&ctx, "t", &kernel, &cells, 2).expect("no ckpt I/O");
+        assert!(out.measured.iter().all(Option::is_none));
+        assert!(out.report.degraded());
         // 2 cells x (warm-up + 2 runs) grid items, each poisoned on its
         // first attempt (permanent faults never retry).
-        assert_eq!(report.poisoned.len(), 6);
-        for (gi, f) in report.poisoned.iter().enumerate() {
+        assert_eq!(out.report.poisoned.len(), 6);
+        for (gi, f) in out.report.poisoned.iter().enumerate() {
             assert_eq!(f.index, gi, "poisoned indices are grid indices");
             assert_eq!(f.attempts, 1);
             assert_eq!(f.kind, slopt_core::FailureKind::Permanent);
@@ -1007,18 +798,105 @@ mod tests {
     fn fault_reports_and_holes_are_jobs_invariant() {
         let (kernel, cells) = small_cells(2);
         let fc = fault_cfg("seed=5,permanent=0.4,transient=0.3", 4);
-        let obs = slopt_obs::Obs::disabled();
-        let (m1, r1) =
-            measure_cells_fault_obs("t", &kernel, &cells, 2, 1, None, Some(&fc), &obs).unwrap();
-        let (m4, r4) =
-            measure_cells_fault_obs("t", &kernel, &cells, 2, 4, None, Some(&fc), &obs).unwrap();
-        assert!(r1.degraded(), "this seed poisons at least one item");
-        assert_eq!(r1, r4, "fault report is scheduling-invariant");
+        let o1 = measure_cells(
+            &ExecCtx::bare(1).with_fault(fc.clone()),
+            "t",
+            &kernel,
+            &cells,
+            2,
+        )
+        .expect("no ckpt I/O");
+        let o4 = measure_cells(&ExecCtx::bare(4).with_fault(fc), "t", &kernel, &cells, 2)
+            .expect("no ckpt I/O");
+        assert!(o1.report.degraded(), "this seed poisons at least one item");
+        assert_eq!(o1.report, o4.report, "fault report is scheduling-invariant");
         let runs = |m: &[Option<Throughput>]| -> Vec<Option<Vec<f64>>> {
             m.iter()
                 .map(|t| t.as_ref().map(|t| t.runs.clone()))
                 .collect()
         };
-        assert_eq!(runs(&m1), runs(&m4), "holes and values match across jobs");
+        assert_eq!(
+            runs(&o1.measured),
+            runs(&o4.measured),
+            "holes and values match across jobs"
+        );
+    }
+
+    #[test]
+    fn deadline_holes_are_never_recorded_in_the_checkpoint() {
+        let (kernel, cells) = small_cells(2);
+        let dir = std::env::temp_dir().join(format!("slopt_runner_dl_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut fc = fault_cfg("seed=9,slow=0.4,slow-ms=200", 0);
+        fc.policy.deadline = Some(Duration::from_millis(30));
+        let ctx = ExecCtx::bare(2)
+            .with_checkpoint(CheckpointSpec {
+                dir: dir.clone(),
+                resume: false,
+            })
+            .with_fault(fc);
+        let out = measure_cells(&ctx, "dl", &kernel, &cells, 2).expect("ckpt I/O");
+        assert!(
+            out.report.deadline_hits > 0,
+            "this seed must stall some items past the deadline"
+        );
+        let poisoned: Vec<usize> = out.report.poisoned.iter().map(|f| f.index).collect();
+        let text = std::fs::read_to_string(dir.join("dl.ckpt")).unwrap();
+        let recorded: Vec<usize> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("item "))
+            .filter_map(|l| l.split_whitespace().next())
+            .filter_map(|idx| idx.parse().ok())
+            .collect();
+        for idx in &poisoned {
+            assert!(
+                !recorded.contains(idx),
+                "deadline-holed grid item {idx} must not be checkpointed as completed"
+            );
+        }
+        // Every accepted item IS recorded (no write-error in the plan):
+        // 2 cells x (warm-up + 2 runs) = 6 grid items minus the holes.
+        assert_eq!(recorded.len(), 6 - poisoned.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Pins the single complete-vs-degraded decision: the cell path and
+    /// the figure path must agree on holes, poisoned counts and the exit
+    /// code, because both are `resolve`.
+    #[test]
+    fn degraded_decision_is_shared_by_cell_and_figure_paths() {
+        let (kernel, cells) = small_cells(2);
+        let fc = fault_cfg("seed=3,permanent=1", 1);
+        let ctx = ExecCtx::bare(1).with_fault(fc);
+        let out = measure_cells(&ctx, "t", &kernel, &cells, 2).expect("no ckpt I/O");
+        let labelled: Vec<(String, Option<Throughput>)> = cells
+            .iter()
+            .map(|c| c.label.clone())
+            .zip(out.measured)
+            .collect();
+        let cell_path = resolve("t", labelled.clone(), &out.report);
+        let figure_shaped = FigureOutcome {
+            figure: None,
+            cells: labelled,
+            report: out.report.clone(),
+        };
+        let fig_path = resolve("t", figure_shaped.cells, &figure_shaped.report);
+        let (a, b) = (
+            cell_path.expect_err("holed grid must degrade"),
+            fig_path.expect_err("holed grid must degrade"),
+        );
+        assert_eq!(a.poisoned, b.poisoned);
+        assert_eq!(a.exit_code(), 4, "the degradation contract is exit 4");
+        assert_eq!(a.exit_code(), b.exit_code());
+
+        // And a complete grid resolves to the values in cell order.
+        let clean = measure_cells(&ExecCtx::bare(1), "t", &kernel, &cells, 2).expect("no I/O");
+        let labelled: Vec<(String, Option<Throughput>)> = cells
+            .iter()
+            .map(|c| c.label.clone())
+            .zip(clean.measured)
+            .collect();
+        let vals = resolve("t", labelled, &clean.report).expect("complete grid");
+        assert_eq!(vals.len(), 2);
     }
 }

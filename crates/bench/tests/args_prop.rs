@@ -1,0 +1,152 @@
+//! Property tests for the shared [`CommonArgs`] parser.
+//!
+//! Two contracts the experiment binaries lean on:
+//!
+//! 1. **Order-invariance** — any permutation of well-formed flag groups
+//!    parses to the *same* `CommonArgs`. Recipes in EXPERIMENTS.md can
+//!    list flags in whatever order reads best.
+//! 2. **Strictness with position** — a malformed or missing value for
+//!    any known flag is an [`slopt_bench::ArgError`] pointing at the
+//!    offending 1-based argument position (rendered `arg N: ...`), the
+//!    way a compiler points at line/column. No silent fallback to
+//!    defaults.
+
+use proptest::prelude::*;
+use slopt_bench::CommonArgs;
+
+/// Reorders `groups` by the random sort `keys` (one key per slot; ties
+/// resolve stably, so the permutation is deterministic per case).
+fn permuted(groups: &[Vec<String>], keys: &[u64]) -> Vec<Vec<String>> {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&i| keys[i]);
+    order.iter().map(|&i| groups[i].clone()).collect()
+}
+
+/// The value-taking flags, for missing-value cases.
+const VALUE_FLAGS: &[&str] = &[
+    "--scale",
+    "--jobs",
+    "--trace-out",
+    "--checkpoint-dir",
+    "--fault-plan",
+    "--max-retries",
+    "--deadline-ms",
+];
+
+proptest! {
+    /// Any permutation of well-formed flag groups parses identically.
+    /// A `--flag value` pair stays a unit so the shuffle reorders whole
+    /// groups, never splits a flag from its value.
+    #[test]
+    fn flag_order_never_matters(
+        valued in (
+            (any::<bool>(), 1u64..16),   // --jobs
+            (any::<bool>(), 1u64..5),    // --scale
+            (any::<bool>(), 0u64..1000), // --trace-out suffix
+            (any::<bool>(), 0u64..1000), // --checkpoint-dir suffix
+            (any::<bool>(), 0u64..64),   // --fault-plan seed
+        ),
+        supervise in ((any::<bool>(), 0u64..10), (any::<bool>(), 1u64..500)),
+        bare in (any::<bool>(), any::<bool>()), // --stats, --resume
+        keys in prop::collection::vec(any::<u64>(), 9..=9),
+    ) {
+        let (jobs, scale, trace, ckpt, plan) = valued;
+        let (retries, deadline) = supervise;
+        let (stats, resume) = bare;
+        let mut groups: Vec<Vec<String>> = Vec::new();
+        if jobs.0 {
+            groups.push(vec!["--jobs".into(), jobs.1.to_string()]);
+        }
+        if scale.0 {
+            groups.push(vec!["--scale".into(), scale.1.to_string()]);
+        }
+        if trace.0 {
+            groups.push(vec!["--trace-out".into(), format!("/tmp/t{}.jsonl", trace.1)]);
+        }
+        if ckpt.0 {
+            groups.push(vec!["--checkpoint-dir".into(), format!("/tmp/ck{}", ckpt.1)]);
+        }
+        if plan.0 {
+            groups.push(vec![
+                "--fault-plan".into(),
+                format!("seed={},transient=0.25", plan.1),
+            ]);
+        }
+        if retries.0 {
+            groups.push(vec!["--max-retries".into(), retries.1.to_string()]);
+        }
+        if deadline.0 {
+            groups.push(vec!["--deadline-ms".into(), deadline.1.to_string()]);
+        }
+        if stats {
+            groups.push(vec!["--stats".into()]);
+        }
+        if resume {
+            groups.push(vec!["--resume".into()]);
+        }
+
+        let canonical: Vec<String> = groups.iter().flatten().cloned().collect();
+        let shuffled: Vec<String> = permuted(&groups, &keys).into_iter().flatten().collect();
+        let a = CommonArgs::parse(&canonical).expect("well-formed flags parse");
+        let b = CommonArgs::parse(&shuffled).expect("well-formed flags parse");
+        prop_assert_eq!(a, b);
+    }
+
+    /// A junk value for any numeric flag is rejected at the value's
+    /// 1-based position, naming both the flag and the offending value —
+    /// regardless of how many flags precede it.
+    #[test]
+    fn junk_numeric_values_point_at_their_position(
+        flag_idx in 0usize..4,
+        junk in any::<u32>(),
+        pad in 0usize..4,
+    ) {
+        let flag = ["--jobs", "--scale", "--max-retries", "--deadline-ms"][flag_idx];
+        let bad = format!("v{junk}"); // never parses as an integer
+        let mut args = vec!["--stats".to_string(); pad];
+        args.push(flag.to_string());
+        args.push(bad.clone());
+        let err = CommonArgs::parse(&args).expect_err("junk value must be rejected");
+        prop_assert_eq!(err.pos, pad + 2, "value position is 1-based");
+        prop_assert!(err.to_string().starts_with(&format!("arg {}: ", pad + 2)), "{}", err);
+        prop_assert!(err.msg.contains(flag), "{}", err);
+        prop_assert!(err.msg.contains(&bad), "{}", err);
+    }
+
+    /// An unknown fault kind in `--fault-plan` is a usage error naming
+    /// the kind, never a silently-ignored key.
+    #[test]
+    fn unknown_fault_kinds_are_rejected(suffix in any::<u32>(), centi in 0u64..100) {
+        let kind = format!("k{suffix}x"); // digits: never a known kind
+        let args = vec![
+            "--fault-plan".to_string(),
+            format!("{kind}=0.{centi:02}"),
+        ];
+        let err = CommonArgs::parse(&args).expect_err("unknown kind must be rejected");
+        prop_assert_eq!(err.pos, 2);
+        prop_assert!(err.msg.contains(&kind), "{}", err);
+    }
+
+    /// A value-taking flag with no value is rejected at the flag's own
+    /// position.
+    #[test]
+    fn a_trailing_value_flag_is_rejected(flag_idx in 0usize..7, pad in 0usize..3) {
+        let mut args = vec!["--resume".to_string(); pad];
+        args.push(VALUE_FLAGS[flag_idx].to_string());
+        let err = CommonArgs::parse(&args).expect_err("missing value must be rejected");
+        prop_assert_eq!(err.pos, pad + 1);
+        prop_assert!(err.msg.contains("needs a value"), "{}", err);
+        prop_assert!(err.msg.contains(VALUE_FLAGS[flag_idx]), "{}", err);
+    }
+
+    /// `--deadline-ms 0` is always rejected (a zero deadline would hole
+    /// every item), wherever it appears.
+    #[test]
+    fn zero_deadline_is_rejected(pad in 0usize..4) {
+        let mut args = vec!["--stats".to_string(); pad];
+        args.extend(["--deadline-ms".to_string(), "0".to_string()]);
+        let err = CommonArgs::parse(&args).expect_err("zero deadline must be rejected");
+        prop_assert_eq!(err.pos, pad + 2);
+        prop_assert!(err.msg.contains("positive"), "{}", err);
+    }
+}

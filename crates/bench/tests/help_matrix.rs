@@ -1,0 +1,135 @@
+//! Help-surface conformance: every experiment binary advertises the one
+//! shared flag surface.
+//!
+//! The historical drift this pins down: each bin hand-rolled its usage
+//! text, so flag descriptions and exit-code stories diverged as
+//! capabilities landed. Now every bin assembles `--help` from the shared
+//! [`slopt_bench::FLAG_REFERENCE`] / [`slopt_bench::EXIT_CODE_TABLE`]
+//! constants, and this suite diffs the live output of every binary
+//! against them — plus the exit-code contract for malformed values
+//! (always 2, with a positional `arg N:` message).
+
+use slopt_bench::{EXIT_CODE_TABLE, FLAG_REFERENCE};
+use std::process::{Command, Output};
+
+/// Every experiment binary in this package, by its `CARGO_BIN_EXE_*`
+/// path. Adding a bin without registering it here fails the
+/// completeness check in `every_bin_shares_the_flag_reference` only if
+/// someone remembers — so keep this list in sync with `src/bin/`.
+const BINS: &[(&str, &str)] = &[
+    ("fig8", env!("CARGO_BIN_EXE_fig8")),
+    ("fig9", env!("CARGO_BIN_EXE_fig9")),
+    ("fig10", env!("CARGO_BIN_EXE_fig10")),
+    ("fig_search", env!("CARGO_BIN_EXE_fig_search")),
+    ("ablation_k2", env!("CARGO_BIN_EXE_ablation_k2")),
+    (
+        "ablation_blocksize",
+        env!("CARGO_BIN_EXE_ablation_blocksize"),
+    ),
+    (
+        "ablation_min_heuristic",
+        env!("CARGO_BIN_EXE_ablation_min_heuristic"),
+    ),
+    ("ablation_protocol", env!("CARGO_BIN_EXE_ablation_protocol")),
+    ("ablation_refine", env!("CARGO_BIN_EXE_ablation_refine")),
+    ("ablation_sampling", env!("CARGO_BIN_EXE_ablation_sampling")),
+    ("ablation_inline", env!("CARGO_BIN_EXE_ablation_inline")),
+    ("cc_validation", env!("CARGO_BIN_EXE_cc_validation")),
+    (
+        "sweep_remote_latency",
+        env!("CARGO_BIN_EXE_sweep_remote_latency"),
+    ),
+];
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"))
+}
+
+/// `--help` (and `-h`) exits 0 and embeds the shared flag reference and
+/// exit-code table *verbatim* in every binary.
+#[test]
+fn every_bin_shares_the_flag_reference() {
+    for &(name, path) in BINS {
+        let out = run(path, &["--help"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{name} --help must exit 0: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).expect("utf-8 help");
+        assert!(
+            text.contains(FLAG_REFERENCE),
+            "{name} --help must embed the shared flag reference verbatim; got:\n{text}"
+        );
+        assert!(
+            text.contains(EXIT_CODE_TABLE),
+            "{name} --help must embed the shared exit-code table verbatim; got:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("{name} — ")) && text.contains("USAGE:"),
+            "{name} --help must lead with its own name and a USAGE block"
+        );
+
+        let short = run(path, &["-h"]);
+        assert_eq!(short.status.code(), Some(0), "{name} -h must exit 0");
+    }
+}
+
+/// `fig_search` layers binary-specific flags on top of the shared
+/// surface; its help must document both.
+#[test]
+fn extra_flags_extend_rather_than_replace_the_surface() {
+    let out = run(env!("CARGO_BIN_EXE_fig_search"), &["--help"]);
+    let text = String::from_utf8(out.stdout).expect("utf-8 help");
+    for flag in ["--seed", "--chains", "--steps", "--top"] {
+        assert!(
+            text.contains(flag),
+            "fig_search --help must document {flag}"
+        );
+    }
+    assert!(text.contains(FLAG_REFERENCE));
+}
+
+/// Malformed values for every shared flag exit 2 (usage error) with a
+/// positional `arg N:` message naming the offending value — in every
+/// binary shape (a figure bin and an ablation bin).
+#[test]
+fn malformed_values_exit_2_with_positional_messages() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["--jobs", "many"], "many"),
+        (&["--scale", "-3"], "-3"),
+        (&["--max-retries", "1.5"], "1.5"),
+        (&["--deadline-ms", "soon"], "soon"),
+        (&["--deadline-ms", "0"], "positive"),
+        (&["--fault-plan", "bogus=1"], "bogus"),
+        (&["--trace-out"], "--trace-out"),
+        (&["--stats", "--jobs", "x"], "x"),
+    ];
+    for &(name, path) in &[
+        ("fig9", env!("CARGO_BIN_EXE_fig9")),
+        ("ablation_k2", env!("CARGO_BIN_EXE_ablation_k2")),
+    ] {
+        for (args, needle) in cases {
+            let out = run(path, args);
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{name} {args:?} must exit 2 (usage)"
+            );
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                err.contains("arg ") && err.contains(needle),
+                "{name} {args:?}: stderr must carry a positional message \
+                 naming `{needle}`; got: {err}"
+            );
+            assert!(
+                err.contains("--help"),
+                "{name} {args:?}: stderr must point at --help; got: {err}"
+            );
+        }
+    }
+}

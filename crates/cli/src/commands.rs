@@ -5,7 +5,7 @@
 //! flag misuse exits 2, unreadable/unparseable input exits 3, a degraded
 //! (partial-result) figures run exits 4, everything else exits 1.
 
-use slopt_bench::{figure_fault_obs, CheckpointSpec, RunnerArgs};
+use slopt_bench::{figure, resolve, CommonArgs, ExecCtx, FigureOutcome, EXIT_CODE_TABLE};
 use slopt_core::{to_dot, DotOptions, ToolParams};
 use slopt_fault::exit;
 use slopt_ir::types::RecordId;
@@ -138,13 +138,7 @@ OBSERVABILITY (advise, simulate, figures, search):
     --stats              Print the aggregate counter/span summary table at
                          exit.
 
-EXIT CODES:
-    0  success
-    1  internal failure (I/O on outputs, trace sink, ...)
-    2  usage error (bad flag or flag value)
-    3  bad input (unreadable or unparseable user file)
-    4  degraded run (permanent faults holed part of a figure grid;
-       partial results were printed)"
+{EXIT_CODE_TABLE}"
     );
 }
 
@@ -375,20 +369,6 @@ pub fn simulate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Parses the optional `--jobs N` flag shared by the heavier commands;
-/// defaults to the host's available parallelism.
-fn parse_jobs(args: &[String]) -> Result<usize, CliError> {
-    match flag_value(args, "--jobs") {
-        Some(v) => {
-            let n: usize = v
-                .parse()
-                .map_err(|_| CliError::usage(format!("bad --jobs `{v}`")))?;
-            Ok(n.max(1))
-        }
-        None => Ok(slopt_core::default_jobs()),
-    }
-}
-
 /// Parses the optional `--cpus N` flag (1..=128, default 16).
 fn parse_cpus(args: &[String]) -> Result<usize, CliError> {
     let cpus: usize = match flag_value(args, "--cpus") {
@@ -405,18 +385,19 @@ fn parse_cpus(args: &[String]) -> Result<usize, CliError> {
     Ok(cpus)
 }
 
+/// Parses the shared execution-context flags and builds the [`ExecCtx`]
+/// the heavier subcommands run under.
+fn exec_ctx(args: &[String]) -> Result<(CommonArgs, ExecCtx), CliError> {
+    let common = CommonArgs::parse(args).map_err(|e| CliError::usage(e.to_string()))?;
+    let ctx = common.try_ctx().map_err(CliError::failure)?;
+    Ok((common, ctx))
+}
+
 /// `slopt-tool figures`.
 pub fn figures(args: &[String]) -> Result<(), CliError> {
-    let scale: usize = match flag_value(args, "--scale") {
-        Some(v) => v
-            .parse()
-            .map_err(|_| CliError::usage(format!("bad --scale `{v}`")))?,
-        None => 1,
-    };
-    let jobs = parse_jobs(args)?;
-    let fault = RunnerArgs::from_args(args)
-        .fault_config()
-        .map_err(CliError::usage)?;
+    let (common, ctx) = exec_ctx(args)?;
+    let scale = common.scale;
+    let jobs = ctx.jobs;
     let kernel = build_kernel();
     let sdet = SdetConfig {
         scripts_per_cpu: 24 * scale.max(1),
@@ -425,20 +406,15 @@ pub fn figures(args: &[String]) -> Result<(), CliError> {
     let analysis = AnalysisConfig::default();
     let runs = (5 + scale).min(10);
     eprintln!("[figures] measurement + layout derivation ({jobs} jobs) ...");
-    let obs = obs_from_args(args)?;
     let layouts = compute_paper_layouts_jobs_obs(
         &kernel,
         &sdet,
         &analysis,
         ToolParams::default(),
         jobs,
-        &obs,
+        &ctx.obs,
     );
 
-    let ckpt = flag_value(args, "--checkpoint-dir").map(|dir| CheckpointSpec {
-        dir: PathBuf::from(dir),
-        resume: args.iter().any(|a| a == "--resume"),
-    });
     for (name, machine, kinds, title) in [
         (
             "fig8",
@@ -460,46 +436,30 @@ pub fn figures(args: &[String]) -> Result<(), CliError> {
         ),
     ] {
         eprintln!("[figures] {} ...", title);
-        let outcome = figure_fault_obs(
-            name,
-            &kernel,
-            &machine,
-            &sdet,
-            runs,
-            &layouts,
-            &kinds,
-            title,
-            jobs,
-            ckpt.as_ref(),
-            fault.as_ref(),
-            &obs,
+        let FigureOutcome {
+            figure: fig,
+            cells,
+            report,
+        } = figure(
+            &ctx, name, &kernel, &machine, &sdet, runs, &layouts, &kinds, title,
         )
         .map_err(|e| CliError::failure(format!("{title}: {e}")))?;
-        if outcome.report.had_faults() {
-            eprintln!("[figures] {}: {}", name, outcome.report.summary_line());
-        }
-        match outcome.figure {
-            Some(fig) => println!("{fig}"),
-            None => {
-                // Permanent faults holed part of the grid: print what we
-                // have, flush the trace, and report a degraded run.
-                println!("=== {title}: PARTIAL RESULTS (degraded run) ===");
-                for (label, cell) in &outcome.cells {
-                    match cell {
-                        Some(t) => println!("{label:<28} {:>12.2}", t.mean),
-                        None => println!("{label:<28} {:>12}", "HOLE"),
-                    }
-                }
-                for failure in &outcome.report.poisoned {
-                    eprintln!(
-                        "[figures] poisoned grid item {} after {} attempt(s): {} ({})",
-                        failure.index, failure.attempts, failure.message, failure.kind
-                    );
-                }
-                finish_obs(args, &obs);
+        // The shared complete-vs-degraded decision: a complete grid prints
+        // its figure; permanent faults print the partial table and turn
+        // into the degraded exit code.
+        match (resolve(name, cells, &report), fig) {
+            (Ok(_), Some(fig)) => println!("{fig}"),
+            (Ok(_), None) => {
+                ctx.finish();
+                return Err(CliError::failure(format!(
+                    "{title}: complete grid produced no figure"
+                )));
+            }
+            (Err(degraded), _) => {
+                ctx.finish();
                 return Err(CliError::degraded(format!(
                     "{title}: {} grid item(s) poisoned — partial results above",
-                    outcome.report.poisoned.len()
+                    degraded.poisoned
                 )));
             }
         }
@@ -521,7 +481,7 @@ pub fn figures(args: &[String]) -> Result<(), CliError> {
         jobs,
     );
     println!("(baseline sanity: {:.1} scripts/Mcycle)", base.mean);
-    finish_obs(args, &obs);
+    ctx.finish();
     Ok(())
 }
 
@@ -545,9 +505,10 @@ pub fn search(args: &[String]) -> Result<(), CliError> {
     let chains = parse_uint_flag(args, "--chains", 6)?.max(1) as usize;
     let steps = parse_uint_flag(args, "--steps", 1_200)? as usize;
     let top = parse_uint_flag(args, "--validate-top", 2)?.max(1) as usize;
-    let jobs = parse_jobs(args)?;
     let cpus = parse_cpus(args)?;
-    let obs = obs_from_args(args)?;
+    let (_common, ctx) = exec_ctx(args)?;
+    let jobs = ctx.jobs;
+    let obs = ctx.obs.clone();
 
     let params = SearchParams {
         steps,
@@ -609,7 +570,7 @@ pub fn search(args: &[String]) -> Result<(), CliError> {
     };
     let (better, total) = better;
     println!("search: strictly better objective than greedy on {better}/{total} structs");
-    finish_obs(args, &obs);
+    ctx.finish();
     Ok(())
 }
 
@@ -758,14 +719,12 @@ mod tests {
     }
 
     #[test]
-    fn jobs_flag_parses() {
-        let args: Vec<String> = ["--jobs", "4"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_jobs(&args).unwrap(), 4);
-        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(parse_jobs(&zero).unwrap(), 1);
-        assert_eq!(parse_jobs(&[]).unwrap(), slopt_core::default_jobs());
+    fn jobs_flag_is_parsed_by_the_shared_args_and_misuse_exits_2() {
         let bad: Vec<String> = ["--jobs", "x"].iter().map(|s| s.to_string()).collect();
-        assert!(parse_jobs(&bad).is_err());
+        assert_eq!(figures(&bad).unwrap_err().code, exit::USAGE);
+        assert_eq!(search(&bad).unwrap_err().code, exit::USAGE);
+        let zero: Vec<String> = ["--jobs", "0"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(CommonArgs::parse(&zero).unwrap().jobs, 1);
     }
 
     #[test]

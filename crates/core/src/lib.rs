@@ -73,8 +73,8 @@ pub use gvl::{layout_globals, link_order_layout, Global, GlobalId, GvlProblem, S
 pub use heuristics::{declaration_layout, random_layout, sort_by_hotness};
 pub use layoutgen::{layout_from_clusters, LayoutOptions};
 pub use par::{
-    default_jobs, par_map, par_map_supervised, FailureKind, FaultReport, ItemFailure,
-    SupervisePolicy, WorkerError,
+    default_jobs, par_map, par_map_supervised, par_map_supervised_commit, FailureKind, FaultReport,
+    ItemFailure, SupervisePolicy, WorkerError,
 };
 pub use pipeline::{
     suggest_constrained, suggest_layout, suggest_layout_all, suggest_layout_all_obs,

@@ -6,6 +6,6 @@
 //! under the historical `slopt_core::par` path.
 
 pub use slopt_ir::par::{
-    default_jobs, par_map, par_map_supervised, FailureKind, FaultReport, ItemFailure,
-    SupervisePolicy, WorkerError,
+    default_jobs, par_map, par_map_supervised, par_map_supervised_commit, FailureKind, FaultReport,
+    ItemFailure, SupervisePolicy, WorkerError,
 };

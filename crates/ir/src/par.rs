@@ -206,7 +206,7 @@ impl fmt::Display for ItemFailure {
 /// the attempt number, so two runs of the same plan wait the same
 /// schedule. Backoff bounds wall-clock cost; it cannot affect results,
 /// which are assembled by item index.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SupervisePolicy {
     /// Retries after the initial attempt (so `max_retries + 1` attempts
     /// total). Default 3.
@@ -309,6 +309,9 @@ struct ItemStats {
     recovered: bool,
     panics: u64,
     deadline_hit: bool,
+    /// The attempt number that produced the accepted value (meaningful
+    /// only when the item completed).
+    accepted_attempt: u32,
     failure: Option<ItemFailure>,
 }
 
@@ -360,6 +363,7 @@ where
         let retryable_message = match outcome {
             Ok(Ok(value)) => {
                 stats.recovered = attempt > 0;
+                stats.accepted_attempt = attempt;
                 return (Some(value), stats);
             }
             Ok(Err(WorkerError::Permanent(message))) => {
@@ -442,15 +446,51 @@ where
     T: Send,
     F: Fn(usize, &I, u32) -> Result<T, WorkerError> + Sync,
 {
+    par_map_supervised_commit(jobs, items, policy, f, |_, _, _: &T, _| {})
+}
+
+/// [`par_map_supervised`] with a *commit hook*: `commit(i, item, &value,
+/// attempt)` runs on the worker thread immediately after an item's value
+/// is **accepted** — after the attempt loop's deadline check, so an
+/// attempt that computed a value but overran its deadline (a hole in the
+/// result) is never committed.
+///
+/// This is the side-effect boundary durable state must hang off:
+/// appending a completed grid item to a checkpoint log inside the
+/// attempt itself would persist values the supervisor then rejects,
+/// turning deadline holes into "completed" items on resume. The hook
+/// receives the attempt number that produced the accepted value, so
+/// seeded per-attempt fault decisions stay replayable.
+///
+/// Commit runs at most once per item and never for quarantined items.
+/// Like `f`, it must be a pure function of its arguments (plus any
+/// index-keyed durable sink) for results to stay jobs-invariant.
+pub fn par_map_supervised_commit<I, T, F, C>(
+    jobs: usize,
+    items: &[I],
+    policy: &SupervisePolicy,
+    f: F,
+    commit: C,
+) -> (Vec<Option<T>>, FaultReport)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I, u32) -> Result<T, WorkerError> + Sync,
+    C: Fn(usize, &I, &T, u32) + Sync,
+{
     let jobs = jobs.max(1).min(items.len().max(1));
+    let run_one = |i: usize, item: &I| {
+        let (value, stats) = run_supervised(policy, i, item, &f);
+        if let Some(value) = &value {
+            commit(i, item, value, stats.accepted_attempt);
+        }
+        (i, value, stats)
+    };
     let per_worker: Vec<Vec<(usize, Option<T>, ItemStats)>> = if jobs <= 1 {
         vec![items
             .iter()
             .enumerate()
-            .map(|(i, item)| {
-                let (value, stats) = run_supervised(policy, i, item, &f);
-                (i, value, stats)
-            })
+            .map(|(i, item)| run_one(i, item))
             .collect()]
     } else {
         let next = AtomicUsize::new(0);
@@ -462,8 +502,7 @@ where
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
-                            let (value, stats) = run_supervised(policy, i, item, &f);
-                            out.push((i, value, stats));
+                            out.push(run_one(i, item));
                         }
                         out
                     })
@@ -718,6 +757,76 @@ mod tests {
             last = b;
         }
         assert_eq!(policy.backoff_for(0), policy.backoff_base);
+    }
+
+    #[test]
+    fn commit_fires_once_per_completed_item_with_accepted_attempt() {
+        use std::sync::Mutex;
+        // Item i succeeds on attempt i % 3 — a seeded transient plan.
+        let items: Vec<u64> = (0..20).collect();
+        for jobs in [1, 4] {
+            let committed: Mutex<Vec<(usize, u64, u32)>> = Mutex::new(Vec::new());
+            let (values, report) = par_map_supervised_commit(
+                jobs,
+                &items,
+                &fast_policy(),
+                |i, &x, attempt| {
+                    if (attempt as usize) < i % 3 {
+                        Err(WorkerError::transient("flake"))
+                    } else if i == 7 {
+                        Err(WorkerError::permanent("cursed"))
+                    } else {
+                        Ok(x * 2)
+                    }
+                },
+                |i, _item, &v, attempt| committed.lock().unwrap().push((i, v, attempt)),
+            );
+            let mut committed = committed.into_inner().unwrap();
+            committed.sort_by_key(|&(i, _, _)| i);
+            assert_eq!(
+                committed.len(),
+                report.completed,
+                "jobs={jobs}: exactly one commit per completed item"
+            );
+            for &(i, v, attempt) in &committed {
+                assert_ne!(i, 7, "quarantined items never commit");
+                assert_eq!(values[i], Some(v), "committed value is the accepted one");
+                assert_eq!(attempt as usize, i % 3, "commit sees the accepted attempt");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_never_fires_for_deadline_holes() {
+        use std::sync::Mutex;
+        let items: Vec<u32> = (0..6).collect();
+        let policy = SupervisePolicy {
+            deadline: Some(Duration::from_millis(30)),
+            ..fast_policy()
+        };
+        let committed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let (values, report) = par_map_supervised_commit(
+            3,
+            &items,
+            &policy,
+            |i, &x, _| {
+                if i == 4 {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                Ok::<u32, WorkerError>(x)
+            },
+            |i, _, _, _| committed.lock().unwrap().push(i),
+        );
+        assert!(values[4].is_none());
+        assert_eq!(report.deadline_hits, 1);
+        let mut committed = committed.into_inner().unwrap();
+        committed.sort_unstable();
+        assert_eq!(
+            committed,
+            vec![0, 1, 2, 3, 5],
+            "the deadline hole is the one uncommitted item: its attempt \
+             computed a value, but acceptance rejected it"
+        );
     }
 
     #[test]

@@ -93,62 +93,15 @@ fn pct(a: f64, b: f64) -> f64 {
     }
 }
 
-/// Structural comparison; returns the number of deltas printed.
+/// Structural comparison; returns the number of deltas printed. The
+/// comparison itself lives in [`slopt_obs::structural_deltas`] so the
+/// conformance suites can assert on it without shelling out.
 fn diff_structural(a: &ReplaySummary, b: &ReplaySummary) -> usize {
-    let mut deltas = 0;
-
-    let span_names: BTreeSet<&String> = a.spans.keys().chain(b.spans.keys()).collect();
-    for name in span_names {
-        let ca = a.spans.get(name).map_or(0, |s| s.count);
-        let cb = b.spans.get(name).map_or(0, |s| s.count);
-        if ca != cb {
-            println!("  span {name}: count {ca} -> {cb}");
-            deltas += 1;
-        }
+    let deltas = slopt_obs::structural_deltas(a, b);
+    for delta in &deltas {
+        println!("  {delta}");
     }
-
-    let counter_names: BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
-    for name in counter_names {
-        let va = a.counters.get(name).copied();
-        let vb = b.counters.get(name).copied();
-        if va != vb {
-            let fmt = |v: Option<f64>| v.map_or("absent".to_string(), |x| format!("{x}"));
-            println!("  counter {name}: {} -> {}", fmt(va), fmt(vb));
-            deltas += 1;
-        }
-    }
-
-    // Workload histograms are deterministic; span.* duration histograms
-    // are timing and handled in the timing section.
-    let hist_names: BTreeSet<&String> = a
-        .hists
-        .keys()
-        .chain(b.hists.keys())
-        .filter(|n| !n.starts_with("span."))
-        .collect();
-    for name in hist_names {
-        match (a.hists.get(name), b.hists.get(name)) {
-            (Some(ha), Some(hb)) => {
-                if ha.count != hb.count
-                    || ha.min != hb.min
-                    || ha.max != hb.max
-                    || ha.buckets != hb.buckets
-                {
-                    println!(
-                        "  histogram {name}: count {} -> {}, min {} -> {}, max {} -> {}",
-                        ha.count, hb.count, ha.min, hb.min, ha.max, hb.max
-                    );
-                    deltas += 1;
-                }
-            }
-            (pa, _) => {
-                let (present, missing) = if pa.is_some() { ("a", "b") } else { ("b", "a") };
-                println!("  histogram {name}: present in {present}, absent in {missing}");
-                deltas += 1;
-            }
-        }
-    }
-    deltas
+    deltas.len()
 }
 
 /// Timing report; returns the number of threshold breaches (always 0

@@ -47,7 +47,7 @@ pub mod trace;
 
 pub use histogram::{HistSummary, Histogram};
 pub use metrics::Metrics;
-pub use replay::{lint_str, replay_str, ReplaySummary, SpanStats, TraceError};
+pub use replay::{lint_str, replay_str, structural_deltas, ReplaySummary, SpanStats, TraceError};
 pub use sink::{MemorySink, NullSink, ObsSink, TraceEvent};
 pub use trace::{TraceSink, SCHEMA};
 

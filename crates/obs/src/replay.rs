@@ -165,6 +165,73 @@ impl fmt::Display for ReplaySummary {
     }
 }
 
+/// Compares the *structural* content of two replayed traces: span
+/// completion counts, counter final values, and workload histogram
+/// contents (count/min/max/buckets). These are pure functions of the
+/// work done, so two runs of the same seeded workload — at any `--jobs`,
+/// resumed or not — must match exactly. Gauges and span-duration
+/// histograms (`span.*`) are timing-derived and excluded.
+///
+/// Returns one human-readable line per delta, empty when the traces are
+/// structurally identical. This is the comparison behind the
+/// `trace_diff` bin and the ExecCtx conformance matrix.
+pub fn structural_deltas(a: &ReplaySummary, b: &ReplaySummary) -> Vec<String> {
+    let mut deltas = Vec::new();
+
+    let span_names: std::collections::BTreeSet<&String> =
+        a.spans.keys().chain(b.spans.keys()).collect();
+    for name in span_names {
+        let ca = a.spans.get(name).map_or(0, |s| s.count);
+        let cb = b.spans.get(name).map_or(0, |s| s.count);
+        if ca != cb {
+            deltas.push(format!("span {name}: count {ca} -> {cb}"));
+        }
+    }
+
+    let counter_names: std::collections::BTreeSet<&String> =
+        a.counters.keys().chain(b.counters.keys()).collect();
+    for name in counter_names {
+        let va = a.counters.get(name).copied();
+        let vb = b.counters.get(name).copied();
+        if va != vb {
+            let fmt = |v: Option<f64>| v.map_or("absent".to_string(), |x| format!("{x}"));
+            deltas.push(format!("counter {name}: {} -> {}", fmt(va), fmt(vb)));
+        }
+    }
+
+    // Workload histograms are deterministic; span.* duration histograms
+    // are timing and excluded.
+    let hist_names: std::collections::BTreeSet<&String> = a
+        .hists
+        .keys()
+        .chain(b.hists.keys())
+        .filter(|n| !n.starts_with("span."))
+        .collect();
+    for name in hist_names {
+        match (a.hists.get(name), b.hists.get(name)) {
+            (Some(ha), Some(hb)) => {
+                if ha.count != hb.count
+                    || ha.min != hb.min
+                    || ha.max != hb.max
+                    || ha.buckets != hb.buckets
+                {
+                    deltas.push(format!(
+                        "histogram {name}: count {} -> {}, min {} -> {}, max {} -> {}",
+                        ha.count, hb.count, ha.min, hb.min, ha.max, hb.max
+                    ));
+                }
+            }
+            (pa, _) => {
+                let (present, missing) = if pa.is_some() { ("a", "b") } else { ("b", "a") };
+                deltas.push(format!(
+                    "histogram {name}: present in {present}, absent in {missing}"
+                ));
+            }
+        }
+    }
+    deltas
+}
+
 /// One parsed trace line, validated.
 struct Line {
     ph: char,
