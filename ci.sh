@@ -156,4 +156,89 @@ cargo run --release --offline -p slopt-bench --bin perf_guard -- BENCH_sim.json 
     --require-parallel engine:3.0
 rm -f "$BASELINE_TMP"
 
+echo "== slopt-serve soak smoke (daemon + 3 faulted collectors, drain, kill-9/resume) =="
+# The daemon's correctness contract end to end, with real processes:
+# advice served after concurrent faulted ingest is cmp-equal to an
+# offline run over the same samples; SIGTERM drains to exit 0; kill -9
+# plus restart --resume serves bit-identical advice again. The release
+# build above produced the binaries — call them directly so the
+# backgrounded daemon never contends on the cargo lock.
+SERVE_BIN=./target/release/slopt-serve
+TOOL_BIN=./target/release/slopt-tool
+SOAK_DIR="$(mktemp -d /tmp/slopt_soak.XXXXXX)"
+SHARDS="$SOAK_DIR/shards"
+STATE="$SOAK_DIR/state"
+"$SERVE_BIN" --emit-samples "$SHARDS" --clients 3 --batches 4 --window 64 \
+    2> "$SOAK_DIR/emit.log"
+"$SERVE_BIN" --offline "$SHARDS" --window 64 --jobs 4 \
+    --advice-out "$SOAK_DIR/offline.txt"
+"$SERVE_BIN" --checkpoint-dir "$STATE" --addr 127.0.0.1:0 --window 64 --jobs 2 \
+    --fault-plan seed=11,transient=0.2,write-error=0.2 --max-retries 24 \
+    > "$SOAK_DIR/serve_a.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$STATE/addr" ] && break; sleep 0.1; done
+[ -s "$STATE/addr" ] || { echo "soak: daemon never published its address"; exit 1; }
+INGEST_PIDS=""
+for c in 0 1 2; do
+    "$TOOL_BIN" serve ingest --state-dir "$STATE" --dir "$SHARDS/client0$c" \
+        --client-id "$c" --fault-plan seed=7,transient=0.3 --max-retries 24 \
+        > "$SOAK_DIR/ingest_$c.log" 2>&1 &
+    INGEST_PIDS="$INGEST_PIDS $!"
+done
+for pid in $INGEST_PIDS; do
+    wait "$pid" || { echo "soak: a collector failed"; cat "$SOAK_DIR"/ingest_*.log; exit 1; }
+done
+"$TOOL_BIN" serve advise --state-dir "$STATE" > "$SOAK_DIR/live.txt"
+cmp "$SOAK_DIR/offline.txt" "$SOAK_DIR/live.txt" \
+    || { echo "soak: daemon advice diverged from the offline reference"; exit 1; }
+"$TOOL_BIN" serve health --state-dir "$STATE" | grep -q '^ok .*torn_dropped=0' \
+    || { echo "soak: unhealthy daemon"; exit 1; }
+"$TOOL_BIN" serve metrics --state-dir "$STATE" \
+    | grep -q '^# TYPE slopt_serve_ingest_batches counter' \
+    || { echo "soak: ingest not visible in /metrics"; exit 1; }
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+    echo "soak: SIGTERM drain: expected exit 0, got $code"
+    cat "$SOAK_DIR/serve_a.log"
+    exit 1
+fi
+# kill -9 a resumed daemon mid-window, restart with --resume: the journal
+# refold must reproduce the window, and the advice must not move a bit.
+rm -f "$STATE/addr"
+"$SERVE_BIN" --checkpoint-dir "$STATE" --resume --addr 127.0.0.1:0 --window 64 \
+    --jobs 4 > "$SOAK_DIR/serve_b.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$STATE/addr" ] && break; sleep 0.1; done
+[ -s "$STATE/addr" ] || { echo "soak: resumed daemon never published its address"; exit 1; }
+kill -9 "$SERVE_PID"
+set +e
+wait "$SERVE_PID" 2> /dev/null
+set -e
+rm -f "$STATE/addr"
+"$SERVE_BIN" --checkpoint-dir "$STATE" --resume --addr 127.0.0.1:0 --window 64 \
+    --jobs 1 > "$SOAK_DIR/serve_c.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 200); do [ -s "$STATE/addr" ] && break; sleep 0.1; done
+[ -s "$STATE/addr" ] || { echo "soak: post-kill-9 daemon never published its address"; exit 1; }
+"$TOOL_BIN" serve advise --state-dir "$STATE" > "$SOAK_DIR/resumed.txt"
+cmp "$SOAK_DIR/offline.txt" "$SOAK_DIR/resumed.txt" \
+    || { echo "soak: post-kill-9 resume changed the advice"; exit 1; }
+"$TOOL_BIN" serve health --state-dir "$STATE" | grep -q 'resumed_batches=12' \
+    || { echo "soak: resume did not refold the journal"; exit 1; }
+"$TOOL_BIN" serve drain --state-dir "$STATE" > /dev/null
+set +e
+wait "$SERVE_PID"
+code=$?
+set -e
+if [ "$code" -ne 0 ]; then
+    echo "soak: client-initiated drain: expected exit 0, got $code"
+    cat "$SOAK_DIR/serve_c.log"
+    exit 1
+fi
+rm -rf "$SOAK_DIR"
+
 echo "ci.sh: all green"

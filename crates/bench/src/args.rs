@@ -8,8 +8,10 @@
 //! Parsing is *strict*: a malformed value for any known flag is a usage
 //! error ([`exit::USAGE`], code 2) with a message naming the offending
 //! argument position, never a silent fallback to a default. Unknown
-//! tokens are skipped so binaries can layer their own flags (e.g.
-//! `fig_search --seed`) on top.
+//! dash-prefixed tokens are usage errors too — a typo like
+//! `--trace-ouf` must not silently run without its trace — unless the
+//! binary *registers* them as extras (e.g. `fig_search --seed`) via
+//! [`CommonArgs::parse_with`].
 
 use slopt_core::SupervisePolicy;
 use slopt_fault::{exit, FaultPlan};
@@ -119,11 +121,19 @@ impl Default for CommonArgs {
 
 impl CommonArgs {
     /// Strictly parses an argument list (without the program name).
-    /// Unknown tokens are skipped one at a time so binaries can layer
-    /// their own flags on top; known flags with malformed or missing
-    /// values are [`ArgError`]s. Flag order never matters: the last
-    /// occurrence of a repeated flag wins.
+    /// Known flags with malformed or missing values are [`ArgError`]s,
+    /// and so is any unknown dash-prefixed token (likely a typo). Flag
+    /// order never matters: the last occurrence of a repeated flag wins.
     pub fn parse(args: &[String]) -> Result<CommonArgs, ArgError> {
+        CommonArgs::parse_with(args, &[])
+    }
+
+    /// [`CommonArgs::parse`] with binary-specific *extra* flags
+    /// registered as `(name, takes_value)` pairs. Registered extras are
+    /// skipped (their value slot consumed when `takes_value`) so the
+    /// binary can parse them from the raw argv itself; every other
+    /// dash-prefixed token is still a usage error.
+    pub fn parse_with(args: &[String], extras: &[(&str, bool)]) -> Result<CommonArgs, ArgError> {
         let mut out = CommonArgs::default();
         let mut fault_plan: Option<FaultPlan> = None;
         let mut max_retries: Option<u32> = None;
@@ -205,7 +215,24 @@ impl CommonArgs {
                     deadline = Some(Duration::from_millis(ms));
                     i += 1;
                 }
-                _ => {} // not ours; a binary-specific flag or its value
+                _ => {
+                    if let Some(&(_, takes_value)) = extras.iter().find(|&&(n, _)| n == flag) {
+                        // A registered binary-specific flag: the binary
+                        // parses it from the raw argv itself; we only
+                        // step over it (and its value slot).
+                        if takes_value {
+                            value(i, flag)?;
+                            i += 1;
+                        }
+                    } else if flag.starts_with('-') && flag.len() > 1 {
+                        return Err(ArgError {
+                            pos: i + 1,
+                            msg: format!("unknown flag `{flag}` (see --help)"),
+                        });
+                    }
+                    // A bare non-dash token is a positional value for
+                    // the caller (e.g. `slopt-tool stats <trace>`).
+                }
             }
             i += 1;
         }
@@ -227,10 +254,16 @@ impl CommonArgs {
     /// and parse errors (report and exit [`exit::USAGE`]) — the whole
     /// prologue of an experiment binary. `bin` and `about` head the help
     /// text; `extra` documents any binary-specific flags (empty for
-    /// most).
-    pub fn from_env_or_exit(bin: &str, about: &str, extra: &str) -> CommonArgs {
+    /// most) and `extras` registers them as `(name, takes_value)` pairs
+    /// so strict parsing doesn't reject them as typos.
+    pub fn from_env_or_exit(
+        bin: &str,
+        about: &str,
+        extra: &str,
+        extras: &[(&str, bool)],
+    ) -> CommonArgs {
         let argv: Vec<String> = std::env::args().skip(1).collect();
-        match CommonArgs::parse(&argv) {
+        match CommonArgs::parse_with(&argv, extras) {
             Ok(args) if args.help => {
                 println!("{}", help_text(bin, about, extra));
                 std::process::exit(0);
@@ -384,11 +417,41 @@ mod tests {
     }
 
     #[test]
-    fn unknown_tokens_are_skipped_for_binary_specific_flags() {
-        let args =
-            CommonArgs::parse(&strs(&["--seed", "42", "--jobs", "2", "--top", "3"])).unwrap();
+    fn unknown_flags_are_rejected_with_their_position() {
+        // The typo that motivated strictness: a mistyped flag must not
+        // silently run without its capability.
+        let err = CommonArgs::parse(&strs(&["--trace-ouf", "/tmp/t.jsonl"])).unwrap_err();
+        assert_eq!(err.pos, 1);
+        assert!(err.msg.contains("--trace-ouf"), "{err}");
+        let err = CommonArgs::parse(&strs(&["--stats", "--bogus"])).unwrap_err();
+        assert_eq!(err.pos, 2);
+        // Bare non-dash tokens stay skipped: they are the caller's
+        // positional values (`slopt-tool stats <trace>`).
+        assert!(
+            CommonArgs::parse(&strs(&["some/trace.jsonl", "--stats"]))
+                .unwrap()
+                .stats
+        );
+    }
+
+    #[test]
+    fn registered_extras_are_stepped_over() {
+        let extras: &[(&str, bool)] = &[("--seed", true), ("--top", true), ("--stress", false)];
+        let args = CommonArgs::parse_with(
+            &strs(&["--seed", "42", "--jobs", "2", "--stress", "--top", "3"]),
+            extras,
+        )
+        .unwrap();
         assert_eq!(args.jobs, 2);
         assert_eq!(args.scale, 1);
+        // A value-taking extra consumes its value slot, so a dash-valued
+        // slot is not re-parsed as a flag... but a *missing* value is
+        // still an error at the extra's position.
+        let err = CommonArgs::parse_with(&strs(&["--jobs", "2", "--seed"]), extras).unwrap_err();
+        assert_eq!(err.pos, 3);
+        // Unregistered flags are still rejected even with extras given.
+        let err = CommonArgs::parse_with(&strs(&["--chains", "4"]), extras).unwrap_err();
+        assert_eq!(err.pos, 1);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn main() {
         "ablation_blocksize",
         "64 B vs 128 B coherence blocks, struct A (128-way)",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -21,6 +21,7 @@ fn main() {
         "ablation_inline",
         "intra-procedural analysis vs inlining (struct B)",
         "",
+        &[],
     );
     let setup = default_figure_setup(args.scale);
     let raw = &setup.kernel;

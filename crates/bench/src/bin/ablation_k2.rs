@@ -22,6 +22,7 @@ fn main() {
         "ablation_k2",
         "CycleLoss constant sweep on struct A (128-way)",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -25,6 +25,7 @@ fn main() {
         "ablation_min_heuristic",
         "Minimum Heuristic vs group-frequency affinity (128-way)",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -23,6 +23,7 @@ fn main() {
         "ablation_protocol",
         "MESI vs MSI coherence, struct A (128-way)",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -18,6 +18,7 @@ fn main() {
         "ablation_refine",
         "greedy vs refined clustering (128-way)",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -21,6 +21,7 @@ fn main() {
         "ablation_sampling",
         "sampling period/interval sweep for Code Concurrency fidelity",
         "",
+        &[],
     );
     let fault = args.fault.clone();
     let setup = slopt_bench::default_figure_setup(args.scale);

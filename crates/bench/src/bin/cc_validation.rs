@@ -36,6 +36,7 @@ fn main() {
         "cc_validation",
         "Code Concurrency sampling-fidelity and machine-size checks",
         "",
+        &[],
     );
     let setup = default_figure_setup(args.scale);
     let kernel = &setup.kernel;

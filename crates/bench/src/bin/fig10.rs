@@ -23,6 +23,7 @@ fn main() {
         "fig10",
         "best layout per struct (automatic vs constrained) on the 128-way Superdome",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -23,6 +23,7 @@ fn main() {
         "fig8",
         "automatic layout vs sort-by-hotness on the 128-way Superdome",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

@@ -21,6 +21,7 @@ fn main() {
         "fig9",
         "the Figure-8 layouts measured on a 4-way bus machine",
         "",
+        &[],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

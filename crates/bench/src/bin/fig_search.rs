@@ -147,6 +147,12 @@ fn main() {
         "fig_search",
         "greedy clustering vs the stochastic layout search",
         EXTRA_FLAGS,
+        &[
+            ("--seed", true),
+            ("--chains", true),
+            ("--steps", true),
+            ("--top", true),
+        ],
     );
     let setup = figure_setup(&args);
     let ctx = args.ctx_or_exit();

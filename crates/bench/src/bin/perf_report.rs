@@ -96,9 +96,14 @@ struct Args {
 impl Args {
     fn from_env() -> Args {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        // `--jobs` comes from the shared execution-context parser (which
-        // skips the bin-specific flags below as unknown tokens).
-        let common = CommonArgs::parse(&args).unwrap_or_else(|e| {
+        // `--jobs` comes from the shared execution-context parser, with
+        // the bin-specific flags below registered as extras.
+        let extras: &[(&str, bool)] = &[
+            ("--out", true),
+            ("--quick", false),
+            ("--no-reference", false),
+        ];
+        let common = CommonArgs::parse_with(&args, extras).unwrap_or_else(|e| {
             eprintln!("perf_report: {e}");
             std::process::exit(i32::from(slopt_fault::exit::USAGE));
         });

@@ -34,6 +34,7 @@ fn main() {
         "sweep_remote_latency",
         "sort-by-hotness cost vs coherence-transfer latency (64-way)",
         "",
+        &[],
     );
     let setup = default_figure_setup(args.scale);
     let layouts = compute_paper_layouts(&setup.kernel, &setup.sdet, &setup.analysis, setup.tool);

@@ -22,17 +22,11 @@
 
 pub mod args;
 pub mod checkpoint;
-pub mod compat;
 pub mod harness;
 pub mod runner;
 
 pub use args::{help_text, ArgError, CommonArgs, EXIT_CODE_TABLE, FLAG_REFERENCE};
 pub use checkpoint::{fingerprint, guard_cc_snapshot, Checkpoint, CheckpointSpec};
-#[allow(deprecated)]
-pub use compat::{
-    figure_ckpt_obs, figure_fault_obs, measure_cells_ckpt_obs, measure_cells_fault_obs,
-    measure_cells_obs,
-};
 pub use harness::{default_figure_setup, figure_setup, parse_scale, FigureSetup};
 pub use runner::{
     figure, measure_cells, require_complete, require_figure, resolve, Cell, Degraded, ExecCtx,

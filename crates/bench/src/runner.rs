@@ -56,7 +56,7 @@ pub struct FaultConfig {
 /// composed as plain data.
 ///
 /// Historically each capability combination had its own entry point (an
-/// `_obs` / checkpoint / fault suffix per axis, see [`crate::compat`]);
+/// `_obs` / checkpoint / fault suffix per axis — deleted forwarders);
 /// the lattice grew multiplicatively with each new capability. An
 /// `ExecCtx` collapses that into one
 /// [`measure_cells`] / [`figure`] path: a capability that is "off" is

@@ -9,7 +9,9 @@
 //!    any known flag is an [`slopt_bench::ArgError`] pointing at the
 //!    offending 1-based argument position (rendered `arg N: ...`), the
 //!    way a compiler points at line/column. No silent fallback to
-//!    defaults.
+//!    defaults. Unknown dash-prefixed tokens (typos) are errors too,
+//!    unless the binary registered them as extras via
+//!    [`CommonArgs::parse_with`].
 
 use proptest::prelude::*;
 use slopt_bench::CommonArgs;
@@ -148,5 +150,47 @@ proptest! {
         let err = CommonArgs::parse(&args).expect_err("zero deadline must be rejected");
         prop_assert_eq!(err.pos, pad + 2);
         prop_assert!(err.msg.contains("positive"), "{}", err);
+    }
+
+    /// Any unknown dash-prefixed token — e.g. a one-character typo of a
+    /// real flag — is rejected at its own 1-based position, naming the
+    /// token. This is the regression property for the era when unknown
+    /// flags were silently skipped and `--trace-ouf` ran without a trace.
+    #[test]
+    fn unknown_flags_are_rejected_at_their_position(
+        suffix in any::<u32>(),
+        pad in 0usize..4,
+    ) {
+        let typo = format!("--x{suffix}"); // digits: never a known flag
+        let mut args = vec!["--stats".to_string(); pad];
+        args.push(typo.clone());
+        let err = CommonArgs::parse(&args).expect_err("unknown flag must be rejected");
+        prop_assert_eq!(err.pos, pad + 1);
+        prop_assert!(err.to_string().starts_with(&format!("arg {}: ", pad + 1)), "{}", err);
+        prop_assert!(err.msg.contains(&typo), "{}", err);
+    }
+
+    /// Registering the same token as an extra makes the parse succeed
+    /// again, with the shared flags unaffected — and a value-taking
+    /// extra consumes exactly one value slot, so the shuffle-insensitive
+    /// shared parse sees through it.
+    #[test]
+    fn registered_extras_never_change_shared_flags(
+        suffix in any::<u32>(),
+        takes_value in any::<bool>(),
+        jobs in 1u64..16,
+    ) {
+        let extra = format!("--x{suffix}");
+        let mut args = vec![extra.clone()];
+        if takes_value {
+            args.push("7".to_string());
+        }
+        args.extend(["--jobs".to_string(), jobs.to_string()]);
+        let extras: &[(&str, bool)] = &[(&extra, takes_value)];
+        let parsed = CommonArgs::parse_with(&args, extras).expect("registered extra parses");
+        prop_assert_eq!(parsed.jobs, jobs as usize);
+        // Unregistered, the very same argv is rejected at the extra.
+        let err = CommonArgs::parse(&args).expect_err("unregistered extra is a typo");
+        prop_assert_eq!(err.pos, 1);
     }
 }

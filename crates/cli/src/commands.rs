@@ -129,6 +129,15 @@ USAGE:
         collapsed format; value = self time in microseconds). Render with
         `slopt-tool flame run.jsonl | flamegraph.pl > run.svg`.
 
+    slopt-tool serve <health|advise|metrics|drain|ingest>
+                     [--addr HOST:PORT | --state-dir DIR]
+        Talk to a running slopt-serve daemon. --state-dir discovers the
+        address from DIR/addr (written by the daemon at bind time).
+        `ingest --dir DIR [--client-id N] [--fault-plan SPEC]
+        [--max-retries N]` streams every *.slshard under DIR as one
+        collector, retrying transient failures with backoff; the others
+        print the daemon's advice/health/metrics or drain it gracefully.
+
     slopt-tool help
         This text.
 
@@ -386,16 +395,18 @@ fn parse_cpus(args: &[String]) -> Result<usize, CliError> {
 }
 
 /// Parses the shared execution-context flags and builds the [`ExecCtx`]
-/// the heavier subcommands run under.
-fn exec_ctx(args: &[String]) -> Result<(CommonArgs, ExecCtx), CliError> {
-    let common = CommonArgs::parse(args).map_err(|e| CliError::usage(e.to_string()))?;
+/// the heavier subcommands run under. `extras` registers the
+/// subcommand's own flags so strict parsing doesn't reject them.
+fn exec_ctx(args: &[String], extras: &[(&str, bool)]) -> Result<(CommonArgs, ExecCtx), CliError> {
+    let common =
+        CommonArgs::parse_with(args, extras).map_err(|e| CliError::usage(e.to_string()))?;
     let ctx = common.try_ctx().map_err(CliError::failure)?;
     Ok((common, ctx))
 }
 
 /// `slopt-tool figures`.
 pub fn figures(args: &[String]) -> Result<(), CliError> {
-    let (common, ctx) = exec_ctx(args)?;
+    let (common, ctx) = exec_ctx(args, &[])?;
     let scale = common.scale;
     let jobs = ctx.jobs;
     let kernel = build_kernel();
@@ -506,7 +517,19 @@ pub fn search(args: &[String]) -> Result<(), CliError> {
     let steps = parse_uint_flag(args, "--steps", 1_200)? as usize;
     let top = parse_uint_flag(args, "--validate-top", 2)?.max(1) as usize;
     let cpus = parse_cpus(args)?;
-    let (_common, ctx) = exec_ctx(args)?;
+    let (_common, ctx) = exec_ctx(
+        args,
+        &[
+            ("--seed", true),
+            ("--chains", true),
+            ("--steps", true),
+            ("--validate-top", true),
+            ("--cpus", true),
+            ("--struct", true),
+            ("--program", true),
+            ("--stress", false),
+        ],
+    )?;
     let jobs = ctx.jobs;
     let obs = ctx.obs.clone();
 
@@ -686,6 +709,145 @@ pub fn flame(args: &[String]) -> Result<(), CliError> {
     let summary = slopt_obs::replay::replay_str(&text)
         .map_err(|e| CliError::bad_input(format!("{path}: {e}")))?;
     print!("{}", slopt_obs::flame::folded(&summary));
+    Ok(())
+}
+
+/// `slopt-tool serve` — talk to a running `slopt-serve` daemon.
+pub fn serve(args: &[String]) -> Result<(), CliError> {
+    let Some(action) = args.first().filter(|a| !a.starts_with('-')) else {
+        return Err(CliError::usage(
+            "serve needs an action: health | advise | metrics | drain | ingest \
+             (try `slopt-tool help`)",
+        ));
+    };
+    let addr = serve_addr(args)?;
+    let mut client = slopt_serve::Client::new(addr);
+    match action.as_str() {
+        "health" => {
+            let line = client
+                .health()
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            println!("{line}");
+            Ok(())
+        }
+        "advise" => {
+            let text = client
+                .advise()
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            print!("{text}");
+            Ok(())
+        }
+        "metrics" => {
+            let text = client
+                .metrics()
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            print!("{text}");
+            Ok(())
+        }
+        "drain" => {
+            let ack = client
+                .drain()
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            println!("{ack}");
+            Ok(())
+        }
+        "ingest" => serve_ingest(args, &mut client),
+        other => Err(CliError::usage(format!(
+            "unknown serve action `{other}` (health | advise | metrics | drain | ingest)"
+        ))),
+    }
+}
+
+/// Resolves the daemon address: `--addr` wins, else `--state-dir`'s
+/// published `addr` file (written by the daemon at bind time).
+fn serve_addr(args: &[String]) -> Result<String, CliError> {
+    if let Some(addr) = flag_value(args, "--addr") {
+        return Ok(addr.to_string());
+    }
+    if let Some(dir) = flag_value(args, "--state-dir") {
+        let path = std::path::Path::new(dir).join("addr");
+        let addr = std::fs::read_to_string(&path).map_err(|e| {
+            CliError::bad_input(format!(
+                "cannot read the daemon's published address {}: {e}",
+                path.display()
+            ))
+        })?;
+        return Ok(addr.trim().to_string());
+    }
+    Err(CliError::usage(
+        "serve needs --addr HOST:PORT or --state-dir DIR (to read DIR/addr)",
+    ))
+}
+
+/// `slopt-tool serve ingest`: stream every `*.slshard` under `--dir` to
+/// the daemon as one collector, in deterministic (path-sorted) order,
+/// with per-batch retry/backoff on transient failures.
+fn serve_ingest(args: &[String], client: &mut slopt_serve::Client) -> Result<(), CliError> {
+    let Some(dir) = flag_value(args, "--dir") else {
+        return Err(CliError::usage(
+            "serve ingest needs --dir DIR (shard files)",
+        ));
+    };
+    let client_id: u64 = match flag_value(args, "--client-id") {
+        None => 0,
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::usage(format!(
+                "bad value `{raw}` for --client-id (expected an unsigned integer)"
+            ))
+        })?,
+    };
+    let plan = match flag_value(args, "--fault-plan") {
+        None => slopt_fault::FaultPlan::none(),
+        Some(spec) => slopt_fault::FaultPlan::parse(spec)
+            .map_err(|e| CliError::usage(format!("bad value for --fault-plan: {e}")))?,
+    };
+    let max_retries: u32 = match flag_value(args, "--max-retries") {
+        None => 8,
+        Some(raw) => raw.parse().map_err(|_| {
+            CliError::usage(format!(
+                "bad value `{raw}` for --max-retries (expected an unsigned integer)"
+            ))
+        })?,
+    };
+
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    collect_shard_files(std::path::Path::new(dir), &mut files)
+        .map_err(|e| CliError::bad_input(format!("walking {dir}: {e}")))?;
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::bad_input(format!(
+            "no *.slshard files under {dir}"
+        )));
+    }
+    let obs = slopt_obs::Obs::disabled();
+    for (seq, path) in files.iter().enumerate() {
+        let samples = slopt_sample::read_shard(path)
+            .map_err(|e| CliError::bad_input(format!("reading {}: {e}", path.display())))?;
+        let batch = slopt_serve::IngestBatch {
+            client: client_id,
+            seq: seq as u64,
+            samples,
+        };
+        let ack = client
+            .ingest(&batch, &plan, max_retries, &obs)
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        println!("[ingest] client {client_id} seq {seq}: {ack}");
+    }
+    Ok(())
+}
+
+fn collect_shard_files(
+    dir: &std::path::Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_shard_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "slshard") {
+            out.push(path);
+        }
+    }
     Ok(())
 }
 

@@ -8,6 +8,7 @@
 //! slopt-tool search [--stress | --program FILE] [--seed S] [--jobs N]
 //! slopt-tool stats <trace.jsonl> [--prom]
 //! slopt-tool flame <trace.jsonl>
+//! slopt-tool serve <health|advise|metrics|drain|ingest> [--addr HOST:PORT]
 //! slopt-tool help
 //! ```
 //!
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "search" => commands::search(rest),
         "stats" => commands::stats(rest),
         "flame" => commands::flame(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             commands::print_help();
             Ok(())

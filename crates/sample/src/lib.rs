@@ -39,7 +39,8 @@ pub use concurrency::{
 pub use cycleloss::{cycle_loss, cycle_loss_filtered, cycle_loss_weighted, CycleLossMap};
 pub use sampler::{ExactCounter, Sample, Sampler, SamplerConfig};
 pub use shard::{
-    read_shard, shard_concurrency, shard_concurrency_obs, shard_file_name, write_shard,
-    write_shards, ShardError, ShardIngestStats, ShardReader, ShardSpool, StreamingConcurrency,
+    decode_shard, encode_shard, read_shard, shard_concurrency, shard_concurrency_obs,
+    shard_file_name, write_shard, write_shards, ShardError, ShardIngestStats, ShardReader,
+    ShardSpool, StreamingConcurrency, WindowedConcurrency,
 };
 pub use snapshot::{load_concurrency, save_concurrency, SnapshotError};

@@ -24,6 +24,10 @@
 //!   workers and merges their triangular accumulators **pairwise** via
 //!   `par_map` — bit-identical to [`crate::concurrency_map`] for every
 //!   shard size and every `--jobs` (see DESIGN.md §11 and §13).
+//! * [`WindowedConcurrency`] — the same fold generalized to a
+//!   **sliding window** of ring-buffered intervals with exact eviction
+//!   of expired intervals: the decaying live state of the `slopt-serve`
+//!   daemon (see DESIGN.md §17).
 //! * [`shard_concurrency_obs`] — the end-to-end fold over a directory:
 //!   malformed, truncated or missing shards are *skipped*, counted in
 //!   [`ShardIngestStats`] and as `warn.shard.*` counters, never a panic.
@@ -152,14 +156,15 @@ pub fn shard_file_name(index: usize) -> String {
     format!("shard-{index:05}.{SHARD_EXT}")
 }
 
-/// Serializes `samples` (non-decreasing in time) to `path` in
-/// `slopt-shard/1` format. An empty slice writes a valid zero-record
+/// Serializes `samples` (non-decreasing in time) to an in-memory
+/// `slopt-shard/1` image — the payload the network ingestion path ships
+/// inside protocol frames. An empty slice encodes a valid zero-record
 /// shard.
 ///
 /// Returns `InvalidInput` if the samples are not sorted by time — the
 /// format's bounds check depends on it, and every writer in this crate
 /// sorts before calling.
-pub fn write_shard(path: &Path, samples: &[Sample]) -> io::Result<()> {
+pub fn encode_shard(samples: &[Sample]) -> io::Result<Vec<u8>> {
     if samples.windows(2).any(|w| w[1].time < w[0].time) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -184,6 +189,13 @@ pub fn write_shard(path: &Path, samples: &[Sample]) -> io::Result<()> {
         buf.extend_from_slice(&s.block.0.to_le_bytes());
         buf.extend_from_slice(&s.line.0.to_le_bytes());
     }
+    Ok(buf)
+}
+
+/// Serializes `samples` (non-decreasing in time) to `path` in
+/// `slopt-shard/1` format via [`encode_shard`].
+pub fn write_shard(path: &Path, samples: &[Sample]) -> io::Result<()> {
+    let buf = encode_shard(samples)?;
     let mut f = fs::File::create(path)?;
     f.write_all(&buf)?;
     f.flush()
@@ -212,10 +224,11 @@ pub fn write_shards(dir: &Path, samples: &[Sample], shard_size: usize) -> io::Re
     Ok(paths)
 }
 
-/// Deserializes one shard, verifying magic, version, exact length,
-/// time ordering and time bounds.
-pub fn read_shard(path: &Path) -> Result<Vec<Sample>, ShardError> {
-    let bytes = fs::read(path)?;
+/// Deserializes one `slopt-shard/1` image (a file's contents or a
+/// network frame payload), verifying magic, version, exact length, time
+/// ordering and time bounds. Every failure is a typed [`ShardError`] —
+/// torn or corrupted batches are detected structurally, never a panic.
+pub fn decode_shard(bytes: &[u8]) -> Result<Vec<Sample>, ShardError> {
     if bytes.len() < HEADER_LEN {
         return Err(if bytes.get(..8).is_some_and(|m| m != SHARD_MAGIC) {
             ShardError::BadMagic
@@ -266,6 +279,12 @@ pub fn read_shard(path: &Path) -> Result<Vec<Sample>, ShardError> {
         });
     }
     Ok(samples)
+}
+
+/// Reads and deserializes one shard file via [`decode_shard`].
+pub fn read_shard(path: &Path) -> Result<Vec<Sample>, ShardError> {
+    let bytes = fs::read(path)?;
+    decode_shard(&bytes)
 }
 
 /// Iterates the shards of a directory in index order, yielding each
@@ -612,6 +631,245 @@ fn merge_sorted_runs(a: Vec<(u128, u64)>, b: Vec<(u128, u64)>) -> Vec<(u128, u64
     out
 }
 
+/// One interval's cells inside the window ring: a private LSM fold of
+/// exactly the samples whose `time / interval` equals `interval`.
+#[derive(Clone, Debug)]
+struct IntervalFold {
+    /// The interval index this slot currently holds.
+    interval: u64,
+    /// Sorted distinct packed cells of this interval.
+    sorted: Vec<(u128, u64)>,
+    /// Packed keys not yet folded into `sorted`.
+    pending: Vec<u128>,
+    /// Samples folded into this interval.
+    samples: u64,
+}
+
+impl IntervalFold {
+    fn new(interval: u64) -> IntervalFold {
+        IntervalFold {
+            interval,
+            sorted: Vec::new(),
+            pending: Vec::new(),
+            samples: 0,
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.pending.sort_unstable();
+        let mut run: Vec<(u128, u64)> = Vec::new();
+        for &key in &self.pending {
+            match run.last_mut() {
+                Some(last) if last.0 == key => last.1 += 1,
+                _ => run.push((key, 1)),
+            }
+        }
+        self.pending.clear();
+        let a = std::mem::take(&mut self.sorted);
+        self.sorted = merge_sorted_runs(a, run);
+    }
+}
+
+/// [`StreamingConcurrency`] generalized to a **sliding window of
+/// intervals**: the decaying Code Concurrency state of a long-lived
+/// collection service (`slopt-serve`), where old traffic must stop
+/// influencing layout advice.
+///
+/// Samples fold into a ring of per-interval cell stores, one slot per
+/// interval index modulo the window length `W`. The retained range is
+/// always the `W` most recent intervals `(newest - W, newest]`; when a
+/// sample advances `newest`, every slot whose interval falls out of the
+/// range is **evicted exactly** — the slot holds precisely that
+/// interval's cells, so eviction removes exactly the expired samples'
+/// contribution, never an approximation. Samples older than the current
+/// window at arrival are counted as [`late_dropped`] and never folded
+/// (counted, not silent). `W = ∞` degenerates to
+/// [`StreamingConcurrency`], whose single unbounded run this type
+/// splits per interval.
+///
+/// Determinism: the retained state is a pure function of the *accepted*
+/// sample multiset and the final `newest` interval — per-interval cell
+/// counts are exact `u64` sums (batch-partitioning-independent, like
+/// the unbounded fold), and eviction only ever removes whole intervals
+/// below `newest - W + 1`. In particular, when an ingest sequence spans
+/// at most `W` intervals, *every* interleaving of its batches accepts
+/// every sample and converges to the same state — the basis of the
+/// serve daemon's differential contract against an offline fold.
+///
+/// [`late_dropped`]: WindowedConcurrency::late_dropped
+///
+/// # Example
+///
+/// ```
+/// use slopt_ir::cfg::{BlockId, FuncId};
+/// use slopt_ir::source::SourceLine;
+/// use slopt_sample::{ConcurrencyConfig, Sample, WindowedConcurrency};
+/// use slopt_sim::CpuId;
+///
+/// let mk = |cpu: u16, time: u64, line: u32| Sample {
+///     cpu: CpuId(cpu),
+///     time,
+///     func: FuncId(0),
+///     block: BlockId(0),
+///     line: SourceLine(line),
+/// };
+/// // Two intervals retained, 100 cycles each.
+/// let mut win = WindowedConcurrency::new(ConcurrencyConfig { interval: 100 }, 2);
+/// win.ingest(&[mk(0, 10, 1), mk(1, 20, 2)]); // interval 0
+/// assert_eq!(win.concurrency_jobs(1).get(SourceLine(1), SourceLine(2)), 1);
+/// win.ingest(&[mk(0, 250, 3)]); // interval 2 — interval 0 expires
+/// assert_eq!(win.concurrency_jobs(1).get(SourceLine(1), SourceLine(2)), 0);
+/// assert_eq!(win.evicted_samples(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedConcurrency {
+    cfg: ConcurrencyConfig,
+    window: u64,
+    /// `window` slots; slot `i % window` holds interval `i` (or nothing).
+    ring: Vec<Option<IntervalFold>>,
+    /// Highest interval index accepted so far.
+    newest: Option<u64>,
+    accepted: u64,
+    evicted: u64,
+    late_dropped: u64,
+}
+
+impl WindowedConcurrency {
+    /// An empty windowed folder retaining the `window` most recent
+    /// intervals of `cfg.interval` cycles each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.interval` or `window` is zero.
+    pub fn new(cfg: ConcurrencyConfig, window: u64) -> Self {
+        assert!(cfg.interval > 0, "interval must be non-zero");
+        assert!(window > 0, "window must retain at least one interval");
+        WindowedConcurrency {
+            cfg,
+            window,
+            ring: vec![None; window as usize],
+            newest: None,
+            accepted: 0,
+            evicted: 0,
+            late_dropped: 0,
+        }
+    }
+
+    /// The interval configuration the fold buckets by.
+    pub fn config(&self) -> ConcurrencyConfig {
+        self.cfg
+    }
+
+    /// Window length in intervals.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// The retained interval range `[start, newest]`, or `None` before
+    /// the first accepted sample.
+    pub fn window_range(&self) -> Option<(u64, u64)> {
+        self.newest.map(|n| (n.saturating_sub(self.window - 1), n))
+    }
+
+    /// Samples accepted (folded) so far, including since-evicted ones.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Samples removed by exact whole-interval eviction.
+    pub fn evicted_samples(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Samples rejected on arrival because their interval had already
+    /// slid out of the window.
+    pub fn late_dropped(&self) -> u64 {
+        self.late_dropped
+    }
+
+    /// Samples currently contributing to the window.
+    pub fn retained_samples(&self) -> u64 {
+        self.accepted - self.evicted
+    }
+
+    /// Folds a batch (any order, any batching — cell increments commute
+    /// within the retained range). Returns how many of the batch's
+    /// samples were late-dropped.
+    pub fn ingest(&mut self, samples: &[Sample]) -> u64 {
+        let before = self.late_dropped;
+        for s in samples {
+            let idx = s.time / self.cfg.interval;
+            match self.newest {
+                Some(newest) if idx <= newest => {
+                    if idx < newest.saturating_sub(self.window - 1) {
+                        self.late_dropped += 1;
+                        continue;
+                    }
+                }
+                Some(newest) => self.advance(newest, idx),
+                None => self.newest = Some(idx),
+            }
+            let slot = &mut self.ring[(idx % self.window) as usize];
+            let fold = slot.get_or_insert_with(|| IntervalFold::new(idx));
+            debug_assert_eq!(fold.interval, idx, "slot must be evicted before reuse");
+            fold.pending.push(pack_cell_key(idx, s.cpu.0, s.line.0));
+            fold.samples += 1;
+            self.accepted += 1;
+            if fold.pending.len() >= PENDING_COMPACT_MIN.max(fold.sorted.len()) {
+                fold.compact();
+            }
+        }
+        self.late_dropped - before
+    }
+
+    /// Slides the window forward to `idx`, exactly evicting every slot
+    /// whose interval falls below the new start. Only the ring positions
+    /// the advance passes over can expire, so the sweep is
+    /// `O(min(advance, window))`.
+    fn advance(&mut self, newest: u64, idx: u64) {
+        let start = idx.saturating_sub(self.window - 1);
+        let first = (newest + 1).max(start);
+        for k in first..=idx {
+            if let Some(fold) = self.ring[(k % self.window) as usize].take() {
+                debug_assert!(fold.interval < start, "only expired slots are swept");
+                self.evicted += fold.samples;
+            }
+        }
+        self.newest = Some(idx);
+    }
+
+    /// The window's sorted distinct cells — the live state an advice
+    /// fingerprint hashes. Per-interval runs occupy disjoint key ranges
+    /// (the interval index is the key's top bits), so concatenating the
+    /// occupied slots in interval order *is* the globally sorted run.
+    pub fn cells_snapshot(&mut self) -> Vec<(u128, u64)> {
+        let mut slots: Vec<&mut IntervalFold> = self.ring.iter_mut().flatten().collect();
+        slots.sort_by_key(|f| f.interval);
+        let mut out = Vec::new();
+        for fold in slots {
+            fold.compact();
+            out.extend_from_slice(&fold.sorted);
+        }
+        out
+    }
+
+    /// The Code Concurrency map of the live window, fanned over up to
+    /// `jobs` threads. Bit-identical to [`crate::concurrency_map`] over
+    /// exactly the retained samples, for every `jobs` value — the cells
+    /// go through the same shared final fold as the batch and streaming
+    /// paths.
+    pub fn concurrency_jobs(&mut self, jobs: usize) -> ConcurrencyMap {
+        let cells = self.cells_snapshot();
+        if cells.is_empty() {
+            return ConcurrencyMap::empty();
+        }
+        cells_finish(&cells, jobs).map
+    }
+}
+
 /// Folds every readable shard under `dir` into a [`ConcurrencyMap`],
 /// skipping malformed shards gracefully. Parallel (`jobs`) ingestion
 /// and finish. Fails only if the directory cannot be listed.
@@ -932,6 +1190,109 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Scalar reference for the windowed acceptance rule: replays the
+    /// stream one sample at a time, returning the accepted samples that
+    /// survive to the final window plus the (late, evicted) counts.
+    fn windowed_reference(
+        samples: &[Sample],
+        interval: u64,
+        window: u64,
+    ) -> (Vec<Sample>, u64, u64) {
+        let mut newest: Option<u64> = None;
+        let mut accepted: Vec<Sample> = Vec::new();
+        let mut late = 0u64;
+        for s in samples {
+            let idx = s.time / interval;
+            let n = newest.get_or_insert(idx);
+            if idx + window <= (*n).max(idx) {
+                // idx < max(newest, idx) - window + 1  (overflow-safe)
+                late += 1;
+                continue;
+            }
+            *n = (*n).max(idx);
+            accepted.push(*s);
+        }
+        let (retained, evicted) = match newest {
+            None => (Vec::new(), 0),
+            Some(n) => {
+                let start = n.saturating_sub(window - 1);
+                let (keep, evict): (Vec<Sample>, Vec<Sample>) = accepted
+                    .into_iter()
+                    .partition(|s| s.time / interval >= start);
+                (keep, evict.len() as u64)
+            }
+        };
+        (retained, late, evicted)
+    }
+
+    #[test]
+    fn windowed_equals_batch_over_retained_samples() {
+        let samples = mixed_trace(600);
+        let interval = 100u64;
+        let cfg = ConcurrencyConfig { interval };
+        for window in [1u64, 2, 3, 10] {
+            for batch_size in [1usize, 7, 64, 600] {
+                let mut win = WindowedConcurrency::new(cfg, window);
+                for chunk in samples.chunks(batch_size) {
+                    win.ingest(chunk);
+                }
+                let (retained, late, evicted) = windowed_reference(&samples, interval, window);
+                assert_eq!(
+                    win.late_dropped(),
+                    late,
+                    "window={window} batch={batch_size}"
+                );
+                assert_eq!(win.evicted_samples(), evicted);
+                assert_eq!(win.retained_samples(), retained.len() as u64);
+                for jobs in [1, 2, 4] {
+                    assert_eq!(
+                        win.clone().concurrency_jobs(jobs),
+                        concurrency_map(&retained, &cfg),
+                        "window={window} batch={batch_size} jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_eviction_is_exact_per_interval() {
+        let cfg = ConcurrencyConfig { interval: 10 };
+        let mut win = WindowedConcurrency::new(cfg, 2);
+        // Intervals 0 and 1 in the window.
+        win.ingest(&[sample(0, 5, 1), sample(1, 6, 2), sample(0, 15, 3)]);
+        assert_eq!(win.window_range(), Some((0, 1)));
+        assert_eq!(win.retained_samples(), 3);
+        // Interval 3: interval 0 and 1 both expire (range becomes 2..=3).
+        win.ingest(&[sample(1, 35, 4)]);
+        assert_eq!(win.window_range(), Some((2, 3)));
+        assert_eq!(win.evicted_samples(), 3);
+        assert_eq!(win.retained_samples(), 1);
+        // A sample from interval 1 is now late: counted, never folded.
+        assert_eq!(win.ingest(&[sample(0, 16, 1)]), 1);
+        assert_eq!(win.late_dropped(), 1);
+        assert_eq!(win.retained_samples(), 1);
+        // The surviving state equals a batch over exactly interval 3.
+        assert_eq!(
+            win.concurrency_jobs(1),
+            concurrency_map(&[sample(1, 35, 4)], &cfg)
+        );
+    }
+
+    #[test]
+    fn windowed_unbounded_window_matches_streaming() {
+        let samples = mixed_trace(400);
+        let cfg = ConcurrencyConfig { interval: 100 };
+        let mut stream = StreamingConcurrency::new(cfg);
+        stream.ingest(&samples);
+        // 1000 cycles / interval 100 = at most 10 intervals: a window of
+        // 16 never evicts, so the generalization degenerates exactly.
+        let mut win = WindowedConcurrency::new(cfg, 16);
+        win.ingest(&samples);
+        assert_eq!(win.late_dropped() + win.evicted_samples(), 0);
+        assert_eq!(win.concurrency_jobs(2), stream.finish_jobs(2));
     }
 
     #[test]

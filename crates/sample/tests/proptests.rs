@@ -7,7 +7,7 @@ use slopt_ir::source::SourceLine;
 use slopt_sample::{
     concurrency_map, concurrency_map_naive, concurrency_map_reference, read_shard,
     shard_concurrency, write_shards, ConcurrencyConfig, Sample, Sampler, SamplerConfig,
-    StreamingConcurrency,
+    StreamingConcurrency, WindowedConcurrency,
 };
 use slopt_sim::{CpuId, Observer};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -301,5 +301,69 @@ proptest! {
         let actual: Vec<u64> = sampler.samples().iter().map(|s| s.time).collect();
         prop_assert_eq!(actual, expected);
         prop_assert_eq!(sampler.dropped(), 0);
+    }
+}
+
+proptest! {
+    /// The windowed decaying fold retains *exactly* the samples whose
+    /// interval lies in the final window — however the stream was
+    /// chunked, and in whatever order the chunks arrived. Its
+    /// concurrency map is bit-identical to the batch map over those
+    /// retained samples at any `--jobs` (the serve daemon's correctness
+    /// contract, DESIGN.md §17).
+    #[test]
+    fn windowed_fold_matches_batch_over_retained_samples(
+        samples in prop::collection::vec((0u16..4, 0u64..40_000, 0u32..6), 0..150),
+        window in 1u64..9,
+        chunk in 1usize..17,
+    ) {
+        let interval = 1_000u64;
+        let cfg = ConcurrencyConfig { interval };
+        let samples: Vec<Sample> =
+            samples.into_iter().map(|(c, t, l)| mk_sample(c, t, l)).collect();
+
+        let mut win = WindowedConcurrency::new(cfg, window);
+        for part in samples.chunks(chunk) {
+            win.ingest(part);
+        }
+
+        prop_assert_eq!(win.window_range().is_none(), samples.is_empty());
+        let (lo, hi) = win.window_range().unwrap_or((0, 0));
+        // The newest interval ever seen anchors the final window: a
+        // late-dropped sample is strictly older than some earlier
+        // newest, so it can never be the maximum.
+        let n = samples.iter().map(|s| s.time / interval).max().unwrap_or(0);
+        prop_assert_eq!(hi, n);
+        prop_assert_eq!(lo, n.saturating_sub(window - 1));
+
+        // Retained state == the batch fold over exactly the in-window
+        // samples, independent of arrival order and chunking.
+        let retained: Vec<Sample> = samples
+            .iter()
+            .filter(|s| {
+                let idx = s.time / interval;
+                idx >= lo && idx <= hi
+            })
+            .cloned()
+            .collect();
+        prop_assert_eq!(win.retained_samples(), retained.len() as u64);
+        let batch = concurrency_map(&retained, &cfg);
+        for jobs in [1usize, 2, 4] {
+            prop_assert_eq!(
+                win.concurrency_jobs(jobs).pairs(),
+                batch.pairs(),
+                "jobs={} must be bit-identical to the batch map",
+                jobs
+            );
+        }
+
+        // Order-independence of the retained cells: replaying the same
+        // chunks in reverse order lands on the same final cells (the
+        // counters may differ — only retained state is order-free).
+        let mut rev = WindowedConcurrency::new(cfg, window);
+        for part in samples.chunks(chunk).rev() {
+            rev.ingest(part);
+        }
+        prop_assert_eq!(rev.cells_snapshot(), win.cells_snapshot());
     }
 }

@@ -1,0 +1,147 @@
+//! The reference collector client: synchronous request/response over
+//! one TCP connection, with retry/backoff on transient failures.
+//!
+//! Ingest retries are *safe by construction*: every batch carries its
+//! `(client, seq)` idempotency key, so re-sending a batch whose `OK` was
+//! lost (connection dropped after the fold, injected fault, daemon
+//! restart) folds at most once. That is what lets the client treat
+//! every failure mode the same way — back off, reconnect, resend.
+
+use slopt_fault::{io::backoff, FaultKind, FaultPlan};
+use slopt_obs::Obs;
+use std::io;
+use std::net::TcpStream;
+
+use crate::proto::{
+    read_frame, write_frame, IngestBatch, ProtoError, OP_ADVISE, OP_DRAIN, OP_ERR, OP_HEALTH,
+    OP_INGEST, OP_METRICS, OP_OK,
+};
+
+/// The client-side fault site: a seeded `transient` plan makes send
+/// attempts fail before reaching the wire, exercising the retry loop
+/// without a real network fault.
+pub const SITE_CLIENT: &str = "client.ingest";
+
+/// A synchronous `slopt-serve/1` client. Reconnects lazily after any
+/// transport failure.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:4871`). Connection happens
+    /// lazily on the first request.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            stream: None,
+        }
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            self.stream = Some(TcpStream::connect(&self.addr)?);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One request/response exchange. Any transport failure drops the
+    /// connection so the next request reconnects.
+    fn request(&mut self, op: u8, payload: &[u8]) -> io::Result<(u8, Vec<u8>)> {
+        let result = (|| {
+            let stream = self.stream()?;
+            write_frame(stream, op, payload)?;
+            match read_frame(stream) {
+                Ok(Some(frame)) => Ok(frame),
+                Ok(None) => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before replying",
+                )),
+                Err(ProtoError::Io(e)) => Err(e),
+                Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    /// Sends one batch with retry/backoff. Injected transient faults
+    /// ([`SITE_CLIENT`]), transport errors, and `ERR` replies all take
+    /// the same path: count, back off, reconnect, resend — the
+    /// `(client, seq)` key makes the resend idempotent. Returns the
+    /// daemon's ack line.
+    pub fn ingest(
+        &mut self,
+        batch: &IngestBatch,
+        plan: &FaultPlan,
+        max_retries: u32,
+        obs: &Obs,
+    ) -> io::Result<String> {
+        let payload = batch.encode()?;
+        let mut attempt: u32 = 0;
+        loop {
+            let failure: String =
+                if plan.fires(FaultKind::Transient, SITE_CLIENT, batch.seq, attempt) {
+                    obs.warning("fault.injected.transient");
+                    format!(
+                        "injected transient send fault (seq {}, attempt {attempt})",
+                        batch.seq
+                    )
+                } else {
+                    match self.request(OP_INGEST, &payload) {
+                        Ok((OP_OK, body)) => return Ok(String::from_utf8_lossy(&body).into_owned()),
+                        Ok((_, body)) => String::from_utf8_lossy(&body).into_owned(),
+                        Err(e) => e.to_string(),
+                    }
+                };
+            if attempt >= max_retries {
+                return Err(io::Error::other(format!(
+                    "ingest of batch (client {}, seq {}) failed after {} attempts: {failure}",
+                    batch.client,
+                    batch.seq,
+                    attempt + 1
+                )));
+            }
+            obs.counter("retry.attempts", 1);
+            std::thread::sleep(backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// Fetches the current advice document.
+    pub fn advise(&mut self) -> io::Result<String> {
+        self.expect_ok(OP_ADVISE)
+    }
+
+    /// Fetches the one-line health summary.
+    pub fn health(&mut self) -> io::Result<String> {
+        self.expect_ok(OP_HEALTH)
+    }
+
+    /// Fetches the Prometheus exposition of the daemon's counters.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.expect_ok(OP_METRICS)
+    }
+
+    /// Asks the daemon to drain and shut down gracefully.
+    pub fn drain(&mut self) -> io::Result<String> {
+        self.expect_ok(OP_DRAIN)
+    }
+
+    fn expect_ok(&mut self, op: u8) -> io::Result<String> {
+        match self.request(op, b"")? {
+            (OP_OK, body) => Ok(String::from_utf8_lossy(&body).into_owned()),
+            (OP_ERR, body) => Err(io::Error::other(
+                String::from_utf8_lossy(&body).into_owned(),
+            )),
+            (other, _) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response opcode 0x{other:02x}"),
+            )),
+        }
+    }
+}

@@ -12,10 +12,6 @@
 //!
 //! Every plan is seed-pinned, so each scenario replays exactly in CI.
 
-// The legacy `*_ckpt_obs` / `*_fault_obs` entry points stay under test
-// until the deprecation window closes; the assertions are unchanged.
-#![allow(deprecated)]
-
 use slopt::ir::SupervisePolicy;
 use slopt::obs::replay::replay_str;
 use slopt::obs::Obs;
@@ -23,7 +19,7 @@ use slopt::sim::CacheConfig;
 use slopt::workload::{
     compute_paper_layouts, AnalysisConfig, Figure, LayoutKind, Machine, PaperLayouts, SdetConfig,
 };
-use slopt_bench::{figure_ckpt_obs, figure_fault_obs, CheckpointSpec, FaultConfig, FigureOutcome};
+use slopt_bench::{figure, CheckpointSpec, ExecCtx, FaultConfig, FigureOutcome};
 use slopt_fault::FaultPlan;
 use std::path::{Path, PathBuf};
 
@@ -63,13 +59,28 @@ fn fault_cfg(spec: &str, max_retries: u32) -> FaultConfig {
     }
 }
 
+/// The [`ExecCtx`] every scenario runs under: capabilities compose, so
+/// clean and chaotic runs differ only in the `fault` slot.
+fn ctx_for(jobs: usize, spec: Option<&CheckpointSpec>, fault: Option<&FaultConfig>) -> ExecCtx {
+    ExecCtx {
+        obs: Obs::disabled(),
+        checkpoint: spec.cloned(),
+        fault: fault.cloned(),
+        jobs,
+        stats: false,
+        trace_out: None,
+    }
+}
+
 fn run_clean(
     kernel: &slopt::workload::Kernel,
     sdet: &SdetConfig,
     layouts: &PaperLayouts,
     jobs: usize,
 ) -> Figure {
-    figure_ckpt_obs(
+    let ctx = ctx_for(jobs, None, None);
+    figure(
+        &ctx,
         "chaos",
         kernel,
         &Machine::bus(4),
@@ -78,11 +89,10 @@ fn run_clean(
         layouts,
         KINDS,
         "chaos grid",
-        jobs,
-        None,
-        &Obs::disabled(),
     )
     .expect("clean run cannot fail")
+    .figure
+    .expect("no fault plan, so the grid is complete")
 }
 
 fn run_chaos(
@@ -94,7 +104,10 @@ fn run_chaos(
     fault: &FaultConfig,
     obs: &Obs,
 ) -> std::io::Result<FigureOutcome> {
-    figure_fault_obs(
+    let mut ctx = ctx_for(jobs, spec, Some(fault));
+    ctx.obs = obs.clone();
+    figure(
+        &ctx,
         "chaos",
         kernel,
         &Machine::bus(4),
@@ -103,10 +116,6 @@ fn run_chaos(
         layouts,
         KINDS,
         "chaos grid",
-        jobs,
-        spec,
-        Some(fault),
-        obs,
     )
 }
 
@@ -442,7 +451,9 @@ fn deadline_holes_are_never_checkpointed_as_completed() {
         dir: dir.clone(),
         resume: true,
     };
-    let resumed = figure_ckpt_obs(
+    let ctx = ctx_for(2, Some(&resume), None);
+    let resumed = figure(
+        &ctx,
         "chaos",
         &kernel,
         &Machine::bus(4),
@@ -451,11 +462,10 @@ fn deadline_holes_are_never_checkpointed_as_completed() {
         &layouts,
         KINDS,
         "chaos grid",
-        2,
-        Some(&resume),
-        &Obs::disabled(),
     )
-    .unwrap();
+    .unwrap()
+    .figure
+    .expect("no fault plan on the resume, so the grid completes");
     assert_eq!(
         resumed.to_string(),
         clean.to_string(),

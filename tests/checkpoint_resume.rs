@@ -5,10 +5,6 @@
 //! emit a deterministic trace (modulo timestamps), and refuse to resume
 //! an experiment whose analysis drifted.
 
-// The legacy `*_ckpt_obs` / `*_fault_obs` entry points stay under test
-// until the deprecation window closes; the assertions are unchanged.
-#![allow(deprecated)]
-
 use slopt::obs::json::{parse, Json};
 use slopt::obs::replay::replay_str;
 use slopt::obs::Obs;
@@ -16,7 +12,7 @@ use slopt::sim::CacheConfig;
 use slopt::workload::{
     compute_paper_layouts, AnalysisConfig, Figure, LayoutKind, Machine, PaperLayouts, SdetConfig,
 };
-use slopt_bench::{figure_ckpt_obs, CheckpointSpec};
+use slopt_bench::{figure, CheckpointSpec, ExecCtx};
 use std::path::{Path, PathBuf};
 
 fn tiny() -> (slopt::workload::Kernel, SdetConfig, PaperLayouts) {
@@ -54,7 +50,16 @@ fn run_figure(
     jobs: usize,
     obs: &Obs,
 ) -> std::io::Result<Figure> {
-    figure_ckpt_obs(
+    let ctx = ExecCtx {
+        obs: obs.clone(),
+        checkpoint: spec.cloned(),
+        fault: None,
+        jobs,
+        stats: false,
+        trace_out: None,
+    };
+    let outcome = figure(
+        &ctx,
         "fig",
         kernel,
         &Machine::superdome(4),
@@ -63,10 +68,10 @@ fn run_figure(
         layouts,
         &[LayoutKind::Tool],
         "resume test",
-        jobs,
-        spec,
-        obs,
-    )
+    )?;
+    Ok(outcome
+        .figure
+        .expect("no fault plan, so the grid is complete"))
 }
 
 /// Keeps the checkpoint header plus the first `keep` item lines, then

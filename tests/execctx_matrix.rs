@@ -20,13 +20,6 @@
 //!   [`slopt::obs::replay::structural_deltas`];
 //! * checkpoint-on points converge bit-identically after the item log is
 //!   truncated mid-stream (torn tail included) and the run resumes.
-//!
-//! A final spot check pins the deprecated `*_obs` forwarders to the new
-//! path, so the one-PR deprecation window cannot drift.
-
-// The forwarder-equivalence test exercises the deprecated entry points
-// on purpose.
-#![allow(deprecated)]
 
 use slopt::ir::SupervisePolicy;
 use slopt::obs::replay::{replay_str, structural_deltas, ReplaySummary};
@@ -34,8 +27,7 @@ use slopt::obs::Obs;
 use slopt::sim::CacheConfig;
 use slopt::workload::{baseline_layouts, build_kernel, Kernel, Machine, SdetConfig};
 use slopt_bench::{
-    measure_cells, measure_cells_fault_obs, measure_cells_obs, resolve, Cell, CheckpointSpec,
-    ExecCtx, FaultConfig, GridOutcome,
+    measure_cells, resolve, Cell, CheckpointSpec, ExecCtx, FaultConfig, GridOutcome,
 };
 use slopt_fault::{exit, FaultPlan};
 use std::collections::HashMap;
@@ -323,55 +315,4 @@ fn the_24_point_capability_lattice_is_behavior_identical() {
     }
 
     let _ = std::fs::remove_dir_all(&base);
-}
-
-/// The deprecated forwarders are pinned to the new path for their last
-/// PR: same numbers, same report, through the old signatures.
-#[test]
-fn deprecated_forwarders_match_the_execctx_path() {
-    let kernel = build_kernel();
-    let cells = small_cells(&kernel, 2);
-    let obs = Obs::disabled();
-
-    let fingerprint = |measured: &[Option<slopt::workload::Throughput>]| -> Bits {
-        measured
-            .iter()
-            .map(|m| {
-                m.as_ref().map(|t| {
-                    let mut b = vec![t.mean.to_bits()];
-                    b.extend(t.runs.iter().map(|v| v.to_bits()));
-                    b
-                })
-            })
-            .collect()
-    };
-
-    let ctx = ExecCtx::bare(2);
-    let new = measure_cells(&ctx, NAME, &kernel, &cells, RUNS).expect("new path");
-    let old: Vec<Option<_>> = measure_cells_obs(&kernel, &cells, RUNS, 2, &obs)
-        .into_iter()
-        .map(Some)
-        .collect();
-    assert_eq!(
-        fingerprint(&old),
-        fingerprint(&new.measured),
-        "measure_cells_obs forwards unchanged"
-    );
-
-    let fc = fault_cfg(Fault::Permanent).expect("permanent plan");
-    let faulted_ctx = ExecCtx::bare(2).with_fault(fc.clone());
-    let new = measure_cells(&faulted_ctx, NAME, &kernel, &cells, RUNS).expect("new path");
-    let (old_measured, old_report) =
-        measure_cells_fault_obs(NAME, &kernel, &cells, RUNS, 2, None, Some(&fc), &obs)
-            .expect("old path");
-    assert_eq!(
-        fingerprint(&old_measured),
-        fingerprint(&new.measured),
-        "fault forwarder: same grid"
-    );
-    assert_eq!(
-        old_report.degraded(),
-        new.report.degraded(),
-        "fault forwarder: same degraded verdict"
-    );
 }
